@@ -1,0 +1,437 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md. The experiment
+// tests in experiments_test.go print the corresponding tables; these
+// benchmarks provide the timed measurements.
+//
+//	E1 (§4.1)  BenchmarkSwitchLEDGenerated / BenchmarkSwitchLEDHandwritten
+//	E2 (Fig 7) BenchmarkDelayBound{Elevator,SwitchLED,German}
+//	E3 (§5)    BenchmarkBugFinding{Elevator,SwitchLED,German}
+//	E4 (Fig 8) BenchmarkUSB{HSM,PSM30,PSM20,DSM}
+//	E5 (§5)    BenchmarkDepthBoundElevator
+//	ablations  BenchmarkAblation{FineGrained,NoDedup,RoundRobin}
+package pgo_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/handwritten"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+	prt "pgo/internal/runtime"
+)
+
+func compileBench(b *testing.B, name, src string) *ir.Program {
+	b.Helper()
+	prog, diags, err := compile.Source(name, src)
+	if err != nil {
+		b.Fatalf("compile %s: %v\n%s", name, err, diags.String())
+	}
+	return prog
+}
+
+// ------------------------------------------------------------- E1 (§4.1)
+
+// startGeneratedDriver boots the erased P switch-and-LED driver with
+// foreign bindings that acknowledge LED commands immediately and signal the
+// benchmark loop, mirroring the paper's 100-events/s test harness.
+func startGeneratedDriver(b testing.TB) (*prt.Runtime, core.MachineID, chan struct{}) {
+	b.Helper()
+	prog, diags, err := compile.Erased("switchled", psamples.SwitchLED)
+	if err != nil {
+		b.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	signal := make(chan struct{}, 1)
+	var rt *prt.Runtime
+	var id core.MachineID
+	foreign := core.ForeignMap{
+		"Driver.ledOn": func(ctx any, args []core.Value) (core.Value, error) {
+			rt.Send(id, "LedOnAck", core.Null)
+			signal <- struct{}{}
+			return core.Null, nil
+		},
+		"Driver.ledOff": func(ctx any, args []core.Value) (core.Value, error) {
+			rt.Send(id, "LedOffAck", core.Null)
+			signal <- struct{}{}
+			return core.Null, nil
+		},
+		"Driver.ledReset": func(ctx any, args []core.Value) (core.Value, error) {
+			return core.Null, nil
+		},
+		"Driver.notifyStarted": func(ctx any, args []core.Value) (core.Value, error) {
+			signal <- struct{}{}
+			return core.Null, nil
+		},
+		"Driver.notifyStopped": func(ctx any, args []core.Value) (core.Value, error) {
+			return core.Null, nil
+		},
+	}
+	rt, err = prt.New(prog, prt.Options{Foreign: foreign})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err = rt.CreateMachine("Driver", nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Send(id, "StartDevice", core.Null); err != nil {
+		b.Fatal(err)
+	}
+	<-signal // notifyStarted
+	return rt, id, signal
+}
+
+// BenchmarkSwitchLEDGenerated measures one full event round trip through
+// the P-generated driver: host switch interrupt -> driver handler ->
+// foreign LED command -> ack -> back to Ready.
+func BenchmarkSwitchLEDGenerated(b *testing.B) {
+	rt, id, signal := startGeneratedDriver(b)
+	defer rt.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := "SwitchOn"
+		if i%2 == 1 {
+			ev = "SwitchOff"
+		}
+		if err := rt.Send(id, ev, core.Null); err != nil {
+			b.Fatal(err)
+		}
+		<-signal // the LED command issued by the handler
+	}
+	b.StopTimer()
+	if errs := rt.Errors(); len(errs) != 0 {
+		b.Fatalf("machine errors: %v", errs)
+	}
+}
+
+// BenchmarkSwitchLEDHandwritten is the same workload on the §4.1 baseline:
+// the driver written directly in Go.
+func BenchmarkSwitchLEDHandwritten(b *testing.B) {
+	signal := make(chan struct{}, 1)
+	var d *handwritten.Driver
+	d = handwritten.New(handwritten.Callbacks{
+		LedOn:         func() { d.Send(handwritten.LedOnAck); signal <- struct{}{} },
+		LedOff:        func() { d.Send(handwritten.LedOffAck); signal <- struct{}{} },
+		NotifyStarted: func() { signal <- struct{}{} },
+	})
+	defer d.Close()
+	d.Send(handwritten.StartDevice)
+	<-signal
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := handwritten.SwitchOn
+		if i%2 == 1 {
+			ev = handwritten.SwitchOff
+		}
+		d.Send(ev)
+		<-signal
+	}
+}
+
+// ------------------------------------------------------------- E2 (Fig 7)
+
+func benchDelayBound(b *testing.B, name, src string, bounds []int) {
+	prog := compileBench(b, name, src)
+	for _, d := range bounds {
+		d := d
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := check.Explore(prog, check.Options{
+					Mode: check.DelayBounded, Bound: d, MaxStates: 2_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Errored() {
+					b.Fatalf("unexpected violation: %v", res.FirstViolation())
+				}
+				states = res.Stats.DistinctStates
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+func BenchmarkDelayBoundElevator(b *testing.B) {
+	benchDelayBound(b, "elevator", psamples.Elevator, []int{0, 1, 2, 3})
+}
+
+func BenchmarkDelayBoundSwitchLED(b *testing.B) {
+	benchDelayBound(b, "switchled", psamples.SwitchLED, []int{0, 1, 2})
+}
+
+func BenchmarkDelayBoundGerman(b *testing.B) {
+	benchDelayBound(b, "german", psamples.German(2), []int{0, 1, 2})
+}
+
+// --------------------------------------------------------------- E3 (§5)
+
+func benchBugFinding(b *testing.B, name, src string, wantKind core.ErrKind) {
+	prog := compileBench(b, name, src)
+	b.ResetTimer()
+	var depth int
+	for i := 0; i < b.N; i++ {
+		found := false
+		for d := 0; d <= 3 && !found; d++ {
+			res, err := check.Explore(prog, check.Options{
+				Mode: check.DelayBounded, Bound: d, StopAtFirstError: true, MaxStates: 2_000_000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Errored() {
+				if res.FirstViolation().Err.Kind != wantKind {
+					b.Fatalf("found %v, want %v", res.FirstViolation().Err.Kind, wantKind)
+				}
+				found = true
+				depth = d
+			}
+		}
+		if !found {
+			b.Fatal("seeded bug not found within delay bound 3")
+		}
+	}
+	b.ReportMetric(float64(depth), "delay-bound")
+}
+
+func BenchmarkBugFindingElevator(b *testing.B) {
+	benchBugFinding(b, "elevator-buggy", psamples.ElevatorBuggy, core.ErrUnhandled)
+}
+
+func BenchmarkBugFindingSwitchLED(b *testing.B) {
+	benchBugFinding(b, "switchled-buggy", psamples.SwitchLEDBuggy, core.ErrUnhandled)
+}
+
+func BenchmarkBugFindingGerman(b *testing.B) {
+	benchBugFinding(b, "german-buggy", psamples.GermanBuggy(3), core.ErrAssert)
+}
+
+// ------------------------------------------------------------- E4 (Fig 8)
+
+func benchUSB(b *testing.B, name, src string, cap int) {
+	prog := compileBench(b, name, src)
+	b.ResetTimer()
+	var states int
+	for i := 0; i < b.N; i++ {
+		res, err := check.Explore(prog, check.Options{
+			Mode: check.DelayBounded, Bound: 1, MaxStates: cap,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errored() {
+			b.Fatalf("violation: %v", res.FirstViolation())
+		}
+		states = res.Stats.DistinctStates
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+func BenchmarkUSBHSM(b *testing.B)   { benchUSB(b, "usb-hsm", psamples.USBHub, 200_000) }
+func BenchmarkUSBPSM30(b *testing.B) { benchUSB(b, "usb-psm3", psamples.USBPort30, 200_000) }
+func BenchmarkUSBPSM20(b *testing.B) { benchUSB(b, "usb-psm2", psamples.USBPort20, 200_000) }
+func BenchmarkUSBDSM(b *testing.B)   { benchUSB(b, "usb-dsm", psamples.USBDevice, 200_000) }
+
+// --------------------------------------------------------------- E5 (§5)
+
+// BenchmarkDepthBoundElevator shows the exponential growth of plain depth
+// bounding that motivates delay bounding.
+func BenchmarkDepthBoundElevator(b *testing.B) {
+	prog := compileBench(b, "elevator", psamples.Elevator)
+	for _, depth := range []int{10, 15, 20} {
+		depth := depth
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := check.Explore(prog, check.Options{
+					Mode: check.DepthBounded, Bound: depth, MaxStates: 2_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.Stats.DistinctStates
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// -------------------------------------------------------------- ablations
+
+// BenchmarkAblationFineGrained ablates the atomicity reduction: context
+// switches also at every dequeue.
+func BenchmarkAblationFineGrained(b *testing.B) {
+	prog := compileBench(b, "elevator", psamples.Elevator)
+	for _, fine := range []bool{false, true} {
+		fine := fine
+		name := "sends-only"
+		if fine {
+			name = "also-dequeues"
+		}
+		b.Run(name, func(b *testing.B) {
+			var states, nodes int
+			for i := 0; i < b.N; i++ {
+				res, err := check.Explore(prog, check.Options{
+					Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000, FineGrained: fine,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.Stats.DistinctStates
+				nodes = res.Stats.SearchNodes
+			}
+			b.ReportMetric(float64(states), "states")
+			b.ReportMetric(float64(nodes), "nodes")
+		})
+	}
+}
+
+// BenchmarkAblationNoDedup ablates the ⊕ queue dedup: queues flood and the
+// state space becomes unbounded, so the run is capped and reports the time
+// to hit the cap.
+func BenchmarkAblationNoDedup(b *testing.B) {
+	prog := compileBench(b, "elevator", psamples.Elevator)
+	for _, dedup := range []bool{true, false} {
+		dedup := dedup
+		name := "dedup-on"
+		if !dedup {
+			name = "dedup-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var states int
+			truncated := false
+			for i := 0; i < b.N; i++ {
+				res, err := check.Explore(prog, check.Options{
+					Mode: check.DelayBounded, Bound: 2, MaxStates: 10_000, DisableDedup: !dedup,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.Stats.DistinctStates
+				truncated = res.Stats.Truncated
+			}
+			b.ReportMetric(float64(states), "states")
+			if truncated {
+				b.ReportMetric(1, "truncated")
+			} else {
+				b.ReportMetric(0, "truncated")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRoundRobin compares the causal delaying scheduler with a
+// round-robin base order at the same budget.
+func BenchmarkAblationRoundRobin(b *testing.B) {
+	prog := compileBench(b, "elevator", psamples.Elevator)
+	for _, mode := range []check.Mode{check.DelayBounded, check.RoundRobinDelay} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := check.Explore(prog, check.Options{
+					Mode: mode, Bound: 2, MaxStates: 2_000_000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.Stats.DistinctStates
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}
+
+// BenchmarkRuntimeCreateMachine measures machine instantiation cost
+// (goroutine + tables), relevant to the paper's "drivers are parsimonious
+// with threads" discussion.
+func BenchmarkRuntimeCreateMachine(b *testing.B) {
+	prog, diags, err := compile.Erased("pingpong", psamples.PingPong)
+	if err != nil {
+		b.Fatalf("%v\n%s", err, diags.String())
+	}
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.CreateMachine("Ponger", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rt.Quiesce(10 * time.Second)
+}
+
+// BenchmarkFingerprint measures global-state fingerprinting, the inner loop
+// of the explorer.
+func BenchmarkFingerprint(b *testing.B) {
+	prog := compileBench(b, "elevator", psamples.Elevator)
+	g := core.NewGlobal(prog, nil)
+	if _, err := g.CreateMain(); err != nil {
+		b.Fatal(err)
+	}
+	// Advance a few steps so the configuration is nontrivial.
+	for i := 0; i < 5; i++ {
+		for _, id := range g.LiveIDs() {
+			if g.Enabled(id) {
+				g.RunToSchedPoint(id, &core.FixedChoices{}, 0)
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Fingerprint()
+	}
+}
+
+// BenchmarkClone measures global-state cloning, the other inner loop.
+func BenchmarkClone(b *testing.B) {
+	prog := compileBench(b, "elevator", psamples.Elevator)
+	g := core.NewGlobal(prog, nil)
+	if _, err := g.CreateMain(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		for _, id := range g.LiveIDs() {
+			if g.Enabled(id) {
+				g.RunToSchedPoint(id, &core.FixedChoices{}, 0)
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Clone()
+	}
+}
+
+// BenchmarkParallelExplore measures multicore scaling of the delay-bounded
+// search (the paper scaled Zing runs across cores for the USB case study).
+func BenchmarkParallelExplore(b *testing.B) {
+	prog := compileBench(b, "german", psamples.German(2))
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := check.Explore(prog, check.Options{
+					Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.Stats.DistinctStates
+			}
+			b.ReportMetric(float64(states), "states")
+		})
+	}
+}

@@ -1,0 +1,205 @@
+// End-to-end tests of the command-line tools, exercising them exactly as a
+// user would via `go run`.
+package pgo_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// run executes a tool with args, returning combined output and the exit
+// error (nil on success).
+func run(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIVerifySafeProgram(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "-bound", "2", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("pverify failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no safety violations") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIVerifyBuggyProgram(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "-bound", "1", "-trace", "sample:elevator-buggy")
+	if err == nil {
+		t.Fatalf("pverify should exit nonzero on a violation:\n%s", out)
+	}
+	for _, want := range []string{"VIOLATION", "unhandled event", "counterexample", "CloseDoor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIVerifyLiveness(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "-bound", "1", "-liveness", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("pverify -liveness failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "liveness: no violations") {
+		t.Fatalf("output missing liveness verdict:\n%s", out)
+	}
+}
+
+func TestCLIVerifyParallelWorkers(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "-bound", "2", "-workers", "4", "sample:elevator")
+	if err != nil {
+		t.Fatalf("parallel pverify failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no safety violations") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIRunElevator(t *testing.T) {
+	out, err := run(t, "./cmd/prun", "-machine", "Elevator",
+		"-send", "OpenDoor,DoorOpened,TimerFired,TimerFired,DoorClosed", "sample:elevator")
+	if err != nil {
+		t.Fatalf("prun failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"state Closed", "state Opening", "state Opened", "state OkToClose", "state Closing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLICompileAndRunGenerated(t *testing.T) {
+	dir := filepath.Join("internal", "codegen", "testdata", "gen_cli")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	genFile := filepath.Join(dir, "main.go")
+
+	out, err := run(t, "./cmd/pc", "-o", genFile, "sample:pingpong")
+	if err != nil {
+		t.Fatalf("pc failed: %v\n%s", err, out)
+	}
+	out, err = run(t, "./"+dir)
+	if err != nil {
+		t.Fatalf("generated program failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "quiescent; no machine errors") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLIFormatIdempotent(t *testing.T) {
+	once, err := run(t, "./cmd/pfmt", "sample:elevator")
+	if err != nil {
+		t.Fatalf("pfmt failed: %v\n%s", err, once)
+	}
+	tmp := filepath.Join(t.TempDir(), "elevator.p")
+	if err := os.WriteFile(tmp, []byte(once), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	twice, err := run(t, "./cmd/pfmt", tmp)
+	if err != nil {
+		t.Fatalf("pfmt reformat failed: %v\n%s", err, twice)
+	}
+	if once != twice {
+		t.Fatal("pfmt is not idempotent")
+	}
+}
+
+func TestCLIDot(t *testing.T) {
+	out, err := run(t, "./cmd/pdot", "-machine", "Elevator", "sample:elevator")
+	if err != nil {
+		t.Fatalf("pdot failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `digraph "Elevator"`) {
+		t.Fatalf("not a DOT digraph:\n%.200s", out)
+	}
+	out, err = run(t, "./cmd/pdot", "-graph", "-bound", "1", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("pdot -graph failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "digraph states") {
+		t.Fatalf("not a state graph:\n%.200s", out)
+	}
+}
+
+func TestCLIBadInput(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "sample:doesnotexist")
+	if err == nil {
+		t.Fatalf("unknown sample accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "unknown sample") {
+		t.Errorf("unhelpful error:\n%s", out)
+	}
+	tmp := filepath.Join(t.TempDir(), "bad.p")
+	os.WriteFile(tmp, []byte("machine M {"), 0o644)
+	out, err = run(t, "./cmd/pc", tmp)
+	if err == nil {
+		t.Fatalf("syntax error accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "error") {
+		t.Errorf("no diagnostics printed:\n%s", out)
+	}
+}
+
+func TestCLISimFindsBug(t *testing.T) {
+	out, err := run(t, "./cmd/psim", "-walks", "50", "sample:german-buggy")
+	if err == nil {
+		t.Fatalf("psim should exit nonzero when walks violate:\n%s", out)
+	}
+	if !strings.Contains(out, "VIOLATION") {
+		t.Fatalf("no violation reported:\n%s", out)
+	}
+}
+
+func TestCLISimCleanProgram(t *testing.T) {
+	out, err := run(t, "./cmd/psim", "-walks", "20", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("psim failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "no violations found") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLISweep(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "-sweep", "3", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("sweep failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "series saturated") {
+		t.Fatalf("saturation not detected:\n%s", out)
+	}
+}
+
+func TestCLIJSONReport(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "-json", "-bound", "1", "sample:elevator-buggy")
+	if err == nil {
+		t.Fatalf("should exit nonzero:\n%s", out)
+	}
+	for _, want := range []string{`"ok": false`, `"kind": "unhandled event"`, `"distinct_states"`, `"schedule"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+	out, err = run(t, "./cmd/pverify", "-json", "-bound", "1", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("clean program should exit zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `"ok": true`) {
+		t.Errorf("JSON missing ok=true:\n%s", out)
+	}
+}

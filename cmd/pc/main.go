@@ -1,0 +1,93 @@
+// pc is the P compiler: it parses and type-checks a P program, applies
+// ghost erasure, and emits a Go source file that reconstructs the compiled
+// state-machine tables and runs them on the P runtime — the analog of the
+// paper's C code generator for KMDF drivers.
+//
+// Usage:
+//
+//	pc [flags] <file.p | sample:NAME | ->
+//
+// The generated file imports pgo/internal packages, so place it inside this
+// module (e.g. under cmd/).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgo/internal/cmdutil"
+	"pgo/internal/codegen"
+	"pgo/internal/compile"
+	"pgo/internal/ir"
+	"pgo/internal/parser"
+	"pgo/internal/source"
+	"pgo/internal/types"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "", "output file (default stdout)")
+		pkg      = flag.String("pkg", "main", "generated package name")
+		emitMain = flag.Bool("main", true, "emit a func main (requires -pkg main)")
+		mainM    = flag.String("machine", "", "machine main() instantiates (default: the program's main machine)")
+		checkTo  = flag.Bool("check", false, "type-check only; emit nothing")
+		dumpIR   = flag.Bool("ir", false, "print the lowered tables (before erasure) instead of Go code")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pc [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name, src, err := cmdutil.LoadSource(flag.Arg(0))
+	if err != nil {
+		cmdutil.Fatalf("pc: %v", err)
+	}
+
+	prog, diags, err := compile.Source(name, src)
+	if err == nil && *checkTo {
+		// -check also runs the lint pass (hygiene warnings).
+		var lintDiags source.DiagList
+		relint := parser.Parse(src, &lintDiags)
+		chk := types.Check(relint, &lintDiags)
+		if !lintDiags.HasErrors() {
+			types.Lint(chk, diags)
+		}
+	}
+	for _, d := range diags.All() {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+	if *checkTo {
+		fmt.Fprintf(os.Stderr, "pc: %s: %d events, %d machines, no errors\n", name, len(prog.Events), len(prog.Machines))
+		return
+	}
+	if *dumpIR {
+		fmt.Print(ir.Dump(prog))
+		return
+	}
+
+	erased := ir.Erase(prog)
+	code, err := codegen.Generate(erased, codegen.Options{
+		Package:     *pkg,
+		EmitMain:    *emitMain && *pkg == "main",
+		MainMachine: *mainM,
+	})
+	if err != nil {
+		cmdutil.Fatalf("pc: %v", err)
+	}
+	if *out == "" {
+		fmt.Print(code)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(code), 0o644); err != nil {
+		cmdutil.Fatalf("pc: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "pc: wrote %s\n", *out)
+}

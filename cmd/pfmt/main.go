@@ -1,0 +1,57 @@
+// pfmt formats P source files into the canonical style produced by
+// internal/printer.
+//
+// Usage:
+//
+//	pfmt [-w] <file.p ... | ->
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgo/internal/cmdutil"
+	"pgo/internal/parser"
+	"pgo/internal/printer"
+	"pgo/internal/source"
+)
+
+func main() {
+	write := flag.Bool("w", false, "write result back to the source file instead of stdout")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: pfmt [-w] <file.p ... | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	status := 0
+	for _, arg := range flag.Args() {
+		name, src, err := cmdutil.LoadSource(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfmt: %v\n", err)
+			status = 1
+			continue
+		}
+		var diags source.DiagList
+		prog := parser.Parse(src, &diags)
+		if diags.HasErrors() {
+			fmt.Fprintf(os.Stderr, "pfmt: %s:\n%s", name, diags.String())
+			status = 1
+			continue
+		}
+		out := printer.Print(prog)
+		if *write && arg != "-" {
+			if err := os.WriteFile(arg, []byte(out), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "pfmt: %v\n", err)
+				status = 1
+			}
+			continue
+		}
+		fmt.Print(out)
+	}
+	os.Exit(status)
+}

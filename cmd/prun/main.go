@@ -1,0 +1,129 @@
+// prun executes a P program on the concurrent runtime after ghost erasure,
+// with a scripted environment: the host creates an instance of a machine
+// and feeds it a sequence of events, printing the state reached after each,
+// standing in for the paper's KMDF interface code.
+//
+// Usage:
+//
+//	prun [flags] <file.p | sample:NAME | ->
+//
+// Example:
+//
+//	prun -machine Elevator -send OpenDoor,DoorOpened,TimerFired sample:elevator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pgo/internal/cmdutil"
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	prt "pgo/internal/runtime"
+)
+
+func main() {
+	var (
+		machine = flag.String("machine", "", "machine type to instantiate (default: the program's main machine if real)")
+		sends   = flag.String("send", "", "comma-separated events to send, each EVENT or EVENT:INTPAYLOAD")
+		timeout = flag.Duration("quiesce", 5*time.Second, "quiescence timeout after each event")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: prun [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name, src, err := cmdutil.LoadSource(flag.Arg(0))
+	if err != nil {
+		cmdutil.Fatalf("prun: %v", err)
+	}
+	prog, diags, err := compile.Erased(name, src)
+	for _, d := range diags.All() {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+
+	target := *machine
+	if target == "" {
+		if mm := prog.Machines[prog.Main]; !mm.ErasedStub {
+			target = mm.Name
+		} else {
+			cmdutil.Fatalf("prun: the program's main machine is ghost; pick a real machine with -machine (one of %s)", realMachines(prog))
+		}
+	}
+
+	rt, err := prt.New(prog, prt.Options{
+		OnError: func(e *core.Err) { fmt.Fprintf(os.Stderr, "prun: machine error: %v\n", e) },
+	})
+	if err != nil {
+		cmdutil.Fatalf("prun: %v", err)
+	}
+	defer rt.Stop()
+
+	id, err := rt.CreateMachine(target, nil, nil)
+	if err != nil {
+		cmdutil.Fatalf("prun: %v", err)
+	}
+	if !rt.Quiesce(*timeout) {
+		cmdutil.Fatalf("prun: no quiescence after creating %s", target)
+	}
+	printState(rt, id, "created "+target)
+
+	if *sends != "" {
+		for _, spec := range strings.Split(*sends, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			event, payload := spec, core.Null
+			if i := strings.IndexByte(spec, ':'); i >= 0 {
+				event = spec[:i]
+				n, err := strconv.ParseInt(spec[i+1:], 10, 64)
+				if err != nil {
+					cmdutil.Fatalf("prun: bad payload in %q: %v", spec, err)
+				}
+				payload = core.IntVal(n)
+			}
+			if err := rt.Send(id, event, payload); err != nil {
+				cmdutil.Fatalf("prun: %v", err)
+			}
+			if !rt.Quiesce(*timeout) {
+				cmdutil.Fatalf("prun: no quiescence after %s", event)
+			}
+			printState(rt, id, "sent "+spec)
+		}
+	}
+
+	if errs := rt.Errors(); len(errs) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printState(rt *prt.Runtime, id core.MachineID, what string) {
+	if st, ok := rt.StateName(id); ok {
+		fmt.Printf("%-28s -> state %s\n", what, st)
+	} else {
+		fmt.Printf("%-28s -> (machine deleted)\n", what)
+	}
+}
+
+func realMachines(prog *ir.Program) string {
+	var names []string
+	for _, m := range prog.Machines {
+		if !m.ErasedStub {
+			names = append(names, m.Name)
+		}
+	}
+	return strings.Join(names, ", ")
+}

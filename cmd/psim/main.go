@@ -1,0 +1,88 @@
+// psim runs random walks over the closed P program: uniformly random
+// scheduling with coin-flip `*` choices. It is the quick, unsound
+// complement to pverify — useful for smoke-testing a model and for getting
+// a feel for execution lengths before committing to systematic search.
+//
+// Usage:
+//
+//	psim -walks 100 -steps 5000 sample:german-buggy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgo/internal/check"
+	"pgo/internal/cmdutil"
+	"pgo/internal/compile"
+	"pgo/internal/trace"
+)
+
+func main() {
+	var (
+		walks = flag.Int("walks", 100, "number of random walks")
+		steps = flag.Int("steps", 10_000, "max macro steps per walk")
+		seed  = flag.Int64("seed", 1, "seed of the first walk (walk i uses seed+i)")
+		show  = flag.Bool("trace", false, "render the first violating walk's schedule")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: psim [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name, src, err := cmdutil.LoadSource(flag.Arg(0))
+	if err != nil {
+		cmdutil.Fatalf("psim: %v", err)
+	}
+	prog, diags, err := compile.Source(name, src)
+	for _, d := range diags.All() {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+
+	quiescent, violations := 0, 0
+	totalSteps := 0
+	for i := 0; i < *walks; i++ {
+		res, err := check.Simulate(prog, check.SimOptions{Seed: *seed + int64(i), MaxSteps: *steps})
+		if err != nil {
+			cmdutil.Fatalf("psim: %v", err)
+		}
+		totalSteps += res.Steps
+		if res.Quiescent {
+			quiescent++
+		}
+		if res.Violation != nil {
+			violations++
+			if violations == 1 {
+				fmt.Printf("walk %d (seed %d): VIOLATION after %d steps: %v\n",
+					i, *seed+int64(i), res.Steps, res.Violation.Err)
+				if *show {
+					if err := trace.Render(prog, res.Violation, os.Stdout); err != nil {
+						fmt.Fprintf(os.Stderr, "psim: rendering trace: %v\n", err)
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("%s: %d walks x <=%d steps: %d violating, %d quiescent, avg %d steps\n",
+		name, *walks, *steps, violations, quiescent, totalSteps/max(*walks, 1))
+	if violations == 0 {
+		fmt.Println("no violations found (random walks prove nothing; use pverify)")
+	} else {
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,256 @@
+// pverify is the systematic-testing tool for P programs (the role Zing
+// plays in the paper): it closes the program with its ghost environment and
+// explores the operational semantics with depth-bounded or delay-bounded
+// search, reporting safety violations (unhandled events, assertion failures,
+// sends to null/deleted machines), and optionally the liveness checks of
+// §3.2 on the explored state graph.
+//
+// Usage:
+//
+//	pverify [flags] <file.p | sample:NAME | ->
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pgo/internal/check"
+	"pgo/internal/cmdutil"
+	"pgo/internal/compile"
+	"pgo/internal/ir"
+	"pgo/internal/live"
+	"pgo/internal/trace"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "delay", "bounding strategy: delay, depth, or rr (round-robin ablation)")
+		bound     = flag.Int("bound", 2, "delay budget or depth bound")
+		maxStates = flag.Int("max-states", 5_000_000, "stop after this many distinct states (0 = unlimited)")
+		firstOnly = flag.Bool("first", true, "stop at the first violation")
+		liveness  = flag.Bool("liveness", false, "run the liveness checks on the explored graph")
+		ghostLive = flag.Bool("liveness-ghost", false, "apply liveness property 1 to ghost machines too")
+		traces    = flag.Bool("trace", false, "print the reproducing schedule of each violation")
+		workers   = flag.Int("workers", 1, "parallel search workers (delay mode; -1 = all cores)")
+		sweep     = flag.Int("sweep", -1, "sweep bounds 0..N and print the states-vs-bound series (Figure 7)")
+		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
+		coverage  = flag.Bool("coverage", false, "report per-machine control states the exploration never visited (implies graph collection)")
+		allViol   = flag.Int("max-violations", 20, "print at most this many violations")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pverify [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name, src, err := cmdutil.LoadSource(flag.Arg(0))
+	if err != nil {
+		cmdutil.Fatalf("pverify: %v", err)
+	}
+	prog, diags, err := compile.Source(name, src)
+	for _, d := range diags.All() {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+
+	opts := check.Options{
+		Bound:            *bound,
+		MaxStates:        *maxStates,
+		StopAtFirstError: *firstOnly,
+		CollectGraph:     *liveness || *coverage,
+	}
+	opts.Workers = *workers
+	switch *mode {
+	case "delay":
+		opts.Mode = check.DelayBounded
+	case "depth":
+		opts.Mode = check.DepthBounded
+	case "rr":
+		opts.Mode = check.RoundRobinDelay
+	default:
+		cmdutil.Fatalf("pverify: unknown mode %q (want delay, depth, or rr)", *mode)
+	}
+
+	if *sweep >= 0 {
+		series, err := check.Sweep(prog, opts, *sweep, 0)
+		if err != nil {
+			cmdutil.Fatalf("pverify: %v", err)
+		}
+		fmt.Printf("%s: %s sweep 0..%d\n", name, opts.Mode, *sweep)
+		fmt.Printf("  %6s %12s %12s %6s %10s\n", "bound", "states", "transitions", "viol", "time")
+		for _, pt := range series {
+			trunc := ""
+			if pt.Truncated {
+				trunc = " (truncated)"
+			}
+			fmt.Printf("  %6d %12d %12d %6d %10v%s\n", pt.Bound, pt.States, pt.Transitions, pt.Violations, pt.Elapsed.Round(1_000_000), trunc)
+		}
+		if check.Saturated(series) {
+			fmt.Println("  series saturated: the last bound exposed no new states")
+		}
+		return
+	}
+
+	res, err := check.Explore(prog, opts)
+	if err != nil {
+		cmdutil.Fatalf("pverify: %v", err)
+	}
+
+	if *jsonOut {
+		emitJSON(name, prog, opts, res, *liveness, *ghostLive)
+		return
+	}
+
+	st := res.Stats
+	fmt.Printf("%s: %s bound %d: %d distinct states, %d transitions, %d search nodes, max depth %d, %d quiescent, %v\n",
+		name, opts.Mode, *bound, st.DistinctStates, st.Transitions, st.SearchNodes, st.MaxDepth, st.Quiescent, st.Elapsed.Round(1_000_000))
+	if st.Truncated {
+		fmt.Println("  (search truncated)")
+	}
+
+	bad := false
+	for i, v := range res.Violations {
+		if i >= *allViol {
+			fmt.Printf("  ... and %d more violations\n", len(res.Violations)-i)
+			break
+		}
+		bad = true
+		fmt.Printf("VIOLATION: %v\n", v.Err)
+		if *traces {
+			if err := trace.Render(prog, &v, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "pverify: rendering trace: %v\n", err)
+			}
+		}
+	}
+
+	if *coverage {
+		cov := check.CoverageOf(prog, res.Graph)
+		for _, m := range prog.Machines {
+			if m.Ghost {
+				continue
+			}
+			if !cov.Instantiated[m.ID] {
+				fmt.Printf("coverage: machine %s never instantiated\n", m.Name)
+				continue
+			}
+			unvisited := cov.Unvisited(prog, m.ID)
+			if len(unvisited) == 0 {
+				fmt.Printf("coverage: machine %s: all %d states visited\n", m.Name, len(m.States))
+				continue
+			}
+			fmt.Printf("coverage: machine %s: %d of %d states never visited:", m.Name, len(unvisited), len(m.States))
+			for _, s := range unvisited {
+				fmt.Printf(" %s", m.States[s].Name)
+			}
+			fmt.Println()
+		}
+	}
+
+	if *liveness {
+		vs := live.Check(prog, res.Graph, live.Options{IncludeGhost: *ghostLive})
+		for _, v := range vs {
+			bad = true
+			fmt.Printf("VIOLATION: %v\n", v)
+		}
+		if len(vs) == 0 {
+			fmt.Println("liveness: no violations on the explored graph")
+		}
+	}
+
+	if bad {
+		os.Exit(1)
+	}
+	fmt.Println("no safety violations")
+}
+
+// jsonReport is the machine-readable result schema of -json.
+type jsonReport struct {
+	Program    string          `json:"program"`
+	Mode       string          `json:"mode"`
+	Bound      int             `json:"bound"`
+	Stats      jsonStats       `json:"stats"`
+	Violations []jsonViolation `json:"violations"`
+	Liveness   []string        `json:"liveness,omitempty"`
+	OK         bool            `json:"ok"`
+}
+
+type jsonStats struct {
+	DistinctStates int   `json:"distinct_states"`
+	Transitions    int   `json:"transitions"`
+	SearchNodes    int   `json:"search_nodes"`
+	MaxDepth       int   `json:"max_depth"`
+	Quiescent      int   `json:"quiescent"`
+	Truncated      bool  `json:"truncated"`
+	ElapsedMS      int64 `json:"elapsed_ms"`
+}
+
+type jsonViolation struct {
+	Kind     string     `json:"kind"`
+	Message  string     `json:"message"`
+	Schedule []jsonStep `json:"schedule"`
+}
+
+type jsonStep struct {
+	Machine int    `json:"machine"`
+	Type    string `json:"type"`
+	Delays  int    `json:"delays,omitempty"`
+	Choices []bool `json:"choices,omitempty"`
+	Outcome string `json:"outcome"`
+	Event   string `json:"event,omitempty"`
+}
+
+func emitJSON(name string, prog *ir.Program, opts check.Options, res *check.Result, liveOn, ghostLive bool) {
+	rep := jsonReport{
+		Program: name,
+		Mode:    opts.Mode.String(),
+		Bound:   opts.Bound,
+		Stats: jsonStats{
+			DistinctStates: res.Stats.DistinctStates,
+			Transitions:    res.Stats.Transitions,
+			SearchNodes:    res.Stats.SearchNodes,
+			MaxDepth:       res.Stats.MaxDepth,
+			Quiescent:      res.Stats.Quiescent,
+			Truncated:      res.Stats.Truncated,
+			ElapsedMS:      res.Stats.Elapsed.Milliseconds(),
+		},
+		Violations: []jsonViolation{},
+	}
+	for _, v := range res.Violations {
+		jv := jsonViolation{Kind: v.Err.Kind.String(), Message: v.Err.Error()}
+		for _, s := range v.Trace {
+			step := jsonStep{
+				Machine: int(s.Machine),
+				Type:    s.Type,
+				Delays:  s.Delays,
+				Choices: s.Choices,
+				Outcome: s.Outcome.String(),
+			}
+			if s.HasEv {
+				step.Event = prog.Events[s.Event].Name
+			}
+			jv.Schedule = append(jv.Schedule, step)
+		}
+		rep.Violations = append(rep.Violations, jv)
+	}
+	if liveOn {
+		for _, v := range live.Check(prog, res.Graph, live.Options{IncludeGhost: ghostLive}) {
+			rep.Liveness = append(rep.Liveness, v.String())
+		}
+	}
+	rep.OK = len(rep.Violations) == 0 && len(rep.Liveness) == 0
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		cmdutil.Fatalf("pverify: %v", err)
+	}
+	if !rep.OK {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+// Package pgo is a Go reproduction of "P: Safe Asynchronous Event-Driven
+// Programming" (PLDI 2013): the P domain-specific language for asynchronous
+// state machines, its type system with ghost erasure, its operational
+// semantics, a concurrent execution runtime, and the systematic-testing
+// tools (depth-bounded and delay-bounded exploration, plus the §3.2
+// liveness checks).
+//
+// The root package only carries documentation; the implementation lives in
+// the internal packages:
+//
+//	internal/lexer, parser, ast, types   P frontend (§3 syntax, §3.3 types)
+//	internal/ir                          lowered machine tables + erasure
+//	internal/core                        operational semantics (Figures 4–6)
+//	internal/check                       systematic testing (§5)
+//	internal/live                        liveness checks (§3.2)
+//	internal/runtime                     concurrent execution runtime (§4)
+//	internal/codegen                     Go code generator (§4)
+//	internal/psamples                    benchmark P programs
+//
+// Command-line tools are under cmd/ (pc, pverify, prun, pfmt) and runnable
+// examples under examples/. The benchmark harness regenerating the paper's
+// tables and figures is bench_test.go / experiments_test.go at the module
+// root; see EXPERIMENTS.md for results.
+package pgo

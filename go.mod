@@ -1,0 +1,3 @@
+module pgo
+
+go 1.22

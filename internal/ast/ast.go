@@ -1,0 +1,425 @@
+// Package ast defines syntax trees for the P surface language.
+//
+// The surface syntax is a textual rendering of the paper's core calculus
+// (Figure 3) plus the conveniences the paper compiles away with a
+// preprocessor: action bindings declared inside states, an "ignore" binding,
+// postponed-event annotations (§3.2), foreign function declarations with
+// optional ghost model bodies, and the `call` statement.
+package ast
+
+import "pgo/internal/source"
+
+// Node is implemented by every syntax tree node.
+type Node interface {
+	Span() source.Span
+}
+
+// Ident is an identifier occurrence.
+type Ident struct {
+	Name string
+	Sp   source.Span
+}
+
+func (n *Ident) Span() source.Span { return n.Sp }
+
+// TypeKind enumerates the P types.
+type TypeKind int
+
+const (
+	TypeVoid TypeKind = iota
+	TypeBool
+	TypeInt
+	TypeEvent
+	TypeID // machine identifier
+)
+
+func (k TypeKind) String() string {
+	switch k {
+	case TypeVoid:
+		return "void"
+	case TypeBool:
+		return "bool"
+	case TypeInt:
+		return "int"
+	case TypeEvent:
+		return "event"
+	case TypeID:
+		return "id"
+	default:
+		return "type(?)"
+	}
+}
+
+// TypeExpr is a type as written in the source.
+type TypeExpr struct {
+	Kind TypeKind
+	Sp   source.Span
+}
+
+func (n *TypeExpr) Span() source.Span { return n.Sp }
+
+// Program is a whole P compilation unit.
+type Program struct {
+	Events   []*EventDecl
+	Machines []*MachineDecl
+	Main     *MainDecl
+	Sp       source.Span
+}
+
+func (n *Program) Span() source.Span { return n.Sp }
+
+// EventDecl declares an event with an optional payload type.
+type EventDecl struct {
+	Name    *Ident
+	Payload *TypeExpr // nil means no payload (void)
+	Sp      source.Span
+}
+
+func (n *EventDecl) Span() source.Span { return n.Sp }
+
+// MachineDecl declares a (possibly ghost) machine.
+type MachineDecl struct {
+	Ghost   bool
+	Name    *Ident
+	Vars    []*VarDecl
+	Actions []*ActionDecl
+	States  []*StateDecl
+	Foreign []*ForeignDecl
+	Sp      source.Span
+}
+
+func (n *MachineDecl) Span() source.Span { return n.Sp }
+
+// VarDecl declares a machine-local variable.
+type VarDecl struct {
+	Ghost bool
+	Name  *Ident
+	Type  *TypeExpr
+	Sp    source.Span
+}
+
+func (n *VarDecl) Span() source.Span { return n.Sp }
+
+// ActionDecl names a reusable statement.
+type ActionDecl struct {
+	Name *Ident
+	Body *Block
+	Sp   source.Span
+}
+
+func (n *ActionDecl) Span() source.Span { return n.Sp }
+
+// ForeignDecl introduces a foreign (host-language) function in machine scope.
+// Model, if present, is an erasable P body used during verification in place
+// of the host implementation.
+type ForeignDecl struct {
+	Name   *Ident
+	Params []*TypeExpr
+	Result *TypeExpr // nil means void
+	Model  *Block    // nil means no verification model (treated as skip/⊥)
+	Sp     source.Span
+}
+
+func (n *ForeignDecl) Span() source.Span { return n.Sp }
+
+// StateDecl declares a control state.
+type StateDecl struct {
+	Name      *Ident
+	Entry     *Block   // nil means skip
+	Exit      *Block   // nil means skip
+	Deferred  []*Ident // deferred events
+	Postponed []*Ident // postponed events (liveness annotation, §3.2)
+	Trans     []*TransDecl
+	Sp        source.Span
+}
+
+func (n *StateDecl) Span() source.Span { return n.Sp }
+
+// TransKind distinguishes the handlers a state can attach to an event.
+type TransKind int
+
+const (
+	// TransStep is a step transition: on E goto S.
+	TransStep TransKind = iota
+	// TransCall is a call transition: on E push S.
+	TransCall
+	// TransAction binds an action: on E do A.
+	TransAction
+	// TransIgnore drops the event: on E ignore (sugar for a no-op action).
+	TransIgnore
+)
+
+// TransDecl is a transition or action binding declared in a state.
+type TransDecl struct {
+	Kind   TransKind
+	Event  *Ident
+	Target *Ident // state for Step/Call, action for Action, nil for Ignore
+	Sp     source.Span
+}
+
+func (n *TransDecl) Span() source.Span { return n.Sp }
+
+// MainDecl is the program's initialization statement: the machine the
+// verifier instantiates first, with variable initializers.
+type MainDecl struct {
+	Machine *Ident
+	Inits   []*Init
+	Sp      source.Span
+}
+
+func (n *MainDecl) Span() source.Span { return n.Sp }
+
+// Init is a single "x = expr" initializer in new or main.
+type Init struct {
+	Name *Ident
+	Expr Expr
+	Sp   source.Span
+}
+
+func (n *Init) Span() source.Span { return n.Sp }
+
+// ---------------------------------------------------------------- statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a braced statement sequence.
+type Block struct {
+	Stmts []Stmt
+	Sp    source.Span
+}
+
+func (n *Block) Span() source.Span { return n.Sp }
+func (n *Block) stmt()             {}
+
+// SkipStmt is the no-op statement.
+type SkipStmt struct{ Sp source.Span }
+
+func (n *SkipStmt) Span() source.Span { return n.Sp }
+func (n *SkipStmt) stmt()             {}
+
+// AssignStmt is "x = expr;".
+type AssignStmt struct {
+	Name *Ident
+	Expr Expr
+	Sp   source.Span
+}
+
+func (n *AssignStmt) Span() source.Span { return n.Sp }
+func (n *AssignStmt) stmt()             {}
+
+// NewStmt is "x = new M(inits);".
+type NewStmt struct {
+	Name    *Ident // assignment target
+	Machine *Ident
+	Inits   []*Init
+	Sp      source.Span
+}
+
+func (n *NewStmt) Span() source.Span { return n.Sp }
+func (n *NewStmt) stmt()             {}
+
+// DeleteStmt terminates the executing machine.
+type DeleteStmt struct{ Sp source.Span }
+
+func (n *DeleteStmt) Span() source.Span { return n.Sp }
+func (n *DeleteStmt) stmt()             {}
+
+// SendStmt is "send target, Event[, payload];".
+type SendStmt struct {
+	Target  Expr
+	Event   *Ident
+	Payload Expr // nil means null
+	Sp      source.Span
+}
+
+func (n *SendStmt) Span() source.Span { return n.Sp }
+func (n *SendStmt) stmt()             {}
+
+// RaiseStmt is "raise Event[, payload];".
+type RaiseStmt struct {
+	Event   *Ident
+	Payload Expr // nil means null
+	Sp      source.Span
+}
+
+func (n *RaiseStmt) Span() source.Span { return n.Sp }
+func (n *RaiseStmt) stmt()             {}
+
+// LeaveStmt jumps to the end of the entry statement to await an event.
+type LeaveStmt struct{ Sp source.Span }
+
+func (n *LeaveStmt) Span() source.Span { return n.Sp }
+func (n *LeaveStmt) stmt()             {}
+
+// ReturnStmt pops the current state off the call stack.
+type ReturnStmt struct{ Sp source.Span }
+
+func (n *ReturnStmt) Span() source.Span { return n.Sp }
+func (n *ReturnStmt) stmt()             {}
+
+// AssertStmt is "assert expr;".
+type AssertStmt struct {
+	Expr Expr
+	Sp   source.Span
+}
+
+func (n *AssertStmt) Span() source.Span { return n.Sp }
+func (n *AssertStmt) stmt()             {}
+
+// IfStmt is "if expr { } [else ...]".
+type IfStmt struct {
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+	Sp   source.Span
+}
+
+func (n *IfStmt) Span() source.Span { return n.Sp }
+func (n *IfStmt) stmt()             {}
+
+// WhileStmt is "while expr { }".
+type WhileStmt struct {
+	Cond Expr
+	Body *Block
+	Sp   source.Span
+}
+
+func (n *WhileStmt) Span() source.Span { return n.Sp }
+func (n *WhileStmt) stmt()             {}
+
+// CallStmt is "call S;" — push state S with a saved continuation.
+type CallStmt struct {
+	State *Ident
+	Sp    source.Span
+}
+
+func (n *CallStmt) Span() source.Span { return n.Sp }
+func (n *CallStmt) stmt()             {}
+
+// ExprStmt is a foreign call used as a statement: "f(args);".
+type ExprStmt struct {
+	Call *CallExpr
+	Sp   source.Span
+}
+
+func (n *ExprStmt) Span() source.Span { return n.Sp }
+func (n *ExprStmt) stmt()             {}
+
+// --------------------------------------------------------------- expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// LitKind enumerates literal expression forms.
+type LitKind int
+
+const (
+	LitInt LitKind = iota
+	LitTrue
+	LitFalse
+	LitNull // the ⊥ constant
+	LitThis
+	LitMsg
+	LitArg
+	LitChoose // the nondeterministic "*" expression
+)
+
+// Lit is a literal or special-variable expression.
+type Lit struct {
+	Kind LitKind
+	Int  int64 // valid when Kind == LitInt
+	Sp   source.Span
+}
+
+func (n *Lit) Span() source.Span { return n.Sp }
+func (n *Lit) expr()             {}
+
+// NameExpr references a variable, an event (as a value), or is resolved
+// later by the type checker.
+type NameExpr struct {
+	Name *Ident
+	Sp   source.Span
+}
+
+func (n *NameExpr) Span() source.Span { return n.Sp }
+func (n *NameExpr) expr()             {}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+const (
+	OpNot UnaryOp = iota // !
+	OpNeg                // -
+)
+
+func (op UnaryOp) String() string {
+	if op == OpNot {
+		return "!"
+	}
+	return "-"
+}
+
+// UnaryExpr is "!e" or "-e".
+type UnaryExpr struct {
+	Op UnaryOp
+	X  Expr
+	Sp source.Span
+}
+
+func (n *UnaryExpr) Span() source.Span { return n.Sp }
+func (n *UnaryExpr) expr()             {}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+func (op BinaryOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return "op(?)"
+}
+
+// BinaryExpr is "x op y".
+type BinaryExpr struct {
+	Op   BinaryOp
+	X, Y Expr
+	Sp   source.Span
+}
+
+func (n *BinaryExpr) Span() source.Span { return n.Sp }
+func (n *BinaryExpr) expr()             {}
+
+// CallExpr is a foreign function call "f(args)".
+type CallExpr struct {
+	Name *Ident
+	Args []Expr
+	Sp   source.Span
+}
+
+func (n *CallExpr) Span() source.Span { return n.Sp }
+func (n *CallExpr) expr()             {}

@@ -1,0 +1,271 @@
+// Package check implements systematic testing of P programs (§5 of the
+// paper): explicit-state exploration of the closed program's operational
+// semantics with the two bounding techniques the paper uses — depth
+// bounding and delay-bounded scheduling with a causal-order delaying
+// scheduler — plus the safety checks of Figure 6.
+//
+// The explorer interprets internal/core directly (the role Zing plays in
+// the paper). Context switches happen only after sends and machine
+// creations, the paper's atomicity reduction.
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// Mode selects the bounding strategy.
+type Mode int
+
+const (
+	// DepthBounded explores all interleavings up to a macro-step depth.
+	DepthBounded Mode = iota
+	// DelayBounded explores the schedules of the causal delaying scheduler
+	// within a delay budget.
+	DelayBounded
+	// RoundRobinDelay is an ablation: a delaying scheduler whose base order
+	// is round-robin over machine ids instead of the causal stack. The
+	// paper's claim is that the causal order finds bugs at lower delay
+	// budgets; this mode provides the comparison point.
+	RoundRobinDelay
+)
+
+func (m Mode) String() string {
+	switch m {
+	case DepthBounded:
+		return "depth-bounded"
+	case DelayBounded:
+		return "delay-bounded"
+	case RoundRobinDelay:
+		return "round-robin-delay"
+	default:
+		return "mode(?)"
+	}
+}
+
+// Options configures an exploration.
+type Options struct {
+	Mode Mode
+	// Bound is the depth bound (macro steps) or the delay budget.
+	Bound int
+	// MaxStates stops the search after this many distinct global states
+	// (0 = unlimited). The search result is then marked truncated.
+	MaxStates int
+	// MaxLocalSteps bounds the small steps inside one atomic handler; an
+	// overrun is a divergence violation (0 = core.DefaultMaxSteps).
+	MaxLocalSteps int
+	// StopAtFirstError ends the search at the first violation.
+	StopAtFirstError bool
+	// CollectGraph retains the explored state graph for liveness analysis.
+	CollectGraph bool
+	// Foreign supplies host foreign functions usable during verification
+	// (pure data-path helpers); model bodies still take precedence.
+	Foreign core.ForeignEnv
+	// Progress, if non-nil, receives the running distinct-state count.
+	Progress func(states int)
+	// DisableDedup turns off the ⊕ queue dedup append (flooding ablation).
+	DisableDedup bool
+	// FineGrained also treats every event dequeue as a scheduling point,
+	// ablating §5's atomicity reduction.
+	FineGrained bool
+	// Workers > 1 runs the delay-bounded search with that many goroutines
+	// (0 or 1 = serial; negative = GOMAXPROCS). Only DelayBounded mode
+	// parallelizes; other modes ignore Workers.
+	Workers int
+}
+
+// TraceStep is one scheduling decision, sufficient to replay a violation.
+type TraceStep struct {
+	Machine core.MachineID
+	Type    string // machine type name
+	Delays  int    // delays applied before this step (delay-bounded mode)
+	Choices []bool // `*` outcomes consumed during the step
+	Outcome core.OutKind
+	Event   ir.EventID // sent event, when Outcome == OutSend
+	HasEv   bool
+}
+
+func (s TraceStep) String() string {
+	d := ""
+	if s.Delays > 0 {
+		d = fmt.Sprintf(" after %d delays", s.Delays)
+	}
+	return fmt.Sprintf("%s#%d %s%s", s.Type, s.Machine, s.Outcome, d)
+}
+
+// Violation is a safety violation with its reproducing schedule.
+type Violation struct {
+	Err   *core.Err
+	Trace []TraceStep
+}
+
+func (v *Violation) String() string {
+	return fmt.Sprintf("%v (schedule length %d)", v.Err, len(v.Trace))
+}
+
+// Stats summarizes an exploration.
+type Stats struct {
+	DistinctStates int // distinct global configurations discovered
+	Transitions    int // macro steps executed
+	SearchNodes    int // scheduler-state-qualified nodes visited
+	MaxDepth       int
+	Quiescent      int // terminal states with no enabled machine
+	Truncated      bool
+	Elapsed        time.Duration
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	Violations []Violation
+	Stats      Stats
+	Graph      *Graph // non-nil iff Options.CollectGraph
+}
+
+// Errored reports whether any violation was found.
+func (r *Result) Errored() bool { return len(r.Violations) > 0 }
+
+// FirstViolation returns the first violation or nil.
+func (r *Result) FirstViolation() *Violation {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return &r.Violations[0]
+}
+
+// Explore runs the configured search over prog, starting from the closed
+// program's initial configuration (one instance of the main machine).
+func Explore(prog *ir.Program, opts Options) (*Result, error) {
+	e := &explorer{prog: prog, opts: opts}
+	if opts.CollectGraph {
+		e.graph = NewGraph()
+	}
+	start := time.Now()
+	g := core.NewGlobal(prog, opts.Foreign)
+	g.DisableDedup = opts.DisableDedup
+	g.YieldOnDequeue = opts.FineGrained
+	if _, err := g.CreateMain(); err != nil {
+		return nil, fmt.Errorf("check: creating main machine: %w", err)
+	}
+	switch opts.Mode {
+	case DepthBounded:
+		e.depthBounded(g)
+	case DelayBounded:
+		if opts.Workers > 1 || opts.Workers < 0 {
+			e.parallelDelayBounded(g, opts.Workers)
+		} else {
+			e.delayBounded(g)
+		}
+	case RoundRobinDelay:
+		e.roundRobinDelay(g)
+	default:
+		return nil, fmt.Errorf("check: unknown mode %d", opts.Mode)
+	}
+	e.result.Stats.Elapsed = time.Since(start)
+	e.result.Graph = e.graph
+	return &e.result, nil
+}
+
+type explorer struct {
+	prog   *ir.Program
+	opts   Options
+	result Result
+	graph  *Graph
+
+	// states holds the distinct global fingerprints discovered.
+	states map[string]struct{}
+	// stop is set when the search should end (first error, state cap).
+	stop bool
+}
+
+// noteState registers a global fingerprint, returning true if it is new.
+func (e *explorer) noteState(fp string) bool {
+	if e.states == nil {
+		e.states = map[string]struct{}{}
+	}
+	if _, ok := e.states[fp]; ok {
+		return false
+	}
+	e.states[fp] = struct{}{}
+	e.result.Stats.DistinctStates++
+	if e.opts.Progress != nil {
+		e.opts.Progress(e.result.Stats.DistinctStates)
+	}
+	if e.opts.MaxStates > 0 && e.result.Stats.DistinctStates >= e.opts.MaxStates {
+		e.result.Stats.Truncated = true
+		e.stop = true
+	}
+	return true
+}
+
+func (e *explorer) addViolation(err *core.Err, trace []TraceStep) {
+	e.result.Violations = append(e.result.Violations, Violation{
+		Err:   err,
+		Trace: append([]TraceStep(nil), trace...),
+	})
+	if e.opts.StopAtFirstError {
+		e.stop = true
+	}
+}
+
+// successor holds one expanded macro step from a search node.
+type successor struct {
+	global  *core.Global
+	outcome core.Outcome
+	choices []bool
+	fp      string
+}
+
+// maxChoiceStrings caps the `*` choice strings enumerated per macro step.
+// A well-formed ghost machine reaches a scheduling point after a bounded
+// number of choices; the cap is a defense against ghost code that loops on
+// choices without ever sending (the overflow marks the search truncated).
+const maxChoiceStrings = 4096
+
+// expand runs machine id from g under every `*` choice string and returns
+// the successors. Errors are recorded as violations immediately (using
+// trace + the failing step).
+func (e *explorer) expand(g *core.Global, id core.MachineID, trace []TraceStep, delays int) []successor {
+	var succs []successor
+	cs := &core.FixedChoices{}
+	for tries := 0; ; tries++ {
+		if tries >= maxChoiceStrings {
+			e.result.Stats.Truncated = true
+			return succs
+		}
+		clone := g.Clone()
+		cs.Reset()
+		out := clone.RunToSchedPoint(id, cs, e.opts.MaxLocalSteps)
+		e.result.Stats.Transitions++
+		bits := append([]bool(nil), cs.Bits...)
+		step := TraceStep{
+			Machine: id,
+			Type:    e.prog.Machines[g.Lookup(id).Type].Name,
+			Delays:  delays,
+			Choices: bits,
+			Outcome: out.Kind,
+		}
+		if out.Kind == core.OutSend {
+			step.Event = out.SentEvent
+			step.HasEv = true
+		}
+		if out.Kind == core.OutError {
+			e.addViolation(out.Err, append(trace, step))
+			if e.stop {
+				return succs
+			}
+		} else {
+			succs = append(succs, successor{
+				global:  clone,
+				outcome: out,
+				choices: bits,
+				fp:      clone.Fingerprint(),
+			})
+		}
+		if !cs.NextString() {
+			return succs
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package check
+
+import (
+	"pgo/internal/ir"
+)
+
+// Coverage reports, per machine type, which control states were occupied by
+// some instance somewhere in the explored graph. A state the exploration
+// never reaches is either dead design or a sign the bound (or the ghost
+// environment) is too weak to drive the machine there — the paper's USB
+// effort used "fine-grained and explicit states for each step", and this
+// report shows which of them verification actually visited.
+//
+// Snapshots are taken at scheduling points, so a transient state whose
+// entry statement always raises (a pure dispatch state like the elevator's
+// ReturnState) is never observed even though control passes through it;
+// such states showing up as unvisited is expected.
+type Coverage struct {
+	// Visited[t][s] is true if some instance of machine type t was observed
+	// in state s.
+	Visited map[ir.MachineTypeID][]bool
+	// Instantiated[t] is true if an instance of t ever existed.
+	Instantiated map[ir.MachineTypeID]bool
+}
+
+// CoverageOf scans the graph's snapshots.
+func CoverageOf(prog *ir.Program, g *Graph) *Coverage {
+	cov := &Coverage{
+		Visited:      map[ir.MachineTypeID][]bool{},
+		Instantiated: map[ir.MachineTypeID]bool{},
+	}
+	for _, m := range prog.Machines {
+		cov.Visited[m.ID] = make([]bool, len(m.States))
+	}
+	for _, node := range g.Nodes {
+		for _, snap := range node.Machines {
+			cov.Instantiated[snap.Type] = true
+			if snap.CurState >= 0 && int(snap.CurState) < len(cov.Visited[snap.Type]) {
+				cov.Visited[snap.Type][snap.CurState] = true
+			}
+		}
+	}
+	return cov
+}
+
+// Unvisited returns the states of machine type t never observed (nil when
+// the type was never instantiated — everything would be trivially
+// unvisited).
+func (c *Coverage) Unvisited(prog *ir.Program, t ir.MachineTypeID) []ir.StateID {
+	if !c.Instantiated[t] {
+		return nil
+	}
+	var out []ir.StateID
+	for s, seen := range c.Visited[t] {
+		if !seen {
+			out = append(out, ir.StateID(s))
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package check
+
+import (
+	"strconv"
+	"strings"
+
+	"pgo/internal/core"
+)
+
+// The delaying scheduler of §5. It maintains a stack S of machine ids and a
+// delay budget:
+//
+//   - the machine on top of S is always the one scheduled next;
+//   - when the scheduled machine creates m', m' is pushed;
+//   - when it sends to m' and m' ∉ S, m' is pushed — so control follows the
+//     causal chain of the message;
+//   - a delay moves the top of S to the bottom and consumes budget;
+//   - a machine that blocks (or halts) is popped.
+//
+// With budget d the explorer branches over every number of delays at every
+// scheduling point, subject to the budget; delays that merely rotate a
+// disabled machine to the top implicitly pop it.
+
+// schedStack is the delaying scheduler's stack. The last element is the top.
+type schedStack []core.MachineID
+
+func (s schedStack) top() core.MachineID { return s[len(s)-1] }
+
+func (s schedStack) contains(id core.MachineID) bool {
+	for _, m := range s {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s schedStack) clone() schedStack { return append(schedStack(nil), s...) }
+
+// rotate1 moves the top to the bottom (one delay).
+func (s schedStack) rotate1() schedStack {
+	if len(s) < 2 {
+		return s
+	}
+	out := make(schedStack, 0, len(s))
+	out = append(out, s[len(s)-1])
+	out = append(out, s[:len(s)-1]...)
+	return out
+}
+
+// popDisabled removes disabled or halted machines from the top; they would
+// be scheduled and immediately yield.
+func (s schedStack) popDisabled(g *core.Global) schedStack {
+	out := s
+	for len(out) > 0 && !g.Enabled(out[len(out)-1]) {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func (s schedStack) key() string {
+	var b strings.Builder
+	for _, id := range s {
+		b.WriteString(strconv.Itoa(int(id)))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// scheduleOption is one way to pick the next machine: apply cost delays,
+// leaving the stack in stack (top = the machine to run).
+type scheduleOption struct {
+	cost  int
+	stack schedStack
+}
+
+// options enumerates the schedulable machines reachable within the
+// remaining delay budget: walking the rotation cycle of the stack, popping
+// disabled machines for free, stopping after a full cycle.
+func scheduleOptions(g *core.Global, s schedStack, remaining int) []scheduleOption {
+	var opts []scheduleOption
+	cur := s.clone().popDisabled(g)
+	cost := 0
+	seen := map[string]bool{}
+	for len(cur) > 0 && cost <= remaining {
+		k := cur.key()
+		if seen[k] {
+			break
+		}
+		seen[k] = true
+		opts = append(opts, scheduleOption{cost: cost, stack: cur.clone()})
+		if len(cur) < 2 {
+			break
+		}
+		cur = cur.rotate1().popDisabled(g)
+		cost++
+	}
+	return opts
+}
+
+// delayBounded explores the delaying scheduler's schedules within the
+// Options.Bound delay budget.
+func (e *explorer) delayBounded(g0 *core.Global) {
+	budget := e.opts.Bound
+	type node struct {
+		g      *core.Global
+		stack  schedStack
+		delays int
+		depth  int
+		trace  []TraceStep
+	}
+
+	fp0 := g0.Fingerprint()
+	e.noteState(fp0)
+	if e.graph != nil {
+		e.graph.Init = e.graph.Node(fp0, g0)
+	}
+
+	// visited maps (global fingerprint, stack) to the smallest delay count
+	// it was expanded with; a revisit with at least as many delays used can
+	// only explore a subset of schedules.
+	visited := map[string]int{}
+	initStack := schedStack{g0.LiveIDs()[0]}
+	visited[fp0+"|"+initStack.key()] = 0
+
+	stack := []node{{g: g0, stack: initStack}}
+	for len(stack) > 0 && !e.stop {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.result.Stats.SearchNodes++
+		if n.depth > e.result.Stats.MaxDepth {
+			e.result.Stats.MaxDepth = n.depth
+		}
+
+		sched := n.stack.popDisabled(n.g)
+		if len(sched) == 0 {
+			// Defensive: the invariant is that every enabled machine is on
+			// the stack; re-seed if an enabled machine exists anyway.
+			var enabled []core.MachineID
+			for _, id := range n.g.LiveIDs() {
+				if n.g.Enabled(id) {
+					enabled = append(enabled, id)
+				}
+			}
+			if len(enabled) == 0 {
+				e.result.Stats.Quiescent++
+				continue
+			}
+			sched = schedStack{enabled[0]}
+		}
+
+		var fromNode NodeID
+		if e.graph != nil {
+			fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+		}
+
+		for _, opt := range scheduleOptions(n.g, sched, budget-n.delays) {
+			id := opt.stack.top()
+			for _, s := range e.expand(n.g, id, n.trace, opt.cost) {
+				if e.stop {
+					return
+				}
+				e.noteState(s.fp)
+				if e.graph != nil {
+					to := e.graph.Node(s.fp, s.global)
+					e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
+				}
+				next := updateStack(opt.stack, id, s.outcome)
+				delays := n.delays + opt.cost
+				key := s.fp + "|" + next.key()
+				if prev, ok := visited[key]; ok && prev <= delays {
+					continue
+				}
+				visited[key] = delays
+				step := TraceStep{
+					Machine: id,
+					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
+					Delays:  opt.cost,
+					Choices: s.choices,
+					Outcome: s.outcome.Kind,
+				}
+				if s.outcome.Kind == core.OutSend {
+					step.Event = s.outcome.SentEvent
+					step.HasEv = true
+				}
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = step
+				stack = append(stack, node{g: s.global, stack: next, delays: delays, depth: n.depth + 1, trace: trace})
+			}
+			if e.stop {
+				return
+			}
+		}
+	}
+}
+
+// updateStack applies the scheduler's stack rules after machine id ran one
+// macro step from the given stack (id on top).
+func updateStack(s schedStack, id core.MachineID, out core.Outcome) schedStack {
+	next := s.clone()
+	switch out.Kind {
+	case core.OutSend:
+		if !next.contains(out.SentTo) {
+			next = append(next, out.SentTo)
+		}
+	case core.OutNew:
+		next = append(next, out.Created)
+	case core.OutBlocked, core.OutHalted:
+		// Pop the machine (it is on top).
+		if len(next) > 0 && next.top() == id {
+			next = next[:len(next)-1]
+		}
+	}
+	return next
+}

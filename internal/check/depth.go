@@ -1,0 +1,83 @@
+package check
+
+import (
+	"pgo/internal/core"
+)
+
+// depthBounded explores all machine interleavings up to Options.Bound macro
+// steps with a depth-first search. A state reached at depth d is re-expanded
+// only if rediscovered at a strictly smaller depth, so every execution of
+// length <= Bound is covered.
+func (e *explorer) depthBounded(g0 *core.Global) {
+	bound := e.opts.Bound
+	type node struct {
+		g     *core.Global
+		depth int
+		trace []TraceStep
+	}
+
+	visited := map[string]int{} // fingerprint -> smallest depth expanded
+	fp0 := g0.Fingerprint()
+	e.noteState(fp0)
+	visited[fp0] = 0
+	var init NodeID
+	if e.graph != nil {
+		init = e.graph.Node(fp0, g0)
+		e.graph.Init = init
+	}
+
+	stack := []node{{g: g0, depth: 0}}
+	for len(stack) > 0 && !e.stop {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.result.Stats.SearchNodes++
+		if n.depth > e.result.Stats.MaxDepth {
+			e.result.Stats.MaxDepth = n.depth
+		}
+		if bound > 0 && n.depth >= bound {
+			continue
+		}
+		var fromNode NodeID
+		if e.graph != nil {
+			fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+		}
+		anyEnabled := false
+		for _, id := range n.g.LiveIDs() {
+			if !n.g.Enabled(id) {
+				continue
+			}
+			anyEnabled = true
+			for _, s := range e.expand(n.g, id, n.trace, 0) {
+				if e.stop {
+					return
+				}
+				e.noteState(s.fp)
+				if e.graph != nil {
+					to := e.graph.Node(s.fp, s.global)
+					e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
+				}
+				nd := n.depth + 1
+				if prev, ok := visited[s.fp]; ok && prev <= nd {
+					continue
+				}
+				visited[s.fp] = nd
+				step := TraceStep{
+					Machine: id,
+					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
+					Choices: s.choices,
+					Outcome: s.outcome.Kind,
+				}
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = step
+				stack = append(stack, node{g: s.global, depth: nd, trace: trace})
+			}
+			if e.stop {
+				return
+			}
+		}
+		if !anyEnabled {
+			e.result.Stats.Quiescent++
+		}
+	}
+}

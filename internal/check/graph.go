@@ -1,0 +1,114 @@
+package check
+
+import (
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// NodeID indexes Graph.Nodes.
+type NodeID int
+
+// MachineSnap is the per-machine information the liveness checker needs at
+// a state-graph node.
+type MachineSnap struct {
+	ID      core.MachineID
+	Type    ir.MachineTypeID
+	Ghost   bool
+	Enabled bool
+	// CurState is the machine's current control state (-1 if halted).
+	CurState ir.StateID
+	// Queue is the machine's pending input events.
+	Queue []core.QEntry
+	// Postponed is the postponed set of the machine's current state (§3.2).
+	Postponed ir.EventSet
+}
+
+// NodeInfo is a state-graph node: a global configuration summary.
+type NodeInfo struct {
+	Machines []MachineSnap
+}
+
+// Edge is a labeled transition of the state graph: machine Machine ran one
+// macro step, dequeuing Dequeued from its own queue along the way.
+type Edge struct {
+	To       NodeID
+	Machine  core.MachineID
+	Dequeued []core.QEntry
+}
+
+// Graph is the explored state graph, used by the liveness checker
+// (internal/live).
+type Graph struct {
+	ids   map[string]NodeID
+	Nodes []NodeInfo
+	Edges [][]Edge
+	Init  NodeID
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{ids: map[string]NodeID{}}
+}
+
+// Len returns the number of nodes.
+func (gr *Graph) Len() int { return len(gr.Nodes) }
+
+// Node interns the global configuration with fingerprint fp, snapshotting g
+// on first sight, and returns its id.
+func (gr *Graph) Node(fp string, g *core.Global) NodeID {
+	if id, ok := gr.ids[fp]; ok {
+		return id
+	}
+	id := NodeID(len(gr.Nodes))
+	gr.ids[fp] = id
+	gr.Nodes = append(gr.Nodes, snapshot(g))
+	gr.Edges = append(gr.Edges, nil)
+	return id
+}
+
+// AddEdge records a macro step between interned nodes. Parallel edges with
+// identical labels are deduplicated.
+func (gr *Graph) AddEdge(from, to NodeID, machine core.MachineID, dequeued []core.QEntry) {
+	for _, e := range gr.Edges[from] {
+		if e.To == to && e.Machine == machine && qEqual(e.Dequeued, dequeued) {
+			return
+		}
+	}
+	gr.Edges[from] = append(gr.Edges[from], Edge{To: to, Machine: machine, Dequeued: append([]core.QEntry(nil), dequeued...)})
+}
+
+func qEqual(a, b []core.QEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func snapshot(g *core.Global) NodeInfo {
+	var info NodeInfo
+	for _, id := range g.IDs() {
+		c := g.Lookup(id)
+		if c == nil {
+			continue
+		}
+		mt := g.Prog.Machines[c.Type]
+		snap := MachineSnap{
+			ID:      id,
+			Type:    c.Type,
+			Ghost:   mt.Ghost,
+			Enabled: g.Enabled(id),
+			Queue:   append([]core.QEntry(nil), c.Queue...),
+		}
+		snap.CurState = c.CurrentState()
+		if snap.CurState >= 0 {
+			snap.Postponed = mt.States[snap.CurState].Postponed
+		}
+		info.Machines = append(info.Machines, snap)
+	}
+	return info
+}

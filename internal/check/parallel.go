@@ -1,0 +1,340 @@
+package check
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pgo/internal/core"
+)
+
+// The parallel delay-bounded explorer. The paper notes the USB verification
+// runs "used multicores to scale the state exploration"; this is the same
+// idea. Node expansion (clone + macro-step + fingerprint) runs without any
+// lock; the distinct-state set and the (state, scheduler-stack) visited map
+// are sharded dictionaries so dedup scales; the work queue is a single
+// locked LIFO (its critical section is tiny); statistics are atomics merged
+// into Result at the end.
+//
+// The set of distinct states discovered is identical to the serial search;
+// violation order may differ between runs.
+
+const pshards = 64
+
+var pseed = maphash.MakeSeed()
+
+func shardOf(key string) int {
+	return int(maphash.String(pseed, key) % pshards)
+}
+
+// shardedStates is the distinct-fingerprint set.
+type shardedStates struct {
+	shards [pshards]struct {
+		mu sync.Mutex
+		m  map[string]struct{}
+	}
+	count atomic.Int64
+}
+
+func newShardedStates() *shardedStates {
+	s := &shardedStates{}
+	for i := range s.shards {
+		s.shards[i].m = map[string]struct{}{}
+	}
+	return s
+}
+
+// add inserts fp, reporting whether it was new.
+func (s *shardedStates) add(fp string) bool {
+	sh := &s.shards[shardOf(fp)]
+	sh.mu.Lock()
+	_, ok := sh.m[fp]
+	if !ok {
+		sh.m[fp] = struct{}{}
+	}
+	sh.mu.Unlock()
+	if !ok {
+		s.count.Add(1)
+	}
+	return !ok
+}
+
+// shardedVisited is the (fingerprint|stack) -> min-delays map.
+type shardedVisited struct {
+	shards [pshards]struct {
+		mu sync.Mutex
+		m  map[string]int
+	}
+}
+
+func newShardedVisited() *shardedVisited {
+	v := &shardedVisited{}
+	for i := range v.shards {
+		v.shards[i].m = map[string]int{}
+	}
+	return v
+}
+
+// claim records delays for key unless an entry with <= delays exists; it
+// reports whether the caller should expand the node.
+func (v *shardedVisited) claim(key string, delays int) bool {
+	sh := &v.shards[shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.m[key]; ok && prev <= delays {
+		return false
+	}
+	sh.m[key] = delays
+	return true
+}
+
+type pnode struct {
+	g      *core.Global
+	stack  schedStack
+	delays int
+	depth  int
+	trace  []TraceStep
+}
+
+type pexplorer struct {
+	e      *explorer
+	budget int
+
+	states  *shardedStates
+	visited *shardedVisited
+
+	transitions atomic.Int64
+	searchNodes atomic.Int64
+	maxDepth    atomic.Int64
+	quiescent   atomic.Int64
+	truncated   atomic.Bool
+	stopped     atomic.Bool
+
+	vmu sync.Mutex // guards violations + graph
+
+	qmu         sync.Mutex
+	qcond       *sync.Cond
+	work        []pnode
+	outstanding int
+}
+
+// parallelDelayBounded explores like delayBounded with workers goroutines.
+func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pexplorer{
+		e:       e,
+		budget:  e.opts.Bound,
+		states:  newShardedStates(),
+		visited: newShardedVisited(),
+	}
+	p.qcond = sync.NewCond(&p.qmu)
+
+	fp0 := g0.Fingerprint()
+	p.noteState(fp0)
+	if e.graph != nil {
+		e.graph.Init = e.graph.Node(fp0, g0)
+	}
+	initStack := schedStack{g0.LiveIDs()[0]}
+	p.visited.claim(fp0+"|"+initStack.key(), 0)
+
+	p.work = append(p.work, pnode{g: g0, stack: initStack})
+	p.outstanding = 1
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.worker()
+		}()
+	}
+	wg.Wait()
+
+	// Merge the atomics into the explorer's result.
+	e.result.Stats.DistinctStates = int(p.states.count.Load())
+	e.result.Stats.Transitions += int(p.transitions.Load())
+	e.result.Stats.SearchNodes += int(p.searchNodes.Load())
+	e.result.Stats.Quiescent += int(p.quiescent.Load())
+	if d := int(p.maxDepth.Load()); d > e.result.Stats.MaxDepth {
+		e.result.Stats.MaxDepth = d
+	}
+	if p.truncated.Load() {
+		e.result.Stats.Truncated = true
+	}
+}
+
+// noteState registers a fingerprint, handling the MaxStates cap and the
+// progress callback.
+func (p *pexplorer) noteState(fp string) {
+	if !p.states.add(fp) {
+		return
+	}
+	n := int(p.states.count.Load())
+	if p.e.opts.Progress != nil {
+		p.vmu.Lock()
+		p.e.opts.Progress(n)
+		p.vmu.Unlock()
+	}
+	if p.e.opts.MaxStates > 0 && n >= p.e.opts.MaxStates {
+		p.truncated.Store(true)
+		p.stop()
+	}
+}
+
+func (p *pexplorer) stop() {
+	if p.stopped.Swap(true) {
+		return
+	}
+	p.qmu.Lock()
+	p.qcond.Broadcast()
+	p.qmu.Unlock()
+}
+
+// take pops a node, blocking until work exists or the search is complete.
+func (p *pexplorer) take() (pnode, bool) {
+	p.qmu.Lock()
+	defer p.qmu.Unlock()
+	for {
+		if p.stopped.Load() || (len(p.work) == 0 && p.outstanding == 0) {
+			p.qcond.Broadcast()
+			return pnode{}, false
+		}
+		if len(p.work) > 0 {
+			n := p.work[len(p.work)-1]
+			p.work = p.work[:len(p.work)-1]
+			return n, true
+		}
+		p.qcond.Wait()
+	}
+}
+
+// finish marks one taken node fully expanded.
+func (p *pexplorer) finish() {
+	p.qmu.Lock()
+	p.outstanding--
+	if p.outstanding == 0 && len(p.work) == 0 {
+		p.qcond.Broadcast()
+	}
+	p.qmu.Unlock()
+}
+
+// push enqueues a successor node.
+func (p *pexplorer) push(n pnode) {
+	p.qmu.Lock()
+	p.work = append(p.work, n)
+	p.outstanding++
+	p.qcond.Signal()
+	p.qmu.Unlock()
+}
+
+func (p *pexplorer) worker() {
+	for {
+		n, ok := p.take()
+		if !ok {
+			return
+		}
+		p.expandNode(n)
+		p.finish()
+	}
+}
+
+func (p *pexplorer) addViolation(err *core.Err, trace []TraceStep) {
+	p.vmu.Lock()
+	p.e.result.Violations = append(p.e.result.Violations, Violation{Err: err, Trace: trace})
+	p.vmu.Unlock()
+	if p.e.opts.StopAtFirstError {
+		p.stop()
+	}
+}
+
+// expandNode performs the per-node work of delayBounded without any global
+// lock: schedule options, choice-string expansion, sharded dedup.
+func (p *pexplorer) expandNode(n pnode) {
+	e := p.e
+	p.searchNodes.Add(1)
+	for {
+		d := p.maxDepth.Load()
+		if int64(n.depth) <= d || p.maxDepth.CompareAndSwap(d, int64(n.depth)) {
+			break
+		}
+	}
+
+	sched := n.stack.popDisabled(n.g)
+	if len(sched) == 0 {
+		var enabled []core.MachineID
+		for _, id := range n.g.LiveIDs() {
+			if n.g.Enabled(id) {
+				enabled = append(enabled, id)
+			}
+		}
+		if len(enabled) == 0 {
+			p.quiescent.Add(1)
+			return
+		}
+		sched = schedStack{enabled[0]}
+	}
+
+	var fromNode NodeID
+	if e.graph != nil {
+		p.vmu.Lock()
+		fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+		p.vmu.Unlock()
+	}
+
+	for _, opt := range scheduleOptions(n.g, sched, p.budget-n.delays) {
+		id := opt.stack.top()
+		cs := &core.FixedChoices{}
+		for tries := 0; ; tries++ {
+			if tries >= maxChoiceStrings {
+				p.truncated.Store(true)
+				break
+			}
+			clone := n.g.Clone()
+			cs.Reset()
+			out := clone.RunToSchedPoint(id, cs, e.opts.MaxLocalSteps)
+			p.transitions.Add(1)
+			bits := append([]bool(nil), cs.Bits...)
+
+			step := TraceStep{
+				Machine: id,
+				Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
+				Delays:  opt.cost,
+				Choices: bits,
+				Outcome: out.Kind,
+			}
+			if out.Kind == core.OutError {
+				p.addViolation(out.Err, append(append([]TraceStep(nil), n.trace...), step))
+			} else {
+				if out.Kind == core.OutSend {
+					step.Event = out.SentEvent
+					step.HasEv = true
+				}
+				fp := clone.Fingerprint()
+				p.noteState(fp)
+				if e.graph != nil {
+					p.vmu.Lock()
+					to := e.graph.Node(fp, clone)
+					e.graph.AddEdge(fromNode, to, id, out.Dequeued)
+					p.vmu.Unlock()
+				}
+				next := updateStack(opt.stack, id, out)
+				delays := n.delays + opt.cost
+				if p.visited.claim(fp+"|"+next.key(), delays) && !p.stopped.Load() {
+					trace := make([]TraceStep, len(n.trace)+1)
+					copy(trace, n.trace)
+					trace[len(n.trace)] = step
+					p.push(pnode{g: clone, stack: next, delays: delays, depth: n.depth + 1, trace: trace})
+				}
+			}
+			if p.stopped.Load() {
+				return
+			}
+			if !cs.NextString() {
+				break
+			}
+		}
+	}
+}

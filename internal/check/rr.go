@@ -1,0 +1,135 @@
+package check
+
+import (
+	"fmt"
+
+	"pgo/internal/core"
+)
+
+// roundRobinDelay is the scheduler ablation: the deterministic base
+// scheduler cycles over machines in creation order (round-robin), and a
+// delay skips the machine that would run next. This is the natural
+// "obvious" delaying scheduler; comparing its bug-finding delay budgets and
+// state counts against the causal-stack scheduler quantifies the value of
+// following the causal order of events (§5).
+func (e *explorer) roundRobinDelay(g0 *core.Global) {
+	budget := e.opts.Bound
+	type node struct {
+		g      *core.Global
+		cursor int // index into the live-id order where the base scheduler resumes
+		delays int
+		depth  int
+		trace  []TraceStep
+	}
+
+	fp0 := g0.Fingerprint()
+	e.noteState(fp0)
+	if e.graph != nil {
+		e.graph.Init = e.graph.Node(fp0, g0)
+	}
+	visited := map[string]int{}
+	visited[fp0+"|0"] = 0
+
+	stack := []node{{g: g0}}
+	for len(stack) > 0 && !e.stop {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		e.result.Stats.SearchNodes++
+		if n.depth > e.result.Stats.MaxDepth {
+			e.result.Stats.MaxDepth = n.depth
+		}
+
+		// Enabled machines in round-robin order starting at the cursor.
+		ids := n.g.IDs()
+		if len(ids) == 0 {
+			e.result.Stats.Quiescent++
+			continue
+		}
+		type option struct {
+			cost   int
+			id     core.MachineID
+			resume int // cursor after this machine runs
+		}
+		var opts []option
+		cost := 0
+		for off := 0; off < len(ids); off++ {
+			idx := (n.cursor + off) % len(ids)
+			id := ids[idx]
+			if !n.g.Enabled(id) {
+				continue // skipping a disabled machine is free
+			}
+			if cost > budget-n.delays {
+				break
+			}
+			opts = append(opts, option{cost: cost, id: id, resume: (idx + 1) % len(ids)})
+			cost++ // delaying past an enabled machine costs one delay
+		}
+		if len(opts) == 0 {
+			enabled := false
+			for _, id := range ids {
+				if n.g.Enabled(id) {
+					enabled = true
+					break
+				}
+			}
+			if !enabled {
+				e.result.Stats.Quiescent++
+			}
+			continue
+		}
+
+		var fromNode NodeID
+		if e.graph != nil {
+			fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+		}
+
+		for _, opt := range opts {
+			for _, s := range e.expand(n.g, opt.id, n.trace, opt.cost) {
+				if e.stop {
+					return
+				}
+				e.noteState(s.fp)
+				if e.graph != nil {
+					to := e.graph.Node(s.fp, s.global)
+					e.graph.AddEdge(fromNode, to, opt.id, s.outcome.Dequeued)
+				}
+				delays := n.delays + opt.cost
+				// The round-robin cursor resumes after the scheduled
+				// machine unless it is still runnable mid-burst (a send or
+				// creation keeps it scheduled, matching run-to-completion).
+				cursor := opt.resume
+				if s.outcome.Kind == core.OutSend || s.outcome.Kind == core.OutNew || s.outcome.Kind == core.OutYield {
+					cursor = indexOf(s.global.IDs(), opt.id)
+				}
+				key := fmt.Sprintf("%s|%d", s.fp, cursor)
+				if prev, ok := visited[key]; ok && prev <= delays {
+					continue
+				}
+				visited[key] = delays
+				step := TraceStep{
+					Machine: opt.id,
+					Type:    e.prog.Machines[n.g.Lookup(opt.id).Type].Name,
+					Delays:  opt.cost,
+					Choices: s.choices,
+					Outcome: s.outcome.Kind,
+				}
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = step
+				stack = append(stack, node{g: s.global, cursor: cursor, delays: delays, depth: n.depth + 1, trace: trace})
+			}
+			if e.stop {
+				return
+			}
+		}
+	}
+}
+
+func indexOf(ids []core.MachineID, id core.MachineID) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package check
+
+import (
+	"math/rand"
+
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// SimOptions configures random simulation.
+type SimOptions struct {
+	// Seed makes the walk reproducible.
+	Seed int64
+	// MaxSteps bounds the number of macro steps (0 = 10_000).
+	MaxSteps int
+	// MaxLocalSteps bounds small steps per handler (0 = core default).
+	MaxLocalSteps int
+	// Foreign supplies host foreign functions.
+	Foreign core.ForeignEnv
+}
+
+// SimResult reports one random walk.
+type SimResult struct {
+	Steps     int
+	Violation *Violation // nil if the walk ended without error
+	Quiescent bool       // the walk reached a state with no enabled machine
+}
+
+// randChoices drives `*` expressions from a PRNG.
+type randChoices struct{ r *rand.Rand }
+
+func (rc randChoices) Choose() bool { return rc.r.Intn(2) == 0 }
+
+// Simulate performs a single random walk through the closed program:
+// uniformly random machine scheduling and coin-flip `*` choices. It is the
+// cheap complement to systematic exploration — useful as a smoke test and
+// for profiling long executions; it proves nothing when it finds nothing.
+func Simulate(prog *ir.Program, opts SimOptions) (SimResult, error) {
+	g := core.NewGlobal(prog, opts.Foreign)
+	if _, err := g.CreateMain(); err != nil {
+		return SimResult{}, err
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 10_000
+	}
+	var res SimResult
+	var trace []TraceStep
+	for res.Steps < maxSteps {
+		var enabled []core.MachineID
+		for _, id := range g.LiveIDs() {
+			if g.Enabled(id) {
+				enabled = append(enabled, id)
+			}
+		}
+		if len(enabled) == 0 {
+			res.Quiescent = true
+			return res, nil
+		}
+		id := enabled[r.Intn(len(enabled))]
+		out := g.RunToSchedPoint(id, randChoices{r: r}, opts.MaxLocalSteps)
+		res.Steps++
+		trace = append(trace, TraceStep{
+			Machine: id,
+			Type:    g.Prog.Machines[g.Lookup(id).Type].Name,
+			Outcome: out.Kind,
+		})
+		if out.Kind == core.OutError {
+			res.Violation = &Violation{Err: out.Err, Trace: trace}
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package check
+
+import (
+	"time"
+
+	"pgo/internal/ir"
+)
+
+// SweepPoint is one point of a Figure-7-style series.
+type SweepPoint struct {
+	Bound       int
+	States      int
+	Transitions int
+	Violations  int
+	Truncated   bool
+	Elapsed     time.Duration
+}
+
+// Sweep explores prog at every bound in [0, maxBound], reusing opts for
+// everything but the bound, and returns the series — the harness behind
+// Figure 7. The sweep stops early (returning the points gathered) when a
+// single exploration exceeds pointBudget (0 = no per-point budget) or when
+// StopAtFirstError is set and a violation is found.
+func Sweep(prog *ir.Program, opts Options, maxBound int, pointBudget time.Duration) ([]SweepPoint, error) {
+	var series []SweepPoint
+	for d := 0; d <= maxBound; d++ {
+		o := opts
+		o.Bound = d
+		res, err := Explore(prog, o)
+		if err != nil {
+			return series, err
+		}
+		series = append(series, SweepPoint{
+			Bound:       d,
+			States:      res.Stats.DistinctStates,
+			Transitions: res.Stats.Transitions,
+			Violations:  len(res.Violations),
+			Truncated:   res.Stats.Truncated,
+			Elapsed:     res.Stats.Elapsed,
+		})
+		if opts.StopAtFirstError && res.Errored() {
+			break
+		}
+		if pointBudget > 0 && res.Stats.Elapsed > pointBudget {
+			break
+		}
+	}
+	return series, nil
+}
+
+// Saturated reports whether the series has stopped growing: the last two
+// points discovered the same number of distinct states (the plateau of
+// Figure 7, where increasing the delay budget exposes nothing new).
+func Saturated(series []SweepPoint) bool {
+	n := len(series)
+	return n >= 2 && series[n-1].States == series[n-2].States
+}

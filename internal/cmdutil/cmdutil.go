@@ -1,0 +1,53 @@
+// Package cmdutil holds small helpers shared by the command-line tools.
+package cmdutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pgo/internal/psamples"
+)
+
+// LoadSource resolves the tool's input argument: "-" reads stdin,
+// "sample:<name>" loads an embedded sample, anything else is a file path.
+// It returns a display name and the source text.
+func LoadSource(arg string) (name, src string, err error) {
+	switch {
+	case arg == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", "", fmt.Errorf("reading stdin: %w", err)
+		}
+		return "<stdin>", string(data), nil
+	case strings.HasPrefix(arg, "sample:"):
+		sampleName := strings.TrimPrefix(arg, "sample:")
+		s, ok := psamples.ByName(sampleName)
+		if !ok {
+			return "", "", fmt.Errorf("unknown sample %q; available: %s", sampleName, SampleNames())
+		}
+		return s.Name, s.Source, nil
+	default:
+		data, err := os.ReadFile(arg)
+		if err != nil {
+			return "", "", err
+		}
+		return arg, string(data), nil
+	}
+}
+
+// SampleNames lists the embedded sample names, comma separated.
+func SampleNames() string {
+	var names []string
+	for _, s := range psamples.All() {
+		names = append(names, s.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// Fatalf prints to stderr and exits with status 1.
+func Fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+package cmdutil_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgo/internal/cmdutil"
+)
+
+func TestLoadSample(t *testing.T) {
+	name, src, err := cmdutil.LoadSource("sample:pingpong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "pingpong" || !strings.Contains(src, "machine Pinger") {
+		t.Fatalf("unexpected sample: %s", name)
+	}
+}
+
+func TestLoadUnknownSample(t *testing.T) {
+	_, _, err := cmdutil.LoadSource("sample:zzz")
+	if err == nil || !strings.Contains(err.Error(), "unknown sample") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "pingpong") {
+		t.Fatalf("error should list available samples: %v", err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.p")
+	if err := os.WriteFile(path, []byte("event E;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	name, src, err := cmdutil.LoadSource(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != path || src != "event E;" {
+		t.Fatalf("got %q %q", name, src)
+	}
+	if _, _, err := cmdutil.LoadSource(filepath.Join(t.TempDir(), "missing.p")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSampleNames(t *testing.T) {
+	names := cmdutil.SampleNames()
+	for _, want := range []string{"pingpong", "elevator", "usb-dsm"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("SampleNames missing %s: %s", want, names)
+		}
+	}
+}

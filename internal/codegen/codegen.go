@@ -1,0 +1,419 @@
+// Package codegen emits executable Go source from an erased P program —
+// the analog of the paper's C code generator (§4). The generated file
+// contains the same artifact the paper describes: statically-allocated,
+// index-addressed tables of events, machine types, states (with transition,
+// deferred-event and action tables) and handler bodies, plus a main function
+// that hands the tables to the runtime library.
+//
+// The generated file imports pgo/internal/ir, pgo/internal/core and
+// pgo/internal/runtime, so it must be placed inside this module (the paper's
+// generated C likewise links against the private P runtime library).
+package codegen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgo/internal/ir"
+)
+
+// Options configures generation.
+type Options struct {
+	// Package is the generated package name (default "main").
+	Package string
+	// EmitMain adds a func main() that instantiates MainMachine and waits
+	// for quiescence. Only valid when Package == "main".
+	EmitMain bool
+	// MainMachine names the machine main() instantiates; defaults to the
+	// program's main machine if it survived erasure, else the first real
+	// machine.
+	MainMachine string
+	// Foreign lists the foreign bindings main() expects, as "Machine.fn"
+	// keys; the generated file declares a stub map the host fills in.
+	Foreign []string
+}
+
+// Generate renders prog as a Go source file. The program must be erased
+// (or ghost-free): generated drivers never contain ghost machines.
+func Generate(prog *ir.Program, opts Options) (string, error) {
+	for _, m := range prog.Machines {
+		if m.Ghost && !m.ErasedStub {
+			return "", fmt.Errorf("codegen: program has live ghost machine %s; erase first", m.Name)
+		}
+	}
+	if opts.Package == "" {
+		opts.Package = "main"
+	}
+	if opts.EmitMain && opts.Package != "main" {
+		return "", fmt.Errorf("codegen: EmitMain requires package main, got %s", opts.Package)
+	}
+	mainMachine := opts.MainMachine
+	if mainMachine == "" {
+		if mm := prog.Machines[prog.Main]; !mm.ErasedStub {
+			mainMachine = mm.Name
+		} else {
+			for _, m := range prog.Machines {
+				if !m.ErasedStub {
+					mainMachine = m.Name
+					break
+				}
+			}
+		}
+	}
+	if mainMachine == "" {
+		return "", fmt.Errorf("codegen: no real machine to instantiate")
+	}
+
+	g := &gen{}
+	g.pf("// Code generated from P program %q by pc. DO NOT EDIT.\n", strings.TrimSuffix(prog.Name, ".erased"))
+	g.pf("\npackage %s\n\n", opts.Package)
+	g.pf("import (\n")
+	if opts.EmitMain {
+		g.pf("\t\"fmt\"\n\t\"os\"\n\t\"time\"\n\n")
+	}
+	g.pf("\t\"pgo/internal/core\"\n")
+	g.pf("\t\"pgo/internal/ir\"\n")
+	g.pf("\tpruntime \"pgo/internal/runtime\"\n")
+	g.pf(")\n\n")
+
+	// Event and machine enumerations, like the paper's C enums.
+	g.pf("// Event identifiers.\nconst (\n")
+	for i, e := range prog.Events {
+		g.pf("\tEv%s ir.EventID = %d\n", sanitize(e.Name), i)
+	}
+	g.pf(")\n\n")
+	g.pf("// Machine type identifiers.\nconst (\n")
+	for i, m := range prog.Machines {
+		if m.ErasedStub {
+			continue
+		}
+		g.pf("\tMach%s ir.MachineTypeID = %d\n", sanitize(m.Name), i)
+	}
+	g.pf(")\n\n")
+
+	g.pf("// BuildProgram reconstructs the compiled program tables.\n")
+	g.pf("func BuildProgram() *ir.Program {\n")
+	g.pf("\tp := &ir.Program{\n")
+	g.pf("\t\tName: %q,\n", prog.Name)
+	g.pf("\t\tMain: %d,\n", prog.Main)
+	g.pf("\t\tNumStmts: %d,\n", prog.NumStmts)
+	g.pf("\t\tErased: true,\n")
+	g.pf("\t\tEvents: []ir.Event{\n")
+	for _, e := range prog.Events {
+		g.pf("\t\t\t{Name: %q, Payload: %s},\n", e.Name, typeName(e.Payload))
+	}
+	g.pf("\t\t},\n\t}\n")
+	for i, m := range prog.Machines {
+		g.machine(prog, i, m)
+	}
+	g.pf("\treturn p\n}\n")
+	if NeedsStubHelper(prog) {
+		g.pf("%s\n", stubHelper)
+	} else {
+		g.pf("\n")
+	}
+
+	// Foreign binding stubs.
+	g.pf("// ForeignBindings is filled by host code before NewRuntime; keys are\n// \"Machine.function\".\nvar ForeignBindings = core.ForeignMap{}\n\n")
+	if len(opts.Foreign) > 0 {
+		g.pf("// Required foreign bindings:\n")
+		keys := append([]string(nil), opts.Foreign...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			g.pf("//\t%s\n", k)
+		}
+		g.pf("\n")
+	}
+
+	g.pf("// NewRuntime builds a runtime over the generated tables.\n")
+	g.pf("func NewRuntime(opts pruntime.Options) (*pruntime.Runtime, error) {\n")
+	g.pf("\tif opts.Foreign == nil {\n\t\topts.Foreign = ForeignBindings\n\t}\n")
+	g.pf("\treturn pruntime.New(BuildProgram(), opts)\n}\n")
+
+	if opts.EmitMain {
+		g.pf("\nfunc main() {\n")
+		g.pf("\trt, err := NewRuntime(pruntime.Options{OnError: func(e *core.Err) { fmt.Fprintln(os.Stderr, e) }})\n")
+		g.pf("\tif err != nil {\n\t\tfmt.Fprintln(os.Stderr, err)\n\t\tos.Exit(1)\n\t}\n")
+		g.pf("\tdefer rt.Stop()\n")
+		g.pf("\tif _, err := rt.CreateMachine(%q, nil, nil); err != nil {\n\t\tfmt.Fprintln(os.Stderr, err)\n\t\tos.Exit(1)\n\t}\n", mainMachine)
+		g.pf("\trt.Quiesce(5 * time.Second)\n")
+		g.pf("\tif errs := rt.Errors(); len(errs) > 0 {\n\t\tos.Exit(1)\n\t}\n")
+		g.pf("\tfmt.Println(\"quiescent; no machine errors\")\n")
+		g.pf("}\n")
+	}
+	return g.b.String(), nil
+}
+
+type gen struct {
+	b strings.Builder
+}
+
+func (g *gen) pf(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func sanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		if r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func typeName(t ir.Type) string {
+	switch t {
+	case ir.TypeVoid:
+		return "ir.TypeVoid"
+	case ir.TypeBool:
+		return "ir.TypeBool"
+	case ir.TypeInt:
+		return "ir.TypeInt"
+	case ir.TypeEvent:
+		return "ir.TypeEvent"
+	case ir.TypeID:
+		return "ir.TypeID"
+	default:
+		return "ir.TypeAny"
+	}
+}
+
+func (g *gen) machine(prog *ir.Program, idx int, m *ir.Machine) {
+	if m.ErasedStub {
+		g.pf("\tp.Machines = append(p.Machines, erasedStub(%q, %d, len(p.Events)))\n", m.Name, m.ID)
+		return
+	}
+	g.pf("\t{\n\t\tm := &ir.Machine{Name: %q, ID: %d, Init: %d}\n", m.Name, m.ID, m.Init)
+	for _, v := range m.Vars {
+		ghost := ""
+		if v.Ghost {
+			ghost = ", Ghost: true"
+		}
+		g.pf("\t\tm.Vars = append(m.Vars, ir.Var{Name: %q, Type: %s%s})\n", v.Name, typeName(v.Type), ghost)
+	}
+	for _, f := range m.Foreigns {
+		g.pf("\t\tm.Foreigns = append(m.Foreigns, ir.Foreign{Name: %q, Result: %s, Params: %s})\n",
+			f.Name, typeName(f.Result), typeList(f.Params))
+	}
+	for _, a := range m.Actions {
+		g.pf("\t\tm.Actions = append(m.Actions, ir.Action{Name: %q, Body: %s})\n", a.Name, g.stmts(a.Body, 2))
+	}
+	for _, s := range m.States {
+		g.state(prog, s)
+	}
+	g.pf("\t\tp.Machines = append(p.Machines, m)\n\t}\n")
+}
+
+func typeList(ts []ir.Type) string {
+	if len(ts) == 0 {
+		return "nil"
+	}
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = typeName(t)
+	}
+	return "[]ir.Type{" + strings.Join(parts, ", ") + "}"
+}
+
+func (g *gen) state(prog *ir.Program, s *ir.State) {
+	g.pf("\t\t{\n\t\t\ts := &ir.State{Name: %q, ID: %d}\n", s.Name, s.ID)
+	if !s.Deferred.IsEmpty() {
+		g.pf("\t\t\ts.Deferred = ir.NewEventSet(%s)\n", eventList(s.Deferred))
+	}
+	if !s.Postponed.IsEmpty() {
+		g.pf("\t\t\ts.Postponed = ir.NewEventSet(%s)\n", eventList(s.Postponed))
+	}
+	g.pf("\t\t\ts.Trans = make([]ir.Transition, len(p.Events))\n")
+	g.pf("\t\t\ts.Action = make([]ir.ActionID, len(p.Events))\n")
+	g.pf("\t\t\tfor i := range s.Action { s.Action[i] = ir.NoAction }\n")
+	for e, tr := range s.Trans {
+		if tr.Kind == ir.TransNone {
+			continue
+		}
+		kind := "ir.TransStep"
+		if tr.Kind == ir.TransCall {
+			kind = "ir.TransCall"
+		}
+		g.pf("\t\t\ts.Trans[%d] = ir.Transition{Kind: %s, Target: %d} // on %s\n", e, kind, tr.Target, prog.Events[e].Name)
+	}
+	for e, a := range s.Action {
+		if a == ir.NoAction {
+			continue
+		}
+		g.pf("\t\t\ts.Action[%d] = %d // on %s\n", e, a, prog.Events[e].Name)
+	}
+	if len(s.Entry) > 0 {
+		g.pf("\t\t\ts.Entry = %s\n", g.stmts(s.Entry, 3))
+	}
+	if len(s.Exit) > 0 {
+		g.pf("\t\t\ts.Exit = %s\n", g.stmts(s.Exit, 3))
+	}
+	g.pf("\t\t\tm.States = append(m.States, s)\n\t\t}\n")
+}
+
+func eventList(s ir.EventSet) string {
+	var parts []string
+	for _, e := range s.Events() {
+		parts = append(parts, fmt.Sprintf("%d", e))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// stmts renders a []*ir.Stmt literal.
+func (g *gen) stmts(ss []*ir.Stmt, depth int) string {
+	if len(ss) == 0 {
+		return "nil"
+	}
+	ind := strings.Repeat("\t", depth)
+	var b strings.Builder
+	b.WriteString("[]*ir.Stmt{\n")
+	for _, s := range ss {
+		fmt.Fprintf(&b, "%s\t%s,\n", ind, g.stmt(s, depth+1))
+	}
+	b.WriteString(ind + "}")
+	return b.String()
+}
+
+func (g *gen) stmt(s *ir.Stmt, depth int) string {
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	add("Op: ir.%s", stmtOpName(s.Op))
+	add("Index: %d", s.Index)
+	switch s.Op {
+	case ir.SAssign:
+		add("Var: %d", s.Var)
+		add("Expr: %s", g.expr(s.Expr))
+	case ir.SNew:
+		add("Var: %d", s.Var)
+		add("Machine: %d", s.Machine)
+		if len(s.Inits) > 0 {
+			var inits []string
+			for _, in := range s.Inits {
+				inits = append(inits, fmt.Sprintf("{Var: %d, Expr: %s}", in.Var, g.expr(in.Expr)))
+			}
+			add("Inits: []ir.Init{%s}", strings.Join(inits, ", "))
+		}
+	case ir.SSend:
+		add("Event: %d", s.Event)
+		add("Target: %s", g.expr(s.Target))
+		if s.Expr != nil {
+			add("Expr: %s", g.expr(s.Expr))
+		}
+	case ir.SRaise:
+		add("Event: %d", s.Event)
+		if s.Expr != nil {
+			add("Expr: %s", g.expr(s.Expr))
+		}
+	case ir.SAssert:
+		add("Expr: %s", g.expr(s.Expr))
+	case ir.SIf:
+		add("Expr: %s", g.expr(s.Expr))
+		add("Body: %s", g.stmts(s.Body, depth))
+		if len(s.Else) > 0 {
+			add("Else: %s", g.stmts(s.Else, depth))
+		}
+	case ir.SWhile:
+		add("Expr: %s", g.expr(s.Expr))
+		add("Body: %s", g.stmts(s.Body, depth))
+	case ir.SCallState:
+		add("State: %d", s.State)
+	case ir.SForeign:
+		add("Foreign: %d", s.Foreign)
+		if len(s.Args) > 0 {
+			add("Args: %s", g.exprList(s.Args))
+		}
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func stmtOpName(op ir.StmtOp) string {
+	names := [...]string{"SSkip", "SAssign", "SNew", "SDelete", "SSend", "SRaise", "SLeave", "SReturn", "SAssert", "SIf", "SWhile", "SCallState", "SForeign"}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return "SSkip"
+}
+
+func exprOpName(op ir.ExprOp) string {
+	names := [...]string{"EInt", "EBool", "ENull", "EThis", "EMsg", "EArg", "EChoose", "EVar", "EEvent", "ENot", "ENeg", "EBinary", "ECall"}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return "ENull"
+}
+
+func binOpName(op ir.BinOp) string {
+	names := [...]string{"Add", "Sub", "Mul", "Div", "Mod", "Eq", "Neq", "Lt", "Le", "Gt", "Ge", "And", "Or"}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return "Add"
+}
+
+func (g *gen) exprList(es []*ir.Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = g.expr(e)
+	}
+	return "[]*ir.Expr{" + strings.Join(parts, ", ") + "}"
+}
+
+func (g *gen) expr(e *ir.Expr) string {
+	var parts []string
+	add := func(format string, args ...any) {
+		parts = append(parts, fmt.Sprintf(format, args...))
+	}
+	add("Op: ir.%s", exprOpName(e.Op))
+	switch e.Op {
+	case ir.EInt, ir.EBool:
+		add("Int: %d", e.Int)
+	case ir.EVar:
+		add("Var: %d", e.Var)
+	case ir.EEvent:
+		add("Event: %d", e.Event)
+	case ir.ENot, ir.ENeg:
+		add("X: %s", g.expr(e.X))
+	case ir.EBinary:
+		add("Bin: ir.%s", binOpName(e.Bin))
+		add("X: %s", g.expr(e.X))
+		add("Y: %s", g.expr(e.Y))
+	case ir.ECall:
+		add("ForeignFn: %d", e.ForeignFn)
+		if len(e.Args) > 0 {
+			add("Args: %s", g.exprList(e.Args))
+		}
+	}
+	return "&ir.Expr{" + strings.Join(parts, ", ") + "}"
+}
+
+// StubHelper is the source of the erasedStub helper appended to generated
+// files that contain ghost stubs.
+const stubHelper = `
+// erasedStub builds the placeholder for an erased ghost machine.
+func erasedStub(name string, id ir.MachineTypeID, numEvents int) *ir.Machine {
+	s := &ir.State{Name: "$erased"}
+	s.Trans = make([]ir.Transition, numEvents)
+	s.Action = make([]ir.ActionID, numEvents)
+	for i := range s.Action {
+		s.Action[i] = ir.NoAction
+	}
+	return &ir.Machine{Name: name, ID: id, Ghost: true, ErasedStub: true, States: []*ir.State{s}}
+}
+`
+
+// NeedsStubHelper reports whether prog contains erased ghost machines (the
+// generated file then needs the stub helper).
+func NeedsStubHelper(prog *ir.Program) bool {
+	for _, m := range prog.Machines {
+		if m.ErasedStub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package codegen_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgo/internal/codegen"
+	"pgo/internal/compile"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+func erasedProg(t *testing.T, name, src string) *ir.Program {
+	t.Helper()
+	prog, diags, err := compile.Erased(name, src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	return prog
+}
+
+func TestGeneratedCodeParses(t *testing.T) {
+	for _, name := range []string{"pingpong", "elevator", "switchled", "ring", "boundedbuffer", "german"} {
+		s, _ := psamples.ByName(name)
+		prog := erasedProg(t, name, s.Source)
+		src, err := codegen.Generate(prog, codegen.Options{EmitMain: true})
+		if err != nil {
+			t.Fatalf("%s: generate: %v", name, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, name+".go", src, 0); err != nil {
+			t.Fatalf("%s: generated code does not parse: %v\n%s", name, err, src)
+		}
+	}
+}
+
+func TestGenerateRejectsUnerased(t *testing.T) {
+	prog, diags, err := compile.Source("elevator", psamples.Elevator)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	if _, err := codegen.Generate(prog, codegen.Options{}); err == nil {
+		t.Fatal("unerased program accepted")
+	}
+}
+
+func TestGeneratedSymbols(t *testing.T) {
+	s, _ := psamples.ByName("pingpong")
+	prog := erasedProg(t, "pingpong", s.Source)
+	src, err := codegen.Generate(prog, codegen.Options{EmitMain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"EvPing ir.EventID",
+		"EvPong ir.EventID",
+		"MachPinger ir.MachineTypeID",
+		"MachPonger ir.MachineTypeID",
+		"func BuildProgram() *ir.Program",
+		"func NewRuntime(",
+		"func main()",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGeneratedPackageOption(t *testing.T) {
+	s, _ := psamples.ByName("pingpong")
+	prog := erasedProg(t, "pingpong", s.Source)
+	src, err := codegen.Generate(prog, codegen.Options{Package: "gen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(strings.SplitN(src, "\n\n", 2)[1]), "package gen") {
+		t.Fatalf("package clause wrong:\n%.200s", src)
+	}
+	if _, err := codegen.Generate(prog, codegen.Options{Package: "gen", EmitMain: true}); err == nil {
+		t.Fatal("EmitMain with non-main package accepted")
+	}
+}
+
+// TestGeneratedProgramRuns is the end-to-end check: generate Go for the
+// erased ping-pong, compile it with the host toolchain inside this module,
+// and run it to quiescence.
+func TestGeneratedProgramRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	s, _ := psamples.ByName("pingpong")
+	prog := erasedProg(t, "pingpong", s.Source)
+	src, err := codegen.Generate(prog, codegen.Options{EmitMain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file must live inside the module to import internal packages.
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "codegen", "testdata", "gen_pingpong")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./internal/codegen/testdata/gen_pingpong")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run failed: %v\n%s\n--- generated ---\n%s", err, out, src)
+	}
+	if !strings.Contains(string(out), "quiescent; no machine errors") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// The generated tables must be semantically identical to the in-memory
+// erased program: compare a structural digest.
+func TestGeneratedTablesFaithful(t *testing.T) {
+	s, _ := psamples.ByName("elevator")
+	prog := erasedProg(t, "elevator", s.Source)
+	src, err := codegen.Generate(prog, codegen.Options{EmitMain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every real state and transition target must be mentioned.
+	for _, m := range prog.Machines {
+		if m.ErasedStub {
+			continue
+		}
+		for _, st := range m.States {
+			if !strings.Contains(src, `Name: "`+st.Name+`"`) {
+				t.Errorf("state %s missing from generated code", st.Name)
+			}
+		}
+	}
+	for _, e := range prog.Events {
+		if !strings.Contains(src, `{Name: "`+e.Name+`"`) {
+			t.Errorf("event %s missing from generated code", e.Name)
+		}
+	}
+}

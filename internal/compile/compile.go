@@ -1,0 +1,59 @@
+// Package compile ties the frontend pipeline together: parse → semantic
+// analysis → lowering, with optional ghost erasure. It is the entry point
+// used by the command-line tools, the model checker, and the tests.
+package compile
+
+import (
+	"fmt"
+
+	"pgo/internal/ir"
+	"pgo/internal/parser"
+	"pgo/internal/source"
+	"pgo/internal/types"
+)
+
+// Result bundles the artifacts of a successful compilation.
+type Result struct {
+	AST     *ir.Program // lowered program with ghosts intact (for verification)
+	Checked *types.Checked
+	Diags   *source.DiagList
+}
+
+// Source compiles P source text into a lowered program. The returned
+// DiagList always carries all diagnostics; on error the program is nil.
+func Source(name, src string) (*ir.Program, *source.DiagList, error) {
+	var diags source.DiagList
+	prog := parser.Parse(src, &diags)
+	if diags.HasErrors() {
+		return nil, &diags, fmt.Errorf("%s: parse failed: %w", name, diags.Err())
+	}
+	chk := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		return nil, &diags, fmt.Errorf("%s: type check failed: %w", name, diags.Err())
+	}
+	lowered, err := ir.Lower(name, chk)
+	if err != nil {
+		return nil, &diags, fmt.Errorf("%s: lowering failed: %w", name, err)
+	}
+	return lowered, &diags, nil
+}
+
+// MustSource compiles src and panics on failure; intended for embedded
+// sample programs whose validity is guaranteed by the test suite.
+func MustSource(name, src string) *ir.Program {
+	prog, diags, err := Source(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("compile %s: %v\n%s", name, err, diags.String()))
+	}
+	return prog
+}
+
+// Erased compiles src and applies ghost erasure, producing the executable
+// program (the analog of the paper's generated driver code).
+func Erased(name, src string) (*ir.Program, *source.DiagList, error) {
+	prog, diags, err := Source(name, src)
+	if err != nil {
+		return nil, diags, err
+	}
+	return ir.Erase(prog), diags, nil
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"pgo/internal/ir"
+)
+
+// Cont is an immutable continuation: the sequence of statements remaining to
+// execute, as a cons list. Nodes are never mutated after creation, so
+// continuations may be shared freely between cloned configurations.
+type Cont struct {
+	S    *ir.Stmt
+	Next *Cont
+}
+
+// push prepends the statements of body (in order) to k.
+func push(body []*ir.Stmt, k *Cont) *Cont {
+	for i := len(body) - 1; i >= 0; i-- {
+		k = &Cont{S: body[i], Next: k}
+	}
+	return k
+}
+
+// inheritNone marks an event with no inherited handler (the ⊥ of the a map).
+const inheritNone int16 = -1
+
+// inheritDefer marks an inherited deferral (the T of the a map).
+const inheritDefer int16 = -2
+
+// Frame is one entry of a machine's call stack: the current state plus the
+// handler map inherited from callers (the (n, a) pairs of the semantics).
+// Inherited is indexed by EventID: inheritNone, inheritDefer, or an
+// ActionID. Inherited is immutable after frame creation and may be shared.
+// ReturnCont is non-nil only for frames pushed by the `call` statement: the
+// continuation to resume when the frame is popped by return.
+type Frame struct {
+	State      ir.StateID
+	Inherited  []int16
+	ReturnCont *Cont
+}
+
+// QEntry is one input-queue entry: an event with its payload.
+type QEntry struct {
+	Event ir.EventID
+	Val   Value
+}
+
+// Mode describes what a machine configuration is doing.
+type Mode uint8
+
+const (
+	// ModeRun executes the continuation; when it drains the machine
+	// attempts to dequeue an event.
+	ModeRun Mode = iota
+	// ModeRaise runs the pre-raise statements (the exit preamble) and then
+	// handles the raised event via STEP/ACTION/CALL/POP1.
+	ModeRaise
+	// ModeReturn runs the exit statement and then pops the stack (POP2).
+	ModeReturn
+	// ModeHalted marks a deleted machine (kept as a tombstone in Global so
+	// sends to it can be diagnosed as SEND-FAIL-2).
+	ModeHalted
+)
+
+// Config is the configuration of one machine instance: the (σ-stack, s, s̄, q)
+// tuple of the semantics plus the mode bookkeeping described above.
+type Config struct {
+	ID   MachineID
+	Type ir.MachineTypeID
+
+	// gid identifies the Global that owns this configuration for
+	// copy-on-write cloning: a Global may mutate a Config only when the
+	// generations match, and copies it first otherwise.
+	gid uint64
+
+	Stack []Frame // index 0 = bottom, last = top
+	Vars  []Value
+	Msg   Value // the `msg` special variable (an event value or ⊥)
+	Arg   Value // the `arg` special variable
+
+	Cont *Cont
+	Mode Mode
+
+	// Raised is the event being handled in ModeRaise, with its payload.
+	Raised    ir.EventID
+	RaisedVal Value
+	// ExitRun records that the exit preamble for the current raise has
+	// already run at the current top frame.
+	ExitRun bool
+
+	Queue []QEntry
+
+	// Ctx is an opaque host context pointer (the SMGetContext analog). It is
+	// ignored by fingerprinting and cloning; only the concurrent runtime
+	// uses it.
+	Ctx any
+}
+
+// top returns the top stack frame. Callers must ensure the stack is nonempty.
+func (c *Config) top() *Frame { return &c.Stack[len(c.Stack)-1] }
+
+// Depth returns the call-stack depth.
+func (c *Config) Depth() int { return len(c.Stack) }
+
+// CurrentState returns the state id at the top of the stack, or -1 if the
+// stack is empty or the machine halted.
+func (c *Config) CurrentState() ir.StateID {
+	if c.Mode == ModeHalted || len(c.Stack) == 0 {
+		return -1
+	}
+	return c.top().State
+}
+
+// clone returns a deep copy of the configuration. Continuations and
+// inherited maps are shared (immutable).
+func (c *Config) clone() *Config {
+	n := *c
+	n.Stack = make([]Frame, len(c.Stack))
+	copy(n.Stack, c.Stack)
+	n.Vars = make([]Value, len(c.Vars))
+	copy(n.Vars, c.Vars)
+	n.Queue = make([]QEntry, len(c.Queue))
+	copy(n.Queue, c.Queue)
+	return &n
+}
+
+// enqueue appends (e, v) with the ⊕ dedup semantics: if an identical
+// event-value pair is already queued, the queue is unchanged. It reports
+// whether the entry was added. dedup false disables the check (the
+// flooding ablation).
+func (c *Config) enqueue(e ir.EventID, v Value, dedup bool) bool {
+	if dedup {
+		for _, q := range c.Queue {
+			if q.Event == e && q.Val == v {
+				return false
+			}
+		}
+	}
+	c.Queue = append(c.Queue, QEntry{Event: e, Val: v})
+	return true
+}
+
+// globalGen allocates copy-on-write generations for Globals.
+var globalGen atomic.Uint64
+
+// Global is a global configuration: the map M from machine identifiers to
+// machine configurations, plus the id allocator. Machine ids are allocated
+// sequentially from 1, so the configurations live in a slice indexed by
+// id-1; deleted machines keep a halted tombstone in place.
+//
+// Globals clone copy-on-write: Clone shares the machine configurations and
+// a mutation first copies the configuration being touched. This makes the
+// explorer's clone-per-branch discipline cheap.
+type Global struct {
+	Prog     *ir.Program
+	machines []*Config
+	gid      uint64
+	NextID   MachineID
+
+	// Foreign supplies host implementations of foreign functions; may be nil
+	// during verification (models or ⊥ results are used instead).
+	Foreign ForeignEnv
+
+	// DisableDedup turns the ⊕ queue dedup append into a plain append — an
+	// ablation showing why the paper dedups hardware-generated events.
+	DisableDedup bool
+
+	// YieldOnDequeue makes every event dequeue a scheduling point in
+	// addition to sends and creations — the ablation of §5's atomicity
+	// reduction (a receive is a right mover, so yielding there only grows
+	// the schedule space).
+	YieldOnDequeue bool
+}
+
+// ForeignEnv resolves host implementations of foreign functions.
+type ForeignEnv interface {
+	// Lookup returns the host implementation of function fn declared in
+	// machine type machine, or nil if none is bound.
+	Lookup(machine, fn string) ForeignFn
+}
+
+// ForeignFn is a host foreign function. It receives the calling machine's
+// context pointer (SMGetContext analog) and evaluated arguments.
+type ForeignFn func(ctx any, args []Value) (Value, error)
+
+// ForeignMap is a simple ForeignEnv keyed by "Machine.fn".
+type ForeignMap map[string]ForeignFn
+
+// Lookup implements ForeignEnv.
+func (m ForeignMap) Lookup(machine, fn string) ForeignFn {
+	return m[machine+"."+fn]
+}
+
+// NewGlobal returns an empty global configuration for prog.
+func NewGlobal(prog *ir.Program, foreign ForeignEnv) *Global {
+	return &Global{
+		Prog:    prog,
+		gid:     globalGen.Add(1),
+		NextID:  1,
+		Foreign: foreign,
+	}
+}
+
+// Clone returns a logically deep copy of the global configuration. Machine
+// configurations are shared copy-on-write: the clone (and the original)
+// copy a configuration the first time they mutate it. Both sides therefore
+// receive fresh generations — after Clone, neither owns the shared
+// configurations.
+func (g *Global) Clone() *Global {
+	g.gid = globalGen.Add(1)
+	n := &Global{
+		Prog:           g.Prog,
+		machines:       append([]*Config(nil), g.machines...),
+		gid:            globalGen.Add(1),
+		NextID:         g.NextID,
+		Foreign:        g.Foreign,
+		DisableDedup:   g.DisableDedup,
+		YieldOnDequeue: g.YieldOnDequeue,
+	}
+	return n
+}
+
+// Lookup returns the configuration of machine id including halted
+// tombstones, or nil if the id was never allocated. The returned
+// configuration must be treated as read-only.
+func (g *Global) Lookup(id MachineID) *Config {
+	i := int(id) - 1
+	if i < 0 || i >= len(g.machines) {
+		return nil
+	}
+	return g.machines[i]
+}
+
+// own returns a mutable configuration for machine id, copying it first if
+// it is shared with other clones. Returns nil like Lookup for unknown ids.
+func (g *Global) own(id MachineID) *Config {
+	c := g.Lookup(id)
+	if c == nil || c.gid == g.gid {
+		return c
+	}
+	cp := c.clone()
+	cp.gid = g.gid
+	g.machines[int(id)-1] = cp
+	return cp
+}
+
+// IDs returns all machine ids in creation order, including halted ones.
+func (g *Global) IDs() []MachineID {
+	out := make([]MachineID, len(g.machines))
+	for i := range g.machines {
+		out[i] = MachineID(i + 1)
+	}
+	return out
+}
+
+// LiveIDs returns the ids of machines that have not been deleted.
+func (g *Global) LiveIDs() []MachineID {
+	var out []MachineID
+	for i, c := range g.machines {
+		if c != nil && c.Mode != ModeHalted {
+			out = append(out, MachineID(i+1))
+		}
+	}
+	return out
+}
+
+// Get returns the configuration of machine id, or nil if it never existed
+// or was deleted.
+func (g *Global) Get(id MachineID) *Config {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		return nil
+	}
+	return c
+}
+
+// MachineType returns the ir machine type of configuration c.
+func (g *Global) MachineType(c *Config) *ir.Machine { return g.Prog.Machines[c.Type] }
+
+// InitVal is a pre-evaluated variable initializer for machine creation.
+type InitVal struct {
+	Var ir.VarID
+	Val Value
+}
+
+// NewConfig builds the initial configuration of machine type mt with id:
+// variables at ⊥ overwritten by vals, initial state pushed with an empty
+// inherited map, entry statement pending, empty queue (the NEW rule).
+func NewConfig(prog *ir.Program, id MachineID, t ir.MachineTypeID, vals []InitVal) *Config {
+	mt := prog.Machines[t]
+	c := &Config{
+		ID:   id,
+		Type: t,
+		Vars: make([]Value, len(mt.Vars)),
+	}
+	for i := range c.Vars {
+		c.Vars[i] = Null
+	}
+	for _, iv := range vals {
+		c.Vars[iv.Var] = iv.Val
+	}
+	inherited := make([]int16, len(prog.Events))
+	for i := range inherited {
+		inherited[i] = inheritNone
+	}
+	c.Stack = []Frame{{State: mt.Init, Inherited: inherited}}
+	c.Cont = push(mt.States[mt.Init].Entry, nil)
+	c.Mode = ModeRun
+	return c
+}
+
+// CreateMachine implements World for the verification world.
+func (g *Global) CreateMachine(t ir.MachineTypeID, vals []InitVal) (MachineID, *Err) {
+	mt := g.Prog.Machines[t]
+	if mt.ErasedStub {
+		return 0, &Err{Kind: ErrStub, Type: mt.Name, Detail: "ghost machines are erased from compiled programs"}
+	}
+	c := NewConfig(g.Prog, g.NextID, t, vals)
+	c.gid = g.gid
+	g.NextID++
+	g.machines = append(g.machines, c)
+	return c.ID, nil
+}
+
+// SendEvent implements World for the verification world.
+func (g *Global) SendEvent(target MachineID, e ir.EventID, v Value) (delivered, found bool) {
+	c := g.Lookup(target)
+	if c == nil || c.Mode == ModeHalted {
+		return false, false
+	}
+	c = g.own(target)
+	return c.enqueue(e, v, !g.DisableDedup), true
+}
+
+// Create instantiates machine type t (the NEW rule): variables initialized
+// to ⊥ then overwritten by inits evaluated in the creator's configuration
+// (creator may be nil for the program's initial machine, in which case the
+// initializer expressions must be constant).
+func (g *Global) Create(t ir.MachineTypeID, inits []ir.Init, creator *Config, cs ChoiceSource) (*Config, *Err) {
+	x := &Exec{Prog: g.Prog, World: g, Foreign: g.Foreign}
+	vals := make([]InitVal, 0, len(inits))
+	for _, init := range inits {
+		v, err := x.eval(creator, init.Expr, cs)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, InitVal{Var: init.Var, Val: v})
+	}
+	id, err := g.CreateMachine(t, vals)
+	if err != nil {
+		return nil, err
+	}
+	return g.Lookup(id), nil
+}
+
+// CreateMain instantiates the program's main machine with its constant
+// initializers (the closed program's starting configuration).
+func (g *Global) CreateMain() (*Config, *Err) {
+	return g.Create(g.Prog.Main, g.Prog.MainInits, nil, nil)
+}
+
+// String renders a short human-readable summary of the global configuration.
+func (g *Global) String() string {
+	var b strings.Builder
+	for i, c := range g.machines {
+		id := MachineID(i + 1)
+		if c == nil || c.Mode == ModeHalted {
+			fmt.Fprintf(&b, "#%d: halted\n", id)
+			continue
+		}
+		mt := g.Prog.Machines[c.Type]
+		fmt.Fprintf(&b, "#%d %s @%s depth=%d queue=%d\n", id, mt.Name,
+			mt.States[c.top().State].Name, len(c.Stack), len(c.Queue))
+	}
+	return b.String()
+}

@@ -1,0 +1,572 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+// runRoundRobin drives g with a deterministic round-robin scheduler until
+// quiescence or an error, returning the error (nil on quiescence). All `*`
+// choices evaluate to false.
+func runRoundRobin(t *testing.T, g *core.Global, maxMacro int) *core.Err {
+	t.Helper()
+	for i := 0; i < maxMacro; i++ {
+		ran := false
+		for _, id := range g.LiveIDs() {
+			if !g.Enabled(id) {
+				continue
+			}
+			ran = true
+			out := g.RunToSchedPoint(id, &core.FixedChoices{}, 0)
+			if out.Kind == core.OutError {
+				return out.Err
+			}
+			break
+		}
+		if !ran {
+			return nil
+		}
+	}
+	t.Fatalf("no quiescence after %d macro steps", maxMacro)
+	return nil
+}
+
+func mustCompile(t *testing.T, name, src string) *ir.Program {
+	t.Helper()
+	prog, diags, err := compile.Source(name, src)
+	if err != nil {
+		t.Fatalf("compile %s: %v\n%s", name, err, diags.String())
+	}
+	return prog
+}
+
+func TestPingPongRunsToQuiescence(t *testing.T) {
+	prog := mustCompile(t, "pingpong", psamples.PingPong)
+	g := core.NewGlobal(prog, nil)
+	if _, err := g.CreateMain(); err != nil {
+		t.Fatalf("create main: %v", err)
+	}
+	if err := runRoundRobin(t, g, 10_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Both machines delete themselves.
+	if live := g.LiveIDs(); len(live) != 0 {
+		t.Fatalf("expected all machines deleted, live = %v\n%s", live, g.String())
+	}
+}
+
+func TestQueueDedup(t *testing.T) {
+	prog := mustCompile(t, "pingpong", psamples.PingPong)
+	g := core.NewGlobal(prog, nil)
+	main, err := g.CreateMain()
+	if err != nil {
+		t.Fatalf("create main: %v", err)
+	}
+	ev, ok := prog.EventByName("Pong")
+	if !ok {
+		t.Fatal("no Pong event")
+	}
+	if added, err := g.Send(main.ID, ev, core.Null); err != nil || !added {
+		t.Fatalf("first send: added=%v err=%v", added, err)
+	}
+	if added, err := g.Send(main.ID, ev, core.Null); err != nil || added {
+		t.Fatalf("duplicate send should dedup: added=%v err=%v", added, err)
+	}
+	// A different payload is a different queue entry.
+	ping, _ := prog.EventByName("Ping")
+	if added, err := g.Send(main.ID, ping, core.IntVal(1)); err != nil || !added {
+		t.Fatalf("payload send: added=%v err=%v", added, err)
+	}
+	if added, err := g.Send(main.ID, ping, core.IntVal(2)); err != nil || !added {
+		t.Fatalf("distinct payload should enqueue: added=%v err=%v", added, err)
+	}
+}
+
+const deferProgram = `
+event A; event B; event Go;
+machine M {
+  var got: int;
+  state S1 {
+    defer A;
+    entry { skip; }
+    on B goto S2;
+    on Go goto S1;
+  }
+  state S2 {
+    entry { skip; }
+    on A goto S3;
+  }
+  state S3 {
+    entry { got = 1; }
+    on A goto S3;
+    on B goto S3;
+  }
+}
+main M();
+`
+
+func TestDeferredEventSkipped(t *testing.T) {
+	prog := mustCompile(t, "defer", deferProgram)
+	g := core.NewGlobal(prog, nil)
+	m, err := g.CreateMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := prog.EventByName("A")
+	b, _ := prog.EventByName("B")
+	// Queue [A, B]: in S1, A is deferred, so B is dequeued first (-> S2),
+	// then the deferred A is delivered (-> S3).
+	g.Send(m.ID, a, core.Null)
+	g.Send(m.ID, b, core.Null)
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	mt := g.Prog.Machines[m.Type]
+	if got := mt.States[m.CurrentState()].Name; got != "S3" {
+		t.Fatalf("expected to end in S3, got %s", got)
+	}
+	if m.Vars[0] != core.IntVal(1) {
+		t.Fatalf("entry of S3 did not run: got=%v", m.Vars[0])
+	}
+}
+
+const callProgram = `
+event E; event F; event Back; event unit;
+machine M {
+  var trace: int;
+  state Root {
+    defer F;
+    entry { skip; }
+    on E push Sub;
+    on Back goto Done;
+  }
+  state Sub {
+    entry { trace = trace * 10 + 1; }
+    on F goto SubNext;
+  }
+  state SubNext {
+    entry {
+      trace = trace * 10 + 2;
+      raise Back;
+    }
+  }
+  state Done {
+    entry { trace = trace * 10 + 3; }
+    on E goto Done;
+    on F goto Done;
+  }
+}
+main M(trace = 0);
+`
+
+// TestCallTransition checks the push/pop protocol: the call transition
+// pushes Sub; the raised Back event is unhandled in the callee and pops to
+// Root (POP1), where the step transition to Done fires.
+func TestCallTransition(t *testing.T) {
+	prog := mustCompile(t, "call", callProgram)
+	g := core.NewGlobal(prog, nil)
+	m, err := g.CreateMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := prog.EventByName("E")
+	f, _ := prog.EventByName("F")
+	g.Send(m.ID, e, core.Null)
+	g.Send(m.ID, f, core.Null)
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.Vars[0] != core.IntVal(123) {
+		t.Fatalf("trace = %v, want 123 (Sub entry, SubNext entry, Done entry)", m.Vars[0])
+	}
+	if m.Depth() != 1 {
+		t.Fatalf("stack depth = %d after pop, want 1", m.Depth())
+	}
+}
+
+// The callee inherits the caller's deferred set through the a' map: F is
+// deferred by Root (not by Sub), yet must stay deferred inside Sub when the
+// call transition pushes it — unless Sub handles it.
+const inheritProgram = `
+event E; event F; event G; event Back;
+machine M {
+  var order: int;
+  state Root {
+    defer F;
+    entry { skip; }
+    on E push Sub;
+    on Back goto Fin;
+  }
+  state Sub {
+    entry { skip; }
+    on G goto SubDone;
+  }
+  state SubDone {
+    entry { raise Back; }
+  }
+  state Fin {
+    entry { order = order * 10 + 1; }
+    on F goto TookF;
+  }
+  state TookF {
+    entry { order = order * 10 + 2; }
+    on E goto TookF;
+    on G goto TookF;
+  }
+}
+main M(order = 0);
+`
+
+func TestInheritedDefer(t *testing.T) {
+	prog := mustCompile(t, "inherit", inheritProgram)
+	g := core.NewGlobal(prog, nil)
+	m, err := g.CreateMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := prog.EventByName("E")
+	f, _ := prog.EventByName("F")
+	gg, _ := prog.EventByName("G")
+	// E pushes Sub. F arrives next but Root deferred it, and Sub inherits
+	// the deferral, so G is dequeued first (Sub -> SubDone -> raise Back
+	// pops to Root -> Fin). Only then is F delivered, in Fin.
+	g.Send(m.ID, e, core.Null)
+	g.Send(m.ID, f, core.Null)
+	g.Send(m.ID, gg, core.Null)
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.Vars[0] != core.IntVal(12) {
+		t.Fatalf("order = %v, want 12 (Fin before TookF)", m.Vars[0])
+	}
+}
+
+const unhandledProgram = `
+event A; event B;
+machine M {
+  state S {
+    entry { skip; }
+    on A goto S;
+  }
+}
+main M();
+`
+
+func TestUnhandledEventError(t *testing.T) {
+	prog := mustCompile(t, "unhandled", unhandledProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	b, _ := prog.EventByName("B")
+	g.Send(m.ID, b, core.Null)
+	err := runRoundRobin(t, g, 100)
+	if err == nil {
+		t.Fatal("expected unhandled-event error")
+	}
+	if err.Kind != core.ErrUnhandled {
+		t.Fatalf("kind = %v, want ErrUnhandled", err.Kind)
+	}
+	if !strings.Contains(err.Error(), "B") {
+		t.Fatalf("error should name the event: %v", err)
+	}
+}
+
+const assertProgram = `
+event unit;
+machine M {
+  var x: int;
+  state S {
+    entry {
+      x = 3;
+      assert x > 2;
+      assert x > 3;
+    }
+  }
+}
+main M();
+`
+
+func TestAssertFailure(t *testing.T) {
+	prog := mustCompile(t, "assert", assertProgram)
+	g := core.NewGlobal(prog, nil)
+	g.CreateMain()
+	err := runRoundRobin(t, g, 100)
+	if err == nil || err.Kind != core.ErrAssert {
+		t.Fatalf("expected assertion failure, got %v", err)
+	}
+}
+
+const sendDeletedProgram = `
+event Hi; event unit;
+machine M {
+  var other: id;
+  state S {
+    entry {
+      other = new Victim();
+      raise unit;
+    }
+    on unit goto Poke;
+  }
+  state Poke {
+    entry { send other, Hi; }
+  }
+}
+machine Victim {
+  state V { entry { delete; } }
+}
+main M();
+`
+
+func TestSendToDeleted(t *testing.T) {
+	prog := mustCompile(t, "senddeleted", sendDeletedProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	// Schedule explicitly: M creates Victim (sched point), then Victim runs
+	// and deletes itself, then M sends to the tombstone.
+	out := g.RunToSchedPoint(m.ID, &core.FixedChoices{}, 0)
+	if out.Kind != core.OutNew {
+		t.Fatalf("expected creation sched point, got %v", out.Kind)
+	}
+	vict := g.RunToSchedPoint(out.Created, &core.FixedChoices{}, 0)
+	if vict.Kind != core.OutHalted {
+		t.Fatalf("expected victim to halt, got %v", vict.Kind)
+	}
+	fin := g.RunToSchedPoint(m.ID, &core.FixedChoices{}, 0)
+	if fin.Kind != core.OutError || fin.Err.Kind != core.ErrSendDeleted {
+		t.Fatalf("expected send-to-deleted error, got %v / %v", fin.Kind, fin.Err)
+	}
+}
+
+const sendNullProgram = `
+event Hi;
+machine M {
+  var other: id;
+  state S {
+    entry { send other, Hi; }
+  }
+}
+main M();
+`
+
+func TestSendToNull(t *testing.T) {
+	prog := mustCompile(t, "sendnull", sendNullProgram)
+	g := core.NewGlobal(prog, nil)
+	g.CreateMain()
+	err := runRoundRobin(t, g, 100)
+	if err == nil || err.Kind != core.ErrSendNull {
+		t.Fatalf("expected send-to-null error, got %v", err)
+	}
+}
+
+const divergeProgram = `
+event unit;
+machine M {
+  var x: int;
+  state S {
+    entry {
+      while true { x = x + 1; }
+    }
+  }
+}
+main M();
+`
+
+func TestDivergenceDetected(t *testing.T) {
+	prog := mustCompile(t, "diverge", divergeProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	out := g.RunToSchedPoint(m.ID, &core.FixedChoices{}, 1000)
+	if out.Kind != core.OutError || out.Err.Kind != core.ErrDivergence {
+		t.Fatalf("expected divergence error, got %v / %v", out.Kind, out.Err)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	prog := mustCompile(t, "pingpong", psamples.PingPong)
+	g := core.NewGlobal(prog, nil)
+	g.CreateMain()
+	fp1 := g.Fingerprint()
+	clone := g.Clone()
+	if got := clone.Fingerprint(); got != fp1 {
+		t.Fatal("clone fingerprint differs from original")
+	}
+	// A step must change the fingerprint.
+	clone.RunToSchedPoint(clone.LiveIDs()[0], &core.FixedChoices{}, 0)
+	if clone.Fingerprint() == fp1 {
+		t.Fatal("fingerprint unchanged after a macro step")
+	}
+	// And the original is untouched.
+	if g.Fingerprint() != fp1 {
+		t.Fatal("running a clone mutated the original")
+	}
+}
+
+func TestChoiceEnumeration(t *testing.T) {
+	f := &core.FixedChoices{}
+	// Simulate a run demanding 2 choices.
+	demand2 := func() (bool, bool) { a := f.Choose(); b := f.Choose(); return a, b }
+	a, b := demand2()
+	if a || b {
+		t.Fatal("first string should be all false")
+	}
+	var seen [][2]bool
+	seen = append(seen, [2]bool{a, b})
+	for f.NextString() {
+		a, b := demand2()
+		seen = append(seen, [2]bool{a, b})
+	}
+	if len(seen) != 4 {
+		t.Fatalf("enumerated %d strings, want 4: %v", len(seen), seen)
+	}
+}
+
+const leaveProgram = `
+event A;
+machine M {
+  var x: int;
+  state S {
+    entry {
+      x = 1;
+      leave;
+      x = 2;
+    }
+    on A goto S;
+  }
+}
+main M();
+`
+
+func TestLeaveSkipsRest(t *testing.T) {
+	prog := mustCompile(t, "leave", leaveProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.Vars[0] != core.IntVal(1) {
+		t.Fatalf("x = %v, want 1 (leave must skip the rest of entry)", m.Vars[0])
+	}
+}
+
+const exitProgram = `
+event A; event B;
+machine M {
+  var trace: int;
+  state S1 {
+    entry { trace = trace * 10 + 1; }
+    exit { trace = trace * 10 + 9; }
+    on A goto S2;
+    on B do NoOp;
+  }
+  state S2 {
+    entry { trace = trace * 10 + 2; }
+    on A goto S2;
+    on B goto S2;
+  }
+  action NoOp { skip; }
+}
+main M(trace = 0);
+`
+
+// TestExitOnlyOnLeaving: exit runs when a step transition leaves the state,
+// but not when an action handles an event in place.
+func TestExitOnlyOnLeaving(t *testing.T) {
+	prog := mustCompile(t, "exit", exitProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	b, _ := prog.EventByName("B")
+	a, _ := prog.EventByName("A")
+	g.Send(m.ID, b, core.Null) // handled by action: no exit
+	g.Send(m.ID, a, core.Null) // step: exit then entry of S2
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if m.Vars[0] != core.IntVal(192) {
+		t.Fatalf("trace = %v, want 192 (enter S1, exit S1, enter S2)", m.Vars[0])
+	}
+}
+
+// Erasing the elevator program must remove the ghost machines and all sends
+// to them, and the erased Elevator machine must still be executable.
+func TestEraseElevator(t *testing.T) {
+	prog := mustCompile(t, "elevator", psamples.Elevator)
+	erased := ir.Erase(prog)
+	if err := erased.Validate(); err != nil {
+		t.Fatalf("erased program invalid: %v", err)
+	}
+	for _, m := range erased.Machines {
+		if m.Ghost && !m.ErasedStub {
+			t.Fatalf("ghost machine %s not stubbed", m.Name)
+		}
+	}
+	elev, ok := erased.MachineByName("Elevator")
+	if !ok {
+		t.Fatal("no Elevator in erased program")
+	}
+	if elev.ErasedStub {
+		t.Fatal("real machine stubbed by erasure")
+	}
+	// The erased elevator must contain no sends (all targets were ghost).
+	var count func(ss []*ir.Stmt) int
+	count = func(ss []*ir.Stmt) int {
+		n := 0
+		for _, s := range ss {
+			if s.Op == ir.SSend || s.Op == ir.SNew {
+				n++
+			}
+			n += count(s.Body) + count(s.Else)
+		}
+		return n
+	}
+	for _, st := range elev.States {
+		if n := count(st.Entry) + count(st.Exit); n != 0 {
+			t.Fatalf("state %s retains %d ghost operations after erasure", st.Name, n)
+		}
+	}
+	// The erased elevator runs standalone: drive it with environment sends.
+	g := core.NewGlobal(erased, nil)
+	c, err := g.Create(elev.ID, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("create erased elevator: %v", err)
+	}
+	open, _ := erased.EventByName("OpenDoor")
+	opened, _ := erased.EventByName("DoorOpened")
+	g.Send(c.ID, open, core.Null)
+	if e := runRoundRobin(t, g, 100); e != nil {
+		t.Fatalf("run: %v", e)
+	}
+	names := erased.Machines[c.Type].States
+	if names[c.CurrentState()].Name != "Opening" {
+		t.Fatalf("after OpenDoor expected Opening, got %s", names[c.CurrentState()].Name)
+	}
+	g.Send(c.ID, opened, core.Null)
+	if e := runRoundRobin(t, g, 100); e != nil {
+		t.Fatalf("run: %v", e)
+	}
+	if names[c.CurrentState()].Name != "Opened" {
+		t.Fatalf("after DoorOpened expected Opened, got %s", names[c.CurrentState()].Name)
+	}
+}
+
+func TestSamplesCompile(t *testing.T) {
+	for _, s := range psamples.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			prog, diags, err := compile.Source(s.Name, s.Source)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, diags.String())
+			}
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			erased := ir.Erase(prog)
+			if err := erased.Validate(); err != nil {
+				t.Fatalf("validate erased: %v", err)
+			}
+		})
+	}
+}

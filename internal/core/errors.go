@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"pgo/internal/ir"
+	"pgo/internal/source"
+)
+
+// ErrKind classifies the error transitions of Figure 6 plus the dynamic
+// errors the implementation can detect.
+type ErrKind int
+
+const (
+	// ErrAssert is a failed assertion (ASSERT-FAIL).
+	ErrAssert ErrKind = iota
+	// ErrSendNull is a send whose target evaluated to ⊥ (SEND-FAIL-1).
+	ErrSendNull
+	// ErrSendDeleted is a send to a deleted or never-created machine
+	// (SEND-FAIL-2).
+	ErrSendDeleted
+	// ErrUnhandled is a pop of the empty stack (POP-FAIL): an event arrived
+	// that no state on the call stack handles.
+	ErrUnhandled
+	// ErrUndefCond is a conditional or assertion whose condition evaluated
+	// to ⊥; no rule of the semantics applies, so the machine is stuck.
+	ErrUndefCond
+	// ErrForeignMissing is a foreign call with no host binding and no model.
+	ErrForeignMissing
+	// ErrForeign is an error returned by a host foreign function.
+	ErrForeign
+	// ErrDivergence is a machine exceeding the local step budget inside one
+	// atomic handler: evidence for the first liveness property of §3.2
+	// (◇□ sched(m)).
+	ErrDivergence
+	// ErrStub is an attempt to instantiate an erased ghost machine.
+	ErrStub
+)
+
+func (k ErrKind) String() string {
+	switch k {
+	case ErrAssert:
+		return "assertion failed"
+	case ErrSendNull:
+		return "send to undefined machine identifier"
+	case ErrSendDeleted:
+		return "send to deleted machine"
+	case ErrUnhandled:
+		return "unhandled event"
+	case ErrUndefCond:
+		return "condition evaluated to null"
+	case ErrForeignMissing:
+		return "foreign function has no binding"
+	case ErrForeign:
+		return "foreign function error"
+	case ErrDivergence:
+		return "machine diverges without reaching a scheduling point"
+	case ErrStub:
+		return "erased ghost machine instantiated"
+	default:
+		return fmt.Sprintf("error(%d)", int(k))
+	}
+}
+
+// Err is a runtime error of a P machine, carrying enough context to report
+// a usable message.
+type Err struct {
+	Kind    ErrKind
+	Machine MachineID
+	Type    string // machine type name
+	State   string // current state name, if known
+	Event   ir.EventID
+	HasEv   bool
+	Span    source.Span
+	Detail  string
+}
+
+func (e *Err) Error() string {
+	msg := fmt.Sprintf("%s in machine %s#%d", e.Kind, e.Type, e.Machine)
+	if e.State != "" {
+		msg += fmt.Sprintf(" (state %s)", e.State)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Span.IsValid() {
+		msg += " at " + e.Span.Start.String()
+	}
+	return msg
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"pgo/internal/ir"
+	"pgo/internal/source"
+)
+
+// ChoiceSource supplies the values of nondeterministic `*` expressions.
+// During model checking the explorer enumerates all supplied bit strings;
+// during concrete simulation a random or scripted source may be used.
+// The erased programs executed by the concurrent runtime contain no `*`.
+type ChoiceSource interface {
+	Choose() bool
+}
+
+// FixedChoices is a ChoiceSource that replays a recorded bit string and
+// appends a false bit whenever execution demands more choices than recorded.
+// After a run, Bits holds the complete string consumed, enabling systematic
+// enumeration of the choice tree.
+type FixedChoices struct {
+	Bits []bool
+	pos  int
+}
+
+// Choose implements ChoiceSource.
+func (f *FixedChoices) Choose() bool {
+	if f.pos < len(f.Bits) {
+		b := f.Bits[f.pos]
+		f.pos++
+		return b
+	}
+	f.Bits = append(f.Bits, false)
+	f.pos++
+	return false
+}
+
+// Reset rewinds the replay position, keeping the recorded bits.
+func (f *FixedChoices) Reset() { f.pos = 0 }
+
+// NextString advances Bits to the next string in the depth-first
+// enumeration of the binary choice tree: the last false bit becomes true and
+// everything after it is discarded. It reports false when the enumeration is
+// exhausted.
+func (f *FixedChoices) NextString() bool {
+	i := len(f.Bits) - 1
+	for i >= 0 && f.Bits[i] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	f.Bits[i] = true
+	f.Bits = f.Bits[:i+1]
+	f.pos = 0
+	return true
+}
+
+// modelStepBudget bounds statement execution inside foreign model bodies so
+// a buggy model cannot hang the verifier.
+const modelStepBudget = 100_000
+
+// eval evaluates expression e in the context of machine configuration c
+// (which may be nil only for constant expressions, e.g. main initializers).
+// ⊥ propagates through arithmetic, comparison, and logical operators;
+// equality is total.
+func (x *Exec) eval(c *Config, e *ir.Expr, cs ChoiceSource) (Value, *Err) {
+	switch e.Op {
+	case ir.EInt:
+		return IntVal(e.Int), nil
+	case ir.EBool:
+		return BoolVal(e.Int != 0), nil
+	case ir.ENull:
+		return Null, nil
+	case ir.EThis:
+		return MachineVal(c.ID), nil
+	case ir.EMsg:
+		return c.Msg, nil
+	case ir.EArg:
+		return c.Arg, nil
+	case ir.EChoose:
+		if cs == nil {
+			return Null, x.errAt(c, ErrUndefCond, e.Span, "nondeterministic choice evaluated without a choice source")
+		}
+		return BoolVal(cs.Choose()), nil
+	case ir.EVar:
+		return c.Vars[e.Var], nil
+	case ir.EEvent:
+		return EventVal(e.Event), nil
+	case ir.ENot:
+		v, err := x.eval(c, e.X, cs)
+		if err != nil {
+			return Null, err
+		}
+		if b, ok := v.AsBool(); ok {
+			return BoolVal(!b), nil
+		}
+		return Null, nil // ⊥ propagation
+	case ir.ENeg:
+		v, err := x.eval(c, e.X, cs)
+		if err != nil {
+			return Null, err
+		}
+		if n, ok := v.AsInt(); ok {
+			return IntVal(-n), nil
+		}
+		return Null, nil
+	case ir.EBinary:
+		return x.evalBinary(c, e, cs)
+	case ir.ECall:
+		return x.evalCall(c, e, cs)
+	default:
+		return Null, x.errAt(c, ErrUndefCond, e.Span, "unknown expression operator")
+	}
+}
+
+func (x *Exec) evalBinary(c *Config, e *ir.Expr, cs ChoiceSource) (Value, *Err) {
+	xv, err := x.eval(c, e.X, cs)
+	if err != nil {
+		return Null, err
+	}
+	// Short-circuit boolean operators, matching conventional evaluation; a
+	// ⊥ left operand still yields ⊥.
+	switch e.Bin {
+	case ir.And:
+		if b, ok := xv.AsBool(); ok && !b {
+			return BoolVal(false), nil
+		}
+	case ir.Or:
+		if b, ok := xv.AsBool(); ok && b {
+			return BoolVal(true), nil
+		}
+	}
+	y, err := x.eval(c, e.Y, cs)
+	if err != nil {
+		return Null, err
+	}
+
+	switch e.Bin {
+	case ir.Eq:
+		// Equality is total: ⊥ compares equal only to ⊥. This deviates from
+		// strict ⊥ propagation so that `x == null` is usable as an
+		// initialization test (see DESIGN.md).
+		return BoolVal(xv == y), nil
+	case ir.Neq:
+		return BoolVal(xv != y), nil
+	}
+
+	switch e.Bin {
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Mod, ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		a, okA := xv.AsInt()
+		b, okB := y.AsInt()
+		if !okA || !okB {
+			return Null, nil // ⊥ propagation
+		}
+		switch e.Bin {
+		case ir.Add:
+			return IntVal(a + b), nil
+		case ir.Sub:
+			return IntVal(a - b), nil
+		case ir.Mul:
+			return IntVal(a * b), nil
+		case ir.Div:
+			if b == 0 {
+				return Null, nil // x/0 is ⊥
+			}
+			return IntVal(a / b), nil
+		case ir.Mod:
+			if b == 0 {
+				return Null, nil
+			}
+			return IntVal(a % b), nil
+		case ir.Lt:
+			return BoolVal(a < b), nil
+		case ir.Le:
+			return BoolVal(a <= b), nil
+		case ir.Gt:
+			return BoolVal(a > b), nil
+		case ir.Ge:
+			return BoolVal(a >= b), nil
+		}
+	case ir.And, ir.Or:
+		a, okA := xv.AsBool()
+		b, okB := y.AsBool()
+		if !okA || !okB {
+			return Null, nil
+		}
+		if e.Bin == ir.And {
+			return BoolVal(a && b), nil
+		}
+		return BoolVal(a || b), nil
+	}
+	return Null, x.errAt(c, ErrUndefCond, e.Span, "unknown binary operator")
+}
+
+// evalCall evaluates a foreign function call. During verification the model
+// body (if any) executes and the call yields ⊥; otherwise the host binding
+// runs. A missing binding without a model is an error only when the call's
+// result is semantically demanded (we return ⊥ and no error, matching the
+// paper's treatment of foreign functions as data-path code — configurable
+// via Global.StrictForeign in future work; here we always report it).
+func (x *Exec) evalCall(c *Config, e *ir.Expr, cs ChoiceSource) (Value, *Err) {
+	mt := x.Prog.Machines[c.Type]
+	f := &mt.Foreigns[e.ForeignFn]
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := x.eval(c, a, cs)
+		if err != nil {
+			return Null, err
+		}
+		args[i] = v
+	}
+	// Model body takes precedence during verification.
+	if f.Model != nil {
+		budget := modelStepBudget
+		if err := x.execModel(c, f.Model, cs, &budget); err != nil {
+			return Null, err
+		}
+		return Null, nil
+	}
+	if x.Foreign != nil {
+		if fn := x.Foreign.Lookup(mt.Name, f.Name); fn != nil {
+			v, err := fn(c.Ctx, args)
+			if err != nil {
+				return Null, x.errAt(c, ErrForeign, e.Span, f.Name+": "+err.Error())
+			}
+			return v, nil
+		}
+	}
+	return Null, x.errAt(c, ErrForeignMissing, e.Span, f.Name)
+}
+
+// execModel executes a foreign model body: a local, erasable statement list
+// (only skip/assign/assert/if/while and nested calls are permitted by the
+// type checker).
+func (x *Exec) execModel(c *Config, body []*ir.Stmt, cs ChoiceSource, budget *int) *Err {
+	for _, s := range body {
+		if *budget <= 0 {
+			return x.errAt(c, ErrDivergence, s.Span, "foreign model body exceeded step budget")
+		}
+		*budget--
+		switch s.Op {
+		case ir.SSkip:
+		case ir.SAssign:
+			v, err := x.eval(c, s.Expr, cs)
+			if err != nil {
+				return err
+			}
+			c.Vars[s.Var] = v
+		case ir.SAssert:
+			v, err := x.eval(c, s.Expr, cs)
+			if err != nil {
+				return err
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				return x.errAt(c, ErrUndefCond, s.Span, "assert condition is null")
+			}
+			if !b {
+				return x.errAt(c, ErrAssert, s.Span, "in foreign model")
+			}
+		case ir.SIf:
+			v, err := x.eval(c, s.Expr, cs)
+			if err != nil {
+				return err
+			}
+			b, ok := v.AsBool()
+			if !ok {
+				return x.errAt(c, ErrUndefCond, s.Span, "if condition is null")
+			}
+			branch := s.Body
+			if !b {
+				branch = s.Else
+			}
+			if err := x.execModel(c, branch, cs, budget); err != nil {
+				return err
+			}
+		case ir.SWhile:
+			for {
+				if *budget <= 0 {
+					return x.errAt(c, ErrDivergence, s.Span, "foreign model body exceeded step budget")
+				}
+				v, err := x.eval(c, s.Expr, cs)
+				if err != nil {
+					return err
+				}
+				b, ok := v.AsBool()
+				if !ok {
+					return x.errAt(c, ErrUndefCond, s.Span, "while condition is null")
+				}
+				if !b {
+					break
+				}
+				if err := x.execModel(c, s.Body, cs, budget); err != nil {
+					return err
+				}
+			}
+		case ir.SForeign:
+			call := &ir.Expr{Op: ir.ECall, ForeignFn: s.Foreign, Args: s.Args, Span: s.Span}
+			if _, err := x.eval(c, call, cs); err != nil {
+				return err
+			}
+		default:
+			return x.errAt(c, ErrUndefCond, s.Span, "statement not permitted in foreign model body")
+		}
+	}
+	return nil
+}
+
+// errAt builds an Err with machine context.
+func (x *Exec) errAt(c *Config, kind ErrKind, span source.Span, detail string) *Err {
+	e := &Err{Kind: kind, Span: span, Detail: detail}
+	if c != nil {
+		e.Machine = c.ID
+		mt := x.Prog.Machines[c.Type]
+		e.Type = mt.Name
+		if len(c.Stack) > 0 {
+			e.State = mt.States[c.top().State].Name
+		}
+	}
+	return e
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/binary"
+)
+
+// Fingerprint returns a canonical, collision-free encoding of the global
+// configuration as a string suitable for use as a visited-set key. Two
+// globals have equal fingerprints iff they are semantically identical
+// (same machines, stacks, stores, continuations, modes, and queues).
+//
+// Continuations are encoded as the sequence of program-unique statement
+// indices along the cons list; inherited handler maps and event sets are
+// encoded verbatim. Host context pointers (Config.Ctx) and the foreign
+// environment are deliberately excluded: they are execution-only state.
+func (g *Global) Fingerprint() string {
+	buf := make([]byte, 0, 256)
+	buf = appendUvarint(buf, uint64(g.NextID))
+	buf = appendUvarint(buf, uint64(len(g.machines)))
+	for _, c := range g.machines {
+		if c == nil || c.Mode == ModeHalted {
+			buf = append(buf, 0xFF)
+			continue
+		}
+		buf = c.appendFingerprint(buf)
+	}
+	return string(buf)
+}
+
+func (c *Config) appendFingerprint(buf []byte) []byte {
+	buf = append(buf, byte(c.Mode))
+	buf = appendUvarint(buf, uint64(c.Type))
+
+	buf = appendUvarint(buf, uint64(len(c.Stack)))
+	for i := range c.Stack {
+		fr := &c.Stack[i]
+		buf = appendUvarint(buf, uint64(fr.State))
+		for _, h := range fr.Inherited {
+			buf = appendVarint(buf, int64(h))
+		}
+		buf = appendCont(buf, fr.ReturnCont)
+	}
+
+	buf = appendUvarint(buf, uint64(len(c.Vars)))
+	for _, v := range c.Vars {
+		buf = appendValue(buf, v)
+	}
+	buf = appendValue(buf, c.Msg)
+	buf = appendValue(buf, c.Arg)
+
+	buf = appendCont(buf, c.Cont)
+
+	buf = appendUvarint(buf, uint64(c.Raised))
+	buf = appendValue(buf, c.RaisedVal)
+	if c.ExitRun {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+
+	buf = appendUvarint(buf, uint64(len(c.Queue)))
+	for _, q := range c.Queue {
+		buf = appendUvarint(buf, uint64(q.Event))
+		buf = appendValue(buf, q.Val)
+	}
+	return buf
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	buf = append(buf, byte(v.Kind))
+	return appendVarint(buf, v.N)
+}
+
+func appendCont(buf []byte, k *Cont) []byte {
+	n := 0
+	for p := k; p != nil; p = p.Next {
+		n++
+	}
+	buf = appendUvarint(buf, uint64(n))
+	for p := k; p != nil; p = p.Next {
+		buf = appendUvarint(buf, uint64(p.S.Index))
+	}
+	return buf
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}

@@ -1,0 +1,379 @@
+package core_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pgo/internal/core"
+)
+
+// Arithmetic and comparison semantics, exercised through a generated
+// program per case (each expression is evaluated by the real machinery,
+// not a unit-tested helper).
+func TestArithmeticTable(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2", 3},
+		{"7 - 10", -3},
+		{"6 * 7", 42},
+		{"17 / 5", 3},
+		{"-17 / 5", -3}, // Go-style truncated division
+		{"17 % 5", 2},
+		{"-17 % 5", -2},
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"-(3 + 4)", -7},
+		{"1 - 2 - 3", -4}, // left associative
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.expr, func(t *testing.T) {
+			src := fmt.Sprintf(`
+event unit;
+machine M {
+  var x: int;
+  state S { entry { x = %s; } }
+}
+main M();
+`, c.expr)
+			prog := mustCompile(t, "arith", src)
+			g := core.NewGlobal(prog, nil)
+			m, _ := g.CreateMain()
+			if err := runRoundRobin(t, g, 100); err != nil {
+				t.Fatal(err)
+			}
+			if m.Vars[0] != core.IntVal(c.want) {
+				t.Fatalf("%s = %v, want %d", c.expr, m.Vars[0], c.want)
+			}
+		})
+	}
+}
+
+func TestBooleanTable(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"1 < 2", true},
+		{"2 <= 2", true},
+		{"3 > 3", false},
+		{"3 >= 3", true},
+		{"1 == 1 && 2 == 2", true},
+		{"1 == 2 || 2 == 2", true},
+		{"!(1 == 1)", false},
+		{"true && !false", true},
+		{"1 != 2", true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.expr, func(t *testing.T) {
+			src := fmt.Sprintf(`
+event unit;
+machine M {
+  var b: bool;
+  state S { entry { b = %s; } }
+}
+main M();
+`, c.expr)
+			prog := mustCompile(t, "boolean", src)
+			g := core.NewGlobal(prog, nil)
+			m, _ := g.CreateMain()
+			if err := runRoundRobin(t, g, 100); err != nil {
+				t.Fatal(err)
+			}
+			if m.Vars[0] != core.BoolVal(c.want) {
+				t.Fatalf("%s = %v, want %v", c.expr, m.Vars[0], c.want)
+			}
+		})
+	}
+}
+
+const whileProgram = `
+event unit;
+machine M {
+  var i: int;
+  var sum: int;
+  state S {
+    entry {
+      i = 0;
+      sum = 0;
+      while i < 10 {
+        i = i + 1;
+        if i % 2 == 0 {
+          sum = sum + i;
+        }
+      }
+    }
+  }
+}
+main M();
+`
+
+func TestWhileLoop(t *testing.T) {
+	prog := mustCompile(t, "while", whileProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[1] != core.IntVal(30) { // 2+4+6+8+10
+		t.Fatalf("sum = %v, want 30", m.Vars[1])
+	}
+}
+
+// A host foreign binding may also be used during verification (pure
+// data-path helpers), taking effect when no model body exists.
+const hostForeignProgram = `
+event unit;
+machine M {
+  var x: int;
+  foreign double(int): int;
+  state S {
+    entry { x = double(21); }
+  }
+}
+main M();
+`
+
+func TestHostForeignDuringVerification(t *testing.T) {
+	prog := mustCompile(t, "hostforeign", hostForeignProgram)
+	foreign := core.ForeignMap{
+		"M.double": func(ctx any, args []core.Value) (core.Value, error) {
+			n, ok := args[0].AsInt()
+			if !ok {
+				return core.Null, errors.New("not an int")
+			}
+			return core.IntVal(2 * n), nil
+		},
+	}
+	g := core.NewGlobal(prog, foreign)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[0] != core.IntVal(42) {
+		t.Fatalf("x = %v, want 42", m.Vars[0])
+	}
+}
+
+// A host foreign function returning an error surfaces as ErrForeign.
+func TestHostForeignError(t *testing.T) {
+	prog := mustCompile(t, "hostforeign", hostForeignProgram)
+	foreign := core.ForeignMap{
+		"M.double": func(ctx any, args []core.Value) (core.Value, error) {
+			return core.Null, errors.New("device unplugged")
+		},
+	}
+	g := core.NewGlobal(prog, foreign)
+	g.CreateMain()
+	err := runRoundRobin(t, g, 100)
+	if err == nil || err.Kind != core.ErrForeign {
+		t.Fatalf("expected foreign error, got %v", err)
+	}
+}
+
+// Self-send: the machine enqueues to itself mid-handler and processes the
+// event in a later macro step.
+const selfSendProgram = `
+event Kick(int);
+machine M {
+  var hops: int;
+  state S {
+    entry {
+      hops = 0;
+      send this, Kick, 1;
+    }
+    on Kick do Hop;
+  }
+  action Hop {
+    hops = hops + 1;
+    if hops < 3 {
+      send this, Kick, hops + 1;
+    }
+  }
+}
+main M();
+`
+
+func TestSelfSend(t *testing.T) {
+	prog := mustCompile(t, "selfsend", selfSendProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[0] != core.IntVal(3) {
+		t.Fatalf("hops = %v, want 3", m.Vars[0])
+	}
+}
+
+// Raise with payload sets msg and arg exactly like a dequeue.
+const raisePayloadProgram = `
+event Carry(int);
+event unit;
+machine M {
+  var got: int;
+  var wasCarry: bool;
+  state S {
+    entry { raise Carry, 99; }
+    on Carry goto Landed;
+  }
+  state Landed {
+    entry {
+      got = arg;
+      wasCarry = msg == Carry;
+    }
+  }
+}
+main M();
+`
+
+func TestRaisePayload(t *testing.T) {
+	prog := mustCompile(t, "raisepayload", raisePayloadProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[0] != core.IntVal(99) {
+		t.Fatalf("got = %v, want 99", m.Vars[0])
+	}
+	if m.Vars[1] != core.BoolVal(true) {
+		t.Fatal("msg inside handler should be Carry")
+	}
+}
+
+// The NEW rule: creation initializers are evaluated in the creator's
+// context, and the created machine starts in its first state with ⊥
+// elsewhere.
+const createInitProgram = `
+event unit;
+machine Parent {
+  var child: id;
+  var base: int;
+  state S {
+    entry {
+      base = 10;
+      child = new Child(seed = base * 2, who = this);
+    }
+  }
+}
+machine Child {
+  var seed: int;
+  var who: id;
+  var blank: int;
+  var ok: bool;
+  state T {
+    entry {
+      ok = seed == 20 && who != null && blank == null;
+    }
+  }
+}
+main Parent();
+`
+
+func TestCreationInitializers(t *testing.T) {
+	prog := mustCompile(t, "createinit", createInitProgram)
+	g := core.NewGlobal(prog, nil)
+	g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	var child *core.Config
+	for _, id := range g.LiveIDs() {
+		c := g.Get(id)
+		if g.Prog.Machines[c.Type].Name == "Child" {
+			child = c
+		}
+	}
+	if child == nil {
+		t.Fatal("child not created")
+	}
+	if child.Vars[3] != core.BoolVal(true) {
+		t.Fatalf("child invariants: seed=%v who=%v blank=%v ok=%v",
+			child.Vars[0], child.Vars[1], child.Vars[2], child.Vars[3])
+	}
+}
+
+// OutYield ablation: with YieldOnDequeue, a burst handling two queued
+// events yields between them.
+const yieldProgram = `
+event A; event B;
+machine M {
+  var seen: int;
+  state S {
+    entry { seen = 0; }
+    on A do Bump;
+    on B do Bump;
+  }
+  action Bump { seen = seen + 1; }
+}
+main M();
+`
+
+func TestYieldOnDequeue(t *testing.T) {
+	prog := mustCompile(t, "yield", yieldProgram)
+	g := core.NewGlobal(prog, nil)
+	g.YieldOnDequeue = true
+	m, _ := g.CreateMain()
+	a, _ := prog.EventByName("A")
+	b, _ := prog.EventByName("B")
+	// Let the entry run first.
+	if out := g.RunToSchedPoint(m.ID, nil, 0); out.Kind != core.OutBlocked {
+		t.Fatalf("setup: %v", out.Kind)
+	}
+	g.Send(m.ID, a, core.Null)
+	g.Send(m.ID, b, core.Null)
+	out := g.RunToSchedPoint(m.ID, nil, 0)
+	if out.Kind != core.OutYield {
+		t.Fatalf("expected yield after first dequeue, got %v", out.Kind)
+	}
+	if len(out.Dequeued) != 1 {
+		t.Fatalf("dequeued %d events before yield, want 1", len(out.Dequeued))
+	}
+	out = g.RunToSchedPoint(m.ID, nil, 0)
+	if out.Kind != core.OutBlocked {
+		t.Fatalf("expected blocked after second burst, got %v", out.Kind)
+	}
+	if m.Vars[0] != core.IntVal(2) {
+		t.Fatalf("seen = %v, want 2", m.Vars[0])
+	}
+}
+
+// Without the ablation the same burst handles both events atomically.
+func TestNoYieldByDefault(t *testing.T) {
+	prog := mustCompile(t, "yield", yieldProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	a, _ := prog.EventByName("A")
+	b, _ := prog.EventByName("B")
+	if out := g.RunToSchedPoint(m.ID, nil, 0); out.Kind != core.OutBlocked {
+		t.Fatalf("setup: %v", out.Kind)
+	}
+	g.Send(m.ID, a, core.Null)
+	g.Send(m.ID, b, core.Null)
+	out := g.RunToSchedPoint(m.ID, nil, 0)
+	if out.Kind != core.OutBlocked || len(out.Dequeued) != 2 {
+		t.Fatalf("expected one atomic burst of 2 dequeues, got %v with %d", out.Kind, len(out.Dequeued))
+	}
+}
+
+// Dedup ablation: with DisableDedup duplicates pile up.
+func TestDisableDedup(t *testing.T) {
+	prog := mustCompile(t, "yield", yieldProgram)
+	g := core.NewGlobal(prog, nil)
+	g.DisableDedup = true
+	m, _ := g.CreateMain()
+	a, _ := prog.EventByName("A")
+	for i := 0; i < 3; i++ {
+		if added, err := g.Send(m.ID, a, core.Null); err != nil || !added {
+			t.Fatalf("send %d: added=%v err=%v", i, added, err)
+		}
+	}
+	if len(m.Queue) != 3 {
+		t.Fatalf("queue = %d entries, want 3 without dedup", len(m.Queue))
+	}
+}

@@ -1,0 +1,476 @@
+package core_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+// msg and arg track the last dequeued event and payload (DEQUEUE rule).
+const msgArgProgram = `
+event Data(int);
+event Probe;
+machine M {
+  var lastWasData: bool;
+  var sum: int;
+  state S {
+    entry { sum = 0; }
+    on Data do Accumulate;
+    on Probe do CheckMsg;
+  }
+  action Accumulate {
+    lastWasData = msg == Data;
+    sum = sum + arg;
+  }
+  action CheckMsg {
+    lastWasData = msg == Data;
+  }
+}
+main M();
+`
+
+func TestMsgAndArg(t *testing.T) {
+	prog := mustCompile(t, "msgarg", msgArgProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	data, _ := prog.EventByName("Data")
+	probe, _ := prog.EventByName("Probe")
+	g.Send(m.ID, data, core.IntVal(4))
+	g.Send(m.ID, data, core.IntVal(5))
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[1] != core.IntVal(9) {
+		t.Fatalf("sum = %v, want 9", m.Vars[1])
+	}
+	if m.Vars[0] != core.BoolVal(true) {
+		t.Fatal("msg did not equal Data inside the Data handler")
+	}
+	g.Send(m.ID, probe, core.Null)
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[0] != core.BoolVal(false) {
+		t.Fatal("msg still Data inside the Probe handler")
+	}
+}
+
+// The call *statement* saves the continuation: after the callee returns,
+// execution resumes with the statements following the call.
+const callStmtProgram = `
+event Done; event unit;
+machine M {
+  var trace: int;
+  state Root {
+    entry {
+      trace = trace * 10 + 1;
+      call Sub;
+      trace = trace * 10 + 3;
+      raise unit;
+    }
+    on unit goto Fin;
+  }
+  state Sub {
+    entry {
+      trace = trace * 10 + 2;
+      return;
+    }
+  }
+  state Fin {
+    entry { trace = trace * 10 + 4; }
+    on Done goto Fin;
+  }
+}
+main M(trace = 0);
+`
+
+func TestCallStatementResumesContinuation(t *testing.T) {
+	prog := mustCompile(t, "callstmt", callStmtProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[0] != core.IntVal(1234) {
+		t.Fatalf("trace = %v, want 1234 (call resumes after return)", m.Vars[0])
+	}
+	if m.Depth() != 1 {
+		t.Fatalf("depth = %d after return, want 1", m.Depth())
+	}
+}
+
+// An unhandled event in a state entered by a call statement discards the
+// saved continuation (POP1) and the caller handles the event.
+const callStmtPopProgram = `
+event E; event unit;
+machine M {
+  var trace: int;
+  state Root {
+    entry {
+      call Sub;
+      trace = trace * 10 + 9;
+    }
+    on E goto Handled;
+  }
+  state Sub {
+    entry {
+      trace = trace * 10 + 1;
+      raise E;
+    }
+  }
+  state Handled {
+    entry { trace = trace * 10 + 2; }
+    on E goto Handled;
+  }
+}
+main M(trace = 0);
+`
+
+func TestCallStatementPopDiscardsContinuation(t *testing.T) {
+	prog := mustCompile(t, "callpop", callStmtPopProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	// 1 (Sub entry) then 2 (Handled); the ...9 continuation must NOT run.
+	if m.Vars[0] != core.IntVal(12) {
+		t.Fatalf("trace = %v, want 12", m.Vars[0])
+	}
+}
+
+// Foreign model bodies execute during verification and may use `*` and
+// update ghost variables.
+const foreignModelProgram = `
+event unit;
+ghost machine G { state S { entry { skip; } } }
+machine M {
+  ghost var calls: int;
+  var x: int;
+  foreign tick(): void {
+    calls = calls + 1;
+    if * { calls = calls + 100; }
+  }
+  state S {
+    entry {
+      calls = 0;
+      tick();
+      tick();
+      assert calls >= 2;
+      x = 1;
+    }
+  }
+}
+main M();
+`
+
+func TestForeignModelExecutes(t *testing.T) {
+	prog := mustCompile(t, "fmodel", foreignModelProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	out := g.RunToSchedPoint(m.ID, &core.FixedChoices{Bits: []bool{true, false}}, 0)
+	if out.Kind == core.OutError {
+		t.Fatalf("run: %v", out.Err)
+	}
+	// calls = 1 + 100 (first tick chose true) + 1 = 102.
+	if m.Vars[0] != core.IntVal(102) {
+		t.Fatalf("calls = %v, want 102", m.Vars[0])
+	}
+	if m.Vars[1] != core.IntVal(1) {
+		t.Fatalf("x = %v, want 1", m.Vars[1])
+	}
+}
+
+// ⊥ propagation: operators on null produce null; conditions on null error.
+const nullProgram = `
+event unit;
+machine M {
+  var a: int;
+  var b: int;
+  var undefSum: bool;
+  var undefDiv: bool;
+  var eqNull: bool;
+  state S {
+    entry {
+      b = 7;
+      undefSum = a + b == null;
+      undefDiv = b / 0 == null;
+      eqNull = a == null;
+    }
+  }
+}
+main M();
+`
+
+func TestNullPropagation(t *testing.T) {
+	prog := mustCompile(t, "null", nullProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"undefSum", "undefDiv", "eqNull"} {
+		if m.Vars[i+2] != core.BoolVal(true) {
+			t.Errorf("%s = %v, want true", name, m.Vars[i+2])
+		}
+	}
+}
+
+func TestNullConditionIsError(t *testing.T) {
+	prog := mustCompile(t, "nullcond", `
+event unit;
+machine M {
+  var b: bool;
+  state S {
+    entry { if b { skip; } }
+  }
+}
+main M();
+`)
+	g := core.NewGlobal(prog, nil)
+	g.CreateMain()
+	err := runRoundRobin(t, g, 100)
+	if err == nil || err.Kind != core.ErrUndefCond {
+		t.Fatalf("expected undefined-condition error, got %v", err)
+	}
+}
+
+// Short-circuit evaluation: the right operand of && / || is skipped when
+// the left decides, so a null right side does not poison the result.
+const shortCircuitProgram = `
+event unit;
+machine M {
+  var undef: bool;
+  var a: bool;
+  var b: bool;
+  state S {
+    entry {
+      a = false && undef;
+      b = true || undef;
+    }
+  }
+}
+main M();
+`
+
+func TestShortCircuit(t *testing.T) {
+	prog := mustCompile(t, "shortcircuit", shortCircuitProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[1] != core.BoolVal(false) {
+		t.Fatalf("false && undef = %v, want false", m.Vars[1])
+	}
+	if m.Vars[2] != core.BoolVal(true) {
+		t.Fatalf("true || undef = %v, want true", m.Vars[2])
+	}
+}
+
+// ------------------------------------------------------------ properties
+
+// Property: cloning commutes with running — running the same schedule on a
+// clone produces the same fingerprint as running it on the original.
+func TestCloneRunCommutes(t *testing.T) {
+	prog := mustCompile(t, "elevator", psamples.Elevator)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := core.NewGlobal(prog, nil)
+		if _, err := g.CreateMain(); err != nil {
+			return false
+		}
+		// Random warm-up walk.
+		for i := 0; i < 10; i++ {
+			ids := g.LiveIDs()
+			var enabled []core.MachineID
+			for _, id := range ids {
+				if g.Enabled(id) {
+					enabled = append(enabled, id)
+				}
+			}
+			if len(enabled) == 0 {
+				break
+			}
+			id := enabled[r.Intn(len(enabled))]
+			bits := randomBits(r, 8)
+			g.RunToSchedPoint(id, &core.FixedChoices{Bits: bits}, 0)
+		}
+		clone := g.Clone()
+		if clone.Fingerprint() != g.Fingerprint() {
+			return false
+		}
+		// The same step on both must agree.
+		var enabled []core.MachineID
+		for _, id := range g.LiveIDs() {
+			if g.Enabled(id) {
+				enabled = append(enabled, id)
+			}
+		}
+		if len(enabled) == 0 {
+			return true
+		}
+		id := enabled[r.Intn(len(enabled))]
+		bits := randomBits(r, 8)
+		g.RunToSchedPoint(id, &core.FixedChoices{Bits: bits}, 0)
+		clone.RunToSchedPoint(id, &core.FixedChoices{Bits: bits}, 0)
+		return clone.Fingerprint() == g.Fingerprint()
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomBits(r *rand.Rand, n int) []bool {
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = r.Intn(2) == 0
+	}
+	return bits
+}
+
+// Property: the queue never contains a duplicate (event, value) pair, for
+// any random sequence of sends (the ⊕ invariant).
+func TestQueueDedupInvariant(t *testing.T) {
+	prog := mustCompile(t, "pingpong", psamples.PingPong)
+	f := func(events []uint8) bool {
+		g := core.NewGlobal(prog, nil)
+		m, err := g.CreateMain()
+		if err != nil {
+			return false
+		}
+		for _, b := range events {
+			e := ir.EventID(int(b) % len(prog.Events))
+			v := core.IntVal(int64(b) % 3)
+			g.Send(m.ID, e, v)
+		}
+		seen := map[core.QEntry]bool{}
+		for _, q := range m.Queue {
+			if seen[q] {
+				return false
+			}
+			seen[q] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fingerprints are injective on the states reachable in a short
+// random walk — two globals with equal fingerprints render identically.
+func TestFingerprintConsistentWithString(t *testing.T) {
+	prog := mustCompile(t, "boundedbuffer", psamples.BoundedBuffer)
+	byFP := map[string]string{}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := core.NewGlobal(prog, nil)
+		if _, err := g.CreateMain(); err != nil {
+			return false
+		}
+		for i := 0; i < 15; i++ {
+			var enabled []core.MachineID
+			for _, id := range g.LiveIDs() {
+				if g.Enabled(id) {
+					enabled = append(enabled, id)
+				}
+			}
+			if len(enabled) == 0 {
+				break
+			}
+			id := enabled[r.Intn(len(enabled))]
+			g.RunToSchedPoint(id, &core.FixedChoices{Bits: randomBits(r, 6)}, 0)
+			fp := g.Fingerprint()
+			if prev, ok := byFP[fp]; ok {
+				if prev != g.String() {
+					return false
+				}
+			} else {
+				byFP[fp] = g.String()
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 40,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(r.Int63())
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Exit statements run when a state is popped by an unhandled event (POP1
+// with exit preamble).
+const exitOnPopProgram = `
+event E; event Back;
+machine M {
+  var trace: int;
+  state Root {
+    entry { skip; }
+    on E push Sub;
+    on Back goto Fin;
+  }
+  state Sub {
+    entry { trace = trace * 10 + 1; }
+    exit { trace = trace * 10 + 2; }
+  }
+  state Fin {
+    entry { trace = trace * 10 + 3; }
+    on E goto Fin;
+    on Back goto Fin;
+  }
+}
+main M(trace = 0);
+`
+
+func TestExitRunsOnPop(t *testing.T) {
+	prog := mustCompile(t, "exitpop", exitOnPopProgram)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	e, _ := prog.EventByName("E")
+	back, _ := prog.EventByName("Back")
+	g.Send(m.ID, e, core.Null)    // push Sub
+	g.Send(m.ID, back, core.Null) // unhandled in Sub: exit, pop, Root handles
+	if err := runRoundRobin(t, g, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Vars[0] != core.IntVal(123) {
+		t.Fatalf("trace = %v, want 123 (Sub entry, Sub exit on pop, Fin entry)", m.Vars[0])
+	}
+}
+
+// A deleted machine's tombstone keeps diagnosing sends (SEND-FAIL-2), and
+// the machine no longer appears among live ids.
+func TestTombstoneSemantics(t *testing.T) {
+	prog := mustCompile(t, "pingpong", psamples.PingPong)
+	g := core.NewGlobal(prog, nil)
+	m, _ := g.CreateMain()
+	if err := runRoundRobin(t, g, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.LiveIDs()) != 0 {
+		t.Fatal("machines should have deleted themselves")
+	}
+	pong, _ := prog.EventByName("Pong")
+	if _, err := g.Send(m.ID, pong, core.Null); err == nil || err.Kind != core.ErrSendDeleted {
+		t.Fatalf("send to tombstone: %v", err)
+	}
+	if g.Get(m.ID) != nil {
+		t.Fatal("Get should not return a halted machine")
+	}
+}

@@ -1,0 +1,552 @@
+package core
+
+import (
+	"pgo/internal/ir"
+	"pgo/internal/source"
+)
+
+// OutKind classifies how a macro step ended.
+type OutKind uint8
+
+const (
+	// OutSend: the machine completed a send statement. A scheduling point
+	// per §5: context switches are needed only after sends and creations.
+	OutSend OutKind = iota
+	// OutNew: the machine completed a machine creation.
+	OutNew
+	// OutBlocked: the continuation drained and no queued event is
+	// deliverable; the machine is disabled until a new event arrives.
+	OutBlocked
+	// OutHalted: the machine executed delete.
+	OutHalted
+	// OutError: an error transition fired (Figure 6) or the divergence
+	// budget was exceeded.
+	OutError
+	// OutYield: with Exec.YieldOnDequeue set, the machine paused just
+	// before dequeuing a second event in the same burst (the fine-grained
+	// scheduling ablation). The machine remains enabled.
+	OutYield
+)
+
+func (k OutKind) String() string {
+	switch k {
+	case OutSend:
+		return "send"
+	case OutNew:
+		return "new"
+	case OutBlocked:
+		return "blocked"
+	case OutHalted:
+		return "halted"
+	case OutError:
+		return "error"
+	case OutYield:
+		return "yield"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// Outcome describes the result of running one machine to its next
+// scheduling point.
+type Outcome struct {
+	Kind OutKind
+	Err  *Err
+
+	// For OutSend.
+	SentTo    MachineID
+	SentEvent ir.EventID
+	SentVal   Value
+	Delivered bool // false if the ⊕ dedup dropped the entry
+
+	// For OutNew.
+	Created     MachineID
+	CreatedType ir.MachineTypeID
+
+	// Dequeued lists the events this machine consumed from its own queue
+	// during the macro step (used by the liveness checker).
+	Dequeued []QEntry
+
+	// Steps is the number of small steps executed.
+	Steps int
+}
+
+// World is the cross-machine interface the executor uses for machine
+// creation and event delivery. Global implements it for verification; the
+// concurrent runtime implements it with per-instance locks.
+type World interface {
+	// CreateMachine instantiates machine type t with pre-evaluated variable
+	// initializers and returns the new machine's id.
+	CreateMachine(t ir.MachineTypeID, vals []InitVal) (MachineID, *Err)
+	// SendEvent appends (e, v) to the target's queue with ⊕ dedup. found is
+	// false if the target machine is deleted or never existed; delivered is
+	// false if dedup dropped the entry.
+	SendEvent(target MachineID, e ir.EventID, v Value) (delivered, found bool)
+}
+
+// Exec drives a single machine configuration against a World. It holds no
+// per-machine state itself and may be shared.
+type Exec struct {
+	Prog    *ir.Program
+	World   World
+	Foreign ForeignEnv
+
+	// YieldOnDequeue makes the second and subsequent dequeues of a burst
+	// scheduling points (ablation of the atomicity reduction).
+	YieldOnDequeue bool
+}
+
+// DefaultMaxSteps bounds the small steps inside one macro step. Exceeding it
+// is reported as divergence (liveness property 1 of §3.2: a machine must not
+// run forever without being disabled).
+const DefaultMaxSteps = 100_000
+
+// Enabled reports whether machine id can take a step: it is live and either
+// has pending work or a deliverable queued event.
+func (g *Global) Enabled(id MachineID) bool {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		return false
+	}
+	if c.Cont != nil || c.Mode == ModeRaise || c.Mode == ModeReturn {
+		return true
+	}
+	return deliverableIndex(g.Prog, c) >= 0
+}
+
+// deliverableIndex returns the queue index of the first event not suppressed
+// by the effective deferred set of the current state (DEQUEUE rule):
+// d' = ({e | a(e)=T} ∪ Deferred(m,n)) − {e | Trans(m,n,e)≠⊥ ∨ Action(m,n,e)≠⊥}.
+func deliverableIndex(prog *ir.Program, c *Config) int {
+	if len(c.Stack) == 0 {
+		return -1
+	}
+	fr := c.top()
+	st := prog.Machines[c.Type].States[fr.State]
+	for i, q := range c.Queue {
+		e := q.Event
+		handled := st.Trans[e].Kind != ir.TransNone || st.Action[e] != ir.NoAction
+		deferred := fr.Inherited[e] == inheritDefer || st.Deferred.Contains(e)
+		if handled || !deferred {
+			return i
+		}
+	}
+	return -1
+}
+
+// DeliverableIndex returns the queue index of the first deliverable event
+// of configuration c under prog, or -1. Exported for the runtime.
+func DeliverableIndex(prog *ir.Program, c *Config) int { return deliverableIndex(prog, c) }
+
+// DeliverableEvent returns the event a blocked-or-resting machine would
+// dequeue next, for diagnostics; ok is false if none is deliverable.
+func (g *Global) DeliverableEvent(id MachineID) (QEntry, bool) {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		return QEntry{}, false
+	}
+	i := deliverableIndex(g.Prog, c)
+	if i < 0 {
+		return QEntry{}, false
+	}
+	return c.Queue[i], true
+}
+
+// RunToSchedPoint executes machine id until its next scheduling point:
+// completion of a send or new (§5's atomicity reduction makes finer context
+// switches redundant), blocking on an empty-or-all-deferred queue, halting,
+// or an error. cs supplies `*` choices; maxSteps bounds small steps
+// (<= 0 selects DefaultMaxSteps).
+func (g *Global) RunToSchedPoint(id MachineID, cs ChoiceSource, maxSteps int) Outcome {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		return Outcome{Kind: OutHalted}
+	}
+	c = g.own(id)
+	x := &Exec{Prog: g.Prog, World: g, Foreign: g.Foreign, YieldOnDequeue: g.YieldOnDequeue}
+	return x.Run(c, cs, maxSteps, true)
+}
+
+// Run executes configuration c until a stopping condition: blocked, halted,
+// error, or — when stopAtSched is true — the completion of a send or
+// machine creation (a scheduling point). With stopAtSched false the machine
+// runs to completion, the behaviour of the concurrent runtime.
+func (x *Exec) Run(c *Config, cs ChoiceSource, maxSteps int, stopAtSched bool) Outcome {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	out := Outcome{}
+	if c.Mode == ModeHalted {
+		out.Kind = OutHalted
+		return out
+	}
+	for out.Steps < maxSteps {
+		out.Steps++
+		switch c.Mode {
+		case ModeHalted:
+			out.Kind = OutHalted
+			return out
+		case ModeRun:
+			if c.Cont == nil {
+				// Attempt DEQUEUE.
+				i := deliverableIndex(x.Prog, c)
+				if i < 0 {
+					out.Kind = OutBlocked
+					return out
+				}
+				if x.YieldOnDequeue && stopAtSched && len(out.Dequeued) > 0 {
+					out.Kind = OutYield
+					return out
+				}
+				q := c.Queue[i]
+				c.Queue = append(c.Queue[:i:i], c.Queue[i+1:]...)
+				out.Dequeued = append(out.Dequeued, q)
+				c.Msg = EventVal(q.Event)
+				c.Arg = q.Val
+				c.Raised = q.Event
+				c.RaisedVal = q.Val
+				c.Mode = ModeRaise
+				c.ExitRun = false
+				continue
+			}
+			if done, err := x.execStmt(c, cs, &out, stopAtSched); err != nil {
+				out.Kind = OutError
+				out.Err = err
+				return out
+			} else if done {
+				return out
+			}
+		case ModeRaise:
+			if c.Cont != nil {
+				if done, err := x.execStmt(c, cs, &out, stopAtSched); err != nil {
+					out.Kind = OutError
+					out.Err = err
+					return out
+				} else if done {
+					return out
+				}
+				continue
+			}
+			if err := x.resolveRaise(c); err != nil {
+				out.Kind = OutError
+				out.Err = err
+				return out
+			}
+		case ModeReturn:
+			if c.Cont != nil {
+				if done, err := x.execStmt(c, cs, &out, stopAtSched); err != nil {
+					out.Kind = OutError
+					out.Err = err
+					return out
+				} else if done {
+					return out
+				}
+				continue
+			}
+			if err := x.pop2(c); err != nil {
+				out.Kind = OutError
+				out.Err = err
+				return out
+			}
+		}
+	}
+	out.Kind = OutError
+	out.Err = x.errAt(c, ErrDivergence, source.Span{}, "")
+	out.Err.Detail = "exceeded local step budget"
+	return out
+}
+
+// execStmt executes the next statement of c's continuation. It returns
+// done=true when the statement was a scheduling point or terminated the
+// machine (out filled in accordingly).
+func (x *Exec) execStmt(c *Config, cs ChoiceSource, out *Outcome, stopAtSched bool) (done bool, err *Err) {
+	s := c.Cont.S
+	c.Cont = c.Cont.Next
+	switch s.Op {
+	case ir.SSkip:
+		return false, nil
+	case ir.SAssign:
+		v, err := x.eval(c, s.Expr, cs)
+		if err != nil {
+			return false, err
+		}
+		c.Vars[s.Var] = v
+		return false, nil
+	case ir.SNew:
+		vals := make([]InitVal, 0, len(s.Inits))
+		for _, init := range s.Inits {
+			v, err := x.eval(c, init.Expr, cs)
+			if err != nil {
+				return false, err
+			}
+			vals = append(vals, InitVal{Var: init.Var, Val: v})
+		}
+		id, err := x.World.CreateMachine(s.Machine, vals)
+		if err != nil {
+			if err.Machine == 0 {
+				err.Machine = c.ID
+			}
+			return false, err
+		}
+		c.Vars[s.Var] = MachineVal(id)
+		out.Kind = OutNew
+		out.Created = id
+		out.CreatedType = s.Machine
+		return stopAtSched, nil
+	case ir.SDelete:
+		c.Mode = ModeHalted
+		c.Cont = nil
+		c.Stack = nil
+		c.Queue = nil
+		out.Kind = OutHalted
+		return true, nil
+	case ir.SSend:
+		tv, err := x.eval(c, s.Target, cs)
+		if err != nil {
+			return false, err
+		}
+		if tv.IsNull() {
+			return false, x.errAt(c, ErrSendNull, s.Span, "")
+		}
+		tid, ok := tv.AsMachine()
+		if !ok {
+			return false, x.errAt(c, ErrSendNull, s.Span, "send target is not a machine identifier")
+		}
+		payload := Null
+		if s.Expr != nil {
+			payload, err = x.eval(c, s.Expr, cs)
+			if err != nil {
+				return false, err
+			}
+		}
+		delivered, found := x.World.SendEvent(tid, s.Event, payload)
+		if !found {
+			e := x.errAt(c, ErrSendDeleted, s.Span, "")
+			e.Event = s.Event
+			e.HasEv = true
+			return false, e
+		}
+		out.Kind = OutSend
+		out.SentTo = tid
+		out.SentEvent = s.Event
+		out.SentVal = payload
+		out.Delivered = delivered
+		return stopAtSched, nil
+	case ir.SRaise:
+		payload := Null
+		if s.Expr != nil {
+			v, err := x.eval(c, s.Expr, cs)
+			if err != nil {
+				return false, err
+			}
+			payload = v
+		}
+		// raise terminates evaluation of the surrounding statement (RAISE
+		// rule): the remaining continuation is discarded.
+		c.Cont = nil
+		c.Msg = EventVal(s.Event)
+		c.Arg = payload
+		c.Raised = s.Event
+		c.RaisedVal = payload
+		c.Mode = ModeRaise
+		c.ExitRun = false
+		return false, nil
+	case ir.SLeave:
+		// Jump to the end of the entry function and wait for an event.
+		c.Cont = nil
+		return false, nil
+	case ir.SReturn:
+		// RETURN rule: run the exit statement, then pop (POP2).
+		mt := x.Prog.Machines[c.Type]
+		st := mt.States[c.top().State]
+		c.Cont = push(st.Exit, nil)
+		c.Mode = ModeReturn
+		return false, nil
+	case ir.SAssert:
+		v, err := x.eval(c, s.Expr, cs)
+		if err != nil {
+			return false, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return false, x.errAt(c, ErrUndefCond, s.Span, "assert condition is null")
+		}
+		if !b {
+			return false, x.errAt(c, ErrAssert, s.Span, "")
+		}
+		return false, nil
+	case ir.SIf:
+		v, err := x.eval(c, s.Expr, cs)
+		if err != nil {
+			return false, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return false, x.errAt(c, ErrUndefCond, s.Span, "if condition is null")
+		}
+		if b {
+			c.Cont = push(s.Body, c.Cont)
+		} else {
+			c.Cont = push(s.Else, c.Cont)
+		}
+		return false, nil
+	case ir.SWhile:
+		v, err := x.eval(c, s.Expr, cs)
+		if err != nil {
+			return false, err
+		}
+		b, ok := v.AsBool()
+		if !ok {
+			return false, x.errAt(c, ErrUndefCond, s.Span, "while condition is null")
+		}
+		if b {
+			// Execute the body, then re-examine the loop.
+			c.Cont = push(s.Body, &Cont{S: s, Next: c.Cont})
+		}
+		return false, nil
+	case ir.SCallState:
+		// The call statement pushes the target state like a call transition
+		// but saves the current continuation for resumption at return.
+		mt := x.Prog.Machines[c.Type]
+		fr := c.top()
+		st := mt.States[fr.State]
+		c.Stack = append(c.Stack, Frame{
+			State:      s.State,
+			Inherited:  computeInherited(x.Prog, st, fr.Inherited),
+			ReturnCont: c.Cont,
+		})
+		c.Cont = push(mt.States[s.State].Entry, nil)
+		return false, nil
+	case ir.SForeign:
+		call := &ir.Expr{Op: ir.ECall, ForeignFn: s.Foreign, Args: s.Args, Span: s.Span}
+		if _, err := x.eval(c, call, cs); err != nil {
+			return false, err
+		}
+		return false, nil
+	default:
+		return false, x.errAt(c, ErrUndefCond, s.Span, "unknown statement operator")
+	}
+}
+
+// computeInherited builds the callee's handler map a' per the CALL rule:
+// a'(e) = ⊥ if a transition is defined on e in the caller state; else the
+// caller state's action binding if any; else T if e is deferred there; else
+// the caller frame's inherited value.
+func computeInherited(prog *ir.Program, st *ir.State, parent []int16) []int16 {
+	out := make([]int16, len(prog.Events))
+	for e := range out {
+		switch {
+		case st.Trans[e].Kind != ir.TransNone:
+			out[e] = inheritNone
+		case st.Action[e] != ir.NoAction:
+			out[e] = int16(st.Action[e])
+		case st.Deferred.Contains(ir.EventID(e)):
+			out[e] = inheritDefer
+		default:
+			out[e] = parent[e]
+		}
+	}
+	return out
+}
+
+// resolveRaise applies one of STEP / CALL / ACTION / POP1 to the raised
+// event at the current top frame, inserting the exit preamble first when the
+// outcome leaves the state (step or pop), per the RAISE and DEQUEUE rules.
+func (x *Exec) resolveRaise(c *Config) *Err {
+	if len(c.Stack) == 0 {
+		// POP-FAIL: the stack emptied while an event was still unhandled.
+		err := x.errAt(c, ErrUnhandled, source.Span{}, x.Prog.Events[c.Raised].Name)
+		err.Event = c.Raised
+		err.HasEv = true
+		return err
+	}
+	mt := x.Prog.Machines[c.Type]
+	fr := c.top()
+	st := mt.States[fr.State]
+	e := c.Raised
+
+	tr := st.Trans[e]
+	switch tr.Kind {
+	case ir.TransStep:
+		if !c.ExitRun {
+			c.Cont = push(st.Exit, nil)
+			c.ExitRun = true
+			return nil
+		}
+		fr.State = tr.Target
+		c.Mode = ModeRun
+		c.ExitRun = false
+		c.Cont = push(mt.States[tr.Target].Entry, nil)
+		return nil
+	case ir.TransCall:
+		c.Stack = append(c.Stack, Frame{
+			State:     tr.Target,
+			Inherited: computeInherited(x.Prog, st, fr.Inherited),
+		})
+		c.Mode = ModeRun
+		c.ExitRun = false
+		c.Cont = push(mt.States[tr.Target].Entry, nil)
+		return nil
+	}
+
+	// ACTION rule: a statically bound action overrides an inherited one.
+	act := st.Action[e]
+	if act == ir.NoAction && fr.Inherited[e] >= 0 {
+		act = ir.ActionID(fr.Inherited[e])
+	}
+	if act != ir.NoAction {
+		c.Mode = ModeRun
+		c.ExitRun = false
+		c.Cont = push(mt.Actions[act].Body, nil)
+		return nil
+	}
+
+	// POP1: no transition, no action; run the exit preamble, then pop and
+	// re-raise in the caller frame. The continuation saved by a call
+	// statement is discarded — the unhandled event takes control.
+	if !c.ExitRun {
+		c.Cont = push(st.Exit, nil)
+		c.ExitRun = true
+		return nil
+	}
+	c.Stack = c.Stack[:len(c.Stack)-1]
+	c.ExitRun = false
+	if len(c.Stack) == 0 {
+		err := x.errAt(c, ErrUnhandled, source.Span{}, x.Prog.Events[e].Name)
+		err.Type = mt.Name
+		err.State = st.Name
+		err.Event = e
+		err.HasEv = true
+		return err
+	}
+	return nil
+}
+
+// pop2 implements the POP2 rule after the exit statement of a return has
+// run: pop the frame; resume the saved continuation if the frame was pushed
+// by a call statement.
+func (x *Exec) pop2(c *Config) *Err {
+	fr := c.Stack[len(c.Stack)-1]
+	c.Stack = c.Stack[:len(c.Stack)-1]
+	if len(c.Stack) == 0 {
+		mt := x.Prog.Machines[c.Type]
+		err := x.errAt(c, ErrUnhandled, source.Span{}, "return from bottom state")
+		err.Type = mt.Name
+		return err
+	}
+	c.Mode = ModeRun
+	c.Cont = fr.ReturnCont
+	return nil
+}
+
+// Send enqueues an event into machine id from the environment (the
+// SMAddEvent analog used by the runtime's interface code and by tests).
+// It reports whether the entry was actually added (⊕ dedup).
+func (g *Global) Send(id MachineID, e ir.EventID, v Value) (bool, *Err) {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		err := &Err{Kind: ErrSendDeleted, Machine: id, Event: e, HasEv: true}
+		return false, err
+	}
+	return g.own(id).enqueue(e, v, !g.DisableDedup), nil
+}

@@ -1,0 +1,121 @@
+// Package core implements the operational semantics of P (Figures 4–6 of
+// the paper): machine configurations with call stacks, variable stores,
+// continuations and input queues; the small-step statement and
+// event-handling rules; and error transitions. Both the model checker
+// (internal/check) and the concurrent runtime (internal/runtime) drive this
+// engine.
+package core
+
+import (
+	"fmt"
+
+	"pgo/internal/ir"
+)
+
+// MachineID identifies a dynamically created machine instance. IDs are
+// allocated sequentially per Global, starting at 1; 0 is never a valid id.
+type MachineID int
+
+// ValueKind enumerates the dynamic value kinds.
+type ValueKind uint8
+
+const (
+	// KNull is the undefined value ⊥: the value of uninitialized variables
+	// and the result of operators applied to ⊥.
+	KNull ValueKind = iota
+	// KBool is a boolean.
+	KBool
+	// KInt is a 64-bit integer.
+	KInt
+	// KEvent is an event constant.
+	KEvent
+	// KMachine is a machine identifier.
+	KMachine
+)
+
+// Value is a P runtime value. Values are small comparable structs so queue
+// deduplication (the ⊕ operator) and state fingerprinting are cheap.
+type Value struct {
+	Kind ValueKind
+	N    int64
+}
+
+// Null is the ⊥ value.
+var Null = Value{}
+
+// BoolVal returns b as a P value.
+func BoolVal(b bool) Value {
+	if b {
+		return Value{Kind: KBool, N: 1}
+	}
+	return Value{Kind: KBool, N: 0}
+}
+
+// IntVal returns n as a P value.
+func IntVal(n int64) Value { return Value{Kind: KInt, N: n} }
+
+// EventVal returns the event constant e as a P value.
+func EventVal(e ir.EventID) Value { return Value{Kind: KEvent, N: int64(e)} }
+
+// MachineVal returns the machine identifier id as a P value.
+func MachineVal(id MachineID) Value { return Value{Kind: KMachine, N: int64(id)} }
+
+// IsNull reports whether v is ⊥.
+func (v Value) IsNull() bool { return v.Kind == KNull }
+
+// AsBool returns the boolean content; ok is false if v is not a bool.
+func (v Value) AsBool() (b, ok bool) {
+	if v.Kind != KBool {
+		return false, false
+	}
+	return v.N != 0, true
+}
+
+// AsInt returns the integer content; ok is false if v is not an int.
+func (v Value) AsInt() (int64, bool) {
+	if v.Kind != KInt {
+		return 0, false
+	}
+	return v.N, true
+}
+
+// AsMachine returns the machine id content; ok is false otherwise.
+func (v Value) AsMachine() (MachineID, bool) {
+	if v.Kind != KMachine {
+		return 0, false
+	}
+	return MachineID(v.N), true
+}
+
+// AsEvent returns the event content; ok is false otherwise.
+func (v Value) AsEvent() (ir.EventID, bool) {
+	if v.Kind != KEvent {
+		return 0, false
+	}
+	return ir.EventID(v.N), true
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case KNull:
+		return "null"
+	case KBool:
+		if v.N != 0 {
+			return "true"
+		}
+		return "false"
+	case KInt:
+		return fmt.Sprintf("%d", v.N)
+	case KEvent:
+		return fmt.Sprintf("event(%d)", v.N)
+	case KMachine:
+		return fmt.Sprintf("machine(%d)", v.N)
+	default:
+		return "value(?)"
+	}
+}
+
+// DefaultValue returns the initial value of a variable of type t: ⊥, matching
+// the paper ("⊥ arises ... if an expression reads a variable whose value is
+// uninitialized").
+func DefaultValue(t ir.Type) Value { return Null }

@@ -1,0 +1,113 @@
+// Package dot exports P machines and explored state graphs in Graphviz DOT
+// format — the textual counterpart of the paper's visual programming
+// interface: the machine view shows the state diagram a P programmer draws
+// (states, step/call transitions, deferred and action annotations); the
+// graph view shows the explored global state space.
+package dot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pgo/internal/check"
+	"pgo/internal/ir"
+)
+
+// Machine writes machine m of prog as a DOT digraph: states as nodes (the
+// initial state doubled), step transitions as solid edges, call transitions
+// as double-line edges (matching the paper's Figure 1 notation), action
+// bindings as dashed self-loops, and deferred/postponed sets in the node
+// labels.
+func Machine(w io.Writer, prog *ir.Program, m *ir.Machine) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, style=rounded, fontname=\"Helvetica\"];\n")
+	for _, s := range m.States {
+		label := s.Name
+		if !s.Deferred.IsEmpty() {
+			label += "\\ndefer: " + eventNames(prog, s.Deferred)
+		}
+		if !s.Postponed.IsEmpty() {
+			label += "\\npostpone: " + eventNames(prog, s.Postponed)
+		}
+		attrs := fmt.Sprintf("label=%q", label)
+		if s.ID == m.Init {
+			attrs += ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  s%d [%s];\n", s.ID, attrs)
+	}
+	for _, s := range m.States {
+		for e, tr := range s.Trans {
+			switch tr.Kind {
+			case ir.TransStep:
+				fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", s.ID, tr.Target, prog.Events[e].Name)
+			case ir.TransCall:
+				// Call transitions are drawn as double edges in the paper;
+				// DOT approximates with color doubling.
+				fmt.Fprintf(&b, "  s%d -> s%d [label=%q, color=\"black:invis:black\"];\n", s.ID, tr.Target, prog.Events[e].Name)
+			}
+		}
+		for e, a := range s.Action {
+			if a == ir.NoAction {
+				continue
+			}
+			fmt.Fprintf(&b, "  s%d -> s%d [label=\"%s / %s\", style=dashed];\n",
+				s.ID, s.ID, prog.Events[e].Name, m.Actions[a].Name)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func eventNames(prog *ir.Program, set ir.EventSet) string {
+	var names []string
+	for _, e := range set.Events() {
+		names = append(names, prog.Events[e].Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// StateGraph writes an explored state graph as a DOT digraph: nodes are
+// global configurations (labelled by id), edges by the machine that ran.
+// Graphs beyond maxNodes nodes are truncated with a warning node
+// (0 = no limit).
+func StateGraph(w io.Writer, prog *ir.Program, g *check.Graph, maxNodes int) error {
+	var b strings.Builder
+	b.WriteString("digraph states {\n  node [shape=circle, fontsize=8];\n")
+	n := g.Len()
+	truncated := false
+	if maxNodes > 0 && n > maxNodes {
+		n = maxNodes
+		truncated = true
+	}
+	for i := 0; i < n; i++ {
+		attrs := ""
+		if check.NodeID(i) == g.Init {
+			attrs = " [peripheries=2]"
+		}
+		fmt.Fprintf(&b, "  n%d%s;\n", i, attrs)
+	}
+	for from := 0; from < n; from++ {
+		for _, e := range g.Edges[from] {
+			if int(e.To) >= n {
+				continue
+			}
+			label := "?"
+			for _, snap := range g.Nodes[from].Machines {
+				if snap.ID == e.Machine {
+					label = fmt.Sprintf("%s#%d", prog.Machines[snap.Type].Name, e.Machine)
+					break
+				}
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", from, e.To, label)
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&b, "  trunc [shape=plaintext, label=\"(%d more nodes)\"];\n", g.Len()-n)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,93 @@
+package dot_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/dot"
+	"pgo/internal/psamples"
+)
+
+func TestMachineDiagram(t *testing.T) {
+	prog, diags, err := compile.Source("elevator", psamples.Elevator)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	m, ok := prog.MachineByName("Elevator")
+	if !ok {
+		t.Fatal("no Elevator machine")
+	}
+	var b strings.Builder
+	if err := dot.Machine(&b, prog, m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`digraph "Elevator"`,
+		"peripheries=2",             // initial state doubled
+		`defer: CloseDoor`,          // deferred sets in labels
+		`label="OpenDoor"`,          // step transition
+		`color="black:invis:black"`, // call transition notation
+		`label="OpenDoor / Ignore"`, // action binding
+		"style=dashed",              // action edge style
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+	// Every state appears as a node.
+	for _, s := range m.States {
+		if !strings.Contains(out, `"`+s.Name) && !strings.Contains(out, s.Name+`"`) && !strings.Contains(out, s.Name+`\n`) {
+			t.Errorf("state %s missing from diagram", s.Name)
+		}
+	}
+}
+
+func TestStateGraphExport(t *testing.T) {
+	prog, diags, err := compile.Source("pingpong", psamples.PingPong)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	res, err := check.Explore(prog, check.Options{
+		Mode: check.DelayBounded, Bound: 1, CollectGraph: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := dot.StateGraph(&b, prog, res.Graph, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "digraph states") {
+		t.Fatal("missing digraph header")
+	}
+	if strings.Count(out, "->") == 0 {
+		t.Fatal("no edges exported")
+	}
+	if !strings.Contains(out, "Pinger#") {
+		t.Fatalf("edge labels missing machine names:\n%.400s", out)
+	}
+}
+
+func TestStateGraphTruncation(t *testing.T) {
+	prog, diags, err := compile.Source("elevator", psamples.Elevator)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	res, err := check.Explore(prog, check.Options{
+		Mode: check.DelayBounded, Bound: 1, CollectGraph: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := dot.StateGraph(&b, prog, res.Graph, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "more nodes") {
+		t.Fatal("truncation marker missing")
+	}
+}

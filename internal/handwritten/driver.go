@@ -1,0 +1,321 @@
+// Package handwritten is the §4.1 baseline: the switch-and-LED driver
+// written directly in Go, the way the paper's comparison driver was written
+// directly against KMDF without P. It implements exactly the same state
+// machine as the P Driver in internal/psamples (same states, same deferral
+// discipline, same run-to-completion processing on a dedicated goroutine
+// with a locked queue), but as hand-specialized native code: explicit state
+// constants, a hand-maintained deferred list, and switch statements instead
+// of interpreted tables.
+//
+// The point of the experiment is the paper's: the code generated from P
+// plus the generic runtime should process events at a rate comparable to
+// this hand-written equivalent.
+package handwritten
+
+import (
+	"sync"
+)
+
+// Event enumerates driver inputs.
+type Event int
+
+// Driver input events, mirroring the P program's event declarations.
+const (
+	StartDevice Event = iota
+	StopDevice
+	SleepDevice
+	ResumeDevice
+	SwitchOn
+	SwitchOff
+	LedOnAck
+	LedOffAck
+	numEvents
+)
+
+var eventNames = [...]string{
+	"StartDevice", "StopDevice", "SleepDevice", "ResumeDevice",
+	"SwitchOn", "SwitchOff", "LedOnAck", "LedOffAck",
+}
+
+func (e Event) String() string {
+	if int(e) < len(eventNames) {
+		return eventNames[e]
+	}
+	return "event(?)"
+}
+
+// state enumerates the driver's control states (same set as the P machine).
+type state int
+
+const (
+	stInit state = iota
+	stStarting
+	stReady
+	stSettingOn
+	stSettingOff
+	stSleeping
+	stAsleep
+	stResuming
+	stStopping
+	stStopped
+)
+
+var stateNames = [...]string{
+	"Init", "Starting", "Ready", "SettingOn", "SettingOff",
+	"Sleeping", "Asleep", "Resuming", "Stopping", "Stopped",
+}
+
+// Callbacks is the driver's data path (the P program's foreign functions).
+type Callbacks struct {
+	LedOn         func()
+	LedOff        func()
+	LedReset      func()
+	NotifyStarted func()
+	NotifyStopped func()
+}
+
+func nop() {}
+
+func (c *Callbacks) fill() {
+	if c.LedOn == nil {
+		c.LedOn = nop
+	}
+	if c.LedOff == nil {
+		c.LedOff = nop
+	}
+	if c.LedReset == nil {
+		c.LedReset = nop
+	}
+	if c.NotifyStarted == nil {
+		c.NotifyStarted = nop
+	}
+	if c.NotifyStopped == nil {
+		c.NotifyStopped = nop
+	}
+}
+
+// Driver is the hand-written switch-and-LED driver.
+type Driver struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Event
+	state  state
+	closed bool
+	done   chan struct{}
+	cb     Callbacks
+	// pending collects data-path callbacks decided by a handler; they run
+	// after the state mutation with the lock released, so a callback may
+	// call Send without deadlocking (the reentrancy discipline of the P
+	// runtime's foreign calls).
+	pending []func()
+}
+
+// New starts the driver's processing goroutine.
+func New(cb Callbacks) *Driver {
+	cb.fill()
+	d := &Driver{state: stInit, cb: cb, done: make(chan struct{})}
+	d.cond = sync.NewCond(&d.mu)
+	go d.loop()
+	return d
+}
+
+// Send enqueues an event with the same event-dedup the P runtime applies:
+// an event already pending is dropped.
+func (d *Driver) Send(e Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return
+	}
+	for _, q := range d.queue {
+		if q == e {
+			return
+		}
+	}
+	d.queue = append(d.queue, e)
+	d.cond.Signal()
+}
+
+// State returns the current state name (racy snapshot, test use only).
+func (d *Driver) State() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return stateNames[d.state]
+}
+
+// Idle reports whether the driver has no deliverable pending event.
+func (d *Driver) Idle() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.deliverableIndexLocked() < 0
+}
+
+// Close shuts the processing goroutine down and waits for it.
+func (d *Driver) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	<-d.done
+}
+
+// deferred reports whether e is deferred in state s — the hand-maintained
+// equivalent of the P machine's per-state deferred sets.
+func deferred(s state, e Event) bool {
+	switch s {
+	case stInit:
+		return e == SwitchOn || e == SwitchOff
+	case stSettingOn, stSettingOff:
+		return e == SwitchOn || e == SwitchOff || e == StopDevice || e == SleepDevice
+	case stSleeping:
+		return e == SwitchOn || e == SwitchOff || e == StopDevice || e == ResumeDevice
+	case stAsleep:
+		return e == SwitchOn || e == SwitchOff
+	default:
+		return false
+	}
+}
+
+func (d *Driver) deliverableIndexLocked() int {
+	for i, e := range d.queue {
+		if !deferred(d.state, e) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (d *Driver) loop() {
+	defer close(d.done)
+	d.mu.Lock()
+	for {
+		if d.closed {
+			d.mu.Unlock()
+			return
+		}
+		i := d.deliverableIndexLocked()
+		if i < 0 {
+			d.cond.Wait()
+			continue
+		}
+		e := d.queue[i]
+		d.queue = append(d.queue[:i:i], d.queue[i+1:]...)
+		// Run-to-completion for the state mutation; the data-path callbacks
+		// it scheduled run with the lock released so they may re-enter Send.
+		d.handle(e)
+		cbs := d.pending
+		d.pending = nil
+		if len(cbs) > 0 {
+			d.mu.Unlock()
+			for _, cb := range cbs {
+				cb()
+			}
+			d.mu.Lock()
+		}
+	}
+}
+
+// handle implements the transition relation. Called with d.mu held.
+func (d *Driver) handle(e Event) {
+	switch d.state {
+	case stInit:
+		switch e {
+		case SleepDevice, ResumeDevice:
+			// ignore
+		case StartDevice:
+			d.enterStarting()
+		default:
+			d.unhandled(e)
+		}
+	case stReady:
+		switch e {
+		case SwitchOn:
+			d.state = stSettingOn
+			d.pending = append(d.pending, d.cb.LedOn)
+		case SwitchOff:
+			d.state = stSettingOff
+			d.pending = append(d.pending, d.cb.LedOff)
+		case SleepDevice:
+			d.state = stSleeping
+			d.pending = append(d.pending, d.cb.LedOff)
+		case ResumeDevice:
+			// ignore
+		case StopDevice:
+			d.enterStopping()
+		default:
+			d.unhandled(e)
+		}
+	case stSettingOn:
+		switch e {
+		case ResumeDevice:
+			// ignore
+		case LedOnAck:
+			d.state = stReady
+		default:
+			d.unhandled(e)
+		}
+	case stSettingOff:
+		switch e {
+		case ResumeDevice:
+			// ignore
+		case LedOffAck:
+			d.state = stReady
+		default:
+			d.unhandled(e)
+		}
+	case stSleeping:
+		switch e {
+		case SleepDevice:
+			// ignore
+		case LedOffAck:
+			d.state = stAsleep
+		default:
+			d.unhandled(e)
+		}
+	case stAsleep:
+		switch e {
+		case SleepDevice:
+			// ignore
+		case ResumeDevice:
+			d.state = stResuming
+			d.pending = append(d.pending, d.cb.LedReset)
+			// The P machine raises unit and steps straight to Ready.
+			d.state = stReady
+		case StopDevice:
+			d.enterStopping()
+		default:
+			d.unhandled(e)
+		}
+	case stStopped:
+		switch e {
+		case SwitchOn, SwitchOff, SleepDevice, ResumeDevice:
+			// ignore
+		case StartDevice:
+			d.enterStarting()
+		default:
+			d.unhandled(e)
+		}
+	default:
+		d.unhandled(e)
+	}
+}
+
+func (d *Driver) enterStarting() {
+	d.state = stStarting
+	d.pending = append(d.pending, d.cb.LedReset)
+	d.pending = append(d.pending, d.cb.NotifyStarted)
+	d.state = stReady
+}
+
+func (d *Driver) enterStopping() {
+	d.state = stStopping
+	d.pending = append(d.pending, d.cb.LedReset)
+	d.pending = append(d.pending, d.cb.NotifyStopped)
+	d.state = stStopped
+}
+
+// unhandled drops the event. The hand-written driver silently loses events
+// the state machine does not expect — exactly the failure mode P's
+// verification exists to rule out; the P variant turns these into detected
+// unhandled-event violations instead.
+func (d *Driver) unhandled(e Event) {}

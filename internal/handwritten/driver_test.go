@@ -1,0 +1,106 @@
+package handwritten_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgo/internal/handwritten"
+)
+
+func waitIdle(t *testing.T, d *handwritten.Driver) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !d.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("driver did not go idle")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	// One extra beat: Idle is checked before the last handler finishes.
+	time.Sleep(time.Millisecond)
+}
+
+func TestLifecycle(t *testing.T) {
+	var ons, offs, resets, starts, stops atomic.Int64
+	d := handwritten.New(handwritten.Callbacks{
+		LedOn:         func() { ons.Add(1) },
+		LedOff:        func() { offs.Add(1) },
+		LedReset:      func() { resets.Add(1) },
+		NotifyStarted: func() { starts.Add(1) },
+		NotifyStopped: func() { stops.Add(1) },
+	})
+	defer d.Close()
+
+	d.Send(handwritten.StartDevice)
+	waitIdle(t, d)
+	if d.State() != "Ready" {
+		t.Fatalf("state = %s, want Ready", d.State())
+	}
+	if starts.Load() != 1 {
+		t.Fatalf("starts = %d", starts.Load())
+	}
+
+	d.Send(handwritten.SwitchOn)
+	waitIdle(t, d)
+	if d.State() != "SettingOn" {
+		t.Fatalf("state = %s, want SettingOn", d.State())
+	}
+	d.Send(handwritten.LedOnAck)
+	waitIdle(t, d)
+	if d.State() != "Ready" || ons.Load() != 1 {
+		t.Fatalf("state = %s ons = %d", d.State(), ons.Load())
+	}
+
+	d.Send(handwritten.SleepDevice)
+	d.Send(handwritten.LedOffAck)
+	waitIdle(t, d)
+	if d.State() != "Asleep" {
+		t.Fatalf("state = %s, want Asleep", d.State())
+	}
+	d.Send(handwritten.ResumeDevice)
+	waitIdle(t, d)
+	if d.State() != "Ready" {
+		t.Fatalf("state = %s, want Ready", d.State())
+	}
+	d.Send(handwritten.StopDevice)
+	waitIdle(t, d)
+	if d.State() != "Stopped" || stops.Load() != 1 {
+		t.Fatalf("state = %s stops = %d", d.State(), stops.Load())
+	}
+}
+
+// Switch toggles arriving before start are deferred, like the P machine.
+func TestDeferralBeforeStart(t *testing.T) {
+	var ons atomic.Int64
+	d := handwritten.New(handwritten.Callbacks{LedOn: func() { ons.Add(1) }})
+	defer d.Close()
+	d.Send(handwritten.SwitchOn)
+	waitIdle(t, d)
+	if d.State() != "Init" || ons.Load() != 0 {
+		t.Fatalf("toggle not deferred: state %s, ons %d", d.State(), ons.Load())
+	}
+	d.Send(handwritten.StartDevice)
+	waitIdle(t, d)
+	// The deferred SwitchOn is delivered after start.
+	if d.State() != "SettingOn" || ons.Load() != 1 {
+		t.Fatalf("deferred toggle lost: state %s, ons %d", d.State(), ons.Load())
+	}
+}
+
+func TestQueueDedup(t *testing.T) {
+	var ons atomic.Int64
+	d := handwritten.New(handwritten.Callbacks{LedOn: func() { ons.Add(1) }})
+	defer d.Close()
+	// Three identical toggles while deferred collapse to one.
+	d.Send(handwritten.SwitchOn)
+	d.Send(handwritten.SwitchOn)
+	d.Send(handwritten.SwitchOn)
+	d.Send(handwritten.StartDevice)
+	waitIdle(t, d)
+	d.Send(handwritten.LedOnAck)
+	waitIdle(t, d)
+	if ons.Load() != 1 {
+		t.Fatalf("ons = %d, want 1 (dedup)", ons.Load())
+	}
+}

@@ -1,0 +1,235 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the lowered program as a stable, human-readable disassembly:
+// the event table, and for each machine its variables, foreign functions,
+// actions, and states with handler tables and statement bodies. It is the
+// debugging view of the "generated code" data structures (pc -ir) and the
+// anchor of the golden tests.
+func Dump(p *Program) string {
+	d := &dumper{prog: p}
+	fmt.Fprintf(&d.b, "program %s", p.Name)
+	if p.Erased {
+		d.b.WriteString(" (erased)")
+	}
+	fmt.Fprintf(&d.b, "\nmain = %s\n", p.Machines[p.Main].Name)
+	if len(p.MainInits) > 0 {
+		d.b.WriteString("main inits:")
+		for _, in := range p.MainInits {
+			fmt.Fprintf(&d.b, " %s=%s", p.Machines[p.Main].Vars[in.Var].Name, d.expr(in.Expr))
+		}
+		d.b.WriteByte('\n')
+	}
+	d.b.WriteString("\nevents:\n")
+	for i, e := range p.Events {
+		if e.Payload == TypeVoid {
+			fmt.Fprintf(&d.b, "  %3d %s\n", i, e.Name)
+		} else {
+			fmt.Fprintf(&d.b, "  %3d %s(%s)\n", i, e.Name, e.Payload)
+		}
+	}
+	for _, m := range p.Machines {
+		d.machine(m)
+	}
+	return d.b.String()
+}
+
+type dumper struct {
+	prog *Program
+	b    strings.Builder
+	mach *Machine
+}
+
+func (d *dumper) machine(m *Machine) {
+	d.mach = m
+	kind := "machine"
+	if m.Ghost {
+		kind = "ghost machine"
+	}
+	fmt.Fprintf(&d.b, "\n%s %s (id %d)", kind, m.Name, m.ID)
+	if m.ErasedStub {
+		d.b.WriteString(" [erased stub]\n")
+		return
+	}
+	d.b.WriteByte('\n')
+	for i, v := range m.Vars {
+		g := ""
+		if v.Ghost {
+			g = " ghost"
+		}
+		fmt.Fprintf(&d.b, "  var %d %s: %s%s\n", i, v.Name, v.Type, g)
+	}
+	for i, f := range m.Foreigns {
+		var params []string
+		for _, t := range f.Params {
+			params = append(params, t.String())
+		}
+		fmt.Fprintf(&d.b, "  foreign %d %s(%s): %s", i, f.Name, strings.Join(params, ", "), f.Result)
+		if f.Model != nil {
+			d.b.WriteString(" model:\n")
+			d.stmts(f.Model, 2)
+		} else {
+			d.b.WriteByte('\n')
+		}
+	}
+	for i, a := range m.Actions {
+		fmt.Fprintf(&d.b, "  action %d %s:\n", i, a.Name)
+		d.stmts(a.Body, 2)
+	}
+	for _, s := range m.States {
+		d.state(s)
+	}
+}
+
+func (d *dumper) state(s *State) {
+	fmt.Fprintf(&d.b, "  state %d %s", s.ID, s.Name)
+	if s.ID == d.mach.Init {
+		d.b.WriteString(" [initial]")
+	}
+	d.b.WriteByte('\n')
+	if !s.Deferred.IsEmpty() {
+		fmt.Fprintf(&d.b, "    defer %s\n", d.events(s.Deferred))
+	}
+	if !s.Postponed.IsEmpty() {
+		fmt.Fprintf(&d.b, "    postpone %s\n", d.events(s.Postponed))
+	}
+	for e, tr := range s.Trans {
+		switch tr.Kind {
+		case TransStep:
+			fmt.Fprintf(&d.b, "    on %s goto %s\n", d.prog.Events[e].Name, d.mach.States[tr.Target].Name)
+		case TransCall:
+			fmt.Fprintf(&d.b, "    on %s push %s\n", d.prog.Events[e].Name, d.mach.States[tr.Target].Name)
+		}
+	}
+	for e, a := range s.Action {
+		if a != NoAction {
+			fmt.Fprintf(&d.b, "    on %s do %s\n", d.prog.Events[e].Name, d.mach.Actions[a].Name)
+		}
+	}
+	if len(s.Entry) > 0 {
+		d.b.WriteString("    entry:\n")
+		d.stmts(s.Entry, 3)
+	}
+	if len(s.Exit) > 0 {
+		d.b.WriteString("    exit:\n")
+		d.stmts(s.Exit, 3)
+	}
+}
+
+func (d *dumper) events(set EventSet) string {
+	var names []string
+	for _, e := range set.Events() {
+		names = append(names, d.prog.Events[e].Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+func (d *dumper) stmts(ss []*Stmt, indent int) {
+	pad := strings.Repeat("  ", indent)
+	for _, s := range ss {
+		switch s.Op {
+		case SSkip:
+			fmt.Fprintf(&d.b, "%sskip\n", pad)
+		case SAssign:
+			fmt.Fprintf(&d.b, "%s%s = %s\n", pad, d.varName(s.Var), d.expr(s.Expr))
+		case SNew:
+			var inits []string
+			target := d.prog.Machines[s.Machine]
+			for _, in := range s.Inits {
+				inits = append(inits, fmt.Sprintf("%s=%s", target.Vars[in.Var].Name, d.expr(in.Expr)))
+			}
+			fmt.Fprintf(&d.b, "%s%s = new %s(%s)\n", pad, d.varName(s.Var), target.Name, strings.Join(inits, ", "))
+		case SDelete:
+			fmt.Fprintf(&d.b, "%sdelete\n", pad)
+		case SSend:
+			if s.Expr != nil {
+				fmt.Fprintf(&d.b, "%ssend %s, %s, %s\n", pad, d.expr(s.Target), d.prog.Events[s.Event].Name, d.expr(s.Expr))
+			} else {
+				fmt.Fprintf(&d.b, "%ssend %s, %s\n", pad, d.expr(s.Target), d.prog.Events[s.Event].Name)
+			}
+		case SRaise:
+			if s.Expr != nil {
+				fmt.Fprintf(&d.b, "%sraise %s, %s\n", pad, d.prog.Events[s.Event].Name, d.expr(s.Expr))
+			} else {
+				fmt.Fprintf(&d.b, "%sraise %s\n", pad, d.prog.Events[s.Event].Name)
+			}
+		case SLeave:
+			fmt.Fprintf(&d.b, "%sleave\n", pad)
+		case SReturn:
+			fmt.Fprintf(&d.b, "%sreturn\n", pad)
+		case SAssert:
+			fmt.Fprintf(&d.b, "%sassert %s\n", pad, d.expr(s.Expr))
+		case SIf:
+			fmt.Fprintf(&d.b, "%sif %s:\n", pad, d.expr(s.Expr))
+			d.stmts(s.Body, indent+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(&d.b, "%selse:\n", pad)
+				d.stmts(s.Else, indent+1)
+			}
+		case SWhile:
+			fmt.Fprintf(&d.b, "%swhile %s:\n", pad, d.expr(s.Expr))
+			d.stmts(s.Body, indent+1)
+		case SCallState:
+			fmt.Fprintf(&d.b, "%scall %s\n", pad, d.mach.States[s.State].Name)
+		case SForeign:
+			var args []string
+			for _, a := range s.Args {
+				args = append(args, d.expr(a))
+			}
+			fmt.Fprintf(&d.b, "%s%s(%s)\n", pad, d.mach.Foreigns[s.Foreign].Name, strings.Join(args, ", "))
+		default:
+			fmt.Fprintf(&d.b, "%s?stmt(%d)\n", pad, s.Op)
+		}
+	}
+}
+
+func (d *dumper) varName(v VarID) string {
+	if int(v) < len(d.mach.Vars) {
+		return d.mach.Vars[v].Name
+	}
+	return fmt.Sprintf("var%d", v)
+}
+
+func (d *dumper) expr(e *Expr) string {
+	switch e.Op {
+	case EInt:
+		return fmt.Sprintf("%d", e.Int)
+	case EBool:
+		if e.Int != 0 {
+			return "true"
+		}
+		return "false"
+	case ENull:
+		return "null"
+	case EThis:
+		return "this"
+	case EMsg:
+		return "msg"
+	case EArg:
+		return "arg"
+	case EChoose:
+		return "*"
+	case EVar:
+		return d.varName(e.Var)
+	case EEvent:
+		return d.prog.Events[e.Event].Name
+	case ENot:
+		return "!" + d.expr(e.X)
+	case ENeg:
+		return "-" + d.expr(e.X)
+	case EBinary:
+		return fmt.Sprintf("(%s %s %s)", d.expr(e.X), e.Bin, d.expr(e.Y))
+	case ECall:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, d.expr(a))
+		}
+		return fmt.Sprintf("%s(%s)", d.mach.Foreigns[e.ForeignFn].Name, strings.Join(args, ", "))
+	default:
+		return fmt.Sprintf("?expr(%d)", e.Op)
+	}
+}

@@ -1,0 +1,161 @@
+package ir
+
+// Erase implements the paper's ghost erasure (§3.3): it returns a copy of
+// the program in which ghost machines are stubbed out and every ghost
+// operation inside a real machine is replaced by skip. The type system
+// guarantees the transformation preserves the behaviour of real machines.
+//
+// Erased operations inside real machines:
+//   - assignments to ghost variables, and assignments whose right-hand side
+//     is ghost (the checker only permits those into ghost variables);
+//   - new of a ghost machine (its target is necessarily a ghost variable);
+//   - send whose target expression is ghost (a send to a ghost machine);
+//   - assert whose condition is ghost;
+//   - foreign model bodies (at run time the host implementation is called).
+//
+// Statement indices are preserved so fingerprints of erased and unerased
+// configurations remain comparable per machine.
+func Erase(p *Program) *Program {
+	out := &Program{
+		Name:      p.Name + ".erased",
+		Events:    p.Events,
+		Main:      p.Main,
+		MainInits: p.MainInits,
+		NumStmts:  p.NumStmts,
+		Erased:    true,
+	}
+	for _, m := range p.Machines {
+		if m.Ghost {
+			out.Machines = append(out.Machines, &Machine{
+				Name:       m.Name,
+				ID:         m.ID,
+				Ghost:      true,
+				ErasedStub: true,
+				Init:       0,
+				States:     []*State{stubState(len(p.Events))},
+			})
+			continue
+		}
+		out.Machines = append(out.Machines, eraseMachine(p, m))
+	}
+	return out
+}
+
+func stubState(numEvents int) *State {
+	s := &State{Name: "$erased", ID: 0}
+	s.Trans = make([]Transition, numEvents)
+	s.Action = make([]ActionID, numEvents)
+	for i := range s.Action {
+		s.Action[i] = NoAction
+	}
+	return s
+}
+
+func eraseMachine(p *Program, m *Machine) *Machine {
+	e := &eraser{prog: p, mach: m}
+	out := &Machine{
+		Name:  m.Name,
+		ID:    m.ID,
+		Ghost: false,
+		Vars:  m.Vars,
+		Init:  m.Init,
+	}
+	for _, f := range m.Foreigns {
+		nf := f
+		nf.Model = nil // host implementation is used during execution
+		out.Foreigns = append(out.Foreigns, nf)
+	}
+	for _, a := range m.Actions {
+		out.Actions = append(out.Actions, Action{Name: a.Name, Body: e.eraseStmts(a.Body)})
+	}
+	for _, s := range m.States {
+		ns := &State{
+			Name:      s.Name,
+			ID:        s.ID,
+			Deferred:  s.Deferred,
+			Postponed: s.Postponed,
+			Trans:     s.Trans,
+			Action:    s.Action,
+			Entry:     e.eraseStmts(s.Entry),
+			Exit:      e.eraseStmts(s.Exit),
+		}
+		out.States = append(out.States, ns)
+	}
+	return out
+}
+
+type eraser struct {
+	prog *Program
+	mach *Machine
+}
+
+// isGhostVar reports whether v is a ghost variable of the current machine.
+func (e *eraser) isGhostVar(v VarID) bool {
+	return int(v) < len(e.mach.Vars) && e.mach.Vars[v].Ghost
+}
+
+// eraseStmts rewrites a statement sequence, dropping erased statements.
+func (e *eraser) eraseStmts(in []*Stmt) []*Stmt {
+	var out []*Stmt
+	for _, s := range in {
+		if ns := e.eraseStmt(s); ns != nil {
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// eraseStmt returns the erased statement, or nil if it is removed entirely.
+func (e *eraser) eraseStmt(s *Stmt) *Stmt {
+	switch s.Op {
+	case SAssign:
+		if e.isGhostVar(s.Var) || s.Expr.Ghost {
+			return nil
+		}
+		return s
+	case SNew:
+		if e.prog.Machines[s.Machine].Ghost {
+			return nil
+		}
+		// Drop ghost-variable initializers of the created real machine.
+		target := e.prog.Machines[s.Machine]
+		var inits []Init
+		changed := false
+		for _, in := range s.Inits {
+			if int(in.Var) < len(target.Vars) && target.Vars[in.Var].Ghost {
+				changed = true
+				continue
+			}
+			inits = append(inits, in)
+		}
+		if !changed {
+			return s
+		}
+		ns := *s
+		ns.Inits = inits
+		return &ns
+	case SSend:
+		if s.Target.Ghost {
+			return nil
+		}
+		return s
+	case SAssert:
+		if s.Expr.Ghost {
+			return nil
+		}
+		return s
+	case SIf:
+		// The checker forbids ghost conditions in real machines, so only the
+		// branches need rewriting.
+		ns := *s
+		ns.Body = e.eraseStmts(s.Body)
+		ns.Else = e.eraseStmts(s.Else)
+		return &ns
+	case SWhile:
+		ns := *s
+		ns.Body = e.eraseStmts(s.Body)
+		return &ns
+	default:
+		return s
+	}
+}

@@ -1,0 +1,80 @@
+package ir_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgo/internal/compile"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden IR dumps for the stable hand-written samples: any change to
+// lowering, erasure, or the dumper shows up as a readable diff.
+// Regenerate with: go test ./internal/ir -run TestGolden -update
+func TestGoldenIRDumps(t *testing.T) {
+	for _, name := range []string{"pingpong", "elevator", "boundedbuffer"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, ok := psamples.ByName(name)
+			if !ok {
+				t.Fatalf("no sample %s", name)
+			}
+			prog, diags, err := compile.Source(name, s.Source)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, diags.String())
+			}
+			compareGolden(t, name+".ir", ir.Dump(prog))
+			compareGolden(t, name+".erased.ir", ir.Dump(ir.Erase(prog)))
+		})
+	}
+}
+
+func compareGolden(t *testing.T, file, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", file)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+	}
+	if string(want) != got {
+		t.Fatalf("golden mismatch for %s:\n--- want ---\n%s\n--- got ---\n%s\nfirst divergence: %q",
+			path, want, got, firstDiff(string(want), got))
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return al[i] + " vs " + bl[i]
+		}
+	}
+	return "(length difference)"
+}
+
+// The dump itself must be deterministic.
+func TestDumpDeterministic(t *testing.T) {
+	s, _ := psamples.ByName("german")
+	prog, diags, err := compile.Source("german", s.Source)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	if ir.Dump(prog) != ir.Dump(prog) {
+		t.Fatal("Dump is not deterministic")
+	}
+}

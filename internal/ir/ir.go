@@ -1,0 +1,395 @@
+// Package ir defines the lowered representation of a P program: indexed
+// tables of events, machines, states, actions and foreign functions, with
+// statements and expressions resolved to ids. This mirrors the data
+// structures the paper's compiler emits as C arrays indexed by enumerations
+// (§4 "Generated code"). Both the model checker and the execution runtime
+// interpret this representation.
+package ir
+
+import (
+	"fmt"
+
+	"pgo/internal/source"
+)
+
+// EventID indexes Program.Events.
+type EventID int
+
+// MachineTypeID indexes Program.Machines.
+type MachineTypeID int
+
+// StateID indexes Machine.States.
+type StateID int
+
+// ActionID indexes Machine.Actions. NoAction marks an unbound slot.
+type ActionID int
+
+// NoAction marks the absence of an action binding.
+const NoAction ActionID = -1
+
+// VarID indexes Machine.Vars.
+type VarID int
+
+// ForeignID indexes Machine.Foreigns.
+type ForeignID int
+
+// Type enumerates the declared types of variables and payloads.
+type Type int
+
+const (
+	TypeVoid Type = iota
+	TypeBool
+	TypeInt
+	TypeEvent
+	TypeID
+	TypeAny
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeVoid:
+		return "void"
+	case TypeBool:
+		return "bool"
+	case TypeInt:
+		return "int"
+	case TypeEvent:
+		return "event"
+	case TypeID:
+		return "id"
+	case TypeAny:
+		return "any"
+	default:
+		return "type(?)"
+	}
+}
+
+// Program is a complete lowered P program.
+type Program struct {
+	Name     string
+	Events   []Event
+	Machines []*Machine
+
+	// Main is the machine instantiated first during verification, with
+	// constant initializers.
+	Main      MachineTypeID
+	MainInits []Init
+
+	// NumStmts is the number of registered statement nodes; every Stmt in
+	// the program has a unique Index < NumStmts, used for configuration
+	// fingerprinting.
+	NumStmts int
+
+	// Erased reports whether the erasure pass ran: ghost machines are
+	// stubbed out and ghost operations in real machines replaced by skip.
+	Erased bool
+}
+
+// Event is a declared event.
+type Event struct {
+	Name    string
+	Payload Type // TypeVoid when the event carries no payload
+}
+
+// Machine is a lowered machine type.
+type Machine struct {
+	Name  string
+	ID    MachineTypeID
+	Ghost bool
+	// ErasedStub marks a ghost machine in an erased program: it must not be
+	// instantiated at run time.
+	ErasedStub bool
+
+	Vars     []Var
+	States   []*State
+	Actions  []Action
+	Foreigns []Foreign
+
+	// Init is the machine's initial state (the first declared state).
+	Init StateID
+}
+
+// Var is a machine-local variable.
+type Var struct {
+	Name  string
+	Type  Type
+	Ghost bool
+}
+
+// TransKind distinguishes the per-event outgoing transition of a state.
+type TransKind uint8
+
+const (
+	// TransNone means no transition is defined for the event.
+	TransNone TransKind = iota
+	// TransStep is a step transition (exit current, enter target).
+	TransStep
+	// TransCall pushes the target state on the call stack.
+	TransCall
+)
+
+// Transition is a state's response to one event.
+type Transition struct {
+	Kind   TransKind
+	Target StateID
+}
+
+// State is a lowered control state with dense per-event handler tables.
+type State struct {
+	Name      string
+	ID        StateID
+	Deferred  EventSet
+	Postponed EventSet
+	Entry     []*Stmt
+	Exit      []*Stmt
+	// Trans[e] and Action[e] are the transition and action binding for
+	// event e; both slices have length len(Program.Events).
+	Trans  []Transition
+	Action []ActionID
+}
+
+// Action is a named handler body.
+type Action struct {
+	Name string
+	Body []*Stmt
+}
+
+// Foreign is a foreign-function slot. The host implementation is bound by
+// name at run time; Model is the erasable P body used during verification.
+type Foreign struct {
+	Name    string
+	Params  []Type
+	Result  Type
+	Model   []*Stmt // nil if no model was given
+	ModelID ForeignID
+}
+
+// Init is a resolved variable initializer.
+type Init struct {
+	Var  VarID
+	Expr *Expr
+}
+
+// ------------------------------------------------------------------- stmts
+
+// StmtOp enumerates the lowered statement forms.
+type StmtOp uint8
+
+const (
+	SSkip StmtOp = iota
+	SAssign
+	SNew
+	SDelete
+	SSend
+	SRaise
+	SLeave
+	SReturn
+	SAssert
+	SIf
+	SWhile
+	SCallState
+	SForeign // foreign call as a statement
+)
+
+var stmtOpNames = [...]string{
+	"skip", "assign", "new", "delete", "send", "raise", "leave", "return",
+	"assert", "if", "while", "call", "foreign",
+}
+
+func (op StmtOp) String() string {
+	if int(op) < len(stmtOpNames) {
+		return stmtOpNames[op]
+	}
+	return fmt.Sprintf("stmt(%d)", int(op))
+}
+
+// Stmt is a lowered statement. Fields are used according to Op.
+type Stmt struct {
+	Op    StmtOp
+	Index int // unique within the program
+
+	Var     VarID         // SAssign, SNew target
+	Machine MachineTypeID // SNew
+	Inits   []Init        // SNew
+	Event   EventID       // SSend, SRaise
+	Target  *Expr         // SSend target
+	Expr    *Expr         // SAssign rhs, SSend/SRaise payload, SAssert/SIf/SWhile condition
+	Body    []*Stmt       // SIf then, SWhile body
+	Else    []*Stmt       // SIf else
+	State   StateID       // SCallState
+	Foreign ForeignID     // SForeign
+	Args    []*Expr       // SForeign
+
+	Span source.Span
+}
+
+// ------------------------------------------------------------------- exprs
+
+// ExprOp enumerates the lowered expression forms.
+type ExprOp uint8
+
+const (
+	EInt ExprOp = iota
+	EBool
+	ENull
+	EThis
+	EMsg
+	EArg
+	EChoose
+	EVar
+	EEvent // event constant
+	ENot
+	ENeg
+	EBinary
+	ECall // foreign call
+)
+
+// BinOp enumerates binary operators (shared numbering with ast.BinaryOp).
+type BinOp uint8
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	Eq
+	Neq
+	Lt
+	Le
+	Gt
+	Ge
+	And
+	Or
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+func (op BinOp) String() string {
+	if int(op) < len(binOpNames) {
+		return binOpNames[op]
+	}
+	return fmt.Sprintf("binop(%d)", int(op))
+}
+
+// Expr is a lowered expression.
+type Expr struct {
+	Op    ExprOp
+	Int   int64   // EInt value, EBool 0/1
+	Var   VarID   // EVar
+	Event EventID // EEvent
+	Bin   BinOp   // EBinary
+	X, Y  *Expr   // ENot/ENeg use X; EBinary uses X, Y
+
+	ForeignFn ForeignID // ECall
+	Args      []*Expr   // ECall
+
+	// Ghost marks expressions whose value depends on ghost state (computed
+	// by the type checker for real machines; always true inside ghost
+	// machines).
+	Ghost bool
+
+	Span source.Span
+}
+
+// ----------------------------------------------------------------- helpers
+
+// EventByName returns the id of the named event.
+func (p *Program) EventByName(name string) (EventID, bool) {
+	for i, e := range p.Events {
+		if e.Name == name {
+			return EventID(i), true
+		}
+	}
+	return 0, false
+}
+
+// MachineByName returns the machine type with the given name.
+func (p *Program) MachineByName(name string) (*Machine, bool) {
+	for _, m := range p.Machines {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// StateByName returns the id of the named state in m.
+func (m *Machine) StateByName(name string) (StateID, bool) {
+	for _, s := range m.States {
+		if s.Name == name {
+			return s.ID, true
+		}
+	}
+	return 0, false
+}
+
+// VarByName returns the id of the named variable in m.
+func (m *Machine) VarByName(name string) (VarID, bool) {
+	for i, v := range m.Vars {
+		if v.Name == name {
+			return VarID(i), true
+		}
+	}
+	return 0, false
+}
+
+// CountPStates returns the number of control states of machine m, the
+// "P states" column of the paper's Figure 8.
+func (m *Machine) CountPStates() int { return len(m.States) }
+
+// CountPTransitions returns the number of declared transitions and action
+// bindings of machine m, the "P transitions" column of Figure 8.
+func (m *Machine) CountPTransitions() int {
+	n := 0
+	for _, s := range m.States {
+		for _, t := range s.Trans {
+			if t.Kind != TransNone {
+				n++
+			}
+		}
+		for _, a := range s.Action {
+			if a != NoAction {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Validate performs internal-consistency checks on the lowered program and
+// returns the first problem found, if any. It is cheap and intended for use
+// in tests and at tool start-up.
+func (p *Program) Validate() error {
+	ne := len(p.Events)
+	if int(p.Main) >= len(p.Machines) || p.Main < 0 {
+		return fmt.Errorf("ir: main machine id %d out of range", p.Main)
+	}
+	for mi, m := range p.Machines {
+		if m.ID != MachineTypeID(mi) {
+			return fmt.Errorf("ir: machine %s has id %d at index %d", m.Name, m.ID, mi)
+		}
+		if len(m.States) == 0 {
+			return fmt.Errorf("ir: machine %s has no states", m.Name)
+		}
+		for si, s := range m.States {
+			if s.ID != StateID(si) {
+				return fmt.Errorf("ir: state %s.%s has id %d at index %d", m.Name, s.Name, s.ID, si)
+			}
+			if len(s.Trans) != ne || len(s.Action) != ne {
+				return fmt.Errorf("ir: state %s.%s handler tables sized %d/%d, want %d", m.Name, s.Name, len(s.Trans), len(s.Action), ne)
+			}
+			for e, t := range s.Trans {
+				if t.Kind != TransNone && (int(t.Target) >= len(m.States) || t.Target < 0) {
+					return fmt.Errorf("ir: state %s.%s transition on %s targets invalid state %d", m.Name, s.Name, p.Events[e].Name, t.Target)
+				}
+			}
+			for e, a := range s.Action {
+				if a != NoAction && (int(a) >= len(m.Actions) || a < 0) {
+					return fmt.Errorf("ir: state %s.%s binds invalid action %d on %s", m.Name, s.Name, a, p.Events[e].Name)
+				}
+			}
+		}
+	}
+	return nil
+}

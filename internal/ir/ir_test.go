@@ -1,0 +1,244 @@
+package ir_test
+
+import (
+	"testing"
+
+	"pgo/internal/ir"
+	"pgo/internal/parser"
+	"pgo/internal/source"
+	"pgo/internal/types"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	var diags source.DiagList
+	prog := parser.Parse(src, &diags)
+	chk := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("frontend failed:\n%s", diags.String())
+	}
+	lp, err := ir.Lower("test", chk)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return lp
+}
+
+const sample = `
+event A(int);
+event B;
+ghost machine G {
+  var client: id;
+  state S {
+    entry { if * { send client, B; } }
+  }
+}
+machine M {
+  ghost var g: id;
+  var x: int;
+  action Drop { skip; }
+  state S1 {
+    defer B;
+    postpone B;
+    entry {
+      g = new G(client = this);
+      x = 0;
+    }
+    exit { x = x + 1; }
+    on A goto S2;
+    on B do Drop;
+  }
+  state S2 {
+    entry { skip; }
+    on A push S1;
+    on B ignore;
+  }
+}
+main M(x = 5);
+`
+
+func TestLoweredTables(t *testing.T) {
+	p := lower(t, sample)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 2 {
+		t.Fatalf("events = %d", len(p.Events))
+	}
+	a, ok := p.EventByName("A")
+	if !ok || p.Events[a].Payload != ir.TypeInt {
+		t.Fatalf("event A payload = %v", p.Events[a].Payload)
+	}
+	m, ok := p.MachineByName("M")
+	if !ok {
+		t.Fatal("no machine M")
+	}
+	s1, _ := m.StateByName("S1")
+	b, _ := p.EventByName("B")
+	st := m.States[s1]
+	if !st.Deferred.Contains(b) {
+		t.Fatal("B not in deferred set of S1")
+	}
+	if !st.Postponed.Contains(b) {
+		t.Fatal("B not in postponed set of S1")
+	}
+	if st.Trans[a].Kind != ir.TransStep {
+		t.Fatalf("S1 on A = %v, want step", st.Trans[a].Kind)
+	}
+	if st.Action[b] == ir.NoAction {
+		t.Fatal("S1 should bind an action on B")
+	}
+	s2, _ := m.StateByName("S2")
+	if m.States[s2].Trans[a].Kind != ir.TransCall {
+		t.Fatal("S2 on A should be a call transition")
+	}
+	// ignore synthesizes a $ignore action.
+	if m.States[s2].Action[b] == ir.NoAction {
+		t.Fatal("S2 on B should bind the synthesized ignore action")
+	}
+	if m.Actions[m.States[s2].Action[b]].Name != "$ignore" {
+		t.Fatalf("bound action = %s", m.Actions[m.States[s2].Action[b]].Name)
+	}
+}
+
+func TestMainInitsLowered(t *testing.T) {
+	p := lower(t, sample)
+	if len(p.MainInits) != 1 {
+		t.Fatalf("main inits = %d", len(p.MainInits))
+	}
+	if p.MainInits[0].Expr.Op != ir.EInt || p.MainInits[0].Expr.Int != 5 {
+		t.Fatalf("main init expr = %+v", p.MainInits[0].Expr)
+	}
+}
+
+func TestStmtIndicesUnique(t *testing.T) {
+	p := lower(t, sample)
+	seen := map[int]bool{}
+	var walk func(ss []*ir.Stmt)
+	walk = func(ss []*ir.Stmt) {
+		for _, s := range ss {
+			if seen[s.Index] {
+				t.Fatalf("statement index %d reused", s.Index)
+			}
+			if s.Index >= p.NumStmts {
+				t.Fatalf("index %d >= NumStmts %d", s.Index, p.NumStmts)
+			}
+			seen[s.Index] = true
+			walk(s.Body)
+			walk(s.Else)
+		}
+	}
+	for _, m := range p.Machines {
+		for _, st := range m.States {
+			walk(st.Entry)
+			walk(st.Exit)
+		}
+		for _, a := range m.Actions {
+			walk(a.Body)
+		}
+		for _, f := range m.Foreigns {
+			walk(f.Model)
+		}
+	}
+}
+
+func TestCountsForFigure8(t *testing.T) {
+	p := lower(t, sample)
+	m, _ := p.MachineByName("M")
+	if got := m.CountPStates(); got != 2 {
+		t.Fatalf("P states = %d, want 2", got)
+	}
+	// S1: step on A + action on B; S2: call on A + ignore on B.
+	if got := m.CountPTransitions(); got != 4 {
+		t.Fatalf("P transitions = %d, want 4", got)
+	}
+}
+
+func TestGhostTaintPropagates(t *testing.T) {
+	p := lower(t, `
+event E;
+ghost machine G { state S { entry { skip; } } }
+machine M {
+  ghost var g: id;
+  ghost var gx: int;
+  state S {
+    entry {
+      g = new G();
+      gx = gx + 1;
+      send g, E;
+    }
+  }
+}
+main M();
+`)
+	m, _ := p.MachineByName("M")
+	entry := m.States[0].Entry
+	send := entry[2]
+	if send.Op != ir.SSend {
+		t.Fatalf("third stmt = %v", send.Op)
+	}
+	if !send.Target.Ghost {
+		t.Fatal("send target should be ghost-tainted")
+	}
+}
+
+func TestEraseRemovesGhostOps(t *testing.T) {
+	p := lower(t, sample)
+	e := ir.Erase(p)
+	if !e.Erased {
+		t.Fatal("Erased flag unset")
+	}
+	g, _ := e.MachineByName("G")
+	if !g.ErasedStub {
+		t.Fatal("ghost machine not stubbed")
+	}
+	m, _ := e.MachineByName("M")
+	entry := m.States[0].Entry
+	// The ghost new is gone; x = 0 remains.
+	if len(entry) != 1 || entry[0].Op != ir.SAssign {
+		t.Fatalf("erased entry = %d stmts, first %v", len(entry), entry[0].Op)
+	}
+	// Statement indices survive erasure for fingerprint compatibility.
+	if e.NumStmts != p.NumStmts {
+		t.Fatalf("NumStmts changed: %d vs %d", e.NumStmts, p.NumStmts)
+	}
+}
+
+func TestEraseKeepsRealAsserts(t *testing.T) {
+	p := lower(t, `
+event E;
+ghost machine G { state S { entry { skip; } } }
+machine M {
+  ghost var gx: int;
+  var x: int;
+  state S {
+    entry {
+      assert x == 0;
+      assert gx == 0;
+    }
+  }
+}
+main M();
+`)
+	e := ir.Erase(p)
+	m, _ := e.MachineByName("M")
+	entry := m.States[0].Entry
+	if len(entry) != 1 || entry[0].Op != ir.SAssert {
+		t.Fatalf("erased entry = %+v, want only the real assert", entry)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := lower(t, sample)
+	m, _ := p.MachineByName("M")
+	a, _ := p.EventByName("A")
+	saved := m.States[0].Trans[a]
+	m.States[0].Trans[a] = ir.Transition{Kind: ir.TransStep, Target: 99}
+	if err := p.Validate(); err == nil {
+		t.Fatal("validation missed out-of-range transition target")
+	}
+	m.States[0].Trans[a] = saved
+	if err := p.Validate(); err != nil {
+		t.Fatalf("restored program should validate: %v", err)
+	}
+}

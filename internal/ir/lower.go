@@ -1,0 +1,448 @@
+package ir
+
+import (
+	"fmt"
+
+	"pgo/internal/ast"
+	"pgo/internal/types"
+)
+
+// Lower converts a checked program into the lowered table representation.
+// It must only be called when semantic analysis reported no errors.
+func Lower(name string, chk *types.Checked) (*Program, error) {
+	if chk.MainMachine == nil {
+		return nil, fmt.Errorf("ir: program has no main machine")
+	}
+	lw := &lowerer{chk: chk, prog: &Program{Name: name}}
+	for _, e := range chk.Events {
+		lw.prog.Events = append(lw.prog.Events, Event{Name: e.Name, Payload: lowerType(e.Payload)})
+	}
+	for _, m := range chk.Machines {
+		lm, err := lw.lowerMachine(m)
+		if err != nil {
+			return nil, err
+		}
+		lw.prog.Machines = append(lw.prog.Machines, lm)
+	}
+	lw.prog.Main = MachineTypeID(chk.MainMachine.ID)
+	mainSym := chk.MainMachine
+	lw.mach = mainSym
+	for _, init := range chk.AST.Main.Inits {
+		v, ok := mainSym.VarByName[init.Name.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: main initializer names unknown variable %s", init.Name.Name)
+		}
+		e, err := lw.lowerExpr(init.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lw.prog.MainInits = append(lw.prog.MainInits, Init{Var: VarID(v.ID), Expr: e})
+	}
+	lw.prog.NumStmts = lw.nextIndex
+	if err := lw.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return lw.prog, nil
+}
+
+func lowerType(t types.Type) Type {
+	switch t {
+	case types.Void:
+		return TypeVoid
+	case types.Bool:
+		return TypeBool
+	case types.Int:
+		return TypeInt
+	case types.Event:
+		return TypeEvent
+	case types.ID:
+		return TypeID
+	default:
+		return TypeAny
+	}
+}
+
+type lowerer struct {
+	chk       *types.Checked
+	prog      *Program
+	mach      *types.MachineSym
+	nextIndex int
+}
+
+func (lw *lowerer) alloc(op StmtOp) *Stmt {
+	s := &Stmt{Op: op, Index: lw.nextIndex}
+	lw.nextIndex++
+	return s
+}
+
+func (lw *lowerer) lowerMachine(sym *types.MachineSym) (*Machine, error) {
+	lw.mach = sym
+	m := &Machine{
+		Name:  sym.Name,
+		ID:    MachineTypeID(sym.ID),
+		Ghost: sym.Ghost,
+		Init:  0,
+	}
+	for _, v := range sym.Vars {
+		m.Vars = append(m.Vars, Var{Name: v.Name, Type: lowerType(v.Type), Ghost: v.Ghost})
+	}
+	for _, f := range sym.Foreigns {
+		lf := Foreign{Name: f.Name, Result: lowerType(f.Result), ModelID: ForeignID(f.ID)}
+		for _, pt := range f.Params {
+			lf.Params = append(lf.Params, lowerType(pt))
+		}
+		if f.Decl.Model != nil {
+			body, err := lw.lowerBlock(f.Decl.Model)
+			if err != nil {
+				return nil, err
+			}
+			lf.Model = body
+		}
+		m.Foreigns = append(m.Foreigns, lf)
+	}
+	for _, a := range sym.Actions {
+		body, err := lw.lowerBlock(a.Decl.Body)
+		if err != nil {
+			return nil, err
+		}
+		m.Actions = append(m.Actions, Action{Name: a.Name, Body: body})
+	}
+
+	// A shared no-op action backs "on E ignore" bindings; allocated lazily.
+	ignoreID := NoAction
+	getIgnore := func() ActionID {
+		if ignoreID == NoAction {
+			ignoreID = ActionID(len(m.Actions))
+			m.Actions = append(m.Actions, Action{Name: "$ignore"})
+		}
+		return ignoreID
+	}
+
+	ne := len(lw.prog.Events)
+	for _, st := range sym.States {
+		ls := &State{Name: st.Name, ID: StateID(st.ID)}
+		ls.Trans = make([]Transition, ne)
+		ls.Action = make([]ActionID, ne)
+		for i := range ls.Action {
+			ls.Action[i] = NoAction
+		}
+		for _, id := range st.Decl.Deferred {
+			if ev, ok := lw.chk.EventByName[id.Name]; ok {
+				ls.Deferred.Add(EventID(ev.ID))
+			}
+		}
+		for _, id := range st.Decl.Postponed {
+			if ev, ok := lw.chk.EventByName[id.Name]; ok {
+				ls.Postponed.Add(EventID(ev.ID))
+			}
+		}
+		for _, tr := range st.Decl.Trans {
+			ev, ok := lw.chk.EventByName[tr.Event.Name]
+			if !ok {
+				return nil, fmt.Errorf("ir: unresolved event %s", tr.Event.Name)
+			}
+			eid := EventID(ev.ID)
+			switch tr.Kind {
+			case ast.TransStep, ast.TransCall:
+				target, ok := sym.StateByName[tr.Target.Name]
+				if !ok {
+					return nil, fmt.Errorf("ir: unresolved state %s.%s", sym.Name, tr.Target.Name)
+				}
+				kind := TransStep
+				if tr.Kind == ast.TransCall {
+					kind = TransCall
+				}
+				ls.Trans[eid] = Transition{Kind: kind, Target: StateID(target.ID)}
+			case ast.TransAction:
+				a, ok := sym.ActionByName[tr.Target.Name]
+				if !ok {
+					return nil, fmt.Errorf("ir: unresolved action %s.%s", sym.Name, tr.Target.Name)
+				}
+				ls.Action[eid] = ActionID(a.ID)
+			case ast.TransIgnore:
+				ls.Action[eid] = getIgnore()
+			}
+		}
+		if st.Decl.Entry != nil {
+			body, err := lw.lowerBlock(st.Decl.Entry)
+			if err != nil {
+				return nil, err
+			}
+			ls.Entry = body
+		}
+		if st.Decl.Exit != nil {
+			body, err := lw.lowerBlock(st.Decl.Exit)
+			if err != nil {
+				return nil, err
+			}
+			ls.Exit = body
+		}
+		m.States = append(m.States, ls)
+	}
+	return m, nil
+}
+
+func (lw *lowerer) lowerBlock(b *ast.Block) ([]*Stmt, error) {
+	var out []*Stmt
+	for _, s := range b.Stmts {
+		ls, err := lw.lowerStmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ls...)
+	}
+	return out, nil
+}
+
+// lowerStmt returns the lowered form of s. Blocks flatten into sequences.
+func (lw *lowerer) lowerStmt(s ast.Stmt) ([]*Stmt, error) {
+	switch s := s.(type) {
+	case *ast.Block:
+		return lw.lowerBlock(s)
+	case *ast.SkipStmt:
+		out := lw.alloc(SSkip)
+		out.Span = s.Sp
+		return []*Stmt{out}, nil
+	case *ast.AssignStmt:
+		v, ok := lw.mach.VarByName[s.Name.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved variable %s.%s", lw.mach.Name, s.Name.Name)
+		}
+		e, err := lw.lowerExpr(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out := lw.alloc(SAssign)
+		out.Var = VarID(v.ID)
+		out.Expr = e
+		out.Span = s.Sp
+		return []*Stmt{out}, nil
+	case *ast.NewStmt:
+		v, ok := lw.mach.VarByName[s.Name.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved variable %s.%s", lw.mach.Name, s.Name.Name)
+		}
+		target, ok := lw.chk.MachineByName[s.Machine.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved machine %s", s.Machine.Name)
+		}
+		out := lw.alloc(SNew)
+		out.Var = VarID(v.ID)
+		out.Machine = MachineTypeID(target.ID)
+		out.Span = s.Sp
+		for _, init := range s.Inits {
+			tv, ok := target.VarByName[init.Name.Name]
+			if !ok {
+				return nil, fmt.Errorf("ir: unresolved initializer %s.%s", target.Name, init.Name.Name)
+			}
+			e, err := lw.lowerExpr(init.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out.Inits = append(out.Inits, Init{Var: VarID(tv.ID), Expr: e})
+		}
+		return []*Stmt{out}, nil
+	case *ast.DeleteStmt:
+		out := lw.alloc(SDelete)
+		out.Span = s.Sp
+		return []*Stmt{out}, nil
+	case *ast.SendStmt:
+		ev, ok := lw.chk.EventByName[s.Event.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved event %s", s.Event.Name)
+		}
+		target, err := lw.lowerExpr(s.Target)
+		if err != nil {
+			return nil, err
+		}
+		out := lw.alloc(SSend)
+		out.Event = EventID(ev.ID)
+		out.Target = target
+		out.Span = s.Sp
+		if s.Payload != nil {
+			p, err := lw.lowerExpr(s.Payload)
+			if err != nil {
+				return nil, err
+			}
+			out.Expr = p
+		}
+		return []*Stmt{out}, nil
+	case *ast.RaiseStmt:
+		ev, ok := lw.chk.EventByName[s.Event.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved event %s", s.Event.Name)
+		}
+		out := lw.alloc(SRaise)
+		out.Event = EventID(ev.ID)
+		out.Span = s.Sp
+		if s.Payload != nil {
+			p, err := lw.lowerExpr(s.Payload)
+			if err != nil {
+				return nil, err
+			}
+			out.Expr = p
+		}
+		return []*Stmt{out}, nil
+	case *ast.LeaveStmt:
+		out := lw.alloc(SLeave)
+		out.Span = s.Sp
+		return []*Stmt{out}, nil
+	case *ast.ReturnStmt:
+		out := lw.alloc(SReturn)
+		out.Span = s.Sp
+		return []*Stmt{out}, nil
+	case *ast.AssertStmt:
+		e, err := lw.lowerExpr(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out := lw.alloc(SAssert)
+		out.Expr = e
+		out.Span = s.Sp
+		return []*Stmt{out}, nil
+	case *ast.IfStmt:
+		cond, err := lw.lowerExpr(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out := lw.alloc(SIf)
+		out.Expr = cond
+		out.Span = s.Sp
+		out.Body, err = lw.lowerBlock(s.Then)
+		if err != nil {
+			return nil, err
+		}
+		if s.Else != nil {
+			out.Else, err = lw.lowerStmt(s.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return []*Stmt{out}, nil
+	case *ast.WhileStmt:
+		cond, err := lw.lowerExpr(s.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out := lw.alloc(SWhile)
+		out.Expr = cond
+		out.Span = s.Sp
+		out.Body, err = lw.lowerBlock(s.Body)
+		if err != nil {
+			return nil, err
+		}
+		return []*Stmt{out}, nil
+	case *ast.CallStmt:
+		st, ok := lw.mach.StateByName[s.State.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved state %s.%s", lw.mach.Name, s.State.Name)
+		}
+		out := lw.alloc(SCallState)
+		out.State = StateID(st.ID)
+		out.Span = s.Sp
+		return []*Stmt{out}, nil
+	case *ast.ExprStmt:
+		f, ok := lw.chk.ForeignUse[s.Call]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved foreign call %s", s.Call.Name.Name)
+		}
+		out := lw.alloc(SForeign)
+		out.Foreign = ForeignID(f.ID)
+		out.Span = s.Sp
+		for _, a := range s.Call.Args {
+			e, err := lw.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, e)
+		}
+		return []*Stmt{out}, nil
+	default:
+		return nil, fmt.Errorf("ir: unknown statement node %T", s)
+	}
+}
+
+func (lw *lowerer) lowerExpr(e ast.Expr) (*Expr, error) {
+	ghost := lw.chk.ExprGhost[e]
+	switch e := e.(type) {
+	case *ast.Lit:
+		out := &Expr{Span: e.Sp, Ghost: ghost}
+		switch e.Kind {
+		case ast.LitInt:
+			out.Op, out.Int = EInt, e.Int
+		case ast.LitTrue:
+			out.Op, out.Int = EBool, 1
+		case ast.LitFalse:
+			out.Op, out.Int = EBool, 0
+		case ast.LitNull:
+			out.Op = ENull
+		case ast.LitThis:
+			out.Op = EThis
+		case ast.LitMsg:
+			out.Op = EMsg
+		case ast.LitArg:
+			out.Op = EArg
+		case ast.LitChoose:
+			out.Op = EChoose
+			out.Ghost = true
+		default:
+			return nil, fmt.Errorf("ir: unknown literal kind %d", e.Kind)
+		}
+		return out, nil
+	case *ast.NameExpr:
+		if v, ok := lw.chk.VarUse[e]; ok {
+			return &Expr{Op: EVar, Var: VarID(v.ID), Ghost: v.Ghost || ghost, Span: e.Sp}, nil
+		}
+		if ev, ok := lw.chk.EventUse[e]; ok {
+			return &Expr{Op: EEvent, Event: EventID(ev.ID), Span: e.Sp}, nil
+		}
+		// Fall back to direct lookup (e.g. main initializers checked with a
+		// different machine context).
+		if lw.mach != nil {
+			if v, ok := lw.mach.VarByName[e.Name.Name]; ok {
+				return &Expr{Op: EVar, Var: VarID(v.ID), Ghost: v.Ghost, Span: e.Sp}, nil
+			}
+		}
+		if ev, ok := lw.chk.EventByName[e.Name.Name]; ok {
+			return &Expr{Op: EEvent, Event: EventID(ev.ID), Span: e.Sp}, nil
+		}
+		return nil, fmt.Errorf("ir: unresolved name %s", e.Name.Name)
+	case *ast.UnaryExpr:
+		x, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		op := ENot
+		if e.Op == ast.OpNeg {
+			op = ENeg
+		}
+		return &Expr{Op: op, X: x, Ghost: ghost || x.Ghost, Span: e.Sp}, nil
+	case *ast.BinaryExpr:
+		x, err := lw.lowerExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := lw.lowerExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Op: EBinary, Bin: BinOp(e.Op), X: x, Y: y, Ghost: ghost || x.Ghost || y.Ghost, Span: e.Sp}, nil
+	case *ast.CallExpr:
+		f, ok := lw.chk.ForeignUse[e]
+		if !ok {
+			return nil, fmt.Errorf("ir: unresolved foreign call %s", e.Name.Name)
+		}
+		out := &Expr{Op: ECall, ForeignFn: ForeignID(f.ID), Ghost: ghost, Span: e.Sp}
+		for _, a := range e.Args {
+			la, err := lw.lowerExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, la)
+			out.Ghost = out.Ghost || la.Ghost
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("ir: unknown expression node %T", e)
+	}
+}

@@ -1,0 +1,235 @@
+// Package lexer implements the scanner for the P surface language.
+//
+// The scanner is hand written: P's token set is small and error recovery
+// (skipping an illegal rune and continuing) is easier to control by hand.
+// Comments use // to end of line and /* ... */ (non-nesting).
+package lexer
+
+import (
+	"unicode"
+	"unicode/utf8"
+
+	"pgo/internal/source"
+	"pgo/internal/token"
+)
+
+// Token is a scanned token with its source span and literal text.
+type Token struct {
+	Kind token.Kind
+	Span source.Span
+	Text string // literal text for Ident, Int, String, Illegal
+}
+
+// Lexer scans P source text into tokens.
+type Lexer struct {
+	src   string
+	off   int // byte offset of next rune
+	line  int
+	col   int
+	diags *source.DiagList
+}
+
+// New returns a lexer over src reporting problems to diags.
+// diags may be nil, in which case lexical errors surface only as Illegal
+// tokens.
+func New(src string, diags *source.DiagList) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1, diags: diags}
+}
+
+// Tokenize scans the entire input and returns all tokens, ending with EOF.
+func Tokenize(src string, diags *source.DiagList) []Token {
+	lx := New(src, diags)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) pos() source.Pos { return source.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) peek2() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	_, w := utf8.DecodeRuneInString(l.src[l.off:])
+	if l.off+w >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off+w:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for {
+		switch r := l.peek(); {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		case r == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance() // '/'
+			l.advance() // '*'
+			closed := false
+			for l.peek() != -1 {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed && l.diags != nil {
+				l.diags.Errorf(source.Span{Start: start, End: l.pos()}, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	startOff := l.off
+	r := l.peek()
+	if r == -1 {
+		return Token{Kind: token.EOF, Span: source.Span{Start: start, End: start}}
+	}
+
+	mk := func(k token.Kind) Token {
+		return Token{Kind: k, Span: source.Span{Start: start, End: l.pos()}, Text: l.src[startOff:l.off]}
+	}
+
+	switch {
+	case isIdentStart(r):
+		for isIdentCont(l.peek()) {
+			l.advance()
+		}
+		text := l.src[startOff:l.off]
+		return Token{Kind: token.Lookup(text), Span: source.Span{Start: start, End: l.pos()}, Text: text}
+	case unicode.IsDigit(r):
+		for unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		if isIdentStart(l.peek()) {
+			for isIdentCont(l.peek()) {
+				l.advance()
+			}
+			tok := mk(token.Illegal)
+			if l.diags != nil {
+				l.diags.Errorf(tok.Span, "malformed number %q", tok.Text)
+			}
+			return tok
+		}
+		return mk(token.Int)
+	}
+
+	l.advance()
+	switch r {
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.Eq)
+		}
+		return mk(token.Assign)
+	case '+':
+		return mk(token.Plus)
+	case '-':
+		return mk(token.Minus)
+	case '*':
+		return mk(token.Star)
+	case '/':
+		return mk(token.Slash)
+	case '%':
+		return mk(token.Percent)
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.Neq)
+		}
+		return mk(token.Not)
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.Le)
+		}
+		return mk(token.Lt)
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(token.Ge)
+		}
+		return mk(token.Gt)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return mk(token.AndAnd)
+		}
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(token.OrOr)
+		}
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '{':
+		return mk(token.LBrace)
+	case '}':
+		return mk(token.RBrace)
+	case ',':
+		return mk(token.Comma)
+	case ';':
+		return mk(token.Semi)
+	case ':':
+		return mk(token.Colon)
+	case '.':
+		return mk(token.Dot)
+	}
+	tok := mk(token.Illegal)
+	if l.diags != nil {
+		l.diags.Errorf(tok.Span, "illegal character %q", string(r))
+	}
+	return tok
+}

@@ -1,0 +1,148 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"pgo/internal/lexer"
+	"pgo/internal/source"
+	"pgo/internal/token"
+)
+
+func kinds(toks []lexer.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	var diags source.DiagList
+	toks := lexer.Tokenize(`machine M { var x: int; } // comment`, &diags)
+	want := []token.Kind{
+		token.KwMachine, token.Ident, token.LBrace, token.KwVar, token.Ident,
+		token.Colon, token.KwInt, token.Semi, token.RBrace, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if diags.HasErrors() {
+		t.Fatalf("unexpected diagnostics: %s", diags.String())
+	}
+}
+
+func TestOperators(t *testing.T) {
+	var diags source.DiagList
+	toks := lexer.Tokenize(`== != <= >= < > && || ! = + - * / %`, &diags)
+	want := []token.Kind{
+		token.Eq, token.Neq, token.Le, token.Ge, token.Lt, token.Gt,
+		token.AndAnd, token.OrOr, token.Not, token.Assign, token.Plus,
+		token.Minus, token.Star, token.Slash, token.Percent, token.EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	var diags source.DiagList
+	toks := lexer.Tokenize("event A;\nevent B;", &diags)
+	// Second "event" keyword is at line 2 column 1.
+	if toks[3].Span.Start != (source.Pos{Line: 2, Col: 1}) {
+		t.Fatalf("position = %v, want 2:1", toks[3].Span.Start)
+	}
+	if toks[4].Span.Start != (source.Pos{Line: 2, Col: 7}) {
+		t.Fatalf("position = %v, want 2:7", toks[4].Span.Start)
+	}
+}
+
+func TestBlockComments(t *testing.T) {
+	var diags source.DiagList
+	toks := lexer.Tokenize("a /* skip\nmulti line */ b", &diags)
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if diags.HasErrors() {
+		t.Fatalf("diagnostics: %s", diags.String())
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	var diags source.DiagList
+	lexer.Tokenize("a /* never closed", &diags)
+	if !diags.HasErrors() {
+		t.Fatal("unterminated comment not reported")
+	}
+}
+
+func TestIllegalRune(t *testing.T) {
+	var diags source.DiagList
+	toks := lexer.Tokenize("a @ b", &diags)
+	if toks[1].Kind != token.Illegal {
+		t.Fatalf("expected Illegal, got %v", toks[1].Kind)
+	}
+	if !diags.HasErrors() {
+		t.Fatal("illegal rune not reported")
+	}
+	// Scanning continues after the bad rune.
+	if toks[2].Text != "b" {
+		t.Fatalf("recovery failed: %v", toks)
+	}
+}
+
+func TestMalformedNumber(t *testing.T) {
+	var diags source.DiagList
+	toks := lexer.Tokenize("123abc", &diags)
+	if toks[0].Kind != token.Illegal {
+		t.Fatalf("expected Illegal for 123abc, got %v", toks[0].Kind)
+	}
+	if !diags.HasErrors() {
+		t.Fatal("malformed number not reported")
+	}
+}
+
+func TestKeywordLookup(t *testing.T) {
+	cases := map[string]token.Kind{
+		"machine": token.KwMachine,
+		"ghost":   token.KwGhost,
+		"defer":   token.KwDefer,
+		"Machine": token.Ident, // case sensitive
+		"foo":     token.Ident,
+	}
+	for s, want := range cases {
+		if got := token.Lookup(s); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	var diags source.DiagList
+	lx := lexer.New("x", &diags)
+	lx.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := lx.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next after EOF = %v", tok.Kind)
+		}
+	}
+}
+
+func TestUnicodeIdentifiers(t *testing.T) {
+	var diags source.DiagList
+	toks := lexer.Tokenize("état _x x9", &diags)
+	if toks[0].Text != "état" || toks[1].Text != "_x" || toks[2].Text != "x9" {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if diags.HasErrors() {
+		t.Fatalf("diagnostics: %s", diags.String())
+	}
+}

@@ -1,0 +1,122 @@
+package live
+
+import (
+	"pgo/internal/check"
+)
+
+// Lasso is a concrete liveness counterexample: a stem from the initial
+// configuration to the witnessing component and a cycle inside it. The LTL
+// violations of §3.2 are exactly infinite executions of this shape.
+type Lasso struct {
+	Stem  []check.NodeID // init ... entry (inclusive)
+	Cycle []check.NodeID // entry ... entry (first == last)
+}
+
+// Witness extracts a lasso for violation v on graph g: a shortest stem from
+// g.Init to the violation's SCC and a cycle through the entry node staying
+// inside the SCC. ok is false if the component is unreachable (should not
+// happen for graphs produced by exploration) or acyclic.
+func Witness(g *check.Graph, v Violation) (Lasso, bool) {
+	member := inSCC(v.SCC)
+
+	// Shortest stem: BFS from init to any SCC node.
+	type pred struct {
+		node check.NodeID
+		ok   bool
+	}
+	preds := make([]pred, g.Len())
+	seen := make([]bool, g.Len())
+	queue := []check.NodeID{g.Init}
+	seen[g.Init] = true
+	var entry check.NodeID = -1
+	if member[g.Init] {
+		entry = g.Init
+	}
+	for len(queue) > 0 && entry < 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Edges[n] {
+			if seen[e.To] {
+				continue
+			}
+			seen[e.To] = true
+			preds[e.To] = pred{node: n, ok: true}
+			if member[e.To] {
+				entry = e.To
+				break
+			}
+			queue = append(queue, e.To)
+		}
+	}
+	if entry < 0 {
+		return Lasso{}, false
+	}
+	var stem []check.NodeID
+	for n := entry; ; {
+		stem = append([]check.NodeID{n}, stem...)
+		p := preds[n]
+		if !p.ok {
+			break
+		}
+		n = p.node
+	}
+
+	// Cycle: DFS inside the SCC from entry back to entry.
+	cycle, ok := cycleThrough(g, member, entry)
+	if !ok {
+		return Lasso{}, false
+	}
+	return Lasso{Stem: stem, Cycle: cycle}, true
+}
+
+// cycleThrough finds a path entry -> ... -> entry using only SCC-internal
+// edges. Self-loops count.
+func cycleThrough(g *check.Graph, member map[check.NodeID]bool, entry check.NodeID) ([]check.NodeID, bool) {
+	// BFS from the successors of entry back to entry.
+	type pred struct {
+		node check.NodeID
+		ok   bool
+	}
+	preds := map[check.NodeID]pred{}
+	var queue []check.NodeID
+	for _, e := range g.Edges[entry] {
+		if !member[e.To] {
+			continue
+		}
+		if e.To == entry {
+			return []check.NodeID{entry, entry}, true
+		}
+		if _, seen := preds[e.To]; !seen {
+			preds[e.To] = pred{node: entry, ok: true}
+			queue = append(queue, e.To)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Edges[n] {
+			if !member[e.To] {
+				continue
+			}
+			if e.To == entry {
+				// Reconstruct entry -> ... -> n -> entry.
+				var path []check.NodeID
+				for m := n; ; {
+					path = append([]check.NodeID{m}, path...)
+					p := preds[m]
+					if !p.ok || p.node == entry {
+						break
+					}
+					m = p.node
+				}
+				out := append([]check.NodeID{entry}, path...)
+				return append(out, entry), true
+			}
+			if _, seen := preds[e.To]; !seen {
+				preds[e.To] = pred{node: n, ok: true}
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return nil, false
+}

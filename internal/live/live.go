@@ -1,0 +1,341 @@
+// Package live checks the liveness properties of §3.2 on an explored state
+// graph:
+//
+//  1. No machine may execute indefinitely without getting disabled
+//     (∃m. ◇□ sched(m) is erroneous). On a finite graph this is a reachable
+//     cycle all of whose steps belong to one machine. Divergence inside a
+//     single atomic handler is caught separately by the step budget in
+//     internal/core.
+//
+//  2. Under fair scheduling, an event must not be enqueued and then deferred
+//     forever (∀m fair(m) ∧ ∃ enq(m,e,m') never followed by deq(m',e) is
+//     erroneous), refined by per-state postponed sets: a pending event whose
+//     target state postpones it somewhere on the cycle is excused.
+//
+// Both checks are evaluated per strongly connected component, the standard
+// finite-graph rendering of the LTL specifications: a violating lasso exists
+// iff a reachable SCC exhibits the condition. The SCC granularity is a sound
+// approximation — see DESIGN.md for the exact statement.
+package live
+
+import (
+	"fmt"
+
+	"pgo/internal/check"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// Kind classifies a liveness violation.
+type Kind int
+
+const (
+	// RunsForever is property 1: a machine can be scheduled forever while
+	// other machines starve.
+	RunsForever Kind = iota
+	// DeferredForever is property 2: an event stays queued forever on a
+	// fair cycle without being postponed.
+	DeferredForever
+)
+
+func (k Kind) String() string {
+	if k == RunsForever {
+		return "machine can run forever"
+	}
+	return "event can be deferred forever"
+}
+
+// Violation is one liveness finding.
+type Violation struct {
+	Kind    Kind
+	Machine core.MachineID // the spinning machine / the event's target
+	Type    string         // machine type name
+	Event   ir.EventID     // DeferredForever only
+	EvName  string
+	SCC     []check.NodeID // the witnessing component
+}
+
+func (v Violation) String() string {
+	switch v.Kind {
+	case RunsForever:
+		return fmt.Sprintf("liveness: machine %s#%d can run forever without being disabled (cycle of %d states)", v.Type, v.Machine, len(v.SCC))
+	default:
+		return fmt.Sprintf("liveness: event %s queued at machine %s#%d can be deferred forever under fair scheduling (cycle of %d states)", v.EvName, v.Type, v.Machine, len(v.SCC))
+	}
+}
+
+// Options configures the liveness analysis.
+type Options struct {
+	// IncludeGhost also applies property 1 to ghost machines. Ghost
+	// environments commonly spin by design (they model open-ended stimulus),
+	// so the default is to check real machines only.
+	IncludeGhost bool
+}
+
+// Check analyzes the graph and returns all liveness violations found.
+func Check(prog *ir.Program, g *check.Graph, opts Options) []Violation {
+	if g == nil || g.Len() == 0 {
+		return nil
+	}
+	var out []Violation
+	for _, scc := range SCCs(g) {
+		if !hasInternalCycle(g, scc) {
+			continue
+		}
+		out = append(out, checkRunsForever(prog, g, scc, opts)...)
+		out = append(out, checkDeferredForever(prog, g, scc)...)
+	}
+	return out
+}
+
+// inSCC builds a membership set.
+func inSCC(scc []check.NodeID) map[check.NodeID]bool {
+	m := make(map[check.NodeID]bool, len(scc))
+	for _, n := range scc {
+		m[n] = true
+	}
+	return m
+}
+
+// hasInternalCycle reports whether the component contains a cycle: more than
+// one node, or a self-loop.
+func hasInternalCycle(g *check.Graph, scc []check.NodeID) bool {
+	if len(scc) > 1 {
+		return true
+	}
+	n := scc[0]
+	for _, e := range g.Edges[n] {
+		if e.To == n {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRunsForever finds machines that own a full cycle inside the SCC: a
+// sub-cycle all of whose edges belong to one machine. We approximate at SCC
+// granularity: machine m qualifies if every node of the SCC has an outgoing
+// internal m-edge, which guarantees an infinite m-only path (hence an
+// m-only cycle by finiteness).
+func checkRunsForever(prog *ir.Program, g *check.Graph, scc []check.NodeID, opts Options) []Violation {
+	member := inSCC(scc)
+	// Candidate machines: those with an internal edge from every SCC node.
+	// Collect candidates from the first node, then intersect.
+	candidates := map[core.MachineID]bool{}
+	for _, e := range g.Edges[scc[0]] {
+		if member[e.To] {
+			candidates[e.Machine] = true
+		}
+	}
+	for _, n := range scc[1:] {
+		if len(candidates) == 0 {
+			return nil
+		}
+		present := map[core.MachineID]bool{}
+		for _, e := range g.Edges[n] {
+			if member[e.To] {
+				present[e.Machine] = true
+			}
+		}
+		for m := range candidates {
+			if !present[m] {
+				delete(candidates, m)
+			}
+		}
+	}
+	var out []Violation
+	for m := range candidates {
+		snap := findSnap(g, scc[0], m)
+		if snap == nil {
+			continue
+		}
+		if snap.Ghost && !opts.IncludeGhost {
+			continue
+		}
+		out = append(out, Violation{
+			Kind:    RunsForever,
+			Machine: m,
+			Type:    prog.Machines[snap.Type].Name,
+			SCC:     scc,
+		})
+	}
+	return out
+}
+
+func findSnap(g *check.Graph, n check.NodeID, m core.MachineID) *check.MachineSnap {
+	for i := range g.Nodes[n].Machines {
+		if g.Nodes[n].Machines[i].ID == m {
+			return &g.Nodes[n].Machines[i]
+		}
+	}
+	return nil
+}
+
+// checkDeferredForever finds queue entries pending at every node of a fair
+// SCC that no internal edge dequeues and that are not postponed anywhere on
+// the component.
+func checkDeferredForever(prog *ir.Program, g *check.Graph, scc []check.NodeID) []Violation {
+	member := inSCC(scc)
+
+	// Fairness: every machine enabled somewhere in the SCC must take an
+	// internal step somewhere in the SCC. Otherwise no fair run stays in
+	// this component forever and the cycle is not a counterexample.
+	enabledSomewhere := map[core.MachineID]bool{}
+	scheduled := map[core.MachineID]bool{}
+	for _, n := range scc {
+		for _, ms := range g.Nodes[n].Machines {
+			if ms.Enabled {
+				enabledSomewhere[ms.ID] = true
+			}
+		}
+		for _, e := range g.Edges[n] {
+			if member[e.To] {
+				scheduled[e.Machine] = true
+			}
+		}
+	}
+	for m := range enabledSomewhere {
+		if !scheduled[m] {
+			return nil // unfair component
+		}
+	}
+
+	// Candidate entries: pending at the first node.
+	type key struct {
+		m core.MachineID
+		q core.QEntry
+	}
+	candidates := map[key]bool{}
+	for _, ms := range g.Nodes[scc[0]].Machines {
+		for _, q := range ms.Queue {
+			candidates[key{ms.ID, q}] = true
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	// Must be pending at every node, never postponed, and never dequeued by
+	// an internal edge.
+	for _, n := range scc {
+		for k := range candidates {
+			snap := findSnap(g, n, k.m)
+			if snap == nil {
+				delete(candidates, k)
+				continue
+			}
+			found := false
+			for _, q := range snap.Queue {
+				if q == k.q {
+					found = true
+					break
+				}
+			}
+			if !found || snap.Postponed.Contains(k.q.Event) {
+				delete(candidates, k)
+			}
+		}
+		for _, e := range g.Edges[n] {
+			if !member[e.To] {
+				continue
+			}
+			for _, dq := range e.Dequeued {
+				delete(candidates, key{e.Machine, dq})
+			}
+		}
+	}
+
+	var out []Violation
+	for k := range candidates {
+		snap := findSnap(g, scc[0], k.m)
+		if snap == nil {
+			continue
+		}
+		out = append(out, Violation{
+			Kind:    DeferredForever,
+			Machine: k.m,
+			Type:    prog.Machines[snap.Type].Name,
+			Event:   k.q.Event,
+			EvName:  prog.Events[k.q.Event].Name,
+			SCC:     scc,
+		})
+	}
+	return out
+}
+
+// SCCs computes the strongly connected components of g with Tarjan's
+// algorithm (iterative, to handle deep graphs). Components are returned in
+// reverse topological order.
+func SCCs(g *check.Graph) [][]check.NodeID {
+	n := g.Len()
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []check.NodeID
+	var comps [][]check.NodeID
+	counter := 0
+
+	type frame struct {
+		v    check.NodeID
+		edge int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		var callStack []frame
+		callStack = append(callStack, frame{v: check.NodeID(root)})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, check.NodeID(root))
+		onStack[root] = true
+
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.edge < len(g.Edges[f.v]) {
+				w := g.Edges[f.v][f.edge].To
+				f.edge++
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// Post-process v.
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				p := &callStack[len(callStack)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []check.NodeID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

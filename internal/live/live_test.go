@@ -1,0 +1,237 @@
+package live_test
+
+import (
+	"testing"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/ir"
+	"pgo/internal/live"
+	"pgo/internal/psamples"
+)
+
+func explore(t *testing.T, name, src string, bound int) (*ir.Program, *check.Graph) {
+	t.Helper()
+	prog, diags, err := compile.Source(name, src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	res, err := check.Explore(prog, check.Options{
+		Mode: check.DelayBounded, Bound: bound, CollectGraph: true, MaxStates: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errored() {
+		t.Fatalf("unexpected safety violation: %v", res.FirstViolation())
+	}
+	return prog, res.Graph
+}
+
+func TestPingPongLivenessClean(t *testing.T) {
+	prog, g := explore(t, "pingpong", psamples.PingPong, 3)
+	if vs := live.Check(prog, g, live.Options{}); len(vs) != 0 {
+		t.Fatalf("pingpong should be liveness-clean, got %v", vs)
+	}
+}
+
+const deferForeverProgram = `
+event E; event Tick; event unit;
+
+machine M {
+  state S {
+    defer E;
+    entry { skip; }
+    on Tick ignore;
+  }
+}
+
+ghost machine Env {
+  var m: id;
+  state Init {
+    entry {
+      m = new M();
+      send m, E;
+      raise unit;
+    }
+    on unit goto Loop;
+  }
+  state Loop {
+    entry {
+      if * {
+        send m, Tick;
+        raise unit;
+      }
+    }
+    on unit goto Loop;
+  }
+}
+
+main Env();
+`
+
+func TestDeferredForeverDetected(t *testing.T) {
+	prog, g := explore(t, "deferforever", deferForeverProgram, 2)
+	vs := live.Check(prog, g, live.Options{})
+	found := false
+	for _, v := range vs {
+		if v.Kind == live.DeferredForever && v.EvName == "E" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected deferred-forever violation for E, got %v", vs)
+	}
+}
+
+const postponedProgram = `
+event E; event Tick; event unit;
+
+machine M {
+  state S {
+    defer E;
+    postpone E;
+    entry { skip; }
+    on Tick ignore;
+  }
+}
+
+ghost machine Env {
+  var m: id;
+  state Init {
+    entry {
+      m = new M();
+      send m, E;
+      raise unit;
+    }
+    on unit goto Loop;
+  }
+  state Loop {
+    entry {
+      if * {
+        send m, Tick;
+        raise unit;
+      }
+    }
+    on unit goto Loop;
+  }
+}
+
+main Env();
+`
+
+// The postpone annotation (§3.2's refinement) excuses the deferred event.
+func TestPostponeExcusesDeferral(t *testing.T) {
+	prog, g := explore(t, "postponed", postponedProgram, 2)
+	for _, v := range live.Check(prog, g, live.Options{}) {
+		if v.Kind == live.DeferredForever && v.EvName == "E" {
+			t.Fatalf("postponed event still reported: %v", v)
+		}
+	}
+}
+
+const spinnerProgram = `
+event Tick;
+machine M {
+  state S {
+    entry { send this, Tick; }
+    on Tick goto S;
+  }
+}
+main M();
+`
+
+// A real machine that perpetually sends itself events violates property 1:
+// it can be scheduled forever without being disabled.
+func TestRunsForeverDetected(t *testing.T) {
+	prog, g := explore(t, "spinner", spinnerProgram, 1)
+	vs := live.Check(prog, g, live.Options{})
+	found := false
+	for _, v := range vs {
+		if v.Kind == live.RunsForever && v.Type == "M" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected runs-forever violation, got %v", vs)
+	}
+}
+
+// Ghost spinners are excluded from property 1 by default but reported with
+// IncludeGhost.
+func TestGhostSpinnerExcluded(t *testing.T) {
+	prog, g := explore(t, "elevator", psamples.Elevator, 1)
+	for _, v := range live.Check(prog, g, live.Options{}) {
+		if v.Kind == live.RunsForever {
+			t.Fatalf("runs-forever reported for %s without IncludeGhost", v.Type)
+		}
+	}
+}
+
+func TestSCCsSane(t *testing.T) {
+	_, g := explore(t, "pingpong", psamples.PingPong, 2)
+	comps := live.SCCs(g)
+	total := 0
+	seen := map[check.NodeID]bool{}
+	for _, c := range comps {
+		for _, n := range c {
+			if seen[n] {
+				t.Fatalf("node %d in two components", n)
+			}
+			seen[n] = true
+		}
+		total += len(c)
+	}
+	if total != g.Len() {
+		t.Fatalf("components cover %d of %d nodes", total, g.Len())
+	}
+}
+
+// A liveness violation comes with a concrete lasso witness: a stem from the
+// initial configuration and a cycle inside the witnessing component.
+func TestLassoWitness(t *testing.T) {
+	prog, g := explore(t, "deferforever", deferForeverProgram, 2)
+	vs := live.Check(prog, g, live.Options{})
+	if len(vs) == 0 {
+		t.Fatal("no violation")
+	}
+	lasso, ok := live.Witness(g, vs[0])
+	if !ok {
+		t.Fatal("no lasso witness extracted")
+	}
+	if len(lasso.Stem) == 0 || lasso.Stem[0] != g.Init {
+		t.Fatalf("stem must start at init: %v", lasso.Stem)
+	}
+	if len(lasso.Cycle) < 2 || lasso.Cycle[0] != lasso.Cycle[len(lasso.Cycle)-1] {
+		t.Fatalf("cycle must close: %v", lasso.Cycle)
+	}
+	if lasso.Stem[len(lasso.Stem)-1] != lasso.Cycle[0] {
+		t.Fatalf("stem must end at the cycle entry: stem %v, cycle %v", lasso.Stem, lasso.Cycle)
+	}
+	// Every cycle edge must exist in the graph.
+	for i := 0; i+1 < len(lasso.Cycle); i++ {
+		found := false
+		for _, e := range g.Edges[lasso.Cycle[i]] {
+			if e.To == lasso.Cycle[i+1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("cycle edge %d -> %d not in graph", lasso.Cycle[i], lasso.Cycle[i+1])
+		}
+	}
+	// Same for the stem.
+	for i := 0; i+1 < len(lasso.Stem); i++ {
+		found := false
+		for _, e := range g.Edges[lasso.Stem[i]] {
+			if e.To == lasso.Stem[i+1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("stem edge %d -> %d not in graph", lasso.Stem[i], lasso.Stem[i+1])
+		}
+	}
+}

@@ -1,0 +1,641 @@
+// Package parser implements a recursive-descent parser for the P surface
+// language, producing ast trees and diagnostics.
+package parser
+
+import (
+	"strconv"
+
+	"pgo/internal/ast"
+	"pgo/internal/lexer"
+	"pgo/internal/source"
+	"pgo/internal/token"
+)
+
+// Parse parses a complete P program. Diagnostics (including lexical ones)
+// are appended to diags; the returned program may be partial if diags has
+// errors.
+func Parse(src string, diags *source.DiagList) *ast.Program {
+	p := &parser{toks: lexer.Tokenize(src, diags), diags: diags}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks  []lexer.Token
+	pos   int
+	diags *source.DiagList
+}
+
+func (p *parser) cur() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peek() lexer.Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) next() lexer.Token {
+	t := p.cur()
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind, what string) lexer.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	t := p.cur()
+	p.diags.Errorf(t.Span, "expected %s in %s, found %s", k, what, p.describe(t))
+	return lexer.Token{Kind: token.Illegal, Span: t.Span}
+}
+
+func (p *parser) describe(t lexer.Token) string {
+	switch t.Kind {
+	case token.EOF:
+		return "end of file"
+	case token.Ident, token.Int, token.Illegal:
+		return strconv.Quote(t.Text)
+	default:
+		return strconv.Quote(t.Kind.String())
+	}
+}
+
+func (p *parser) ident(what string) *ast.Ident {
+	t := p.expect(token.Ident, what)
+	if t.Kind != token.Ident {
+		return &ast.Ident{Name: "_", Sp: t.Span}
+	}
+	return &ast.Ident{Name: t.Text, Sp: t.Span}
+}
+
+// syncTop skips tokens until a plausible top-level start or EOF.
+func (p *parser) syncTop() {
+	for {
+		switch p.cur().Kind {
+		case token.EOF, token.KwEvent, token.KwMachine, token.KwGhost, token.KwMain:
+			return
+		}
+		p.next()
+	}
+}
+
+// syncStmt skips to just after the next semicolon, or before a closing brace.
+func (p *parser) syncStmt() {
+	for {
+		switch p.cur().Kind {
+		case token.EOF, token.RBrace:
+			return
+		case token.Semi:
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseProgram() *ast.Program {
+	prog := &ast.Program{Sp: p.cur().Span}
+	for !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwEvent:
+			prog.Events = append(prog.Events, p.parseEventDecl())
+		case token.KwMachine:
+			prog.Machines = append(prog.Machines, p.parseMachineDecl(false))
+		case token.KwGhost:
+			start := p.next().Span
+			if p.at(token.KwMachine) {
+				m := p.parseMachineDecl(true)
+				m.Sp.Start = start.Start
+				prog.Machines = append(prog.Machines, m)
+			} else {
+				p.diags.Errorf(p.cur().Span, "expected 'machine' after 'ghost' at top level")
+				p.syncTop()
+			}
+		case token.KwMain:
+			m := p.parseMainDecl()
+			if prog.Main != nil {
+				p.diags.Errorf(m.Sp, "duplicate main declaration")
+			} else {
+				prog.Main = m
+			}
+		default:
+			p.diags.Errorf(p.cur().Span, "expected declaration, found %s", p.describe(p.cur()))
+			p.syncTop()
+			if !p.at(token.EOF) && !p.at(token.KwEvent) && !p.at(token.KwMachine) &&
+				!p.at(token.KwGhost) && !p.at(token.KwMain) {
+				p.next()
+			}
+		}
+	}
+	if prog.Main == nil {
+		p.diags.Errorf(p.cur().Span, "program has no main declaration")
+	}
+	return prog
+}
+
+// parseEventDecl parses: event Name [ "(" type ")" ] ";"
+func (p *parser) parseEventDecl() *ast.EventDecl {
+	start := p.expect(token.KwEvent, "event declaration").Span
+	d := &ast.EventDecl{Name: p.ident("event declaration")}
+	if p.accept(token.LParen) {
+		d.Payload = p.parseType()
+		p.expect(token.RParen, "event payload type")
+	}
+	end := p.expect(token.Semi, "event declaration").Span
+	d.Sp = source.Span{Start: start.Start, End: end.End}
+	return d
+}
+
+func (p *parser) parseType() *ast.TypeExpr {
+	t := p.cur()
+	var k ast.TypeKind
+	switch t.Kind {
+	case token.KwVoid:
+		k = ast.TypeVoid
+	case token.KwBool:
+		k = ast.TypeBool
+	case token.KwInt:
+		k = ast.TypeInt
+	case token.KwEvent:
+		k = ast.TypeEvent
+	case token.KwID:
+		k = ast.TypeID
+	default:
+		p.diags.Errorf(t.Span, "expected type, found %s", p.describe(t))
+		return &ast.TypeExpr{Kind: ast.TypeInt, Sp: t.Span}
+	}
+	p.next()
+	return &ast.TypeExpr{Kind: k, Sp: t.Span}
+}
+
+// parseMachineDecl parses a machine body. The leading 'ghost' (if any) has
+// already been consumed by the caller.
+func (p *parser) parseMachineDecl(ghost bool) *ast.MachineDecl {
+	start := p.expect(token.KwMachine, "machine declaration").Span
+	m := &ast.MachineDecl{Ghost: ghost, Name: p.ident("machine declaration")}
+	p.expect(token.LBrace, "machine body")
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwVar:
+			m.Vars = append(m.Vars, p.parseVarDecl(false))
+		case token.KwGhost:
+			gs := p.next().Span
+			if p.at(token.KwVar) {
+				v := p.parseVarDecl(true)
+				v.Sp.Start = gs.Start
+				m.Vars = append(m.Vars, v)
+			} else {
+				p.diags.Errorf(p.cur().Span, "expected 'var' after 'ghost' in machine body")
+				p.syncStmt()
+			}
+		case token.KwAction:
+			m.Actions = append(m.Actions, p.parseActionDecl())
+		case token.KwState:
+			m.States = append(m.States, p.parseStateDecl())
+		case token.KwForeign:
+			m.Foreign = append(m.Foreign, p.parseForeignDecl())
+		default:
+			p.diags.Errorf(p.cur().Span, "expected machine member, found %s", p.describe(p.cur()))
+			p.syncStmt()
+		}
+	}
+	end := p.expect(token.RBrace, "machine body").Span
+	m.Sp = source.Span{Start: start.Start, End: end.End}
+	return m
+}
+
+// parseVarDecl parses: var Name ":" type ";" — the 'ghost' prefix, if any,
+// was consumed by the caller.
+func (p *parser) parseVarDecl(ghost bool) *ast.VarDecl {
+	start := p.expect(token.KwVar, "variable declaration").Span
+	v := &ast.VarDecl{Ghost: ghost, Name: p.ident("variable declaration")}
+	p.expect(token.Colon, "variable declaration")
+	v.Type = p.parseType()
+	end := p.expect(token.Semi, "variable declaration").Span
+	v.Sp = source.Span{Start: start.Start, End: end.End}
+	return v
+}
+
+func (p *parser) parseActionDecl() *ast.ActionDecl {
+	start := p.expect(token.KwAction, "action declaration").Span
+	a := &ast.ActionDecl{Name: p.ident("action declaration")}
+	a.Body = p.parseBlock()
+	a.Sp = source.Span{Start: start.Start, End: a.Body.Sp.End}
+	return a
+}
+
+// parseForeignDecl parses:
+//
+//	foreign Name "(" [type {"," type}] ")" [":" type] (";" | block)
+func (p *parser) parseForeignDecl() *ast.ForeignDecl {
+	start := p.expect(token.KwForeign, "foreign declaration").Span
+	f := &ast.ForeignDecl{Name: p.ident("foreign declaration")}
+	p.expect(token.LParen, "foreign declaration")
+	if !p.at(token.RParen) {
+		f.Params = append(f.Params, p.parseType())
+		for p.accept(token.Comma) {
+			f.Params = append(f.Params, p.parseType())
+		}
+	}
+	p.expect(token.RParen, "foreign declaration")
+	if p.accept(token.Colon) {
+		f.Result = p.parseType()
+	}
+	var end source.Span
+	if p.at(token.LBrace) {
+		f.Model = p.parseBlock()
+		end = f.Model.Sp
+	} else {
+		end = p.expect(token.Semi, "foreign declaration").Span
+	}
+	f.Sp = source.Span{Start: start.Start, End: end.End}
+	return f
+}
+
+func (p *parser) parseStateDecl() *ast.StateDecl {
+	start := p.expect(token.KwState, "state declaration").Span
+	s := &ast.StateDecl{Name: p.ident("state declaration")}
+	p.expect(token.LBrace, "state body")
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		switch p.cur().Kind {
+		case token.KwEntry:
+			p.next()
+			b := p.parseBlock()
+			if s.Entry != nil {
+				p.diags.Errorf(b.Sp, "duplicate entry block in state %s", s.Name.Name)
+			} else {
+				s.Entry = b
+			}
+		case token.KwExit:
+			p.next()
+			b := p.parseBlock()
+			if s.Exit != nil {
+				p.diags.Errorf(b.Sp, "duplicate exit block in state %s", s.Name.Name)
+			} else {
+				s.Exit = b
+			}
+		case token.KwDefer:
+			p.next()
+			s.Deferred = append(s.Deferred, p.parseNameList("defer clause")...)
+			p.expect(token.Semi, "defer clause")
+		case token.KwPostpone:
+			p.next()
+			s.Postponed = append(s.Postponed, p.parseNameList("postpone clause")...)
+			p.expect(token.Semi, "postpone clause")
+		case token.KwOn:
+			s.Trans = append(s.Trans, p.parseTransDecl())
+		default:
+			p.diags.Errorf(p.cur().Span, "expected state item, found %s", p.describe(p.cur()))
+			p.syncStmt()
+		}
+	}
+	end := p.expect(token.RBrace, "state body").Span
+	s.Sp = source.Span{Start: start.Start, End: end.End}
+	return s
+}
+
+func (p *parser) parseNameList(what string) []*ast.Ident {
+	names := []*ast.Ident{p.ident(what)}
+	for p.accept(token.Comma) {
+		names = append(names, p.ident(what))
+	}
+	return names
+}
+
+// parseTransDecl parses: on E (goto S | push S | do A | ignore) ";"
+func (p *parser) parseTransDecl() *ast.TransDecl {
+	start := p.expect(token.KwOn, "transition").Span
+	t := &ast.TransDecl{Event: p.ident("transition")}
+	switch p.cur().Kind {
+	case token.KwGoto:
+		p.next()
+		t.Kind = ast.TransStep
+		t.Target = p.ident("goto transition")
+	case token.KwPush:
+		p.next()
+		t.Kind = ast.TransCall
+		t.Target = p.ident("push transition")
+	case token.KwDo:
+		p.next()
+		t.Kind = ast.TransAction
+		t.Target = p.ident("action binding")
+	case token.KwIgnore:
+		p.next()
+		t.Kind = ast.TransIgnore
+	default:
+		p.diags.Errorf(p.cur().Span, "expected 'goto', 'push', 'do', or 'ignore' after event name, found %s", p.describe(p.cur()))
+	}
+	end := p.expect(token.Semi, "transition").Span
+	t.Sp = source.Span{Start: start.Start, End: end.End}
+	return t
+}
+
+// parseMainDecl parses: main Name "(" [inits] ")" ";"
+func (p *parser) parseMainDecl() *ast.MainDecl {
+	start := p.expect(token.KwMain, "main declaration").Span
+	m := &ast.MainDecl{Machine: p.ident("main declaration")}
+	p.expect(token.LParen, "main declaration")
+	m.Inits = p.parseInitList()
+	p.expect(token.RParen, "main declaration")
+	end := p.expect(token.Semi, "main declaration").Span
+	m.Sp = source.Span{Start: start.Start, End: end.End}
+	return m
+}
+
+func (p *parser) parseInitList() []*ast.Init {
+	var inits []*ast.Init
+	if p.at(token.RParen) {
+		return inits
+	}
+	inits = append(inits, p.parseInit())
+	for p.accept(token.Comma) {
+		inits = append(inits, p.parseInit())
+	}
+	return inits
+}
+
+func (p *parser) parseInit() *ast.Init {
+	name := p.ident("initializer")
+	p.expect(token.Assign, "initializer")
+	e := p.parseExpr()
+	sp := source.Span{Start: name.Sp.Start, End: e.Span().End}
+	return &ast.Init{Name: name, Expr: e, Sp: sp}
+}
+
+// ---------------------------------------------------------------- statements
+
+func (p *parser) parseBlock() *ast.Block {
+	start := p.expect(token.LBrace, "block").Span
+	b := &ast.Block{}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	end := p.expect(token.RBrace, "block").Span
+	b.Sp = source.Span{Start: start.Start, End: end.End}
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.KwSkip:
+		start := p.next().Span
+		end := p.expect(token.Semi, "skip statement").Span
+		return &ast.SkipStmt{Sp: source.Span{Start: start.Start, End: end.End}}
+	case token.KwDelete:
+		start := p.next().Span
+		end := p.expect(token.Semi, "delete statement").Span
+		return &ast.DeleteStmt{Sp: source.Span{Start: start.Start, End: end.End}}
+	case token.KwLeave:
+		start := p.next().Span
+		end := p.expect(token.Semi, "leave statement").Span
+		return &ast.LeaveStmt{Sp: source.Span{Start: start.Start, End: end.End}}
+	case token.KwReturn:
+		start := p.next().Span
+		end := p.expect(token.Semi, "return statement").Span
+		return &ast.ReturnStmt{Sp: source.Span{Start: start.Start, End: end.End}}
+	case token.KwSend:
+		return p.parseSendStmt()
+	case token.KwRaise:
+		return p.parseRaiseStmt()
+	case token.KwAssert:
+		start := p.next().Span
+		e := p.parseExpr()
+		end := p.expect(token.Semi, "assert statement").Span
+		return &ast.AssertStmt{Expr: e, Sp: source.Span{Start: start.Start, End: end.End}}
+	case token.KwIf:
+		return p.parseIfStmt()
+	case token.KwWhile:
+		return p.parseWhileStmt()
+	case token.KwCall:
+		start := p.next().Span
+		st := p.ident("call statement")
+		end := p.expect(token.Semi, "call statement").Span
+		return &ast.CallStmt{State: st, Sp: source.Span{Start: start.Start, End: end.End}}
+	case token.Ident:
+		return p.parseAssignOrCallStmt()
+	case token.LBrace:
+		return p.parseBlock()
+	default:
+		p.diags.Errorf(p.cur().Span, "expected statement, found %s", p.describe(p.cur()))
+		sp := p.cur().Span
+		p.syncStmt()
+		return &ast.SkipStmt{Sp: sp}
+	}
+}
+
+func (p *parser) parseSendStmt() ast.Stmt {
+	start := p.expect(token.KwSend, "send statement").Span
+	target := p.parseExpr()
+	p.expect(token.Comma, "send statement")
+	ev := p.ident("send statement")
+	var payload ast.Expr
+	if p.accept(token.Comma) {
+		payload = p.parseExpr()
+	}
+	end := p.expect(token.Semi, "send statement").Span
+	return &ast.SendStmt{Target: target, Event: ev, Payload: payload, Sp: source.Span{Start: start.Start, End: end.End}}
+}
+
+func (p *parser) parseRaiseStmt() ast.Stmt {
+	start := p.expect(token.KwRaise, "raise statement").Span
+	ev := p.ident("raise statement")
+	var payload ast.Expr
+	if p.accept(token.Comma) {
+		payload = p.parseExpr()
+	}
+	end := p.expect(token.Semi, "raise statement").Span
+	return &ast.RaiseStmt{Event: ev, Payload: payload, Sp: source.Span{Start: start.Start, End: end.End}}
+}
+
+func (p *parser) parseIfStmt() ast.Stmt {
+	start := p.expect(token.KwIf, "if statement").Span
+	cond := p.parseExpr()
+	then := p.parseBlock()
+	n := &ast.IfStmt{Cond: cond, Then: then}
+	endSp := then.Sp
+	if p.accept(token.KwElse) {
+		if p.at(token.KwIf) {
+			n.Else = p.parseIfStmt()
+		} else {
+			n.Else = p.parseBlock()
+		}
+		endSp = n.Else.Span()
+	}
+	n.Sp = source.Span{Start: start.Start, End: endSp.End}
+	return n
+}
+
+func (p *parser) parseWhileStmt() ast.Stmt {
+	start := p.expect(token.KwWhile, "while statement").Span
+	cond := p.parseExpr()
+	body := p.parseBlock()
+	return &ast.WhileStmt{Cond: cond, Body: body, Sp: source.Span{Start: start.Start, End: body.Sp.End}}
+}
+
+// parseAssignOrCallStmt parses "x = expr;", "x = new M(...);", or "f(args);".
+func (p *parser) parseAssignOrCallStmt() ast.Stmt {
+	name := p.ident("statement")
+	switch p.cur().Kind {
+	case token.Assign:
+		p.next()
+		if p.at(token.KwNew) {
+			p.next()
+			mach := p.ident("new expression")
+			p.expect(token.LParen, "new expression")
+			inits := p.parseInitList()
+			p.expect(token.RParen, "new expression")
+			end := p.expect(token.Semi, "new statement").Span
+			return &ast.NewStmt{Name: name, Machine: mach, Inits: inits, Sp: source.Span{Start: name.Sp.Start, End: end.End}}
+		}
+		e := p.parseExpr()
+		end := p.expect(token.Semi, "assignment").Span
+		return &ast.AssignStmt{Name: name, Expr: e, Sp: source.Span{Start: name.Sp.Start, End: end.End}}
+	case token.LParen:
+		call := p.parseCallArgs(name)
+		end := p.expect(token.Semi, "call statement").Span
+		return &ast.ExprStmt{Call: call, Sp: source.Span{Start: name.Sp.Start, End: end.End}}
+	default:
+		p.diags.Errorf(p.cur().Span, "expected '=' or '(' after identifier %q, found %s", name.Name, p.describe(p.cur()))
+		p.syncStmt()
+		return &ast.SkipStmt{Sp: name.Sp}
+	}
+}
+
+func (p *parser) parseCallArgs(name *ast.Ident) *ast.CallExpr {
+	p.expect(token.LParen, "call")
+	c := &ast.CallExpr{Name: name}
+	if !p.at(token.RParen) {
+		c.Args = append(c.Args, p.parseExpr())
+		for p.accept(token.Comma) {
+			c.Args = append(c.Args, p.parseExpr())
+		}
+	}
+	end := p.expect(token.RParen, "call").Span
+	c.Sp = source.Span{Start: name.Sp.Start, End: end.End}
+	return c
+}
+
+// --------------------------------------------------------------- expressions
+
+// Binding powers, loosest first: || < && < == != < > <= >= < + - < * / %.
+func binaryPrec(k token.Kind) (ast.BinaryOp, int, bool) {
+	switch k {
+	case token.OrOr:
+		return ast.OpOr, 1, true
+	case token.AndAnd:
+		return ast.OpAnd, 2, true
+	case token.Eq:
+		return ast.OpEq, 3, true
+	case token.Neq:
+		return ast.OpNeq, 3, true
+	case token.Lt:
+		return ast.OpLt, 4, true
+	case token.Le:
+		return ast.OpLe, 4, true
+	case token.Gt:
+		return ast.OpGt, 4, true
+	case token.Ge:
+		return ast.OpGe, 4, true
+	case token.Plus:
+		return ast.OpAdd, 5, true
+	case token.Minus:
+		return ast.OpSub, 5, true
+	case token.Star:
+		return ast.OpMul, 6, true
+	case token.Slash:
+		return ast.OpDiv, 6, true
+	case token.Percent:
+		return ast.OpMod, 6, true
+	}
+	return 0, 0, false
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		op, prec, ok := binaryPrec(p.cur().Kind)
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		p.next()
+		rhs := p.parseBinary(prec + 1)
+		lhs = &ast.BinaryExpr{Op: op, X: lhs, Y: rhs, Sp: source.Span{Start: lhs.Span().Start, End: rhs.Span().End}}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	switch p.cur().Kind {
+	case token.Not:
+		start := p.next().Span
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.OpNot, X: x, Sp: source.Span{Start: start.Start, End: x.Span().End}}
+	case token.Minus:
+		start := p.next().Span
+		x := p.parseUnary()
+		return &ast.UnaryExpr{Op: ast.OpNeg, X: x, Sp: source.Span{Start: start.Start, End: x.Span().End}}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.Int:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.diags.Errorf(t.Span, "integer literal %q out of range", t.Text)
+		}
+		return &ast.Lit{Kind: ast.LitInt, Int: v, Sp: t.Span}
+	case token.KwTrue:
+		p.next()
+		return &ast.Lit{Kind: ast.LitTrue, Sp: t.Span}
+	case token.KwFalse:
+		p.next()
+		return &ast.Lit{Kind: ast.LitFalse, Sp: t.Span}
+	case token.KwNull:
+		p.next()
+		return &ast.Lit{Kind: ast.LitNull, Sp: t.Span}
+	case token.KwThis:
+		p.next()
+		return &ast.Lit{Kind: ast.LitThis, Sp: t.Span}
+	case token.KwMsg:
+		p.next()
+		return &ast.Lit{Kind: ast.LitMsg, Sp: t.Span}
+	case token.KwArg:
+		p.next()
+		return &ast.Lit{Kind: ast.LitArg, Sp: t.Span}
+	case token.Star:
+		p.next()
+		return &ast.Lit{Kind: ast.LitChoose, Sp: t.Span}
+	case token.Ident:
+		p.next()
+		name := &ast.Ident{Name: t.Text, Sp: t.Span}
+		if p.at(token.LParen) {
+			return p.parseCallArgs(name)
+		}
+		return &ast.NameExpr{Name: name, Sp: t.Span}
+	case token.LParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RParen, "parenthesized expression")
+		return e
+	default:
+		p.diags.Errorf(t.Span, "expected expression, found %s", p.describe(t))
+		p.next()
+		return &ast.Lit{Kind: ast.LitNull, Sp: t.Span}
+	}
+}

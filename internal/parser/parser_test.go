@@ -1,0 +1,334 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/ast"
+	"pgo/internal/parser"
+	"pgo/internal/source"
+)
+
+func parseOK(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	var diags source.DiagList
+	prog := parser.Parse(src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected parse errors:\n%s", diags.String())
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	var diags source.DiagList
+	parser.Parse(src, &diags)
+	if !diags.HasErrors() {
+		t.Fatalf("expected parse error containing %q, got none", wantSubstr)
+	}
+	if wantSubstr != "" && !strings.Contains(diags.String(), wantSubstr) {
+		t.Fatalf("diagnostics do not mention %q:\n%s", wantSubstr, diags.String())
+	}
+}
+
+const minimal = `
+event E;
+machine M {
+  state S {
+    entry { skip; }
+  }
+}
+main M();
+`
+
+func TestMinimalProgram(t *testing.T) {
+	prog := parseOK(t, minimal)
+	if len(prog.Events) != 1 || prog.Events[0].Name.Name != "E" {
+		t.Fatalf("events = %v", prog.Events)
+	}
+	if len(prog.Machines) != 1 || prog.Machines[0].Name.Name != "M" {
+		t.Fatalf("machines = %v", prog.Machines)
+	}
+	if prog.Main == nil || prog.Main.Machine.Name != "M" {
+		t.Fatalf("main = %v", prog.Main)
+	}
+}
+
+func TestEventPayloads(t *testing.T) {
+	prog := parseOK(t, `
+event A(int);
+event B(id);
+event C(bool);
+event D(event);
+event E;
+machine M { state S { entry { skip; } } }
+main M();
+`)
+	wantKinds := []ast.TypeKind{ast.TypeInt, ast.TypeID, ast.TypeBool, ast.TypeEvent}
+	for i, k := range wantKinds {
+		if prog.Events[i].Payload == nil || prog.Events[i].Payload.Kind != k {
+			t.Fatalf("event %d payload = %v, want %v", i, prog.Events[i].Payload, k)
+		}
+	}
+	if prog.Events[4].Payload != nil {
+		t.Fatal("event E should have no payload")
+	}
+}
+
+func TestGhostMachineAndVars(t *testing.T) {
+	prog := parseOK(t, `
+event E;
+ghost machine G {
+  var x: id;
+  state S { entry { skip; } }
+}
+machine M {
+  ghost var g: id;
+  var y: int;
+  state S { entry { skip; } }
+}
+main G();
+`)
+	if !prog.Machines[0].Ghost {
+		t.Fatal("G not marked ghost")
+	}
+	m := prog.Machines[1]
+	if m.Ghost {
+		t.Fatal("M wrongly ghost")
+	}
+	if !m.Vars[0].Ghost || m.Vars[1].Ghost {
+		t.Fatalf("ghost flags: %v %v", m.Vars[0].Ghost, m.Vars[1].Ghost)
+	}
+}
+
+func TestStateItems(t *testing.T) {
+	prog := parseOK(t, `
+event A; event B; event C; event D;
+machine M {
+  action Ignore { skip; }
+  state S {
+    defer A, B;
+    postpone C;
+    entry { skip; }
+    exit { skip; }
+    on A goto S;
+    on B push T;
+    on C do Ignore;
+    on D ignore;
+  }
+  state T { entry { skip; } }
+}
+main M();
+`)
+	s := prog.Machines[0].States[0]
+	if len(s.Deferred) != 2 || s.Deferred[0].Name != "A" || s.Deferred[1].Name != "B" {
+		t.Fatalf("deferred = %v", s.Deferred)
+	}
+	if len(s.Postponed) != 1 || s.Postponed[0].Name != "C" {
+		t.Fatalf("postponed = %v", s.Postponed)
+	}
+	if s.Entry == nil || s.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+	kinds := []ast.TransKind{ast.TransStep, ast.TransCall, ast.TransAction, ast.TransIgnore}
+	for i, k := range kinds {
+		if s.Trans[i].Kind != k {
+			t.Fatalf("transition %d kind = %v, want %v", i, s.Trans[i].Kind, k)
+		}
+	}
+}
+
+func TestStatements(t *testing.T) {
+	prog := parseOK(t, `
+event E(int);
+machine M {
+  var x: int;
+  var m: id;
+  foreign f(int): int;
+  state S {
+    entry {
+      skip;
+      x = 1 + 2 * 3;
+      m = new M(x = 4);
+      send m, E, x;
+      send m, E;
+      raise E, 7;
+      assert x > 0;
+      if x == 1 { leave; } else { return; }
+      while x < 10 { x = x + 1; }
+      call S;
+      f(3);
+      x = f(x);
+      delete;
+    }
+  }
+}
+main M();
+`)
+	entry := prog.Machines[0].States[0].Entry
+	if n := len(entry.Stmts); n != 13 {
+		t.Fatalf("statement count = %d, want 13", n)
+	}
+	// Precedence: 1 + 2*3 parses as 1 + (2*3).
+	assign := entry.Stmts[1].(*ast.AssignStmt)
+	bin := assign.Expr.(*ast.BinaryExpr)
+	if bin.Op != ast.OpAdd {
+		t.Fatalf("top operator = %v, want +", bin.Op)
+	}
+	if inner, ok := bin.Y.(*ast.BinaryExpr); !ok || inner.Op != ast.OpMul {
+		t.Fatalf("right operand should be a product, got %T", bin.Y)
+	}
+}
+
+func TestChooseVsMultiply(t *testing.T) {
+	prog := parseOK(t, `
+event E;
+machine M {
+  var x: int;
+  var b: bool;
+  state S {
+    entry {
+      b = *;
+      x = x * x;
+      if * { skip; }
+    }
+  }
+}
+main M();
+`)
+	entry := prog.Machines[0].States[0].Entry
+	if _, ok := entry.Stmts[0].(*ast.AssignStmt).Expr.(*ast.Lit); !ok {
+		t.Fatal("b = * should parse as a choose literal")
+	}
+	if bin, ok := entry.Stmts[1].(*ast.AssignStmt).Expr.(*ast.BinaryExpr); !ok || bin.Op != ast.OpMul {
+		t.Fatal("x = x * x should parse as multiplication")
+	}
+	iff := entry.Stmts[2].(*ast.IfStmt)
+	if lit, ok := iff.Cond.(*ast.Lit); !ok || lit.Kind != ast.LitChoose {
+		t.Fatal("if * should parse the choose literal")
+	}
+}
+
+func TestElseIfChains(t *testing.T) {
+	prog := parseOK(t, `
+event E;
+machine M {
+  var x: int;
+  state S {
+    entry {
+      if x == 1 { skip; } else { if x == 2 { skip; } else { skip; } }
+      if x == 1 { skip; } else if x == 2 { skip; }
+    }
+  }
+}
+main M();
+`)
+	entry := prog.Machines[0].States[0].Entry
+	second := entry.Stmts[1].(*ast.IfStmt)
+	if _, ok := second.Else.(*ast.IfStmt); !ok {
+		t.Fatalf("else-if should nest an IfStmt, got %T", second.Else)
+	}
+}
+
+func TestForeignDecls(t *testing.T) {
+	prog := parseOK(t, `
+event E;
+machine M {
+  foreign nop();
+  foreign f(int, bool): id;
+  foreign modeled(): void {
+    skip;
+  }
+  state S { entry { skip; } }
+}
+main M();
+`)
+	fs := prog.Machines[0].Foreign
+	if len(fs) != 3 {
+		t.Fatalf("foreigns = %d", len(fs))
+	}
+	if len(fs[1].Params) != 2 || fs[1].Result == nil || fs[1].Result.Kind != ast.TypeID {
+		t.Fatalf("f signature wrong: %+v", fs[1])
+	}
+	if fs[2].Model == nil {
+		t.Fatal("modeled() lost its model body")
+	}
+}
+
+func TestMainWithInits(t *testing.T) {
+	prog := parseOK(t, `
+event E;
+machine M {
+  var x: int;
+  var b: bool;
+  state S { entry { skip; } }
+}
+main M(x = 3, b = true);
+`)
+	if len(prog.Main.Inits) != 2 {
+		t.Fatalf("inits = %d", len(prog.Main.Inits))
+	}
+}
+
+func TestErrorMissingMain(t *testing.T) {
+	parseErr(t, `event E; machine M { state S { entry { skip; } } }`, "no main")
+}
+
+func TestErrorDuplicateMain(t *testing.T) {
+	parseErr(t, minimal+"\nmain M();", "duplicate main")
+}
+
+func TestErrorBadTransition(t *testing.T) {
+	parseErr(t, `
+event E;
+machine M {
+  state S {
+    on E jump T;
+  }
+}
+main M();
+`, "expected 'goto'")
+}
+
+func TestErrorRecoveryContinues(t *testing.T) {
+	var diags source.DiagList
+	prog := parser.Parse(`
+event E;
+machine M {
+  state S {
+    entry { x = ; }
+  }
+  state T {
+    entry { skip; }
+  }
+}
+main M();
+`, &diags)
+	if !diags.HasErrors() {
+		t.Fatal("expected an error")
+	}
+	// Recovery must still see state T and main.
+	if len(prog.Machines[0].States) != 2 {
+		t.Fatalf("recovered states = %d, want 2", len(prog.Machines[0].States))
+	}
+	if prog.Main == nil {
+		t.Fatal("main lost during recovery")
+	}
+}
+
+func TestErrorEOFInMachine(t *testing.T) {
+	parseErr(t, `machine M { state S {`, "")
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	parseOK(t, `
+// leading
+event E; // trailing
+machine /* inline */ M {
+  state S {
+    entry { skip; /* before close */ }
+  }
+}
+main M(); // done
+`)
+}

@@ -1,0 +1,96 @@
+package parser_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pgo/internal/parser"
+	"pgo/internal/source"
+)
+
+// The parser must never panic and must always terminate, whatever the
+// input: random token soup, truncations of valid programs, and junk bytes.
+func TestParserRobustness(t *testing.T) {
+	fragments := []string{
+		"machine", "event", "state", "entry", "exit", "on", "goto", "push",
+		"do", "ignore", "defer", "postpone", "ghost", "var", "action",
+		"foreign", "main", "send", "raise", "if", "else", "while", "assert",
+		"new", "delete", "call", "return", "leave", "skip", "{", "}", "(",
+		")", ";", ",", ":", "=", "==", "*", "+", "-", "/", "&&", "||", "!",
+		"M", "E", "x", "S", "42", "null", "true", "this", "msg", "arg",
+		"@", "\x00", "€", "0x", "9z",
+	}
+	for seed := int64(0); seed < 300; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(60)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[r.Intn(len(fragments))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("seed %d: parser panicked on %q: %v", seed, src, p)
+				}
+			}()
+			var diags source.DiagList
+			parser.Parse(src, &diags)
+		}()
+	}
+}
+
+// Truncations of a valid program never panic, and every proper truncation
+// reports at least one diagnostic or parses (prefixes ending at declaration
+// boundaries are legal programs except for the missing main).
+func TestParserTruncations(t *testing.T) {
+	full := `
+event E(int);
+ghost machine G {
+  var x: id;
+  state S {
+    defer E;
+    entry { x = new G(); send x, E, 1 + 2; }
+    on E goto S;
+  }
+}
+main G();
+`
+	for cut := 0; cut < len(full); cut += 7 {
+		src := full[:cut]
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("cut %d: parser panicked on %q: %v", cut, src, p)
+				}
+			}()
+			var diags source.DiagList
+			parser.Parse(src, &diags)
+		}()
+	}
+}
+
+// Deeply nested expressions must not blow the stack unreasonably (the
+// parser recurses, so bound the depth rather than stream arbitrary input).
+func TestDeepNesting(t *testing.T) {
+	depth := 2000
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	src := `
+event E;
+machine M {
+  var x: int;
+  state S { entry { x = ` + expr + `; } }
+}
+main M();
+`
+	var diags source.DiagList
+	prog := parser.Parse(src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("deeply nested expression rejected:\n%s", diags.Errors()[0])
+	}
+	if prog.Main == nil {
+		t.Fatal("program lost")
+	}
+}

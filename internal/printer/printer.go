@@ -1,0 +1,320 @@
+// Package printer renders P syntax trees back to canonical source text.
+// Printing is deterministic and idempotent: parse(print(ast)) yields an
+// equivalent tree, and printing that tree again yields identical text.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"pgo/internal/ast"
+)
+
+// Print renders a whole program.
+func Print(p *ast.Program) string {
+	var pr printer
+	for _, e := range p.Events {
+		pr.eventDecl(e)
+	}
+	if len(p.Events) > 0 {
+		pr.nl()
+	}
+	for i, m := range p.Machines {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.machineDecl(m)
+	}
+	if p.Main != nil {
+		pr.nl()
+		pr.mainDecl(p.Main)
+	}
+	return pr.b.String()
+}
+
+// PrintStmt renders a single statement at the given indent level.
+func PrintStmt(s ast.Stmt, indent int) string {
+	var pr printer
+	pr.indent = indent
+	pr.stmt(s)
+	return pr.b.String()
+}
+
+// PrintExpr renders an expression.
+func PrintExpr(e ast.Expr) string {
+	var pr printer
+	return pr.expr(e)
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) eventDecl(e *ast.EventDecl) {
+	if e.Payload != nil {
+		p.line("event %s(%s);", e.Name.Name, e.Payload.Kind)
+	} else {
+		p.line("event %s;", e.Name.Name)
+	}
+}
+
+func (p *printer) machineDecl(m *ast.MachineDecl) {
+	ghost := ""
+	if m.Ghost {
+		ghost = "ghost "
+	}
+	p.line("%smachine %s {", ghost, m.Name.Name)
+	p.indent++
+	for _, v := range m.Vars {
+		g := ""
+		if v.Ghost && !m.Ghost {
+			g = "ghost "
+		}
+		p.line("%svar %s: %s;", g, v.Name.Name, v.Type.Kind)
+	}
+	for _, f := range m.Foreign {
+		p.foreignDecl(f)
+	}
+	for _, a := range m.Actions {
+		p.nl()
+		p.line("action %s {", a.Name.Name)
+		p.blockBody(a.Body)
+		p.line("}")
+	}
+	for _, s := range m.States {
+		p.nl()
+		p.stateDecl(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) foreignDecl(f *ast.ForeignDecl) {
+	var params []string
+	for _, t := range f.Params {
+		params = append(params, t.Kind.String())
+	}
+	sig := fmt.Sprintf("foreign %s(%s)", f.Name.Name, strings.Join(params, ", "))
+	if f.Result != nil {
+		sig += ": " + f.Result.Kind.String()
+	}
+	if f.Model == nil {
+		p.line("%s;", sig)
+		return
+	}
+	p.line("%s {", sig)
+	p.blockBody(f.Model)
+	p.line("}")
+}
+
+func (p *printer) stateDecl(s *ast.StateDecl) {
+	p.line("state %s {", s.Name.Name)
+	p.indent++
+	if len(s.Deferred) > 0 {
+		p.line("defer %s;", names(s.Deferred))
+	}
+	if len(s.Postponed) > 0 {
+		p.line("postpone %s;", names(s.Postponed))
+	}
+	if s.Entry != nil {
+		p.line("entry {")
+		p.blockBody(s.Entry)
+		p.line("}")
+	}
+	if s.Exit != nil {
+		p.line("exit {")
+		p.blockBody(s.Exit)
+		p.line("}")
+	}
+	for _, tr := range s.Trans {
+		switch tr.Kind {
+		case ast.TransStep:
+			p.line("on %s goto %s;", tr.Event.Name, tr.Target.Name)
+		case ast.TransCall:
+			p.line("on %s push %s;", tr.Event.Name, tr.Target.Name)
+		case ast.TransAction:
+			p.line("on %s do %s;", tr.Event.Name, tr.Target.Name)
+		case ast.TransIgnore:
+			p.line("on %s ignore;", tr.Event.Name)
+		}
+	}
+	p.indent--
+	p.line("}")
+}
+
+func names(ids []*ast.Ident) string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.Name
+	}
+	return strings.Join(out, ", ")
+}
+
+func (p *printer) mainDecl(m *ast.MainDecl) {
+	p.line("main %s(%s);", m.Machine.Name, p.inits(m.Inits))
+}
+
+func (p *printer) inits(inits []*ast.Init) string {
+	parts := make([]string, len(inits))
+	for i, in := range inits {
+		parts[i] = fmt.Sprintf("%s = %s", in.Name.Name, p.expr(in.Expr))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (p *printer) blockBody(b *ast.Block) {
+	p.indent++
+	for _, s := range b.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+}
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		p.line("{")
+		p.blockBody(s)
+		p.line("}")
+	case *ast.SkipStmt:
+		p.line("skip;")
+	case *ast.AssignStmt:
+		p.line("%s = %s;", s.Name.Name, p.expr(s.Expr))
+	case *ast.NewStmt:
+		p.line("%s = new %s(%s);", s.Name.Name, s.Machine.Name, p.inits(s.Inits))
+	case *ast.DeleteStmt:
+		p.line("delete;")
+	case *ast.SendStmt:
+		if s.Payload != nil {
+			p.line("send %s, %s, %s;", p.expr(s.Target), s.Event.Name, p.expr(s.Payload))
+		} else {
+			p.line("send %s, %s;", p.expr(s.Target), s.Event.Name)
+		}
+	case *ast.RaiseStmt:
+		if s.Payload != nil {
+			p.line("raise %s, %s;", s.Event.Name, p.expr(s.Payload))
+		} else {
+			p.line("raise %s;", s.Event.Name)
+		}
+	case *ast.LeaveStmt:
+		p.line("leave;")
+	case *ast.ReturnStmt:
+		p.line("return;")
+	case *ast.AssertStmt:
+		p.line("assert %s;", p.expr(s.Expr))
+	case *ast.IfStmt:
+		p.ifStmt(s)
+	case *ast.WhileStmt:
+		p.line("while %s {", p.expr(s.Cond))
+		p.blockBody(s.Body)
+		p.line("}")
+	case *ast.CallStmt:
+		p.line("call %s;", s.State.Name)
+	case *ast.ExprStmt:
+		p.line("%s;", p.expr(s.Call))
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+func (p *printer) ifStmt(s *ast.IfStmt) {
+	p.line("if %s {", p.expr(s.Cond))
+	p.blockBody(s.Then)
+	switch e := s.Else.(type) {
+	case nil:
+		p.line("}")
+	case *ast.Block:
+		p.line("} else {")
+		p.blockBody(e)
+		p.line("}")
+	case *ast.IfStmt:
+		// Render nested else-if as an explicit else block for canonicality.
+		p.line("} else {")
+		p.indent++
+		p.ifStmt(e)
+		p.indent--
+		p.line("}")
+	default:
+		p.line("} else {")
+		p.indent++
+		p.stmt(e)
+		p.indent--
+		p.line("}")
+	}
+}
+
+// expr renders an expression with minimal parentheses: parens are inserted
+// exactly where a child's precedence is too low for its context.
+func (p *printer) expr(e ast.Expr) string {
+	return p.exprPrec(e, 0)
+}
+
+func binPrec(op ast.BinaryOp) int {
+	switch op {
+	case ast.OpOr:
+		return 1
+	case ast.OpAnd:
+		return 2
+	case ast.OpEq, ast.OpNeq:
+		return 3
+	case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+		return 4
+	case ast.OpAdd, ast.OpSub:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func (p *printer) exprPrec(e ast.Expr, min int) string {
+	switch e := e.(type) {
+	case *ast.Lit:
+		switch e.Kind {
+		case ast.LitInt:
+			return fmt.Sprintf("%d", e.Int)
+		case ast.LitTrue:
+			return "true"
+		case ast.LitFalse:
+			return "false"
+		case ast.LitNull:
+			return "null"
+		case ast.LitThis:
+			return "this"
+		case ast.LitMsg:
+			return "msg"
+		case ast.LitArg:
+			return "arg"
+		case ast.LitChoose:
+			return "*"
+		}
+		return "?"
+	case *ast.NameExpr:
+		return e.Name.Name
+	case *ast.UnaryExpr:
+		return e.Op.String() + p.exprPrec(e.X, 7)
+	case *ast.BinaryExpr:
+		prec := binPrec(e.Op)
+		s := fmt.Sprintf("%s %s %s", p.exprPrec(e.X, prec), e.Op, p.exprPrec(e.Y, prec+1))
+		if prec < min {
+			return "(" + s + ")"
+		}
+		return s
+	case *ast.CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = p.exprPrec(a, 0)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name.Name, strings.Join(args, ", "))
+	default:
+		return fmt.Sprintf("/* %T */", e)
+	}
+}

@@ -1,0 +1,94 @@
+package printer_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/parser"
+	"pgo/internal/printer"
+	"pgo/internal/psamples"
+	"pgo/internal/source"
+)
+
+// Printing is idempotent: print(parse(print(parse(src)))) == print(parse(src)).
+func TestPrintIdempotent(t *testing.T) {
+	for _, s := range psamples.All() {
+		if strings.HasPrefix(s.Name, "usb-") {
+			continue // large generated sources; covered by TestPrintRoundTripsUSB
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			var d1 source.DiagList
+			ast1 := parser.Parse(s.Source, &d1)
+			if d1.HasErrors() {
+				t.Fatalf("parse 1: %s", d1.String())
+			}
+			once := printer.Print(ast1)
+			var d2 source.DiagList
+			ast2 := parser.Parse(once, &d2)
+			if d2.HasErrors() {
+				t.Fatalf("reparse failed:\n%s\nsource:\n%s", d2.String(), once)
+			}
+			twice := printer.Print(ast2)
+			if once != twice {
+				t.Fatalf("printing not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+			}
+		})
+	}
+}
+
+func TestPrintRoundTripsUSB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large generated source")
+	}
+	src := psamples.USBMachineSource("T", 3, 4, 1, 1)
+	var d1 source.DiagList
+	ast1 := parser.Parse(src, &d1)
+	if d1.HasErrors() {
+		t.Fatalf("parse: %s", d1.String())
+	}
+	once := printer.Print(ast1)
+	var d2 source.DiagList
+	ast2 := parser.Parse(once, &d2)
+	if d2.HasErrors() {
+		t.Fatalf("reparse: %s", d2.String())
+	}
+	if twice := printer.Print(ast2); once != twice {
+		t.Fatal("printing not idempotent on generated USB source")
+	}
+}
+
+func TestMinimalParens(t *testing.T) {
+	src := `
+event E;
+machine M {
+  var x: int;
+  var b: bool;
+  state S {
+    entry {
+      x = (1 + 2) * 3;
+      x = 1 + 2 * 3;
+      b = !(x == 1) && x < 2 || x > 3;
+      x = -(x + 1);
+    }
+  }
+}
+main M();
+`
+	var d source.DiagList
+	prog := parser.Parse(src, &d)
+	if d.HasErrors() {
+		t.Fatal(d.String())
+	}
+	out := printer.Print(prog)
+	for _, want := range []string{
+		"x = (1 + 2) * 3;",
+		"x = 1 + 2 * 3;",
+		"b = !(x == 1) && x < 2 || x > 3;",
+		"x = -(x + 1);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package printer_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pgo/internal/ast"
+	"pgo/internal/parser"
+	"pgo/internal/printer"
+	"pgo/internal/source"
+)
+
+// TestRandomProgramsRoundTrip generates random well-formed ASTs, prints
+// them, reparses the output, and checks that printing the reparsed tree
+// reproduces the text exactly — print ∘ parse is the identity on printed
+// programs, for arbitrary program shapes, not just the hand-written samples.
+func TestRandomProgramsRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		prog := genProgram(r)
+		once := printer.Print(prog)
+		var diags source.DiagList
+		reparsed := parser.Parse(once, &diags)
+		if diags.HasErrors() {
+			t.Fatalf("seed %d: printed program does not reparse:\n%s\n--- source ---\n%s", seed, diags.String(), once)
+		}
+		twice := printer.Print(reparsed)
+		if once != twice {
+			t.Fatalf("seed %d: round trip not stable:\n--- once ---\n%s\n--- twice ---\n%s", seed, once, twice)
+		}
+	}
+}
+
+// --------------------------------------------------------- AST generation
+
+type gen struct {
+	r        *rand.Rand
+	events   []string
+	machines []string
+	// per-machine pools while generating a machine body
+	vars    []string
+	states  []string
+	actions []string
+	depth   int
+}
+
+func genProgram(r *rand.Rand) *ast.Program {
+	g := &gen{r: r}
+	p := &ast.Program{}
+	nEvents := 1 + r.Intn(4)
+	for i := 0; i < nEvents; i++ {
+		name := fmt.Sprintf("Ev%d", i)
+		g.events = append(g.events, name)
+		d := &ast.EventDecl{Name: id(name)}
+		if r.Intn(3) == 0 {
+			d.Payload = &ast.TypeExpr{Kind: ast.TypeInt}
+		}
+		p.Events = append(p.Events, d)
+	}
+	nMachines := 1 + r.Intn(3)
+	for i := 0; i < nMachines; i++ {
+		name := fmt.Sprintf("M%d", i)
+		g.machines = append(g.machines, name)
+	}
+	for i := 0; i < nMachines; i++ {
+		p.Machines = append(p.Machines, g.machine(fmt.Sprintf("M%d", i), i > 0 && g.r.Intn(3) == 0))
+	}
+	p.Main = &ast.MainDecl{Machine: id("M0")}
+	return p
+}
+
+func id(name string) *ast.Ident { return &ast.Ident{Name: name} }
+
+func (g *gen) machine(name string, ghost bool) *ast.MachineDecl {
+	m := &ast.MachineDecl{Ghost: ghost, Name: id(name)}
+	g.vars, g.states, g.actions = nil, nil, nil
+	nVars := g.r.Intn(4)
+	for i := 0; i < nVars; i++ {
+		vname := fmt.Sprintf("v%d", i)
+		g.vars = append(g.vars, vname)
+		kinds := []ast.TypeKind{ast.TypeInt, ast.TypeBool, ast.TypeID, ast.TypeEvent}
+		m.Vars = append(m.Vars, &ast.VarDecl{
+			Ghost: !ghost && g.r.Intn(4) == 0,
+			Name:  id(vname),
+			Type:  &ast.TypeExpr{Kind: kinds[g.r.Intn(len(kinds))]},
+		})
+	}
+	nStates := 1 + g.r.Intn(3)
+	for i := 0; i < nStates; i++ {
+		g.states = append(g.states, fmt.Sprintf("S%d", i))
+	}
+	nActions := g.r.Intn(2)
+	for i := 0; i < nActions; i++ {
+		aname := fmt.Sprintf("A%d", i)
+		g.actions = append(g.actions, aname)
+		m.Actions = append(m.Actions, &ast.ActionDecl{Name: id(aname), Body: g.block()})
+	}
+	for i := 0; i < nStates; i++ {
+		m.States = append(m.States, g.state(fmt.Sprintf("S%d", i)))
+	}
+	return m
+}
+
+func (g *gen) state(name string) *ast.StateDecl {
+	s := &ast.StateDecl{Name: id(name)}
+	if g.r.Intn(2) == 0 {
+		s.Entry = g.block()
+	}
+	if g.r.Intn(4) == 0 {
+		s.Exit = &ast.Block{Stmts: []ast.Stmt{&ast.SkipStmt{}}}
+	}
+	if g.r.Intn(3) == 0 {
+		s.Deferred = []*ast.Ident{id(g.pick(g.events))}
+	}
+	if g.r.Intn(5) == 0 {
+		s.Postponed = []*ast.Ident{id(g.pick(g.events))}
+	}
+	used := map[string]bool{}
+	nTrans := g.r.Intn(3)
+	for i := 0; i < nTrans; i++ {
+		ev := g.pick(g.events)
+		if used[ev] {
+			continue
+		}
+		used[ev] = true
+		tr := &ast.TransDecl{Event: id(ev)}
+		switch g.r.Intn(4) {
+		case 0:
+			tr.Kind = ast.TransStep
+			tr.Target = id(g.pick(g.states))
+		case 1:
+			tr.Kind = ast.TransCall
+			tr.Target = id(g.pick(g.states))
+		case 2:
+			if len(g.actions) > 0 {
+				tr.Kind = ast.TransAction
+				tr.Target = id(g.pick(g.actions))
+			} else {
+				tr.Kind = ast.TransIgnore
+			}
+		default:
+			tr.Kind = ast.TransIgnore
+		}
+		s.Trans = append(s.Trans, tr)
+	}
+	return s
+}
+
+func (g *gen) pick(pool []string) string { return pool[g.r.Intn(len(pool))] }
+
+func (g *gen) block() *ast.Block {
+	b := &ast.Block{}
+	n := 1 + g.r.Intn(3)
+	for i := 0; i < n; i++ {
+		b.Stmts = append(b.Stmts, g.stmt())
+	}
+	return b
+}
+
+func (g *gen) stmt() ast.Stmt {
+	g.depth++
+	defer func() { g.depth-- }()
+	choices := 8
+	if g.depth > 3 {
+		choices = 5 // only leaf statements deep down
+	}
+	switch g.r.Intn(choices) {
+	case 0:
+		return &ast.SkipStmt{}
+	case 1:
+		if len(g.vars) == 0 {
+			return &ast.SkipStmt{}
+		}
+		return &ast.AssignStmt{Name: id(g.pick(g.vars)), Expr: g.expr()}
+	case 2:
+		return &ast.AssertStmt{Expr: g.expr()}
+	case 3:
+		return &ast.RaiseStmt{Event: id(g.pick(g.events))}
+	case 4:
+		if len(g.vars) == 0 {
+			return &ast.SkipStmt{}
+		}
+		return &ast.SendStmt{
+			Target:  &ast.NameExpr{Name: id(g.pick(g.vars))},
+			Event:   id(g.pick(g.events)),
+			Payload: g.maybeExpr(),
+		}
+	case 5:
+		n := &ast.IfStmt{Cond: g.expr(), Then: g.block()}
+		if g.r.Intn(2) == 0 {
+			n.Else = g.block()
+		}
+		return n
+	case 6:
+		return &ast.WhileStmt{Cond: g.expr(), Body: g.block()}
+	default:
+		return &ast.CallStmt{State: id(g.pick(g.states))}
+	}
+}
+
+func (g *gen) maybeExpr() ast.Expr {
+	if g.r.Intn(2) == 0 {
+		return nil
+	}
+	return g.expr()
+}
+
+func (g *gen) expr() ast.Expr {
+	return g.exprDepth(0)
+}
+
+func (g *gen) exprDepth(d int) ast.Expr {
+	if d > 2 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(6) {
+		case 0:
+			return &ast.Lit{Kind: ast.LitInt, Int: int64(g.r.Intn(100))}
+		case 1:
+			return &ast.Lit{Kind: ast.LitTrue}
+		case 2:
+			return &ast.Lit{Kind: ast.LitNull}
+		case 3:
+			return &ast.Lit{Kind: ast.LitThis}
+		case 4:
+			if len(g.vars) > 0 {
+				return &ast.NameExpr{Name: id(g.pick(g.vars))}
+			}
+			return &ast.Lit{Kind: ast.LitArg}
+		default:
+			return &ast.Lit{Kind: ast.LitChoose}
+		}
+	}
+	switch g.r.Intn(3) {
+	case 0:
+		op := ast.OpNot
+		if g.r.Intn(2) == 0 {
+			op = ast.OpNeg
+		}
+		return &ast.UnaryExpr{Op: op, X: g.exprDepth(d + 1)}
+	default:
+		ops := []ast.BinaryOp{
+			ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpDiv, ast.OpMod,
+			ast.OpEq, ast.OpNeq, ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe,
+			ast.OpAnd, ast.OpOr,
+		}
+		return &ast.BinaryExpr{
+			Op: ops[g.r.Intn(len(ops))],
+			X:  g.exprDepth(d + 1),
+			Y:  g.exprDepth(d + 1),
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package psamples
+
+// BoundedBuffer is a flow-control sample built on the paper's deferred
+// events: a real Buffer machine with capacity 2 serves Put and Get requests
+// from a ghost producer and consumer. Put is deferred while the buffer is
+// full and Get while it is empty — the buffer's states encode the fill
+// level, the idiomatic P rendering of guarded commands. Occupancy
+// invariants are asserted on every transition. The producer stamps items
+// with a modular sequence number so the ⊕ queue dedup never merges two
+// outstanding Puts.
+const BoundedBuffer = `
+// Bounded buffer with capacity 2: defer-based flow control.
+
+event Put(int);   // payload: item stamp (modular sequence number)
+event Get(id);    // payload: the consumer to reply to
+event Item(int);  // payload: remaining occupancy after the take
+event unit;
+event toEmpty;
+event toPartial;
+event toFull;
+
+machine Buffer {
+  var count: int;
+  var capacity: int;
+
+  state Empty {
+    defer Get;
+    entry {
+      assert count == 0;
+    }
+    on Put goto DidPut;
+  }
+
+  state Partial {
+    entry {
+      assert count > 0;
+      assert count < capacity;
+    }
+    on Put goto DidPut;
+    on Get goto DidGet;
+  }
+
+  state Full {
+    defer Put;
+    entry {
+      assert count == capacity;
+    }
+    on Get goto DidGet;
+  }
+
+  state DidPut {
+    defer Put, Get;
+    entry {
+      count = count + 1;
+      assert count <= capacity;
+      if count == capacity {
+        raise toFull;
+      } else {
+        raise toPartial;
+      }
+    }
+    on toFull goto Full;
+    on toPartial goto Partial;
+  }
+
+  state DidGet {
+    defer Put, Get;
+    entry {
+      count = count - 1;
+      assert count >= 0;
+      send arg, Item, count;
+      if count == 0 {
+        raise toEmpty;
+      } else {
+        raise toPartial;
+      }
+    }
+    on toEmpty goto Empty;
+    on toPartial goto Partial;
+  }
+}
+
+ghost machine Producer {
+  var buf: id;
+  var seq: int;
+
+  state Loop {
+    entry {
+      if * {
+        send buf, Put, seq;
+        seq = (seq + 1) % 4;
+        raise unit;
+      }
+    }
+    on unit goto Loop;
+  }
+}
+
+ghost machine Consumer {
+  var buf: id;
+
+  state Loop {
+    entry {
+      if * {
+        send buf, Get, this;
+        raise unit;
+      }
+    }
+    on unit goto Await;
+  }
+
+  state Await {
+    entry { skip; }
+    on Item goto Loop;
+  }
+}
+
+ghost machine Env {
+  var buf: id;
+  var prod: id;
+  var cons: id;
+
+  state Boot {
+    entry {
+      buf = new Buffer(count = 0, capacity = 2);
+      prod = new Producer(buf = buf, seq = 0);
+      cons = new Consumer(buf = buf);
+    }
+  }
+}
+
+main Env();
+`

@@ -1,0 +1,352 @@
+package psamples
+
+// Elevator is the paper's §2 example: a real Elevator machine controlled by
+// a ghost User and ghost Door/Timer devices. The Elevator holds references
+// to the ghost devices in ghost variables, so every command it sends to them
+// is erased at compile time (the production driver would issue those
+// commands through foreign functions instead). The StoppingTimer /
+// WaitingForTimer / ReturnState triple is the paper's call-transition
+// "subroutine", invoked from both Opened and OkToClose and returning by
+// raising StopTimerReturned.
+const Elevator = elevatorCommon + elevatorMachineGood + elevatorEnv
+
+// ElevatorBuggy drops the CloseDoor deferral (and its ignore binding) from
+// the Opening state, so a user pressing Close while the door opens produces
+// an unhandled-event violation — the most common bug class the paper
+// reports from the USB effort.
+const ElevatorBuggy = elevatorCommon + elevatorMachineBuggy + elevatorEnv
+
+const elevatorCommon = `
+// The paper's elevator (§2, Figures 1 and 2).
+
+// user -> elevator
+event OpenDoor;
+event CloseDoor;
+// elevator -> door
+event SendCmdToOpen;
+event SendCmdToClose;
+event SendCmdToStop;
+event SendCmdToReset;
+// door -> elevator
+event DoorOpened;
+event DoorClosed;
+event DoorStopped;
+event ObjectDetected;
+// elevator -> timer
+event StartTimer;
+event StopTimer;
+// timer -> elevator
+event TimerFired;
+event TimerStopped;
+// local events
+event unit;
+event StopTimerReturned;
+event objectEncountered;
+`
+
+const elevatorMachineGood = `
+machine Elevator {
+  ghost var TimerV: id;
+  ghost var DoorV: id;
+
+  action Ignore { skip; }
+
+  state Init {
+    entry {
+      TimerV = new Timer(client = this);
+      DoorV = new Door(client = this);
+      raise unit;
+    }
+    on unit goto Closed;
+  }
+
+  state Closed {
+    entry { send DoorV, SendCmdToReset; }
+    on CloseDoor ignore;
+    on OpenDoor goto Opening;
+  }
+
+  state Opening {
+    defer CloseDoor;
+    entry { send DoorV, SendCmdToOpen; }
+    on OpenDoor do Ignore;
+    on DoorOpened goto Opened;
+  }
+
+  state Opened {
+    defer CloseDoor;
+    entry {
+      send DoorV, SendCmdToReset;
+      send TimerV, StartTimer;
+    }
+    on TimerFired goto OkToClose;
+    on StopTimerReturned goto Opened;
+    on OpenDoor push StoppingTimer;
+  }
+
+  state OkToClose {
+    entry { send TimerV, StartTimer; }
+    on OpenDoor ignore;
+    on TimerFired goto Closing;
+    on StopTimerReturned goto Closing;
+    on CloseDoor push StoppingTimer;
+  }
+
+  state Closing {
+    entry { send DoorV, SendCmdToClose; }
+    on CloseDoor ignore;
+    on DoorClosed goto Closed;
+    on ObjectDetected goto Opening;
+    on OpenDoor goto StoppingDoor;
+  }
+
+  state StoppingDoor {
+    defer CloseDoor;
+    entry { send DoorV, SendCmdToStop; }
+    on OpenDoor ignore;
+    on DoorStopped goto Opening;
+    on DoorClosed goto Closed;
+    on ObjectDetected goto Opening;
+  }
+
+  // Subroutine: stop the timer and return via StopTimerReturned.
+  state StoppingTimer {
+    defer OpenDoor, CloseDoor;
+    entry {
+      send TimerV, StopTimer;
+      raise unit;
+    }
+    on unit goto WaitingForTimer;
+  }
+
+  state WaitingForTimer {
+    defer OpenDoor, CloseDoor;
+    entry { skip; }
+    on TimerFired do Ignore;
+    on TimerStopped goto ReturnState;
+  }
+
+  state ReturnState {
+    entry { raise StopTimerReturned; }
+  }
+}
+`
+
+const elevatorMachineBuggy = `
+machine Elevator {
+  ghost var TimerV: id;
+  ghost var DoorV: id;
+
+  action Ignore { skip; }
+
+  state Init {
+    entry {
+      TimerV = new Timer(client = this);
+      DoorV = new Door(client = this);
+      raise unit;
+    }
+    on unit goto Closed;
+  }
+
+  state Closed {
+    entry { send DoorV, SendCmdToReset; }
+    on CloseDoor ignore;
+    on OpenDoor goto Opening;
+  }
+
+  // BUG: CloseDoor is neither deferred nor handled here, so a user pressing
+  // Close while the door opens is an unhandled event.
+  state Opening {
+    entry { send DoorV, SendCmdToOpen; }
+    on OpenDoor do Ignore;
+    on DoorOpened goto Opened;
+  }
+
+  state Opened {
+    defer CloseDoor;
+    entry {
+      send DoorV, SendCmdToReset;
+      send TimerV, StartTimer;
+    }
+    on TimerFired goto OkToClose;
+    on StopTimerReturned goto Opened;
+    on OpenDoor push StoppingTimer;
+  }
+
+  state OkToClose {
+    entry { send TimerV, StartTimer; }
+    on OpenDoor ignore;
+    on TimerFired goto Closing;
+    on StopTimerReturned goto Closing;
+    on CloseDoor push StoppingTimer;
+  }
+
+  state Closing {
+    entry { send DoorV, SendCmdToClose; }
+    on CloseDoor ignore;
+    on DoorClosed goto Closed;
+    on ObjectDetected goto Opening;
+    on OpenDoor goto StoppingDoor;
+  }
+
+  state StoppingDoor {
+    defer CloseDoor;
+    entry { send DoorV, SendCmdToStop; }
+    on OpenDoor ignore;
+    on DoorStopped goto Opening;
+    on DoorClosed goto Closed;
+    on ObjectDetected goto Opening;
+  }
+
+  state StoppingTimer {
+    defer OpenDoor, CloseDoor;
+    entry {
+      send TimerV, StopTimer;
+      raise unit;
+    }
+    on unit goto WaitingForTimer;
+  }
+
+  state WaitingForTimer {
+    defer OpenDoor, CloseDoor;
+    entry { skip; }
+    on TimerFired do Ignore;
+    on TimerStopped goto ReturnState;
+  }
+
+  state ReturnState {
+    entry { raise StopTimerReturned; }
+  }
+}
+`
+
+const elevatorEnv = `
+// ---- ghost environment (Figure 2) ----
+
+ghost machine User {
+  var elevator: id;
+
+  state Init {
+    entry {
+      elevator = new Elevator();
+      raise unit;
+    }
+    on unit goto Loop;
+  }
+
+  state Loop {
+    entry {
+      if * {
+        send elevator, OpenDoor;
+        raise unit;
+      } else {
+        if * {
+          send elevator, CloseDoor;
+          raise unit;
+        }
+      }
+      // Neither branch: the machine blocks forever (stimulus stops), which
+      // keeps every path through this state on a scheduling point.
+    }
+    on unit goto Loop;
+  }
+}
+
+ghost machine Door {
+  var client: id;
+
+  state Waiting {
+    entry { skip; }
+    on SendCmdToReset ignore;
+    on SendCmdToStop ignore;
+    on SendCmdToOpen goto Opening;
+    on SendCmdToClose goto Closing;
+  }
+
+  state Opening {
+    entry {
+      send client, DoorOpened;
+      raise unit;
+    }
+    on unit goto Waiting;
+  }
+
+  // While closing, the door nondeterministically finishes, detects an
+  // object, or keeps moving until told to stop.
+  state Closing {
+    entry {
+      if * {
+        raise unit;
+      } else {
+        if * {
+          raise objectEncountered;
+        }
+      }
+    }
+    on unit goto SendClosed;
+    on objectEncountered goto SendObject;
+    on SendCmdToStop goto SendStopped;
+  }
+
+  state SendClosed {
+    entry {
+      send client, DoorClosed;
+      raise unit;
+    }
+    on unit goto Waiting;
+  }
+
+  state SendObject {
+    entry {
+      send client, ObjectDetected;
+      raise unit;
+    }
+    on unit goto Waiting;
+  }
+
+  state SendStopped {
+    entry {
+      send client, DoorStopped;
+      raise unit;
+    }
+    on unit goto Waiting;
+  }
+}
+
+ghost machine Timer {
+  var client: id;
+
+  state Idle {
+    entry { skip; }
+    on StartTimer goto Started;
+    on StopTimer goto SendStopped;
+  }
+
+  // The paper's TimerStarted: on entry the timer nondeterministically fires.
+  state Started {
+    entry {
+      if * { raise unit; }
+    }
+    on unit goto Fired;
+    on StopTimer goto SendStopped;
+  }
+
+  state Fired {
+    entry {
+      send client, TimerFired;
+      raise unit;
+    }
+    on unit goto Idle;
+  }
+
+  state SendStopped {
+    entry {
+      send client, TimerStopped;
+      raise unit;
+    }
+    on unit goto Idle;
+  }
+}
+
+main User();
+`

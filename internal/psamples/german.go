@@ -1,0 +1,316 @@
+package psamples
+
+import (
+	"fmt"
+	"strings"
+)
+
+// German returns a P implementation of German's cache-coherence protocol
+// with n clients (the third Figure-7 benchmark). The directory (Host) and
+// the caches (Client) are real machines; each client is driven by a ghost
+// Stim machine that nondeterministically requests shared or exclusive
+// access. The Host tracks sharers in n id-typed slots, invalidates before
+// granting, and asserts the coherence invariant at every grant: no sharer
+// and no owner may survive an exclusive grant, and no owner may survive a
+// shared grant.
+func German(n int) string { return germanSource(n, false) }
+
+// GermanBuggy seeds the classic coherence bug: when invalidating for an
+// exclusive request the Host skips one sharer slot, so an exclusive grant
+// can coexist with a live sharer and the invariant assertion fails. The
+// skipped slot is the highest one fillable while a requester remains free
+// (slot n-1, or slot 1 when n < 3), so the bug is reachable for any n >= 2.
+func GermanBuggy(n int) string { return germanSource(n, true) }
+
+func germanSource(n int, buggy bool) string {
+	if n < 1 {
+		n = 1
+	}
+	var b strings.Builder
+	b.WriteString(`
+// German's cache coherence protocol: directory Host + clients.
+
+// stimulus -> client
+event DoReqS;
+event DoReqE;
+// client -> host (payload: requesting client)
+event ReqShared(id);
+event ReqExclusive(id);
+// host -> client
+event Inv;
+event GrantShared;
+event GrantExclusive;
+// client -> host (payload: acking client, so the queue dedup operator
+// cannot merge acks from different caches — the paper's counter-payload idiom)
+event InvAck(id);
+// local
+event unit;
+event needInv;
+event granted;
+event ackDone;
+`)
+
+	// ---- Host ----
+	b.WriteString("\nmachine Host {\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "  var shr%d: id;\n", i)
+	}
+	b.WriteString("  var own: id;\n  var cur: id;\n  var pending: int;\n\n")
+
+	// Idle state: accept one request at a time.
+	b.WriteString(`  state Idle {
+    entry { skip; }
+    on ReqShared goto ProcShared;
+    on ReqExclusive goto ProcExclusive;
+  }
+
+  state ProcShared {
+    defer ReqShared, ReqExclusive;
+    entry {
+      cur = arg;
+      pending = 0;
+      if own != null {
+        send own, Inv;
+        own = null;
+        pending = pending + 1;
+        raise needInv;
+      } else {
+        raise granted;
+      }
+    }
+    on needInv goto WaitAcksShared;
+    on granted goto DoGrantShared;
+  }
+
+  state WaitAcksShared {
+    defer ReqShared, ReqExclusive;
+    entry {
+      if pending == 0 { raise ackDone; }
+    }
+    on InvAck goto DecAckShared;
+    on ackDone goto DoGrantShared;
+  }
+
+  state DecAckShared {
+    defer ReqShared, ReqExclusive;
+    entry {
+      pending = pending - 1;
+      raise unit;
+    }
+    on unit goto WaitAcksShared;
+  }
+
+  state DoGrantShared {
+    defer ReqShared, ReqExclusive;
+    entry {
+      assert own == null;
+`)
+	// Put cur into the first free sharer slot.
+	writeSlotInsert(&b, n)
+	b.WriteString(`      send cur, GrantShared;
+      raise unit;
+    }
+    on unit goto Idle;
+  }
+
+  state ProcExclusive {
+    defer ReqShared, ReqExclusive;
+    entry {
+      cur = arg;
+      pending = 0;
+      if own != null {
+        send own, Inv;
+        own = null;
+        pending = pending + 1;
+      }
+`)
+	// Invalidate every sharer slot (the buggy variant skips one).
+	skip := 0
+	if buggy {
+		skip = n - 1
+		if skip < 1 {
+			skip = 1
+		}
+		fmt.Fprintf(&b, "      // BUG: sharer slot %d is never invalidated.\n", skip)
+	}
+	for i := 1; i <= n; i++ {
+		if i == skip {
+			continue
+		}
+		fmt.Fprintf(&b, `      if shr%d != null {
+        send shr%d, Inv;
+        shr%d = null;
+        pending = pending + 1;
+      }
+`, i, i, i)
+	}
+	b.WriteString(`      raise needInv;
+    }
+    on needInv goto WaitAcksExclusive;
+  }
+
+  state WaitAcksExclusive {
+    defer ReqShared, ReqExclusive;
+    entry {
+      if pending == 0 { raise ackDone; }
+    }
+    on InvAck goto DecAckExclusive;
+    on ackDone goto DoGrantExclusive;
+  }
+
+  state DecAckExclusive {
+    defer ReqShared, ReqExclusive;
+    entry {
+      pending = pending - 1;
+      raise unit;
+    }
+    on unit goto WaitAcksExclusive;
+  }
+
+  state DoGrantExclusive {
+    defer ReqShared, ReqExclusive;
+    entry {
+      assert own == null;
+`)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "      assert shr%d == null;\n", i)
+	}
+	b.WriteString(`      own = cur;
+      send cur, GrantExclusive;
+      raise unit;
+    }
+    on unit goto Idle;
+  }
+}
+`)
+
+	// ---- Client ----
+	b.WriteString(`
+machine Client {
+  var host: id;
+
+  state Invalid {
+    entry { skip; }
+    on DoReqS goto SendReqS;
+    on DoReqE goto SendReqE;
+    on Inv ignore;
+  }
+
+  state SendReqS {
+    defer DoReqS, DoReqE;
+    entry {
+      send host, ReqShared, this;
+      raise unit;
+    }
+    on unit goto WaitShared;
+  }
+
+  state WaitShared {
+    defer DoReqS, DoReqE;
+    entry { skip; }
+    on GrantShared goto Sharer;
+  }
+
+  state SendReqE {
+    defer DoReqS, DoReqE;
+    entry {
+      send host, ReqExclusive, this;
+      raise unit;
+    }
+    on unit goto WaitExclusive;
+  }
+
+  state WaitExclusive {
+    defer DoReqS, DoReqE;
+    entry { skip; }
+    on GrantExclusive goto Owner;
+  }
+
+  state Sharer {
+    entry { skip; }
+    on DoReqS ignore;
+    on DoReqE ignore;
+    on Inv goto AckInvalidate;
+  }
+
+  state Owner {
+    entry { skip; }
+    on DoReqS ignore;
+    on DoReqE ignore;
+    on Inv goto AckInvalidate;
+  }
+
+  state AckInvalidate {
+    defer DoReqS, DoReqE;
+    entry {
+      send host, InvAck, this;
+      raise unit;
+    }
+    on unit goto Invalid;
+  }
+}
+`)
+
+	// ---- ghost environment ----
+	b.WriteString(`
+// The stimulus drives one client with nondeterministic requests.
+ghost machine Stim {
+  var client: id;
+
+  state Loop {
+    entry {
+      if * {
+        send client, DoReqS;
+        raise unit;
+      } else {
+        if * {
+          send client, DoReqE;
+          raise unit;
+        }
+      }
+      // Neither branch: the machine blocks forever (stimulus stops), which
+      // keeps every path through this state on a scheduling point.
+    }
+    on unit goto Loop;
+  }
+}
+
+ghost machine Env {
+  var host: id;
+`)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "  var c%d: id;\n  var st%d: id;\n", i, i)
+	}
+	b.WriteString(`
+  state Boot {
+    entry {
+      host = new Host();
+`)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "      c%d = new Client(host = host);\n", i)
+		fmt.Fprintf(&b, "      st%d = new Stim(client = c%d);\n", i, i)
+	}
+	b.WriteString(`    }
+  }
+}
+
+main Env();
+`)
+	return b.String()
+}
+
+// writeSlotInsert emits the nested if chain storing `cur` into the first
+// free sharer slot. With n slots and at most n clients each holding at most
+// one grant, a free slot always exists; the final branch asserts that.
+func writeSlotInsert(b *strings.Builder, n int) {
+	for i := 1; i <= n; i++ {
+		indent := strings.Repeat("  ", i+2)
+		fmt.Fprintf(b, "%sif shr%d == null {\n%s  shr%d = cur;\n%s} else {\n", indent, i, indent, i, indent)
+	}
+	indent := strings.Repeat("  ", n+3)
+	fmt.Fprintf(b, "%sassert false;\n", indent)
+	for i := n; i >= 1; i-- {
+		indent := strings.Repeat("  ", i+2)
+		fmt.Fprintf(b, "%s}\n", indent)
+	}
+}

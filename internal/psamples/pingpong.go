@@ -1,0 +1,63 @@
+package psamples
+
+// PingPong is the quickstart program: a Pinger creates a Ponger and they
+// exchange five ping/pong rounds. The Ping event carries the pinger's
+// machine identifier as payload; the Ponger replies through `arg`. Both
+// machines are real (no ghosts), so the same program verifies and executes.
+const PingPong = `
+// Quickstart: two real machines exchanging messages.
+event Ping(id);   // payload: the machine to reply to
+event Pong;
+event Done;
+event unit;
+
+machine Pinger {
+  var server: id;
+  var count: int;
+
+  state Init {
+    entry {
+      count = 0;
+      server = new Ponger();
+      raise unit;
+    }
+    on unit goto SendPing;
+  }
+
+  state SendPing {
+    entry {
+      count = count + 1;
+      if count > 5 {
+        send server, Done;
+        raise unit;
+      } else {
+        send server, Ping, this;
+      }
+    }
+    on Pong goto SendPing;
+    on unit goto Finish;
+  }
+
+  state Finish {
+    entry { delete; }
+  }
+}
+
+machine Ponger {
+  action Reply {
+    send arg, Pong;
+  }
+
+  state WaitPing {
+    entry { skip; }
+    on Ping do Reply;
+    on Done goto Finish;
+  }
+
+  state Finish {
+    entry { delete; }
+  }
+}
+
+main Pinger();
+`

@@ -1,0 +1,90 @@
+package psamples_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/compile"
+	"pgo/internal/psamples"
+)
+
+func TestRegistry(t *testing.T) {
+	all := psamples.All()
+	if len(all) < 10 {
+		t.Fatalf("only %d samples registered", len(all))
+	}
+	seen := map[string]bool{}
+	buggy := 0
+	for _, s := range all {
+		if seen[s.Name] {
+			t.Fatalf("duplicate sample name %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Source == "" || s.Description == "" {
+			t.Fatalf("sample %s incomplete", s.Name)
+		}
+		if s.Buggy {
+			buggy++
+			if !strings.Contains(s.Name, "buggy") {
+				t.Errorf("buggy sample %s not named *-buggy", s.Name)
+			}
+		}
+		got, ok := psamples.ByName(s.Name)
+		if !ok || got.Name != s.Name {
+			t.Fatalf("ByName(%s) failed", s.Name)
+		}
+	}
+	if buggy < 3 {
+		t.Fatalf("want at least 3 buggy variants, got %d", buggy)
+	}
+	if _, ok := psamples.ByName("nope"); ok {
+		t.Fatal("ByName invented a sample")
+	}
+}
+
+// Generators clamp degenerate parameters and still produce valid programs.
+func TestGeneratorBounds(t *testing.T) {
+	cases := map[string]string{
+		"german-0":  psamples.German(0),
+		"german-1":  psamples.German(1),
+		"ring-0":    psamples.Ring(0),
+		"ring-2":    psamples.Ring(2),
+		"usb-min":   psamples.USBMachineSource("Min", 0, 0, 0, 0),
+		"usb-small": psamples.USBMachineSource("Small", 2, 3, 2, 1),
+	}
+	for name, src := range cases {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			if _, diags, err := compile.Source(name, src); err != nil {
+				t.Fatalf("generated program invalid: %v\n%s", err, diags.String())
+			}
+		})
+	}
+}
+
+// The buggy variants differ from their good counterparts only in the
+// seeded defect region (sanity: they are not accidentally identical).
+func TestBuggyVariantsDiffer(t *testing.T) {
+	pairs := [][2]string{
+		{"elevator", "elevator-buggy"},
+		{"switchled", "switchled-buggy"},
+		{"german", "german-buggy"},
+		{"ring", "ring-buggy"},
+	}
+	for _, p := range pairs {
+		good, _ := psamples.ByName(p[0])
+		bad, _ := psamples.ByName(p[1])
+		if good.Source == bad.Source {
+			t.Errorf("%s and %s have identical sources", p[0], p[1])
+		}
+	}
+}
+
+func TestGermanScalesWithN(t *testing.T) {
+	if !strings.Contains(psamples.German(4), "shr4") {
+		t.Fatal("German(4) missing the fourth sharer slot")
+	}
+	if strings.Contains(psamples.German(2), "shr3") {
+		t.Fatal("German(2) has a third sharer slot")
+	}
+}

@@ -1,0 +1,137 @@
+package psamples
+
+import "fmt"
+
+// Ring returns a P implementation of Chang–Roberts leader election on a
+// unidirectional token ring of n real Node machines. The first node builds
+// the ring by creating its successor, which creates its own successor, and
+// so on — the paper's dynamic machine creation — with the ring closed by
+// threading the first node's identifier through the creation parameters.
+// Every node circulates its own candidacy; a node forwards tokens carrying
+// ids larger than its own, drops smaller ones, and wins when its own id
+// returns. The ghost Referee asserts that the winner is the maximum id and
+// that at most one leader is ever announced.
+func Ring(n int) string { return ringSource(n, false) }
+
+// RingBuggy inverts the forwarding comparison (smaller ids survive), so
+// several nodes can see their ids return: the Referee's single-leader
+// assertion fails.
+func RingBuggy(n int) string { return ringSource(n, true) }
+
+func ringSource(n int, buggy bool) string {
+	if n < 2 {
+		n = 2
+	}
+	forward := "arg > myid"
+	comment := "// forward tokens that can still win (larger id)"
+	if buggy {
+		forward = "arg < myid"
+		comment = "// BUG: comparison inverted — losing tokens survive"
+	}
+	return fmt.Sprintf(`
+// Chang-Roberts leader election on a ring of %[1]d nodes.
+
+event Token(int);         // the candidate id in flight
+event LeaderElected(int); // winner announcement to the referee
+event unit;
+event won;
+
+machine Node {
+  var myid: int;
+  var total: int;
+  var firstRef: id;
+  var next: id;
+  ghost var referee: id;
+
+  state Build {
+    defer Token;
+    entry {
+      if firstRef == null {
+        firstRef = this;
+      }
+      if myid < total {
+        next = new Node(myid = myid + 1, total = total,
+                        firstRef = firstRef, referee = referee);
+      } else {
+        next = firstRef;
+      }
+      raise unit;
+    }
+    on unit goto SendOwn;
+  }
+
+  state SendOwn {
+    defer Token;
+    entry {
+      send next, Token, myid;
+      raise unit;
+    }
+    on unit goto Running;
+  }
+
+  state Running {
+    entry { skip; }
+    on Token goto Examine;
+  }
+
+  state Examine {
+    entry {
+      if arg == myid {
+        raise won;
+      } else {
+        if %[2]s { %[3]s
+          send next, Token, arg;
+        }
+        raise unit;
+      }
+    }
+    on unit goto Running;
+    on won goto Leader;
+  }
+
+  state Leader {
+    entry { send referee, LeaderElected, myid; }
+    on Token ignore;
+  }
+}
+
+// The referee observes announcements: the winner must be the highest id,
+// and a second announcement is a protocol violation.
+ghost machine Referee {
+  var root: id;
+  var total: int;
+
+  state Boot {
+    entry {
+      root = new Node(myid = 1, total = total, referee = this);
+      raise unit;
+    }
+    on unit goto AwaitLeader;
+  }
+
+  state AwaitLeader {
+    entry { skip; }
+    on LeaderElected goto CheckLeader;
+  }
+
+  state CheckLeader {
+    entry {
+      assert arg == total;
+      raise unit;
+    }
+    on unit goto Done;
+  }
+
+  state Done {
+    entry { skip; }
+    on LeaderElected goto TwoLeaders;
+  }
+
+  state TwoLeaders {
+    entry { assert false; }
+  }
+}
+
+main Referee(total = %[1]d);
+`, n, forward, comment)
+}

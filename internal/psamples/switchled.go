@@ -1,0 +1,393 @@
+package psamples
+
+// SwitchLED models the §4.1 evaluation device: a driver for a simple
+// switch-and-LED device. The real Driver machine serializes uncoordinated
+// events from four ghost machines: the OS PnP manager (start/stop with
+// completion acks), an unconstrained OS power manager (sleep/resume spam),
+// the switch hardware (toggle interrupts), and the LED hardware
+// (command/ack). The driver owns the LED reference in a ghost variable, so
+// LED commands erase at compile time like the elevator's door commands.
+const SwitchLED = switchLEDCommon + switchLEDDriverGood + switchLEDEnv
+
+// SwitchLEDBuggy forgets to defer StopDevice while a LED command is in
+// flight in SettingOn, so a stop request racing a switch toggle hits an
+// unhandled event.
+const SwitchLEDBuggy = switchLEDCommon + switchLEDDriverBuggy + switchLEDEnv
+
+const switchLEDCommon = `
+// Switch-and-LED driver (§4.1).
+
+// OS PnP -> driver
+event StartDevice;
+event StopDevice;
+// driver -> OS PnP
+event StartCompleted;
+event StopCompleted;
+// OS power -> driver (unconstrained)
+event SleepDevice;
+event ResumeDevice;
+// switch hardware -> driver
+event SwitchOn;
+event SwitchOff;
+// driver -> LED hardware
+event CmdLedOn;
+event CmdLedOff;
+event CmdLedReset;
+// LED hardware -> driver
+event LedOnAck;
+event LedOffAck;
+// local
+event unit;
+`
+
+const switchLEDDriverGood = `
+machine Driver {
+  // Foreign functions carry the data path to the host (the paper's
+  // driver-specific foreign code); the skip models make them erasable
+  // no-ops during verification.
+  foreign ledOn(): void { skip; }
+  foreign ledOff(): void { skip; }
+  foreign ledReset(): void { skip; }
+  foreign notifyStarted(): void { skip; }
+  foreign notifyStopped(): void { skip; }
+  ghost var os: id;
+  ghost var ledV: id;
+
+  state Init {
+    defer SwitchOn, SwitchOff;
+    postpone SwitchOn, SwitchOff;
+    entry { ledV = new LED(client = this); }
+    on SleepDevice ignore;
+    on ResumeDevice ignore;
+    on StartDevice goto Starting;
+  }
+
+  state Starting {
+    entry {
+      ledReset();
+      send ledV, CmdLedReset;
+      notifyStarted();
+      send os, StartCompleted;
+      raise unit;
+    }
+    on unit goto Ready;
+  }
+
+  state Ready {
+    entry { skip; }
+    on SwitchOn goto SettingOn;
+    on SwitchOff goto SettingOff;
+    on SleepDevice goto Sleeping;
+    on ResumeDevice ignore;
+    on StopDevice goto Stopping;
+  }
+
+  state SettingOn {
+    defer SwitchOn, SwitchOff, StopDevice, SleepDevice;
+    entry {
+      ledOn();
+      send ledV, CmdLedOn;
+    }
+    on ResumeDevice ignore;
+    on LedOnAck goto Ready;
+  }
+
+  state SettingOff {
+    defer SwitchOn, SwitchOff, StopDevice, SleepDevice;
+    entry {
+      ledOff();
+      send ledV, CmdLedOff;
+    }
+    on ResumeDevice ignore;
+    on LedOffAck goto Ready;
+  }
+
+  state Sleeping {
+    defer SwitchOn, SwitchOff, StopDevice, ResumeDevice;
+    entry {
+      ledOff();
+      send ledV, CmdLedOff;
+    }
+    on SleepDevice ignore;
+    on LedOffAck goto Asleep;
+  }
+
+  state Asleep {
+    defer SwitchOn, SwitchOff;
+    postpone SwitchOn, SwitchOff;
+    entry { skip; }
+    on SleepDevice ignore;
+    on ResumeDevice goto Resuming;
+    on StopDevice goto Stopping;
+  }
+
+  state Resuming {
+    entry {
+      ledReset();
+      send ledV, CmdLedReset;
+      raise unit;
+    }
+    on unit goto Ready;
+  }
+
+  state Stopping {
+    entry {
+      ledReset();
+      send ledV, CmdLedReset;
+      notifyStopped();
+      send os, StopCompleted;
+      raise unit;
+    }
+    on unit goto Stopped;
+  }
+
+  state Stopped {
+    entry { skip; }
+    on SwitchOn ignore;
+    on SwitchOff ignore;
+    on SleepDevice ignore;
+    on ResumeDevice ignore;
+    on StartDevice goto Starting;
+  }
+}
+`
+
+const switchLEDDriverBuggy = `
+machine Driver {
+  // Foreign functions carry the data path to the host (the paper's
+  // driver-specific foreign code); the skip models make them erasable
+  // no-ops during verification.
+  foreign ledOn(): void { skip; }
+  foreign ledOff(): void { skip; }
+  foreign ledReset(): void { skip; }
+  foreign notifyStarted(): void { skip; }
+  foreign notifyStopped(): void { skip; }
+  ghost var os: id;
+  ghost var ledV: id;
+
+  state Init {
+    defer SwitchOn, SwitchOff;
+    postpone SwitchOn, SwitchOff;
+    entry { ledV = new LED(client = this); }
+    on SleepDevice ignore;
+    on ResumeDevice ignore;
+    on StartDevice goto Starting;
+  }
+
+  state Starting {
+    entry {
+      ledReset();
+      send ledV, CmdLedReset;
+      notifyStarted();
+      send os, StartCompleted;
+      raise unit;
+    }
+    on unit goto Ready;
+  }
+
+  state Ready {
+    entry { skip; }
+    on SwitchOn goto SettingOn;
+    on SwitchOff goto SettingOff;
+    on SleepDevice goto Sleeping;
+    on ResumeDevice ignore;
+    on StopDevice goto Stopping;
+  }
+
+  // BUG: StopDevice is neither deferred nor handled while the LED command
+  // is in flight, so a PnP stop racing a switch toggle is unhandled.
+  state SettingOn {
+    defer SwitchOn, SwitchOff, SleepDevice;
+    entry {
+      ledOn();
+      send ledV, CmdLedOn;
+    }
+    on ResumeDevice ignore;
+    on LedOnAck goto Ready;
+  }
+
+  state SettingOff {
+    defer SwitchOn, SwitchOff, StopDevice, SleepDevice;
+    entry {
+      ledOff();
+      send ledV, CmdLedOff;
+    }
+    on ResumeDevice ignore;
+    on LedOffAck goto Ready;
+  }
+
+  state Sleeping {
+    defer SwitchOn, SwitchOff, StopDevice, ResumeDevice;
+    entry {
+      ledOff();
+      send ledV, CmdLedOff;
+    }
+    on SleepDevice ignore;
+    on LedOffAck goto Asleep;
+  }
+
+  state Asleep {
+    defer SwitchOn, SwitchOff;
+    postpone SwitchOn, SwitchOff;
+    entry { skip; }
+    on SleepDevice ignore;
+    on ResumeDevice goto Resuming;
+    on StopDevice goto Stopping;
+  }
+
+  state Resuming {
+    entry {
+      ledReset();
+      send ledV, CmdLedReset;
+      raise unit;
+    }
+    on unit goto Ready;
+  }
+
+  state Stopping {
+    entry {
+      ledReset();
+      send ledV, CmdLedReset;
+      notifyStopped();
+      send os, StopCompleted;
+      raise unit;
+    }
+    on unit goto Stopped;
+  }
+
+  state Stopped {
+    entry { skip; }
+    on SwitchOn ignore;
+    on SwitchOff ignore;
+    on SleepDevice ignore;
+    on ResumeDevice ignore;
+    on StartDevice goto Starting;
+  }
+}
+`
+
+const switchLEDEnv = `
+// ---- ghost environment: four machines ----
+
+// The PnP manager follows the start/stop protocol with completion acks.
+ghost machine OSPnP {
+  var driver: id;
+  var sw: id;
+  var pw: id;
+
+  state Boot {
+    entry {
+      driver = new Driver(os = this);
+      sw = new Switch(client = driver);
+      pw = new OSPower(client = driver);
+      raise unit;
+    }
+    on unit goto Stopped;
+  }
+
+  state Stopped {
+    entry {
+      if * {
+        send driver, StartDevice;
+        raise unit;
+      }
+    }
+    on unit goto WaitStart;
+  }
+
+  state WaitStart {
+    entry { skip; }
+    on StartCompleted goto Started;
+  }
+
+  state Started {
+    entry {
+      if * {
+        send driver, StopDevice;
+        raise unit;
+      }
+    }
+    on unit goto WaitStop;
+  }
+
+  state WaitStop {
+    entry { skip; }
+    on StopCompleted goto Stopped;
+  }
+}
+
+// The power manager is deliberately unconstrained: sleep/resume can arrive
+// at any moment, like the "uncoordinated events" of the USB case study.
+ghost machine OSPower {
+  var client: id;
+
+  state Loop {
+    entry {
+      if * {
+        send client, SleepDevice;
+        raise unit;
+      } else {
+        if * {
+          send client, ResumeDevice;
+          raise unit;
+        }
+      }
+      // Neither branch: the machine blocks forever (stimulus stops), which
+      // keeps every path through this state on a scheduling point.
+    }
+    on unit goto Loop;
+  }
+}
+
+// The switch fires toggle interrupts at any moment.
+ghost machine Switch {
+  var client: id;
+
+  state Loop {
+    entry {
+      if * {
+        send client, SwitchOn;
+        raise unit;
+      } else {
+        if * {
+          send client, SwitchOff;
+          raise unit;
+        }
+      }
+      // Neither branch: the machine blocks forever (stimulus stops), which
+      // keeps every path through this state on a scheduling point.
+    }
+    on unit goto Loop;
+  }
+}
+
+// The LED acknowledges every command.
+ghost machine LED {
+  var client: id;
+
+  state Waiting {
+    entry { skip; }
+    on CmdLedReset ignore;
+    on CmdLedOn goto AckOn;
+    on CmdLedOff goto AckOff;
+  }
+
+  state AckOn {
+    entry {
+      send client, LedOnAck;
+      raise unit;
+    }
+    on unit goto Waiting;
+  }
+
+  state AckOff {
+    entry {
+      send client, LedOffAck;
+      raise unit;
+    }
+    on unit goto Waiting;
+  }
+}
+
+main OSPnP();
+`

@@ -1,0 +1,226 @@
+package psamples
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The §6 case study: the Windows 8 USB hub driver stack. The production
+// machines are proprietary, so we synthesize machines with the same
+// structural profile as Figure 8 — hub (HSM), 3.0 port (PSM 3.0),
+// 2.0 port (PSM 2.0), and device (DSM) state machines whose P-state and
+// P-transition counts approximate the paper's table:
+//
+//	machine    P states  P transitions   (paper: 196/361, 295/752,
+//	HSM        ~196      ~360             457/1386, 1919/4238)
+//	PSM 3.0    ~295      ~750
+//	PSM 2.0    ~457      ~1380
+//	DSM        ~1919     ~4230
+//
+// Each machine processes "operations" issued by a ghost OS: an operation
+// walks a chain of hardware phases; each phase asks the ghost hardware to
+// advance and the hardware nondeterministically advances or aborts. A
+// Cancel request can arrive at any time and is deferred until the current
+// phase completes, mirroring the hub driver's handling of uncoordinated
+// events. Transition density is tuned per machine with extra ignore
+// bindings so the transitions/states ratio tracks the paper's table.
+
+// USBHub is the synthetic hub state machine (HSM row of Figure 8):
+// 200 P states vs the paper's 196.
+var USBHub = USBMachineSource("HSM", 13, 15, 0, 0)
+
+// USBPort30 is the synthetic USB 3.0 port state machine (PSM 3.0 row):
+// 299 P states vs the paper's 295.
+var USBPort30 = USBMachineSource("PSM30", 21, 14, 1, 2)
+
+// USBPort20 is the synthetic USB 2.0 port state machine (PSM 2.0 row):
+// 455 P states vs the paper's 457.
+var USBPort20 = USBMachineSource("PSM20", 30, 15, 1, 1)
+
+// USBDevice is the synthetic device state machine (DSM row):
+// 1925 P states vs the paper's 1919.
+var USBDevice = USBMachineSource("DSM", 60, 32, 1, 5)
+
+// USBMachineSource synthesizes a P program with one real machine named
+// name that serves ops operations, each a chain of chainLen hardware
+// phases, plus extraIgnores additional ignore bindings on the chain states
+// whose phase index is a multiple of extraEvery (0 disables them), to tune
+// transition density. The ghost environment is an OS issuing operations and
+// cancels, and hardware answering phase requests.
+func USBMachineSource(name string, ops, chainLen, extraIgnores, extraEvery int) string {
+	if ops < 1 {
+		ops = 1
+	}
+	if chainLen < 1 {
+		chainLen = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Synthetic USB machine %s: %d operations x %d phases.\n\n", name, ops, chainLen)
+
+	// Events.
+	for i := 1; i <= ops; i++ {
+		fmt.Fprintf(&b, "event Op%d;\n", i)
+	}
+	b.WriteString(`event Cancel;
+event Suspend;
+event ResumeOp;
+event PhaseReq(id);
+event Advance;
+event Abort;
+event Completed;
+event Cancelled;
+event unit;
+event resumedLocal;
+`)
+
+	// ---- the device machine ----
+	fmt.Fprintf(&b, "\nmachine %s {\n", name)
+	b.WriteString("  ghost var os: id;\n  ghost var hw: id;\n\n")
+	b.WriteString("  action Nop { skip; }\n\n")
+	b.WriteString("  state Idle {\n    entry { skip; }\n    on Cancel ignore;\n")
+	b.WriteString("    on Suspend push Suspended;\n    on resumedLocal do Nop;\n")
+	for i := 1; i <= ops; i++ {
+		fmt.Fprintf(&b, "    on Op%d goto Op%dPhase1;\n", i, i)
+	}
+	b.WriteString("  }\n\n")
+	// The suspend/resume subroutine the machines share: entered by a call
+	// transition from Idle or the first phase of any operation, it defers
+	// all in-flight hardware traffic until the OS resumes, then returns by
+	// raising an event no state of the subroutine handles — the pop lands
+	// back in the caller, whose Nop binding consumes it (the paper's
+	// sub-state-machine pattern for factoring common event handling).
+	b.WriteString(`  state Suspended {
+    defer Advance, Abort, Cancel;
+    entry { skip; }
+    on ResumeOp goto Returning;
+  }
+
+  state Returning {
+    entry { raise resumedLocal; }
+  }
+
+`)
+
+	for i := 1; i <= ops; i++ {
+		for j := 1; j <= chainLen; j++ {
+			fmt.Fprintf(&b, "  state Op%dPhase%d {\n", i, j)
+			if j == 1 {
+				b.WriteString("    defer Cancel;\n")
+				b.WriteString("    on Suspend push Suspended;\n    on resumedLocal do Nop;\n")
+			} else {
+				b.WriteString("    defer Cancel, Suspend, ResumeOp;\n")
+			}
+			fmt.Fprintf(&b, "    entry { send hw, PhaseReq, this; }\n")
+			if j < chainLen {
+				fmt.Fprintf(&b, "    on Advance goto Op%dPhase%d;\n", i, j+1)
+			} else {
+				fmt.Fprintf(&b, "    on Advance goto Finish;\n")
+			}
+			b.WriteString("    on Abort goto Abandon;\n")
+			// Extra ignore bindings padding the transition count; they bind
+			// operation requests that cannot arrive mid-operation (the OS
+			// waits for completion) and are therefore inert.
+			if extraEvery > 0 && j%extraEvery == 0 {
+				for k := 1; k <= extraIgnores && k <= ops; k++ {
+					fmt.Fprintf(&b, "    on Op%d ignore;\n", (i+k-1)%ops+1)
+				}
+			}
+			b.WriteString("  }\n")
+		}
+		b.WriteByte('\n')
+	}
+
+	b.WriteString(`  state Finish {
+    entry {
+      send os, Completed;
+      raise unit;
+    }
+    on unit goto Idle;
+  }
+
+  state Abandon {
+    entry {
+      send os, Cancelled;
+      raise unit;
+    }
+    on unit goto Idle;
+  }
+}
+`)
+
+	// ---- ghost OS ----
+	fmt.Fprintf(&b, "\nghost machine OS {\n  var dev: id;\n  var hw: id;\n\n")
+	fmt.Fprintf(&b, `  state Boot {
+    entry {
+      hw = new HW();
+      dev = new %s(os = this, hw = hw);
+      raise unit;
+    }
+    on unit goto Pick;
+  }
+
+`, name)
+	// Pick: nondeterministically choose an operation with a binary decision
+	// tree of * expressions.
+	b.WriteString("  state Pick {\n    entry {\n")
+	for i := 1; i <= ops; i++ {
+		indent := strings.Repeat("  ", i+2)
+		if i < ops {
+			fmt.Fprintf(&b, "%sif * {\n%s  send dev, Op%d;\n%s} else {\n", indent, indent, i, indent)
+		} else {
+			fmt.Fprintf(&b, "%ssend dev, Op%d;\n", indent, i)
+		}
+	}
+	for i := ops - 1; i >= 1; i-- {
+		indent := strings.Repeat("  ", i+2)
+		fmt.Fprintf(&b, "%s}\n", indent)
+	}
+	b.WriteString(`      raise unit;
+    }
+    on unit goto Await;
+  }
+
+  state Await {
+    entry {
+      if * { send dev, Cancel; }
+      if * {
+        send dev, Suspend;
+        send dev, ResumeOp;
+      }
+    }
+    on Completed goto Pick;
+    on Cancelled goto Pick;
+  }
+}
+`)
+
+	// ---- ghost hardware ----
+	// HW answers each PhaseReq (whose payload names the requester) with
+	// Advance or Abort, nondeterministically.
+	b.WriteString(`
+ghost machine HW {
+  var client: id;
+
+  state Serve {
+    entry { skip; }
+    on PhaseReq goto Answer;
+  }
+
+  state Answer {
+    entry {
+      client = arg;
+      if * {
+        send client, Advance;
+      } else {
+        send client, Abort;
+      }
+      raise unit;
+    }
+    on unit goto Serve;
+  }
+}
+
+main OS();
+`)
+	return b.String()
+}

@@ -1,0 +1,454 @@
+// Package runtime executes erased P programs concurrently: one goroutine
+// per machine instance, a lock-protected inbox per instance, and
+// run-to-completion event handling — the architecture of the paper's §4
+// runtime for KMDF drivers, with goroutines standing in for kernel threads
+// calling into the driver.
+//
+// The public API mirrors the paper's three runtime entry points:
+//
+//	SMCreateMachine → Runtime.CreateMachine
+//	SMAddEvent      → Runtime.Send
+//	SMGetContext    → Runtime.Context
+//
+// Ghost machines must be erased before execution (ir.Erase); attempting to
+// run a program whose ghosts are intact is rejected, enforcing the type
+// system's erasure guarantee at the runtime boundary.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Foreign supplies the host implementations of foreign functions.
+	Foreign core.ForeignEnv
+	// OnError is invoked (on the failing machine's goroutine) when a
+	// machine hits an error transition; the machine then halts. Errors are
+	// also collected and available via Errors.
+	OnError func(*core.Err)
+	// MaxHandlerSteps bounds the small steps of one run-to-completion burst
+	// (0 = core.DefaultMaxSteps). Exceeding it is a divergence error.
+	MaxHandlerSteps int
+}
+
+// Runtime executes one erased P program.
+type Runtime struct {
+	prog *ir.Program
+	opts Options
+
+	mu        sync.Mutex
+	instances map[core.MachineID]*instance
+	nextID    core.MachineID
+	closed    bool
+
+	emu  sync.Mutex
+	errs []*core.Err
+
+	wg sync.WaitGroup
+
+	// metrics
+	created   atomic.Int64
+	delivered atomic.Int64
+	dropped   atomic.Int64 // dedup-dropped enqueue attempts
+	processed atomic.Int64 // events dequeued by machines
+}
+
+// Metrics is a snapshot of the runtime's counters.
+type Metrics struct {
+	MachinesCreated int64
+	EventsDelivered int64
+	EventsDeduped   int64
+	EventsProcessed int64
+}
+
+// Metrics returns the current counter values.
+func (rt *Runtime) Metrics() Metrics {
+	return Metrics{
+		MachinesCreated: rt.created.Load(),
+		EventsDelivered: rt.delivered.Load(),
+		EventsDeduped:   rt.dropped.Load(),
+		EventsProcessed: rt.processed.Load(),
+	}
+}
+
+// MachineInfo describes one live machine instance.
+type MachineInfo struct {
+	ID    core.MachineID
+	Type  string
+	State string // empty while the machine is running
+	Idle  bool
+}
+
+// Machines lists the live machine instances in id order.
+func (rt *Runtime) Machines() []MachineInfo {
+	rt.mu.Lock()
+	ins := make([]*instance, 0, len(rt.instances))
+	for _, in := range rt.instances {
+		ins = append(ins, in)
+	}
+	rt.mu.Unlock()
+	sort.Slice(ins, func(i, j int) bool { return ins[i].id < ins[j].id })
+	out := make([]MachineInfo, 0, len(ins))
+	for _, in := range ins {
+		info := MachineInfo{ID: in.id, Type: rt.prog.Machines[in.cfg.Type].Name}
+		in.mu.Lock()
+		info.Idle = in.idle
+		if in.idle || in.halted {
+			if st := in.cfg.CurrentState(); st >= 0 {
+				info.State = rt.prog.Machines[in.cfg.Type].States[st].Name
+			}
+		}
+		in.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}
+
+// instance is one machine: its configuration is owned by its goroutine;
+// the inbox and flags are guarded by mu, which also orders external reads
+// of the configuration while the machine is idle.
+type instance struct {
+	rt  *Runtime
+	id  core.MachineID
+	cfg *core.Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []core.QEntry
+	idle   bool // machine parked, cfg readable under mu
+	halted bool
+}
+
+// New creates a runtime for prog. The program must contain no live ghost
+// machines: either compiled from ghost-free source or passed through
+// ir.Erase.
+func New(prog *ir.Program, opts Options) (*Runtime, error) {
+	for _, m := range prog.Machines {
+		if m.Ghost && !m.ErasedStub {
+			return nil, fmt.Errorf("runtime: program %s has live ghost machine %s; apply ir.Erase before execution", prog.Name, m.Name)
+		}
+	}
+	return &Runtime{
+		prog:      prog,
+		opts:      opts,
+		instances: map[core.MachineID]*instance{},
+		nextID:    1,
+	}, nil
+}
+
+// Program returns the program the runtime executes.
+func (rt *Runtime) Program() *ir.Program { return rt.prog }
+
+// CreateMachine instantiates machine type name with the given variable
+// initializers and host context pointer, starting its goroutine. This is
+// the SMCreateMachine analog used by interface code.
+func (rt *Runtime) CreateMachine(name string, inits map[string]core.Value, ctx any) (core.MachineID, error) {
+	mt, ok := rt.prog.MachineByName(name)
+	if !ok {
+		return 0, fmt.Errorf("runtime: unknown machine type %s", name)
+	}
+	var vals []core.InitVal
+	for varName, v := range inits {
+		vid, ok := mt.VarByName(varName)
+		if !ok {
+			return 0, fmt.Errorf("runtime: machine %s has no variable %s", name, varName)
+		}
+		vals = append(vals, core.InitVal{Var: vid, Val: v})
+	}
+	id, cerr := rt.spawn(mt.ID, vals, ctx)
+	if cerr != nil {
+		return 0, cerr
+	}
+	return id, nil
+}
+
+func (rt *Runtime) spawn(t ir.MachineTypeID, vals []core.InitVal, ctx any) (core.MachineID, *core.Err) {
+	mt := rt.prog.Machines[t]
+	if mt.ErasedStub {
+		return 0, &core.Err{Kind: core.ErrStub, Type: mt.Name}
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return 0, &core.Err{Kind: core.ErrStub, Type: mt.Name, Detail: "runtime stopped"}
+	}
+	id := rt.nextID
+	rt.nextID++
+	cfg := core.NewConfig(rt.prog, id, t, vals)
+	cfg.Ctx = ctx
+	in := &instance{rt: rt, id: id, cfg: cfg}
+	in.cond = sync.NewCond(&in.mu)
+	rt.instances[id] = in
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+	rt.created.Add(1)
+	go in.loop()
+	return id, nil
+}
+
+// world adapts Runtime to core.World.
+type world Runtime
+
+// CreateMachine implements core.World.
+func (w *world) CreateMachine(t ir.MachineTypeID, vals []core.InitVal) (core.MachineID, *core.Err) {
+	return (*Runtime)(w).spawn(t, vals, nil)
+}
+
+// SendEvent implements core.World.
+func (w *world) SendEvent(target core.MachineID, e ir.EventID, v core.Value) (delivered, found bool) {
+	rt := (*Runtime)(w)
+	rt.mu.Lock()
+	in := rt.instances[target]
+	rt.mu.Unlock()
+	if in == nil {
+		return false, false
+	}
+	return in.enqueue(e, v)
+}
+
+// Send enqueues an event into machine id from host code (the SMAddEvent
+// analog). It returns an error if the machine is unknown or deleted, or if
+// the event name is not declared.
+func (rt *Runtime) Send(id core.MachineID, event string, payload core.Value) error {
+	e, ok := rt.prog.EventByName(event)
+	if !ok {
+		return fmt.Errorf("runtime: unknown event %s", event)
+	}
+	rt.mu.Lock()
+	in := rt.instances[id]
+	rt.mu.Unlock()
+	if in == nil {
+		return fmt.Errorf("runtime: machine #%d does not exist", id)
+	}
+	if _, found := in.enqueue(e, payload); !found {
+		return fmt.Errorf("runtime: machine #%d is deleted", id)
+	}
+	return nil
+}
+
+// Context returns the host context pointer of machine id (the SMGetContext
+// analog), or nil if the machine is unknown.
+func (rt *Runtime) Context(id core.MachineID) any {
+	rt.mu.Lock()
+	in := rt.instances[id]
+	rt.mu.Unlock()
+	if in == nil {
+		return nil
+	}
+	return in.cfg.Ctx // Ctx is immutable after creation
+}
+
+// StateName returns the current state of machine id. It is valid only while
+// the machine is parked (idle or halted); ok is false otherwise.
+func (rt *Runtime) StateName(id core.MachineID) (string, bool) {
+	rt.mu.Lock()
+	in := rt.instances[id]
+	rt.mu.Unlock()
+	if in == nil {
+		return "", false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.idle && !in.halted {
+		return "", false
+	}
+	st := in.cfg.CurrentState()
+	if st < 0 {
+		return "", false
+	}
+	return rt.prog.Machines[in.cfg.Type].States[st].Name, true
+}
+
+// Errors returns the machine errors collected so far.
+func (rt *Runtime) Errors() []*core.Err {
+	rt.emu.Lock()
+	defer rt.emu.Unlock()
+	return append([]*core.Err(nil), rt.errs...)
+}
+
+func (rt *Runtime) recordError(err *core.Err) {
+	rt.emu.Lock()
+	rt.errs = append(rt.errs, err)
+	rt.emu.Unlock()
+	if rt.opts.OnError != nil {
+		rt.opts.OnError(err)
+	}
+}
+
+// Quiesce blocks until every machine is parked with an empty inbox (or
+// halted), or the timeout expires. It reports whether quiescence was
+// reached. Quiescence is stable only if host code sends no further events.
+func (rt *Runtime) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if rt.quiescent() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func (rt *Runtime) quiescent() bool {
+	rt.mu.Lock()
+	ins := make([]*instance, 0, len(rt.instances))
+	for _, in := range rt.instances {
+		ins = append(ins, in)
+	}
+	rt.mu.Unlock()
+	for _, in := range ins {
+		in.mu.Lock()
+		ok := in.halted || (in.idle && len(in.inbox) == 0)
+		in.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Stop shuts the runtime down: machine goroutines exit at their next park
+// and Stop waits for them. Pending events are discarded.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	rt.closed = true
+	ins := make([]*instance, 0, len(rt.instances))
+	for _, in := range rt.instances {
+		ins = append(ins, in)
+	}
+	rt.mu.Unlock()
+	for _, in := range ins {
+		in.mu.Lock()
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	}
+	rt.wg.Wait()
+}
+
+// ------------------------------------------------------------- instance
+
+// enqueue appends (e, v) to the inbox with ⊕ dedup against pending inbox
+// entries, waking the machine. found is false if the machine halted.
+//
+// Note on dedup granularity: the verification semantics dedups against the
+// whole queue; the concurrent runtime dedups against the not-yet-drained
+// inbox only, matching the lock granularity of the paper's C runtime (the
+// drain also drops entries already present in the machine's queue).
+func (in *instance) enqueue(e ir.EventID, v core.Value) (delivered, found bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.halted {
+		return false, false
+	}
+	for _, q := range in.inbox {
+		if q.Event == e && q.Val == v {
+			in.rt.dropped.Add(1)
+			return false, true
+		}
+	}
+	in.inbox = append(in.inbox, core.QEntry{Event: e, Val: v})
+	in.cond.Signal()
+	in.rt.delivered.Add(1)
+	return true, true
+}
+
+// drain moves inbox entries into the machine's queue (owner goroutine only),
+// applying dedup against the queue.
+func (in *instance) drain() {
+	for _, q := range in.inbox {
+		dup := false
+		for _, p := range in.cfg.Queue {
+			if p == q {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			in.cfg.Queue = append(in.cfg.Queue, q)
+		}
+	}
+	in.inbox = in.inbox[:0]
+}
+
+// loop is the machine goroutine: run to completion, park, repeat.
+func (in *instance) loop() {
+	defer in.rt.wg.Done()
+	x := &core.Exec{
+		Prog:    in.rt.prog,
+		World:   (*world)(in.rt),
+		Foreign: in.rt.opts.Foreign,
+	}
+	for {
+		in.mu.Lock()
+		in.drain()
+		closed := in.rt.isClosed()
+		in.mu.Unlock()
+		if closed {
+			return
+		}
+
+		out := x.Run(in.cfg, nil, in.rt.opts.MaxHandlerSteps, false)
+		in.rt.processed.Add(int64(len(out.Dequeued)))
+		switch out.Kind {
+		case core.OutBlocked:
+			in.mu.Lock()
+			in.idle = true
+			for len(in.inbox) == 0 && !in.rt.isClosed() {
+				in.cond.Wait()
+			}
+			in.idle = false
+			closed := in.rt.isClosed()
+			in.mu.Unlock()
+			if closed {
+				return
+			}
+		case core.OutHalted:
+			in.mu.Lock()
+			in.halted = true
+			in.inbox = nil
+			in.mu.Unlock()
+			in.rt.removeInstance(in.id)
+			return
+		case core.OutError:
+			in.rt.recordError(out.Err)
+			in.mu.Lock()
+			in.halted = true
+			in.inbox = nil
+			in.mu.Unlock()
+			in.rt.removeInstance(in.id)
+			return
+		default:
+			// OutSend/OutNew cannot occur with stopAtSched == false.
+			in.rt.recordError(&core.Err{
+				Kind:    core.ErrDivergence,
+				Machine: in.id,
+				Detail:  fmt.Sprintf("unexpected outcome %v from run-to-completion", out.Kind),
+			})
+			return
+		}
+	}
+}
+
+func (rt *Runtime) isClosed() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.closed
+}
+
+// removeInstance tombstones a halted machine: it stays absent from the map
+// so sends to it report deletion.
+func (rt *Runtime) removeInstance(id core.MachineID) {
+	rt.mu.Lock()
+	delete(rt.instances, id)
+	rt.mu.Unlock()
+}

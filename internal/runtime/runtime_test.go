@@ -1,0 +1,352 @@
+package runtime_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+	prt "pgo/internal/runtime"
+)
+
+func erased(t testing.TB, name, src string) *ir.Program {
+	t.Helper()
+	prog, diags, err := compile.Erased(name, src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	return prog
+}
+
+func TestRejectUnerasedGhosts(t *testing.T) {
+	prog, diags, err := compile.Source("elevator", psamples.Elevator)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	if _, err := prt.New(prog, prt.Options{}); err == nil {
+		t.Fatal("runtime accepted a program with live ghost machines")
+	}
+}
+
+func TestPingPongConcurrent(t *testing.T) {
+	prog := erased(t, "pingpong", psamples.PingPong)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	if _, err := rt.CreateMachine("Pinger", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("machine errors: %v", errs)
+	}
+}
+
+func TestErasedElevatorDrivenByHost(t *testing.T) {
+	prog := erased(t, "elevator", psamples.Elevator)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("Elevator", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence after creation")
+	}
+	if st, ok := rt.StateName(id); !ok || st != "Closed" {
+		t.Fatalf("state = %q (%v), want Closed", st, ok)
+	}
+
+	// Host plays the role of the interface code, translating OS callbacks
+	// into events.
+	steps := []struct {
+		event string
+		state string
+	}{
+		{"OpenDoor", "Opening"},
+		{"DoorOpened", "Opened"},
+		{"TimerFired", "OkToClose"},
+		{"TimerFired", "Closing"},
+		{"DoorClosed", "Closed"},
+	}
+	for _, s := range steps {
+		if err := rt.Send(id, s.event, core.Null); err != nil {
+			t.Fatal(err)
+		}
+		if !rt.Quiesce(5 * time.Second) {
+			t.Fatalf("no quiescence after %s", s.event)
+		}
+		if st, ok := rt.StateName(id); !ok || st != s.state {
+			t.Fatalf("after %s: state = %q (%v), want %s", s.event, st, ok, s.state)
+		}
+	}
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("machine errors: %v", errs)
+	}
+}
+
+const contextProgram = `
+event Poke; event unit;
+machine M {
+  foreign bump(): void;
+  state S {
+    entry { skip; }
+    on Poke do DoBump;
+  }
+  action DoBump { bump(); }
+}
+main M();
+`
+
+// Foreign functions receive the per-machine context pointer (SMGetContext).
+func TestForeignAndContext(t *testing.T) {
+	prog := erased(t, "context", contextProgram)
+	var calls atomic.Int64
+	foreign := core.ForeignMap{
+		"M.bump": func(ctx any, args []core.Value) (core.Value, error) {
+			ctr, ok := ctx.(*atomic.Int64)
+			if !ok {
+				return core.Null, errors.New("missing context")
+			}
+			ctr.Add(1)
+			return core.Null, nil
+		},
+	}
+	rt, err := prt.New(prog, prt.Options{Foreign: foreign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("M", nil, &calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Context(id); got != &calls {
+		t.Fatal("Context returned wrong pointer")
+	}
+	for i := 0; i < 3; i++ {
+		if err := rt.Send(id, "Poke", core.IntVal(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("bump called %d times, want 3", calls.Load())
+	}
+}
+
+func TestMissingForeignReported(t *testing.T) {
+	prog := erased(t, "context", contextProgram)
+	var reported atomic.Int64
+	rt, err := prt.New(prog, prt.Options{
+		OnError: func(e *core.Err) { reported.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, _ := rt.CreateMachine("M", nil, nil)
+	rt.Send(id, "Poke", core.Null)
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	errs := rt.Errors()
+	if len(errs) != 1 || errs[0].Kind != core.ErrForeignMissing {
+		t.Fatalf("errors = %v, want one ErrForeignMissing", errs)
+	}
+	if reported.Load() != 1 {
+		t.Fatal("OnError not invoked")
+	}
+}
+
+func TestSendToDeletedMachine(t *testing.T) {
+	prog := erased(t, "pingpong", psamples.PingPong)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, _ := rt.CreateMachine("Pinger", nil, nil)
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	// Both machines deleted themselves; a host send must fail.
+	if err := rt.Send(id, "Pong", core.Null); err == nil {
+		t.Fatal("send to deleted machine succeeded")
+	}
+}
+
+const counterProgram = `
+event Inc(int); event unit;
+machine Counter {
+  var total: int;
+  foreign report(int): void;
+  state S {
+    entry { total = 0; }
+    on Inc do Add;
+  }
+  action Add {
+    total = total + arg;
+    report(total);
+  }
+}
+main Counter();
+`
+
+// Many concurrent senders with distinct payloads: every event is delivered
+// exactly once and handlers run run-to-completion (no torn updates).
+func TestConcurrentSenders(t *testing.T) {
+	prog := erased(t, "counter", counterProgram)
+	var last atomic.Int64
+	foreign := core.ForeignMap{
+		"Counter.report": func(ctx any, args []core.Value) (core.Value, error) {
+			if n, ok := args[0].AsInt(); ok {
+				last.Store(n)
+			}
+			return core.Null, nil
+		},
+	}
+	rt, err := prt.New(prog, prt.Options{Foreign: foreign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, _ := rt.CreateMachine("Counter", nil, nil)
+
+	const senders = 8
+	const perSender = 50
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				// Distinct payloads so ⊕ dedup never drops an event.
+				payload := int64(s*perSender+i)*1000 + 1
+				if err := rt.Send(id, "Inc", core.IntVal(payload)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if !rt.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	var want int64
+	for s := 0; s < senders; s++ {
+		for i := 0; i < perSender; i++ {
+			want += int64(s*perSender+i)*1000 + 1
+		}
+	}
+	if last.Load() != want {
+		t.Fatalf("total = %d, want %d", last.Load(), want)
+	}
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("machine errors: %v", errs)
+	}
+}
+
+func TestStopIsIdempotentAndTerminates(t *testing.T) {
+	prog := erased(t, "pingpong", psamples.PingPong)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.CreateMachine("Ponger", nil, nil)
+	done := make(chan struct{})
+	go func() { rt.Stop(); rt.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not terminate")
+	}
+}
+
+func TestManyMachines(t *testing.T) {
+	prog := erased(t, "pingpong", psamples.PingPong)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	for i := 0; i < 100; i++ {
+		if _, err := rt.CreateMachine("Pinger", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rt.Quiesce(30 * time.Second) {
+		t.Fatal("no quiescence with 100 ping-pong pairs")
+	}
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("machine errors (first): %v", errs[0])
+	}
+}
+
+func ExampleRuntime() {
+	prog, _, err := compile.Erased("pingpong", psamples.PingPong)
+	if err != nil {
+		panic(err)
+	}
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Stop()
+	rt.CreateMachine("Pinger", nil, nil)
+	rt.Quiesce(time.Second)
+	fmt.Println("errors:", len(rt.Errors()))
+	// Output: errors: 0
+}
+
+func TestMetricsAndMachineListing(t *testing.T) {
+	prog := erased(t, "elevator", psamples.Elevator)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, _ := rt.CreateMachine("Elevator", nil, nil)
+	rt.Send(id, "OpenDoor", core.Null)
+	rt.Send(id, "OpenDoor", core.Null) // dedup candidate while in flight
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	m := rt.Metrics()
+	if m.MachinesCreated != 1 {
+		t.Fatalf("created = %d, want 1", m.MachinesCreated)
+	}
+	if m.EventsDelivered < 1 {
+		t.Fatalf("delivered = %d, want >= 1", m.EventsDelivered)
+	}
+	if m.EventsProcessed < 1 {
+		t.Fatalf("processed = %d, want >= 1", m.EventsProcessed)
+	}
+	if m.EventsDelivered+m.EventsDeduped != 2 {
+		t.Fatalf("delivered %d + deduped %d != 2 sends", m.EventsDelivered, m.EventsDeduped)
+	}
+
+	machines := rt.Machines()
+	if len(machines) != 1 {
+		t.Fatalf("machines = %d, want 1", len(machines))
+	}
+	if machines[0].Type != "Elevator" || !machines[0].Idle || machines[0].State != "Opening" {
+		t.Fatalf("listing wrong: %+v", machines[0])
+	}
+}

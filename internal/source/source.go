@@ -1,0 +1,170 @@
+// Package source provides source positions, spans, and diagnostics shared by
+// every stage of the P compiler and verifier.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position in a source file. Line and Col are 1-based; a zero Pos
+// (Line == 0) means "no position".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Before reports whether p occurs strictly before q.
+func (p Pos) Before(q Pos) bool {
+	return p.Line < q.Line || (p.Line == q.Line && p.Col < q.Col)
+}
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Span is a half-open region [Start, End) of a source file.
+type Span struct {
+	Start Pos
+	End   Pos
+}
+
+// IsValid reports whether the span has a valid start position.
+func (s Span) IsValid() bool { return s.Start.IsValid() }
+
+func (s Span) String() string { return s.Start.String() }
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// Error diagnostics prevent later compilation stages from running.
+	Error Severity = iota
+	// Warning diagnostics do not stop compilation.
+	Warning
+	// Note diagnostics carry supplementary information.
+	Note
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	case Note:
+		return "note"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is a single message attached to a source location.
+type Diagnostic struct {
+	Severity Severity
+	Span     Span
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	if d.Span.IsValid() {
+		return fmt.Sprintf("%s: %s: %s", d.Span.Start, d.Severity, d.Message)
+	}
+	return fmt.Sprintf("%s: %s", d.Severity, d.Message)
+}
+
+// DiagList accumulates diagnostics. The zero value is ready to use.
+type DiagList struct {
+	diags []Diagnostic
+}
+
+// Errorf appends an error diagnostic at span.
+func (l *DiagList) Errorf(span Span, format string, args ...any) {
+	l.diags = append(l.diags, Diagnostic{Error, span, fmt.Sprintf(format, args...)})
+}
+
+// Warningf appends a warning diagnostic at span.
+func (l *DiagList) Warningf(span Span, format string, args ...any) {
+	l.diags = append(l.diags, Diagnostic{Warning, span, fmt.Sprintf(format, args...)})
+}
+
+// Notef appends a note diagnostic at span.
+func (l *DiagList) Notef(span Span, format string, args ...any) {
+	l.diags = append(l.diags, Diagnostic{Note, span, fmt.Sprintf(format, args...)})
+}
+
+// Add appends a prebuilt diagnostic.
+func (l *DiagList) Add(d Diagnostic) { l.diags = append(l.diags, d) }
+
+// Merge appends all diagnostics from other.
+func (l *DiagList) Merge(other *DiagList) {
+	l.diags = append(l.diags, other.diags...)
+}
+
+// HasErrors reports whether any diagnostic has severity Error.
+func (l *DiagList) HasErrors() bool {
+	for _, d := range l.diags {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of diagnostics.
+func (l *DiagList) Len() int { return len(l.diags) }
+
+// All returns the diagnostics sorted by position, errors first within a
+// position. The returned slice is a copy.
+func (l *DiagList) All() []Diagnostic {
+	out := make([]Diagnostic, len(l.diags))
+	copy(out, l.diags)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Span.Start, out[j].Span.Start
+		if a != b {
+			return a.Before(b)
+		}
+		return out[i].Severity < out[j].Severity
+	})
+	return out
+}
+
+// Errors returns only the error-severity diagnostics, sorted by position.
+func (l *DiagList) Errors() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range l.All() {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders every diagnostic on its own line.
+func (l *DiagList) String() string {
+	var b strings.Builder
+	for _, d := range l.All() {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Err returns an error summarizing the list if it contains errors, else nil.
+func (l *DiagList) Err() error {
+	if !l.HasErrors() {
+		return nil
+	}
+	errs := l.Errors()
+	if len(errs) == 1 {
+		return fmt.Errorf("%s", errs[0])
+	}
+	return fmt.Errorf("%s (and %d more errors)", errs[0], len(errs)-1)
+}

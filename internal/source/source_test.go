@@ -1,0 +1,76 @@
+package source_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/source"
+)
+
+func TestPosOrdering(t *testing.T) {
+	a := source.Pos{Line: 1, Col: 5}
+	b := source.Pos{Line: 1, Col: 9}
+	c := source.Pos{Line: 2, Col: 1}
+	if !a.Before(b) || !b.Before(c) || c.Before(a) || a.Before(a) {
+		t.Fatal("Before ordering wrong")
+	}
+}
+
+func TestPosValidity(t *testing.T) {
+	if (source.Pos{}).IsValid() {
+		t.Fatal("zero Pos should be invalid")
+	}
+	if (source.Pos{}).String() != "-" {
+		t.Fatal("invalid Pos should print -")
+	}
+	if got := (source.Pos{Line: 3, Col: 7}).String(); got != "3:7" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDiagListSortingAndSeverity(t *testing.T) {
+	var l source.DiagList
+	l.Warningf(source.Span{Start: source.Pos{Line: 2, Col: 1}}, "later warning")
+	l.Errorf(source.Span{Start: source.Pos{Line: 1, Col: 1}}, "early error")
+	l.Notef(source.Span{Start: source.Pos{Line: 1, Col: 1}}, "early note")
+	all := l.All()
+	if len(all) != 3 {
+		t.Fatalf("len = %d", len(all))
+	}
+	if all[0].Severity != source.Error {
+		t.Fatalf("first should be the early error, got %v", all[0])
+	}
+	if all[2].Message != "later warning" {
+		t.Fatalf("last = %v", all[2])
+	}
+	if !l.HasErrors() || len(l.Errors()) != 1 {
+		t.Fatal("error accounting wrong")
+	}
+}
+
+func TestDiagListErr(t *testing.T) {
+	var l source.DiagList
+	if l.Err() != nil {
+		t.Fatal("empty list should have nil Err")
+	}
+	l.Warningf(source.Span{}, "just a warning")
+	if l.Err() != nil {
+		t.Fatal("warnings only should have nil Err")
+	}
+	l.Errorf(source.Span{Start: source.Pos{Line: 1, Col: 1}}, "boom")
+	l.Errorf(source.Span{Start: source.Pos{Line: 2, Col: 1}}, "boom2")
+	err := l.Err()
+	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "1 more") {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b source.DiagList
+	a.Errorf(source.Span{}, "one")
+	b.Warningf(source.Span{}, "two")
+	a.Merge(&b)
+	if a.Len() != 2 {
+		t.Fatalf("merged len = %d", a.Len())
+	}
+}

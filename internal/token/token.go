@@ -1,0 +1,227 @@
+// Package token defines the lexical tokens of the P surface language.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+const (
+	// Special tokens.
+	Illegal Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	Ident  // Elevator, x, OpenDoor
+	Int    // 123
+	String // "text" (used only in pragma-like positions; reserved)
+
+	// Operators and punctuation.
+	Assign  // =
+	Plus    // +
+	Minus   // -
+	Star    // *  (also the nondeterministic-choice expression)
+	Slash   // /
+	Percent // %
+	Eq      // ==
+	Neq     // !=
+	Lt      // <
+	Le      // <=
+	Gt      // >
+	Ge      // >=
+	Not     // !
+	AndAnd  // &&
+	OrOr    // ||
+	LParen  // (
+	RParen  // )
+	LBrace  // {
+	RBrace  // }
+	Comma   // ,
+	Semi    // ;
+	Colon   // :
+	Dot     // .
+
+	// Keywords.
+	KwProgram // reserved
+	KwEvent
+	KwMachine
+	KwGhost
+	KwVar
+	KwAction
+	KwState
+	KwEntry
+	KwExit
+	KwDefer
+	KwPostpone
+	KwOn
+	KwGoto
+	KwPush
+	KwDo
+	KwIgnore
+	KwNew
+	KwDelete
+	KwSend
+	KwRaise
+	KwLeave
+	KwReturn
+	KwAssert
+	KwIf
+	KwElse
+	KwWhile
+	KwCall
+	KwMain
+	KwForeign
+	KwSkip
+	KwTrue
+	KwFalse
+	KwNull
+	KwThis
+	KwMsg
+	KwArg
+	KwInt
+	KwBool
+	KwEventT // the type name "event"
+	KwID     // the type name "id"
+	KwVoid
+
+	kindCount
+)
+
+var kindNames = [...]string{
+	Illegal: "ILLEGAL",
+	EOF:     "EOF",
+	Ident:   "IDENT",
+	Int:     "INT",
+	String:  "STRING",
+	Assign:  "=",
+	Plus:    "+",
+	Minus:   "-",
+	Star:    "*",
+	Slash:   "/",
+	Percent: "%",
+	Eq:      "==",
+	Neq:     "!=",
+	Lt:      "<",
+	Le:      "<=",
+	Gt:      ">",
+	Ge:      ">=",
+	Not:     "!",
+	AndAnd:  "&&",
+	OrOr:    "||",
+	LParen:  "(",
+	RParen:  ")",
+	LBrace:  "{",
+	RBrace:  "}",
+	Comma:   ",",
+	Semi:    ";",
+	Colon:   ":",
+	Dot:     ".",
+
+	KwProgram:  "program",
+	KwEvent:    "event",
+	KwMachine:  "machine",
+	KwGhost:    "ghost",
+	KwVar:      "var",
+	KwAction:   "action",
+	KwState:    "state",
+	KwEntry:    "entry",
+	KwExit:     "exit",
+	KwDefer:    "defer",
+	KwPostpone: "postpone",
+	KwOn:       "on",
+	KwGoto:     "goto",
+	KwPush:     "push",
+	KwDo:       "do",
+	KwIgnore:   "ignore",
+	KwNew:      "new",
+	KwDelete:   "delete",
+	KwSend:     "send",
+	KwRaise:    "raise",
+	KwLeave:    "leave",
+	KwReturn:   "return",
+	KwAssert:   "assert",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwCall:     "call",
+	KwMain:     "main",
+	KwForeign:  "foreign",
+	KwSkip:     "skip",
+	KwTrue:     "true",
+	KwFalse:    "false",
+	KwNull:     "null",
+	KwThis:     "this",
+	KwMsg:      "msg",
+	KwArg:      "arg",
+	KwInt:      "int",
+	KwBool:     "bool",
+	KwEventT:   "event", // note: same spelling as KwEvent; lexer always emits KwEvent
+	KwID:       "id",
+	KwVoid:     "void",
+}
+
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// keywords maps keyword spellings to their token kinds. "event" maps to
+// KwEvent; the parser treats it as the type keyword where a type is expected.
+var keywords = map[string]Kind{
+	"program":  KwProgram,
+	"event":    KwEvent,
+	"machine":  KwMachine,
+	"ghost":    KwGhost,
+	"var":      KwVar,
+	"action":   KwAction,
+	"state":    KwState,
+	"entry":    KwEntry,
+	"exit":     KwExit,
+	"defer":    KwDefer,
+	"postpone": KwPostpone,
+	"on":       KwOn,
+	"goto":     KwGoto,
+	"push":     KwPush,
+	"do":       KwDo,
+	"ignore":   KwIgnore,
+	"new":      KwNew,
+	"delete":   KwDelete,
+	"send":     KwSend,
+	"raise":    KwRaise,
+	"leave":    KwLeave,
+	"return":   KwReturn,
+	"assert":   KwAssert,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"call":     KwCall,
+	"main":     KwMain,
+	"foreign":  KwForeign,
+	"skip":     KwSkip,
+	"true":     KwTrue,
+	"false":    KwFalse,
+	"null":     KwNull,
+	"this":     KwThis,
+	"msg":      KwMsg,
+	"arg":      KwArg,
+	"int":      KwInt,
+	"bool":     KwBool,
+	"id":       KwID,
+	"void":     KwVoid,
+}
+
+// Lookup returns the keyword kind for an identifier spelling, or Ident.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// IsKeyword reports whether k is a keyword token.
+func IsKeyword(k Kind) bool { return k >= KwProgram && k < kindCount }
+
+// IsLiteral reports whether k is an identifier or literal token.
+func IsLiteral(k Kind) bool { return k == Ident || k == Int || k == String }

@@ -1,0 +1,113 @@
+// Package trace renders violation schedules as human-readable
+// counterexamples by replaying them against the operational semantics:
+// each scheduling decision is shown with the machine's control state before
+// and after, the events it consumed, and the cross-machine effects.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pgo/internal/check"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// Render replays v's schedule over a fresh instance of prog and writes a
+// step-by-step account to w. It returns an error if the replay diverges
+// from the recorded schedule (which would indicate a nondeterminism bug).
+func Render(prog *ir.Program, v *check.Violation, w io.Writer) error {
+	g := core.NewGlobal(prog, nil)
+	if _, err := g.CreateMain(); err != nil {
+		return fmt.Errorf("trace: creating main machine: %v", err)
+	}
+	fmt.Fprintf(w, "counterexample: %v\n", v.Err)
+	fmt.Fprintf(w, "schedule (%d steps):\n", len(v.Trace))
+	for i, step := range v.Trace {
+		before := stateOf(g, step.Machine)
+		if step.Delays > 0 {
+			fmt.Fprintf(w, "%4d. [%d delays]\n", i+1, step.Delays)
+		}
+		out := g.RunToSchedPoint(step.Machine, &core.FixedChoices{Bits: step.Choices}, 0)
+		after := stateOf(g, step.Machine)
+		head := fmt.Sprintf("%4d. %s#%-2d %-14s", i+1, step.Type, step.Machine, arrow(before, after))
+		switch out.Kind {
+		case core.OutSend:
+			target := "?"
+			if c := g.Lookup(out.SentTo); c != nil {
+				target = fmt.Sprintf("%s#%d", prog.Machines[c.Type].Name, out.SentTo)
+			}
+			detail := fmt.Sprintf("sends %s to %s", prog.Events[out.SentEvent].Name, target)
+			if !out.Delivered {
+				detail += " (deduplicated)"
+			}
+			fmt.Fprintf(w, "%s %s%s\n", head, detail, choices(step.Choices))
+		case core.OutNew:
+			fmt.Fprintf(w, "%s creates %s#%d%s\n", head,
+				prog.Machines[out.CreatedType].Name, out.Created, choices(step.Choices))
+		case core.OutBlocked:
+			fmt.Fprintf(w, "%s blocks%s\n", head, choices(step.Choices))
+		case core.OutHalted:
+			fmt.Fprintf(w, "%s deletes itself%s\n", head, choices(step.Choices))
+		case core.OutYield:
+			fmt.Fprintf(w, "%s yields%s\n", head, choices(step.Choices))
+		case core.OutError:
+			fmt.Fprintf(w, "%s ERROR: %v\n", head, out.Err)
+			if i != len(v.Trace)-1 {
+				return fmt.Errorf("trace: error fired at step %d of %d", i+1, len(v.Trace))
+			}
+			if v.Err != nil && out.Err.Kind != v.Err.Kind {
+				return fmt.Errorf("trace: replay produced %v, recorded %v", out.Err.Kind, v.Err.Kind)
+			}
+			return nil
+		}
+		if len(out.Dequeued) > 0 {
+			var evs []string
+			for _, q := range out.Dequeued {
+				evs = append(evs, prog.Events[q.Event].Name)
+			}
+			fmt.Fprintf(w, "      └ consumed %s\n", strings.Join(evs, ", "))
+		}
+	}
+	if v.Err != nil {
+		return fmt.Errorf("trace: schedule replay ended without reproducing %v", v.Err)
+	}
+	return nil
+}
+
+func stateOf(g *core.Global, id core.MachineID) string {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == core.ModeHalted {
+		return "(deleted)"
+	}
+	st := c.CurrentState()
+	if st < 0 {
+		return "(?)"
+	}
+	return g.Prog.Machines[c.Type].States[st].Name
+}
+
+func arrow(before, after string) string {
+	if before == after {
+		return "@" + before
+	}
+	return before + "→" + after
+}
+
+func choices(bits []bool) string {
+	if len(bits) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("  [*:")
+	for _, bit := range bits {
+		if bit {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

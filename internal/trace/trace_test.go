@@ -1,0 +1,90 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/psamples"
+	"pgo/internal/trace"
+)
+
+func TestRenderElevatorBug(t *testing.T) {
+	prog, diags, err := compile.Source("elevator-buggy", psamples.ElevatorBuggy)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	res, err := check.Explore(prog, check.Options{
+		Mode: check.DelayBounded, Bound: 2, StopAtFirstError: true, MaxStates: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.FirstViolation()
+	if v == nil {
+		t.Fatal("no violation to render")
+	}
+	var b strings.Builder
+	if err := trace.Render(prog, v, &b); err != nil {
+		t.Fatalf("render: %v\noutput so far:\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"counterexample:",
+		"unhandled event",
+		"CloseDoor",
+		"creates Elevator",
+		"ERROR:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+	// Every schedule step must appear.
+	for i := 1; i <= len(v.Trace); i++ {
+		if !strings.Contains(out, trim(i)) {
+			t.Errorf("step %d missing from rendering", i)
+		}
+	}
+}
+
+func trim(i int) string {
+	return strings.TrimSpace(strings.Repeat(" ", 4) + itoa(i) + ".")
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}
+
+func TestRenderGermanAssert(t *testing.T) {
+	prog, diags, err := compile.Source("german-buggy", psamples.GermanBuggy(2))
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	res, err := check.Explore(prog, check.Options{
+		Mode: check.DelayBounded, Bound: 1, StopAtFirstError: true, MaxStates: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.FirstViolation()
+	if v == nil {
+		t.Fatal("no violation")
+	}
+	var b strings.Builder
+	if err := trace.Render(prog, v, &b); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if !strings.Contains(b.String(), "assertion failed") {
+		t.Fatalf("missing assertion failure:\n%s", b.String())
+	}
+}

@@ -1,0 +1,713 @@
+package types
+
+import (
+	"pgo/internal/ast"
+	"pgo/internal/source"
+)
+
+// Check runs semantic analysis over prog. Diagnostics go to diags; the
+// returned tables are usable for lowering only if diags has no errors.
+func Check(prog *ast.Program, diags *source.DiagList) *Checked {
+	c := &checker{out: newChecked(prog), diags: diags}
+	c.collect(prog)
+	c.checkBodies(prog)
+	c.checkMain(prog)
+	return c.out
+}
+
+type checker struct {
+	out   *Checked
+	diags *source.DiagList
+
+	// Per-machine context while checking bodies.
+	mach *MachineSym
+	// ghostCtx is true when checking code whose effects are erased:
+	// ghost-machine bodies and foreign model bodies. Nondeterministic `*`
+	// is only legal there.
+	ghostCtx bool
+	// modelCtx is true inside foreign model bodies, which must be erasable.
+	modelCtx bool
+	// exitCtx is true inside exit blocks, which may not transfer control.
+	exitCtx bool
+}
+
+// ------------------------------------------------------------- declarations
+
+func (c *checker) collect(prog *ast.Program) {
+	for _, ed := range prog.Events {
+		if prev, ok := c.out.EventByName[ed.Name.Name]; ok {
+			c.diags.Errorf(ed.Name.Sp, "event %s redeclared (previous declaration at %s)", ed.Name.Name, prev.Decl.Name.Sp)
+			continue
+		}
+		payload := Void
+		if ed.Payload != nil {
+			payload = fromAST(ed.Payload)
+			if payload == Void {
+				c.diags.Errorf(ed.Payload.Sp, "event payload type cannot be void; omit the payload instead")
+			}
+		}
+		sym := &EventSym{Name: ed.Name.Name, ID: len(c.out.Events), Payload: payload, Decl: ed}
+		c.out.Events = append(c.out.Events, sym)
+		c.out.EventByName[sym.Name] = sym
+	}
+
+	for _, md := range prog.Machines {
+		if prev, ok := c.out.MachineByName[md.Name.Name]; ok {
+			c.diags.Errorf(md.Name.Sp, "machine %s redeclared (previous declaration at %s)", md.Name.Name, prev.Decl.Name.Sp)
+			continue
+		}
+		m := &MachineSym{
+			Name: md.Name.Name, ID: len(c.out.Machines), Ghost: md.Ghost, Decl: md,
+			VarByName:     map[string]*VarSym{},
+			ActionByName:  map[string]*ActionSym{},
+			StateByName:   map[string]*StateSym{},
+			ForeignByName: map[string]*ForeignSym{},
+		}
+		c.out.Machines = append(c.out.Machines, m)
+		c.out.MachineByName[m.Name] = m
+		c.collectMachine(m)
+	}
+}
+
+func (c *checker) collectMachine(m *MachineSym) {
+	md := m.Decl
+	for _, vd := range md.Vars {
+		if prev, ok := m.VarByName[vd.Name.Name]; ok {
+			c.diags.Errorf(vd.Name.Sp, "variable %s redeclared in machine %s (previous at %s)", vd.Name.Name, m.Name, prev.Decl.Name.Sp)
+			continue
+		}
+		t := fromAST(vd.Type)
+		if t == Void {
+			c.diags.Errorf(vd.Type.Sp, "variable %s cannot have type void", vd.Name.Name)
+		}
+		// Inside a ghost machine every variable is ghost.
+		ghost := vd.Ghost || m.Ghost
+		sym := &VarSym{Name: vd.Name.Name, ID: len(m.Vars), Type: t, Ghost: ghost, Decl: vd}
+		m.Vars = append(m.Vars, sym)
+		m.VarByName[sym.Name] = sym
+	}
+	for _, a := range md.Actions {
+		if prev, ok := m.ActionByName[a.Name.Name]; ok {
+			c.diags.Errorf(a.Name.Sp, "action %s redeclared in machine %s (previous at %s)", a.Name.Name, m.Name, prev.Decl.Name.Sp)
+			continue
+		}
+		sym := &ActionSym{Name: a.Name.Name, ID: len(m.Actions), Decl: a}
+		m.Actions = append(m.Actions, sym)
+		m.ActionByName[sym.Name] = sym
+	}
+	for _, s := range md.States {
+		if prev, ok := m.StateByName[s.Name.Name]; ok {
+			c.diags.Errorf(s.Name.Sp, "state %s redeclared in machine %s (previous at %s)", s.Name.Name, m.Name, prev.Decl.Name.Sp)
+			continue
+		}
+		sym := &StateSym{Name: s.Name.Name, ID: len(m.States), Decl: s}
+		m.States = append(m.States, sym)
+		m.StateByName[sym.Name] = sym
+	}
+	for _, f := range md.Foreign {
+		if prev, ok := m.ForeignByName[f.Name.Name]; ok {
+			c.diags.Errorf(f.Name.Sp, "foreign function %s redeclared in machine %s (previous at %s)", f.Name.Name, m.Name, prev.Decl.Name.Sp)
+			continue
+		}
+		sym := &ForeignSym{Name: f.Name.Name, ID: len(m.Foreigns), Result: Void, Decl: f}
+		for _, pt := range f.Params {
+			sym.Params = append(sym.Params, fromAST(pt))
+		}
+		if f.Result != nil {
+			sym.Result = fromAST(f.Result)
+		}
+		if m.Ghost && f.Model == nil {
+			c.diags.Warningf(f.Sp, "foreign function %s in ghost machine %s has no model body; calls evaluate to null during verification", f.Name.Name, m.Name)
+		}
+		m.Foreigns = append(m.Foreigns, sym)
+		m.ForeignByName[sym.Name] = sym
+	}
+	if len(m.States) == 0 {
+		c.diags.Errorf(md.Name.Sp, "machine %s has no states", m.Name)
+	}
+}
+
+// ------------------------------------------------------------------- bodies
+
+func (c *checker) checkBodies(prog *ast.Program) {
+	for _, m := range c.out.Machines {
+		c.mach = m
+		c.ghostCtx = m.Ghost
+		for _, s := range m.States {
+			c.checkState(m, s)
+		}
+		for _, a := range m.Actions {
+			c.checkBlock(a.Decl.Body)
+		}
+		for _, f := range m.Foreigns {
+			if f.Decl.Model != nil {
+				savedGhost, savedModel := c.ghostCtx, c.modelCtx
+				c.ghostCtx, c.modelCtx = true, !m.Ghost
+				c.checkBlock(f.Decl.Model)
+				c.ghostCtx, c.modelCtx = savedGhost, savedModel
+			}
+		}
+	}
+	c.mach = nil
+	c.ghostCtx = false
+}
+
+func (c *checker) lookupEvent(id *ast.Ident) *EventSym {
+	if e, ok := c.out.EventByName[id.Name]; ok {
+		return e
+	}
+	c.diags.Errorf(id.Sp, "undeclared event %s", id.Name)
+	return nil
+}
+
+func (c *checker) checkState(m *MachineSym, s *StateSym) {
+	sd := s.Decl
+	// Deferred and postponed sets must name declared events, without
+	// duplicates.
+	seenDefer := map[string]bool{}
+	for _, id := range sd.Deferred {
+		if c.lookupEvent(id) == nil {
+			continue
+		}
+		if seenDefer[id.Name] {
+			c.diags.Warningf(id.Sp, "event %s deferred twice in state %s", id.Name, s.Name)
+		}
+		seenDefer[id.Name] = true
+	}
+	seenPostpone := map[string]bool{}
+	for _, id := range sd.Postponed {
+		if c.lookupEvent(id) == nil {
+			continue
+		}
+		if seenPostpone[id.Name] {
+			c.diags.Warningf(id.Sp, "event %s postponed twice in state %s", id.Name, s.Name)
+		}
+		seenPostpone[id.Name] = true
+	}
+
+	// Determinism (§3.3 check 2): at most one transition and at most one
+	// action binding per event in a state. A transition overrides a deferral
+	// (DEQUEUE rule) and takes priority over an action binding (ACTION rule).
+	transSeen := map[string]source.Span{}
+	actionSeen := map[string]source.Span{}
+	for _, tr := range sd.Trans {
+		ev := c.lookupEvent(tr.Event)
+		if ev == nil {
+			continue
+		}
+		switch tr.Kind {
+		case ast.TransStep, ast.TransCall:
+			if prev, ok := transSeen[ev.Name]; ok {
+				c.diags.Errorf(tr.Sp, "state %s already has a transition on event %s (previous at %s)", s.Name, ev.Name, prev.Start)
+			}
+			transSeen[ev.Name] = tr.Sp
+			if tr.Target != nil {
+				if _, ok := m.StateByName[tr.Target.Name]; !ok {
+					c.diags.Errorf(tr.Target.Sp, "transition target %s is not a state of machine %s", tr.Target.Name, m.Name)
+				}
+			}
+			if seenDefer[ev.Name] {
+				c.diags.Warningf(tr.Sp, "event %s is both deferred and handled by a transition in state %s; the transition wins", ev.Name, s.Name)
+			}
+		case ast.TransAction:
+			if prev, ok := actionSeen[ev.Name]; ok {
+				c.diags.Errorf(tr.Sp, "state %s already binds an action to event %s (previous at %s)", s.Name, ev.Name, prev.Start)
+			}
+			actionSeen[ev.Name] = tr.Sp
+			if tr.Target != nil {
+				if _, ok := m.ActionByName[tr.Target.Name]; !ok {
+					c.diags.Errorf(tr.Target.Sp, "action %s is not declared in machine %s", tr.Target.Name, m.Name)
+				}
+			}
+		case ast.TransIgnore:
+			if prev, ok := actionSeen[ev.Name]; ok {
+				c.diags.Errorf(tr.Sp, "state %s already binds an action to event %s (previous at %s)", s.Name, ev.Name, prev.Start)
+			}
+			actionSeen[ev.Name] = tr.Sp
+		}
+	}
+
+	if sd.Entry != nil {
+		c.checkBlock(sd.Entry)
+	}
+	if sd.Exit != nil {
+		saved := c.exitCtx
+		c.exitCtx = true
+		c.checkBlock(sd.Exit)
+		c.exitCtx = saved
+	}
+}
+
+// --------------------------------------------------------------- statements
+
+func (c *checker) checkBlock(b *ast.Block) {
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.checkBlock(s)
+	case *ast.SkipStmt:
+		// nothing
+	case *ast.AssignStmt:
+		c.checkAssign(s)
+	case *ast.NewStmt:
+		c.checkNew(s)
+	case *ast.DeleteStmt:
+		if c.modelCtx {
+			c.diags.Errorf(s.Sp, "delete is not allowed in a foreign model body")
+		}
+	case *ast.SendStmt:
+		c.checkSend(s)
+	case *ast.RaiseStmt:
+		c.checkRaise(s)
+	case *ast.LeaveStmt:
+		if c.exitCtx {
+			c.diags.Errorf(s.Sp, "leave is not allowed in an exit block")
+		}
+		if c.modelCtx {
+			c.diags.Errorf(s.Sp, "leave is not allowed in a foreign model body")
+		}
+	case *ast.ReturnStmt:
+		if c.exitCtx {
+			c.diags.Errorf(s.Sp, "return is not allowed in an exit block")
+		}
+		if c.modelCtx {
+			c.diags.Errorf(s.Sp, "return is not allowed in a foreign model body")
+		}
+	case *ast.AssertStmt:
+		t := c.checkExpr(s.Expr)
+		if !assignable(Bool, t) {
+			c.diags.Errorf(s.Expr.Span(), "assert condition must be bool, found %s", t)
+		}
+		// Assertions may freely mention ghost state (§3.3): they are kept
+		// for verification and erased with their ghost operands.
+	case *ast.IfStmt:
+		c.checkCond(s.Cond, "if")
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond, "while")
+		c.checkBlock(s.Body)
+	case *ast.CallStmt:
+		if c.exitCtx {
+			c.diags.Errorf(s.Sp, "call is not allowed in an exit block")
+		}
+		if c.modelCtx {
+			c.diags.Errorf(s.Sp, "call is not allowed in a foreign model body")
+		}
+		if c.mach != nil {
+			if _, ok := c.mach.StateByName[s.State.Name]; !ok {
+				c.diags.Errorf(s.State.Sp, "call target %s is not a state of machine %s", s.State.Name, c.mach.Name)
+			}
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.Call)
+	default:
+		c.diags.Errorf(s.Span(), "internal: unknown statement node %T", s)
+	}
+}
+
+func (c *checker) checkCond(e ast.Expr, what string) {
+	t := c.checkExpr(e)
+	if !assignable(Bool, t) {
+		c.diags.Errorf(e.Span(), "%s condition must be bool, found %s", what, t)
+	}
+	// In a real machine, erasing ghosts must not change control flow, so
+	// conditions must not be ghost-tainted.
+	if !c.mach.Ghost && !c.modelCtx && c.exprGhost(e) {
+		c.diags.Errorf(e.Span(), "%s condition in real machine %s depends on ghost state; erasure would change control flow", what, c.mach.Name)
+	}
+}
+
+func (c *checker) checkAssign(s *ast.AssignStmt) {
+	v := c.lookupVar(s.Name)
+	t := c.checkExpr(s.Expr)
+	if v == nil {
+		return
+	}
+	if !assignable(v.Type, t) {
+		c.diags.Errorf(s.Sp, "cannot assign %s to variable %s of type %s", t, v.Name, v.Type)
+	}
+	c.checkGhostFlow(v, s.Expr, s.Sp)
+}
+
+// checkGhostFlow enforces the erasure rules for an assignment to v.
+func (c *checker) checkGhostFlow(v *VarSym, rhs ast.Expr, sp source.Span) {
+	if c.mach.Ghost {
+		return // everything in a ghost machine is erased together
+	}
+	if c.modelCtx {
+		// Foreign model bodies are erasable: they may only write ghost state.
+		if !v.Ghost {
+			c.diags.Errorf(sp, "foreign model body may not assign real variable %s", v.Name)
+		}
+		return
+	}
+	if !v.Ghost && c.exprGhost(rhs) {
+		c.diags.Errorf(sp, "cannot assign ghost expression to real variable %s; erasure would change machine state", v.Name)
+	}
+}
+
+func (c *checker) checkNew(s *ast.NewStmt) {
+	if c.modelCtx {
+		c.diags.Errorf(s.Sp, "new is not allowed in a foreign model body (models must be local ghost-state updates)")
+	}
+	v := c.lookupVar(s.Name)
+	target, ok := c.out.MachineByName[s.Machine.Name]
+	if !ok {
+		c.diags.Errorf(s.Machine.Sp, "undeclared machine %s", s.Machine.Name)
+		return
+	}
+	if v != nil {
+		if !assignable(v.Type, ID) {
+			c.diags.Errorf(s.Sp, "cannot assign machine identifier to variable %s of type %s", v.Name, v.Type)
+		}
+		if !c.mach.Ghost {
+			if c.modelCtx && !v.Ghost {
+				c.diags.Errorf(s.Sp, "foreign model body may not assign real variable %s", v.Name)
+			}
+			// §3.3: complete separation for machine identifiers so that
+			// sends to ghost machines are statically identifiable.
+			if target.Ghost && !v.Ghost {
+				c.diags.Errorf(s.Sp, "identifier of ghost machine %s must be stored in a ghost variable", target.Name)
+			}
+			if !target.Ghost && v.Ghost {
+				c.diags.Errorf(s.Sp, "identifier of real machine %s must not be stored in ghost variable %s", target.Name, v.Name)
+			}
+		}
+	}
+	c.checkInits(target, s.Inits, false)
+}
+
+// checkInits checks "x = e" initializer lists against the target machine's
+// variables. fromMain marks the program's main declaration, whose
+// initializers must be constant expressions.
+func (c *checker) checkInits(target *MachineSym, inits []*ast.Init, fromMain bool) {
+	seen := map[string]bool{}
+	for _, init := range inits {
+		v, ok := target.VarByName[init.Name.Name]
+		if !ok {
+			c.diags.Errorf(init.Name.Sp, "machine %s has no variable %s", target.Name, init.Name.Name)
+			c.checkExpr(init.Expr)
+			continue
+		}
+		if seen[v.Name] {
+			c.diags.Errorf(init.Name.Sp, "duplicate initializer for variable %s", v.Name)
+		}
+		seen[v.Name] = true
+		var t Type
+		if fromMain {
+			t = c.checkConstExpr(init.Expr)
+		} else {
+			t = c.checkExpr(init.Expr)
+		}
+		if !assignable(v.Type, t) {
+			c.diags.Errorf(init.Expr.Span(), "cannot initialize variable %s of type %s with %s", v.Name, v.Type, t)
+		}
+		if !fromMain && c.mach != nil && !c.mach.Ghost && !c.modelCtx {
+			// Initializing a real target machine's real variable with a
+			// ghost expression would leak ghost state into execution.
+			if !target.Ghost && !v.Ghost && c.exprGhost(init.Expr) {
+				c.diags.Errorf(init.Expr.Span(), "cannot initialize real variable %s of machine %s with a ghost expression", v.Name, target.Name)
+			}
+		}
+	}
+}
+
+func (c *checker) checkSend(s *ast.SendStmt) {
+	tt := c.checkExpr(s.Target)
+	if !assignable(ID, tt) {
+		c.diags.Errorf(s.Target.Span(), "send target must have type id, found %s", tt)
+	}
+	ev := c.lookupEvent(s.Event)
+	var pt Type = Void
+	if s.Payload != nil {
+		pt = c.checkExpr(s.Payload)
+	}
+	if ev != nil {
+		if ev.Payload == Void && s.Payload != nil {
+			if _, isNull := nullLit(s.Payload); !isNull {
+				c.diags.Errorf(s.Payload.Span(), "event %s carries no payload", ev.Name)
+			}
+		}
+		if ev.Payload != Void && s.Payload != nil && !assignable(ev.Payload, pt) {
+			c.diags.Errorf(s.Payload.Span(), "payload of event %s must be %s, found %s", ev.Name, ev.Payload, pt)
+		}
+	}
+	if c.mach != nil && !c.mach.Ghost && !c.modelCtx {
+		// In a real machine, a send whose target is ghost is itself ghost
+		// and will be erased; its payload may mention ghost state. A send
+		// to a real machine must be entirely real.
+		if !c.exprGhost(s.Target) {
+			if s.Payload != nil && c.exprGhost(s.Payload) {
+				c.diags.Errorf(s.Payload.Span(), "payload of a send to a real machine may not depend on ghost state")
+			}
+		}
+	}
+	if c.modelCtx {
+		c.diags.Errorf(s.Sp, "send is not allowed in a foreign model body (models must be local ghost-state updates)")
+	}
+}
+
+func (c *checker) checkRaise(s *ast.RaiseStmt) {
+	if c.exitCtx {
+		c.diags.Errorf(s.Sp, "raise is not allowed in an exit block")
+	}
+	if c.modelCtx {
+		c.diags.Errorf(s.Sp, "raise is not allowed in a foreign model body")
+	}
+	ev := c.lookupEvent(s.Event)
+	var pt Type = Void
+	if s.Payload != nil {
+		pt = c.checkExpr(s.Payload)
+	}
+	if ev != nil {
+		if ev.Payload == Void && s.Payload != nil {
+			if _, isNull := nullLit(s.Payload); !isNull {
+				c.diags.Errorf(s.Payload.Span(), "event %s carries no payload", ev.Name)
+			}
+		}
+		if ev.Payload != Void && s.Payload != nil && !assignable(ev.Payload, pt) {
+			c.diags.Errorf(s.Payload.Span(), "payload of event %s must be %s, found %s", ev.Name, ev.Payload, pt)
+		}
+	}
+	if c.mach != nil && !c.mach.Ghost && s.Payload != nil && c.exprGhost(s.Payload) {
+		c.diags.Errorf(s.Payload.Span(), "raise payload in real machine may not depend on ghost state")
+	}
+}
+
+func nullLit(e ast.Expr) (*ast.Lit, bool) {
+	l, ok := e.(*ast.Lit)
+	if ok && l.Kind == ast.LitNull {
+		return l, true
+	}
+	return nil, false
+}
+
+// --------------------------------------------------------------- expressions
+
+func (c *checker) lookupVar(id *ast.Ident) *VarSym {
+	if c.mach == nil {
+		return nil
+	}
+	if v, ok := c.mach.VarByName[id.Name]; ok {
+		return v
+	}
+	c.diags.Errorf(id.Sp, "undeclared variable %s in machine %s", id.Name, c.mach.Name)
+	return nil
+}
+
+func (c *checker) checkExpr(e ast.Expr) Type {
+	t := c.exprType(e)
+	c.out.ExprType[e] = t
+	if c.mach != nil {
+		c.out.ExprGhost[e] = c.exprGhost(e)
+	}
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.Lit:
+		switch e.Kind {
+		case ast.LitInt:
+			return Int
+		case ast.LitTrue, ast.LitFalse:
+			return Bool
+		case ast.LitNull:
+			return Any
+		case ast.LitThis:
+			return ID
+		case ast.LitMsg:
+			return Event
+		case ast.LitArg:
+			return Any
+		case ast.LitChoose:
+			if !c.ghostCtx {
+				c.diags.Errorf(e.Sp, "nondeterministic choice '*' is only allowed in ghost machines and foreign model bodies (real machines must be deterministic)")
+			}
+			return Bool
+		}
+		return Invalid
+	case *ast.NameExpr:
+		// A name is a variable if declared in the machine, else an event
+		// constant.
+		if c.mach != nil {
+			if v, ok := c.mach.VarByName[e.Name.Name]; ok {
+				c.out.VarUse[e] = v
+				return v.Type
+			}
+		}
+		if ev, ok := c.out.EventByName[e.Name.Name]; ok {
+			c.out.EventUse[e] = ev
+			return Event
+		}
+		c.diags.Errorf(e.Sp, "undeclared name %s", e.Name.Name)
+		return Invalid
+	case *ast.UnaryExpr:
+		t := c.checkExpr(e.X)
+		switch e.Op {
+		case ast.OpNot:
+			if !assignable(Bool, t) {
+				c.diags.Errorf(e.Sp, "operand of ! must be bool, found %s", t)
+			}
+			return Bool
+		case ast.OpNeg:
+			if !assignable(Int, t) {
+				c.diags.Errorf(e.Sp, "operand of unary - must be int, found %s", t)
+			}
+			return Int
+		}
+		return Invalid
+	case *ast.BinaryExpr:
+		tx := c.checkExpr(e.X)
+		ty := c.checkExpr(e.Y)
+		switch e.Op {
+		case ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpDiv, ast.OpMod:
+			if !assignable(Int, tx) || !assignable(Int, ty) {
+				c.diags.Errorf(e.Sp, "operands of %s must be int, found %s and %s", e.Op, tx, ty)
+			}
+			return Int
+		case ast.OpLt, ast.OpLe, ast.OpGt, ast.OpGe:
+			if !assignable(Int, tx) || !assignable(Int, ty) {
+				c.diags.Errorf(e.Sp, "operands of %s must be int, found %s and %s", e.Op, tx, ty)
+			}
+			return Bool
+		case ast.OpAnd, ast.OpOr:
+			if !assignable(Bool, tx) || !assignable(Bool, ty) {
+				c.diags.Errorf(e.Sp, "operands of %s must be bool, found %s and %s", e.Op, tx, ty)
+			}
+			return Bool
+		case ast.OpEq, ast.OpNeq:
+			if !assignable(tx, ty) {
+				c.diags.Errorf(e.Sp, "cannot compare %s with %s", tx, ty)
+			}
+			return Bool
+		}
+		return Invalid
+	case *ast.CallExpr:
+		if c.mach == nil {
+			c.diags.Errorf(e.Sp, "foreign call outside machine scope")
+			return Invalid
+		}
+		f, ok := c.mach.ForeignByName[e.Name.Name]
+		if !ok {
+			c.diags.Errorf(e.Name.Sp, "undeclared foreign function %s in machine %s", e.Name.Name, c.mach.Name)
+			for _, a := range e.Args {
+				c.checkExpr(a)
+			}
+			return Invalid
+		}
+		c.out.ForeignUse[e] = f
+		if len(e.Args) != len(f.Params) {
+			c.diags.Errorf(e.Sp, "foreign function %s expects %d arguments, got %d", f.Name, len(f.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at := c.checkExpr(a)
+			if i < len(f.Params) && !assignable(f.Params[i], at) {
+				c.diags.Errorf(a.Span(), "argument %d of %s must be %s, found %s", i+1, f.Name, f.Params[i], at)
+			}
+			if !c.mach.Ghost && !c.modelCtx && c.exprGhost(a) {
+				c.diags.Errorf(a.Span(), "argument of foreign call %s in real machine may not depend on ghost state", f.Name)
+			}
+		}
+		return f.Result
+	default:
+		c.diags.Errorf(e.Span(), "internal: unknown expression node %T", e)
+		return Invalid
+	}
+}
+
+// exprGhost computes the ghost taint of an expression inside the current
+// machine: true if erasing ghost state could change its value.
+func (c *checker) exprGhost(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Lit:
+		return e.Kind == ast.LitChoose
+	case *ast.NameExpr:
+		if v, ok := c.out.VarUse[e]; ok {
+			return v.Ghost
+		}
+		if c.mach != nil {
+			if v, ok := c.mach.VarByName[e.Name.Name]; ok {
+				return v.Ghost
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		return c.exprGhost(e.X)
+	case *ast.BinaryExpr:
+		return c.exprGhost(e.X) || c.exprGhost(e.Y)
+	case *ast.CallExpr:
+		for _, a := range e.Args {
+			if c.exprGhost(a) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// checkConstExpr types an expression required to be a compile-time constant
+// (main-declaration initializers, which run before any machine exists).
+func (c *checker) checkConstExpr(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.Lit:
+		switch e.Kind {
+		case ast.LitInt:
+			c.out.ExprType[e] = Int
+			return Int
+		case ast.LitTrue, ast.LitFalse:
+			c.out.ExprType[e] = Bool
+			return Bool
+		case ast.LitNull:
+			c.out.ExprType[e] = Any
+			return Any
+		}
+		c.diags.Errorf(e.Sp, "main initializer must be a constant (int, bool, null, or event name)")
+		return Invalid
+	case *ast.NameExpr:
+		if ev, ok := c.out.EventByName[e.Name.Name]; ok {
+			c.out.EventUse[e] = ev
+			c.out.ExprType[e] = Event
+			return Event
+		}
+		c.diags.Errorf(e.Sp, "main initializer must be a constant; %s is not an event", e.Name.Name)
+		return Invalid
+	case *ast.UnaryExpr:
+		if e.Op == ast.OpNeg {
+			t := c.checkConstExpr(e.X)
+			if !assignable(Int, t) {
+				c.diags.Errorf(e.Sp, "operand of unary - must be int")
+			}
+			c.out.ExprType[e] = Int
+			return Int
+		}
+	}
+	c.diags.Errorf(e.Span(), "main initializer must be a constant (int, bool, null, or event name)")
+	return Invalid
+}
+
+// --------------------------------------------------------------------- main
+
+func (c *checker) checkMain(prog *ast.Program) {
+	if prog.Main == nil {
+		return
+	}
+	m, ok := c.out.MachineByName[prog.Main.Machine.Name]
+	if !ok {
+		c.diags.Errorf(prog.Main.Machine.Sp, "main machine %s is not declared", prog.Main.Machine.Name)
+		return
+	}
+	c.out.MainMachine = m
+	c.mach = nil
+	c.checkInits(m, prog.Main.Inits, true)
+}

@@ -1,0 +1,235 @@
+package types
+
+import (
+	"pgo/internal/ast"
+	"pgo/internal/source"
+)
+
+// Lint emits warnings for suspicious but legal constructs. It runs after a
+// successful Check over the same tables:
+//
+//   - control states unreachable from the machine's initial state through
+//     its transitions and call statements;
+//   - events that no machine ever sends or raises (handlers for them are
+//     dead) and events no state handles or defers (every delivery would be
+//     an unhandled-event error — the verifier will find the concrete trace,
+//     but the lint flags it statically);
+//   - variables that are written but never read;
+//   - actions never bound by any state;
+//   - machines never instantiated (neither by new nor as the main machine).
+//
+// All findings are warnings: the paper's tool chain relies on verification
+// for semantic errors, and these are hygiene signals.
+func Lint(chk *Checked, diags *source.DiagList) {
+	if chk.AST == nil {
+		return
+	}
+	l := &linter{chk: chk, diags: diags}
+	l.run()
+}
+
+type linter struct {
+	chk   *Checked
+	diags *source.DiagList
+
+	sentEvents    map[string]bool // sent or raised somewhere
+	handledEvents map[string]bool // handled or deferred by some state
+	instantiated  map[string]bool
+	// newTargets are variables holding machine references created by new;
+	// holding such a reference without reading it is the idiomatic way to
+	// keep a subsystem alive conceptually, so it is not reported.
+	newTargets map[*VarSym]bool
+	curMachine *MachineSym
+}
+
+func (l *linter) run() {
+	l.sentEvents = map[string]bool{}
+	l.handledEvents = map[string]bool{}
+	l.instantiated = map[string]bool{}
+	l.newTargets = map[*VarSym]bool{}
+	if l.chk.MainMachine != nil {
+		l.instantiated[l.chk.MainMachine.Name] = true
+	}
+
+	for _, m := range l.chk.Machines {
+		l.scanMachine(m)
+	}
+	for _, m := range l.chk.Machines {
+		l.lintMachine(m)
+	}
+	for _, e := range l.chk.Events {
+		if !l.sentEvents[e.Name] {
+			l.diags.Warningf(e.Decl.Name.Sp, "event %s is never sent or raised", e.Name)
+		}
+		if !l.handledEvents[e.Name] {
+			l.diags.Warningf(e.Decl.Name.Sp, "event %s is never handled or deferred by any state", e.Name)
+		}
+	}
+	for _, m := range l.chk.Machines {
+		if !l.instantiated[m.Name] {
+			l.diags.Warningf(m.Decl.Name.Sp, "machine %s is never instantiated", m.Name)
+		}
+	}
+}
+
+// scanMachine records global usage facts (sends, instantiations, handlers).
+func (l *linter) scanMachine(m *MachineSym) {
+	l.curMachine = m
+	for _, s := range m.States {
+		for _, id := range s.Decl.Deferred {
+			l.handledEvents[id.Name] = true
+		}
+		for _, tr := range s.Decl.Trans {
+			l.handledEvents[tr.Event.Name] = true
+		}
+		l.scanBlock(s.Decl.Entry)
+		l.scanBlock(s.Decl.Exit)
+	}
+	for _, a := range m.Actions {
+		l.scanBlock(a.Decl.Body)
+	}
+	for _, f := range m.Foreigns {
+		l.scanBlock(f.Decl.Model)
+	}
+}
+
+func (l *linter) scanBlock(b *ast.Block) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		l.scanStmt(s)
+	}
+}
+
+func (l *linter) scanStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		l.scanBlock(s)
+	case *ast.SendStmt:
+		l.sentEvents[s.Event.Name] = true
+	case *ast.RaiseStmt:
+		l.sentEvents[s.Event.Name] = true
+	case *ast.NewStmt:
+		l.instantiated[s.Machine.Name] = true
+		if l.curMachine != nil {
+			if v, ok := l.curMachine.VarByName[s.Name.Name]; ok {
+				l.newTargets[v] = true
+			}
+		}
+	case *ast.IfStmt:
+		l.scanBlock(s.Then)
+		if s.Else != nil {
+			l.scanStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		l.scanBlock(s.Body)
+	}
+}
+
+// lintMachine emits the per-machine findings.
+func (l *linter) lintMachine(m *MachineSym) {
+	// State reachability through transitions and call statements.
+	adj := make([][]int, len(m.States))
+	for _, s := range m.States {
+		var out []int
+		for _, tr := range s.Decl.Trans {
+			if tr.Target == nil {
+				continue
+			}
+			if t, ok := m.StateByName[tr.Target.Name]; ok && (tr.Kind == ast.TransStep || tr.Kind == ast.TransCall) {
+				out = append(out, t.ID)
+			}
+		}
+		collectCallTargets(m, s.Decl.Entry, &out)
+		collectCallTargets(m, s.Decl.Exit, &out)
+		adj[s.ID] = out
+	}
+	// Call statements inside actions can enter states from any state that
+	// binds the action; approximate by treating them as reachable from
+	// every state that binds the action.
+	for _, s := range m.States {
+		for _, tr := range s.Decl.Trans {
+			if tr.Kind != ast.TransAction || tr.Target == nil {
+				continue
+			}
+			if a, ok := m.ActionByName[tr.Target.Name]; ok {
+				var out []int
+				collectCallTargets(m, a.Decl.Body, &out)
+				adj[s.ID] = append(adj[s.ID], out...)
+			}
+		}
+	}
+	reached := make([]bool, len(m.States))
+	stack := []int{0}
+	reached[0] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range adj[n] {
+			if !reached[t] {
+				reached[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	for _, s := range m.States {
+		if !reached[s.ID] {
+			l.diags.Warningf(s.Decl.Name.Sp, "state %s is unreachable from the initial state of machine %s", s.Name, m.Name)
+		}
+	}
+
+	// Write-only variables: reads are exactly the resolved NameExpr uses
+	// (assignment targets are plain identifiers, not NameExprs).
+	readVars := map[*VarSym]bool{}
+	for _, v := range l.chk.VarUse {
+		readVars[v] = true
+	}
+	for _, v := range m.Vars {
+		if !readVars[v] && !l.newTargets[v] {
+			l.diags.Warningf(v.Decl.Name.Sp, "variable %s of machine %s is never read", v.Name, m.Name)
+		}
+	}
+
+	// Unbound actions.
+	bound := map[string]bool{}
+	for _, s := range m.States {
+		for _, tr := range s.Decl.Trans {
+			if tr.Kind == ast.TransAction && tr.Target != nil {
+				bound[tr.Target.Name] = true
+			}
+		}
+	}
+	for _, a := range m.Actions {
+		if !bound[a.Name] {
+			l.diags.Warningf(a.Decl.Name.Sp, "action %s of machine %s is never bound to an event", a.Name, m.Name)
+		}
+	}
+}
+
+func collectCallTargets(m *MachineSym, b *ast.Block, out *[]int) {
+	if b == nil {
+		return
+	}
+	var walk func(ss []ast.Stmt)
+	walk = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			switch s := s.(type) {
+			case *ast.Block:
+				walk(s.Stmts)
+			case *ast.CallStmt:
+				if t, ok := m.StateByName[s.State.Name]; ok {
+					*out = append(*out, t.ID)
+				}
+			case *ast.IfStmt:
+				walk(s.Then.Stmts)
+				if s.Else != nil {
+					walk([]ast.Stmt{s.Else})
+				}
+			case *ast.WhileStmt:
+				walk(s.Body.Stmts)
+			}
+		}
+	}
+	walk(b.Stmts)
+}

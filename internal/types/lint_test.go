@@ -1,0 +1,187 @@
+package types_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/parser"
+	"pgo/internal/psamples"
+	"pgo/internal/source"
+	"pgo/internal/types"
+)
+
+func lintSrc(t *testing.T, src string) *source.DiagList {
+	t.Helper()
+	var diags source.DiagList
+	prog := parser.Parse(src, &diags)
+	chk := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("frontend failed:\n%s", diags.String())
+	}
+	types.Lint(chk, &diags)
+	return &diags
+}
+
+func wantLint(t *testing.T, src, substr string) {
+	t.Helper()
+	diags := lintSrc(t, src)
+	if !strings.Contains(diags.String(), substr) {
+		t.Fatalf("lint output missing %q:\n%s", substr, diags.String())
+	}
+}
+
+func wantNoLint(t *testing.T, src string) {
+	t.Helper()
+	diags := lintSrc(t, src)
+	if diags.Len() != 0 {
+		t.Fatalf("unexpected lint findings:\n%s", diags.String())
+	}
+}
+
+func TestLintUnreachableState(t *testing.T) {
+	wantLint(t, `
+event E;
+machine M {
+  state A {
+    entry { raise E; }
+    on E goto B;
+  }
+  state B { entry { skip; } on E goto B; }
+  state Orphan { entry { skip; } on E goto A; }
+}
+main M();
+`, "state Orphan is unreachable")
+}
+
+func TestLintReachableViaCallStmt(t *testing.T) {
+	wantNoLint(t, `
+event E;
+machine M {
+  state A {
+    entry { call Sub; raise E; }
+    on E goto A;
+  }
+  state Sub { entry { return; } }
+}
+main M();
+`)
+}
+
+func TestLintReachableViaActionCall(t *testing.T) {
+	wantNoLint(t, `
+event E;
+machine M {
+  action Go { call Sub; }
+  state A {
+    entry { raise E; }
+    on E do Go;
+  }
+  state Sub { entry { return; } }
+}
+main M();
+`)
+}
+
+func TestLintUnsentEvent(t *testing.T) {
+	wantLint(t, `
+event Used; event Ghostly;
+machine M {
+  state A {
+    entry { raise Used; }
+    on Used goto A;
+    on Ghostly goto A;
+  }
+}
+main M();
+`, "event Ghostly is never sent")
+}
+
+func TestLintUnhandledEvent(t *testing.T) {
+	wantLint(t, `
+event Fired;
+machine M {
+  var m: id;
+  state A {
+    entry { m = new M(); send m, Fired; }
+  }
+}
+main M();
+`, "event Fired is never handled")
+}
+
+func TestLintWriteOnlyVariable(t *testing.T) {
+	wantLint(t, `
+event E;
+machine M {
+  var scratch: int;
+  state A { entry { scratch = 1; raise E; } on E goto A; }
+}
+main M();
+`, "variable scratch of machine M is never read")
+}
+
+// Holding a machine reference from new without reading it is idiomatic and
+// not reported.
+func TestLintHeldReferenceNotReported(t *testing.T) {
+	wantNoLint(t, `
+event E;
+machine Sub {
+  state S { entry { raise E; } on E goto S; }
+}
+machine M {
+  var child: id;
+  state A { entry { child = new Sub(); raise E; } on E goto A; }
+}
+main M();
+`)
+}
+
+func TestLintUnboundAction(t *testing.T) {
+	wantLint(t, `
+event E;
+machine M {
+  action Dead { skip; }
+  state A { entry { raise E; } on E goto A; }
+}
+main M();
+`, "action Dead of machine M is never bound")
+}
+
+func TestLintUninstantiatedMachine(t *testing.T) {
+	wantLint(t, `
+event E;
+machine Never {
+  state S { entry { raise E; } on E goto S; }
+}
+machine M {
+  state A { entry { raise E; } on E goto A; }
+}
+main M();
+`, "machine Never is never instantiated")
+}
+
+// The embedded samples are lint-clean (checked here so regressions in
+// samples or the linter itself surface in tests, not just in pc -check).
+func TestLintSamplesClean(t *testing.T) {
+	for _, name := range []string{"pingpong", "elevator", "switchled", "german", "ring", "boundedbuffer"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src := sampleSource(t, name)
+			diags := lintSrc(t, src)
+			for _, d := range diags.All() {
+				if d.Severity == source.Warning && !strings.Contains(d.Message, "the transition wins") {
+					t.Errorf("lint finding: %s", d)
+				}
+			}
+		})
+	}
+}
+
+func sampleSource(t *testing.T, name string) string {
+	t.Helper()
+	s, ok := psamples.ByName(name)
+	if !ok {
+		t.Fatalf("no sample %s", name)
+	}
+	return s.Source
+}

@@ -1,0 +1,172 @@
+// Package types implements P's semantic analysis (§3.3 of the paper):
+// name resolution, uniqueness of identifiers, determinism of transitions,
+// expression/statement typing, and the ghost-erasure rules that guarantee
+// ghost machines and variables can be removed without changing the behaviour
+// of real machines.
+package types
+
+import (
+	"pgo/internal/ast"
+)
+
+// Type is a semantic type. Any is the dynamic type of the special ⊥ constant
+// and of the `arg` payload variable; it is compatible with every type and is
+// checked at run time, matching the paper's permissive treatment of payloads.
+type Type int
+
+const (
+	Invalid Type = iota
+	Void
+	Bool
+	Int
+	Event
+	ID
+	Any
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case Bool:
+		return "bool"
+	case Int:
+		return "int"
+	case Event:
+		return "event"
+	case ID:
+		return "id"
+	case Any:
+		return "any"
+	default:
+		return "invalid"
+	}
+}
+
+// fromAST converts a syntactic type to a semantic one.
+func fromAST(t *ast.TypeExpr) Type {
+	if t == nil {
+		return Void
+	}
+	switch t.Kind {
+	case ast.TypeVoid:
+		return Void
+	case ast.TypeBool:
+		return Bool
+	case ast.TypeInt:
+		return Int
+	case ast.TypeEvent:
+		return Event
+	case ast.TypeID:
+		return ID
+	default:
+		return Invalid
+	}
+}
+
+// assignable reports whether a value of type src may flow into a slot of
+// type dst. Any is bidirectionally compatible (dynamically checked).
+func assignable(dst, src Type) bool {
+	if dst == Invalid || src == Invalid {
+		return true // avoid cascading errors
+	}
+	if dst == Any || src == Any {
+		return true
+	}
+	return dst == src
+}
+
+// EventSym is a declared event.
+type EventSym struct {
+	Name    string
+	ID      int
+	Payload Type // Void when the event carries no payload
+	Decl    *ast.EventDecl
+}
+
+// VarSym is a machine-local variable.
+type VarSym struct {
+	Name  string
+	ID    int // index within the machine's variable list
+	Type  Type
+	Ghost bool
+	Decl  *ast.VarDecl
+}
+
+// ActionSym is a named action.
+type ActionSym struct {
+	Name string
+	ID   int
+	Decl *ast.ActionDecl
+}
+
+// StateSym is a control state.
+type StateSym struct {
+	Name string
+	ID   int
+	Decl *ast.StateDecl
+}
+
+// ForeignSym is a foreign function visible in a machine.
+type ForeignSym struct {
+	Name   string
+	ID     int
+	Params []Type
+	Result Type
+	Decl   *ast.ForeignDecl
+}
+
+// MachineSym is a declared machine with its member symbol tables.
+type MachineSym struct {
+	Name  string
+	ID    int
+	Ghost bool
+	Decl  *ast.MachineDecl
+
+	Vars     []*VarSym
+	Actions  []*ActionSym
+	States   []*StateSym
+	Foreigns []*ForeignSym
+
+	VarByName     map[string]*VarSym
+	ActionByName  map[string]*ActionSym
+	StateByName   map[string]*StateSym
+	ForeignByName map[string]*ForeignSym
+}
+
+// Checked is the result of semantic analysis: symbol tables plus resolution
+// maps consumed by the lowering pass.
+type Checked struct {
+	AST      *ast.Program
+	Events   []*EventSym
+	Machines []*MachineSym
+
+	EventByName   map[string]*EventSym
+	MachineByName map[string]*MachineSym
+
+	// VarUse resolves a NameExpr that denotes a variable.
+	VarUse map[*ast.NameExpr]*VarSym
+	// EventUse resolves a NameExpr that denotes an event constant.
+	EventUse map[*ast.NameExpr]*EventSym
+	// ForeignUse resolves a CallExpr to the foreign function it invokes.
+	ForeignUse map[*ast.CallExpr]*ForeignSym
+	// ExprType records the checked type of every expression.
+	ExprType map[ast.Expr]Type
+	// ExprGhost records ghost taint of expressions inside real machines.
+	ExprGhost map[ast.Expr]bool
+	// MainMachine is the machine instantiated by the main declaration.
+	MainMachine *MachineSym
+}
+
+func newChecked(prog *ast.Program) *Checked {
+	return &Checked{
+		AST:           prog,
+		EventByName:   map[string]*EventSym{},
+		MachineByName: map[string]*MachineSym{},
+		VarUse:        map[*ast.NameExpr]*VarSym{},
+		EventUse:      map[*ast.NameExpr]*EventSym{},
+		ForeignUse:    map[*ast.CallExpr]*ForeignSym{},
+		ExprType:      map[ast.Expr]Type{},
+		ExprGhost:     map[ast.Expr]bool{},
+	}
+}

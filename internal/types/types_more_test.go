@@ -1,0 +1,281 @@
+package types_test
+
+import (
+	"testing"
+
+	"pgo/internal/parser"
+	"pgo/internal/source"
+	"pgo/internal/types"
+)
+
+func TestRaisePayloadTyping(t *testing.T) {
+	wantError(t, `
+event E(int);
+machine M {
+  state S { entry { raise E, true; } }
+}
+main M();
+`, "must be int")
+	wantError(t, `
+event E;
+machine M {
+  state S { entry { raise E, 1; } }
+}
+main M();
+`, "carries no payload")
+	wantClean(t, `
+event E(int);
+machine M {
+  state S { entry { raise E, 41 + 1; } }
+}
+main M();
+`)
+}
+
+// arg has the dynamic type Any: it flows into any slot and back.
+func TestArgIsDynamicallyTyped(t *testing.T) {
+	wantClean(t, `
+event E(int);
+machine M {
+  var x: int;
+  var b: bool;
+  var m: id;
+  state S {
+    entry {
+      x = arg;
+      b = arg;
+      m = arg;
+      send m, E, arg;
+    }
+    on E goto S;
+  }
+}
+main M();
+`)
+}
+
+// Events are first-class values of type event; msg has that type.
+func TestEventValues(t *testing.T) {
+	wantClean(t, `
+event A; event B;
+machine M {
+  var e: event;
+  var b: bool;
+  state S {
+    entry {
+      e = A;
+      b = e == B;
+      b = msg == A;
+    }
+    on A goto S;
+    on B goto S;
+  }
+}
+main M();
+`)
+	wantError(t, `
+event A;
+machine M {
+  var x: int;
+  state S { entry { x = A; } }
+}
+main M();
+`, "cannot assign event")
+}
+
+// Variables in a ghost machine are implicitly ghost: `*` may flow into them
+// and they may hold ghost machine ids.
+func TestGhostMachineVarsImplicitlyGhost(t *testing.T) {
+	wantClean(t, `
+event E;
+ghost machine H { state S { entry { skip; } } }
+ghost machine G {
+  var other: id;
+  var b: bool;
+  state S {
+    entry {
+      b = *;
+      other = new H();
+    }
+  }
+}
+main G();
+`)
+}
+
+// Ghost machines may send to real machines — that is how the environment
+// drives the system during verification.
+func TestGhostSendsToReal(t *testing.T) {
+	wantClean(t, `
+event E(int);
+machine R {
+  state S {
+    entry { skip; }
+    on E goto S;
+  }
+}
+ghost machine G {
+  var r: id;
+  state S {
+    entry {
+      r = new R();
+      send r, E, 7;
+    }
+  }
+}
+main G();
+`)
+}
+
+func TestForeignDuplicateAndUnknown(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  foreign f(): void;
+  foreign f(int): int;
+  state S { entry { skip; } }
+}
+main M();
+`, "foreign function f redeclared")
+	wantError(t, `
+event E;
+machine M {
+  state S { entry { g(); } }
+}
+main M();
+`, "undeclared foreign function g")
+}
+
+// Foreign model bodies may not create machines or transfer control.
+func TestModelBodyRestrictions(t *testing.T) {
+	for _, bad := range []struct{ stmt, diag string }{
+		{"raise E;", "raise is not allowed"},
+		{"return;", "return is not allowed"},
+		{"leave;", "leave is not allowed"},
+		{"delete;", "delete is not allowed"},
+		{"call S;", "call is not allowed"},
+		{"g = new G();", "new is not allowed"},
+	} {
+		src := `
+event E;
+ghost machine G { state T { entry { skip; } } }
+machine M {
+  ghost var g: id;
+  foreign f(): void { ` + bad.stmt + ` }
+  state S { entry { skip; } }
+}
+main M();
+`
+		wantError(t, src, bad.diag)
+	}
+}
+
+// Payload type checking applies through Any: a null payload is accepted for
+// typed events (dynamically checked).
+func TestNullPayloadAccepted(t *testing.T) {
+	wantClean(t, `
+event E(int);
+machine M {
+  var m: id;
+  state S {
+    entry { m = new M(); send m, E, null; raise E, null; }
+    on E goto S;
+  }
+}
+main M();
+`)
+}
+
+// The checker records expression types for every checked expression.
+func TestExprTypesRecorded(t *testing.T) {
+	var diags source.DiagList
+	prog := parser.Parse(`
+event E(int);
+machine M {
+  var x: int;
+  state S { entry { x = 1 + 2; } }
+}
+main M();
+`, &diags)
+	chk := types.Check(prog, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %s", diags.String())
+	}
+	found := 0
+	for _, typ := range chk.ExprType {
+		if typ == types.Int {
+			found++
+		}
+	}
+	if found < 3 { // 1, 2, 1+2
+		t.Fatalf("expected at least 3 int expressions recorded, got %d", found)
+	}
+	if chk.MainMachine == nil || chk.MainMachine.Name != "M" {
+		t.Fatalf("main machine not resolved: %+v", chk.MainMachine)
+	}
+}
+
+// Postpone sets must name declared events.
+func TestPostponeUndeclared(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  state S {
+    postpone Nope;
+    entry { skip; }
+  }
+}
+main M();
+`, "undeclared event Nope")
+}
+
+// A state may both defer and postpone the same event (the common pattern).
+func TestDeferAndPostponeTogether(t *testing.T) {
+	wantClean(t, `
+event E;
+machine M {
+  state S {
+    defer E;
+    postpone E;
+    entry { skip; }
+  }
+}
+main M();
+`)
+}
+
+// Self-send through `this` is well-typed.
+func TestSelfSend(t *testing.T) {
+	wantClean(t, `
+event E;
+machine M {
+  state S {
+    entry { send this, E; }
+    on E goto S;
+  }
+}
+main M();
+`)
+}
+
+// Comparisons between id values are allowed; ordering on ids is not.
+func TestIDComparisons(t *testing.T) {
+	wantClean(t, `
+event E;
+machine M {
+  var a: id;
+  var b: bool;
+  state S { entry { b = a == this; b = a != this; } }
+}
+main M();
+`)
+	wantError(t, `
+event E;
+machine M {
+  var a: id;
+  var b: bool;
+  state S { entry { b = a < this; } }
+}
+main M();
+`, "must be int")
+}

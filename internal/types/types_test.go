@@ -1,0 +1,513 @@
+package types_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/parser"
+	"pgo/internal/source"
+	"pgo/internal/types"
+)
+
+// checkSrc runs the full frontend and returns the diagnostics.
+func checkSrc(t *testing.T, src string) *source.DiagList {
+	t.Helper()
+	var diags source.DiagList
+	prog := parser.Parse(src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse failed:\n%s", diags.String())
+	}
+	types.Check(prog, &diags)
+	return &diags
+}
+
+func wantError(t *testing.T, src, substr string) {
+	t.Helper()
+	diags := checkSrc(t, src)
+	if !diags.HasErrors() {
+		t.Fatalf("expected error containing %q, got none", substr)
+	}
+	if !strings.Contains(diags.String(), substr) {
+		t.Fatalf("diagnostics missing %q:\n%s", substr, diags.String())
+	}
+}
+
+func wantClean(t *testing.T, src string) {
+	t.Helper()
+	diags := checkSrc(t, src)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors:\n%s", diags.String())
+	}
+}
+
+// ------------------------------------------------ uniqueness (§3.3 check 1)
+
+func TestDuplicateEvent(t *testing.T) {
+	wantError(t, `
+event E; event E;
+machine M { state S { entry { skip; } } }
+main M();
+`, "event E redeclared")
+}
+
+func TestDuplicateMachine(t *testing.T) {
+	wantError(t, `
+event E;
+machine M { state S { entry { skip; } } }
+machine M { state S { entry { skip; } } }
+main M();
+`, "machine M redeclared")
+}
+
+func TestDuplicateState(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  state S { entry { skip; } }
+  state S { entry { skip; } }
+}
+main M();
+`, "state S redeclared")
+}
+
+func TestDuplicateVarAndAction(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  var x: int;
+  var x: bool;
+  state S { entry { skip; } }
+}
+main M();
+`, "variable x redeclared")
+	wantError(t, `
+event E;
+machine M {
+  action A { skip; }
+  action A { skip; }
+  state S { entry { skip; } }
+}
+main M();
+`, "action A redeclared")
+}
+
+// --------------------------------------------- determinism (§3.3 check 2)
+
+func TestDuplicateTransitionOnEvent(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  state S {
+    entry { skip; }
+    on E goto S;
+    on E push S;
+  }
+}
+main M();
+`, "already has a transition")
+}
+
+func TestDuplicateActionBinding(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  action A { skip; }
+  state S {
+    entry { skip; }
+    on E do A;
+    on E ignore;
+  }
+}
+main M();
+`, "already binds an action")
+}
+
+// A transition plus an action binding on the same event is legal: the
+// transition takes priority (ACTION rule precondition).
+func TestTransitionPlusActionAllowed(t *testing.T) {
+	wantClean(t, `
+event E;
+machine M {
+  action A { skip; }
+  state S {
+    entry { skip; }
+    on E goto S;
+    on E do A;
+  }
+}
+main M();
+`)
+}
+
+// ----------------------------------------------------- nondeterminism rules
+
+func TestChooseForbiddenInRealMachine(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  var b: bool;
+  state S { entry { b = *; } }
+}
+main M();
+`, "only allowed in ghost machines")
+}
+
+func TestChooseAllowedInGhost(t *testing.T) {
+	wantClean(t, `
+event E;
+ghost machine G {
+  var b: bool;
+  state S { entry { b = *; } }
+}
+main G();
+`)
+}
+
+// -------------------------------------------------------- ghost flow (§3.3)
+
+const ghostPrelude = `
+event E;
+ghost machine G {
+  var client: id;
+  state S { entry { skip; } }
+}
+`
+
+func TestGhostIDSeparation(t *testing.T) {
+	// A ghost machine id must land in a ghost variable.
+	wantError(t, ghostPrelude+`
+machine M {
+  var g: id;
+  state S { entry { g = new G(); } }
+}
+main M();
+`, "must be stored in a ghost variable")
+	// And a real machine id must not land in a ghost variable.
+	wantError(t, ghostPrelude+`
+machine M {
+  ghost var r: id;
+  state S { entry { r = new M(); } }
+}
+main M();
+`, "must not be stored in ghost variable")
+	// The proper forms are clean.
+	wantClean(t, ghostPrelude+`
+machine M {
+  ghost var g: id;
+  var r: id;
+  state S { entry { g = new G(); r = new M(); } }
+}
+main M();
+`)
+}
+
+func TestGhostToRealAssignment(t *testing.T) {
+	wantError(t, ghostPrelude+`
+machine M {
+  ghost var gx: int;
+  var x: int;
+  state S { entry { x = gx + 1; } }
+}
+main M();
+`, "cannot assign ghost expression")
+	// Ghost-to-ghost is fine, as is real-to-ghost.
+	wantClean(t, ghostPrelude+`
+machine M {
+  ghost var gx: int;
+  ghost var gy: int;
+  var x: int;
+  state S { entry { gy = gx; gx = x; } }
+}
+main M();
+`)
+}
+
+func TestGhostControlFlowForbidden(t *testing.T) {
+	wantError(t, ghostPrelude+`
+machine M {
+  ghost var gb: bool;
+  state S { entry { if gb { skip; } } }
+}
+main M();
+`, "erasure would change control flow")
+}
+
+func TestAssertMayUseGhost(t *testing.T) {
+	wantClean(t, ghostPrelude+`
+machine M {
+  ghost var gx: int;
+  state S { entry { assert gx == 0; } }
+}
+main M();
+`)
+}
+
+func TestGhostPayloadToRealTarget(t *testing.T) {
+	wantError(t, `
+event E(int);
+machine M {
+  ghost var gx: int;
+  var m: id;
+  state S { entry { m = new M(); send m, E, gx; } }
+}
+main M();
+`, "may not depend on ghost state")
+	// Sends to ghost targets may carry anything — the send is erased.
+	wantClean(t, `
+event E(int);
+ghost machine G {
+  state S { entry { skip; } }
+}
+machine M {
+  ghost var g: id;
+  ghost var gx: int;
+  state S { entry { g = new G(); send g, E, gx; } }
+}
+main G();
+`)
+}
+
+// -------------------------------------------------------------- typing
+
+func TestPayloadTyping(t *testing.T) {
+	wantError(t, `
+event E(int);
+machine M {
+  var m: id;
+  state S { entry { m = new M(); send m, E, true; } }
+}
+main M();
+`, "must be int")
+	wantError(t, `
+event E;
+machine M {
+  var m: id;
+  state S { entry { m = new M(); send m, E, 3; } }
+}
+main M();
+`, "carries no payload")
+	// null is accepted for any payload slot.
+	wantClean(t, `
+event E;
+machine M {
+  var m: id;
+  state S { entry { m = new M(); send m, E, null; } }
+}
+main M();
+`)
+}
+
+func TestConditionTyping(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  var x: int;
+  state S { entry { if x { skip; } } }
+}
+main M();
+`, "must be bool")
+	wantError(t, `
+event E;
+machine M {
+  var x: int;
+  state S { entry { while x + 1 { skip; } } }
+}
+main M();
+`, "must be bool")
+}
+
+func TestOperatorTyping(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  var b: bool;
+  var x: int;
+  state S { entry { x = b + 1; } }
+}
+main M();
+`, "must be int")
+	wantError(t, `
+event E;
+machine M {
+  var b: bool;
+  var m: id;
+  state S { entry { b = m == 3; } }
+}
+main M();
+`, "cannot compare")
+}
+
+func TestAssignTypeMismatch(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  var x: int;
+  state S { entry { x = true; } }
+}
+main M();
+`, "cannot assign bool")
+}
+
+func TestUndeclaredNames(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  state S { entry { x = 1; } }
+}
+main M();
+`, "undeclared variable x")
+	wantError(t, `
+event E;
+machine M {
+  state S {
+    entry { skip; }
+    on Nope goto S;
+  }
+}
+main M();
+`, "undeclared event Nope")
+	wantError(t, `
+event E;
+machine M {
+  state S {
+    entry { skip; }
+    on E goto Nowhere;
+  }
+}
+main M();
+`, "not a state")
+}
+
+// ------------------------------------------------------ exit restrictions
+
+func TestExitRestrictions(t *testing.T) {
+	for _, bad := range []string{"raise E;", "return;", "leave;", "call S;"} {
+		src := `
+event E;
+machine M {
+  state S {
+    entry { skip; }
+    exit { ` + bad + ` }
+    on E goto S;
+  }
+}
+main M();
+`
+		diags := checkSrc(t, src)
+		if !diags.HasErrors() {
+			t.Errorf("exit with %q accepted", bad)
+		}
+	}
+}
+
+// ------------------------------------------------------ foreign functions
+
+func TestForeignArity(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  foreign f(int): void;
+  state S { entry { f(1, 2); } }
+}
+main M();
+`, "expects 1 arguments")
+}
+
+func TestForeignModelErasable(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  var x: int;
+  foreign f(): void { x = 1; }
+  state S { entry { skip; } }
+}
+main M();
+`, "may not assign real variable")
+	wantClean(t, `
+event E;
+machine M {
+  ghost var gx: int;
+  foreign f(): void { gx = gx + 1; if * { gx = 0; } }
+  state S { entry { skip; } }
+}
+main M();
+`)
+	wantError(t, `
+event E;
+machine M {
+  ghost var g: id;
+  foreign f(): void { send g, E; }
+  state S { entry { skip; } }
+}
+main M();
+`, "send is not allowed in a foreign model")
+}
+
+// ------------------------------------------------------------- main checks
+
+func TestMainMustBeConstInit(t *testing.T) {
+	wantError(t, `
+event E;
+machine M {
+  var x: int;
+  state S { entry { skip; } }
+}
+main M(x = 1 + 2);
+`, "must be a constant")
+	wantClean(t, `
+event E;
+machine M {
+  var x: int;
+  var b: bool;
+  var e: event;
+  state S { entry { skip; } }
+}
+main M(x = -3, b = false, e = E);
+`)
+}
+
+func TestMainUnknownMachine(t *testing.T) {
+	wantError(t, `
+event E;
+machine M { state S { entry { skip; } } }
+main Z();
+`, "not declared")
+}
+
+func TestMainUnknownVar(t *testing.T) {
+	wantError(t, `
+event E;
+machine M { state S { entry { skip; } } }
+main M(zz = 1);
+`, "no variable zz")
+}
+
+// --------------------------------------------------------------- warnings
+
+func TestDeferPlusTransitionWarns(t *testing.T) {
+	diags := checkSrc(t, `
+event E;
+machine M {
+  state S {
+    defer E;
+    entry { skip; }
+    on E goto S;
+  }
+}
+main M();
+`)
+	if diags.HasErrors() {
+		t.Fatalf("should be a warning, not an error:\n%s", diags.String())
+	}
+	if !strings.Contains(diags.String(), "the transition wins") {
+		t.Fatalf("expected defer-overridden warning:\n%s", diags.String())
+	}
+}
+
+func TestMachineWithoutStates(t *testing.T) {
+	wantError(t, `
+event E;
+machine M { }
+main M();
+`, "has no states")
+}
