@@ -371,7 +371,11 @@ func BenchmarkRuntimeCreateMachine(b *testing.B) {
 }
 
 // BenchmarkFingerprint measures global-state fingerprinting, the inner loop
-// of the explorer.
+// of the explorer. Fingerprints are cached per Global, so the cached
+// variants show the steady-state cost of a second lookup on the same state
+// (graph interning after dedup), while the fresh variants invalidate the
+// cache before each computation via a ⊕-dropped duplicate send — a
+// mutation entry point that leaves the configuration unchanged.
 func BenchmarkFingerprint(b *testing.B) {
 	prog := compileBench(b, "elevator", psamples.Elevator)
 	g := core.NewGlobal(prog, nil)
@@ -387,9 +391,64 @@ func BenchmarkFingerprint(b *testing.B) {
 			}
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = g.Fingerprint()
+	id := g.LiveIDs()[0]
+	if _, err := g.Send(id, 0, core.Null); err != nil { // prime the duplicate
+		b.Fatal(err)
+	}
+	invalidate := func() {
+		if _, err := g.Send(id, 0, core.Null); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("exact-fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			invalidate()
+			_ = g.Fingerprint()
+		}
+	})
+	b.Run("exact-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.Fingerprint()
+		}
+	})
+	b.Run("hash-fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			invalidate()
+			_ = g.Hash()
+		}
+	})
+	b.Run("hash-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = g.Hash()
+		}
+	})
+}
+
+// BenchmarkFingerprintScheme compares the two explorer key schemes end to
+// end: hashed 128-bit fingerprints (default) against exact canonical
+// strings (-exact-fp), on the same delay-bounded search.
+func BenchmarkFingerprintScheme(b *testing.B) {
+	prog := compileBench(b, "elevator", psamples.Elevator)
+	for _, exact := range []bool{false, true} {
+		exact := exact
+		name := "hashed"
+		if exact {
+			name = "exact"
+		}
+		b.Run(name, func(b *testing.B) {
+			var states int
+			for i := 0; i < b.N; i++ {
+				res, err := check.Explore(prog, check.Options{
+					Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000,
+					ExactFingerprints: exact,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = res.Stats.DistinctStates
+			}
+			b.ReportMetric(float64(states), "states")
+		})
 	}
 }
 

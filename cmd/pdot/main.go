@@ -25,6 +25,7 @@ func main() {
 		graph    = flag.Bool("graph", false, "render the explored state graph instead of a machine diagram")
 		bound    = flag.Int("bound", 1, "delay bound for -graph exploration")
 		maxNodes = flag.Int("max-nodes", 500, "truncate -graph output beyond this many nodes (0 = no limit)")
+		exactFP  = flag.Bool("exact-fp", false, "key the -graph exploration by exact canonical state encodings instead of 128-bit hashes")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pdot [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -50,6 +51,7 @@ func main() {
 	if *graph {
 		res, err := check.Explore(prog, check.Options{
 			Mode: check.DelayBounded, Bound: *bound, CollectGraph: true, MaxStates: 100_000,
+			ExactFingerprints: *exactFP,
 		})
 		if err != nil {
 			cmdutil.Fatalf("pdot: %v", err)

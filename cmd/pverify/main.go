@@ -34,6 +34,7 @@ func main() {
 		ghostLive = flag.Bool("liveness-ghost", false, "apply liveness property 1 to ghost machines too")
 		traces    = flag.Bool("trace", false, "print the reproducing schedule of each violation")
 		workers   = flag.Int("workers", 1, "parallel search workers (delay mode; -1 = all cores)")
+		exactFP   = flag.Bool("exact-fp", false, "key visited sets by exact canonical state encodings instead of 128-bit hashes (collision-free auditing mode; slower, more memory)")
 		sweep     = flag.Int("sweep", -1, "sweep bounds 0..N and print the states-vs-bound series (Figure 7)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 		coverage  = flag.Bool("coverage", false, "report per-machine control states the exploration never visited (implies graph collection)")
@@ -61,10 +62,11 @@ func main() {
 	}
 
 	opts := check.Options{
-		Bound:            *bound,
-		MaxStates:        *maxStates,
-		StopAtFirstError: *firstOnly,
-		CollectGraph:     *liveness || *coverage,
+		Bound:             *bound,
+		MaxStates:         *maxStates,
+		StopAtFirstError:  *firstOnly,
+		CollectGraph:      *liveness || *coverage,
+		ExactFingerprints: *exactFP,
 	}
 	opts.Workers = *workers
 	switch *mode {

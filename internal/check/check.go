@@ -75,6 +75,32 @@ type Options struct {
 	// (0 or 1 = serial; negative = GOMAXPROCS). Only DelayBounded mode
 	// parallelizes; other modes ignore Workers.
 	Workers int
+	// ExactFingerprints keys the visited and distinct-state sets by the
+	// full canonical state encoding instead of its 128-bit hash. Slower and
+	// much heavier on memory, but immune to hash collisions — an auditing
+	// escape hatch (pverify -exact-fp). Both modes report identical
+	// DistinctStates absent a collision.
+	ExactFingerprints bool
+}
+
+// StateKey identifies a distinct global configuration in the explorers'
+// visited and distinct-state maps: the 128-bit hashed fingerprint by
+// default, or the exact canonical serialization when
+// Options.ExactFingerprints is set (hash left zero). A run uses one scheme
+// throughout, so keys from the two schemes never mix in one map.
+type StateKey struct {
+	hash  core.Fp
+	exact string
+}
+
+// keyOf fingerprints g under the configured scheme. Both Global.Hash and
+// Global.Fingerprint cache per Global, so calling keyOf twice on the same
+// unmutated Global (dedup + graph interning) computes the encoding once.
+func (e *explorer) keyOf(g *core.Global) StateKey {
+	if e.opts.ExactFingerprints {
+		return StateKey{exact: g.Fingerprint()}
+	}
+	return StateKey{hash: g.Hash()}
 }
 
 // TraceStep is one scheduling decision, sufficient to replay a violation.
@@ -175,15 +201,32 @@ type explorer struct {
 	graph  *Graph
 
 	// states holds the distinct global fingerprints discovered.
-	states map[string]struct{}
+	states map[StateKey]struct{}
 	// stop is set when the search should end (first error, state cap).
 	stop bool
 }
 
+// Stats invariant, shared by the serial and parallel explorers so the
+// numbers mean the same thing in both:
+//
+//  1. DistinctStates counts every successor fingerprint ever produced,
+//     noted immediately after the macro step — before (and regardless of)
+//     the visited-set claim that decides re-expansion.
+//  2. Transitions counts every RunToSchedPoint call, including error
+//     outcomes and `*` choice-string retries; once the search is stopped
+//     (cap or first error) no further transitions are executed.
+//  3. SearchNodes counts nodes taken from the work list for expansion.
+//  4. Quiescent counts expanded nodes with no enabled machine (including
+//     an initial configuration with no live machine at all).
+//
+// The order per successor is: note state -> intern graph node -> claim
+// visited -> push. TestSerialParallelStatsEquivalence asserts the
+// equivalence on real programs.
+
 // noteState registers a global fingerprint, returning true if it is new.
-func (e *explorer) noteState(fp string) bool {
+func (e *explorer) noteState(fp StateKey) bool {
 	if e.states == nil {
-		e.states = map[string]struct{}{}
+		e.states = map[StateKey]struct{}{}
 	}
 	if _, ok := e.states[fp]; ok {
 		return false
@@ -215,7 +258,7 @@ type successor struct {
 	global  *core.Global
 	outcome core.Outcome
 	choices []bool
-	fp      string
+	fp      StateKey
 }
 
 // maxChoiceStrings caps the `*` choice strings enumerated per macro step.
@@ -233,6 +276,12 @@ func (e *explorer) expand(g *core.Global, id core.MachineID, trace []TraceStep, 
 	for tries := 0; ; tries++ {
 		if tries >= maxChoiceStrings {
 			e.result.Stats.Truncated = true
+			return succs
+		}
+		// Stop executing transitions once the search is over (state cap or
+		// first error), matching the parallel explorer's per-successor stop
+		// check so Stats.Transitions means the same thing in both.
+		if e.stop {
 			return succs
 		}
 		clone := g.Clone()
@@ -261,7 +310,7 @@ func (e *explorer) expand(g *core.Global, id core.MachineID, trace []TraceStep, 
 				global:  clone,
 				outcome: out,
 				choices: bits,
-				fp:      clone.Fingerprint(),
+				fp:      e.keyOf(clone),
 			})
 		}
 		if !cs.NextString() {

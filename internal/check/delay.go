@@ -67,6 +67,14 @@ func (s schedStack) key() string {
 	return b.String()
 }
 
+// visitedKey is the delay-bounded visited-map key: a scheduler-stack-
+// qualified state. A struct key avoids allocating a composite string per
+// node expansion (the old fp+"|"+stack concatenation).
+type visitedKey struct {
+	state StateKey
+	stack string
+}
+
 // scheduleOption is one way to pick the next machine: apply cost delays,
 // leaving the stack in stack (top = the machine to run).
 type scheduleOption struct {
@@ -110,7 +118,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 		trace  []TraceStep
 	}
 
-	fp0 := g0.Fingerprint()
+	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
@@ -119,9 +127,15 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 	// visited maps (global fingerprint, stack) to the smallest delay count
 	// it was expanded with; a revisit with at least as many delays used can
 	// only explore a subset of schedules.
-	visited := map[string]int{}
-	initStack := schedStack{g0.LiveIDs()[0]}
-	visited[fp0+"|"+initStack.key()] = 0
+	visited := map[visitedKey]int{}
+	// A program whose initial configuration has no live machine (possible
+	// for degenerate inputs) starts with an empty scheduler stack; the node
+	// loop below then reports it quiescent instead of panicking.
+	var initStack schedStack
+	if live := g0.LiveIDs(); len(live) > 0 {
+		initStack = schedStack{live[0]}
+	}
+	visited[visitedKey{fp0, initStack.key()}] = 0
 
 	stack := []node{{g: g0, stack: initStack}}
 	for len(stack) > 0 && !e.stop {
@@ -151,7 +165,9 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 
 		var fromNode NodeID
 		if e.graph != nil {
-			fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+			// keyOf hits n.g's fingerprint cache (computed when n.g was a
+			// successor), so graph interning costs one map lookup.
+			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
 		}
 
 		for _, opt := range scheduleOptions(n.g, sched, budget-n.delays) {
@@ -167,7 +183,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 				}
 				next := updateStack(opt.stack, id, s.outcome)
 				delays := n.delays + opt.cost
-				key := s.fp + "|" + next.key()
+				key := visitedKey{s.fp, next.key()}
 				if prev, ok := visited[key]; ok && prev <= delays {
 					continue
 				}

@@ -16,8 +16,8 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 		trace []TraceStep
 	}
 
-	visited := map[string]int{} // fingerprint -> smallest depth expanded
-	fp0 := g0.Fingerprint()
+	visited := map[StateKey]int{} // fingerprint -> smallest depth expanded
+	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
 	visited[fp0] = 0
 	var init NodeID
@@ -39,7 +39,7 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 		}
 		var fromNode NodeID
 		if e.graph != nil {
-			fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
 		}
 		anyEnabled := false
 		for _, id := range n.g.LiveIDs() {

@@ -1,0 +1,102 @@
+package check
+
+import (
+	"testing"
+
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+// White-box tests for explorer edge cases and the serial/parallel stats
+// contract (see the invariant comment in check.go).
+
+func compileWB(t *testing.T, name string) *ir.Program {
+	t.Helper()
+	s, ok := psamples.ByName(name)
+	if !ok {
+		t.Fatalf("no sample %s", name)
+	}
+	prog, diags, err := compile.Source(name, s.Source)
+	if err != nil {
+		t.Fatalf("compile %s: %v\n%s", name, err, diags.String())
+	}
+	return prog
+}
+
+// A global configuration with no live machine must be reported as a single
+// quiescent state by every explorer, not panic on an empty LiveIDs slice
+// (regression: delayBounded and parallelDelayBounded indexed LiveIDs()[0]
+// unguarded).
+func TestNoLiveMachineQuiescent(t *testing.T) {
+	prog := compileWB(t, "pingpong")
+	run := func(t *testing.T, explore func(e *explorer, g *core.Global)) {
+		e := &explorer{prog: prog, opts: Options{Bound: 2}}
+		g := core.NewGlobal(prog, nil) // no CreateMain: zero machines
+		explore(e, g)
+		st := e.result.Stats
+		if st.DistinctStates != 1 {
+			t.Errorf("DistinctStates = %d, want 1 (the empty configuration)", st.DistinctStates)
+		}
+		if st.Quiescent != 1 {
+			t.Errorf("Quiescent = %d, want 1", st.Quiescent)
+		}
+		if st.Transitions != 0 {
+			t.Errorf("Transitions = %d, want 0", st.Transitions)
+		}
+	}
+	t.Run("delay", func(t *testing.T) {
+		run(t, func(e *explorer, g *core.Global) { e.delayBounded(g) })
+	})
+	t.Run("parallel", func(t *testing.T) {
+		run(t, func(e *explorer, g *core.Global) { e.parallelDelayBounded(g, 4) })
+	})
+	t.Run("rr", func(t *testing.T) {
+		run(t, func(e *explorer, g *core.Global) { e.roundRobinDelay(g) })
+	})
+	t.Run("depth", func(t *testing.T) {
+		run(t, func(e *explorer, g *core.Global) { e.depthBounded(g) })
+	})
+}
+
+// With one worker the parallel explorer performs the serial traversal in
+// the serial order, so every statistic — not just DistinctStates — must
+// match exactly. This pins the noteState/graph/claim/push ordering the two
+// implementations share (the invariant documented in check.go).
+func TestSerialParallelStatsEquivalence(t *testing.T) {
+	for _, name := range []string{"pingpong", "elevator", "switchled", "elevator-buggy"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog := compileWB(t, name)
+			explore := func(workers int) (Stats, int) {
+				e := &explorer{prog: prog, opts: Options{Mode: DelayBounded, Bound: 2, MaxStates: 2_000_000}}
+				g := core.NewGlobal(prog, nil)
+				if _, err := g.CreateMain(); err != nil {
+					t.Fatal(err)
+				}
+				if workers > 1 {
+					e.parallelDelayBounded(g, workers)
+				} else if workers == 1 {
+					// Force the parallel machinery with a single worker.
+					e.parallelDelayBounded(g, 1)
+				} else {
+					e.delayBounded(g)
+				}
+				return e.result.Stats, len(e.result.Violations)
+			}
+			serial, sv := explore(0)
+			parallel, pv := explore(1)
+			if serial.DistinctStates != parallel.DistinctStates ||
+				serial.Transitions != parallel.Transitions ||
+				serial.SearchNodes != parallel.SearchNodes ||
+				serial.Quiescent != parallel.Quiescent ||
+				serial.MaxDepth != parallel.MaxDepth {
+				t.Errorf("stats diverge:\n  serial   %+v\n  parallel %+v", serial, parallel)
+			}
+			if sv != pv {
+				t.Errorf("violations diverge: serial %d, parallel %d", sv, pv)
+			}
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package check_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/psamples"
+)
+
+// Hashed (default) and exact (-exact-fp) fingerprint modes must agree on
+// the number of distinct states: the 128-bit hash is collision-free in
+// practice at these scales, and any divergence here would mean dedup
+// semantics leaked into the key scheme.
+func TestHashedExactSameDistinctStates(t *testing.T) {
+	progs := map[string]string{
+		"elevator":  psamples.Elevator,
+		"switchled": psamples.SwitchLED,
+		"german":    psamples.German(2),
+	}
+	for name, src := range progs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			prog, diags, err := compile.Source(name, src)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, diags.String())
+			}
+			for d := 0; d <= 3; d++ {
+				for _, mode := range []check.Mode{check.DelayBounded, check.DepthBounded} {
+					bound := d
+					if mode == check.DepthBounded {
+						bound = d + 6 // depth bounds this small explore trivial prefixes
+					}
+					run := func(exact bool) *check.Result {
+						res, err := check.Explore(prog, check.Options{
+							Mode: mode, Bound: bound, MaxStates: 2_000_000,
+							ExactFingerprints: exact,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					}
+					hashed, exact := run(false), run(true)
+					if hashed.Stats.DistinctStates != exact.Stats.DistinctStates {
+						t.Errorf("%v bound %d: hashed %d states, exact %d states",
+							mode, bound, hashed.Stats.DistinctStates, exact.Stats.DistinctStates)
+					}
+					if hashed.Errored() != exact.Errored() {
+						t.Errorf("%v bound %d: verdicts differ", mode, bound)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The cross-scheduler equivalence of DESIGN.md: serial delay-bounded and
+// parallel (1, 2, and 8 workers) discover identical distinct-state sets on
+// Elevator and German for every delay budget 0..4. Run with -race in CI.
+func TestCrossSchedulerEquivalence(t *testing.T) {
+	maxBound := 4
+	if testing.Short() {
+		maxBound = 2
+	}
+	progs := map[string]string{
+		"elevator": psamples.Elevator,
+		"german":   psamples.German(2),
+	}
+	for name, src := range progs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			prog, diags, err := compile.Source(name, src)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, diags.String())
+			}
+			for d := 0; d <= maxBound; d++ {
+				serial, err := check.Explore(prog, check.Options{
+					Mode: check.DelayBounded, Bound: d, MaxStates: 2_000_000,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{1, 2, 8} {
+					t.Run(fmt.Sprintf("d=%d/workers=%d", d, workers), func(t *testing.T) {
+						par, err := check.Explore(prog, check.Options{
+							Mode: check.DelayBounded, Bound: d, MaxStates: 2_000_000, Workers: workers,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if par.Stats.DistinctStates != serial.Stats.DistinctStates {
+							t.Errorf("states differ at d=%d: serial %d, workers=%d %d",
+								d, serial.Stats.DistinctStates, workers, par.Stats.DistinctStates)
+						}
+						if par.Errored() != serial.Errored() {
+							t.Errorf("verdicts differ at d=%d workers=%d", d, workers)
+						}
+					})
+				}
+			}
+		})
+	}
+}

@@ -39,7 +39,7 @@ type Edge struct {
 // Graph is the explored state graph, used by the liveness checker
 // (internal/live).
 type Graph struct {
-	ids   map[string]NodeID
+	ids   map[StateKey]NodeID
 	Nodes []NodeInfo
 	Edges [][]Edge
 	Init  NodeID
@@ -47,15 +47,17 @@ type Graph struct {
 
 // NewGraph returns an empty graph.
 func NewGraph() *Graph {
-	return &Graph{ids: map[string]NodeID{}}
+	return &Graph{ids: map[StateKey]NodeID{}}
 }
 
 // Len returns the number of nodes.
 func (gr *Graph) Len() int { return len(gr.Nodes) }
 
 // Node interns the global configuration with fingerprint fp, snapshotting g
-// on first sight, and returns its id.
-func (gr *Graph) Node(fp string, g *core.Global) NodeID {
+// on first sight, and returns its id. Keys follow the exploring run's
+// fingerprint scheme (hashed by default, exact canonical strings under
+// Options.ExactFingerprints).
+func (gr *Graph) Node(fp StateKey, g *core.Global) NodeID {
 	if id, ok := gr.ids[fp]; ok {
 		return id
 	}

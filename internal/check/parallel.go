@@ -24,15 +24,20 @@ const pshards = 64
 
 var pseed = maphash.MakeSeed()
 
-func shardOf(key string) int {
-	return int(maphash.String(pseed, key) % pshards)
+// shard maps a state key to its dictionary shard. Hashed keys are already
+// uniformly distributed; exact keys are hashed here.
+func (k StateKey) shard() int {
+	if k.exact != "" {
+		return int(maphash.String(pseed, k.exact) % pshards)
+	}
+	return int(k.hash.Lo % pshards)
 }
 
 // shardedStates is the distinct-fingerprint set.
 type shardedStates struct {
 	shards [pshards]struct {
 		mu sync.Mutex
-		m  map[string]struct{}
+		m  map[StateKey]struct{}
 	}
 	count atomic.Int64
 }
@@ -40,46 +45,49 @@ type shardedStates struct {
 func newShardedStates() *shardedStates {
 	s := &shardedStates{}
 	for i := range s.shards {
-		s.shards[i].m = map[string]struct{}{}
+		s.shards[i].m = map[StateKey]struct{}{}
 	}
 	return s
 }
 
-// add inserts fp, reporting whether it was new.
-func (s *shardedStates) add(fp string) bool {
-	sh := &s.shards[shardOf(fp)]
+// add inserts fp, reporting whether it was new and — when new — the
+// running distinct-state count just after the insertion. Counts handed to
+// concurrent adders are unique, so each new state observes a distinct
+// value and the MaxStates cap triggers on exactly one insertion.
+func (s *shardedStates) add(fp StateKey) (isNew bool, count int) {
+	sh := &s.shards[fp.shard()]
 	sh.mu.Lock()
 	_, ok := sh.m[fp]
 	if !ok {
 		sh.m[fp] = struct{}{}
 	}
 	sh.mu.Unlock()
-	if !ok {
-		s.count.Add(1)
+	if ok {
+		return false, 0
 	}
-	return !ok
+	return true, int(s.count.Add(1))
 }
 
-// shardedVisited is the (fingerprint|stack) -> min-delays map.
+// shardedVisited is the (fingerprint, stack) -> min-delays map.
 type shardedVisited struct {
 	shards [pshards]struct {
 		mu sync.Mutex
-		m  map[string]int
+		m  map[visitedKey]int
 	}
 }
 
 func newShardedVisited() *shardedVisited {
 	v := &shardedVisited{}
 	for i := range v.shards {
-		v.shards[i].m = map[string]int{}
+		v.shards[i].m = map[visitedKey]int{}
 	}
 	return v
 }
 
 // claim records delays for key unless an entry with <= delays exists; it
 // reports whether the caller should expand the node.
-func (v *shardedVisited) claim(key string, delays int) bool {
-	sh := &v.shards[shardOf(key)]
+func (v *shardedVisited) claim(key visitedKey, delays int) bool {
+	sh := &v.shards[key.state.shard()]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if prev, ok := sh.m[key]; ok && prev <= delays {
@@ -111,7 +119,12 @@ type pexplorer struct {
 	truncated   atomic.Bool
 	stopped     atomic.Bool
 
-	vmu sync.Mutex // guards violations + graph
+	vmu sync.Mutex // guards violations + graph + lastProgress
+
+	// lastProgress is the highest count delivered to opts.Progress, so the
+	// callback observes a strictly increasing sequence even when workers
+	// race to report.
+	lastProgress int
 
 	qmu         sync.Mutex
 	qcond       *sync.Cond
@@ -132,13 +145,18 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 	}
 	p.qcond = sync.NewCond(&p.qmu)
 
-	fp0 := g0.Fingerprint()
+	fp0 := e.keyOf(g0)
 	p.noteState(fp0)
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
-	initStack := schedStack{g0.LiveIDs()[0]}
-	p.visited.claim(fp0+"|"+initStack.key(), 0)
+	// Same no-live-machine guard as the serial explorer: an empty scheduler
+	// stack makes expandNode report the initial node quiescent.
+	var initStack schedStack
+	if live := g0.LiveIDs(); len(live) > 0 {
+		initStack = schedStack{live[0]}
+	}
+	p.visited.claim(visitedKey{fp0, initStack.key()}, 0)
 
 	p.work = append(p.work, pnode{g: g0, stack: initStack})
 	p.outstanding = 1
@@ -167,15 +185,23 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 }
 
 // noteState registers a fingerprint, handling the MaxStates cap and the
-// progress callback.
-func (p *pexplorer) noteState(fp string) {
-	if !p.states.add(fp) {
+// progress callback. The count returned by the combined add-and-count is
+// this insertion's own position in the discovery order, so the cap check is
+// monotone — the worker that inserts the MaxStates-th state (and only that
+// worker) trips the cap, rather than every worker re-reading a count other
+// workers are still advancing. Progress likewise only ever sees a higher
+// count than the previous call.
+func (p *pexplorer) noteState(fp StateKey) {
+	isNew, n := p.states.add(fp)
+	if !isNew {
 		return
 	}
-	n := int(p.states.count.Load())
 	if p.e.opts.Progress != nil {
 		p.vmu.Lock()
-		p.e.opts.Progress(n)
+		if n > p.lastProgress {
+			p.lastProgress = n
+			p.e.opts.Progress(n)
+		}
 		p.vmu.Unlock()
 	}
 	if p.e.opts.MaxStates > 0 && n >= p.e.opts.MaxStates {
@@ -279,8 +305,11 @@ func (p *pexplorer) expandNode(n pnode) {
 
 	var fromNode NodeID
 	if e.graph != nil {
+		// keyOf is computed outside vmu (it touches only n.g, owned by this
+		// worker); the graph itself is interned under the lock.
+		key := e.keyOf(n.g)
 		p.vmu.Lock()
-		fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+		fromNode = e.graph.Node(key, n.g)
 		p.vmu.Unlock()
 	}
 
@@ -312,7 +341,7 @@ func (p *pexplorer) expandNode(n pnode) {
 					step.Event = out.SentEvent
 					step.HasEv = true
 				}
-				fp := clone.Fingerprint()
+				fp := e.keyOf(clone)
 				p.noteState(fp)
 				if e.graph != nil {
 					p.vmu.Lock()
@@ -322,7 +351,7 @@ func (p *pexplorer) expandNode(n pnode) {
 				}
 				next := updateStack(opt.stack, id, out)
 				delays := n.delays + opt.cost
-				if p.visited.claim(fp+"|"+next.key(), delays) && !p.stopped.Load() {
+				if p.visited.claim(visitedKey{fp, next.key()}, delays) && !p.stopped.Load() {
 					trace := make([]TraceStep, len(n.trace)+1)
 					copy(trace, n.trace)
 					trace[len(n.trace)] = step

@@ -102,6 +102,36 @@ func TestParallelRespectsMaxStates(t *testing.T) {
 	}
 }
 
+// Progress must observe a strictly increasing distinct-state count even
+// with many workers racing to report, and the MaxStates cap must trip on
+// the exact insertion that reaches it (monotone add-and-count). Run under
+// -race in CI.
+func TestParallelProgressMonotone(t *testing.T) {
+	prog := compileSample(t, "switchled")
+	var got []int
+	res, err := check.Explore(prog, check.Options{
+		Mode: check.DelayBounded, Bound: 3, Workers: 8, MaxStates: 1500,
+		Progress: func(n int) { got = append(got, n) }, // serialized by the explorer
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("progress not monotone at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if !res.Stats.Truncated {
+		t.Fatal("cap not honored")
+	}
+	if res.Stats.DistinctStates < 1500 {
+		t.Fatalf("stopped before the cap: %d states", res.Stats.DistinctStates)
+	}
+}
+
 func TestSimulateQuiescesOrErrors(t *testing.T) {
 	good := compileSample(t, "pingpong")
 	res, err := check.Simulate(good, check.SimOptions{Seed: 1})

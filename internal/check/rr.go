@@ -1,10 +1,14 @@
 package check
 
 import (
-	"fmt"
-
 	"pgo/internal/core"
 )
+
+// rrKey is the round-robin visited-map key: a cursor-qualified state.
+type rrKey struct {
+	state  StateKey
+	cursor int
+}
 
 // roundRobinDelay is the scheduler ablation: the deterministic base
 // scheduler cycles over machines in creation order (round-robin), and a
@@ -22,13 +26,13 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 		trace  []TraceStep
 	}
 
-	fp0 := g0.Fingerprint()
+	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
-	visited := map[string]int{}
-	visited[fp0+"|0"] = 0
+	visited := map[rrKey]int{}
+	visited[rrKey{fp0, 0}] = 0
 
 	stack := []node{{g: g0}}
 	for len(stack) > 0 && !e.stop {
@@ -80,7 +84,7 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 
 		var fromNode NodeID
 		if e.graph != nil {
-			fromNode = e.graph.Node(n.g.Fingerprint(), n.g)
+			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
 		}
 
 		for _, opt := range opts {
@@ -101,7 +105,7 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 				if s.outcome.Kind == core.OutSend || s.outcome.Kind == core.OutNew || s.outcome.Kind == core.OutYield {
 					cursor = indexOf(s.global.IDs(), opt.id)
 				}
-				key := fmt.Sprintf("%s|%d", s.fp, cursor)
+				key := rrKey{s.fp, cursor}
 				if prev, ok := visited[key]; ok && prev <= delays {
 					continue
 				}

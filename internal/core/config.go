@@ -160,6 +160,14 @@ type Global struct {
 	gid      uint64
 	NextID   MachineID
 
+	// Cached fingerprints (see fingerprint.go): fp is valid iff fpOK, fpStr
+	// is valid iff non-empty. Computed lazily, dropped on mutation, and
+	// inherited by clones (a clone is semantically identical until one side
+	// mutates, and mutation funnels through own/CreateMachine).
+	fp    Fp
+	fpOK  bool
+	fpStr string
+
 	// Foreign supplies host implementations of foreign functions; may be nil
 	// during verification (models or ⊥ results are used instead).
 	Foreign ForeignEnv
@@ -219,6 +227,9 @@ func (g *Global) Clone() *Global {
 		Foreign:        g.Foreign,
 		DisableDedup:   g.DisableDedup,
 		YieldOnDequeue: g.YieldOnDequeue,
+		fp:             g.fp,
+		fpOK:           g.fpOK,
+		fpStr:          g.fpStr,
 	}
 	return n
 }
@@ -238,7 +249,13 @@ func (g *Global) Lookup(id MachineID) *Config {
 // it is shared with other clones. Returns nil like Lookup for unknown ids.
 func (g *Global) own(id MachineID) *Config {
 	c := g.Lookup(id)
-	if c == nil || c.gid == g.gid {
+	if c == nil {
+		return nil
+	}
+	// The caller is about to mutate: conservatively drop the fingerprint
+	// cache (even a ⊕-dropped send invalidates; correctness over precision).
+	g.invalidateFingerprint()
+	if c.gid == g.gid {
 		return c
 	}
 	cp := c.clone()
@@ -320,6 +337,7 @@ func (g *Global) CreateMachine(t ir.MachineTypeID, vals []InitVal) (MachineID, *
 	}
 	c := NewConfig(g.Prog, g.NextID, t, vals)
 	c.gid = g.gid
+	g.invalidateFingerprint()
 	g.NextID++
 	g.machines = append(g.machines, c)
 	return c.ID, nil

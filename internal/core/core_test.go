@@ -405,6 +405,56 @@ func TestFingerprintStability(t *testing.T) {
 	}
 }
 
+// Hash must behave exactly like Fingerprint under cloning and mutation,
+// and its per-Global cache must invalidate on every mutation path: a macro
+// step, a direct send — even a ⊕-dropped duplicate send that leaves the
+// queue unchanged recomputes (conservative invalidation, same value).
+func TestHashCacheInvalidation(t *testing.T) {
+	prog := mustCompile(t, "pingpong", psamples.PingPong)
+	g := core.NewGlobal(prog, nil)
+	m, err := g.CreateMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := g.Hash()
+	if g.Hash() != h1 {
+		t.Fatal("repeated Hash changed without mutation")
+	}
+	clone := g.Clone()
+	if clone.Hash() != h1 {
+		t.Fatal("clone hash differs from original")
+	}
+	// A step must change the hash; the original keeps its cached value.
+	clone.RunToSchedPoint(clone.LiveIDs()[0], &core.FixedChoices{}, 0)
+	if clone.Hash() == h1 {
+		t.Fatal("hash unchanged after a macro step")
+	}
+	if g.Hash() != h1 {
+		t.Fatal("running a clone mutated the original's hash")
+	}
+	// Hash and Fingerprint agree on equality: same canonical encoding.
+	if g.Fingerprint() == clone.Fingerprint() {
+		t.Fatal("fingerprints equal but hashes differ")
+	}
+	// An enqueue invalidates and changes the hash.
+	e := ir.EventID(0)
+	if _, err := g.Send(m.ID, e, core.Null); err != nil {
+		t.Fatal(err)
+	}
+	h2 := g.Hash()
+	if h2 == h1 {
+		t.Fatal("hash unchanged after enqueue")
+	}
+	// A ⊕-dropped duplicate send mutates nothing: the recomputed hash (the
+	// cache is dropped conservatively) must equal the cached one.
+	if added, err := g.Send(m.ID, e, core.Null); err != nil || added {
+		t.Fatalf("duplicate send: added=%v err=%v", added, err)
+	}
+	if g.Hash() != h2 {
+		t.Fatal("no-op mutation changed the hash")
+	}
+}
+
 func TestChoiceEnumeration(t *testing.T) {
 	f := &core.FixedChoices{}
 	// Simulate a run demanding 2 choices.

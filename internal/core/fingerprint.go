@@ -2,7 +2,32 @@ package core
 
 import (
 	"encoding/binary"
+	"hash/maphash"
+	"sync"
 )
+
+// Fp is a compact 128-bit fingerprint of a global configuration: two
+// independent 64-bit hashes of the canonical encoding produced by
+// Fingerprint. It is the explorers' default visited-set key; at 2^128 the
+// collision probability is negligible even for billion-state searches, and
+// the exact string encoding remains available as an auditing escape hatch
+// (check.Options.ExactFingerprints, pverify -exact-fp).
+type Fp struct {
+	Hi, Lo uint64
+}
+
+// The two seeds make the halves of an Fp independent hash functions. They
+// are per-process, so Fp values are not stable across runs — fine for
+// in-memory visited sets, unsuitable for persistence.
+var (
+	fpSeedHi = maphash.MakeSeed()
+	fpSeedLo = maphash.MakeSeed()
+)
+
+// fpBufs recycles canonical-encoding scratch buffers across fingerprint
+// computations; each Global is typically fingerprinted exactly once, so a
+// per-Global buffer would not amortize.
+var fpBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
 // Fingerprint returns a canonical, collision-free encoding of the global
 // configuration as a string suitable for use as a visited-set key. Two
@@ -13,8 +38,48 @@ import (
 // indices along the cons list; inherited handler maps and event sets are
 // encoded verbatim. Host context pointers (Config.Ctx) and the foreign
 // environment are deliberately excluded: they are execution-only state.
+//
+// The result is cached on the Global: repeated calls between mutations are
+// free, and unmutated clones inherit the cache.
 func (g *Global) Fingerprint() string {
-	buf := make([]byte, 0, 256)
+	if g.fpStr != "" {
+		return g.fpStr
+	}
+	bp := fpBufs.Get().(*[]byte)
+	buf := g.appendFingerprint((*bp)[:0])
+	g.fpStr = string(buf)
+	*bp = buf
+	fpBufs.Put(bp)
+	return g.fpStr
+}
+
+// Hash returns the 128-bit hashed fingerprint of the global configuration,
+// built over the same canonical encoding as Fingerprint but without
+// materializing the string. Like Fingerprint, the result is cached until
+// the next mutation and inherited by unmutated clones.
+func (g *Global) Hash() Fp {
+	if g.fpOK {
+		return g.fp
+	}
+	bp := fpBufs.Get().(*[]byte)
+	buf := g.appendFingerprint((*bp)[:0])
+	g.fp = Fp{Hi: maphash.Bytes(fpSeedHi, buf), Lo: maphash.Bytes(fpSeedLo, buf)}
+	g.fpOK = true
+	*bp = buf
+	fpBufs.Put(bp)
+	return g.fp
+}
+
+// invalidateFingerprint drops the cached fingerprints. Called by every
+// mutation entry point (own, CreateMachine); the copy-on-write clone
+// discipline funnels all configuration mutations through those.
+func (g *Global) invalidateFingerprint() {
+	g.fpOK = false
+	g.fpStr = ""
+}
+
+// appendFingerprint appends the canonical encoding of g to buf.
+func (g *Global) appendFingerprint(buf []byte) []byte {
 	buf = appendUvarint(buf, uint64(g.NextID))
 	buf = appendUvarint(buf, uint64(len(g.machines)))
 	for _, c := range g.machines {
@@ -24,7 +89,7 @@ func (g *Global) Fingerprint() string {
 		}
 		buf = c.appendFingerprint(buf)
 	}
-	return string(buf)
+	return buf
 }
 
 func (c *Config) appendFingerprint(buf []byte) []byte {
