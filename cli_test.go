@@ -185,6 +185,86 @@ func TestCLISweep(t *testing.T) {
 	}
 }
 
+func TestCLILint(t *testing.T) {
+	out, err := run(t, "./cmd/plint", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("plint should exit zero without error findings: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "P301") {
+		t.Errorf("output missing the communication-cycle info:\n%s", out)
+	}
+
+	out, err = run(t, "./cmd/plint", "-json", "sample:elevator-buggy")
+	if err != nil {
+		t.Fatalf("warnings alone should not fail plint: %v\n%s", err, out)
+	}
+	for _, want := range []string{`"code": "P102"`, `"machine": "Elevator"`, `"event": "CloseDoor"`, `"ok": true`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = run(t, "./cmd/plint", "-Werror", "sample:elevator-buggy")
+	if err == nil {
+		t.Fatalf("-Werror should fail on warnings:\n%s", out)
+	}
+
+	out, err = run(t, "./cmd/plint", filepath.Join("internal", "analysis", "testdata", "unreachable_handler.p"))
+	if err == nil {
+		t.Fatalf("plint should exit nonzero on an error finding:\n%s", out)
+	}
+	if !strings.Contains(out, "error[P101]") {
+		t.Errorf("output missing the P101 error:\n%s", out)
+	}
+}
+
+func TestCLIDotComm(t *testing.T) {
+	out, err := run(t, "./cmd/pdot", "-comm", "sample:pingpong")
+	if err != nil {
+		t.Fatalf("pdot -comm failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"digraph comm", "Pinger", "Ponger", "Ping, Done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comm graph missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLICheckWerror(t *testing.T) {
+	out, err := run(t, "./cmd/pc", "-check", "sample:elevator-buggy")
+	if err != nil {
+		t.Fatalf("warnings alone should not fail -check: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "warning[P102]") {
+		t.Errorf("-check did not surface the analysis warning:\n%s", out)
+	}
+	out, err = run(t, "./cmd/pc", "-check", "-Werror", "sample:elevator-buggy")
+	if err == nil {
+		t.Fatalf("-Werror should fail on analysis warnings:\n%s", out)
+	}
+	out, err = run(t, "./cmd/pc", "-check", "-Werror", "-no-analyze", "sample:elevator-buggy")
+	if err != nil {
+		t.Fatalf("-no-analyze should skip the analysis findings: %v\n%s", err, out)
+	}
+}
+
+func TestCLIVerifyRunsAnalysis(t *testing.T) {
+	out, err := run(t, "./cmd/pverify", "-bound", "1", "sample:elevator-buggy")
+	if err == nil {
+		t.Fatalf("pverify should exit nonzero:\n%s", out)
+	}
+	if !strings.Contains(out, "analysis: 51:9: warning[P102]") {
+		t.Errorf("missing the analysis prelude:\n%s", out)
+	}
+	out, err = run(t, "./cmd/pverify", "-bound", "1", "-no-analyze", "sample:elevator-buggy")
+	if err == nil {
+		t.Fatalf("pverify should exit nonzero:\n%s", out)
+	}
+	if strings.Contains(out, "analysis:") {
+		t.Errorf("-no-analyze still printed analysis findings:\n%s", out)
+	}
+}
+
 func TestCLIJSONReport(t *testing.T) {
 	out, err := run(t, "./cmd/pverify", "-json", "-bound", "1", "sample:elevator-buggy")
 	if err == nil {

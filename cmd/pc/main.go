@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"pgo/internal/analysis"
 	"pgo/internal/cmdutil"
 	"pgo/internal/codegen"
 	"pgo/internal/compile"
@@ -27,12 +28,14 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("o", "", "output file (default stdout)")
-		pkg      = flag.String("pkg", "main", "generated package name")
-		emitMain = flag.Bool("main", true, "emit a func main (requires -pkg main)")
-		mainM    = flag.String("machine", "", "machine main() instantiates (default: the program's main machine)")
-		checkTo  = flag.Bool("check", false, "type-check only; emit nothing")
-		dumpIR   = flag.Bool("ir", false, "print the lowered tables (before erasure) instead of Go code")
+		out       = flag.String("o", "", "output file (default stdout)")
+		pkg       = flag.String("pkg", "main", "generated package name")
+		emitMain  = flag.Bool("main", true, "emit a func main (requires -pkg main)")
+		mainM     = flag.String("machine", "", "machine main() instantiates (default: the program's main machine)")
+		checkTo   = flag.Bool("check", false, "type-check and analyze only; emit nothing")
+		dumpIR    = flag.Bool("ir", false, "print the lowered tables (before erasure) instead of Go code")
+		noAnalyze = flag.Bool("no-analyze", false, "with -check, skip the IR-level static analysis")
+		werror    = flag.Bool("Werror", false, "treat lint and analysis warnings as errors")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pc [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -65,6 +68,29 @@ func main() {
 		os.Exit(1)
 	}
 	if *checkTo {
+		errs, warns := 0, 0
+		if !*noAnalyze {
+			rep := analysis.Analyze(prog)
+			for _, f := range rep.Findings {
+				fmt.Fprintf(os.Stderr, "%s\n", f)
+				switch f.Severity {
+				case analysis.SevError:
+					errs++
+				case analysis.SevWarn:
+					warns++
+				}
+			}
+		}
+		if *werror {
+			errs += warns
+			if diags.HasWarnings() {
+				errs++
+			}
+		}
+		if errs > 0 {
+			fmt.Fprintf(os.Stderr, "pc: %s: failing on findings\n", name)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "pc: %s: %d events, %d machines, no errors\n", name, len(prog.Events), len(prog.Machines))
 		return
 	}

@@ -6,6 +6,7 @@
 //
 //	pdot -machine Elevator sample:elevator          # state diagram
 //	pdot -graph -bound 1 sample:pingpong            # explored state space
+//	pdot -comm sample:german                        # machine communication graph
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 	var (
 		machine  = flag.String("machine", "", "machine to render (default: the program's main machine)")
 		graph    = flag.Bool("graph", false, "render the explored state graph instead of a machine diagram")
+		comm     = flag.Bool("comm", false, "render the machine communication graph instead of a machine diagram")
 		bound    = flag.Int("bound", 1, "delay bound for -graph exploration")
 		maxNodes = flag.Int("max-nodes", 500, "truncate -graph output beyond this many nodes (0 = no limit)")
 		exactFP  = flag.Bool("exact-fp", false, "key the -graph exploration by exact canonical state encodings instead of 128-bit hashes")
@@ -46,6 +48,13 @@ func main() {
 	}
 	if err != nil {
 		os.Exit(1)
+	}
+
+	if *comm {
+		if err := dot.Comm(os.Stdout, prog); err != nil {
+			cmdutil.Fatalf("pdot: %v", err)
+		}
+		return
 	}
 
 	if *graph {

@@ -1,0 +1,90 @@
+// plint is the P static analyzer: it parses, type-checks, and lowers a P
+// program, then runs the IR-level flow analyses — unhandled-event
+// prediction, the machine communication graph with cycle and send-pump
+// detection, and dead-transition detection — together with the frontend
+// hygiene lint, reporting every finding with a stable diagnostic code.
+//
+// Usage:
+//
+//	plint [flags] <file.p | sample:NAME | -> ...
+//
+// With several inputs, findings are prefixed by the program name and -json
+// emits one report document per input. The exit status is 0 when no input has
+// error-severity findings (warnings too, under -Werror), 1 when some input
+// does, and 2 when an input cannot be loaded or compiled.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pgo/internal/analysis"
+	"pgo/internal/cmdutil"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON report per input")
+		werror  = flag.Bool("Werror", false, "count warnings as errors for the exit status")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: plint [flags] <file.p | sample:NAME | -> ...\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	status := 0
+	worsen := func(s int) {
+		if s > status {
+			status = s
+		}
+	}
+	for _, arg := range flag.Args() {
+		name, src, err := cmdutil.LoadSource(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plint: %v\n", err)
+			worsen(2)
+			continue
+		}
+		findings, _, err := analysis.Run(name, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "plint: %v\n", err)
+			worsen(2)
+			continue
+		}
+		if *jsonOut {
+			if err := analysis.WriteJSON(os.Stdout, name, findings); err != nil {
+				cmdutil.Fatalf("plint: %v", err)
+			}
+		} else {
+			for _, f := range findings {
+				if f.Span.IsValid() {
+					fmt.Printf("%s:%s\n", name, f)
+				} else {
+					fmt.Printf("%s: %s\n", name, f)
+				}
+			}
+		}
+		errs, warns := 0, 0
+		for _, f := range findings {
+			switch f.Severity {
+			case analysis.SevError:
+				errs++
+			case analysis.SevWarn:
+				warns++
+			}
+		}
+		if !*jsonOut && (errs > 0 || warns > 0) {
+			fmt.Printf("%s: %d error(s), %d warning(s)\n", name, errs, warns)
+		}
+		if errs > 0 || (*werror && warns > 0) {
+			worsen(1)
+		}
+	}
+	os.Exit(status)
+}

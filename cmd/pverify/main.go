@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"pgo/internal/analysis"
 	"pgo/internal/check"
 	"pgo/internal/cmdutil"
 	"pgo/internal/compile"
@@ -39,6 +40,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 		coverage  = flag.Bool("coverage", false, "report per-machine control states the exploration never visited (implies graph collection)")
 		allViol   = flag.Int("max-violations", 20, "print at most this many violations")
+		noAnalyze = flag.Bool("no-analyze", false, "skip the IR-level static analysis that runs before exploration")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pverify [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -59,6 +61,24 @@ func main() {
 	}
 	if err != nil {
 		os.Exit(1)
+	}
+
+	// Static analysis runs before exploration: its predictions frame what
+	// the search then confirms or refutes. Error-severity findings fail the
+	// run even if the bounded search happens not to reach the defect.
+	var findings []analysis.Finding
+	analysisBad := false
+	if !*noAnalyze {
+		findings = analysis.Analyze(prog).Findings
+		for _, f := range findings {
+			if f.Severity == analysis.SevInfo {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "analysis: %s\n", f)
+			if f.Severity == analysis.SevError {
+				analysisBad = true
+			}
+		}
 	}
 
 	opts := check.Options{
@@ -106,7 +126,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		emitJSON(name, prog, opts, res, *liveness, *ghostLive)
+		emitJSON(name, prog, opts, res, findings, analysisBad, *liveness, *ghostLive)
 		return
 	}
 
@@ -166,7 +186,7 @@ func main() {
 		}
 	}
 
-	if bad {
+	if bad || analysisBad {
 		os.Exit(1)
 	}
 	fmt.Println("no safety violations")
@@ -174,13 +194,14 @@ func main() {
 
 // jsonReport is the machine-readable result schema of -json.
 type jsonReport struct {
-	Program    string          `json:"program"`
-	Mode       string          `json:"mode"`
-	Bound      int             `json:"bound"`
-	Stats      jsonStats       `json:"stats"`
-	Violations []jsonViolation `json:"violations"`
-	Liveness   []string        `json:"liveness,omitempty"`
-	OK         bool            `json:"ok"`
+	Program    string                 `json:"program"`
+	Mode       string                 `json:"mode"`
+	Bound      int                    `json:"bound"`
+	Analysis   []analysis.JSONFinding `json:"analysis,omitempty"`
+	Stats      jsonStats              `json:"stats"`
+	Violations []jsonViolation        `json:"violations"`
+	Liveness   []string               `json:"liveness,omitempty"`
+	OK         bool                   `json:"ok"`
 }
 
 type jsonStats struct {
@@ -208,11 +229,12 @@ type jsonStep struct {
 	Event   string `json:"event,omitempty"`
 }
 
-func emitJSON(name string, prog *ir.Program, opts check.Options, res *check.Result, liveOn, ghostLive bool) {
+func emitJSON(name string, prog *ir.Program, opts check.Options, res *check.Result, findings []analysis.Finding, analysisBad, liveOn, ghostLive bool) {
 	rep := jsonReport{
-		Program: name,
-		Mode:    opts.Mode.String(),
-		Bound:   opts.Bound,
+		Program:  name,
+		Mode:     opts.Mode.String(),
+		Bound:    opts.Bound,
+		Analysis: analysis.FindingsJSON(findings),
 		Stats: jsonStats{
 			DistinctStates: res.Stats.DistinctStates,
 			Transitions:    res.Stats.Transitions,
@@ -246,7 +268,7 @@ func emitJSON(name string, prog *ir.Program, opts check.Options, res *check.Resu
 			rep.Liveness = append(rep.Liveness, v.String())
 		}
 	}
-	rep.OK = len(rep.Violations) == 0 && len(rep.Liveness) == 0
+	rep.OK = len(rep.Violations) == 0 && len(rep.Liveness) == 0 && !analysisBad
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {

@@ -1,0 +1,159 @@
+// Package analysis implements flow-based static analyses over the lowered
+// IR: an interprocedural event-flow analysis predicting unhandled-event
+// errors, a machine communication graph with queue-boundedness checks, and
+// dead-transition detection. The abstractions follow the event-set style of
+// Ganty & Majumdar's analyses for asynchronous programs: sets of events
+// stand in for queue contents, and machine types stand in for machine
+// identities, so every result is an over-approximation of the dynamic
+// semantics explored by the model checker.
+//
+// Findings carry stable diagnostic codes (P1xx event-flow, P2xx dead code,
+// P3xx communication structure) and one of three severities. Error-severity
+// findings are statically certain: the defect manifests on every run that
+// reaches the flagged code, and the pverify cross-check test holds each one
+// to that standard against a model-checking counterexample.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"pgo/internal/ir"
+	"pgo/internal/source"
+)
+
+// Severity ranks findings. Error findings are statically certain defects;
+// warnings are likely defects that may depend on timing or unreachable
+// configurations; info findings describe structure worth reviewing.
+type Severity int
+
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Diagnostic codes of the analysis passes. Codes are part of the tool
+// interface and are never renumbered; the P0xx block belongs to the
+// frontend (see internal/types).
+const (
+	// CodeCertainUnhandled: an event is definitely sent to a machine type
+	// that handles or defers it in no reachable state.
+	CodeCertainUnhandled = "P101"
+	// CodePossiblyUnhandled: a spontaneous event can arrive while the
+	// machine rests in a state that neither handles nor defers it.
+	CodePossiblyUnhandled = "P102"
+	// CodeUnhandledAmbiguous: like P101, but the send target is only
+	// possibly the flagged machine type.
+	CodeUnhandledAmbiguous = "P103"
+	// CodeDeadTransition: a transition or action binding on an event that
+	// can never be pending in the machine.
+	CodeDeadTransition = "P201"
+	// CodeCommCycle: machines form a send cycle (reviewable structure; the
+	// static signature of feedback that can grow queues).
+	CodeCommCycle = "P301"
+	// CodeSendPump: a machine can cycle through states on raised events
+	// alone — never dequeuing — while sending events with varying payloads
+	// or creating machines, so receiver queues can grow without bound.
+	CodeSendPump = "P302"
+	// CodeDedupBoundedPump: a dequeue-free send cycle whose payloads are
+	// constant, so the runtime's duplicate-dropping enqueue (⊕) keeps the
+	// receiver queues bounded.
+	CodeDedupBoundedPump = "P303"
+	// CodeInfiniteSendLoop: a send or new inside a while(true) loop with no
+	// escaping statement.
+	CodeInfiniteSendLoop = "P304"
+)
+
+// Finding is one diagnostic produced by the analysis (or adopted from the
+// frontend lint pass when merged by Run).
+type Finding struct {
+	Code     string
+	Severity Severity
+	Span     source.Span
+	Machine  string // subject machine type, when one is identified
+	State    string // subject state, when one is identified
+	Event    string // subject event, when one is identified
+	Message  string
+}
+
+func (f Finding) String() string {
+	sev := fmt.Sprintf("%s[%s]", f.Severity, f.Code)
+	if f.Span.IsValid() {
+		return fmt.Sprintf("%s: %s: %s", f.Span.Start, sev, f.Message)
+	}
+	return fmt.Sprintf("%s: %s", sev, f.Message)
+}
+
+// Report is the result of analyzing one program.
+type Report struct {
+	Findings []Finding
+	// Comm is the machine communication graph (also consumed by pdot).
+	Comm *CommGraph
+	// Pending[m][s] over-approximates the events that can be waiting in a
+	// type-m machine's queue when it enters state s. Entries are the zero
+	// set for unreachable machines and states.
+	Pending [][]ir.EventSet
+}
+
+// Count returns the number of findings at exactly severity sev.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any finding is error-severity.
+func (r *Report) HasErrors() bool { return r.Count(SevError) > 0 }
+
+// Analyze runs every analysis pass over p (which must be an unerased
+// program: ghost machines model the environment whose stimuli drive the
+// event-flow abstraction).
+func Analyze(p *ir.Program) *Report {
+	f := newFacts(p)
+	rep := &Report{Comm: f.commGraph(), Pending: f.pend}
+	rep.Findings = append(rep.Findings, f.eventFlowFindings()...)
+	rep.Findings = append(rep.Findings, f.deadTransitionFindings()...)
+	rep.Findings = append(rep.Findings, f.boundednessFindings(rep.Comm)...)
+	SortFindings(rep.Findings)
+	return rep
+}
+
+// SortFindings orders findings by position, then code, then subject, giving
+// every tool and golden file the same deterministic order.
+func SortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Span.Start != b.Span.Start {
+			return a.Span.Start.Before(b.Span.Start)
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Machine != b.Machine {
+			return a.Machine < b.Machine
+		}
+		if a.State != b.State {
+			return a.State < b.State
+		}
+		if a.Event != b.Event {
+			return a.Event < b.Event
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,159 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgo/internal/analysis"
+	"pgo/internal/psamples"
+)
+
+func runSample(t *testing.T, name string) []analysis.Finding {
+	t.Helper()
+	s, ok := psamples.ByName(name)
+	if !ok {
+		t.Fatalf("no sample %s", name)
+	}
+	findings, _, err := analysis.Run(name, s.Source)
+	if err != nil {
+		t.Fatalf("%s: analysis failed: %v", name, err)
+	}
+	return findings
+}
+
+func runTestdata(t *testing.T, file string) []analysis.Finding {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, _, err := analysis.Run(file, string(src))
+	if err != nil {
+		t.Fatalf("%s: analysis failed: %v", file, err)
+	}
+	return findings
+}
+
+func find(fs []analysis.Finding, code, machine, state, event string) *analysis.Finding {
+	for i, f := range fs {
+		if f.Code != code {
+			continue
+		}
+		if machine != "" && f.Machine != machine {
+			continue
+		}
+		if state != "" && f.State != state {
+			continue
+		}
+		if event != "" && f.Event != event {
+			continue
+		}
+		return &fs[i]
+	}
+	return nil
+}
+
+// The elevator bug from the paper's §2: the buggy variant drops Opening's
+// handling of CloseDoor, and the event-flow analysis must predict the
+// unhandled delivery there — and only there.
+func TestElevatorBugPredicted(t *testing.T) {
+	buggy := runSample(t, "elevator-buggy")
+	f := find(buggy, analysis.CodePossiblyUnhandled, "Elevator", "Opening", "CloseDoor")
+	if f == nil {
+		t.Fatal("elevator-buggy: no P102 for Elevator.Opening x CloseDoor")
+	}
+	if f.Severity != analysis.SevWarn {
+		t.Errorf("severity = %v, want warning (Elevator is a real machine)", f.Severity)
+	}
+
+	good := runSample(t, "elevator")
+	for _, f := range good {
+		if f.Code == analysis.CodePossiblyUnhandled && f.Machine == "Elevator" {
+			t.Errorf("elevator: unexpected P102 on the fixed machine: %s", f)
+		}
+	}
+}
+
+// The correlation refinements must keep the richer protocols quiet: german's
+// Host answers requester ids stored from payloads (multi-instance clients),
+// and switchled's OS sends only a bounded startup stimulus. Neither may
+// produce warnings on real machines.
+func TestRefinementsSuppressFalsePositives(t *testing.T) {
+	for _, name := range []string{"german", "switchled", "pingpong", "ring", "boundedbuffer"} {
+		for _, f := range runSample(t, name) {
+			if f.Severity == analysis.SevWarn {
+				t.Errorf("%s: unexpected warning: %s", name, f)
+			}
+		}
+	}
+}
+
+// The seeded defects under testdata must each be flagged with their code.
+func TestSeededDefects(t *testing.T) {
+	fs := runTestdata(t, "unreachable_handler.p")
+	if f := find(fs, analysis.CodeCertainUnhandled, "Sink", "", "Ping"); f == nil {
+		t.Error("unreachable_handler.p: no P101 for Sink x Ping")
+	} else if f.Severity != analysis.SevError {
+		t.Errorf("P101 severity = %v, want error", f.Severity)
+	}
+	if find(fs, "P004", "", "", "") == nil {
+		t.Error("unreachable_handler.p: no frontend P004 for the unreachable state")
+	}
+
+	fs = runTestdata(t, "send_loop.p")
+	if find(fs, analysis.CodeSendPump, "Pump", "", "") == nil {
+		t.Error("send_loop.p: no P302 for Pump's raise cycle")
+	}
+	if find(fs, analysis.CodeInfiniteSendLoop, "Flood", "", "") == nil {
+		t.Error("send_loop.p: no P304 for Flood's while(true) send")
+	}
+
+	fs = runTestdata(t, "dead_transition.p")
+	if find(fs, analysis.CodeDeadTransition, "Listener", "Wait", "Ping") == nil {
+		t.Error("dead_transition.p: no P201 for Listener.Wait x Ping")
+	}
+}
+
+// Communication-graph structure for a known topology: pingpong is a two-node
+// cycle with definite targets.
+func TestCommGraphPingpong(t *testing.T) {
+	fs := runSample(t, "pingpong")
+	if find(fs, analysis.CodeCommCycle, "", "", "") == nil {
+		t.Error("pingpong: no P301 communication-cycle finding")
+	}
+}
+
+// The dedup downgrade: boundedbuffer's producer pumps Put with a modular
+// sequence stamp, so the pump must be reported as the bounded P303, not the
+// unbounded P302.
+func TestFinitePayloadDowngrade(t *testing.T) {
+	fs := runSample(t, "boundedbuffer")
+	if find(fs, analysis.CodeDedupBoundedPump, "Producer", "", "") == nil {
+		t.Error("boundedbuffer: no P303 for Producer")
+	}
+	if find(fs, analysis.CodeSendPump, "Producer", "", "") != nil {
+		t.Error("boundedbuffer: Producer's modular payload must not be P302")
+	}
+}
+
+// usb keeps exactly one order-sensitivity residual: ResumeOp at Idle (the
+// OS mails Suspend immediately before ResumeOp, which the event-set
+// abstraction cannot see). The once-spontaneous refinement must have
+// suppressed every other state.
+func TestUsbResidual(t *testing.T) {
+	fs := runSample(t, "usb-hsm")
+	warns := 0
+	for _, f := range fs {
+		if f.Severity != analysis.SevWarn {
+			continue
+		}
+		warns++
+		if f.Code != analysis.CodePossiblyUnhandled || f.State != "Idle" || f.Event != "ResumeOp" {
+			t.Errorf("usb-hsm: unexpected warning: %s", f)
+		}
+	}
+	if warns != 1 {
+		t.Errorf("usb-hsm: %d warnings, want exactly the ResumeOp-at-Idle residual", warns)
+	}
+}

@@ -1,0 +1,419 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgo/internal/ir"
+	"pgo/internal/source"
+)
+
+// CommEdge aggregates the send sites from one machine type to another.
+type CommEdge struct {
+	From, To ir.MachineTypeID
+	Events   ir.EventSet
+	// Possible marks edges that exist only through ambiguous targets (the
+	// points-to set of every site also admits other machine types).
+	Possible bool
+	Span     source.Span // first contributing send site
+}
+
+// CommGraph is the machine communication graph: nodes are the reachable
+// machine types, edges the aggregated send relationships.
+type CommGraph struct {
+	Prog      *ir.Program
+	Reachable []bool // indexed by MachineTypeID
+	Edges     []*CommEdge
+}
+
+// BuildComm computes just the communication graph of p (the cheap subset of
+// Analyze used by pdot -comm).
+func BuildComm(p *ir.Program) *CommGraph {
+	return newFacts(p).commGraph()
+}
+
+func (f *facts) commGraph() *CommGraph {
+	g := &CommGraph{Prog: f.p, Reachable: make([]bool, len(f.p.Machines))}
+	for mi, mf := range f.mf {
+		g.Reachable[mi] = mf.reach
+	}
+	index := map[[2]ir.MachineTypeID]*CommEdge{}
+	for _, site := range f.sites {
+		one, definite := site.tgt.single()
+		for ti := range f.p.Machines {
+			if !site.tgt.types[ti] && !site.tgt.unknown {
+				continue
+			}
+			key := [2]ir.MachineTypeID{site.from, ir.MachineTypeID(ti)}
+			e := index[key]
+			if e == nil {
+				e = &CommEdge{From: site.from, To: ir.MachineTypeID(ti), Possible: true, Span: site.st.Span}
+				index[key] = e
+				g.Edges = append(g.Edges, e)
+			}
+			e.Events.Add(site.st.Event)
+			if definite && ir.MachineTypeID(ti) == one {
+				e.Possible = false
+			}
+		}
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].From != g.Edges[j].From {
+			return g.Edges[i].From < g.Edges[j].From
+		}
+		return g.Edges[i].To < g.Edges[j].To
+	})
+	return g
+}
+
+// boundednessFindings reports the communication-structure diagnostics:
+// P301 send cycles, P302/P303 dequeue-free send pumps, and P304 infinite
+// send loops.
+func (f *facts) boundednessFindings(g *CommGraph) []Finding {
+	out := f.cycleFindings(g)
+	out = append(out, f.pumpFindings()...)
+	out = append(out, f.sendLoopFindings()...)
+	return out
+}
+
+// cycleFindings detects cycles in the communication graph (P301). A cycle
+// means the machines can feed each other work; whether the feedback is
+// bounded depends on deferral and dequeue discipline, so the finding is
+// informational, with a note when no machine on the cycle defers any of the
+// cycle's events.
+func (f *facts) cycleFindings(g *CommGraph) []Finding {
+	n := len(f.p.Machines)
+	adj := make([][]int, n)
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], int(e.To))
+	}
+	sccs := stronglyConnected(n, adj)
+
+	var out []Finding
+	for _, scc := range sccs {
+		inSCC := make([]bool, n)
+		for _, v := range scc {
+			inSCC[v] = true
+		}
+		selfLoop := false
+		if len(scc) == 1 {
+			for _, w := range adj[scc[0]] {
+				if w == scc[0] {
+					selfLoop = true
+				}
+			}
+			if !selfLoop {
+				continue
+			}
+		}
+		// Gather the cycle's edges and events.
+		var names []string
+		var cycleEvents ir.EventSet
+		var span source.Span
+		for _, e := range g.Edges {
+			if inSCC[e.From] && inSCC[e.To] {
+				cycleEvents = cycleEvents.Union(e.Events)
+				if !span.IsValid() {
+					span = e.Span
+				}
+			}
+		}
+		for _, v := range scc {
+			names = append(names, f.p.Machines[v].Name)
+		}
+		deferred := false
+		for _, v := range scc {
+			for _, st := range f.p.Machines[v].States {
+				for _, ev := range cycleEvents.Events() {
+					if st.Deferred.Contains(ev) {
+						deferred = true
+					}
+				}
+			}
+		}
+		note := ""
+		if !deferred {
+			note = "; no state on the cycle defers any of them"
+		}
+		out = append(out, Finding{
+			Code:     CodeCommCycle,
+			Severity: SevInfo,
+			Span:     span,
+			Machine:  names[0],
+			Message: fmt.Sprintf("communication cycle %s: events %s circulate%s",
+				strings.Join(names, " -> ")+" -> "+names[0], eventNames(f.p, cycleEvents), note),
+		})
+	}
+	return out
+}
+
+// pumpFindings detects dequeue-free send pumps (P302/P303): a cycle of
+// states connected by step transitions on events the cycle itself raises in
+// its entry code. A machine on such a cycle spins without ever reaching a
+// dequeue point; any send inside the cycle then floods its target. Constant
+// payloads are absorbed by the runtime's deduplicating enqueue (⊕), which
+// downgrades the finding to informational.
+func (f *facts) pumpFindings() []Finding {
+	var out []Finding
+	for _, mf := range f.mf {
+		if !mf.reach {
+			continue
+		}
+		n := len(mf.m.States)
+		for _, scc := range stronglyConnected(n, mf.raiseAdj) {
+			if len(scc) == 1 && !containsInt(mf.raiseAdj[scc[0]], scc[0]) {
+				continue
+			}
+			var sends []*ir.Stmt
+			var sent ir.EventSet
+			news := 0
+			varying := false
+			for _, v := range scc {
+				walkStmts(mf.m.States[v].Entry, func(s *ir.Stmt) {
+					switch s.Op {
+					case ir.SSend:
+						sends = append(sends, s)
+						sent.Add(s.Event)
+						if !constPayload(s.Expr) && !f.finitePayload(mf, s.Expr) {
+							varying = true
+						}
+					case ir.SNew:
+						news++
+					}
+				})
+			}
+			if len(sends) == 0 && news == 0 {
+				continue
+			}
+			var stateNames []string
+			for _, v := range scc {
+				stateNames = append(stateNames, mf.m.States[v].Name)
+			}
+			span := mf.m.States[scc[0]].Span
+			if len(sends) > 0 {
+				span = sends[0].Span
+			}
+			cycle := strings.Join(stateNames, " -> ")
+			if len(scc) == 1 {
+				cycle = stateNames[0] + " -> " + stateNames[0]
+			}
+			if varying || news > 0 {
+				detail := "sends with varying payloads"
+				if news > 0 {
+					detail = "creates machines"
+					if len(sends) > 0 {
+						detail = "sends and creates machines"
+					}
+				}
+				out = append(out, Finding{
+					Code:     CodeSendPump,
+					Severity: SevWarn,
+					Span:     span,
+					Machine:  mf.m.Name,
+					Message: fmt.Sprintf(
+						"machine %s can cycle through %s on raised events alone — never dequeuing — and %s on every lap: receiver queues can grow without bound",
+						mf.m.Name, cycle, detail),
+				})
+			} else {
+				out = append(out, Finding{
+					Code:     CodeDedupBoundedPump,
+					Severity: SevInfo,
+					Span:     span,
+					Machine:  mf.m.Name,
+					Message: fmt.Sprintf(
+						"machine %s can cycle through %s on raised events alone, resending %s with finitely many distinct payloads; the deduplicating enqueue keeps receiver queues bounded",
+						mf.m.Name, cycle, eventNames(f.p, sent)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// constPayload reports whether a send payload is absent or a per-instance
+// constant, so repeated sends are absorbed by enqueue deduplication.
+func constPayload(e *ir.Expr) bool {
+	if e == nil {
+		return true
+	}
+	switch e.Op {
+	case ir.EInt, ir.EBool, ir.ENull, ir.EEvent, ir.EThis:
+		return true
+	}
+	return false
+}
+
+// finitePayload reports whether a send payload is a variable that provably
+// ranges over a finite value set — every assignment to it in the machine
+// (and every creation-time initializer) is a constant or a modular
+// expression. Such payloads are also absorbed by enqueue deduplication,
+// which can hold at most one queue entry per distinct value.
+func (f *facts) finitePayload(mf *machFacts, e *ir.Expr) bool {
+	if e == nil || e.Op != ir.EVar {
+		return false
+	}
+	v := e.Var
+	ok := true
+	for _, c := range mf.conts {
+		walkStmts(c.body, func(s *ir.Stmt) {
+			if s.Op == ir.SAssign && s.Var == v && !finiteExpr(s.Expr) {
+				ok = false
+			}
+			if s.Op == ir.SNew && s.Var == v {
+				ok = false
+			}
+		})
+	}
+	for _, other := range f.mf {
+		if !other.reach {
+			continue
+		}
+		for _, c := range other.conts {
+			walkStmts(c.body, func(s *ir.Stmt) {
+				if s.Op != ir.SNew || s.Machine != mf.id {
+					return
+				}
+				for _, init := range s.Inits {
+					if init.Var == v && !finiteExpr(init.Expr) {
+						ok = false
+					}
+				}
+			})
+		}
+	}
+	if mf.id == f.p.Main {
+		for _, iv := range f.p.MainInits {
+			if iv.Var == v && !finiteExpr(iv.Expr) {
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+// finiteExpr recognizes expressions with a statically finite value range:
+// constants and right-constant modular reductions.
+func finiteExpr(e *ir.Expr) bool {
+	if e == nil {
+		return false
+	}
+	switch e.Op {
+	case ir.EInt, ir.EBool, ir.ENull, ir.EEvent:
+		return true
+	case ir.EBinary:
+		return e.Bin == ir.Mod && e.Y != nil && e.Y.Op == ir.EInt
+	}
+	return false
+}
+
+// sendLoopFindings detects P304: a send or new inside a while(true) loop
+// that contains no statement that could leave the loop (raise, return,
+// leave, delete, or a failing assert), so the machine floods its targets
+// without ever dequeuing.
+func (f *facts) sendLoopFindings() []Finding {
+	var out []Finding
+	for _, mf := range f.mf {
+		if !mf.reach {
+			continue
+		}
+		for _, c := range mf.conts {
+			if !mf.reachableOwner(c) {
+				continue
+			}
+			walkStmts(c.body, func(s *ir.Stmt) {
+				if s.Op != ir.SWhile || !isConstTrue(s.Expr) {
+					return
+				}
+				sends, escapes := false, false
+				walkStmts(s.Body, func(b *ir.Stmt) {
+					switch b.Op {
+					case ir.SSend, ir.SNew:
+						sends = true
+					case ir.SRaise, ir.SReturn, ir.SLeave, ir.SDelete:
+						escapes = true
+					case ir.SAssert:
+						if isConstFalse(b.Expr) {
+							escapes = true
+						}
+					}
+				})
+				if sends && !escapes {
+					out = append(out, Finding{
+						Code:     CodeInfiniteSendLoop,
+						Severity: SevWarn,
+						Span:     s.Span,
+						Machine:  mf.m.Name,
+						Message: fmt.Sprintf(
+							"machine %s sends or creates machines inside a while(true) loop with no exit: receiver queues grow without bound",
+							mf.m.Name),
+					})
+				}
+			})
+		}
+	}
+	return out
+}
+
+// stronglyConnected returns the strongly connected components of the graph
+// with n vertices and adjacency lists adj (Tarjan's algorithm, iterative
+// enough for our sizes via recursion), in deterministic order of their
+// smallest vertex.
+func stronglyConnected(n int, adj [][]int) [][]int {
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	next := 0
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if index[w] < 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Ints(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for v := 0; v < n; v++ {
+		if index[v] < 0 {
+			strong(v)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+func eventNames(p *ir.Program, set ir.EventSet) string {
+	var names []string
+	for _, e := range set.Events() {
+		names = append(names, p.Events[e].Name)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,67 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"pgo/internal/analysis"
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/core"
+)
+
+// Soundness cross-check for the analysis's only error-severity prediction:
+// every P101 (certain unhandled event) over the whole corpus must be
+// confirmed by an actual unhandled-event counterexample from the bounded
+// exploration — same machine type, same event. The seeded
+// unreachable_handler program keeps the check non-vacuous.
+func TestCertainUnhandledConfirmedByExploration(t *testing.T) {
+	progs := corpus(t)
+	confirmed := 0
+	for _, name := range sortedNames(progs) {
+		src := progs[name]
+		findings, _, err := analysis.Run(name, src)
+		if err != nil {
+			t.Fatalf("%s: analysis failed: %v", name, err)
+		}
+		var certain []analysis.Finding
+		for _, f := range findings {
+			if f.Code == analysis.CodeCertainUnhandled {
+				certain = append(certain, f)
+			}
+		}
+		if len(certain) == 0 {
+			continue
+		}
+		prog, diags, err := compile.Source(name, src)
+		if err != nil {
+			t.Fatalf("%s: compile failed: %v\n%s", name, err, diags.String())
+		}
+		res, err := check.Explore(prog, check.Options{
+			Mode:      check.DelayBounded,
+			Bound:     2,
+			MaxStates: 200_000,
+		})
+		if err != nil {
+			t.Fatalf("%s: explore failed: %v", name, err)
+		}
+		for _, f := range certain {
+			found := false
+			for _, v := range res.Violations {
+				if v.Err.Kind == core.ErrUnhandled && v.Err.Type == f.Machine &&
+					v.Err.HasEv && prog.Events[v.Err.Event].Name == f.Event {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: P101 predicts unhandled %s in machine %s, but exploration produced no such counterexample",
+					name, f.Event, f.Machine)
+				continue
+			}
+			confirmed++
+		}
+	}
+	if confirmed == 0 {
+		t.Fatal("no P101 finding in the corpus: the cross-check is vacuous")
+	}
+}

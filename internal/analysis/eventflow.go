@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"pgo/internal/ir"
+)
+
+// eventFlowFindings reports the unhandled-event predictions (P101–P103):
+// events flowing into a machine type that its reachable states cannot
+// absorb. The analysis distinguishes three grades of certainty.
+//
+//   - P101 (error): a reachable site definitely sends e to type m and no
+//     reachable state of m handles or defers e — every delivery pops the
+//     stack empty, the paper's unhandled-event error.
+//   - P103 (warning): as P101, but every site's target is ambiguous, so the
+//     delivery depends on where the id points at run time.
+//   - P102 (warning, info on ghost machines): e is covered somewhere but a
+//     spontaneous occurrence can find the machine resting in a state whose
+//     frame (including every possible caller chain) does not cover it.
+func (f *facts) eventFlowFindings() []Finding {
+	var out []Finding
+	for mi, mf := range f.mf {
+		if !mf.reach {
+			continue
+		}
+		canRest := false
+		for _, st := range mf.m.States {
+			if mf.stReach[st.ID] && mf.mayRest[st.ID] {
+				canRest = true
+				break
+			}
+		}
+		for _, ev := range f.inbox[mi].Events() {
+			coveredSomewhere := false
+			for _, st := range mf.m.States {
+				if mf.stReach[st.ID] && mf.cov[st.ID][ev] {
+					coveredSomewhere = true
+					break
+				}
+			}
+			evName := f.p.Events[ev].Name
+			if !coveredSomewhere {
+				// A machine that never rests never dequeues, so the queued
+				// event sits unread forever (a liveness matter, not a safety
+				// one).
+				if !canRest {
+					continue
+				}
+				if site := f.definiteAt[mi][ev]; site != nil {
+					out = append(out, Finding{
+						Code:     CodeCertainUnhandled,
+						Severity: SevError,
+						Span:     site.st.Span,
+						Machine:  mf.m.Name,
+						Event:    evName,
+						Message: fmt.Sprintf(
+							"event %s is sent to machine %s, which handles or defers it in no reachable state: delivery is certain to raise an unhandled-event error",
+							evName, mf.m.Name),
+					})
+				} else if site := f.firstAt[mi][ev]; site != nil {
+					out = append(out, Finding{
+						Code:     CodeUnhandledAmbiguous,
+						Severity: SevWarn,
+						Span:     site.st.Span,
+						Machine:  mf.m.Name,
+						Event:    evName,
+						Message: fmt.Sprintf(
+							"event %s may be sent to machine %s, which handles or defers it in no reachable state: such a delivery would raise an unhandled-event error",
+							evName, mf.m.Name),
+					})
+				}
+				continue
+			}
+			if !f.spont[mi].Contains(ev) {
+				continue
+			}
+			recurring := f.spontRe[mi].Contains(ev)
+			allowed := f.onceAt[mi][ev]
+			senders := f.spontSenders(ir.MachineTypeID(mi), ev)
+			when := "at any time"
+			if !recurring {
+				when = "unsolicited during its sender's startup"
+			}
+			for _, st := range mf.m.States {
+				s := st.ID
+				if !mf.stReach[s] || !mf.mayRest[s] || mf.effCov[s][ev] {
+					continue
+				}
+				// A once-only stimulus can surprise the machine only in states
+				// it can occupy before consuming any of the startup burst.
+				if !recurring && (allowed == nil || !allowed[s]) {
+					continue
+				}
+				sev := SevWarn
+				if mf.m.Ghost {
+					sev = SevInfo
+				}
+				out = append(out, Finding{
+					Code:     CodePossiblyUnhandled,
+					Severity: sev,
+					Span:     st.Span,
+					Machine:  mf.m.Name,
+					State:    st.Name,
+					Event:    evName,
+					Message: fmt.Sprintf(
+						"machine %s can receive event %s %s (sent by %s), but resting state %s neither handles nor defers it: the delivery would raise an unhandled-event error",
+						mf.m.Name, evName, when, senders, st.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// spontSenders names the machines whose sends make ev spontaneous for m,
+// for use in messages.
+func (f *facts) spontSenders(m ir.MachineTypeID, ev ir.EventID) string {
+	var names []string
+	seen := map[ir.MachineTypeID]bool{}
+	for _, site := range f.sites {
+		if site.st.Event != ev || (!site.tgt.types[m] && !site.tgt.unknown) || seen[site.from] {
+			continue
+		}
+		seen[site.from] = true
+		names = append(names, f.p.Machines[site.from].Name)
+	}
+	if len(names) == 0 {
+		return "an unknown machine"
+	}
+	return strings.Join(names, ", ")
+}
+
+// deadTransitionFindings reports P201: transitions and action bindings on
+// events that can never be pending in the machine — never sent to it by any
+// reachable site and never raised within it. Events that are dead program-
+// wide are left to the frontend's P001.
+func (f *facts) deadTransitionFindings() []Finding {
+	var out []Finding
+	for mi, mf := range f.mf {
+		if !mf.reach {
+			continue
+		}
+		for _, st := range mf.m.States {
+			if !mf.stReach[st.ID] {
+				continue
+			}
+			for e := range f.p.Events {
+				ev := ir.EventID(e)
+				handled := st.Trans[e].Kind != ir.TransNone || st.Action[e] != ir.NoAction
+				if !handled || f.inbox[mi].Contains(ev) || mf.raised.Contains(ev) {
+					continue
+				}
+				// Only report events alive somewhere else; fully dead events
+				// are the frontend's P001.
+				if !f.sentAny.Contains(ev) && !f.raisedAny.Contains(ev) {
+					continue
+				}
+				what := "transition"
+				if st.Trans[e].Kind == ir.TransNone {
+					what = "action binding"
+				}
+				out = append(out, Finding{
+					Code:     CodeDeadTransition,
+					Severity: SevWarn,
+					Span:     st.Span,
+					Machine:  mf.m.Name,
+					State:    st.Name,
+					Event:    f.p.Events[e].Name,
+					Message: fmt.Sprintf(
+						"%s on event %s in state %s.%s is dead: %s is never sent to machine %s and never raised inside it",
+						what, f.p.Events[e].Name, mf.m.Name, st.Name, f.p.Events[e].Name, mf.m.Name),
+				})
+			}
+		}
+	}
+	return out
+}

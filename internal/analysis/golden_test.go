@@ -1,0 +1,106 @@
+package analysis_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pgo/internal/analysis"
+	"pgo/internal/psamples"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// corpus returns every analyzable program: the embedded samples plus the
+// seeded-defect programs under testdata. The map goes from report name to
+// source text.
+func corpus(t *testing.T) map[string]string {
+	t.Helper()
+	progs := map[string]string{}
+	for _, s := range psamples.All() {
+		progs[s.Name] = s.Source
+	}
+	files, err := filepath.Glob(filepath.Join("testdata", "*.p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no testdata programs found")
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[strings.TrimSuffix(filepath.Base(f), ".p")] = string(src)
+	}
+	return progs
+}
+
+func sortedNames(progs map[string]string) []string {
+	var names []string
+	for n := range progs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Golden plint -json reports for every sample and every seeded-defect
+// program: any change to the analyses, their messages, or the report schema
+// shows up as a readable diff.
+// Regenerate with: go test ./internal/analysis -run TestGoldenReports -update
+func TestGoldenReports(t *testing.T) {
+	progs := corpus(t)
+	for _, name := range sortedNames(progs) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			findings, _, err := analysis.Run(name, progs[name])
+			if err != nil {
+				t.Fatalf("analysis failed: %v", err)
+			}
+			var buf bytes.Buffer
+			if err := analysis.WriteJSON(&buf, name, findings); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("golden mismatch for %s:\n--- want ---\n%s\n--- got ---\n%s", path, want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// Every shipped sample must be free of error-severity findings: the
+// analyses may warn about a sample's quirks but must not condemn working
+// programs.
+func TestSamplesHaveNoErrors(t *testing.T) {
+	for _, s := range psamples.All() {
+		findings, _, err := analysis.Run(s.Name, s.Source)
+		if err != nil {
+			t.Fatalf("%s: analysis failed: %v", s.Name, err)
+		}
+		for _, f := range findings {
+			if f.Severity == analysis.SevError {
+				t.Errorf("%s: unexpected error finding: %s", s.Name, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONFinding is the machine-readable form of a Finding, shared by
+// plint -json, pverify -json, and the golden-file tests.
+type JSONFinding struct {
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Pos      string `json:"pos,omitempty"`
+	Machine  string `json:"machine,omitempty"`
+	State    string `json:"state,omitempty"`
+	Event    string `json:"event,omitempty"`
+	Message  string `json:"message"`
+}
+
+// JSONReport is the top-level document emitted by plint -json.
+type JSONReport struct {
+	Program  string        `json:"program"`
+	Findings []JSONFinding `json:"findings"`
+	Errors   int           `json:"errors"`
+	Warnings int           `json:"warnings"`
+	Infos    int           `json:"infos"`
+	OK       bool          `json:"ok"` // no error-severity findings
+}
+
+// FindingsJSON converts findings to their wire form.
+func FindingsJSON(fs []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(fs))
+	for _, f := range fs {
+		jf := JSONFinding{
+			Code:     f.Code,
+			Severity: f.Severity.String(),
+			Machine:  f.Machine,
+			State:    f.State,
+			Event:    f.Event,
+			Message:  f.Message,
+		}
+		if f.Span.IsValid() {
+			jf.Pos = f.Span.Start.String()
+		}
+		out = append(out, jf)
+	}
+	return out
+}
+
+// BuildJSONReport assembles the plint -json document for one program.
+func BuildJSONReport(program string, fs []Finding) JSONReport {
+	rep := JSONReport{Program: program, Findings: FindingsJSON(fs)}
+	for _, f := range fs {
+		switch f.Severity {
+		case SevError:
+			rep.Errors++
+		case SevWarn:
+			rep.Warnings++
+		default:
+			rep.Infos++
+		}
+	}
+	rep.OK = rep.Errors == 0
+	return rep
+}
+
+// WriteJSON encodes the report for program with indented, trailing-newline
+// output suitable for golden files.
+func WriteJSON(w io.Writer, program string, fs []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildJSONReport(program, fs))
+}

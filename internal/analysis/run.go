@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pgo/internal/ir"
+	"pgo/internal/parser"
+	"pgo/internal/source"
+	"pgo/internal/types"
+)
+
+// Run is the full lint pipeline over P source text: parse, type-check, run
+// the frontend hygiene lint, lower, and analyze, returning the merged and
+// sorted findings. This is the engine behind cmd/plint and the golden-file
+// tests; compilation errors are returned as an error with the diagnostics
+// rendered in its message.
+func Run(name, src string) ([]Finding, *Report, error) {
+	var diags source.DiagList
+	ast := parser.Parse(src, &diags)
+	if diags.HasErrors() {
+		return nil, nil, fmt.Errorf("%s: parse failed:\n%s", name, diags.String())
+	}
+	chk := types.Check(ast, &diags)
+	if diags.HasErrors() {
+		return nil, nil, fmt.Errorf("%s: type check failed:\n%s", name, diags.String())
+	}
+	types.Lint(chk, &diags)
+	prog, err := ir.Lower(name, chk)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: lowering failed: %w", name, err)
+	}
+	rep := Analyze(prog)
+	findings := append(FromDiagnostics(diags.All()), rep.Findings...)
+	SortFindings(findings)
+	return findings, rep, nil
+}
+
+// FromDiagnostics adopts frontend diagnostics (the coded hygiene warnings
+// of types.Lint and types.Check) as findings so one report carries both
+// layers. Diagnostics without a stable code are skipped — they are either
+// hard errors, which abort the pipeline, or purely presentational notes.
+func FromDiagnostics(diags []source.Diagnostic) []Finding {
+	var out []Finding
+	for _, d := range diags {
+		if d.Code == "" {
+			continue
+		}
+		sev := SevInfo
+		if d.Severity == source.Warning {
+			sev = SevWarn
+		} else if d.Severity == source.Error {
+			sev = SevError
+		}
+		out = append(out, Finding{
+			Code:     d.Code,
+			Severity: sev,
+			Span:     d.Span,
+			Message:  d.Message,
+		})
+	}
+	return out
+}

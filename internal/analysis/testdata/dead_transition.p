@@ -1,0 +1,37 @@
+// Seeded defect: Listener's transition on Ping is dead (P201) — Ping is
+// only ever sent to Worker, never to Listener, and Listener never raises
+// it. The event is alive elsewhere, so the frontend's whole-program P001
+// stays quiet and the per-machine flow analysis must catch it.
+event Ping;
+event Nudge;
+
+machine Env {
+  var w: id;
+  var l: id;
+
+  state Boot {
+    entry {
+      w = new Worker();
+      l = new Listener();
+      send w, Ping;
+      send l, Nudge;
+    }
+  }
+}
+
+machine Worker {
+  state Idle {
+    entry { skip; }
+    on Ping goto Idle;
+  }
+}
+
+machine Listener {
+  state Wait {
+    entry { skip; }
+    on Nudge goto Wait;
+    on Ping goto Wait;
+  }
+}
+
+main Env();

@@ -1,0 +1,65 @@
+// Seeded defects: Pump cycles Boot -> Spin -> Spin on raised events alone,
+// stamping a fresh payload on every lap (P302), and Flood sends inside a
+// while(true) loop with no exit (P304). Each floods its own Sink's queue
+// without ever dequeuing.
+event Item(int);
+event Tick;
+event unit;
+
+machine Env {
+  var a: id;
+  var b: id;
+
+  state Boot {
+    entry {
+      a = new Pump();
+      b = new Flood();
+    }
+  }
+}
+
+machine Pump {
+  var sink: id;
+  var n: int;
+
+  state Boot {
+    entry {
+      n = 0;
+      sink = new Sink();
+      raise unit;
+    }
+    on unit goto Spin;
+  }
+
+  state Spin {
+    entry {
+      n = n + 1;
+      send sink, Item, n;
+      raise unit;
+    }
+    on unit goto Spin;
+  }
+}
+
+machine Flood {
+  var sink: id;
+
+  state Go {
+    entry {
+      sink = new Sink();
+      while true {
+        send sink, Tick;
+      }
+    }
+  }
+}
+
+machine Sink {
+  state Rest {
+    entry { skip; }
+    on Item goto Rest;
+    on Tick goto Rest;
+  }
+}
+
+main Env();

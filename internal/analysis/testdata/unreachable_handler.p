@@ -1,0 +1,28 @@
+// Seeded defect: the only state of Sink that handles Ping is unreachable,
+// so Driver's send is certain to raise an unhandled-event error (P101); the
+// frontend additionally flags the unreachable state itself (P004).
+event Ping;
+
+machine Driver {
+  var sink: id;
+
+  state Boot {
+    entry {
+      sink = new Sink();
+      send sink, Ping;
+    }
+  }
+}
+
+machine Sink {
+  state Idle {
+    entry { skip; }
+  }
+
+  state Handling {
+    entry { skip; }
+    on Ping goto Idle;
+  }
+}
+
+main Driver();

@@ -10,6 +10,7 @@ import (
 	"io"
 	"strings"
 
+	"pgo/internal/analysis"
 	"pgo/internal/check"
 	"pgo/internal/ir"
 )
@@ -67,6 +68,40 @@ func eventNames(prog *ir.Program, set ir.EventSet) string {
 		names = append(names, prog.Events[e].Name)
 	}
 	return strings.Join(names, ", ")
+}
+
+// Comm writes the machine communication graph of prog as a DOT digraph:
+// nodes are the reachable machine types (ghost machines dashed, the main
+// machine doubled), edges are aggregated send relationships labelled with
+// the events they carry. Edges that exist only through ambiguous targets
+// (the sender's id may point elsewhere too) are drawn dotted.
+func Comm(w io.Writer, prog *ir.Program) error {
+	g := analysis.BuildComm(prog)
+	var b strings.Builder
+	b.WriteString("digraph comm {\n  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for mi, m := range prog.Machines {
+		if !g.Reachable[mi] {
+			continue
+		}
+		attrs := fmt.Sprintf("label=%q", m.Name)
+		if m.Ghost {
+			attrs += ", style=dashed"
+		}
+		if ir.MachineTypeID(mi) == prog.Main {
+			attrs += ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  m%d [%s];\n", mi, attrs)
+	}
+	for _, e := range g.Edges {
+		attrs := fmt.Sprintf("label=%q", eventNames(prog, e.Events))
+		if e.Possible {
+			attrs += ", style=dotted"
+		}
+		fmt.Fprintf(&b, "  m%d -> m%d [%s];\n", e.From, e.To, attrs)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // StateGraph writes an explored state graph as a DOT digraph: nodes are

@@ -91,3 +91,30 @@ func TestStateGraphTruncation(t *testing.T) {
 		t.Fatal("truncation marker missing")
 	}
 }
+
+func TestCommGraphExport(t *testing.T) {
+	s, ok := psamples.ByName("german")
+	if !ok {
+		t.Fatal("no german sample")
+	}
+	prog, diags, err := compile.Source(s.Name, s.Source)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	var b strings.Builder
+	if err := dot.Comm(&b, prog); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph comm",
+		`label="Host"`,
+		`label="Client"`,
+		"style=dashed",  // ghost machines dashed
+		"peripheries=2", // main machine doubled
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comm graph missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -33,6 +33,7 @@ func Erase(p *Program) *Program {
 				ErasedStub: true,
 				Init:       0,
 				States:     []*State{stubState(len(p.Events))},
+				Span:       m.Span,
 			})
 			continue
 		}
@@ -59,6 +60,7 @@ func eraseMachine(p *Program, m *Machine) *Machine {
 		Ghost: false,
 		Vars:  m.Vars,
 		Init:  m.Init,
+		Span:  m.Span,
 	}
 	for _, f := range m.Foreigns {
 		nf := f
@@ -72,6 +74,7 @@ func eraseMachine(p *Program, m *Machine) *Machine {
 		ns := &State{
 			Name:      s.Name,
 			ID:        s.ID,
+			Span:      s.Span,
 			Deferred:  s.Deferred,
 			Postponed: s.Postponed,
 			Trans:     s.Trans,

@@ -89,6 +89,8 @@ type Program struct {
 type Event struct {
 	Name    string
 	Payload Type // TypeVoid when the event carries no payload
+	// Span locates the declaration in the source (for diagnostics).
+	Span source.Span
 }
 
 // Machine is a lowered machine type.
@@ -107,6 +109,9 @@ type Machine struct {
 
 	// Init is the machine's initial state (the first declared state).
 	Init StateID
+
+	// Span locates the declaration in the source (for diagnostics).
+	Span source.Span
 }
 
 // Var is a machine-local variable.
@@ -136,8 +141,10 @@ type Transition struct {
 
 // State is a lowered control state with dense per-event handler tables.
 type State struct {
-	Name      string
-	ID        StateID
+	Name string
+	ID   StateID
+	// Span locates the declaration in the source (for diagnostics).
+	Span      source.Span
 	Deferred  EventSet
 	Postponed EventSet
 	Entry     []*Stmt

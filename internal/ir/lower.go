@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pgo/internal/ast"
+	"pgo/internal/source"
 	"pgo/internal/types"
 )
 
@@ -15,7 +16,11 @@ func Lower(name string, chk *types.Checked) (*Program, error) {
 	}
 	lw := &lowerer{chk: chk, prog: &Program{Name: name}}
 	for _, e := range chk.Events {
-		lw.prog.Events = append(lw.prog.Events, Event{Name: e.Name, Payload: lowerType(e.Payload)})
+		sp := source.Span{}
+		if e.Decl != nil {
+			sp = e.Decl.Name.Sp
+		}
+		lw.prog.Events = append(lw.prog.Events, Event{Name: e.Name, Payload: lowerType(e.Payload), Span: sp})
 	}
 	for _, m := range chk.Machines {
 		lm, err := lw.lowerMachine(m)
@@ -83,6 +88,9 @@ func (lw *lowerer) lowerMachine(sym *types.MachineSym) (*Machine, error) {
 		Ghost: sym.Ghost,
 		Init:  0,
 	}
+	if sym.Decl != nil {
+		m.Span = sym.Decl.Name.Sp
+	}
 	for _, v := range sym.Vars {
 		m.Vars = append(m.Vars, Var{Name: v.Name, Type: lowerType(v.Type), Ghost: v.Ghost})
 	}
@@ -121,6 +129,9 @@ func (lw *lowerer) lowerMachine(sym *types.MachineSym) (*Machine, error) {
 	ne := len(lw.prog.Events)
 	for _, st := range sym.States {
 		ls := &State{Name: st.Name, ID: StateID(st.ID)}
+		if st.Decl != nil {
+			ls.Span = st.Decl.Name.Sp
+		}
 		ls.Trans = make([]Transition, ne)
 		ls.Action = make([]ActionID, ne)
 		for i := range ls.Action {

@@ -66,18 +66,26 @@ func (s Severity) String() string {
 	}
 }
 
-// Diagnostic is a single message attached to a source location.
+// Diagnostic is a single message attached to a source location. Code, when
+// non-empty, is a stable machine-readable identifier ("P004") shared with
+// the plint static-analysis tool; codes never change meaning across
+// releases, so build systems may filter or suppress on them.
 type Diagnostic struct {
 	Severity Severity
 	Span     Span
 	Message  string
+	Code     string
 }
 
 func (d Diagnostic) String() string {
-	if d.Span.IsValid() {
-		return fmt.Sprintf("%s: %s: %s", d.Span.Start, d.Severity, d.Message)
+	sev := d.Severity.String()
+	if d.Code != "" {
+		sev = fmt.Sprintf("%s[%s]", sev, d.Code)
 	}
-	return fmt.Sprintf("%s: %s", d.Severity, d.Message)
+	if d.Span.IsValid() {
+		return fmt.Sprintf("%s: %s: %s", d.Span.Start, sev, d.Message)
+	}
+	return fmt.Sprintf("%s: %s", sev, d.Message)
 }
 
 // DiagList accumulates diagnostics. The zero value is ready to use.
@@ -87,17 +95,22 @@ type DiagList struct {
 
 // Errorf appends an error diagnostic at span.
 func (l *DiagList) Errorf(span Span, format string, args ...any) {
-	l.diags = append(l.diags, Diagnostic{Error, span, fmt.Sprintf(format, args...)})
+	l.diags = append(l.diags, Diagnostic{Severity: Error, Span: span, Message: fmt.Sprintf(format, args...)})
 }
 
 // Warningf appends a warning diagnostic at span.
 func (l *DiagList) Warningf(span Span, format string, args ...any) {
-	l.diags = append(l.diags, Diagnostic{Warning, span, fmt.Sprintf(format, args...)})
+	l.diags = append(l.diags, Diagnostic{Severity: Warning, Span: span, Message: fmt.Sprintf(format, args...)})
 }
 
 // Notef appends a note diagnostic at span.
 func (l *DiagList) Notef(span Span, format string, args ...any) {
-	l.diags = append(l.diags, Diagnostic{Note, span, fmt.Sprintf(format, args...)})
+	l.diags = append(l.diags, Diagnostic{Severity: Note, Span: span, Message: fmt.Sprintf(format, args...)})
+}
+
+// Codef appends a diagnostic carrying a stable code (e.g. "P004").
+func (l *DiagList) Codef(sev Severity, code string, span Span, format string, args ...any) {
+	l.diags = append(l.diags, Diagnostic{Severity: sev, Span: span, Message: fmt.Sprintf(format, args...), Code: code})
 }
 
 // Add appends a prebuilt diagnostic.
@@ -106,6 +119,17 @@ func (l *DiagList) Add(d Diagnostic) { l.diags = append(l.diags, d) }
 // Merge appends all diagnostics from other.
 func (l *DiagList) Merge(other *DiagList) {
 	l.diags = append(l.diags, other.diags...)
+}
+
+// HasWarnings reports whether any diagnostic has severity Warning (used by
+// the tools' -Werror mode).
+func (l *DiagList) HasWarnings() bool {
+	for _, d := range l.diags {
+		if d.Severity == Warning {
+			return true
+		}
+	}
+	return false
 }
 
 // HasErrors reports whether any diagnostic has severity Error.

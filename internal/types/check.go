@@ -117,7 +117,7 @@ func (c *checker) collectMachine(m *MachineSym) {
 			sym.Result = fromAST(f.Result)
 		}
 		if m.Ghost && f.Model == nil {
-			c.diags.Warningf(f.Sp, "foreign function %s in ghost machine %s has no model body; calls evaluate to null during verification", f.Name.Name, m.Name)
+			c.diags.Codef(source.Warning, CodeForeignNoModel, f.Sp, "foreign function %s in ghost machine %s has no model body; calls evaluate to null during verification", f.Name.Name, m.Name)
 		}
 		m.Foreigns = append(m.Foreigns, sym)
 		m.ForeignByName[sym.Name] = sym
@@ -170,7 +170,7 @@ func (c *checker) checkState(m *MachineSym, s *StateSym) {
 			continue
 		}
 		if seenDefer[id.Name] {
-			c.diags.Warningf(id.Sp, "event %s deferred twice in state %s", id.Name, s.Name)
+			c.diags.Codef(source.Warning, CodeDuplicateDefer, id.Sp, "event %s deferred twice in state %s", id.Name, s.Name)
 		}
 		seenDefer[id.Name] = true
 	}
@@ -180,7 +180,7 @@ func (c *checker) checkState(m *MachineSym, s *StateSym) {
 			continue
 		}
 		if seenPostpone[id.Name] {
-			c.diags.Warningf(id.Sp, "event %s postponed twice in state %s", id.Name, s.Name)
+			c.diags.Codef(source.Warning, CodeDuplicateDefer, id.Sp, "event %s postponed twice in state %s", id.Name, s.Name)
 		}
 		seenPostpone[id.Name] = true
 	}
@@ -207,7 +207,7 @@ func (c *checker) checkState(m *MachineSym, s *StateSym) {
 				}
 			}
 			if seenDefer[ev.Name] {
-				c.diags.Warningf(tr.Sp, "event %s is both deferred and handled by a transition in state %s; the transition wins", ev.Name, s.Name)
+				c.diags.Codef(source.Warning, CodeDeferOverridden, tr.Sp, "event %s is both deferred and handled by a transition in state %s; the transition wins", ev.Name, s.Name)
 			}
 		case ast.TransAction:
 			if prev, ok := actionSeen[ev.Name]; ok {

@@ -1,0 +1,32 @@
+package types
+
+// Stable diagnostic codes for the frontend's hygiene warnings. Codes are
+// part of the tool interface (plint -json, build-system suppressions) and
+// must never be renumbered; retire a code rather than reuse it. The P0xx
+// block belongs to the frontend (check + lint); the P1xx–P3xx blocks belong
+// to internal/analysis.
+const (
+	// CodeEventNeverSent: an event is declared but no machine sends or
+	// raises it, so every handler for it is dead.
+	CodeEventNeverSent = "P001"
+	// CodeEventNeverHandled: no state handles or defers the event; every
+	// delivery would be an unhandled-event error.
+	CodeEventNeverHandled = "P002"
+	// CodeMachineNeverNew: a machine type is never instantiated.
+	CodeMachineNeverNew = "P003"
+	// CodeStateUnreachable: a state is unreachable from the machine's
+	// initial state through its transitions and call statements.
+	CodeStateUnreachable = "P004"
+	// CodeVarNeverRead: a variable is written but never read.
+	CodeVarNeverRead = "P005"
+	// CodeActionNeverBound: an action is never bound by any state.
+	CodeActionNeverBound = "P006"
+	// CodeForeignNoModel: a ghost machine's foreign function has no model
+	// body, so calls evaluate to null during verification.
+	CodeForeignNoModel = "P007"
+	// CodeDuplicateDefer: an event appears twice in a defer/postpone set.
+	CodeDuplicateDefer = "P008"
+	// CodeDeferOverridden: an event is both deferred and handled by a
+	// transition in the same state; the transition wins.
+	CodeDeferOverridden = "P009"
+)

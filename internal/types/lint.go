@@ -59,15 +59,15 @@ func (l *linter) run() {
 	}
 	for _, e := range l.chk.Events {
 		if !l.sentEvents[e.Name] {
-			l.diags.Warningf(e.Decl.Name.Sp, "event %s is never sent or raised", e.Name)
+			l.diags.Codef(source.Warning, CodeEventNeverSent, e.Decl.Name.Sp, "event %s is never sent or raised", e.Name)
 		}
 		if !l.handledEvents[e.Name] {
-			l.diags.Warningf(e.Decl.Name.Sp, "event %s is never handled or deferred by any state", e.Name)
+			l.diags.Codef(source.Warning, CodeEventNeverHandled, e.Decl.Name.Sp, "event %s is never handled or deferred by any state", e.Name)
 		}
 	}
 	for _, m := range l.chk.Machines {
 		if !l.instantiated[m.Name] {
-			l.diags.Warningf(m.Decl.Name.Sp, "machine %s is never instantiated", m.Name)
+			l.diags.Codef(source.Warning, CodeMachineNeverNew, m.Decl.Name.Sp, "machine %s is never instantiated", m.Name)
 		}
 	}
 }
@@ -175,7 +175,7 @@ func (l *linter) lintMachine(m *MachineSym) {
 	}
 	for _, s := range m.States {
 		if !reached[s.ID] {
-			l.diags.Warningf(s.Decl.Name.Sp, "state %s is unreachable from the initial state of machine %s", s.Name, m.Name)
+			l.diags.Codef(source.Warning, CodeStateUnreachable, s.Decl.Name.Sp, "state %s is unreachable from the initial state of machine %s", s.Name, m.Name)
 		}
 	}
 
@@ -187,7 +187,7 @@ func (l *linter) lintMachine(m *MachineSym) {
 	}
 	for _, v := range m.Vars {
 		if !readVars[v] && !l.newTargets[v] {
-			l.diags.Warningf(v.Decl.Name.Sp, "variable %s of machine %s is never read", v.Name, m.Name)
+			l.diags.Codef(source.Warning, CodeVarNeverRead, v.Decl.Name.Sp, "variable %s of machine %s is never read", v.Name, m.Name)
 		}
 	}
 
@@ -202,7 +202,7 @@ func (l *linter) lintMachine(m *MachineSym) {
 	}
 	for _, a := range m.Actions {
 		if !bound[a.Name] {
-			l.diags.Warningf(a.Decl.Name.Sp, "action %s of machine %s is never bound to an event", a.Name, m.Name)
+			l.diags.Codef(source.Warning, CodeActionNeverBound, a.Decl.Name.Sp, "action %s of machine %s is never bound to an event", a.Name, m.Name)
 		}
 	}
 }
