@@ -139,6 +139,7 @@ func benchDelayBound(b *testing.B, name, src string, bounds []int) {
 	for _, d := range bounds {
 		d := d
 		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			b.ReportAllocs()
 			var states int
 			for i := 0; i < b.N; i++ {
 				res, err := check.Explore(prog, check.Options{
@@ -370,20 +371,24 @@ func BenchmarkRuntimeCreateMachine(b *testing.B) {
 	rt.Quiesce(10 * time.Second)
 }
 
-// BenchmarkFingerprint measures global-state fingerprinting, the inner loop
-// of the explorer. Fingerprints are cached per Global, so the cached
-// variants show the steady-state cost of a second lookup on the same state
-// (graph interning after dedup), while the fresh variants invalidate the
-// cache before each computation via a ⊕-dropped duplicate send — a
-// mutation entry point that leaves the configuration unchanged.
-func BenchmarkFingerprint(b *testing.B) {
-	prog := compileBench(b, "elevator", psamples.Elevator)
+// benchFingerprintOn measures global-state fingerprinting — the inner loop
+// of the explorer — on one compiled sample. Fingerprints are cached per
+// Global, so the cached variants show the steady-state cost of a second
+// lookup on the same state (graph interning after dedup), while the fresh
+// variants invalidate one machine's cache before each computation via a
+// ⊕-dropped duplicate send — a mutation entry point that leaves the
+// configuration unchanged. On multi-machine samples the fresh variants
+// therefore measure exactly the incremental case the explorer hits after
+// every macro step: one machine mutated, the rest untouched.
+func benchFingerprintOn(b *testing.B, name, src string, steps int) {
+	prog := compileBench(b, name, src)
 	g := core.NewGlobal(prog, nil)
 	if _, err := g.CreateMain(); err != nil {
 		b.Fatal(err)
 	}
-	// Advance a few steps so the configuration is nontrivial.
-	for i := 0; i < 5; i++ {
+	// Advance so the configuration is nontrivial (and, for the multi-machine
+	// samples, so every machine has been created).
+	for i := 0; i < steps; i++ {
 		for _, id := range g.LiveIDs() {
 			if g.Enabled(id) {
 				g.RunToSchedPoint(id, &core.FixedChoices{}, 0)
@@ -391,6 +396,7 @@ func BenchmarkFingerprint(b *testing.B) {
 			}
 		}
 	}
+	b.Logf("%s: %d machines live", name, len(g.LiveIDs()))
 	id := g.LiveIDs()[0]
 	if _, err := g.Send(id, 0, core.Null); err != nil { // prime the duplicate
 		b.Fatal(err)
@@ -401,26 +407,43 @@ func BenchmarkFingerprint(b *testing.B) {
 		}
 	}
 	b.Run("exact-fresh", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			invalidate()
 			_ = g.Fingerprint()
 		}
 	})
 	b.Run("exact-cached", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = g.Fingerprint()
 		}
 	})
 	b.Run("hash-fresh", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			invalidate()
 			_ = g.Hash()
 		}
 	})
 	b.Run("hash-cached", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = g.Hash()
 		}
+	})
+}
+
+// BenchmarkFingerprint covers the single-machine-dominated elevator and a
+// german-N multi-machine variant where a single machine is mutated between
+// samples — the case incremental per-machine fingerprinting turns from
+// O(all machines) into O(1 machine + combine).
+func BenchmarkFingerprint(b *testing.B) {
+	b.Run("elevator", func(b *testing.B) {
+		benchFingerprintOn(b, "elevator", psamples.Elevator, 5)
+	})
+	b.Run("german-3", func(b *testing.B) {
+		benchFingerprintOn(b, "german", psamples.German(3), 30)
 	})
 }
 

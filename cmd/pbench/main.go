@@ -1,0 +1,341 @@
+// pbench runs the explorer benchmark corpus — the E2 (Fig 7) delay-bound
+// sweeps, the E4 (Fig 8) USB state-machine searches, and the
+// fingerprint/clone micro-benchmarks that dominate the explorer's inner
+// loop — and emits a machine-readable JSON report (BENCH_explore.json).
+// The committed report seeds the repo's perf trajectory: every PR that
+// touches the hot path can regenerate it and show its delta.
+//
+// Usage:
+//
+//	pbench [-out BENCH_explore.json] [-benchtime 1s] [-iters N] [-filter regexp]
+//
+// With -iters N each entry runs exactly N iterations (CI smoke uses
+// -iters 1); otherwise entries iterate until -benchtime has elapsed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"time"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+// schemaVersion identifies the report layout. Bump on incompatible change.
+const schemaVersion = "pbench/1"
+
+// schemaDoc is the embedded header documenting every field of the report;
+// it is emitted first so the committed JSON file is self-describing.
+var schemaDoc = []string{
+	"schema: report layout version (pbench/1)",
+	"go, goos, goarch, cpus: toolchain and host the numbers were taken on",
+	"generated: RFC3339 timestamp of the run",
+	"entries[].name: unique benchmark id, experiment/sample/parameters",
+	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), FP (fingerprint micro), CLONE (global clone micro)",
+	"entries[].sample: embedded P sample the entry compiles",
+	"entries[].mode: exploration mode for explorer entries (delay-bounded)",
+	"entries[].bound: delay budget for explorer entries",
+	"entries[].max_states: distinct-state cap for explorer entries (0 = none hit)",
+	"entries[].iterations: measured iterations (ops for micros are batched; ns_per_op is per single op)",
+	"entries[].ns_per_op: wall nanoseconds per operation",
+	"entries[].allocs_per_op: heap allocations per operation",
+	"entries[].bytes_per_op: heap bytes per operation",
+	"entries[].states: distinct global states discovered (explorer entries)",
+	"entries[].transitions: macro steps executed (explorer entries)",
+	"entries[].states_per_sec: states / (ns_per_op * 1e-9) (explorer entries)",
+}
+
+type report struct {
+	Schema    string   `json:"schema"`
+	SchemaDoc []string `json:"schema_doc"`
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Generated string   `json:"generated"`
+	Entries   []entry  `json:"entries"`
+}
+
+type entry struct {
+	Name         string  `json:"name"`
+	Experiment   string  `json:"experiment"`
+	Sample       string  `json:"sample"`
+	Mode         string  `json:"mode,omitempty"`
+	Bound        int     `json:"bound,omitempty"`
+	MaxStates    int     `json:"max_states,omitempty"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	States       int     `json:"states,omitempty"`
+	Transitions  int     `json:"transitions,omitempty"`
+	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+}
+
+// measure runs f (which performs ops operations per call) until iters calls
+// (when iters > 0) or benchtime has elapsed, and reports per-op wall time
+// and allocation figures.
+func measure(benchtime time.Duration, iters, ops int, f func()) (n int, nsPerOp, allocsPerOp, bytesPerOp int64) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for {
+		f()
+		n++
+		if iters > 0 {
+			if n >= iters {
+				break
+			}
+		} else if time.Since(start) >= benchtime {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	total := int64(n) * int64(ops)
+	nsPerOp = elapsed.Nanoseconds() / total
+	allocsPerOp = int64(m1.Mallocs-m0.Mallocs) / total
+	bytesPerOp = int64(m1.TotalAlloc-m0.TotalAlloc) / total
+	return n, nsPerOp, allocsPerOp, bytesPerOp
+}
+
+func compileOrDie(name, src string) *ir.Program {
+	prog, diags, err := compile.Source(name, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbench: compile %s: %v\n%s", name, err, diags.String())
+		os.Exit(1)
+	}
+	return prog
+}
+
+// exploreEntry measures one delay-bounded exploration configuration.
+func exploreEntry(benchtime time.Duration, iters int, experiment, sample string, prog *ir.Program, bound, maxStates int) entry {
+	var last *check.Result
+	n, ns, allocs, bytes := measure(benchtime, iters, 1, func() {
+		res, err := check.Explore(prog, check.Options{
+			Mode: check.DelayBounded, Bound: bound, MaxStates: maxStates,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
+			os.Exit(1)
+		}
+		last = res
+	})
+	e := entry{
+		Name:        fmt.Sprintf("%s/%s/d=%d", experiment, sample, bound),
+		Experiment:  experiment,
+		Sample:      sample,
+		Mode:        check.DelayBounded.String(),
+		Bound:       bound,
+		Iterations:  n,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		States:      last.Stats.DistinctStates,
+		Transitions: last.Stats.Transitions,
+	}
+	if last.Stats.Truncated {
+		e.MaxStates = maxStates
+	}
+	if ns > 0 {
+		e.StatesPerSec = float64(last.Stats.DistinctStates) / (float64(ns) * 1e-9)
+	}
+	return e
+}
+
+// advance drives g a few macro steps so its configuration is nontrivial.
+func advance(g *core.Global, steps int) {
+	for i := 0; i < steps; i++ {
+		for _, id := range g.LiveIDs() {
+			if g.Enabled(id) {
+				g.RunToSchedPoint(id, &core.FixedChoices{}, 0)
+				break
+			}
+		}
+	}
+}
+
+// fingerprintEntries measures the incremental fingerprint hot path on one
+// sample: a single-machine mutation (a ⊕-dropped duplicate send)
+// invalidates one per-Config digest, then Hash re-encodes that machine and
+// re-combines — the exact cost the explorer pays per macro step.
+func fingerprintEntries(benchtime time.Duration, iters int, sample string, prog *ir.Program, steps int) []entry {
+	const batch = 1000
+	g := core.NewGlobal(prog, nil)
+	if _, err := g.CreateMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
+		os.Exit(1)
+	}
+	advance(g, steps)
+	id := g.LiveIDs()[0]
+	if _, err := g.Send(id, 0, core.Null); err != nil { // prime the duplicate
+		fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
+		os.Exit(1)
+	}
+	mk := func(kind string, f func()) entry {
+		n, ns, allocs, bytes := measure(benchtime, iters, batch, f)
+		return entry{
+			Name:        fmt.Sprintf("FP/%s/%s", sample, kind),
+			Experiment:  "FP",
+			Sample:      sample,
+			Iterations:  n * batch,
+			NsPerOp:     ns,
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
+		}
+	}
+	return []entry{
+		mk("hash-fresh-1mut", func() {
+			for i := 0; i < batch; i++ {
+				g.Send(id, 0, core.Null)
+				g.Hash()
+			}
+		}),
+		mk("hash-cached", func() {
+			for i := 0; i < batch; i++ {
+				g.Hash()
+			}
+		}),
+		mk("exact-fresh-1mut", func() {
+			for i := 0; i < batch; i++ {
+				g.Send(id, 0, core.Null)
+				g.Fingerprint()
+			}
+		}),
+	}
+}
+
+// cloneEntry measures copy-on-write global cloning, the other explorer
+// inner-loop cost.
+func cloneEntry(benchtime time.Duration, iters int, sample string, prog *ir.Program, steps int) entry {
+	const batch = 1000
+	g := core.NewGlobal(prog, nil)
+	if _, err := g.CreateMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
+		os.Exit(1)
+	}
+	advance(g, steps)
+	n, ns, allocs, bytes := measure(benchtime, iters, batch, func() {
+		for i := 0; i < batch; i++ {
+			_ = g.Clone()
+		}
+	})
+	return entry{
+		Name:        fmt.Sprintf("CLONE/%s", sample),
+		Experiment:  "CLONE",
+		Sample:      sample,
+		Iterations:  n * batch,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+	}
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write the JSON report to this file (default stdout)")
+		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per entry")
+		iters     = flag.Int("iters", 0, "fixed iteration count per entry (overrides -benchtime; CI smoke uses 1)")
+		filter    = flag.String("filter", "", "only run entries whose name matches this regexp")
+	)
+	flag.Parse()
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintf(os.Stderr, "pbench: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	// The corpus: E2 delay sweeps, E4 USB searches at delay budget 1 with
+	// the Fig-8 state caps, fingerprint and clone micro-benchmarks.
+	type sweep struct {
+		sample, src string
+		bounds      []int
+		cap         int
+	}
+	e2 := []sweep{
+		{"elevator", psamples.Elevator, []int{0, 1, 2, 3}, 2_000_000},
+		{"switchled", psamples.SwitchLED, []int{0, 1, 2}, 2_000_000},
+		{"german", psamples.German(2), []int{0, 1, 2}, 2_000_000},
+	}
+	e4 := []sweep{
+		{"usb-hsm", psamples.USBHub, []int{1}, 200_000},
+		{"usb-psm3", psamples.USBPort30, []int{1}, 200_000},
+		{"usb-psm2", psamples.USBPort20, []int{1}, 200_000},
+		{"usb-dsm", psamples.USBDevice, []int{1}, 200_000},
+	}
+
+	rep := report{
+		Schema:    schemaVersion,
+		SchemaDoc: schemaDoc,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+	add := func(e entry) {
+		if re != nil && !re.MatchString(e.Name) {
+			return
+		}
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(os.Stderr, "%-40s %12d ns/op %10d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	}
+	runSweeps := func(experiment string, sweeps []sweep) {
+		for _, s := range sweeps {
+			var prog *ir.Program
+			for _, d := range s.bounds {
+				if re != nil && !re.MatchString(fmt.Sprintf("%s/%s/d=%d", experiment, s.sample, d)) {
+					continue
+				}
+				if prog == nil {
+					prog = compileOrDie(s.sample, s.src)
+				}
+				add(exploreEntry(*benchtime, *iters, experiment, s.sample, prog, d, s.cap))
+			}
+		}
+	}
+	runSweeps("E2", e2)
+	runSweeps("E4", e4)
+
+	if re == nil || re.MatchString("FP/") {
+		for _, e := range fingerprintEntries(*benchtime, *iters, "german-3", compileOrDie("german", psamples.German(3)), 30) {
+			add(e)
+		}
+		for _, e := range fingerprintEntries(*benchtime, *iters, "elevator", compileOrDie("elevator", psamples.Elevator), 5) {
+			add(e)
+		}
+	}
+	if re == nil || re.MatchString("CLONE/") {
+		add(cloneEntry(*benchtime, *iters, "elevator", compileOrDie("elevator", psamples.Elevator), 5))
+		add(cloneEntry(*benchtime, *iters, "german-3", compileOrDie("german", psamples.German(3)), 30))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "pbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,8 +1,8 @@
 package check
 
 import (
-	"strconv"
-	"strings"
+	"encoding/binary"
+	"hash/maphash"
 
 	"pgo/internal/core"
 )
@@ -22,6 +22,9 @@ import (
 // disabled machine to the top implicitly pop it.
 
 // schedStack is the delaying scheduler's stack. The last element is the top.
+// A machine id appears at most once (pushes are guarded by contains or push
+// fresh creations), which the rotation-cycle bound in scheduleOptions
+// relies on.
 type schedStack []core.MachineID
 
 func (s schedStack) top() core.MachineID { return s[len(s)-1] }
@@ -37,15 +40,15 @@ func (s schedStack) contains(id core.MachineID) bool {
 
 func (s schedStack) clone() schedStack { return append(schedStack(nil), s...) }
 
-// rotate1 moves the top to the bottom (one delay).
-func (s schedStack) rotate1() schedStack {
+// rotate1InPlace moves the top to the bottom (one delay). The receiver must
+// be exclusively owned by the caller.
+func (s schedStack) rotate1InPlace() {
 	if len(s) < 2 {
-		return s
+		return
 	}
-	out := make(schedStack, 0, len(s))
-	out = append(out, s[len(s)-1])
-	out = append(out, s[:len(s)-1]...)
-	return out
+	top := s[len(s)-1]
+	copy(s[1:], s[:len(s)-1])
+	s[0] = top
 }
 
 // popDisabled removes disabled or halted machines from the top; they would
@@ -58,21 +61,46 @@ func (s schedStack) popDisabled(g *core.Global) schedStack {
 	return out
 }
 
-func (s schedStack) key() string {
-	var b strings.Builder
+// Seeds for the hashed scheduler-stack digests, independent of the state
+// fingerprint seeds.
+var (
+	stackSeedHi = maphash.MakeSeed()
+	stackSeedLo = maphash.MakeSeed()
+)
+
+// stackKey is the compact comparable form of a scheduler stack used in the
+// visited maps: a 128-bit hash of the id sequence by default (computed
+// allocation-free from a stack scratch buffer), or the exact varint
+// encoding under Options.ExactFingerprints — the same escape hatch the
+// state keys use, so the auditing mode is collision-free end to end. A run
+// uses one scheme throughout, so keys from the two schemes never mix.
+type stackKey struct {
+	hash  core.Fp
+	exact string
+}
+
+// digest computes the visited-map key of the stack under the given scheme.
+func (s schedStack) digest(exact bool) stackKey {
+	var arr [64]byte
+	buf := arr[:0]
 	for _, id := range s {
-		b.WriteString(strconv.Itoa(int(id)))
-		b.WriteByte(',')
+		buf = binary.AppendUvarint(buf, uint64(id))
 	}
-	return b.String()
+	if exact {
+		return stackKey{exact: string(buf)}
+	}
+	return stackKey{hash: core.Fp{
+		Hi: maphash.Bytes(stackSeedHi, buf),
+		Lo: maphash.Bytes(stackSeedLo, buf),
+	}}
 }
 
 // visitedKey is the delay-bounded visited-map key: a scheduler-stack-
-// qualified state. A struct key avoids allocating a composite string per
-// node expansion (the old fp+"|"+stack concatenation).
+// qualified state. Both components are compact struct keys, so claiming a
+// node allocates nothing in the default hashed scheme.
 type visitedKey struct {
 	state StateKey
-	stack string
+	stack stackKey
 }
 
 // scheduleOption is one way to pick the next machine: apply cost delays,
@@ -82,26 +110,42 @@ type scheduleOption struct {
 	stack schedStack
 }
 
-// options enumerates the schedulable machines reachable within the
+// scheduleOptions enumerates the schedulable machines reachable within the
 // remaining delay budget: walking the rotation cycle of the stack, popping
 // disabled machines for free, stopping after a full cycle.
+//
+// Cycle detection is arithmetic, not keyed: machine ids on the stack are
+// distinct, so rotating a stack of length n repeats its first configuration
+// after exactly n pure rotations, and a pop strictly shrinks the multiset —
+// a post-pop stack can never equal a pre-pop one. The walk therefore stops
+// when the rotations since the last pop reach the current length, without
+// building per-iteration keys.
 func scheduleOptions(g *core.Global, s schedStack, remaining int) []scheduleOption {
-	var opts []scheduleOption
 	cur := s.clone().popDisabled(g)
+	max := len(cur)
+	if remaining+1 < max {
+		max = remaining + 1
+	}
+	if max <= 0 {
+		return nil
+	}
+	opts := make([]scheduleOption, 0, max)
 	cost := 0
-	seen := map[string]bool{}
-	for len(cur) > 0 && cost <= remaining {
-		k := cur.key()
-		if seen[k] {
-			break
-		}
-		seen[k] = true
+	rots := 0 // pure rotations since the stack last shrank
+	for len(cur) > 0 && cost <= remaining && rots < len(cur) {
 		opts = append(opts, scheduleOption{cost: cost, stack: cur.clone()})
 		if len(cur) < 2 {
 			break
 		}
-		cur = cur.rotate1().popDisabled(g)
+		prev := len(cur)
+		cur.rotate1InPlace()
+		cur = cur.popDisabled(g)
 		cost++
+		if len(cur) < prev {
+			rots = 0
+		} else {
+			rots++
+		}
 	}
 	return opts
 }
@@ -110,6 +154,7 @@ func scheduleOptions(g *core.Global, s schedStack, remaining int) []scheduleOpti
 // Options.Bound delay budget.
 func (e *explorer) delayBounded(g0 *core.Global) {
 	budget := e.opts.Bound
+	exactFP := e.opts.ExactFingerprints
 	type node struct {
 		g      *core.Global
 		stack  schedStack
@@ -135,7 +180,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 	if live := g0.LiveIDs(); len(live) > 0 {
 		initStack = schedStack{live[0]}
 	}
-	visited[visitedKey{fp0, initStack.key()}] = 0
+	visited[visitedKey{fp0, initStack.digest(exactFP)}] = 0
 
 	stack := []node{{g: g0, stack: initStack}}
 	for len(stack) > 0 && !e.stop {
@@ -183,7 +228,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 				}
 				next := updateStack(opt.stack, id, s.outcome)
 				delays := n.delays + opt.cost
-				key := visitedKey{s.fp, next.key()}
+				key := visitedKey{s.fp, next.digest(exactFP)}
 				if prev, ok := visited[key]; ok && prev <= delays {
 					continue
 				}
@@ -212,9 +257,11 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 }
 
 // updateStack applies the scheduler's stack rules after machine id ran one
-// macro step from the given stack (id on top).
+// macro step from the given stack (id on top). The result is a fresh stack
+// with one slot of spare capacity for the push cases.
 func updateStack(s schedStack, id core.MachineID, out core.Outcome) schedStack {
-	next := s.clone()
+	next := make(schedStack, len(s), len(s)+1)
+	copy(next, s)
 	switch out.Kind {
 	case core.OutSend:
 		if !next.contains(out.SentTo) {

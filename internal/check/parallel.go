@@ -156,7 +156,7 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 	if live := g0.LiveIDs(); len(live) > 0 {
 		initStack = schedStack{live[0]}
 	}
-	p.visited.claim(visitedKey{fp0, initStack.key()}, 0)
+	p.visited.claim(visitedKey{fp0, initStack.digest(e.opts.ExactFingerprints)}, 0)
 
 	p.work = append(p.work, pnode{g: g0, stack: initStack})
 	p.outstanding = 1
@@ -351,7 +351,7 @@ func (p *pexplorer) expandNode(n pnode) {
 				}
 				next := updateStack(opt.stack, id, out)
 				delays := n.delays + opt.cost
-				if p.visited.claim(visitedKey{fp, next.key()}, delays) && !p.stopped.Load() {
+				if p.visited.claim(visitedKey{fp, next.digest(e.opts.ExactFingerprints)}, delays) && !p.stopped.Load() {
 					trace := make([]TraceStep, len(n.trace)+1)
 					copy(trace, n.trace)
 					trace[len(n.trace)] = step

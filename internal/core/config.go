@@ -93,10 +93,26 @@ type Config struct {
 
 	Queue []QEntry
 
+	// Cached fingerprints of this one configuration (see fingerprint.go):
+	// fp is valid iff fpOK, fpStr is valid iff non-empty. Invalidated by the
+	// mutation funnel (own/invalidateFp), shared by copy-on-write clones,
+	// and written only while exclusively owned (gid matches the owning
+	// Global), so shared configurations can be fingerprinted concurrently.
+	fp    Fp
+	fpOK  bool
+	fpStr string
+
 	// Ctx is an opaque host context pointer (the SMGetContext analog). It is
 	// ignored by fingerprinting and cloning; only the concurrent runtime
 	// uses it.
 	Ctx any
+}
+
+// invalidateFp drops the configuration's cached fingerprints. Called by the
+// mutation funnel (Global.own) before the caller mutates.
+func (c *Config) invalidateFp() {
+	c.fpOK = false
+	c.fpStr = ""
 }
 
 // top returns the top stack frame. Callers must ensure the stack is nonempty.
@@ -115,15 +131,14 @@ func (c *Config) CurrentState() ir.StateID {
 }
 
 // clone returns a deep copy of the configuration. Continuations and
-// inherited maps are shared (immutable).
+// inherited maps are shared (immutable). append-style copies skip the
+// make+copy double write (no zeroing pass) and allocate nothing for empty
+// slices — queues are empty in most explorer states.
 func (c *Config) clone() *Config {
 	n := *c
-	n.Stack = make([]Frame, len(c.Stack))
-	copy(n.Stack, c.Stack)
-	n.Vars = make([]Value, len(c.Vars))
-	copy(n.Vars, c.Vars)
-	n.Queue = make([]QEntry, len(c.Queue))
-	copy(n.Queue, c.Queue)
+	n.Stack = append([]Frame(nil), c.Stack...)
+	n.Vars = append([]Value(nil), c.Vars...)
+	n.Queue = append([]QEntry(nil), c.Queue...)
 	return &n
 }
 
@@ -160,8 +175,9 @@ type Global struct {
 	gid      uint64
 	NextID   MachineID
 
-	// Cached fingerprints (see fingerprint.go): fp is valid iff fpOK, fpStr
-	// is valid iff non-empty. Computed lazily, dropped on mutation, and
+	// Cached whole-global fingerprints (see fingerprint.go): fp is valid iff
+	// fpOK, fpStr is valid iff non-empty. These cache the positional combine
+	// over the per-Config digests; computed lazily, dropped on mutation, and
 	// inherited by clones (a clone is semantically identical until one side
 	// mutates, and mutation funnels through own/CreateMachine).
 	fp    Fp
@@ -252,14 +268,20 @@ func (g *Global) own(id MachineID) *Config {
 	if c == nil {
 		return nil
 	}
-	// The caller is about to mutate: conservatively drop the fingerprint
-	// cache (even a ⊕-dropped send invalidates; correctness over precision).
+	// The caller is about to mutate: conservatively drop the Global-level
+	// combine cache and the touched Config's own cache (even a ⊕-dropped
+	// send invalidates; correctness over precision — the re-encode then
+	// reproduces the same digest, so the global key is unchanged). Only the
+	// mutated machine loses its cache; the others keep theirs, which is what
+	// makes re-fingerprinting after a macro step O(1 machine + combine).
 	g.invalidateFingerprint()
 	if c.gid == g.gid {
+		c.invalidateFp()
 		return c
 	}
 	cp := c.clone()
 	cp.gid = g.gid
+	cp.invalidateFp()
 	g.machines[int(id)-1] = cp
 	return cp
 }
@@ -275,7 +297,7 @@ func (g *Global) IDs() []MachineID {
 
 // LiveIDs returns the ids of machines that have not been deleted.
 func (g *Global) LiveIDs() []MachineID {
-	var out []MachineID
+	out := make([]MachineID, 0, len(g.machines))
 	for i, c := range g.machines {
 		if c != nil && c.Mode != ModeHalted {
 			out = append(out, MachineID(i+1))

@@ -1,0 +1,12 @@
+package core
+
+// Test hooks: from-scratch fingerprint recomputation, bypassing both the
+// per-Config and the Global-level caches. The coherence property test
+// checks the incremental scheme against these references.
+
+// HashFromScratch recomputes the hashed fingerprint ignoring every cache.
+func (g *Global) HashFromScratch() Fp { return g.hashFromScratch() }
+
+// FingerprintFromScratch recomputes the canonical encoding ignoring every
+// cache.
+func (g *Global) FingerprintFromScratch() string { return g.fingerprintFromScratch() }

@@ -7,11 +7,10 @@ import (
 )
 
 // Fp is a compact 128-bit fingerprint of a global configuration: two
-// independent 64-bit hashes of the canonical encoding produced by
-// Fingerprint. It is the explorers' default visited-set key; at 2^128 the
-// collision probability is negligible even for billion-state searches, and
-// the exact string encoding remains available as an auditing escape hatch
-// (check.Options.ExactFingerprints, pverify -exact-fp).
+// independent 64-bit hashes. It is the explorers' default visited-set key;
+// at 2^128 the collision probability is negligible even for billion-state
+// searches, and the exact string encoding remains available as an auditing
+// escape hatch (check.Options.ExactFingerprints, pverify -exact-fp).
 type Fp struct {
 	Hi, Lo uint64
 }
@@ -29,6 +28,63 @@ var (
 // per-Global buffer would not amortize.
 var fpBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 
+// Fingerprinting is incremental: each Config caches a 128-bit digest of its
+// own canonical encoding (and, in exact mode, the encoding itself), and the
+// Global-level fingerprint combines the per-machine digests positionally.
+// One macro step mutates exactly one machine configuration, so after a
+// transition the Global re-encodes that one machine and re-combines —
+// O(mutated machine + #machines) instead of O(world).
+//
+// Cache discipline. A Config's cache is valid iff fpOK (hashed) / fpStr
+// non-empty (exact; a config encoding is never the empty string). Every
+// mutation funnels through Global.own or CreateMachine, which invalidate
+// the touched Config's cache (and the Global-level combine cache).
+// Copy-on-write clones share Configs *and* their cached digests: a shared
+// Config is immutable, so the cache stays valid on both sides until one of
+// them owns-and-mutates it, which replaces the Config on that side only.
+//
+// Concurrency. A shared Config may be fingerprinted by several explorer
+// workers at once, so cache *writes* are gated on exclusive ownership
+// (c.gid == g.gid): generations are globally unique, only the Global that
+// created or last CoW-copied a Config within its current epoch matches, and
+// that Global is only ever touched by one goroutine before it is handed off
+// through the work queue (whose lock orders the cache write before any
+// cross-thread read). A shared Config that was never fingerprinted by its
+// owner is simply re-encoded on each use — correct, just not cached.
+//
+// Fingerprints must only be taken between macro steps (configurations at
+// rest): own invalidates once up front, not on every individual mutation.
+
+// configFp returns the 128-bit digest of configuration c's canonical
+// encoding, using scratch as the encode buffer, and caches it on c when c
+// is exclusively owned by g. It returns the (possibly grown) scratch.
+func (g *Global) configFp(c *Config, scratch []byte) (Fp, []byte) {
+	if c.fpOK {
+		return c.fp, scratch
+	}
+	scratch = c.appendFingerprint(scratch[:0])
+	fp := Fp{Hi: maphash.Bytes(fpSeedHi, scratch), Lo: maphash.Bytes(fpSeedLo, scratch)}
+	if c.gid == g.gid {
+		c.fp = fp
+		c.fpOK = true
+	}
+	return fp, scratch
+}
+
+// configFpStr returns (and, when exclusively owned, caches) the canonical
+// string encoding of configuration c.
+func (g *Global) configFpStr(c *Config, scratch []byte) (string, []byte) {
+	if c.fpStr != "" {
+		return c.fpStr, scratch
+	}
+	scratch = c.appendFingerprint(scratch[:0])
+	s := string(scratch)
+	if c.gid == g.gid {
+		c.fpStr = s
+	}
+	return s, scratch
+}
+
 // Fingerprint returns a canonical, collision-free encoding of the global
 // configuration as a string suitable for use as a visited-set key. Two
 // globals have equal fingerprints iff they are semantically identical
@@ -39,46 +95,146 @@ var fpBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
 // encoded verbatim. Host context pointers (Config.Ctx) and the foreign
 // environment are deliberately excluded: they are execution-only state.
 //
-// The result is cached on the Global: repeated calls between mutations are
-// free, and unmutated clones inherit the cache.
+// The result is assembled from the per-Config encoding caches and cached on
+// the Global: repeated calls between mutations are free, unmutated clones
+// inherit both cache levels, and a mutation re-encodes only the touched
+// machine.
 func (g *Global) Fingerprint() string {
 	if g.fpStr != "" {
 		return g.fpStr
 	}
 	bp := fpBufs.Get().(*[]byte)
-	buf := g.appendFingerprint((*bp)[:0])
+	sp := fpBufs.Get().(*[]byte)
+	buf, scratch := (*bp)[:0], (*sp)[:0]
+	buf = appendUvarint(buf, uint64(g.NextID))
+	buf = appendUvarint(buf, uint64(len(g.machines)))
+	for _, c := range g.machines {
+		if c == nil || c.Mode == ModeHalted {
+			buf = append(buf, 0xFF)
+			continue
+		}
+		var s string
+		s, scratch = g.configFpStr(c, scratch)
+		buf = append(buf, s...)
+	}
 	g.fpStr = string(buf)
-	*bp = buf
+	*bp, *sp = buf, scratch
 	fpBufs.Put(bp)
+	fpBufs.Put(sp)
 	return g.fpStr
 }
 
-// Hash returns the 128-bit hashed fingerprint of the global configuration,
-// built over the same canonical encoding as Fingerprint but without
-// materializing the string. Like Fingerprint, the result is cached until
-// the next mutation and inherited by unmutated clones.
+// fpCombine accumulates per-machine digests into a positional 128-bit
+// combine: each half chains h = (h ^ input) * oddConstant, a bijection of h
+// for fixed input and of input for fixed h, so the result depends on every
+// digest and on its position. Inputs are maphash outputs (already uniform),
+// which keeps the 2×64-bit collision story: per-machine digests are 128-bit
+// maphashes of the machine's canonical encoding, and the combine behaves
+// like a random function of the digest sequence. sum applies a murmur-style
+// finalizer so the low bits (used for dictionary sharding) are well mixed.
+type fpCombine struct{ hi, lo uint64 }
+
+// The multipliers are the splitmix64 increment/multiplier constants; the
+// halted marker is an arbitrary odd constant distinct from any digest tag.
+const (
+	fpCombM1     = 0x9e3779b97f4a7c15
+	fpCombM2     = 0xbf58476d1ce4e5b9
+	fpCombHalted = 0x94d049bb133111eb
+)
+
+func newFpCombine(nextID MachineID, machines int) fpCombine {
+	return fpCombine{
+		hi: (uint64(nextID) ^ uint64(machines)<<32) * fpCombM1,
+		lo: (uint64(machines) ^ uint64(nextID)<<32) * fpCombM2,
+	}
+}
+
+func (h *fpCombine) add(fp Fp) {
+	h.hi = (h.hi ^ fp.Hi) * fpCombM1
+	h.lo = (h.lo ^ fp.Lo) * fpCombM2
+}
+
+func (h *fpCombine) halted() {
+	h.hi = (h.hi ^ fpCombHalted) * fpCombM1
+	h.lo = (h.lo ^ fpCombHalted) * fpCombM2
+}
+
+// fmix64 is the murmur3 64-bit finalizer.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func (h *fpCombine) sum() Fp { return Fp{Hi: fmix64(h.hi), Lo: fmix64(h.lo)} }
+
+// Hash returns the 128-bit hashed fingerprint of the global configuration:
+// the positional fpCombine over the per-machine 128-bit digests plus the
+// id-allocator header, with halted tombstones marked. Like Fingerprint, the
+// result is cached until the next mutation and inherited by unmutated
+// clones; after one machine mutates, recomputing costs one machine encode
+// plus an O(#machines) combine.
 func (g *Global) Hash() Fp {
 	if g.fpOK {
 		return g.fp
 	}
-	bp := fpBufs.Get().(*[]byte)
-	buf := g.appendFingerprint((*bp)[:0])
-	g.fp = Fp{Hi: maphash.Bytes(fpSeedHi, buf), Lo: maphash.Bytes(fpSeedLo, buf)}
+	// Per-config encodings use an on-stack scratch buffer; only unusually
+	// large configurations spill to the heap via append.
+	var arr [512]byte
+	scratch := arr[:0]
+	h := newFpCombine(g.NextID, len(g.machines))
+	for _, c := range g.machines {
+		if c == nil || c.Mode == ModeHalted {
+			h.halted()
+			continue
+		}
+		var fp Fp
+		fp, scratch = g.configFp(c, scratch)
+		h.add(fp)
+	}
+	g.fp = h.sum()
 	g.fpOK = true
-	*bp = buf
-	fpBufs.Put(bp)
 	return g.fp
 }
 
-// invalidateFingerprint drops the cached fingerprints. Called by every
-// mutation entry point (own, CreateMachine); the copy-on-write clone
-// discipline funnels all configuration mutations through those.
+// hashFromScratch recomputes the hashed fingerprint ignoring both cache
+// levels (per-Config and per-Global) and without writing them. It is the
+// reference implementation the coherence property test checks the
+// incremental scheme against.
+func (g *Global) hashFromScratch() Fp {
+	var scratch []byte
+	h := newFpCombine(g.NextID, len(g.machines))
+	for _, c := range g.machines {
+		if c == nil || c.Mode == ModeHalted {
+			h.halted()
+			continue
+		}
+		scratch = c.appendFingerprint(scratch[:0])
+		h.add(Fp{Hi: maphash.Bytes(fpSeedHi, scratch), Lo: maphash.Bytes(fpSeedLo, scratch)})
+	}
+	return h.sum()
+}
+
+// fingerprintFromScratch recomputes the canonical string encoding ignoring
+// the caches; reference counterpart of hashFromScratch.
+func (g *Global) fingerprintFromScratch() string {
+	return string(g.appendFingerprint(nil))
+}
+
+// invalidateFingerprint drops the Global-level combine caches. Called by
+// every mutation entry point (own, CreateMachine); the copy-on-write clone
+// discipline funnels all configuration mutations through those, which also
+// invalidate the touched Config's own cache (Config.invalidateFp).
 func (g *Global) invalidateFingerprint() {
 	g.fpOK = false
 	g.fpStr = ""
 }
 
-// appendFingerprint appends the canonical encoding of g to buf.
+// appendFingerprint appends the full canonical encoding of g to buf,
+// bypassing the per-Config caches (from-scratch reference).
 func (g *Global) appendFingerprint(buf []byte) []byte {
 	buf = appendUvarint(buf, uint64(g.NextID))
 	buf = appendUvarint(buf, uint64(len(g.machines)))
@@ -100,8 +256,12 @@ func (c *Config) appendFingerprint(buf []byte) []byte {
 	for i := range c.Stack {
 		fr := &c.Stack[i]
 		buf = appendUvarint(buf, uint64(fr.State))
+		// Inherited entries are int16 (action ids or the two negative
+		// markers); fixed 2-byte little-endian is injective and much cheaper
+		// than varints on this hot inner loop. The entry count is implied by
+		// the program's event count, constant across all fingerprints.
 		for _, h := range fr.Inherited {
-			buf = appendVarint(buf, int64(h))
+			buf = append(buf, byte(uint16(h)), byte(uint16(h)>>8))
 		}
 		buf = appendCont(buf, fr.ReturnCont)
 	}

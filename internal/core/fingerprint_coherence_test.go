@@ -1,0 +1,151 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+// The incremental fingerprint scheme must be observationally identical to
+// recomputing the whole-global encoding from scratch. This property test
+// drives random mutation sequences (macro steps, copy-on-write clones,
+// ⊕-dropped duplicate sends) over compiled samples and asserts after every
+// action that
+//
+//	(a) a clone and its original keep equal keys until one side mutates,
+//	    and the unmutated side's key is unaffected by the other's mutation;
+//	(b) a ⊕-dropped duplicate send leaves the key unchanged (the mutation
+//	    funnel invalidates the cache, the re-encode reproduces the digest);
+//	(c) the incremental Hash/Fingerprint equal a from-scratch recomputation
+//	    after every step.
+
+func compileCoherence(t *testing.T, name, src string) *ir.Program {
+	t.Helper()
+	prog, diags, err := compile.Source(name, src)
+	if err != nil {
+		t.Fatalf("compile %s: %v\n%s", name, err, diags.String())
+	}
+	return prog
+}
+
+// assertCoherent checks property (c) on one global configuration.
+func assertCoherent(t *testing.T, g *core.Global, ctx string) {
+	t.Helper()
+	if got, want := g.Hash(), g.HashFromScratch(); got != want {
+		t.Fatalf("%s: incremental Hash %x/%x != from-scratch %x/%x",
+			ctx, got.Hi, got.Lo, want.Hi, want.Lo)
+	}
+	if got, want := g.Fingerprint(), g.FingerprintFromScratch(); got != want {
+		t.Fatalf("%s: incremental Fingerprint diverges from from-scratch encoding (%d vs %d bytes)",
+			ctx, len(got), len(want))
+	}
+}
+
+func TestFingerprintCoherence(t *testing.T) {
+	samples := map[string]string{
+		"elevator":  psamples.Elevator,
+		"switchled": psamples.SwitchLED,
+		"german":    psamples.German(2),
+		"ring":      psamples.Ring(3),
+	}
+	for name, src := range samples {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			prog := compileCoherence(t, name, src)
+			for seed := int64(0); seed < 4; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				g := core.NewGlobal(prog, nil)
+				if _, err := g.CreateMain(); err != nil {
+					t.Fatal(err)
+				}
+				assertCoherent(t, g, "initial")
+
+				// pool holds independently evolving CoW relatives.
+				pool := []*core.Global{g}
+				for step := 0; step < 120; step++ {
+					cur := pool[rng.Intn(len(pool))]
+					ctx := fmt.Sprintf("seed %d step %d", seed, step)
+					switch action := rng.Intn(10); {
+					case action == 0 && len(pool) < 8:
+						// Clone: equal keys while both sides are unmutated (a).
+						before := cur.Hash()
+						cl := cur.Clone()
+						if cl.Hash() != before || cur.Hash() != before {
+							t.Fatalf("%s: clone changed keys", ctx)
+						}
+						if cl.Fingerprint() != cur.Fingerprint() {
+							t.Fatalf("%s: clone exact keys differ", ctx)
+						}
+						assertCoherent(t, cl, ctx+" (clone)")
+						pool = append(pool, cl)
+					case action == 1:
+						// ⊕-dropped duplicate send: key must not move (b).
+						id, q, ok := queuedEntry(cur)
+						if !ok {
+							continue
+						}
+						before, beforeStr := cur.Hash(), cur.Fingerprint()
+						delivered, err := cur.Send(id, q.Event, q.Val)
+						if err != nil {
+							t.Fatalf("%s: duplicate send: %v", ctx, err)
+						}
+						if delivered {
+							t.Fatalf("%s: duplicate send was not ⊕-dropped", ctx)
+						}
+						if cur.Hash() != before || cur.Fingerprint() != beforeStr {
+							t.Fatalf("%s: ⊕-dropped send changed the key", ctx)
+						}
+						assertCoherent(t, cur, ctx+" (dup send)")
+					default:
+						// Macro step on a random enabled machine; a CoW
+						// relative must keep its key (a).
+						id, ok := enabledMachine(cur, rng)
+						if !ok {
+							continue
+						}
+						witness := pool[rng.Intn(len(pool))]
+						witnessKey := core.Fp{}
+						if witness != cur {
+							witnessKey = witness.Hash()
+						}
+						cur.RunToSchedPoint(id, &core.FixedChoices{}, 0)
+						assertCoherent(t, cur, ctx+" (step)")
+						if witness != cur && witness.Hash() != witnessKey {
+							t.Fatalf("%s: mutating one CoW relative moved another's key", ctx)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// enabledMachine picks a random enabled machine of g, if any.
+func enabledMachine(g *core.Global, rng *rand.Rand) (core.MachineID, bool) {
+	var enabled []core.MachineID
+	for _, id := range g.LiveIDs() {
+		if g.Enabled(id) {
+			enabled = append(enabled, id)
+		}
+	}
+	if len(enabled) == 0 {
+		return 0, false
+	}
+	return enabled[rng.Intn(len(enabled))], true
+}
+
+// queuedEntry finds a live machine with a pending queue entry to duplicate.
+func queuedEntry(g *core.Global) (core.MachineID, core.QEntry, bool) {
+	for _, id := range g.LiveIDs() {
+		c := g.Get(id)
+		if c != nil && len(c.Queue) > 0 {
+			return id, c.Queue[0], true
+		}
+	}
+	return 0, core.QEntry{}, false
+}
