@@ -283,3 +283,48 @@ func TestCLIJSONReport(t *testing.T) {
 		t.Errorf("JSON missing ok=true:\n%s", out)
 	}
 }
+
+func TestCLIChaosFindsRelayDefect(t *testing.T) {
+	// Fault-free: clean.
+	out, err := run(t, "./cmd/pverify", "testdata/relay.p")
+	if err != nil {
+		t.Fatalf("relay should verify clean without chaos: %v\n%s", err, out)
+	}
+	// One dropped message: the assertion fails, with a labeled fault step
+	// in the replayed counterexample.
+	out, err = run(t, "./cmd/pverify", "-chaos", "-fault-kinds", "drop", "-trace", "testdata/relay.p")
+	if err == nil {
+		t.Fatalf("pverify -chaos should exit nonzero on relay:\n%s", out)
+	}
+	for _, want := range []string{
+		"chaos: fault budget 1 (kinds drop)",
+		"VIOLATION", "assertion failed",
+		"loses Req in transit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// JSON labels the fault step.
+	out, err = run(t, "./cmd/pverify", "-faults", "1", "-fault-kinds", "drop", "-json", "testdata/relay.p")
+	if err == nil {
+		t.Fatalf("should exit nonzero:\n%s", out)
+	}
+	for _, want := range []string{`"faults": 1`, `"fault_kinds": "drop"`, `"fault": "drop"`, `"outcome": "fault"`, `"fault_steps"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIRunWithInjection(t *testing.T) {
+	out, err := run(t, "./cmd/prun",
+		"-machine", "Elevator", "-send", "OpenDoor,DoorOpened",
+		"-chaos-seed", "7", "-chaos-delay", "0.5", "-metrics", "sample:elevator")
+	if err != nil {
+		t.Fatalf("prun with injection failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "metrics:") {
+		t.Errorf("missing metrics line:\n%s", out)
+	}
+}

@@ -29,9 +29,16 @@ import (
 
 func main() {
 	var (
-		machine = flag.String("machine", "", "machine type to instantiate (default: the program's main machine if real)")
-		sends   = flag.String("send", "", "comma-separated events to send, each EVENT or EVENT:INTPAYLOAD")
-		timeout = flag.Duration("quiesce", 5*time.Second, "quiescence timeout after each event")
+		machine  = flag.String("machine", "", "machine type to instantiate (default: the program's main machine if real)")
+		sends    = flag.String("send", "", "comma-separated events to send, each EVENT or EVENT:INTPAYLOAD")
+		timeout  = flag.Duration("quiesce", 5*time.Second, "quiescence timeout after each event")
+		seed     = flag.Int64("chaos-seed", 0, "seed for transport fault injection")
+		drop     = flag.Float64("chaos-drop", 0, "probability a sent event is lost in transit")
+		dup      = flag.Float64("chaos-dup", 0, "probability a sent event is delivered twice")
+		delay    = flag.Float64("chaos-delay", 0, "probability a sent event's delivery is postponed")
+		maxInbox = flag.Int("max-inbox", 0, "bound each machine's inbox to this many pending events (0 = unbounded)")
+		overflow = flag.String("overflow", "drop-newest", "bounded-inbox overflow policy: drop-newest or error")
+		metrics  = flag.Bool("metrics", false, "print runtime metrics on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prun [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -63,13 +70,36 @@ func main() {
 		}
 	}
 
-	rt, err := prt.New(prog, prt.Options{
-		OnError: func(e *core.Err) { fmt.Fprintf(os.Stderr, "prun: machine error: %v\n", e) },
-	})
+	opts := prt.Options{
+		OnError:  func(e *core.Err) { fmt.Fprintf(os.Stderr, "prun: machine error: %v\n", e) },
+		MaxInbox: *maxInbox,
+	}
+	if *maxInbox > 0 {
+		switch *overflow {
+		case "drop-newest":
+			opts.Overflow = prt.OverflowDropNewest
+		case "error":
+			opts.Overflow = prt.OverflowError
+		default:
+			cmdutil.Fatalf("prun: unknown -overflow policy %q (want drop-newest or error)", *overflow)
+		}
+	}
+	if *drop > 0 || *dup > 0 || *delay > 0 {
+		opts.Inject = &prt.Inject{Seed: *seed, Drop: *drop, Dup: *dup, Delay: *delay}
+	}
+	rt, err := prt.New(prog, opts)
 	if err != nil {
 		cmdutil.Fatalf("prun: %v", err)
 	}
 	defer rt.Stop()
+	if *metrics {
+		defer func() {
+			m := rt.Metrics()
+			fmt.Printf("metrics: created %d, delivered %d, deduped %d, processed %d, overflowed %d, injected drop/dup/delay %d/%d/%d, panics %d, restarts %d\n",
+				m.MachinesCreated, m.EventsDelivered, m.EventsDeduped, m.EventsProcessed, m.EventsOverflowed,
+				m.InjectedDrops, m.InjectedDups, m.InjectedDelays, m.Panics, m.Restarts)
+		}()
+	}
 
 	id, err := rt.CreateMachine(target, nil, nil)
 	if err != nil {

@@ -41,6 +41,9 @@ func main() {
 		coverage  = flag.Bool("coverage", false, "report per-machine control states the exploration never visited (implies graph collection)")
 		allViol   = flag.Int("max-violations", 20, "print at most this many violations")
 		noAnalyze = flag.Bool("no-analyze", false, "skip the IR-level static analysis that runs before exploration")
+		chaos     = flag.Bool("chaos", false, "inject environment faults (crash, drop, dup) during exploration; defaults the fault budget to 1")
+		faults    = flag.Int("faults", -1, "fault budget: max injected faults along one schedule (implies -chaos; 0 disables)")
+		faultKind = flag.String("fault-kinds", "all", "comma-separated fault kinds to inject: crash, drop, dup, or all")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pverify [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -81,12 +84,31 @@ func main() {
 		}
 	}
 
+	// -chaos without -faults means a budget of 1; a positive -faults implies
+	// chaos on its own.
+	budget := 0
+	if *faults > 0 {
+		budget = *faults
+	} else if *chaos && *faults != 0 {
+		budget = 1
+	}
+	var kinds check.FaultSet
+	if budget > 0 {
+		var kerr error
+		kinds, kerr = check.ParseFaultSet(*faultKind)
+		if kerr != nil {
+			cmdutil.Fatalf("pverify: -fault-kinds: %v", kerr)
+		}
+	}
+
 	opts := check.Options{
 		Bound:             *bound,
 		MaxStates:         *maxStates,
 		StopAtFirstError:  *firstOnly,
 		CollectGraph:      *liveness || *coverage,
 		ExactFingerprints: *exactFP,
+		Faults:            budget,
+		FaultKinds:        kinds,
 	}
 	opts.Workers = *workers
 	switch *mode {
@@ -133,6 +155,9 @@ func main() {
 	st := res.Stats
 	fmt.Printf("%s: %s bound %d: %d distinct states, %d transitions, %d search nodes, max depth %d, %d quiescent, %v\n",
 		name, opts.Mode, *bound, st.DistinctStates, st.Transitions, st.SearchNodes, st.MaxDepth, st.Quiescent, st.Elapsed.Round(1_000_000))
+	if opts.Faults > 0 {
+		fmt.Printf("  chaos: fault budget %d (kinds %s), %d fault steps\n", opts.Faults, kinds, st.FaultSteps)
+	}
 	if st.Truncated {
 		fmt.Println("  (search truncated)")
 	}
@@ -197,6 +222,8 @@ type jsonReport struct {
 	Program    string                 `json:"program"`
 	Mode       string                 `json:"mode"`
 	Bound      int                    `json:"bound"`
+	Faults     int                    `json:"faults,omitempty"`
+	FaultKinds string                 `json:"fault_kinds,omitempty"`
 	Analysis   []analysis.JSONFinding `json:"analysis,omitempty"`
 	Stats      jsonStats              `json:"stats"`
 	Violations []jsonViolation        `json:"violations"`
@@ -208,6 +235,7 @@ type jsonStats struct {
 	DistinctStates int   `json:"distinct_states"`
 	Transitions    int   `json:"transitions"`
 	SearchNodes    int   `json:"search_nodes"`
+	FaultSteps     int   `json:"fault_steps,omitempty"`
 	MaxDepth       int   `json:"max_depth"`
 	Quiescent      int   `json:"quiescent"`
 	Truncated      bool  `json:"truncated"`
@@ -227,18 +255,27 @@ type jsonStep struct {
 	Choices []bool `json:"choices,omitempty"`
 	Outcome string `json:"outcome"`
 	Event   string `json:"event,omitempty"`
+	Fault   string `json:"fault,omitempty"` // crash, drop, or dup on injected-fault steps
 }
 
 func emitJSON(name string, prog *ir.Program, opts check.Options, res *check.Result, findings []analysis.Finding, analysisBad, liveOn, ghostLive bool) {
 	rep := jsonReport{
-		Program:  name,
-		Mode:     opts.Mode.String(),
-		Bound:    opts.Bound,
+		Program: name,
+		Mode:    opts.Mode.String(),
+		Bound:   opts.Bound,
+		Faults:  opts.Faults,
+		FaultKinds: func() string {
+			if opts.Faults == 0 {
+				return ""
+			}
+			return opts.FaultKinds.String()
+		}(),
 		Analysis: analysis.FindingsJSON(findings),
 		Stats: jsonStats{
 			DistinctStates: res.Stats.DistinctStates,
 			Transitions:    res.Stats.Transitions,
 			SearchNodes:    res.Stats.SearchNodes,
+			FaultSteps:     res.Stats.FaultSteps,
 			MaxDepth:       res.Stats.MaxDepth,
 			Quiescent:      res.Stats.Quiescent,
 			Truncated:      res.Stats.Truncated,
@@ -255,6 +292,11 @@ func emitJSON(name string, prog *ir.Program, opts check.Options, res *check.Resu
 				Delays:  s.Delays,
 				Choices: s.Choices,
 				Outcome: s.Outcome.String(),
+			}
+			if s.Fault != check.FaultNone {
+				step.Outcome = "fault"
+				step.Fault = s.Fault.String()
+				step.Delays = 0
 			}
 			if s.HasEv {
 				step.Event = prog.Events[s.Event].Name

@@ -81,6 +81,15 @@ type Options struct {
 	// escape hatch (pverify -exact-fp). Both modes report identical
 	// DistinctStates absent a collision.
 	ExactFingerprints bool
+	// Faults is the chaos-mode fault budget: the maximum number of injected
+	// environment faults (spontaneous crash, message drop, duplicate
+	// delivery — see faults.go) along any single schedule. 0 disables fault
+	// injection. Mirrors the delay budget: the explorers branch over every
+	// fault placement within the budget.
+	Faults int
+	// FaultKinds selects which fault kinds chaos mode injects; the zero
+	// value selects AllFaults. Ignored when Faults is 0.
+	FaultKinds FaultSet
 }
 
 // StateKey identifies a distinct global configuration in the explorers'
@@ -104,17 +113,25 @@ func (e *explorer) keyOf(g *core.Global) StateKey {
 }
 
 // TraceStep is one scheduling decision, sufficient to replay a violation.
+// A step with Fault != FaultNone is an injected environment fault (chaos
+// mode), not a machine transition: Machine identifies the faulted machine,
+// Event the dropped or duplicated entry, and Outcome/Delays/Choices are
+// meaningless.
 type TraceStep struct {
 	Machine core.MachineID
 	Type    string // machine type name
 	Delays  int    // delays applied before this step (delay-bounded mode)
 	Choices []bool // `*` outcomes consumed during the step
 	Outcome core.OutKind
-	Event   ir.EventID // sent event, when Outcome == OutSend
+	Event   ir.EventID // sent event, when Outcome == OutSend; faulted event for drop/dup
 	HasEv   bool
+	Fault   FaultKind // FaultNone for ordinary steps
 }
 
 func (s TraceStep) String() string {
+	if s.Fault != FaultNone {
+		return fmt.Sprintf("%s#%d fault:%s", s.Type, s.Machine, s.Fault)
+	}
 	d := ""
 	if s.Delays > 0 {
 		d = fmt.Sprintf(" after %d delays", s.Delays)
@@ -137,6 +154,7 @@ type Stats struct {
 	DistinctStates int // distinct global configurations discovered
 	Transitions    int // macro steps executed
 	SearchNodes    int // scheduler-state-qualified nodes visited
+	FaultSteps     int // fault successors produced (chaos mode)
 	MaxDepth       int
 	Quiescent      int // terminal states with no enabled machine
 	Truncated      bool
@@ -218,10 +236,15 @@ type explorer struct {
 //  3. SearchNodes counts nodes taken from the work list for expansion.
 //  4. Quiescent counts expanded nodes with no enabled machine (including
 //     an initial configuration with no live machine at all).
+//  5. FaultSteps counts fault successors processed (chaos mode): faults
+//     are generated after a node's ordinary successors, in the
+//     deterministic faultBranches order, and only for nodes with at least
+//     one enabled machine; a stopped search processes no further faults.
 //
-// The order per successor is: note state -> intern graph node -> claim
-// visited -> push. TestSerialParallelStatsEquivalence asserts the
-// equivalence on real programs.
+// The order per successor (ordinary and fault alike) is: note state ->
+// intern graph node -> claim visited -> push.
+// TestSerialParallelStatsEquivalence asserts the equivalence on real
+// programs, with chaos both off and on.
 
 // noteState registers a global fingerprint, returning true if it is new.
 func (e *explorer) noteState(fp StateKey) bool {

@@ -96,11 +96,15 @@ func (s schedStack) digest(exact bool) stackKey {
 }
 
 // visitedKey is the delay-bounded visited-map key: a scheduler-stack-
-// qualified state. Both components are compact struct keys, so claiming a
-// node allocates nothing in the default hashed scheme.
+// qualified state, further qualified by the chaos faults already used (a
+// node with fewer faults used has more fault budget left, so the partition
+// keeps revisits with spare budget explorable; always 0 with chaos off).
+// The components are compact struct keys, so claiming a node allocates
+// nothing in the default hashed scheme.
 type visitedKey struct {
-	state StateKey
-	stack stackKey
+	state  StateKey
+	stack  stackKey
+	faults int
 }
 
 // scheduleOption is one way to pick the next machine: apply cost delays,
@@ -159,6 +163,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 		g      *core.Global
 		stack  schedStack
 		delays int
+		faults int
 		depth  int
 		trace  []TraceStep
 	}
@@ -180,7 +185,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 	if live := g0.LiveIDs(); len(live) > 0 {
 		initStack = schedStack{live[0]}
 	}
-	visited[visitedKey{fp0, initStack.digest(exactFP)}] = 0
+	visited[visitedKey{fp0, initStack.digest(exactFP), 0}] = 0
 
 	stack := []node{{g: g0, stack: initStack}}
 	for len(stack) > 0 && !e.stop {
@@ -228,7 +233,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 				}
 				next := updateStack(opt.stack, id, s.outcome)
 				delays := n.delays + opt.cost
-				key := visitedKey{s.fp, next.digest(exactFP)}
+				key := visitedKey{s.fp, next.digest(exactFP), n.faults}
 				if prev, ok := visited[key]; ok && prev <= delays {
 					continue
 				}
@@ -247,10 +252,37 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
-				stack = append(stack, node{g: s.global, stack: next, delays: delays, depth: n.depth + 1, trace: trace})
+				stack = append(stack, node{g: s.global, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
 			}
 			if e.stop {
 				return
+			}
+		}
+
+		// Chaos mode: the environment's fault moves, after the scheduler's.
+		// Fault steps keep the scheduler stack (a crashed machine is popped
+		// lazily by popDisabled) and consume fault budget instead of delays.
+		if n.faults < e.opts.Faults {
+			stackDigest := n.stack.digest(exactFP)
+			for _, fb := range e.faultBranches(n.g) {
+				if e.stop {
+					return
+				}
+				e.result.Stats.FaultSteps++
+				e.noteState(fb.fp)
+				if e.graph != nil {
+					to := e.graph.Node(fb.fp, fb.global)
+					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
+				}
+				key := visitedKey{fb.fp, stackDigest, n.faults + 1}
+				if prev, ok := visited[key]; ok && prev <= n.delays {
+					continue
+				}
+				visited[key] = n.delays
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = fb.step
+				stack = append(stack, node{g: fb.global, stack: n.stack, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
 			}
 		}
 	}

@@ -11,15 +11,23 @@ import (
 func (e *explorer) depthBounded(g0 *core.Global) {
 	bound := e.opts.Bound
 	type node struct {
-		g     *core.Global
-		depth int
-		trace []TraceStep
+		g      *core.Global
+		depth  int
+		faults int
+		trace  []TraceStep
 	}
 
-	visited := map[StateKey]int{} // fingerprint -> smallest depth expanded
+	// dvKey qualifies the visited fingerprint with the chaos faults already
+	// used (always 0 with chaos off): a revisit with fewer faults used still
+	// has fault branches left to explore.
+	type dvKey struct {
+		state  StateKey
+		faults int
+	}
+	visited := map[dvKey]int{} // (fingerprint, faults) -> smallest depth expanded
 	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
-	visited[fp0] = 0
+	visited[dvKey{fp0, 0}] = 0
 	var init NodeID
 	if e.graph != nil {
 		init = e.graph.Node(fp0, g0)
@@ -57,10 +65,10 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 					e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
 				}
 				nd := n.depth + 1
-				if prev, ok := visited[s.fp]; ok && prev <= nd {
+				if prev, ok := visited[dvKey{s.fp, n.faults}]; ok && prev <= nd {
 					continue
 				}
-				visited[s.fp] = nd
+				visited[dvKey{s.fp, n.faults}] = nd
 				step := TraceStep{
 					Machine: id,
 					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
@@ -70,7 +78,7 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
-				stack = append(stack, node{g: s.global, depth: nd, trace: trace})
+				stack = append(stack, node{g: s.global, depth: nd, faults: n.faults, trace: trace})
 			}
 			if e.stop {
 				return
@@ -78,6 +86,33 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 		}
 		if !anyEnabled {
 			e.result.Stats.Quiescent++
+			continue
+		}
+
+		// Chaos mode: fault successors after the ordinary ones. A fault step
+		// counts one macro step of depth.
+		if n.faults < e.opts.Faults {
+			for _, fb := range e.faultBranches(n.g) {
+				if e.stop {
+					return
+				}
+				e.result.Stats.FaultSteps++
+				e.noteState(fb.fp)
+				if e.graph != nil {
+					to := e.graph.Node(fb.fp, fb.global)
+					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
+				}
+				nd := n.depth + 1
+				key := dvKey{fb.fp, n.faults + 1}
+				if prev, ok := visited[key]; ok && prev <= nd {
+					continue
+				}
+				visited[key] = nd
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = fb.step
+				stack = append(stack, node{g: fb.global, depth: nd, faults: n.faults + 1, trace: trace})
+			}
 		}
 	}
 }

@@ -1,0 +1,190 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"pgo/internal/core"
+)
+
+// Chaos mode: fault-injecting exploration. Under a fault budget
+// (Options.Faults, pverify -faults, mirroring the delay budget d) the
+// explorers add nondeterministic *fault successors* at every expanded node:
+// a spontaneous machine halt (so later sends to it take the paper's
+// SEND-FAIL-2 send-to-deleted transition), a message dropped at dequeue,
+// and a duplicate delivery forced past the ⊕ dedup append. A schedule may
+// contain at most Faults fault steps, so the fault-free state space is
+// always a subgraph of the chaos space and a chaos-clean program is clean
+// fault-free too.
+//
+// Soundness of the visited sets: a state reached with fewer faults used has
+// strictly more behaviour left (the remaining fault budget is larger), so
+// the visited keys are extended with the faults-used count — the same move
+// that qualifies delay-bounded keys with the scheduler stack. Fault steps
+// consume no delay budget and execute no machine transition; they are the
+// environment's moves, not the scheduler's.
+
+// FaultKind labels one injected environment fault in a trace.
+type FaultKind uint8
+
+const (
+	// FaultNone marks an ordinary (non-fault) trace step.
+	FaultNone FaultKind = iota
+	// FaultCrash is a spontaneous machine halt.
+	FaultCrash
+	// FaultDrop is a message dropped at dequeue.
+	FaultDrop
+	// FaultDup is a duplicate delivery bypassing the ⊕ dedup.
+	FaultDup
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultDrop:
+		return "drop"
+	case FaultDup:
+		return "dup"
+	default:
+		return "fault(?)"
+	}
+}
+
+// FaultSet selects which fault kinds chaos mode injects.
+type FaultSet uint8
+
+const (
+	// CrashFaults enables spontaneous machine halts.
+	CrashFaults FaultSet = 1 << iota
+	// DropFaults enables message drops at dequeue.
+	DropFaults
+	// DupFaults enables duplicate deliveries.
+	DupFaults
+	// AllFaults enables every fault kind (the default when
+	// Options.FaultKinds is left zero).
+	AllFaults = CrashFaults | DropFaults | DupFaults
+)
+
+// Has reports whether the set includes fault kind k.
+func (s FaultSet) Has(k FaultKind) bool {
+	switch k {
+	case FaultCrash:
+		return s&CrashFaults != 0
+	case FaultDrop:
+		return s&DropFaults != 0
+	case FaultDup:
+		return s&DupFaults != 0
+	}
+	return false
+}
+
+func (s FaultSet) String() string {
+	var parts []string
+	if s.Has(FaultCrash) {
+		parts = append(parts, "crash")
+	}
+	if s.Has(FaultDrop) {
+		parts = append(parts, "drop")
+	}
+	if s.Has(FaultDup) {
+		parts = append(parts, "dup")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseFaultSet parses a comma-separated fault-kind list ("crash,drop,dup";
+// "all" selects every kind).
+func ParseFaultSet(spec string) (FaultSet, error) {
+	var s FaultSet
+	for _, part := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(part) {
+		case "":
+		case "all":
+			s |= AllFaults
+		case "crash":
+			s |= CrashFaults
+		case "drop":
+			s |= DropFaults
+		case "dup":
+			s |= DupFaults
+		default:
+			return 0, fmt.Errorf("unknown fault kind %q (want crash, drop, dup, or all)", strings.TrimSpace(part))
+		}
+	}
+	if s == 0 {
+		return 0, fmt.Errorf("empty fault-kind list")
+	}
+	return s, nil
+}
+
+// faultKinds resolves the configured fault selection (zero = all kinds).
+func (o Options) faultKinds() FaultSet {
+	if o.FaultKinds == 0 {
+		return AllFaults
+	}
+	return o.FaultKinds
+}
+
+// faultBranch is one fault successor of a search node.
+type faultBranch struct {
+	global *core.Global
+	step   TraceStep
+	fp     StateKey
+}
+
+// faultBranches enumerates the fault successors of g under the configured
+// fault kinds: for every live machine a spontaneous crash, and for every
+// machine with a deliverable queued event a drop and a duplicate of that
+// event. Each branch consumes one unit of fault budget. The enumeration
+// order is deterministic (machines in id order, crash/drop/dup per
+// machine), which the serial/parallel stats equivalence relies on.
+func (e *explorer) faultBranches(g *core.Global) []faultBranch {
+	kinds := e.opts.faultKinds()
+	var out []faultBranch
+	for _, id := range g.LiveIDs() {
+		typ := e.prog.Machines[g.Lookup(id).Type].Name
+		if kinds.Has(FaultCrash) {
+			clone := g.Clone()
+			if clone.InjectCrash(id) {
+				out = append(out, faultBranch{
+					global: clone,
+					fp:     e.keyOf(clone),
+					step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutHalted, Fault: FaultCrash},
+				})
+			}
+		}
+		if !kinds.Has(FaultDrop) && !kinds.Has(FaultDup) {
+			continue
+		}
+		if _, ok := g.DeliverableEvent(id); !ok {
+			continue
+		}
+		if kinds.Has(FaultDrop) {
+			clone := g.Clone()
+			if q, ok := clone.InjectDrop(id); ok {
+				out = append(out, faultBranch{
+					global: clone,
+					fp:     e.keyOf(clone),
+					step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutBlocked, Fault: FaultDrop, Event: q.Event, HasEv: true},
+				})
+			}
+		}
+		if kinds.Has(FaultDup) {
+			clone := g.Clone()
+			if q, ok := clone.InjectDup(id); ok {
+				out = append(out, faultBranch{
+					global: clone,
+					fp:     e.keyOf(clone),
+					step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutBlocked, Fault: FaultDup, Event: q.Event, HasEv: true},
+				})
+			}
+		}
+	}
+	return out
+}

@@ -101,6 +101,7 @@ type pnode struct {
 	g      *core.Global
 	stack  schedStack
 	delays int
+	faults int
 	depth  int
 	trace  []TraceStep
 }
@@ -114,6 +115,7 @@ type pexplorer struct {
 
 	transitions atomic.Int64
 	searchNodes atomic.Int64
+	faultSteps  atomic.Int64
 	maxDepth    atomic.Int64
 	quiescent   atomic.Int64
 	truncated   atomic.Bool
@@ -156,7 +158,7 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 	if live := g0.LiveIDs(); len(live) > 0 {
 		initStack = schedStack{live[0]}
 	}
-	p.visited.claim(visitedKey{fp0, initStack.digest(e.opts.ExactFingerprints)}, 0)
+	p.visited.claim(visitedKey{fp0, initStack.digest(e.opts.ExactFingerprints), 0}, 0)
 
 	p.work = append(p.work, pnode{g: g0, stack: initStack})
 	p.outstanding = 1
@@ -175,6 +177,7 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 	e.result.Stats.DistinctStates = int(p.states.count.Load())
 	e.result.Stats.Transitions += int(p.transitions.Load())
 	e.result.Stats.SearchNodes += int(p.searchNodes.Load())
+	e.result.Stats.FaultSteps += int(p.faultSteps.Load())
 	e.result.Stats.Quiescent += int(p.quiescent.Load())
 	if d := int(p.maxDepth.Load()); d > e.result.Stats.MaxDepth {
 		e.result.Stats.MaxDepth = d
@@ -351,11 +354,11 @@ func (p *pexplorer) expandNode(n pnode) {
 				}
 				next := updateStack(opt.stack, id, out)
 				delays := n.delays + opt.cost
-				if p.visited.claim(visitedKey{fp, next.digest(e.opts.ExactFingerprints)}, delays) && !p.stopped.Load() {
+				if p.visited.claim(visitedKey{fp, next.digest(e.opts.ExactFingerprints), n.faults}, delays) && !p.stopped.Load() {
 					trace := make([]TraceStep, len(n.trace)+1)
 					copy(trace, n.trace)
 					trace[len(n.trace)] = step
-					p.push(pnode{g: clone, stack: next, delays: delays, depth: n.depth + 1, trace: trace})
+					p.push(pnode{g: clone, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
 				}
 			}
 			if p.stopped.Load() {
@@ -363,6 +366,32 @@ func (p *pexplorer) expandNode(n pnode) {
 			}
 			if !cs.NextString() {
 				break
+			}
+		}
+	}
+
+	// Chaos mode: fault successors after the ordinary ones, in the serial
+	// explorer's deterministic order so the stats equivalence holds.
+	if n.faults < e.opts.Faults {
+		stackDigest := n.stack.digest(e.opts.ExactFingerprints)
+		for _, fb := range e.faultBranches(n.g) {
+			if p.stopped.Load() {
+				return
+			}
+			p.faultSteps.Add(1)
+			p.noteState(fb.fp)
+			if e.graph != nil {
+				p.vmu.Lock()
+				to := e.graph.Node(fb.fp, fb.global)
+				e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
+				p.vmu.Unlock()
+			}
+			key := visitedKey{fb.fp, stackDigest, n.faults + 1}
+			if p.visited.claim(key, n.delays) && !p.stopped.Load() {
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = fb.step
+				p.push(pnode{g: fb.global, stack: n.stack, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
 			}
 		}
 	}

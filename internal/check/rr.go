@@ -4,10 +4,13 @@ import (
 	"pgo/internal/core"
 )
 
-// rrKey is the round-robin visited-map key: a cursor-qualified state.
+// rrKey is the round-robin visited-map key: a cursor-qualified state,
+// further qualified by the chaos faults already used (always 0 with chaos
+// off).
 type rrKey struct {
 	state  StateKey
 	cursor int
+	faults int
 }
 
 // roundRobinDelay is the scheduler ablation: the deterministic base
@@ -22,6 +25,7 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 		g      *core.Global
 		cursor int // index into the live-id order where the base scheduler resumes
 		delays int
+		faults int
 		depth  int
 		trace  []TraceStep
 	}
@@ -32,7 +36,7 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
 	visited := map[rrKey]int{}
-	visited[rrKey{fp0, 0}] = 0
+	visited[rrKey{fp0, 0, 0}] = 0
 
 	stack := []node{{g: g0}}
 	for len(stack) > 0 && !e.stop {
@@ -105,7 +109,7 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 				if s.outcome.Kind == core.OutSend || s.outcome.Kind == core.OutNew || s.outcome.Kind == core.OutYield {
 					cursor = indexOf(s.global.IDs(), opt.id)
 				}
-				key := rrKey{s.fp, cursor}
+				key := rrKey{s.fp, cursor, n.faults}
 				if prev, ok := visited[key]; ok && prev <= delays {
 					continue
 				}
@@ -120,10 +124,35 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
-				stack = append(stack, node{g: s.global, cursor: cursor, delays: delays, depth: n.depth + 1, trace: trace})
+				stack = append(stack, node{g: s.global, cursor: cursor, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
 			}
 			if e.stop {
 				return
+			}
+		}
+
+		// Chaos mode: fault successors after the ordinary ones. The cursor is
+		// unchanged — a fault is the environment's move, not the scheduler's.
+		if n.faults < e.opts.Faults {
+			for _, fb := range e.faultBranches(n.g) {
+				if e.stop {
+					return
+				}
+				e.result.Stats.FaultSteps++
+				e.noteState(fb.fp)
+				if e.graph != nil {
+					to := e.graph.Node(fb.fp, fb.global)
+					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
+				}
+				key := rrKey{fb.fp, n.cursor, n.faults + 1}
+				if prev, ok := visited[key]; ok && prev <= n.delays {
+					continue
+				}
+				visited[key] = n.delays
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = fb.step
+				stack = append(stack, node{g: fb.global, cursor: n.cursor, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
 			}
 		}
 	}

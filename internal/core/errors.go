@@ -35,6 +35,17 @@ const (
 	ErrDivergence
 	// ErrStub is an attempt to instantiate an erased ghost machine.
 	ErrStub
+	// ErrPanic is a host-level panic (a foreign function or runtime
+	// internals) recovered by the supervised concurrent runtime. The
+	// machine is halted or restarted per the runtime's RestartPolicy; the
+	// process survives.
+	ErrPanic
+	// ErrInboxOverflow is an event arriving at a full bounded inbox under
+	// the concurrent runtime's error overflow policy; the event is dropped.
+	ErrInboxOverflow
+	// ErrClosed is a machine creation or send on a runtime that has been
+	// stopped (or is draining).
+	ErrClosed
 )
 
 func (k ErrKind) String() string {
@@ -57,6 +68,12 @@ func (k ErrKind) String() string {
 		return "machine diverges without reaching a scheduling point"
 	case ErrStub:
 		return "erased ghost machine instantiated"
+	case ErrPanic:
+		return "machine panicked"
+	case ErrInboxOverflow:
+		return "inbox overflow"
+	case ErrClosed:
+		return "runtime stopped"
 	default:
 		return fmt.Sprintf("error(%d)", int(k))
 	}

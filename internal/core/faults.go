@@ -1,0 +1,70 @@
+package core
+
+// Environment fault transitions. These extend the step semantics additively:
+// each models one hostile-environment move that the paper's ghost machines
+// can only approximate by sending events — a machine dying without running
+// its delete path, and the transport dropping or re-delivering a message.
+// The checker's chaos mode (internal/check, pverify -chaos) branches over
+// them under a fault budget; none of them is reachable without it.
+//
+// All three funnel mutations through Global.own, so copy-on-write sharing
+// and the incremental fingerprint caches stay coherent: a fault successor
+// fingerprints exactly like any other successor.
+
+// InjectCrash halts machine id as if the environment killed it: the
+// configuration becomes a halted tombstone indistinguishable from one left
+// by the delete statement, so a later send to it takes the paper's
+// SEND-FAIL-2 (send to deleted machine) error transition. It reports
+// whether the machine was live.
+func (g *Global) InjectCrash(id MachineID) bool {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		return false
+	}
+	c = g.own(id)
+	c.Mode = ModeHalted
+	c.Cont = nil
+	c.Stack = nil
+	c.Queue = nil
+	return true
+}
+
+// InjectDrop removes the event machine id would dequeue next (its first
+// deliverable queue entry), modeling a message lost in transit. It returns
+// the dropped entry, or ok=false if the machine is not live or has no
+// deliverable event.
+func (g *Global) InjectDrop(id MachineID) (QEntry, bool) {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		return QEntry{}, false
+	}
+	i := deliverableIndex(g.Prog, c)
+	if i < 0 {
+		return QEntry{}, false
+	}
+	c = g.own(id)
+	q := c.Queue[i]
+	c.Queue = append(c.Queue[:i:i], c.Queue[i+1:]...)
+	return q, true
+}
+
+// InjectDup appends a second copy of the event machine id would dequeue
+// next to the tail of its queue, bypassing the ⊕ dedup append — the
+// re-delivery the dedup semantics exists to suppress, forced through by the
+// environment (the paper's motivating example is hardware re-raising an
+// interrupt). It returns the duplicated entry, or ok=false if the machine
+// is not live or has no deliverable event.
+func (g *Global) InjectDup(id MachineID) (QEntry, bool) {
+	c := g.Lookup(id)
+	if c == nil || c.Mode == ModeHalted {
+		return QEntry{}, false
+	}
+	i := deliverableIndex(g.Prog, c)
+	if i < 0 {
+		return QEntry{}, false
+	}
+	c = g.own(id)
+	q := c.Queue[i]
+	c.Queue = append(c.Queue, q)
+	return q, true
+}

@@ -13,10 +13,20 @@
 // Ghost machines must be erased before execution (ir.Erase); attempting to
 // run a program whose ghosts are intact is rejected, enforcing the type
 // system's erasure guarantee at the runtime boundary.
+//
+// Machines are supervised: a panic escaping a handler (typically a foreign
+// function) is recovered on the machine's goroutine, recorded as a
+// core.ErrPanic, and halts — or, under a RestartPolicy, restarts — only
+// that machine; the process and every other machine survive. Inboxes may be
+// bounded (Options.MaxInbox + Options.Overflow) and the transport can
+// inject seeded faults (Options.Inject) to exercise the same drop/duplicate
+// behaviors the checker's chaos mode explores exhaustively.
 package runtime
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -26,17 +36,92 @@ import (
 	"pgo/internal/ir"
 )
 
+// ErrClosed is returned by host-facing Send and CreateMachine once the
+// runtime has been stopped or is draining.
+var ErrClosed = errors.New("runtime: stopped")
+
+// OverflowPolicy selects what happens when an event arrives at a machine
+// whose inbox already holds Options.MaxInbox entries.
+type OverflowPolicy int
+
+const (
+	// OverflowUnbounded ignores MaxInbox: inboxes grow without limit (the
+	// verification semantics, and the zero value).
+	OverflowUnbounded OverflowPolicy = iota
+	// OverflowDropNewest silently drops the arriving event, counting it in
+	// Metrics.EventsOverflowed.
+	OverflowDropNewest
+	// OverflowError drops the arriving event and records a
+	// core.ErrInboxOverflow through the error path (Errors, OnError).
+	OverflowError
+)
+
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowUnbounded:
+		return "unbounded"
+	case OverflowDropNewest:
+		return "drop-newest"
+	case OverflowError:
+		return "error"
+	default:
+		return fmt.Sprintf("overflow(%d)", int(p))
+	}
+}
+
+// RestartPolicy configures supervision of panicked machines. The zero value
+// never restarts: a panicked machine halts (its id becomes a tombstone,
+// like delete).
+type RestartPolicy struct {
+	// MaxRestarts is the number of times one machine instance may be
+	// restarted after a panic before it is halted for good.
+	MaxRestarts int
+	// Backoff is the wait before the first restart; each further restart
+	// doubles it (capped by MaxBackoff). 0 restarts immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// Inject configures seeded probabilistic fault injection on the transport:
+// every dispatched event independently rolls for loss, duplication, and
+// delay. This is the runtime-world sibling of the checker's chaos mode —
+// probabilistic where the checker is exhaustive.
+type Inject struct {
+	// Seed makes the injection sequence reproducible.
+	Seed int64
+	// Drop is the probability an event is lost in transit (the sender
+	// cannot tell).
+	Drop float64
+	// Dup is the probability an event is delivered a second time, bypassing
+	// inbox dedup by arriving asynchronously.
+	Dup float64
+	// Delay is the probability an event's delivery is postponed.
+	Delay float64
+	// MaxDelay bounds injected delivery delays (default 1ms).
+	MaxDelay time.Duration
+}
+
 // Options configures a Runtime.
 type Options struct {
 	// Foreign supplies the host implementations of foreign functions.
 	Foreign core.ForeignEnv
 	// OnError is invoked (on the failing machine's goroutine) when a
-	// machine hits an error transition; the machine then halts. Errors are
-	// also collected and available via Errors.
+	// machine hits an error transition; the machine then halts or restarts.
+	// Errors are also collected and available via Errors.
 	OnError func(*core.Err)
 	// MaxHandlerSteps bounds the small steps of one run-to-completion burst
 	// (0 = core.DefaultMaxSteps). Exceeding it is a divergence error.
 	MaxHandlerSteps int
+	// MaxInbox bounds each machine's not-yet-drained inbox; what happens at
+	// the bound is Overflow's choice. 0 = unbounded.
+	MaxInbox int
+	// Overflow selects the full-inbox behavior when MaxInbox > 0.
+	Overflow OverflowPolicy
+	// Restart supervises panicked machines; the zero value halts them.
+	Restart RestartPolicy
+	// Inject, when non-nil, enables seeded transport fault injection.
+	Inject *Inject
 }
 
 // Runtime executes one erased P program.
@@ -48,34 +133,70 @@ type Runtime struct {
 	instances map[core.MachineID]*instance
 	nextID    core.MachineID
 	closed    bool
+	draining  bool
+
+	// done is closed by Stop; backoff waits and pending injected
+	// redeliveries select on it.
+	done     chan struct{}
+	stopOnce sync.Once
+
+	// Quiescence accounting. active counts machine instances that are not
+	// parked-with-empty-inbox (plus pending injected redeliveries); qcond is
+	// broadcast when it reaches zero. qmu is a leaf lock: it is taken with
+	// in.mu or rt.mu held, never the reverse.
+	qmu    sync.Mutex
+	qcond  *sync.Cond
+	active int
 
 	emu  sync.Mutex
 	errs []*core.Err
 
 	wg sync.WaitGroup
 
+	// injmu guards rng (only allocated when opts.Inject != nil).
+	injmu sync.Mutex
+	rng   *rand.Rand
+
 	// metrics
-	created   atomic.Int64
-	delivered atomic.Int64
-	dropped   atomic.Int64 // dedup-dropped enqueue attempts
-	processed atomic.Int64 // events dequeued by machines
+	created    atomic.Int64
+	delivered  atomic.Int64
+	dropped    atomic.Int64 // dedup-dropped enqueue attempts
+	processed  atomic.Int64 // events dequeued by machines
+	overflowed atomic.Int64 // events rejected by a bounded inbox
+	injDrops   atomic.Int64
+	injDups    atomic.Int64
+	injDelays  atomic.Int64
+	panics     atomic.Int64
+	restarts   atomic.Int64
 }
 
 // Metrics is a snapshot of the runtime's counters.
 type Metrics struct {
-	MachinesCreated int64
-	EventsDelivered int64
-	EventsDeduped   int64
-	EventsProcessed int64
+	MachinesCreated  int64
+	EventsDelivered  int64
+	EventsDeduped    int64
+	EventsProcessed  int64
+	EventsOverflowed int64 // rejected by a bounded inbox
+	InjectedDrops    int64
+	InjectedDups     int64
+	InjectedDelays   int64
+	Panics           int64 // panics recovered by supervision
+	Restarts         int64 // machines restarted after a panic
 }
 
 // Metrics returns the current counter values.
 func (rt *Runtime) Metrics() Metrics {
 	return Metrics{
-		MachinesCreated: rt.created.Load(),
-		EventsDelivered: rt.delivered.Load(),
-		EventsDeduped:   rt.dropped.Load(),
-		EventsProcessed: rt.processed.Load(),
+		MachinesCreated:  rt.created.Load(),
+		EventsDelivered:  rt.delivered.Load(),
+		EventsDeduped:    rt.dropped.Load(),
+		EventsProcessed:  rt.processed.Load(),
+		EventsOverflowed: rt.overflowed.Load(),
+		InjectedDrops:    rt.injDrops.Load(),
+		InjectedDups:     rt.injDups.Load(),
+		InjectedDelays:   rt.injDelays.Load(),
+		Panics:           rt.panics.Load(),
+		Restarts:         rt.restarts.Load(),
 	}
 }
 
@@ -98,8 +219,8 @@ func (rt *Runtime) Machines() []MachineInfo {
 	sort.Slice(ins, func(i, j int) bool { return ins[i].id < ins[j].id })
 	out := make([]MachineInfo, 0, len(ins))
 	for _, in := range ins {
-		info := MachineInfo{ID: in.id, Type: rt.prog.Machines[in.cfg.Type].Name}
 		in.mu.Lock()
+		info := MachineInfo{ID: in.id, Type: rt.prog.Machines[in.cfg.Type].Name}
 		info.Idle = in.idle
 		if in.idle || in.halted {
 			if st := in.cfg.CurrentState(); st >= 0 {
@@ -116,15 +237,23 @@ func (rt *Runtime) Machines() []MachineInfo {
 // the inbox and flags are guarded by mu, which also orders external reads
 // of the configuration while the machine is idle.
 type instance struct {
-	rt  *Runtime
-	id  core.MachineID
-	cfg *core.Config
+	rt   *Runtime
+	id   core.MachineID
+	cfg  *core.Config
+	vals []core.InitVal // initializers, kept for supervised restarts
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	inbox  []core.QEntry
 	idle   bool // machine parked, cfg readable under mu
 	halted bool
+
+	// quiet mirrors this instance's contribution to rt.active; guarded by
+	// rt.qmu, not mu.
+	quiet bool
+	// restarts counts supervised restarts of this instance (owner goroutine
+	// only).
+	restarts int
 }
 
 // New creates a runtime for prog. The program must contain no live ghost
@@ -136,12 +265,18 @@ func New(prog *ir.Program, opts Options) (*Runtime, error) {
 			return nil, fmt.Errorf("runtime: program %s has live ghost machine %s; apply ir.Erase before execution", prog.Name, m.Name)
 		}
 	}
-	return &Runtime{
+	rt := &Runtime{
 		prog:      prog,
 		opts:      opts,
 		instances: map[core.MachineID]*instance{},
 		nextID:    1,
-	}, nil
+		done:      make(chan struct{}),
+	}
+	rt.qcond = sync.NewCond(&rt.qmu)
+	if opts.Inject != nil {
+		rt.rng = rand.New(rand.NewSource(opts.Inject.Seed))
+	}
+	return rt, nil
 }
 
 // Program returns the program the runtime executes.
@@ -149,11 +284,15 @@ func (rt *Runtime) Program() *ir.Program { return rt.prog }
 
 // CreateMachine instantiates machine type name with the given variable
 // initializers and host context pointer, starting its goroutine. This is
-// the SMCreateMachine analog used by interface code.
+// the SMCreateMachine analog used by interface code. After Stop or during
+// Drain it returns ErrClosed.
 func (rt *Runtime) CreateMachine(name string, inits map[string]core.Value, ctx any) (core.MachineID, error) {
 	mt, ok := rt.prog.MachineByName(name)
 	if !ok {
 		return 0, fmt.Errorf("runtime: unknown machine type %s", name)
+	}
+	if rt.closedOrDraining() {
+		return 0, ErrClosed
 	}
 	var vals []core.InitVal
 	for varName, v := range inits {
@@ -165,6 +304,9 @@ func (rt *Runtime) CreateMachine(name string, inits map[string]core.Value, ctx a
 	}
 	id, cerr := rt.spawn(mt.ID, vals, ctx)
 	if cerr != nil {
+		if cerr.Kind == core.ErrClosed {
+			return 0, ErrClosed
+		}
 		return 0, cerr
 	}
 	return id, nil
@@ -178,17 +320,18 @@ func (rt *Runtime) spawn(t ir.MachineTypeID, vals []core.InitVal, ctx any) (core
 	rt.mu.Lock()
 	if rt.closed {
 		rt.mu.Unlock()
-		return 0, &core.Err{Kind: core.ErrStub, Type: mt.Name, Detail: "runtime stopped"}
+		return 0, &core.Err{Kind: core.ErrClosed, Type: mt.Name}
 	}
 	id := rt.nextID
 	rt.nextID++
 	cfg := core.NewConfig(rt.prog, id, t, vals)
 	cfg.Ctx = ctx
-	in := &instance{rt: rt, id: id, cfg: cfg}
+	in := &instance{rt: rt, id: id, cfg: cfg, vals: vals}
 	in.cond = sync.NewCond(&in.mu)
 	rt.instances[id] = in
 	rt.wg.Add(1)
 	rt.mu.Unlock()
+	rt.addActive(1) // the new machine starts busy (entry of the start state)
 	rt.created.Add(1)
 	go in.loop()
 	return id, nil
@@ -211,16 +354,20 @@ func (w *world) SendEvent(target core.MachineID, e ir.EventID, v core.Value) (de
 	if in == nil {
 		return false, false
 	}
-	return in.enqueue(e, v)
+	return rt.dispatch(in, e, v)
 }
 
 // Send enqueues an event into machine id from host code (the SMAddEvent
-// analog). It returns an error if the machine is unknown or deleted, or if
-// the event name is not declared.
+// analog). It returns an error if the machine is unknown or deleted, if
+// the event name is not declared, or — as ErrClosed — if the runtime has
+// been stopped or is draining.
 func (rt *Runtime) Send(id core.MachineID, event string, payload core.Value) error {
 	e, ok := rt.prog.EventByName(event)
 	if !ok {
 		return fmt.Errorf("runtime: unknown event %s", event)
+	}
+	if rt.closedOrDraining() {
+		return ErrClosed
 	}
 	rt.mu.Lock()
 	in := rt.instances[id]
@@ -228,10 +375,86 @@ func (rt *Runtime) Send(id core.MachineID, event string, payload core.Value) err
 	if in == nil {
 		return fmt.Errorf("runtime: machine #%d does not exist", id)
 	}
-	if _, found := in.enqueue(e, payload); !found {
+	if _, found := rt.dispatch(in, e, payload); !found {
 		return fmt.Errorf("runtime: machine #%d is deleted", id)
 	}
 	return nil
+}
+
+// dispatch delivers one event to in, applying transport fault injection
+// when configured.
+func (rt *Runtime) dispatch(in *instance, e ir.EventID, v core.Value) (delivered, found bool) {
+	if inj := rt.opts.Inject; inj != nil {
+		drop, dup, delay := rt.roll(inj)
+		switch {
+		case drop:
+			// Lost in transit: the sender cannot tell, exactly like the
+			// checker's drop fault.
+			rt.injDrops.Add(1)
+			return true, true
+		case delay:
+			rt.injDelays.Add(1)
+			rt.deliverLater(in, e, v, rt.randDelay(inj))
+			return true, true
+		case dup:
+			// Deliver now and once more later; the asynchronous second copy
+			// is what defeats inbox dedup, like the checker's dup fault.
+			rt.injDups.Add(1)
+			rt.deliverLater(in, e, v, rt.randDelay(inj))
+		}
+	}
+	return in.enqueue(e, v)
+}
+
+// roll samples the injection dice for one dispatched event.
+func (rt *Runtime) roll(inj *Inject) (drop, dup, delay bool) {
+	rt.injmu.Lock()
+	defer rt.injmu.Unlock()
+	drop = inj.Drop > 0 && rt.rng.Float64() < inj.Drop
+	if drop {
+		return true, false, false
+	}
+	dup = inj.Dup > 0 && rt.rng.Float64() < inj.Dup
+	if !dup {
+		delay = inj.Delay > 0 && rt.rng.Float64() < inj.Delay
+	}
+	return drop, dup, delay
+}
+
+func (rt *Runtime) randDelay(inj *Inject) time.Duration {
+	max := inj.MaxDelay
+	if max <= 0 {
+		max = time.Millisecond
+	}
+	rt.injmu.Lock()
+	defer rt.injmu.Unlock()
+	return time.Duration(rt.rng.Int63n(int64(max))) + 1
+}
+
+// deliverLater redelivers (e, v) to in after d on a fresh goroutine. The
+// pending redelivery counts against quiescence, and Stop cancels it.
+func (rt *Runtime) deliverLater(in *instance, e ir.EventID, v core.Value, d time.Duration) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	// wg.Add happens under rt.mu with closed false, so it is ordered before
+	// Stop's wg.Wait.
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+	rt.addActive(1)
+	go func() {
+		defer rt.wg.Done()
+		defer rt.addActive(-1)
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			in.enqueue(e, v)
+		case <-rt.done:
+		}
+	}()
 }
 
 // Context returns the host context pointer of machine id (the SMGetContext
@@ -283,55 +506,94 @@ func (rt *Runtime) recordError(err *core.Err) {
 	}
 }
 
-// Quiesce blocks until every machine is parked with an empty inbox (or
-// halted), or the timeout expires. It reports whether quiescence was
-// reached. Quiescence is stable only if host code sends no further events.
-func (rt *Runtime) Quiesce(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for {
-		if rt.quiescent() {
-			return true
-		}
-		if time.Now().After(deadline) {
-			return false
-		}
-		time.Sleep(100 * time.Microsecond)
+// ---------------------------------------------------------- quiescence
+
+// addActive adjusts the busy count, broadcasting when it reaches zero.
+func (rt *Runtime) addActive(delta int) {
+	rt.qmu.Lock()
+	rt.active += delta
+	if rt.active == 0 {
+		rt.qcond.Broadcast()
 	}
+	rt.qmu.Unlock()
 }
 
-func (rt *Runtime) quiescent() bool {
-	rt.mu.Lock()
-	ins := make([]*instance, 0, len(rt.instances))
-	for _, in := range rt.instances {
-		ins = append(ins, in)
+// setQuiet flips this instance's contribution to the busy count. Called
+// with in.mu possibly held; qmu is a leaf lock so the nesting is safe.
+func (in *instance) setQuiet(q bool) {
+	rt := in.rt
+	rt.qmu.Lock()
+	if in.quiet != q {
+		in.quiet = q
+		if q {
+			rt.active--
+			if rt.active == 0 {
+				rt.qcond.Broadcast()
+			}
+		} else {
+			rt.active++
+		}
 	}
-	rt.mu.Unlock()
-	for _, in := range ins {
-		in.mu.Lock()
-		ok := in.halted || (in.idle && len(in.inbox) == 0)
-		in.mu.Unlock()
-		if !ok {
+	rt.qmu.Unlock()
+}
+
+// Quiesce blocks until every machine is parked with an empty inbox (or
+// halted) and no injected redelivery is pending, or until the timeout
+// expires. It reports whether quiescence was reached; it is notification-
+// based, not polling. Quiescence is stable only if host code sends no
+// further events.
+func (rt *Runtime) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	expired := time.AfterFunc(timeout, func() {
+		rt.qmu.Lock()
+		rt.qcond.Broadcast()
+		rt.qmu.Unlock()
+	})
+	defer expired.Stop()
+	rt.qmu.Lock()
+	defer rt.qmu.Unlock()
+	for rt.active > 0 {
+		if !time.Now().Before(deadline) {
 			return false
 		}
+		rt.qcond.Wait()
 	}
 	return true
 }
 
-// Stop shuts the runtime down: machine goroutines exit at their next park
-// and Stop waits for them. Pending events are discarded.
-func (rt *Runtime) Stop() {
+// Drain gracefully shuts the runtime down: host-facing Send and
+// CreateMachine start returning ErrClosed, in-flight work (including
+// machine-to-machine sends) runs to quiescence or the timeout, then the
+// runtime stops. It reports whether quiescence was reached in time.
+func (rt *Runtime) Drain(timeout time.Duration) bool {
 	rt.mu.Lock()
-	rt.closed = true
-	ins := make([]*instance, 0, len(rt.instances))
-	for _, in := range rt.instances {
-		ins = append(ins, in)
-	}
+	rt.draining = true
 	rt.mu.Unlock()
-	for _, in := range ins {
-		in.mu.Lock()
-		in.cond.Broadcast()
-		in.mu.Unlock()
-	}
+	ok := rt.Quiesce(timeout)
+	rt.Stop()
+	return ok
+}
+
+// Stop shuts the runtime down: machine goroutines exit at their next park
+// and Stop waits for them. Pending events are discarded. Stop is
+// idempotent and safe to call concurrently; every caller blocks until the
+// machines have exited.
+func (rt *Runtime) Stop() {
+	rt.stopOnce.Do(func() {
+		rt.mu.Lock()
+		rt.closed = true
+		close(rt.done)
+		ins := make([]*instance, 0, len(rt.instances))
+		for _, in := range rt.instances {
+			ins = append(ins, in)
+		}
+		rt.mu.Unlock()
+		for _, in := range ins {
+			in.mu.Lock()
+			in.cond.Broadcast()
+			in.mu.Unlock()
+		}
+	})
 	rt.wg.Wait()
 }
 
@@ -346,18 +608,42 @@ func (rt *Runtime) Stop() {
 // drain also drops entries already present in the machine's queue).
 func (in *instance) enqueue(e ir.EventID, v core.Value) (delivered, found bool) {
 	in.mu.Lock()
-	defer in.mu.Unlock()
 	if in.halted {
+		in.mu.Unlock()
 		return false, false
 	}
 	for _, q := range in.inbox {
 		if q.Event == e && q.Val == v {
+			in.mu.Unlock()
 			in.rt.dropped.Add(1)
 			return false, true
 		}
 	}
+	opts := &in.rt.opts
+	if opts.Overflow != OverflowUnbounded && opts.MaxInbox > 0 && len(in.inbox) >= opts.MaxInbox {
+		var err *core.Err
+		if opts.Overflow == OverflowError {
+			err = &core.Err{
+				Kind:    core.ErrInboxOverflow,
+				Machine: in.id,
+				Type:    in.rt.prog.Machines[in.cfg.Type].Name,
+				Event:   e,
+				HasEv:   true,
+				Detail:  fmt.Sprintf("inbox at its bound of %d", opts.MaxInbox),
+			}
+		}
+		in.mu.Unlock()
+		in.rt.overflowed.Add(1)
+		// recordError outside in.mu: OnError is user code.
+		if err != nil {
+			in.rt.recordError(err)
+		}
+		return false, true
+	}
 	in.inbox = append(in.inbox, core.QEntry{Event: e, Val: v})
+	in.setQuiet(false)
 	in.cond.Signal()
+	in.mu.Unlock()
 	in.rt.delivered.Add(1)
 	return true, true
 }
@@ -380,9 +666,84 @@ func (in *instance) drain() {
 	in.inbox = in.inbox[:0]
 }
 
+// runBurst executes one run-to-completion burst under a recover: a panic
+// escaping a handler (typically a foreign function) becomes a core.ErrPanic
+// outcome instead of crashing the process.
+func (in *instance) runBurst(x *core.Exec) (out core.Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			in.rt.panics.Add(1)
+			st := ""
+			if s := in.cfg.CurrentState(); s >= 0 {
+				st = in.rt.prog.Machines[in.cfg.Type].States[s].Name
+			}
+			out = core.Outcome{Kind: core.OutError, Err: &core.Err{
+				Kind:    core.ErrPanic,
+				Machine: in.id,
+				Type:    in.rt.prog.Machines[in.cfg.Type].Name,
+				State:   st,
+				Detail:  fmt.Sprintf("recovered: %v", r),
+			}}
+		}
+	}()
+	return x.Run(in.cfg, nil, in.rt.opts.MaxHandlerSteps, false)
+}
+
+// restartAfterPanic applies the RestartPolicy to a panicked machine: it
+// waits out the capped exponential backoff (abandoned if the runtime stops)
+// and replaces the possibly-corrupt configuration with a fresh incarnation
+// — same id, same initializers, same host context, entry of the start state
+// runs again. Inbox events sent while the machine was down are kept; the
+// crashed incarnation's internal queue is lost with it. It reports whether
+// the machine should resume its loop.
+func (in *instance) restartAfterPanic() bool {
+	pol := in.rt.opts.Restart
+	if in.restarts >= pol.MaxRestarts {
+		return false
+	}
+	in.restarts++
+	in.rt.restarts.Add(1)
+	if d := pol.Backoff; d > 0 {
+		shift := in.restarts - 1
+		if shift > 16 {
+			shift = 16
+		}
+		d <<= shift
+		if pol.MaxBackoff > 0 && d > pol.MaxBackoff {
+			d = pol.MaxBackoff
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-in.rt.done:
+			return false
+		}
+	}
+	if in.rt.isClosed() {
+		return false
+	}
+	cfg := core.NewConfig(in.rt.prog, in.id, in.cfg.Type, in.vals)
+	cfg.Ctx = in.cfg.Ctx
+	in.mu.Lock()
+	in.cfg = cfg
+	in.mu.Unlock()
+	return true
+}
+
+// halt tombstones the machine: sends to its id now report deletion.
+func (in *instance) halt() {
+	in.mu.Lock()
+	in.halted = true
+	in.inbox = nil
+	in.mu.Unlock()
+	in.rt.removeInstance(in.id)
+}
+
 // loop is the machine goroutine: run to completion, park, repeat.
 func (in *instance) loop() {
 	defer in.rt.wg.Done()
+	defer in.setQuiet(true)
 	x := &core.Exec{
 		Prog:    in.rt.prog,
 		World:   (*world)(in.rt),
@@ -391,41 +752,37 @@ func (in *instance) loop() {
 	for {
 		in.mu.Lock()
 		in.drain()
-		closed := in.rt.isClosed()
 		in.mu.Unlock()
-		if closed {
+		if in.rt.isClosed() {
 			return
 		}
 
-		out := x.Run(in.cfg, nil, in.rt.opts.MaxHandlerSteps, false)
+		out := in.runBurst(x)
 		in.rt.processed.Add(int64(len(out.Dequeued)))
 		switch out.Kind {
 		case core.OutBlocked:
 			in.mu.Lock()
 			in.idle = true
 			for len(in.inbox) == 0 && !in.rt.isClosed() {
+				// Quiet while parked on an empty inbox; enqueue flips it
+				// back under in.mu before signaling.
+				in.setQuiet(true)
 				in.cond.Wait()
 			}
 			in.idle = false
-			closed := in.rt.isClosed()
 			in.mu.Unlock()
-			if closed {
+			if in.rt.isClosed() {
 				return
 			}
 		case core.OutHalted:
-			in.mu.Lock()
-			in.halted = true
-			in.inbox = nil
-			in.mu.Unlock()
-			in.rt.removeInstance(in.id)
+			in.halt()
 			return
 		case core.OutError:
 			in.rt.recordError(out.Err)
-			in.mu.Lock()
-			in.halted = true
-			in.inbox = nil
-			in.mu.Unlock()
-			in.rt.removeInstance(in.id)
+			if out.Err.Kind == core.ErrPanic && in.restartAfterPanic() {
+				continue
+			}
+			in.halt()
 			return
 		default:
 			// OutSend/OutNew cannot occur with stopAtSched == false.
@@ -443,6 +800,12 @@ func (rt *Runtime) isClosed() bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return rt.closed
+}
+
+func (rt *Runtime) closedOrDraining() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.closed || rt.draining
 }
 
 // removeInstance tombstones a halted machine: it stays absent from the map

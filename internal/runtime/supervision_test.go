@@ -1,0 +1,478 @@
+package runtime_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pgo/internal/core"
+	"pgo/internal/psamples"
+	prt "pgo/internal/runtime"
+)
+
+// Tests for the supervision, backpressure, and fault-injection features:
+// panic recovery and restart policies, bounded inboxes, graceful drain,
+// post-Stop error reporting, and the seeded transport chaos knobs.
+
+const panicProgram = `
+event Boom; event Poke; event unit;
+machine M {
+  var count: int;
+  foreign explode(): void;
+  state S {
+    entry { count = 0; }
+    on Boom do DoBoom;
+    on Poke do Bump;
+  }
+  action DoBoom { explode(); }
+  action Bump { count = count + 1; }
+}
+main M();
+`
+
+func explodingForeign() core.ForeignMap {
+	return core.ForeignMap{
+		"M.explode": func(ctx any, args []core.Value) (core.Value, error) {
+			panic("kaboom")
+		},
+	}
+}
+
+// A foreign-function panic must halt only the panicking machine: the error
+// is recorded as ErrPanic, the process and every other machine survive.
+func TestPanicHaltsOnlyThatMachine(t *testing.T) {
+	prog := erased(t, "panic", panicProgram)
+	rt, err := prt.New(prog, prt.Options{Foreign: explodingForeign()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	victim, err := rt.CreateMachine("M", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := rt.CreateMachine("M", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rt.Send(victim, "Boom", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence after panic")
+	}
+	errs := rt.Errors()
+	if len(errs) != 1 || errs[0].Kind != core.ErrPanic {
+		t.Fatalf("errors = %v, want one ErrPanic", errs)
+	}
+	if err := rt.Send(victim, "Poke", core.Null); err == nil {
+		t.Fatal("send to panicked machine succeeded; it should be halted")
+	}
+
+	// The bystander is untouched.
+	if err := rt.Send(bystander, "Poke", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence after poking the bystander")
+	}
+	if st, ok := rt.StateName(bystander); !ok || st != "S" {
+		t.Fatalf("bystander state = %q, %v; want S, true", st, ok)
+	}
+	m := rt.Metrics()
+	if m.Panics != 1 || m.Restarts != 0 {
+		t.Fatalf("panics/restarts = %d/%d, want 1/0", m.Panics, m.Restarts)
+	}
+}
+
+// Under a RestartPolicy a panicked machine comes back as a fresh
+// incarnation (same id, entry runs again) until the restart budget is
+// exhausted, with exponential backoff between attempts.
+func TestPanicRestartPolicy(t *testing.T) {
+	prog := erased(t, "panic", panicProgram)
+	rt, err := prt.New(prog, prt.Options{
+		Foreign: explodingForeign(),
+		Restart: prt.RestartPolicy{
+			MaxRestarts: 2,
+			Backoff:     time.Millisecond,
+			MaxBackoff:  4 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("M", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First panic: restarted and usable again.
+	if err := rt.Send(id, "Boom", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence after first panic")
+	}
+	if err := rt.Send(id, "Poke", core.Null); err != nil {
+		t.Fatalf("restarted machine rejected a send: %v", err)
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence after poke")
+	}
+	if st, ok := rt.StateName(id); !ok || st != "S" {
+		t.Fatalf("restarted machine state = %q, %v; want S, true", st, ok)
+	}
+
+	// Exhaust the restart budget: panic two more times.
+	for i := 0; i < 2; i++ {
+		if err := rt.Send(id, "Boom", core.Null); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if !rt.Quiesce(5 * time.Second) {
+			t.Fatalf("no quiescence after panic %d", i)
+		}
+	}
+	if err := rt.Send(id, "Poke", core.Null); err == nil {
+		t.Fatal("machine survived past its restart budget")
+	}
+	m := rt.Metrics()
+	if m.Panics != 3 || m.Restarts != 2 {
+		t.Fatalf("panics/restarts = %d/%d, want 3/2", m.Panics, m.Restarts)
+	}
+}
+
+const gateProgram = `
+event Go; event Inc(int); event unit;
+machine G {
+  foreign wait(): void;
+  state S {
+    entry { skip; }
+    on Go do DoWait;
+    on Inc do Nop;
+  }
+  action DoWait { wait(); }
+  action Nop { skip; }
+}
+main G();
+`
+
+// gate returns a foreign map whose G.wait blocks the machine goroutine
+// until release is closed, signaling entered first.
+func gate(entered chan<- struct{}, release <-chan struct{}) core.ForeignMap {
+	return core.ForeignMap{
+		"G.wait": func(ctx any, args []core.Value) (core.Value, error) {
+			entered <- struct{}{}
+			<-release
+			return core.Null, nil
+		},
+	}
+}
+
+// With a bounded inbox and the drop-newest policy, events beyond the bound
+// are silently rejected and counted.
+func TestBoundedInboxDropNewest(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	rt, err := prt.New(prog, prt.Options{
+		Foreign:  gate(entered, release),
+		MaxInbox: 2,
+		Overflow: prt.OverflowDropNewest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the machine is now stuck in the handler; its inbox backs up
+
+	for i := 0; i < 5; i++ {
+		if err := rt.Send(id, "Inc", core.IntVal(int64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	close(release)
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	m := rt.Metrics()
+	if m.EventsOverflowed != 3 {
+		t.Fatalf("overflowed = %d, want 3 (5 sends, inbox bound 2)", m.EventsOverflowed)
+	}
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("drop-newest recorded errors: %v", errs)
+	}
+}
+
+// The error overflow policy records an ErrInboxOverflow per rejected event
+// through the normal error path (Errors + OnError).
+func TestBoundedInboxErrorPolicy(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var onErr []core.ErrKind
+	var mu sync.Mutex
+	rt, err := prt.New(prog, prt.Options{
+		Foreign:  gate(entered, release),
+		MaxInbox: 1,
+		Overflow: prt.OverflowError,
+		OnError: func(e *core.Err) {
+			mu.Lock()
+			onErr = append(onErr, e.Kind)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	for i := 0; i < 3; i++ {
+		if err := rt.Send(id, "Inc", core.IntVal(int64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	close(release)
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	errs := rt.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("errors = %d, want 2 (3 sends, inbox bound 1)", len(errs))
+	}
+	for _, e := range errs {
+		if e.Kind != core.ErrInboxOverflow {
+			t.Fatalf("error kind = %v, want ErrInboxOverflow", e.Kind)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(onErr) != 2 {
+		t.Fatalf("OnError invoked %d times, want 2", len(onErr))
+	}
+}
+
+// After Stop (or during Drain), host-facing Send and CreateMachine report
+// ErrClosed, recognizable with errors.Is.
+func TestPostStopErrClosed(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Stop()
+	if err := rt.Send(id, "Inc", core.Null); !errors.Is(err, prt.ErrClosed) {
+		t.Fatalf("Send after Stop = %v, want ErrClosed", err)
+	}
+	if _, err := rt.CreateMachine("G", nil, nil); !errors.Is(err, prt.ErrClosed) {
+		t.Fatalf("CreateMachine after Stop = %v, want ErrClosed", err)
+	}
+}
+
+// Drain lets in-flight work finish, then refuses new host work.
+func TestDrainGraceful(t *testing.T) {
+	prog := erased(t, "pingpong", psamples.PingPong)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.CreateMachine("Pinger", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Drain(10 * time.Second) {
+		t.Fatal("Drain did not reach quiescence")
+	}
+	if _, err := rt.CreateMachine("Pinger", nil, nil); !errors.Is(err, prt.ErrClosed) {
+		t.Fatalf("CreateMachine after Drain = %v, want ErrClosed", err)
+	}
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("machine errors: %v", errs)
+	}
+}
+
+// Stop, Send, CreateMachine, Quiesce, and Metrics racing one another must
+// be safe (run under -race) and must terminate.
+func TestConcurrentStopSendQuiesce(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stopped := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopped:
+					return
+				default:
+				}
+				switch w {
+				case 0:
+					rt.Send(id, "Inc", core.IntVal(int64(i)))
+				case 1:
+					rt.Quiesce(time.Millisecond)
+				case 2:
+					rt.CreateMachine("G", nil, nil)
+				case 3:
+					rt.Metrics()
+					rt.Machines()
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan struct{})
+	go func() { rt.Stop(); rt.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not terminate under concurrent load")
+	}
+	close(stopped)
+	wg.Wait()
+}
+
+// Seeded injection is reproducible: the same seed yields the same fault
+// sequence, and the drop accounting closes (every send is delivered,
+// deduped, or dropped by injection).
+func TestSeededInjectionDeterminism(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	run := func() prt.Metrics {
+		rt, err := prt.New(prog, prt.Options{
+			Inject: &prt.Inject{Seed: 42, Drop: 0.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Stop()
+		id, err := rt.CreateMachine("G", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if err := rt.Send(id, "Inc", core.IntVal(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !rt.Quiesce(5 * time.Second) {
+			t.Fatal("no quiescence")
+		}
+		return rt.Metrics()
+	}
+	a, b := run(), run()
+	if a.InjectedDrops == 0 {
+		t.Fatal("Drop=0.5 over 100 sends injected no drops")
+	}
+	if a.InjectedDrops != b.InjectedDrops {
+		t.Fatalf("same seed, different drops: %d vs %d", a.InjectedDrops, b.InjectedDrops)
+	}
+	if a.EventsDelivered+a.EventsDeduped+a.InjectedDrops != 100 {
+		t.Fatalf("accounting leak: delivered %d + deduped %d + dropped %d != 100",
+			a.EventsDelivered, a.EventsDeduped, a.InjectedDrops)
+	}
+}
+
+// An injected duplicate arrives asynchronously, so it can defeat inbox
+// dedup — the behavior the ⊕ append exists to suppress, and the chaos
+// checker's dup fault explores exhaustively.
+func TestInjectedDuplicateDelivery(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	rt, err := prt.New(prog, prt.Options{
+		Inject: &prt.Inject{Seed: 7, Dup: 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Inc", core.IntVal(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Quiesce waits out the pending injected redelivery too.
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	m := rt.Metrics()
+	if m.InjectedDups != 1 {
+		t.Fatalf("injected dups = %d, want 1", m.InjectedDups)
+	}
+	if m.EventsDelivered+m.EventsDeduped != 2 {
+		t.Fatalf("delivered %d + deduped %d != 2 (original + duplicate)",
+			m.EventsDelivered, m.EventsDeduped)
+	}
+}
+
+// OnError invocations and the Errors() log observe the same order: each
+// error is appended to the log before its callback fires.
+func TestOnErrorOrderMatchesLog(t *testing.T) {
+	prog := erased(t, "panic", panicProgram)
+	var mu sync.Mutex
+	var seen []*core.Err
+	rt, err := prt.New(prog, prt.Options{
+		Foreign: explodingForeign(),
+		OnError: func(e *core.Err) {
+			mu.Lock()
+			seen = append(seen, e)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	for i := 0; i < 4; i++ {
+		id, err := rt.CreateMachine("M", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Send(id, "Boom", core.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	logged := rt.Errors()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(logged) || len(seen) != 4 {
+		t.Fatalf("OnError saw %d errors, log has %d, want 4", len(seen), len(logged))
+	}
+	for i := range seen {
+		if seen[i] != logged[i] {
+			t.Fatalf("order diverges at %d: callback %v, log %v", i, seen[i], logged[i])
+		}
+	}
+}

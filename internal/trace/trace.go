@@ -25,6 +25,12 @@ func Render(prog *ir.Program, v *check.Violation, w io.Writer) error {
 	fmt.Fprintf(w, "counterexample: %v\n", v.Err)
 	fmt.Fprintf(w, "schedule (%d steps):\n", len(v.Trace))
 	for i, step := range v.Trace {
+		if step.Fault != check.FaultNone {
+			if err := replayFault(prog, g, step, i+1, w); err != nil {
+				return err
+			}
+			continue
+		}
 		before := stateOf(g, step.Machine)
 		if step.Delays > 0 {
 			fmt.Fprintf(w, "%4d. [%d delays]\n", i+1, step.Delays)
@@ -72,6 +78,34 @@ func Render(prog *ir.Program, v *check.Violation, w io.Writer) error {
 	}
 	if v.Err != nil {
 		return fmt.Errorf("trace: schedule replay ended without reproducing %v", v.Err)
+	}
+	return nil
+}
+
+// replayFault applies one injected environment fault (a chaos-mode trace
+// step) to the replay state, mirroring the explorer's fault transitions.
+func replayFault(prog *ir.Program, g *core.Global, step check.TraceStep, n int, w io.Writer) error {
+	head := fmt.Sprintf("%4d. %s#%-2d %-14s", n, step.Type, step.Machine, "⚡fault")
+	switch step.Fault {
+	case check.FaultCrash:
+		if !g.InjectCrash(step.Machine) {
+			return fmt.Errorf("trace: step %d crashes %s#%d, but it is not live", n, step.Type, step.Machine)
+		}
+		fmt.Fprintf(w, "%s crashes (environment kills the machine)\n", head)
+	case check.FaultDrop:
+		q, ok := g.InjectDrop(step.Machine)
+		if !ok {
+			return fmt.Errorf("trace: step %d drops a message for %s#%d, but none is deliverable", n, step.Type, step.Machine)
+		}
+		fmt.Fprintf(w, "%s loses %s in transit\n", head, prog.Events[q.Event].Name)
+	case check.FaultDup:
+		q, ok := g.InjectDup(step.Machine)
+		if !ok {
+			return fmt.Errorf("trace: step %d duplicates a message for %s#%d, but none is deliverable", n, step.Type, step.Machine)
+		}
+		fmt.Fprintf(w, "%s receives duplicate %s\n", head, prog.Events[q.Event].Name)
+	default:
+		return fmt.Errorf("trace: step %d has unknown fault kind %v", n, step.Fault)
 	}
 	return nil
 }

@@ -1,0 +1,55 @@
+// relay: a fault-sensitivity sample for chaos mode (pverify -chaos).
+//
+// The Sender transmits two Req events with distinct payloads and then a
+// Check; the Receiver counts the Reqs and asserts it saw both when the
+// Check arrives. The protocol is safe under every fault-free schedule, but
+// it silently assumes a reliable transport:
+//
+//   - drop one Req   -> the count comes up short and the assert fails;
+//   - dup one Req    -> the count overshoots and the assert fails;
+//   - crash Receiver -> the Sender's next send hits a deleted machine.
+//
+// `pverify -chaos -faults=1 testdata/relay.p` finds the defect;
+// `pverify testdata/relay.p` does not.
+
+event Req(int);   // payload: message sequence stamp
+event Check;
+
+machine Sender {
+  var peer: id;
+
+  state Init {
+    entry {
+      peer = new Receiver();
+      send peer, Req, 1;
+      send peer, Req, 2;
+      send peer, Check;
+      delete;
+    }
+  }
+}
+
+machine Receiver {
+  var count: int;
+
+  action Count {
+    count = count + 1;
+  }
+
+  state Counting {
+    entry {
+      count = 0;
+    }
+    on Req do Count;
+    on Check goto Verify;
+  }
+
+  state Verify {
+    entry {
+      assert count == 2;
+      delete;
+    }
+  }
+}
+
+main Sender();
