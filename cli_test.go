@@ -279,8 +279,14 @@ func TestCLIJSONReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("clean program should exit zero: %v\n%s", err, out)
 	}
-	if !strings.Contains(out, `"ok": true`) {
-		t.Errorf("JSON missing ok=true:\n%s", out)
+	// The full explorer-options block is emitted even on a clean run with
+	// every setting at its default (regression: faults/fault_kinds used to
+	// vanish under omitempty, leaving reports with differing shapes).
+	for _, want := range []string{`"ok": true`, `"options"`, `"por": true`, `"max_states": 5000000`,
+		`"faults": 0`, `"fault_kinds": ""`, `"reduced_states"`, `"ample_skips"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q:\n%s", want, out)
+		}
 	}
 }
 

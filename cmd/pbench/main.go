@@ -8,9 +8,14 @@
 // Usage:
 //
 //	pbench [-out BENCH_explore.json] [-benchtime 1s] [-iters N] [-filter regexp]
+//	pbench -compare BENCH_explore.json [-regress 25]
 //
 // With -iters N each entry runs exactly N iterations (CI smoke uses
 // -iters 1); otherwise entries iterate until -benchtime has elapsed.
+// With -compare, the run is additionally diffed against a committed baseline
+// report: a per-benchmark delta table goes to the GitHub job summary (when
+// $GITHUB_STEP_SUMMARY is set) and the process exits nonzero if any gated
+// explorer entry's states/sec fell more than -regress percent.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strings"
 	"time"
 
 	"pgo/internal/check"
@@ -51,6 +57,8 @@ var schemaDoc = []string{
 	"entries[].states: distinct global states discovered (explorer entries)",
 	"entries[].transitions: macro steps executed (explorer entries)",
 	"entries[].states_per_sec: states / (ns_per_op * 1e-9) (explorer entries)",
+	"entries[].por: partial-order reduction was enabled (POR experiment entries)",
+	"entries[].reduced_states: search nodes expanded with a singleton ample set (POR entries)",
 }
 
 type report struct {
@@ -65,19 +73,21 @@ type report struct {
 }
 
 type entry struct {
-	Name         string  `json:"name"`
-	Experiment   string  `json:"experiment"`
-	Sample       string  `json:"sample"`
-	Mode         string  `json:"mode,omitempty"`
-	Bound        int     `json:"bound,omitempty"`
-	MaxStates    int     `json:"max_states,omitempty"`
-	Iterations   int     `json:"iterations"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
-	States       int     `json:"states,omitempty"`
-	Transitions  int     `json:"transitions,omitempty"`
-	StatesPerSec float64 `json:"states_per_sec,omitempty"`
+	Name          string  `json:"name"`
+	Experiment    string  `json:"experiment"`
+	Sample        string  `json:"sample"`
+	Mode          string  `json:"mode,omitempty"`
+	Bound         int     `json:"bound,omitempty"`
+	MaxStates     int     `json:"max_states,omitempty"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	States        int     `json:"states,omitempty"`
+	Transitions   int     `json:"transitions,omitempty"`
+	StatesPerSec  float64 `json:"states_per_sec,omitempty"`
+	POR           bool    `json:"por,omitempty"`
+	ReducedStates int     `json:"reduced_states,omitempty"`
 }
 
 // measure runs f (which performs ops operations per call) until iters calls
@@ -118,11 +128,11 @@ func compileOrDie(name, src string) *ir.Program {
 }
 
 // exploreEntry measures one delay-bounded exploration configuration.
-func exploreEntry(benchtime time.Duration, iters int, experiment, sample string, prog *ir.Program, bound, maxStates int) entry {
+func exploreEntry(benchtime time.Duration, iters int, experiment, sample string, prog *ir.Program, bound, maxStates int, por bool) entry {
 	var last *check.Result
 	n, ns, allocs, bytes := measure(benchtime, iters, 1, func() {
 		res, err := check.Explore(prog, check.Options{
-			Mode: check.DelayBounded, Bound: bound, MaxStates: maxStates,
+			Mode: check.DelayBounded, Bound: bound, MaxStates: maxStates, POR: por,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
@@ -130,18 +140,28 @@ func exploreEntry(benchtime time.Duration, iters int, experiment, sample string,
 		}
 		last = res
 	})
+	name := fmt.Sprintf("%s/%s/d=%d", experiment, sample, bound)
+	if experiment == "POR" {
+		state := "off"
+		if por {
+			state = "on"
+		}
+		name += "/por=" + state
+	}
 	e := entry{
-		Name:        fmt.Sprintf("%s/%s/d=%d", experiment, sample, bound),
-		Experiment:  experiment,
-		Sample:      sample,
-		Mode:        check.DelayBounded.String(),
-		Bound:       bound,
-		Iterations:  n,
-		NsPerOp:     ns,
-		AllocsPerOp: allocs,
-		BytesPerOp:  bytes,
-		States:      last.Stats.DistinctStates,
-		Transitions: last.Stats.Transitions,
+		Name:          name,
+		Experiment:    experiment,
+		Sample:        sample,
+		Mode:          check.DelayBounded.String(),
+		Bound:         bound,
+		Iterations:    n,
+		NsPerOp:       ns,
+		AllocsPerOp:   allocs,
+		BytesPerOp:    bytes,
+		States:        last.Stats.DistinctStates,
+		Transitions:   last.Stats.Transitions,
+		POR:           por,
+		ReducedStates: last.Stats.ReducedStates,
 	}
 	if last.Stats.Truncated {
 		e.MaxStates = maxStates
@@ -246,6 +266,8 @@ func main() {
 		benchtime = flag.Duration("benchtime", time.Second, "minimum measuring time per entry")
 		iters     = flag.Int("iters", 0, "fixed iteration count per entry (overrides -benchtime; CI smoke uses 1)")
 		filter    = flag.String("filter", "", "only run entries whose name matches this regexp")
+		compare   = flag.String("compare", "", "compare this run against a baseline JSON report: print a per-benchmark delta table (appended to $GITHUB_STEP_SUMMARY when set) and exit nonzero on regression")
+		regress   = flag.Float64("regress", 25, "with -compare, the allowed states/sec drop in percent before the run fails")
 	)
 	flag.Parse()
 	var re *regexp.Regexp
@@ -302,12 +324,39 @@ func main() {
 				if prog == nil {
 					prog = compileOrDie(s.sample, s.src)
 				}
-				add(exploreEntry(*benchtime, *iters, experiment, s.sample, prog, d, s.cap))
+				add(exploreEntry(*benchtime, *iters, experiment, s.sample, prog, d, s.cap, false))
 			}
 		}
 	}
 	runSweeps("E2", e2)
 	runSweeps("E4", e4)
+
+	// POR: the partial-order-reduced search next to its unreduced twin on
+	// the two acceptance benchmarks, pinning both the reduction and the cost
+	// of the ample-set checks.
+	porCorpus := []struct {
+		sample, src string
+		bound, cap  int
+	}{
+		{"german-3", psamples.German(3), 2, 2_000_000},
+		{"usb-hsm", psamples.USBHub, 2, 2_000_000},
+	}
+	for _, s := range porCorpus {
+		var prog *ir.Program
+		for _, por := range []bool{false, true} {
+			state := "off"
+			if por {
+				state = "on"
+			}
+			if re != nil && !re.MatchString(fmt.Sprintf("POR/%s/d=%d/por=%s", s.sample, s.bound, state)) {
+				continue
+			}
+			if prog == nil {
+				prog = compileOrDie(s.sample, s.src)
+			}
+			add(exploreEntry(*benchtime, *iters, "POR", s.sample, prog, s.bound, s.cap, por))
+		}
+	}
 
 	if re == nil || re.MatchString("FP/") {
 		for _, e := range fingerprintEntries(*benchtime, *iters, "german-3", compileOrDie("german", psamples.German(3)), 30) {
@@ -338,4 +387,84 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pbench: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *compare != "" {
+		if !compareAgainst(*compare, &rep, *regress) {
+			os.Exit(1)
+		}
+	}
+}
+
+// gateFloorNs is the baseline ns/op below which an entry is informational
+// only: sub-10ms explorations are dominated by scheduler and allocator noise
+// at CI iteration counts, and gating on them makes the bench job flap.
+const gateFloorNs = 10_000_000
+
+// compareAgainst diffs the freshly measured report against the committed
+// baseline at path, emits a per-benchmark markdown delta table (appended to
+// the GitHub job summary when $GITHUB_STEP_SUMMARY is set, otherwise to
+// stderr), and reports whether the run is within the regression budget: no
+// explorer entry's states/sec may drop more than regressPct percent below
+// its baseline. Micro-benchmark entries (no states/sec) and entries faster
+// than gateFloorNs are informational.
+func compareAgainst(path string, cur *report, regressPct float64) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbench: -compare: %v\n", err)
+		return false
+	}
+	var base report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "pbench: -compare: parsing %s: %v\n", path, err)
+		return false
+	}
+	baseByName := make(map[string]entry, len(base.Entries))
+	for _, e := range base.Entries {
+		baseByName[e.Name] = e
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "### pbench vs %s (baseline %s, %s)\n\n", path, base.Generated, base.Go)
+	fmt.Fprintf(&b, "| benchmark | ns/op | Δ ns/op | states/sec | Δ states/sec | status |\n")
+	fmt.Fprintf(&b, "|---|---:|---:|---:|---:|---|\n")
+	pct := func(now, was float64) string {
+		if was == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(now-was)/was)
+	}
+	ok := true
+	for _, e := range cur.Entries {
+		be, found := baseByName[e.Name]
+		if !found {
+			fmt.Fprintf(&b, "| %s | %d | new | %.0f | new | new |\n", e.Name, e.NsPerOp, e.StatesPerSec)
+			continue
+		}
+		status := "ok"
+		if be.StatesPerSec > 0 && e.StatesPerSec < be.StatesPerSec*(1-regressPct/100) {
+			if be.NsPerOp < gateFloorNs {
+				status = "slow (below gate floor)"
+			} else {
+				status = fmt.Sprintf("**regressed >%g%%**", regressPct)
+				ok = false
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %d | %s | %.0f | %s | %s |\n",
+			e.Name, e.NsPerOp, pct(float64(e.NsPerOp), float64(be.NsPerOp)),
+			e.StatesPerSec, pct(e.StatesPerSec, be.StatesPerSec), status)
+	}
+	if !ok {
+		fmt.Fprintf(&b, "\nsome explorer benchmark fell more than %g%% below the baseline states/sec\n", regressPct)
+	}
+
+	table := b.String()
+	if sum := os.Getenv("GITHUB_STEP_SUMMARY"); sum != "" {
+		f, err := os.OpenFile(sum, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err == nil {
+			fmt.Fprintln(f, table)
+			f.Close()
+		}
+	}
+	fmt.Fprint(os.Stderr, table)
+	return ok
 }

@@ -36,6 +36,7 @@ func main() {
 		traces    = flag.Bool("trace", false, "print the reproducing schedule of each violation")
 		workers   = flag.Int("workers", 1, "parallel search workers (delay mode; -1 = all cores)")
 		exactFP   = flag.Bool("exact-fp", false, "key visited sets by exact canonical state encodings instead of 128-bit hashes (collision-free auditing mode; slower, more memory)")
+		por       = flag.Bool("por", true, "prune commuting interleavings with partial-order reduction (safety verdicts preserved; forced off by -chaos, -liveness, and -coverage, which need the unreduced graph)")
 		sweep     = flag.Int("sweep", -1, "sweep bounds 0..N and print the states-vs-bound series (Figure 7)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 		coverage  = flag.Bool("coverage", false, "report per-machine control states the exploration never visited (implies graph collection)")
@@ -110,6 +111,11 @@ func main() {
 		Faults:            budget,
 		FaultKinds:        kinds,
 	}
+	// The reduction preserves safety verdicts, not the full state graph: the
+	// liveness checks and coverage reports consume the graph, so they need
+	// the unreduced search. (Explore itself additionally gates POR off under
+	// chaos fault injection.)
+	opts.POR = *por && !opts.CollectGraph && budget == 0
 	opts.Workers = *workers
 	switch *mode {
 	case "delay":
@@ -155,6 +161,9 @@ func main() {
 	st := res.Stats
 	fmt.Printf("%s: %s bound %d: %d distinct states, %d transitions, %d search nodes, max depth %d, %d quiescent, %v\n",
 		name, opts.Mode, *bound, st.DistinctStates, st.Transitions, st.SearchNodes, st.MaxDepth, st.Quiescent, st.Elapsed.Round(1_000_000))
+	if st.ReducedStates > 0 {
+		fmt.Printf("  por: %d nodes reduced to a single machine, %d schedule options pruned\n", st.ReducedStates, st.AmpleSkips)
+	}
 	if opts.Faults > 0 {
 		fmt.Printf("  chaos: fault budget %d (kinds %s), %d fault steps\n", opts.Faults, kinds, st.FaultSteps)
 	}
@@ -217,13 +226,18 @@ func main() {
 	fmt.Println("no safety violations")
 }
 
-// jsonReport is the machine-readable result schema of -json.
+// jsonReport is the machine-readable result schema of -json. The top-level
+// mode/bound/faults/fault_kinds fields predate the options block and are kept
+// for compatibility; options is the authoritative record of the explorer
+// configuration and is always emitted in full, so a clean run and a chaos run
+// produce reports with the same shape.
 type jsonReport struct {
 	Program    string                 `json:"program"`
 	Mode       string                 `json:"mode"`
 	Bound      int                    `json:"bound"`
-	Faults     int                    `json:"faults,omitempty"`
-	FaultKinds string                 `json:"fault_kinds,omitempty"`
+	Faults     int                    `json:"faults"`
+	FaultKinds string                 `json:"fault_kinds"`
+	Options    jsonOptions            `json:"options"`
 	Analysis   []analysis.JSONFinding `json:"analysis,omitempty"`
 	Stats      jsonStats              `json:"stats"`
 	Violations []jsonViolation        `json:"violations"`
@@ -231,11 +245,28 @@ type jsonReport struct {
 	OK         bool                   `json:"ok"`
 }
 
+// jsonOptions mirrors check.Options as resolved for the run — every field is
+// always present, with no omitempty, so consumers can diff configurations
+// across reports without guessing at defaults.
+type jsonOptions struct {
+	Mode              string `json:"mode"`
+	Bound             int    `json:"bound"`
+	MaxStates         int    `json:"max_states"`
+	StopAtFirstError  bool   `json:"stop_at_first_error"`
+	Workers           int    `json:"workers"`
+	ExactFingerprints bool   `json:"exact_fp"`
+	POR               bool   `json:"por"`
+	Faults            int    `json:"faults"`
+	FaultKinds        string `json:"fault_kinds"`
+}
+
 type jsonStats struct {
 	DistinctStates int   `json:"distinct_states"`
 	Transitions    int   `json:"transitions"`
 	SearchNodes    int   `json:"search_nodes"`
 	FaultSteps     int   `json:"fault_steps,omitempty"`
+	ReducedStates  int   `json:"reduced_states"`
+	AmpleSkips     int   `json:"ample_skips"`
 	MaxDepth       int   `json:"max_depth"`
 	Quiescent      int   `json:"quiescent"`
 	Truncated      bool  `json:"truncated"`
@@ -259,23 +290,35 @@ type jsonStep struct {
 }
 
 func emitJSON(name string, prog *ir.Program, opts check.Options, res *check.Result, findings []analysis.Finding, analysisBad, liveOn, ghostLive bool) {
+	faultKinds := ""
+	if opts.Faults > 0 {
+		faultKinds = opts.FaultKinds.String()
+	}
 	rep := jsonReport{
-		Program: name,
-		Mode:    opts.Mode.String(),
-		Bound:   opts.Bound,
-		Faults:  opts.Faults,
-		FaultKinds: func() string {
-			if opts.Faults == 0 {
-				return ""
-			}
-			return opts.FaultKinds.String()
-		}(),
+		Program:    name,
+		Mode:       opts.Mode.String(),
+		Bound:      opts.Bound,
+		Faults:     opts.Faults,
+		FaultKinds: faultKinds,
+		Options: jsonOptions{
+			Mode:              opts.Mode.String(),
+			Bound:             opts.Bound,
+			MaxStates:         opts.MaxStates,
+			StopAtFirstError:  opts.StopAtFirstError,
+			Workers:           opts.Workers,
+			ExactFingerprints: opts.ExactFingerprints,
+			POR:               opts.POR,
+			Faults:            opts.Faults,
+			FaultKinds:        faultKinds,
+		},
 		Analysis: analysis.FindingsJSON(findings),
 		Stats: jsonStats{
 			DistinctStates: res.Stats.DistinctStates,
 			Transitions:    res.Stats.Transitions,
 			SearchNodes:    res.Stats.SearchNodes,
 			FaultSteps:     res.Stats.FaultSteps,
+			ReducedStates:  res.Stats.ReducedStates,
+			AmpleSkips:     res.Stats.AmpleSkips,
 			MaxDepth:       res.Stats.MaxDepth,
 			Quiescent:      res.Stats.Quiescent,
 			Truncated:      res.Stats.Truncated,

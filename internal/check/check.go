@@ -81,6 +81,15 @@ type Options struct {
 	// escape hatch (pverify -exact-fp). Both modes report identical
 	// DistinctStates absent a collision.
 	ExactFingerprints bool
+	// POR enables partial-order reduction (por.go): nodes whose next
+	// machine's macro steps provably commute with the rest of the system
+	// expand only that machine. Verdict-preserving for the safety checks;
+	// silently inactive under chaos (Faults > 0: fault branching breaks
+	// independence), host foreign functions (outside the static analysis),
+	// and the fine-grained ablation (sub-macro-step scheduling points).
+	// Runs that consume the full state graph (liveness, coverage) should
+	// leave it off: reduction prunes edges the graph analyses expect.
+	POR bool
 	// Faults is the chaos-mode fault budget: the maximum number of injected
 	// environment faults (spontaneous crash, message drop, duplicate
 	// delivery — see faults.go) along any single schedule. 0 disables fault
@@ -155,6 +164,8 @@ type Stats struct {
 	Transitions    int // macro steps executed
 	SearchNodes    int // scheduler-state-qualified nodes visited
 	FaultSteps     int // fault successors produced (chaos mode)
+	ReducedStates  int // search nodes expanded with a singleton ample set (POR)
+	AmpleSkips     int // enabled machines / schedule options pruned at reduced nodes (POR)
 	MaxDepth       int
 	Quiescent      int // terminal states with no enabled machine
 	Truncated      bool
@@ -185,6 +196,9 @@ func Explore(prog *ir.Program, opts Options) (*Result, error) {
 	e := &explorer{prog: prog, opts: opts}
 	if opts.CollectGraph {
 		e.graph = NewGraph()
+	}
+	if opts.POR && opts.Faults == 0 && opts.Foreign == nil && !opts.FineGrained {
+		e.por = newReducer(prog)
 	}
 	start := time.Now()
 	g := core.NewGlobal(prog, opts.Foreign)
@@ -217,6 +231,9 @@ type explorer struct {
 	opts   Options
 	result Result
 	graph  *Graph
+	// por is the partial-order reducer, nil when reduction is off or gated
+	// off (chaos, foreign env, fine-grained mode).
+	por *reducer
 
 	// states holds the distinct global fingerprints discovered.
 	states map[StateKey]struct{}
@@ -243,8 +260,16 @@ type explorer struct {
 //
 // The order per successor (ordinary and fault alike) is: note state ->
 // intern graph node -> claim visited -> push.
+//
+// Partial-order reduction bends rule 1 in one documented way: an
+// ample-seed candidate is expanded before the reducer decides whether to
+// keep it (its Transitions are counted and its error branches recorded as
+// violations either way), but its non-error successors are noted only when
+// they are actually processed — i.e. when the seed is accepted, or when
+// the node falls back to full expansion. A rejected candidate at an
+// accepted node contributes Transitions without DistinctStates.
 // TestSerialParallelStatsEquivalence asserts the equivalence on real
-// programs, with chaos both off and on.
+// programs, with chaos both off and on, and POR both off and on.
 
 // noteState registers a global fingerprint, returning true if it is new.
 func (e *explorer) noteState(fp StateKey) bool {

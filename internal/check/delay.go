@@ -220,11 +220,15 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
 		}
 
-		for _, opt := range scheduleOptions(n.g, sched, budget-n.delays) {
+		// process runs the per-successor body for one schedule option,
+		// reporting whether any successor entered the frontier as new work.
+		process := func(opt scheduleOption, succs []successor) bool {
 			id := opt.stack.top()
-			for _, s := range e.expand(n.g, id, n.trace, opt.cost) {
+			pushed := false
+			for i := range succs {
+				s := &succs[i]
 				if e.stop {
-					return
+					return pushed
 				}
 				e.noteState(s.fp)
 				if e.graph != nil {
@@ -253,10 +257,52 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
 				stack = append(stack, node{g: s.global, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
+				pushed = true
 			}
+			return pushed
+		}
+
+		opts := scheduleOptions(n.g, sched, budget-n.delays)
+		// POR: the scheduler's own choice (the zero-delay top of stack) is
+		// the only ample-seed candidate — committing to it when its steps
+		// commute with the coalition prunes every delay branch at this node.
+		var cached []successor
+		cachedFor, processed0 := false, false
+		if e.por != nil && len(opts) >= 2 {
+			id := opts[0].stack.top()
+			cached = e.expand(n.g, id, n.trace, opts[0].cost)
+			cachedFor = true
+			if !e.stop && e.por.ample(n.g, id, cached) {
+				if process(opts[0], cached) {
+					// POR is gated off under chaos, so a reduced node never
+					// has fault branches to generate.
+					e.result.Stats.ReducedStates++
+					e.result.Stats.AmpleSkips += len(opts) - 1
+					continue
+				}
+				// Cycle proviso: nothing new entered the frontier through
+				// the ample seed — expand every option after all.
+				processed0 = true
+			}
+		}
+		for i, opt := range opts {
 			if e.stop {
 				return
 			}
+			var succs []successor
+			switch {
+			case i == 0 && cachedFor:
+				if processed0 {
+					continue
+				}
+				succs = cached
+			default:
+				succs = e.expand(n.g, opt.stack.top(), n.trace, opt.cost)
+			}
+			process(opt, succs)
+		}
+		if e.stop {
+			return
 		}
 
 		// Chaos mode: the environment's fault moves, after the scheduler's.

@@ -1,13 +1,135 @@
 package check
 
 import (
+	"sort"
+
 	"pgo/internal/core"
 )
 
+// Sleep sets (the depth explorer's POR refinement, por.go has the overview):
+// after machine m's branches have been processed at a node, m "sleeps" in
+// the subtrees of its later siblings — its transitions there are the very
+// ones just explored, as long as every step on the path commutes with them.
+// The conflict filter below wakes m the moment a step could change m's
+// transitions or fail to commute with them.
+
+// sleepEntry is one sleeping machine with the footprint of its branches at
+// the node where it was expanded: the send targets over all branches and
+// whether any branch creates a machine.
+type sleepEntry struct {
+	id      core.MachineID
+	sentTo  []core.MachineID
+	creates bool
+}
+
+// conflicts reports whether the step out (taken by actor) fails to commute
+// with the sleeper's recorded steps: the step appends to the sleeper's
+// inbox, the sleeper's steps append to the actor's (whose queue the step
+// just changed — a ⊕ dedup decision could flip), both append to a common
+// third inbox, or both create machines (NextID allocation order). A
+// sleeper's target halting is covered by the t == actor case: a machine
+// only halts by acting.
+func (en *sleepEntry) conflicts(actor core.MachineID, out *core.Outcome) bool {
+	if out.Kind == core.OutSend && out.SentTo == en.id {
+		return true
+	}
+	if en.creates && out.Kind == core.OutNew {
+		return true
+	}
+	for _, t := range en.sentTo {
+		if t == actor {
+			return true
+		}
+		if out.Kind == core.OutSend && t == out.SentTo {
+			return true
+		}
+	}
+	return false
+}
+
+// sleepFootprint summarizes a fully-processed machine's branches.
+func sleepFootprint(id core.MachineID, succs []successor) sleepEntry {
+	en := sleepEntry{id: id}
+	for i := range succs {
+		out := &succs[i].outcome
+		switch out.Kind {
+		case core.OutSend:
+			found := false
+			for _, t := range en.sentTo {
+				if t == out.SentTo {
+					found = true
+					break
+				}
+			}
+			if !found {
+				en.sentTo = append(en.sentTo, out.SentTo)
+			}
+		case core.OutNew:
+			en.creates = true
+		}
+	}
+	return en
+}
+
+// childSleep filters base (the parent's sleepers plus earlier-processed
+// siblings) against the step just taken, waking every conflicting sleeper.
+func childSleep(base []sleepEntry, actor core.MachineID, out *core.Outcome) []sleepEntry {
+	var kept []sleepEntry
+	for i := range base {
+		if !base[i].conflicts(actor, out) {
+			kept = append(kept, base[i])
+		}
+	}
+	return kept
+}
+
+func sleepingIn(sleep []sleepEntry, id core.MachineID) bool {
+	for i := range sleep {
+		if sleep[i].id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// sleepIDs extracts the sorted sleeping ids. The visited map compares sleep
+// sets by id only: a machine asleep at a given state key has the transition
+// set that state determines, whatever path put it to sleep.
+func sleepIDs(sleep []sleepEntry) []core.MachineID {
+	if len(sleep) == 0 {
+		return nil
+	}
+	ids := make([]core.MachineID, len(sleep))
+	for i := range sleep {
+		ids[i] = sleep[i].id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// idsSubset reports a ⊆ b for sorted id slices.
+func idsSubset(a, b []core.MachineID) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
 // depthBounded explores all machine interleavings up to Options.Bound macro
 // steps with a depth-first search. A state reached at depth d is re-expanded
-// only if rediscovered at a strictly smaller depth, so every execution of
-// length <= Bound is covered.
+// only if rediscovered at a strictly smaller depth — or, with POR on, with
+// strictly fewer machines asleep: an expansion with more sleepers explored
+// fewer branches, so a sleep-incomparable revisit still has work to do. The
+// records per (state, faults) key form an antichain under (depth ≤, sleep
+// ⊆); sleep sets range over the finitely many live machines, so the
+// antichain — and re-expansion per key — stays finite even unbounded.
 func (e *explorer) depthBounded(g0 *core.Global) {
 	bound := e.opts.Bound
 	type node struct {
@@ -15,6 +137,7 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 		depth  int
 		faults int
 		trace  []TraceStep
+		sleep  []sleepEntry
 	}
 
 	// dvKey qualifies the visited fingerprint with the chaos faults already
@@ -24,14 +147,35 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 		state  StateKey
 		faults int
 	}
-	visited := map[dvKey]int{} // (fingerprint, faults) -> smallest depth expanded
+	type dvVal struct {
+		depth int
+		sleep []core.MachineID
+	}
+	visited := map[dvKey][]dvVal{}
+	covered := func(key dvKey, depth int, sleep []core.MachineID) bool {
+		for _, r := range visited[key] {
+			if r.depth <= depth && idsSubset(r.sleep, sleep) {
+				return true
+			}
+		}
+		return false
+	}
+	record := func(key dvKey, depth int, sleep []core.MachineID) {
+		recs := visited[key]
+		kept := recs[:0]
+		for _, r := range recs {
+			if !(depth <= r.depth && idsSubset(sleep, r.sleep)) {
+				kept = append(kept, r)
+			}
+		}
+		visited[key] = append(kept, dvVal{depth: depth, sleep: sleep})
+	}
+
 	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
-	visited[dvKey{fp0, 0}] = 0
-	var init NodeID
+	record(dvKey{fp0, 0}, 0, nil)
 	if e.graph != nil {
-		init = e.graph.Node(fp0, g0)
-		e.graph.Init = init
+		e.graph.Init = e.graph.Node(fp0, g0)
 	}
 
 	stack := []node{{g: g0, depth: 0}}
@@ -49,26 +193,52 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 		if e.graph != nil {
 			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
 		}
+
+		// Candidates: enabled machines not asleep. Sleepers' transitions
+		// were explored at the ancestor that put them to sleep.
+		var cands []core.MachineID
 		anyEnabled := false
+		asleep := 0
 		for _, id := range n.g.LiveIDs() {
 			if !n.g.Enabled(id) {
 				continue
 			}
 			anyEnabled = true
-			for _, s := range e.expand(n.g, id, n.trace, 0) {
+			if sleepingIn(n.sleep, id) {
+				asleep++
+				continue
+			}
+			cands = append(cands, id)
+		}
+		if !anyEnabled {
+			e.result.Stats.Quiescent++
+			continue
+		}
+		e.result.Stats.AmpleSkips += asleep
+
+		nd := n.depth + 1
+		// process runs the per-successor body for machine id's branches,
+		// with base as the child sleep set before conflict filtering. It
+		// reports whether any successor entered the frontier as new work.
+		process := func(id core.MachineID, succs []successor, base []sleepEntry) bool {
+			pushed := false
+			for i := range succs {
+				s := &succs[i]
 				if e.stop {
-					return
+					return pushed
 				}
 				e.noteState(s.fp)
 				if e.graph != nil {
 					to := e.graph.Node(s.fp, s.global)
 					e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
 				}
-				nd := n.depth + 1
-				if prev, ok := visited[dvKey{s.fp, n.faults}]; ok && prev <= nd {
+				cs := childSleep(base, id, &s.outcome)
+				key := dvKey{s.fp, n.faults}
+				sids := sleepIDs(cs)
+				if covered(key, nd, sids) {
 					continue
 				}
-				visited[dvKey{s.fp, n.faults}] = nd
+				record(key, nd, sids)
 				step := TraceStep{
 					Machine: id,
 					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
@@ -78,15 +248,69 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
-				stack = append(stack, node{g: s.global, depth: nd, faults: n.faults, trace: trace})
+				stack = append(stack, node{g: s.global, depth: nd, faults: n.faults, trace: trace, sleep: cs})
+				pushed = true
 			}
+			return pushed
+		}
+
+		// POR: try the first few candidates as singleton ample seeds. A
+		// candidate is expanded before the decision; rejected candidates'
+		// branches are reused below, never re-executed.
+		var cache [][]successor
+		ampleIdx := -1
+		if e.por != nil && len(cands) >= 2 {
+			for i, id := range cands {
+				if i >= porMaxSeeds || e.stop {
+					break
+				}
+				succs := e.expand(n.g, id, n.trace, 0)
+				cache = append(cache, succs)
+				if e.por.ample(n.g, id, succs) {
+					ampleIdx = i
+					break
+				}
+			}
+		}
+		ampleDone := false
+		if ampleIdx >= 0 {
+			if process(cands[ampleIdx], cache[ampleIdx], n.sleep) {
+				// POR is gated off under chaos, so a reduced node never has
+				// fault branches to generate.
+				e.result.Stats.ReducedStates++
+				e.result.Stats.AmpleSkips += len(cands) - 1
+				continue
+			}
+			// Cycle proviso: every ample successor was already covered, so
+			// committing to the seed could postpone the rest of the system
+			// forever around a cycle. Expand the node fully instead.
+			ampleDone = true
+		}
+
+		// Full expansion. With POR on, each processed machine goes to sleep
+		// in the subtrees of its later siblings.
+		base := n.sleep
+		for i, id := range cands {
 			if e.stop {
 				return
 			}
+			var succs []successor
+			if i < len(cache) {
+				succs = cache[i]
+			} else {
+				succs = e.expand(n.g, id, n.trace, 0)
+			}
+			if i != ampleIdx || !ampleDone {
+				process(id, succs, base)
+			}
+			if e.por != nil {
+				next := make([]sleepEntry, len(base), len(base)+1)
+				copy(next, base)
+				base = append(next, sleepFootprint(id, succs))
+			}
 		}
-		if !anyEnabled {
-			e.result.Stats.Quiescent++
-			continue
+		if e.stop {
+			return
 		}
 
 		// Chaos mode: fault successors after the ordinary ones. A fault step
@@ -102,12 +326,11 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 					to := e.graph.Node(fb.fp, fb.global)
 					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
 				}
-				nd := n.depth + 1
 				key := dvKey{fb.fp, n.faults + 1}
-				if prev, ok := visited[key]; ok && prev <= nd {
+				if covered(key, nd, nil) {
 					continue
 				}
-				visited[key] = nd
+				record(key, nd, nil)
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = fb.step

@@ -68,42 +68,55 @@ func TestNoLiveMachineQuiescent(t *testing.T) {
 func TestSerialParallelStatsEquivalence(t *testing.T) {
 	for _, name := range []string{"pingpong", "elevator", "switchled", "elevator-buggy"} {
 		for _, faults := range []int{0, 1} {
-			name, faults := name, faults
-			t.Run(fmt.Sprintf("%s/faults=%d", name, faults), func(t *testing.T) {
-				prog := compileWB(t, name)
-				explore := func(workers int) (Stats, int) {
-					e := &explorer{prog: prog, opts: Options{Mode: DelayBounded, Bound: 2, MaxStates: 2_000_000, Faults: faults}}
-					g := core.NewGlobal(prog, nil)
-					if _, err := g.CreateMain(); err != nil {
-						t.Fatal(err)
-					}
-					if workers > 1 {
-						e.parallelDelayBounded(g, workers)
-					} else if workers == 1 {
-						// Force the parallel machinery with a single worker.
-						e.parallelDelayBounded(g, 1)
-					} else {
-						e.delayBounded(g)
-					}
-					return e.result.Stats, len(e.result.Violations)
+			for _, por := range []bool{false, true} {
+				for _, exact := range []bool{false, true} {
+					name, faults, por, exact := name, faults, por, exact
+					t.Run(fmt.Sprintf("%s/faults=%d/por=%v/exact=%v", name, faults, por, exact), func(t *testing.T) {
+						prog := compileWB(t, name)
+						explore := func(workers int) (Stats, int) {
+							e := &explorer{prog: prog, opts: Options{
+								Mode: DelayBounded, Bound: 2, MaxStates: 2_000_000,
+								Faults: faults, POR: por, ExactFingerprints: exact,
+							}}
+							// Mirror Explore's gate: POR is inactive under chaos.
+							if por && faults == 0 {
+								e.por = newReducer(prog)
+							}
+							g := core.NewGlobal(prog, nil)
+							if _, err := g.CreateMain(); err != nil {
+								t.Fatal(err)
+							}
+							if workers > 1 {
+								e.parallelDelayBounded(g, workers)
+							} else if workers == 1 {
+								// Force the parallel machinery with a single worker.
+								e.parallelDelayBounded(g, 1)
+							} else {
+								e.delayBounded(g)
+							}
+							return e.result.Stats, len(e.result.Violations)
+						}
+						serial, sv := explore(0)
+						parallel, pv := explore(1)
+						if serial.DistinctStates != parallel.DistinctStates ||
+							serial.Transitions != parallel.Transitions ||
+							serial.SearchNodes != parallel.SearchNodes ||
+							serial.FaultSteps != parallel.FaultSteps ||
+							serial.ReducedStates != parallel.ReducedStates ||
+							serial.AmpleSkips != parallel.AmpleSkips ||
+							serial.Quiescent != parallel.Quiescent ||
+							serial.MaxDepth != parallel.MaxDepth {
+							t.Errorf("stats diverge:\n  serial   %+v\n  parallel %+v", serial, parallel)
+						}
+						if sv != pv {
+							t.Errorf("violations diverge: serial %d, parallel %d", sv, pv)
+						}
+						if faults > 0 && serial.FaultSteps == 0 {
+							t.Error("chaos run produced no fault steps")
+						}
+					})
 				}
-				serial, sv := explore(0)
-				parallel, pv := explore(1)
-				if serial.DistinctStates != parallel.DistinctStates ||
-					serial.Transitions != parallel.Transitions ||
-					serial.SearchNodes != parallel.SearchNodes ||
-					serial.FaultSteps != parallel.FaultSteps ||
-					serial.Quiescent != parallel.Quiescent ||
-					serial.MaxDepth != parallel.MaxDepth {
-					t.Errorf("stats diverge:\n  serial   %+v\n  parallel %+v", serial, parallel)
-				}
-				if sv != pv {
-					t.Errorf("violations diverge: serial %d, parallel %d", sv, pv)
-				}
-				if faults > 0 && serial.FaultSteps == 0 {
-					t.Error("chaos run produced no fault steps")
-				}
-			})
+			}
 		}
 	}
 }

@@ -113,13 +113,15 @@ type pexplorer struct {
 	states  *shardedStates
 	visited *shardedVisited
 
-	transitions atomic.Int64
-	searchNodes atomic.Int64
-	faultSteps  atomic.Int64
-	maxDepth    atomic.Int64
-	quiescent   atomic.Int64
-	truncated   atomic.Bool
-	stopped     atomic.Bool
+	transitions   atomic.Int64
+	searchNodes   atomic.Int64
+	faultSteps    atomic.Int64
+	reducedStates atomic.Int64
+	ampleSkips    atomic.Int64
+	maxDepth      atomic.Int64
+	quiescent     atomic.Int64
+	truncated     atomic.Bool
+	stopped       atomic.Bool
 
 	vmu sync.Mutex // guards violations + graph + lastProgress
 
@@ -178,6 +180,8 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 	e.result.Stats.Transitions += int(p.transitions.Load())
 	e.result.Stats.SearchNodes += int(p.searchNodes.Load())
 	e.result.Stats.FaultSteps += int(p.faultSteps.Load())
+	e.result.Stats.ReducedStates += int(p.reducedStates.Load())
+	e.result.Stats.AmpleSkips += int(p.ampleSkips.Load())
 	e.result.Stats.Quiescent += int(p.quiescent.Load())
 	if d := int(p.maxDepth.Load()); d > e.result.Stats.MaxDepth {
 		e.result.Stats.MaxDepth = d
@@ -316,58 +320,126 @@ func (p *pexplorer) expandNode(n pnode) {
 		p.vmu.Unlock()
 	}
 
-	for _, opt := range scheduleOptions(n.g, sched, p.budget-n.delays) {
-		id := opt.stack.top()
+	// expandSuccs runs machine id under every `*` choice string (the
+	// lock-free mirror of explorer.expand): transitions counted, error
+	// branches recorded as violations, non-error successors returned.
+	expandSuccs := func(id core.MachineID, cost int) []successor {
+		var succs []successor
 		cs := &core.FixedChoices{}
 		for tries := 0; ; tries++ {
 			if tries >= maxChoiceStrings {
 				p.truncated.Store(true)
-				break
+				return succs
+			}
+			if p.stopped.Load() {
+				return succs
 			}
 			clone := n.g.Clone()
 			cs.Reset()
 			out := clone.RunToSchedPoint(id, cs, e.opts.MaxLocalSteps)
 			p.transitions.Add(1)
 			bits := append([]bool(nil), cs.Bits...)
-
+			if out.Kind == core.OutError {
+				step := TraceStep{
+					Machine: id,
+					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
+					Delays:  cost,
+					Choices: bits,
+					Outcome: out.Kind,
+				}
+				p.addViolation(out.Err, append(append([]TraceStep(nil), n.trace...), step))
+				if p.stopped.Load() {
+					return succs
+				}
+			} else {
+				succs = append(succs, successor{global: clone, outcome: out, choices: bits, fp: e.keyOf(clone)})
+			}
+			if !cs.NextString() {
+				return succs
+			}
+		}
+	}
+	// process runs the per-successor body for one schedule option,
+	// reporting whether any successor entered the frontier as new work.
+	process := func(opt scheduleOption, succs []successor) bool {
+		id := opt.stack.top()
+		pushed := false
+		for i := range succs {
+			s := &succs[i]
+			if p.stopped.Load() {
+				return pushed
+			}
+			p.noteState(s.fp)
+			if e.graph != nil {
+				p.vmu.Lock()
+				to := e.graph.Node(s.fp, s.global)
+				e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
+				p.vmu.Unlock()
+			}
 			step := TraceStep{
 				Machine: id,
 				Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
 				Delays:  opt.cost,
-				Choices: bits,
-				Outcome: out.Kind,
+				Choices: s.choices,
+				Outcome: s.outcome.Kind,
 			}
-			if out.Kind == core.OutError {
-				p.addViolation(out.Err, append(append([]TraceStep(nil), n.trace...), step))
-			} else {
-				if out.Kind == core.OutSend {
-					step.Event = out.SentEvent
-					step.HasEv = true
-				}
-				fp := e.keyOf(clone)
-				p.noteState(fp)
-				if e.graph != nil {
-					p.vmu.Lock()
-					to := e.graph.Node(fp, clone)
-					e.graph.AddEdge(fromNode, to, id, out.Dequeued)
-					p.vmu.Unlock()
-				}
-				next := updateStack(opt.stack, id, out)
-				delays := n.delays + opt.cost
-				if p.visited.claim(visitedKey{fp, next.digest(e.opts.ExactFingerprints), n.faults}, delays) && !p.stopped.Load() {
-					trace := make([]TraceStep, len(n.trace)+1)
-					copy(trace, n.trace)
-					trace[len(n.trace)] = step
-					p.push(pnode{g: clone, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
-				}
+			if s.outcome.Kind == core.OutSend {
+				step.Event = s.outcome.SentEvent
+				step.HasEv = true
 			}
-			if p.stopped.Load() {
-				return
-			}
-			if !cs.NextString() {
-				break
+			next := updateStack(opt.stack, id, s.outcome)
+			delays := n.delays + opt.cost
+			if p.visited.claim(visitedKey{s.fp, next.digest(e.opts.ExactFingerprints), n.faults}, delays) && !p.stopped.Load() {
+				trace := make([]TraceStep, len(n.trace)+1)
+				copy(trace, n.trace)
+				trace[len(n.trace)] = step
+				p.push(pnode{g: s.global, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
+				pushed = true
 			}
 		}
+		return pushed
+	}
+
+	opts := scheduleOptions(n.g, sched, p.budget-n.delays)
+	// POR, mirroring delayBounded: the zero-delay top-of-stack machine is
+	// the only ample-seed candidate. The cycle proviso is per-worker and
+	// racy — a claim lost to a concurrent worker can force a full expansion
+	// a serial search would have reduced — which costs reduction, never
+	// soundness: a lost claim means the successor was (or is being)
+	// expanded elsewhere.
+	var cached []successor
+	cachedFor, processed0 := false, false
+	if e.por != nil && len(opts) >= 2 {
+		id := opts[0].stack.top()
+		cached = expandSuccs(id, opts[0].cost)
+		cachedFor = true
+		if !p.stopped.Load() && e.por.ample(n.g, id, cached) {
+			if process(opts[0], cached) {
+				p.reducedStates.Add(1)
+				p.ampleSkips.Add(int64(len(opts) - 1))
+				return
+			}
+			processed0 = true
+		}
+	}
+	for i, opt := range opts {
+		if p.stopped.Load() {
+			return
+		}
+		var succs []successor
+		switch {
+		case i == 0 && cachedFor:
+			if processed0 {
+				continue
+			}
+			succs = cached
+		default:
+			succs = expandSuccs(opt.stack.top(), opt.cost)
+		}
+		process(opt, succs)
+	}
+	if p.stopped.Load() {
+		return
 	}
 
 	// Chaos mode: fault successors after the ordinary ones, in the serial

@@ -1,0 +1,206 @@
+package check
+
+import (
+	"pgo/internal/analysis"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// Partial-order reduction (por.go): at a search node, instead of branching
+// over every enabled machine (or schedule option), the explorers may commit
+// to a single machine x — a singleton ample set — when every macro step of x
+// from this state commutes with anything the rest of the system can do
+// before x moves. Commuting steps reach the same successor states in either
+// order, so exploring only "x first" preserves reachability of every local
+// error state (the safety properties of Figure 6 are all local).
+//
+// Whether steps commute is decided from two sources:
+//
+//   - Static facts (analysis.PORFacts): which events a machine type can
+//     still send to which types, and whether it can still create machines,
+//     from each control state onward. Per-state granularity matters: ghost
+//     environments create the world in a boot state and then settle into a
+//     request loop, and only the loop's capabilities should count.
+//   - Dynamic capabilities: machine ids are unforgeable, so a machine can
+//     only be sent to by someone who holds its id (core.HeldIDs), and only
+//     machines that are enabled now — or transitively woken by enabled ones —
+//     can act at all before x moves. This instance-level "acting coalition"
+//     is what makes the reduction effective on star-shaped programs
+//     (german, usbhub) where type-level facts alone collapse to "everything
+//     touches everything".
+//
+// The dedup-append queue semantics (⊕) make same-inbox operations
+// non-commuting in general: an append's dedup decision reads the whole
+// queue, and a dequeue changes it. The ample conditions below therefore
+// require that the events x dequeues are disjoint from the events the
+// coalition can append to x (then removals cannot flip any dedup decision),
+// and that nobody else can touch any inbox x appends to. Machine creation
+// orders the NextID counter, so two creations never commute.
+//
+// Soundness of the selective search additionally needs the standard cycle
+// proviso (the "ignoring problem"): a reduced node must not postpone the
+// rest of the system forever around a cycle. The explorers implement the
+// visited-set variant — if no ample successor enters the search frontier as
+// new work, the node is expanded fully after all. See DESIGN.md for the
+// argument, including why it survives the parallel explorer's racy claims.
+
+// porMaxSeeds bounds how many enabled machines the depth explorer tries as
+// ample-seed candidates per node before giving up and expanding fully.
+// Trying a seed costs its expansion (which full expansion needs anyway), so
+// this only bounds wasted ample() checks.
+const porMaxSeeds = 4
+
+// reducer holds the static half of the independence relation.
+type reducer struct {
+	prog *ir.Program
+	pf   *analysis.PORFacts
+}
+
+func newReducer(p *ir.Program) *reducer {
+	return &reducer{prog: p, pf: analysis.PORIndependence(p)}
+}
+
+// coalition accumulates what the machines that can act before x moves are
+// able to do: canSend[t] is the events they may append to an inbox of type
+// t, creates whether any of them can reach a `new`. Spawned types
+// contribute their initial-state capabilities — a fresh instance acts on
+// the coalition's behalf.
+type coalition struct {
+	r       *reducer
+	act     map[core.MachineID]bool
+	carried map[core.MachineID]bool
+	canSend []ir.EventSet
+	spawned []bool
+	creates bool
+}
+
+func (co *coalition) addStateCaps(t ir.MachineTypeID, s ir.StateID) {
+	pf := co.r.pf
+	for ti := range co.canSend {
+		co.canSend[ti] = co.canSend[ti].Union(pf.SendEventsFrom[t][s][ti])
+	}
+	if pf.CreatesFrom[t][s] {
+		co.creates = true
+	}
+	for _, sp := range pf.SpawnsFrom[t][s] {
+		co.addSpawn(sp)
+	}
+}
+
+func (co *coalition) addSpawn(t ir.MachineTypeID) {
+	if co.spawned[t] {
+		return
+	}
+	co.spawned[t] = true
+	co.addStateCaps(t, co.r.pf.InitState[t])
+}
+
+// join adds machine id to the acting coalition: its held ids become
+// nameable, and the capabilities of every frame state count — a pop lands
+// on a lower frame, so the union over the stack covers all return paths.
+func (co *coalition) join(g *core.Global, id core.MachineID) {
+	co.act[id] = true
+	c := g.Lookup(id)
+	for _, h := range g.HeldIDs(c) {
+		co.carried[h] = true
+	}
+	for i := range c.Stack {
+		co.addStateCaps(c.Type, c.Stack[i].State)
+	}
+}
+
+// ample reports whether {x} is a valid singleton ample set at g, given x's
+// already-expanded successors (error branches excluded — they are recorded
+// as violations at expansion and stay reachable under any reordering, since
+// nothing the coalition does can disturb a step the conditions accept).
+//
+// The acting coalition Act is the set of machines other than x that can
+// take a step before x moves: every enabled one, closed under waking — a
+// disabled machine joins if the coalition holds its id and can send to its
+// type. Machines outside Act stay frozen until x moves, so only Act's
+// effects matter for commutation.
+//
+// With eOut = the events the coalition may append to x's inbox, {x} is
+// ample iff x has at least one non-error successor and every successor u
+// satisfies:
+//
+//  1. No entry u dequeues has an event in eOut — then coalition appends to
+//     x land at the tail, past x's deliverable scan, and x's removals can
+//     never flip a dedup decision on them (⊕ compares events).
+//  2. If u blocks or halts, eOut is empty — a block re-reads the whole
+//     queue (an append could un-block x), and a send to a halted machine
+//     errors in one order but not the other.
+//  3. If u sends to x itself, eOut is empty (two appenders to one ⊕ inbox
+//     never commute); if u sends to another machine t, then t ∉ Act — x
+//     must be t's only writer, and t must stay frozen (an acting t could
+//     dequeue, block, or even halt, turning x's send into SEND-FAIL-2).
+//     Act membership subsumes "coalition can send to t": the wake closure
+//     joined every carried, send-reachable machine — including machines
+//     only a freshly spawned instance could reach, since a fresh instance
+//     can name t only through ids the coalition carries.
+//  4. If u creates a machine, the coalition must be unable to — creation
+//     order determines NextID allocation, so creations never commute.
+//
+// Over-approximating Act, Carried, or eOut only rejects more seeds.
+func (r *reducer) ample(g *core.Global, x core.MachineID, succs []successor) bool {
+	if len(succs) == 0 {
+		return false
+	}
+	live := g.LiveIDs()
+	co := &coalition{
+		r:       r,
+		act:     make(map[core.MachineID]bool, len(live)),
+		carried: make(map[core.MachineID]bool, len(live)),
+		canSend: make([]ir.EventSet, len(r.prog.Machines)),
+		spawned: make([]bool, len(r.prog.Machines)),
+	}
+	for _, id := range live {
+		if id != x && g.Enabled(id) {
+			co.join(g, id)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range live {
+			if id == x || co.act[id] || !co.carried[id] {
+				continue
+			}
+			if !co.canSend[g.Lookup(id).Type].IsEmpty() {
+				co.join(g, id)
+				changed = true
+			}
+		}
+	}
+	var eOut ir.EventSet
+	if co.carried[x] {
+		eOut = co.canSend[g.Lookup(x).Type]
+	}
+
+	for i := range succs {
+		out := &succs[i].outcome
+		for _, q := range out.Dequeued {
+			if eOut.Contains(q.Event) {
+				return false
+			}
+		}
+		switch out.Kind {
+		case core.OutBlocked, core.OutHalted:
+			if !eOut.IsEmpty() {
+				return false
+			}
+		case core.OutSend:
+			if out.SentTo == x {
+				if !eOut.IsEmpty() {
+					return false
+				}
+			} else if co.act[out.SentTo] {
+				return false
+			}
+		case core.OutNew:
+			if co.creates {
+				return false
+			}
+		}
+	}
+	return true
+}

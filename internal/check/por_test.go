@@ -1,0 +1,247 @@
+package check_test
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"testing"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+	"pgo/internal/trace"
+)
+
+// crossCheckPrograms returns every shipped sample plus testdata/relay.p,
+// the corpus the POR cross-check runs over.
+func crossCheckPrograms(t *testing.T) map[string]*ir.Program {
+	t.Helper()
+	progs := map[string]*ir.Program{}
+	for _, s := range psamples.All() {
+		progs[s.Name] = compileSample(t, s.Name)
+	}
+	src, err := os.ReadFile("../../testdata/relay.p")
+	if err != nil {
+		t.Fatalf("reading relay sample: %v", err)
+	}
+	prog, diags, err := compile.Source("relay", string(src))
+	if err != nil {
+		t.Fatalf("compile relay: %v\n%s", err, diags.String())
+	}
+	progs["relay"] = prog
+	return progs
+}
+
+// violationSet projects a result's violations onto a canonical, order- and
+// multiplicity-insensitive summary: the set of (error kind, machine id,
+// machine type, state). The reduced search prunes interleavings, so it may
+// encounter the same error state along fewer paths, but every distinct error
+// state reachable without reduction must still be reported with reduction.
+func violationSet(res *check.Result) []string {
+	set := map[string]bool{}
+	for i := range res.Violations {
+		e := res.Violations[i].Err
+		set[fmt.Sprintf("%v/#%d/%s/%s", e.Kind, e.Machine, e.Type, e.State)] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPORCrossCheck runs every shipped sample (plus relay.p) with partial-
+// order reduction off and on and asserts the verdicts agree exactly: same
+// ok/violation outcome and the same set of distinct error states. Every
+// counterexample trace found under reduction must also replay cleanly.
+//
+// DelayBounded bound 2 is pverify's default configuration, so every program
+// is cross-checked there; the cheaper programs are additionally cross-checked
+// under the depth-bounded and round-robin explorers.
+func TestPORCrossCheck(t *testing.T) {
+	progs := crossCheckPrograms(t)
+
+	// Samples small enough to sweep across every mode. The german family
+	// and the full usbhub device model are restricted to the delay-bounded
+	// default to keep runtimes reasonable.
+	small := map[string]bool{
+		"pingpong": true, "elevator": true, "elevator-buggy": true,
+		"switchled": true, "switchled-buggy": true, "ring": true,
+		"ring-buggy": true, "boundedbuffer": true, "usb-hsm": true,
+		"usb-psm3": true, "usb-psm2": true, "relay": true,
+	}
+
+	type cfg struct {
+		mode  check.Mode
+		bound int
+	}
+	for name, prog := range progs {
+		cfgs := []cfg{{check.DelayBounded, 2}}
+		if small[name] {
+			cfgs = append(cfgs, cfg{check.DepthBounded, 12}, cfg{check.RoundRobinDelay, 2})
+		}
+		for _, c := range cfgs {
+			c := c
+			t.Run(fmt.Sprintf("%s/%v-%d", name, c.mode, c.bound), func(t *testing.T) {
+				if testing.Short() && (name == "german" || name == "german-buggy") {
+					t.Skip("large state space")
+				}
+				run := func(por bool) *check.Result {
+					res, err := check.Explore(prog, check.Options{
+						Mode: c.mode, Bound: c.bound, MaxStates: 2_000_000, POR: por,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Stats.Truncated {
+						t.Fatalf("truncated at MaxStates; cross-check needs a complete search")
+					}
+					return res
+				}
+				off := run(false)
+				on := run(true)
+				if off.Errored() != on.Errored() {
+					t.Fatalf("verdict mismatch: POR off errored=%v, POR on errored=%v", off.Errored(), on.Errored())
+				}
+				vOff, vOn := violationSet(off), violationSet(on)
+				if !equalStrings(vOff, vOn) {
+					t.Fatalf("violation sets differ:\n  off: %v\n  on:  %v", vOff, vOn)
+				}
+				if on.Stats.DistinctStates > off.Stats.DistinctStates {
+					t.Errorf("POR explored more states than the full search: %d > %d",
+						on.Stats.DistinctStates, off.Stats.DistinctStates)
+				}
+				for i := range on.Violations {
+					if err := trace.Render(prog, &on.Violations[i], io.Discard); err != nil {
+						t.Errorf("POR trace %d does not replay: %v", i, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPORMatrixVerdicts is the property-style matrix over the public API:
+// POR on/off × hashed/exact fingerprints × serial/parallel workers must all
+// agree on the verdict and the set of distinct error states, and every
+// counterexample trace must replay. (Exact per-statistic equality between
+// the serial and one-worker parallel explorers is pinned separately by the
+// white-box TestSerialParallelStatsEquivalence.)
+func TestPORMatrixVerdicts(t *testing.T) {
+	for _, name := range []string{"pingpong", "elevator-buggy", "switchled-buggy", "ring-buggy", "boundedbuffer"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog := compileSample(t, name)
+			type verdict struct {
+				cfg  string
+				errd bool
+				set  []string
+			}
+			var verdicts []verdict
+			for _, por := range []bool{false, true} {
+				for _, exact := range []bool{false, true} {
+					for _, workers := range []int{1, 4} {
+						res, err := check.Explore(prog, check.Options{
+							Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000,
+							POR: por, ExactFingerprints: exact, Workers: workers,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						cfg := fmt.Sprintf("por=%v exact=%v workers=%d", por, exact, workers)
+						if res.Stats.Truncated {
+							t.Fatalf("%s: truncated", cfg)
+						}
+						for i := range res.Violations {
+							if err := trace.Render(prog, &res.Violations[i], io.Discard); err != nil {
+								t.Errorf("%s: trace %d does not replay: %v", cfg, i, err)
+							}
+						}
+						verdicts = append(verdicts, verdict{cfg, res.Errored(), violationSet(res)})
+					}
+				}
+			}
+			base := verdicts[0]
+			for _, v := range verdicts[1:] {
+				if v.errd != base.errd || !equalStrings(v.set, base.set) {
+					t.Errorf("verdict diverges:\n  %s: errored=%v %v\n  %s: errored=%v %v",
+						base.cfg, base.errd, base.set, v.cfg, v.errd, v.set)
+				}
+			}
+		})
+	}
+}
+
+// TestPORReductionPinned pins the reduction the ample-set machinery achieves
+// on the two acceptance benchmarks, german(3) and the usbhub HSM, so a
+// regression that silently turns the reducer into a no-op fails loudly. The
+// ceilings carry slack over the measured ratios; exploration is
+// deterministic, so the "strictly fewer" half of each pin is exact.
+func TestPORReductionPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	for _, tc := range []struct {
+		name       string
+		mode       check.Mode
+		bound      int
+		maxPctSt   int // ceiling for 100*on.states/off.states
+		maxPctTr   int // ceiling for 100*on.transitions/off.transitions (0 = no pin)
+		wantStrict bool
+	}{
+		// pverify defaults (delay-bounded, bound 2): the acceptance pins.
+		{"german", check.DelayBounded, 2, 100, 0, true},
+		{"usb-hsm", check.DelayBounded, 2, 97, 0, true},
+		// Depth-bounded german is where the reduction bites hardest:
+		// measured 47% of the states and 13% of the transitions.
+		{"german", check.DepthBounded, 14, 60, 20, true},
+	} {
+		t.Run(fmt.Sprintf("%s/%v-%d", tc.name, tc.mode, tc.bound), func(t *testing.T) {
+			prog := compileSample(t, tc.name)
+			run := func(por bool) check.Stats {
+				res, err := check.Explore(prog, check.Options{
+					Mode: tc.mode, Bound: tc.bound, MaxStates: 2_000_000, POR: por,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.Truncated {
+					t.Fatalf("truncated at MaxStates")
+				}
+				return res.Stats
+			}
+			off := run(false)
+			on := run(true)
+			t.Logf("states %d -> %d, transitions %d -> %d, reduced=%d skips=%d",
+				off.DistinctStates, on.DistinctStates, off.Transitions, on.Transitions,
+				on.ReducedStates, on.AmpleSkips)
+			if tc.wantStrict && on.DistinctStates >= off.DistinctStates {
+				t.Errorf("want strictly fewer states with POR: %d vs %d", on.DistinctStates, off.DistinctStates)
+			}
+			if 100*on.DistinctStates > tc.maxPctSt*off.DistinctStates {
+				t.Errorf("state reduction regressed: %d/%d exceeds %d%%", on.DistinctStates, off.DistinctStates, tc.maxPctSt)
+			}
+			if tc.maxPctTr > 0 && 100*on.Transitions > tc.maxPctTr*off.Transitions {
+				t.Errorf("transition reduction regressed: %d/%d exceeds %d%%", on.Transitions, off.Transitions, tc.maxPctTr)
+			}
+			if on.ReducedStates == 0 {
+				t.Errorf("reducer accepted no ample sets")
+			}
+		})
+	}
+}

@@ -91,10 +91,14 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
 		}
 
-		for _, opt := range opts {
-			for _, s := range e.expand(n.g, opt.id, n.trace, opt.cost) {
+		// process runs the per-successor body for one option, reporting
+		// whether any successor entered the frontier as new work.
+		process := func(opt option, succs []successor) bool {
+			pushed := false
+			for i := range succs {
+				s := &succs[i]
 				if e.stop {
-					return
+					return pushed
 				}
 				e.noteState(s.fp)
 				if e.graph != nil {
@@ -125,10 +129,48 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
 				stack = append(stack, node{g: s.global, cursor: cursor, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
+				pushed = true
 			}
+			return pushed
+		}
+
+		// POR: the base scheduler's own choice (the zero-delay cursor
+		// machine) is the only ample-seed candidate, as in the delay-bounded
+		// explorer.
+		var cached []successor
+		cachedFor, processed0 := false, false
+		if e.por != nil && len(opts) >= 2 {
+			cached = e.expand(n.g, opts[0].id, n.trace, opts[0].cost)
+			cachedFor = true
+			if !e.stop && e.por.ample(n.g, opts[0].id, cached) {
+				if process(opts[0], cached) {
+					e.result.Stats.ReducedStates++
+					e.result.Stats.AmpleSkips += len(opts) - 1
+					continue
+				}
+				// Cycle proviso: nothing new entered the frontier — expand
+				// every option after all.
+				processed0 = true
+			}
+		}
+		for i, opt := range opts {
 			if e.stop {
 				return
 			}
+			var succs []successor
+			switch {
+			case i == 0 && cachedFor:
+				if processed0 {
+					continue
+				}
+				succs = cached
+			default:
+				succs = e.expand(n.g, opt.id, n.trace, opt.cost)
+			}
+			process(opt, succs)
+		}
+		if e.stop {
+			return
 		}
 
 		// Chaos mode: fault successors after the ordinary ones. The cursor is

@@ -102,6 +102,11 @@ type Config struct {
 	fpOK  bool
 	fpStr string
 
+	// Cached held-machine-id set (see ids.go); valid iff heldOK. Same
+	// discipline as the fingerprint caches.
+	held   []MachineID
+	heldOK bool
+
 	// Ctx is an opaque host context pointer (the SMGetContext analog). It is
 	// ignored by fingerprinting and cloning; only the concurrent runtime
 	// uses it.
@@ -113,6 +118,8 @@ type Config struct {
 func (c *Config) invalidateFp() {
 	c.fpOK = false
 	c.fpStr = ""
+	c.heldOK = false
+	c.held = nil
 }
 
 // top returns the top stack frame. Callers must ensure the stack is nonempty.

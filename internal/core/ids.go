@@ -1,0 +1,58 @@
+package core
+
+import "sort"
+
+// Held-machine-id sets back the checker's partial-order reduction: machine
+// ids are unforgeable capabilities (a machine can only ever send to an id it
+// holds, receives, or creates), so the set of ids reachable from a
+// configuration over-approximates the machine's future send targets until
+// someone mails it a new id. HeldIDs materializes that set.
+//
+// The cache follows the fingerprint discipline (see fingerprint.go): valid
+// iff heldOK, invalidated through the own/invalidateFp mutation funnel,
+// shared by copy-on-write clones, and written only while exclusively owned
+// (gid match), so shared configurations can be scanned concurrently. The
+// cached slice is never mutated after publication — recomputation allocates
+// afresh.
+
+// HeldIDs returns the sorted set of machine ids reachable from
+// configuration c: c's own id plus every machine-valued variable, msg, arg,
+// raised payload, and queued payload. The result is cached on c and must be
+// treated as read-only.
+func (g *Global) HeldIDs(c *Config) []MachineID {
+	if c.heldOK {
+		return c.held
+	}
+	ids := make([]MachineID, 0, 4)
+	ids = append(ids, c.ID)
+	add := func(v Value) {
+		if m, ok := v.AsMachine(); ok && m != 0 {
+			ids = append(ids, m)
+		}
+	}
+	for _, v := range c.Vars {
+		add(v)
+	}
+	add(c.Msg)
+	add(c.Arg)
+	add(c.RaisedVal)
+	for _, q := range c.Queue {
+		add(q.Val)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Dedup in place.
+	w := 0
+	for i, id := range ids {
+		if i > 0 && id == ids[w-1] {
+			continue
+		}
+		ids[w] = id
+		w++
+	}
+	ids = ids[:w]
+	if c.gid == g.gid {
+		c.held = ids
+		c.heldOK = true
+	}
+	return ids
+}

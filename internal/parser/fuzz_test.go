@@ -1,0 +1,43 @@
+package parser_test
+
+import (
+	"testing"
+
+	"pgo/internal/parser"
+	"pgo/internal/printer"
+	"pgo/internal/psamples"
+	"pgo/internal/source"
+)
+
+// FuzzParse feeds arbitrary text through the lexer and parser (which must
+// never panic or hang) and, when the input parses cleanly, checks the
+// pretty-printer round trip: the printed form must itself parse without
+// errors, and printing the re-parse must reproduce it byte for byte. The
+// shipped samples seed the corpus, so the fuzzer starts from every syntactic
+// construct the language has.
+//
+// CI runs this as a short smoke (go test -fuzz=FuzzParse -fuzztime=15s);
+// without -fuzz it only replays the seed corpus as a regular test.
+func FuzzParse(f *testing.F) {
+	for _, s := range psamples.All() {
+		f.Add(s.Source)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		var diags source.DiagList
+		prog := parser.Parse(src, &diags)
+		if prog == nil || diags.HasErrors() {
+			return // rejected input: not panicking is the whole property
+		}
+		printed := printer.Print(prog)
+		var rediags source.DiagList
+		reparsed := parser.Parse(printed, &rediags)
+		if reparsed == nil || rediags.HasErrors() {
+			t.Fatalf("printed form of a clean parse fails to re-parse:\n--- input ---\n%s\n--- printed ---\n%s\n--- diags ---\n%s",
+				src, printed, rediags.String())
+		}
+		reprinted := printer.Print(reparsed)
+		if printed != reprinted {
+			t.Fatalf("print/parse round trip is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s", printed, reprinted)
+		}
+	})
+}
