@@ -36,16 +36,16 @@ import (
 )
 
 // schemaVersion identifies the report layout. Bump on incompatible change.
-const schemaVersion = "pbench/1"
+const schemaVersion = "pbench/2"
 
 // schemaDoc is the embedded header documenting every field of the report;
 // it is emitted first so the committed JSON file is self-describing.
 var schemaDoc = []string{
-	"schema: report layout version (pbench/1)",
+	"schema: report layout version (pbench/2: explorer fields always present, zero for micros; adds SPILL entries and their store fields)",
 	"go, goos, goarch, cpus: toolchain and host the numbers were taken on",
 	"generated: RFC3339 timestamp of the run",
 	"entries[].name: unique benchmark id, experiment/sample/parameters",
-	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), FP (fingerprint micro), CLONE (global clone micro)",
+	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin), SPILL (disk-backed visited store), FP (fingerprint micro), CLONE (global clone micro)",
 	"entries[].sample: embedded P sample the entry compiles",
 	"entries[].mode: exploration mode for explorer entries (delay-bounded)",
 	"entries[].bound: delay budget for explorer entries",
@@ -59,6 +59,9 @@ var schemaDoc = []string{
 	"entries[].states_per_sec: states / (ns_per_op * 1e-9) (explorer entries)",
 	"entries[].por: partial-order reduction was enabled (POR experiment entries)",
 	"entries[].reduced_states: search nodes expanded with a singleton ample set (POR entries)",
+	"entries[].spilled_entries: visited-store entries spilled to chunk files (SPILL entries)",
+	"entries[].chunks: chunk files written by the tiered visited store (SPILL entries)",
+	"entries[].disk_bytes: total chunk-file bytes on disk (SPILL entries)",
 }
 
 type report struct {
@@ -72,22 +75,29 @@ type report struct {
 	Entries   []entry  `json:"entries"`
 }
 
+// entry is one benchmark row. Every field is always emitted — no omitempty —
+// so consumers (and the regression gate) can tell "measured as zero" from
+// "absent" and diff rows across reports without guessing at defaults; micro
+// entries carry zeros in the explorer fields.
 type entry struct {
-	Name          string  `json:"name"`
-	Experiment    string  `json:"experiment"`
-	Sample        string  `json:"sample"`
-	Mode          string  `json:"mode,omitempty"`
-	Bound         int     `json:"bound,omitempty"`
-	MaxStates     int     `json:"max_states,omitempty"`
-	Iterations    int     `json:"iterations"`
-	NsPerOp       int64   `json:"ns_per_op"`
-	AllocsPerOp   int64   `json:"allocs_per_op"`
-	BytesPerOp    int64   `json:"bytes_per_op"`
-	States        int     `json:"states,omitempty"`
-	Transitions   int     `json:"transitions,omitempty"`
-	StatesPerSec  float64 `json:"states_per_sec,omitempty"`
-	POR           bool    `json:"por,omitempty"`
-	ReducedStates int     `json:"reduced_states,omitempty"`
+	Name           string  `json:"name"`
+	Experiment     string  `json:"experiment"`
+	Sample         string  `json:"sample"`
+	Mode           string  `json:"mode"`
+	Bound          int     `json:"bound"`
+	MaxStates      int     `json:"max_states"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	States         int     `json:"states"`
+	Transitions    int     `json:"transitions"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	POR            bool    `json:"por"`
+	ReducedStates  int     `json:"reduced_states"`
+	SpilledEntries int     `json:"spilled_entries"`
+	Chunks         int     `json:"chunks"`
+	DiskBytes      int64   `json:"disk_bytes"`
 }
 
 // measure runs f (which performs ops operations per call) until iters calls
@@ -133,6 +143,9 @@ func exploreEntry(benchtime time.Duration, iters int, experiment, sample string,
 	n, ns, allocs, bytes := measure(benchtime, iters, 1, func() {
 		res, err := check.Explore(prog, check.Options{
 			Mode: check.DelayBounded, Bound: bound, MaxStates: maxStates, POR: por,
+			// Pinned so a future change to the default Progress throttle
+			// cannot shift the committed numbers.
+			ProgressEvery: 4096,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
@@ -165,6 +178,61 @@ func exploreEntry(benchtime time.Duration, iters int, experiment, sample string,
 	}
 	if last.Stats.Truncated {
 		e.MaxStates = maxStates
+	}
+	if ns > 0 {
+		e.StatesPerSec = float64(last.Stats.DistinctStates) / (float64(ns) * 1e-9)
+	}
+	return e
+}
+
+// spillEntry measures a disk-backed exploration: the tiered visited store
+// runs with a per-shard memory cap far below the state count, so the search
+// exercises the spill path — chunk writes, bloom-filtered disk lookups —
+// end to end. Each iteration gets a fresh run directory (reusing one would
+// let stale chunk entries dedup away the whole search).
+func spillEntry(benchtime time.Duration, iters int, sample string, prog *ir.Program, bound, maxStates, shards, memPerShard int) entry {
+	var last *check.Result
+	n, ns, allocs, bytes := measure(benchtime, iters, 1, func() {
+		dir, err := os.MkdirTemp("", "pbench-spill-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		res, err := check.Explore(prog, check.Options{
+			Mode: check.DelayBounded, Bound: bound, MaxStates: maxStates,
+			StoreDir: dir, StoreShards: shards, StoreMemPerShard: memPerShard,
+			ProgressEvery: 4096,
+		})
+		if err == nil && res.StoreErr != nil {
+			err = res.StoreErr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
+			os.Exit(1)
+		}
+		last = res
+	})
+	e := entry{
+		Name:        fmt.Sprintf("SPILL/%s/d=%d/mem=%d", sample, bound, shards*memPerShard),
+		Experiment:  "SPILL",
+		Sample:      sample,
+		Mode:        check.DelayBounded.String(),
+		Bound:       bound,
+		Iterations:  n,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		States:      last.Stats.DistinctStates,
+		Transitions: last.Stats.Transitions,
+	}
+	if last.Stats.Truncated {
+		e.MaxStates = maxStates
+	}
+	if st := last.StoreStats; st != nil {
+		e.SpilledEntries = st.SpilledEntries
+		e.Chunks = st.Chunks
+		e.DiskBytes = st.DiskBytes
 	}
 	if ns > 0 {
 		e.StatesPerSec = float64(last.Stats.DistinctStates) / (float64(ns) * 1e-9)
@@ -356,6 +424,24 @@ func main() {
 			}
 			add(exploreEntry(*benchtime, *iters, "POR", s.sample, prog, s.bound, s.cap, por))
 		}
+	}
+
+	// SPILL: the same delay-1 searches with the visited store capped at a
+	// small resident set, forcing most of the dictionary onto disk; the
+	// delta against the matching E2/E4 entries is the price of spilling.
+	spillCorpus := []struct {
+		sample, src         string
+		bound, cap          int
+		shards, memPerShard int
+	}{
+		{"german-3", psamples.German(3), 1, 2_000_000, 8, 512},
+		{"usb-hsm", psamples.USBHub, 1, 200_000, 8, 512},
+	}
+	for _, s := range spillCorpus {
+		if re != nil && !re.MatchString(fmt.Sprintf("SPILL/%s/d=%d/mem=%d", s.sample, s.bound, s.shards*s.memPerShard)) {
+			continue
+		}
+		add(spillEntry(*benchtime, *iters, s.sample, compileOrDie(s.sample, s.src), s.bound, s.cap, s.shards, s.memPerShard))
 	}
 
 	if re == nil || re.MatchString("FP/") {

@@ -11,10 +11,12 @@ package check
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"pgo/internal/core"
 	"pgo/internal/ir"
+	"pgo/internal/store"
 )
 
 // Mode selects the bounding strategy.
@@ -64,8 +66,43 @@ type Options struct {
 	// Foreign supplies host foreign functions usable during verification
 	// (pure data-path helpers); model bodies still take precedence.
 	Foreign core.ForeignEnv
-	// Progress, if non-nil, receives the running distinct-state count.
+	// Progress, if non-nil, receives the running distinct-state count, at
+	// most once per ProgressEvery distinct states.
 	Progress func(states int)
+	// ProgressEvery is the distinct-state interval between Progress calls:
+	// 0 picks a default (4096), negative reports every distinct state. The
+	// throttle keeps -progress runs off the exploration hot path.
+	ProgressEvery int
+	// StoreDir enables the tiered visited store's disk tier: shards of the
+	// visited dictionaries spill to append-only chunk files under this
+	// directory once they exceed StoreMemPerShard entries, bounding resident
+	// memory. "" keeps every shard in memory. Requires the default hashed
+	// fingerprint scheme; under ExactFingerprints the dictionaries stay
+	// in-memory maps regardless (the auditing escape hatch).
+	StoreDir string
+	// StoreMemPerShard caps in-memory entries per store shard before a spill
+	// (0 = never spill on size). Only meaningful with StoreDir set.
+	StoreMemPerShard int
+	// StoreShards is the store shard count (0 = default 64), rounded up to a
+	// power of two.
+	StoreShards int
+	// CheckpointEvery writes a checkpoint under StoreDir every N distinct
+	// states discovered (0 = no periodic checkpoints). Checkpointing requires
+	// StoreDir and is incompatible with CollectGraph and Foreign.
+	CheckpointEvery int
+	// CheckpointStop suspends the search once N distinct states have been
+	// discovered: a final checkpoint is written and the run ends with
+	// Result.Checkpointed set (the CI kill-and-resume hook, and a way to
+	// slice a long run into bounded sessions). 0 disables.
+	CheckpointStop int
+	// CheckpointRequest, if non-nil, is polled between search nodes; when it
+	// returns true a checkpoint is written and the search suspends as with
+	// CheckpointStop. pverify points it at a flag its SIGINT handler sets.
+	CheckpointRequest func() bool
+	// ProgramID identifies the program being checked (pverify uses the
+	// SHA-256 of the source text). Recorded in checkpoint manifests; Resume
+	// refuses a checkpoint whose ProgramID differs.
+	ProgramID string
 	// DisableDedup turns off the ⊕ queue dedup append (flooding ablation).
 	DisableDedup bool
 	// FineGrained also treats every event dequeue as a scheduling point,
@@ -166,6 +203,7 @@ type Stats struct {
 	FaultSteps     int // fault successors produced (chaos mode)
 	ReducedStates  int // search nodes expanded with a singleton ample set (POR)
 	AmpleSkips     int // enabled machines / schedule options pruned at reduced nodes (POR)
+	ClaimRaces     int // parallel POR ample claims lost to a concurrent worker (always 0 serially)
 	MaxDepth       int
 	Quiescent      int // terminal states with no enabled machine
 	Truncated      bool
@@ -177,6 +215,18 @@ type Result struct {
 	Violations []Violation
 	Stats      Stats
 	Graph      *Graph // non-nil iff Options.CollectGraph
+	// StoreStats summarizes the tiered visited stores (both dictionaries
+	// combined); nil under ExactFingerprints, which bypasses the store.
+	StoreStats *store.Stats
+	// StoreErr is the first spill/read error the stores latched, if any. The
+	// search result is still correct — affected shards fall back to
+	// memory-only operation — but the memory bound may not have held.
+	StoreErr error
+	// Checkpointed reports that the search was suspended at a checkpoint
+	// (CheckpointStop or CheckpointRequest) rather than run to completion;
+	// the run directory can be resumed with Resume. Stats and Violations
+	// cover the work done so far.
+	Checkpointed bool
 }
 
 // Errored reports whether any violation was found.
@@ -193,37 +243,141 @@ func (r *Result) FirstViolation() *Violation {
 // Explore runs the configured search over prog, starting from the closed
 // program's initial configuration (one instance of the main machine).
 func Explore(prog *ir.Program, opts Options) (*Result, error) {
-	e := &explorer{prog: prog, opts: opts}
+	e, err := newExplorer(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	g := core.NewGlobal(prog, opts.Foreign)
+	g.DisableDedup = opts.DisableDedup
+	g.YieldOnDequeue = opts.FineGrained
+	if _, err := g.CreateMain(); err != nil {
+		e.closeStores()
+		return nil, fmt.Errorf("check: creating main machine: %w", err)
+	}
+	if err := e.run(g); err != nil {
+		e.closeStores()
+		return nil, err
+	}
+	e.result.Stats.Elapsed = e.prior + time.Since(e.start)
+	e.result.Graph = e.graph
+	e.finishStores()
+	return &e.result, nil
+}
+
+// newExplorer builds an explorer with its visited dictionaries. The caller
+// owns the stores afterwards (finishStores/closeStores).
+func newExplorer(prog *ir.Program, opts Options) (*explorer, error) {
+	e := &explorer{prog: prog, opts: opts, progEvery: opts.progressEvery(), start: time.Now()}
 	if opts.CollectGraph {
 		e.graph = NewGraph()
 	}
 	if opts.POR && opts.Faults == 0 && opts.Foreign == nil && !opts.FineGrained {
 		e.por = newReducer(prog)
 	}
-	start := time.Now()
-	g := core.NewGlobal(prog, opts.Foreign)
-	g.DisableDedup = opts.DisableDedup
-	g.YieldOnDequeue = opts.FineGrained
-	if _, err := g.CreateMain(); err != nil {
-		return nil, fmt.Errorf("check: creating main machine: %w", err)
+	if err := e.initCheckpointer(); err != nil {
+		return nil, err
 	}
-	switch opts.Mode {
+	if err := e.initDicts(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// run dispatches to the configured search from the initial configuration.
+func (e *explorer) run(g *core.Global) error {
+	switch e.opts.Mode {
 	case DepthBounded:
 		e.depthBounded(g)
 	case DelayBounded:
-		if opts.Workers > 1 || opts.Workers < 0 {
-			e.parallelDelayBounded(g, opts.Workers)
+		if e.opts.Workers > 1 || e.opts.Workers < 0 {
+			e.parallelDelayBounded(g, e.opts.Workers)
 		} else {
 			e.delayBounded(g)
 		}
 	case RoundRobinDelay:
 		e.roundRobinDelay(g)
 	default:
-		return nil, fmt.Errorf("check: unknown mode %d", opts.Mode)
+		return fmt.Errorf("check: unknown mode %d", e.opts.Mode)
 	}
-	e.result.Stats.Elapsed = time.Since(start)
-	e.result.Graph = e.graph
-	return &e.result, nil
+	if e.ckpt != nil && e.ckpt.err != nil {
+		return fmt.Errorf("check: writing checkpoint: %w", e.ckpt.err)
+	}
+	return nil
+}
+
+// initDicts builds the distinct-state set and the mode's visited dictionary:
+// tiered stores in the default hashed scheme (spilling under StoreDir when
+// set), sharded in-memory maps under ExactFingerprints.
+func (e *explorer) initDicts() error {
+	exact := e.opts.ExactFingerprints
+	newTier := func(sub string, merge store.MergeFunc) (*store.Store, error) {
+		dir := ""
+		if e.opts.StoreDir != "" {
+			dir = filepath.Join(e.opts.StoreDir, sub)
+		}
+		st, err := store.New(store.Options{
+			Dir:         dir,
+			Shards:      e.opts.StoreShards,
+			MemPerShard: e.opts.StoreMemPerShard,
+			Merge:       merge,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("check: visited store: %w", err)
+		}
+		e.stores = append(e.stores, st)
+		return st, nil
+	}
+	if exact {
+		e.states = newStateSet(nil, true)
+	} else {
+		st, err := newTier("states", nil)
+		if err != nil {
+			return err
+		}
+		e.states = newStateSet(st, false)
+	}
+	switch {
+	case exact && e.opts.Mode == DepthBounded:
+		e.dvisited = newDepthVisited(nil, true)
+	case e.opts.Mode == DepthBounded:
+		st, err := newTier("visited", dvMerge)
+		if err != nil {
+			return err
+		}
+		e.dvisited = newDepthVisited(st, false)
+	case exact:
+		e.visited = newMinDelayMap(nil, true)
+	default:
+		st, err := newTier("visited", minDelayMerge)
+		if err != nil {
+			return err
+		}
+		e.visited = newMinDelayMap(st, false)
+	}
+	return nil
+}
+
+// finishStores folds the stores' occupancy and latched errors into the
+// result, then closes them.
+func (e *explorer) finishStores() {
+	if len(e.stores) > 0 {
+		agg := store.Stats{}
+		for _, st := range e.stores {
+			agg.Add(st.Stats())
+			if err := st.Err(); err != nil && e.result.StoreErr == nil {
+				e.result.StoreErr = err
+			}
+		}
+		e.result.StoreStats = &agg
+	}
+	e.closeStores()
+}
+
+func (e *explorer) closeStores() {
+	for _, st := range e.stores {
+		st.Close()
+	}
+	e.stores = nil
 }
 
 type explorer struct {
@@ -235,10 +389,39 @@ type explorer struct {
 	// off (chaos, foreign env, fine-grained mode).
 	por *reducer
 
-	// states holds the distinct global fingerprints discovered.
-	states map[StateKey]struct{}
+	// states is the distinct-state set; visited (delay-bounded, round-robin)
+	// or dvisited (depth-bounded) is the mode's re-expansion dictionary.
+	// stores holds the tiered stores behind them (empty in exact mode).
+	states   *stateSet
+	visited  *minDelayMap
+	dvisited *depthVisited
+	stores   []*store.Store
+
+	// progEvery is the resolved Progress throttle interval.
+	progEvery int
 	// stop is set when the search should end (first error, state cap).
 	stop bool
+
+	// ckpt drives checkpoint writes, nil when checkpointing is off. start is
+	// this process's run start; prior is the elapsed time recorded by the
+	// checkpoint a resumed run continues from (zero for fresh runs).
+	ckpt  *checkpointer
+	start time.Time
+	prior time.Duration
+}
+
+// defaultProgressEvery is the Progress throttle when ProgressEvery is 0:
+// frequent enough for a live counter, far off the per-state hot path.
+const defaultProgressEvery = 4096
+
+func (o *Options) progressEvery() int {
+	switch {
+	case o.ProgressEvery > 0:
+		return o.ProgressEvery
+	case o.ProgressEvery < 0:
+		return 1
+	}
+	return defaultProgressEvery
 }
 
 // Stats invariant, shared by the serial and parallel explorers so the
@@ -273,18 +456,15 @@ type explorer struct {
 
 // noteState registers a global fingerprint, returning true if it is new.
 func (e *explorer) noteState(fp StateKey) bool {
-	if e.states == nil {
-		e.states = map[StateKey]struct{}{}
-	}
-	if _, ok := e.states[fp]; ok {
+	isNew, n := e.states.add(fp)
+	if !isNew {
 		return false
 	}
-	e.states[fp] = struct{}{}
-	e.result.Stats.DistinctStates++
-	if e.opts.Progress != nil {
-		e.opts.Progress(e.result.Stats.DistinctStates)
+	e.result.Stats.DistinctStates = n
+	if e.opts.Progress != nil && n%e.progEvery == 0 {
+		e.opts.Progress(n)
 	}
-	if e.opts.MaxStates > 0 && e.result.Stats.DistinctStates >= e.opts.MaxStates {
+	if e.opts.MaxStates > 0 && n >= e.opts.MaxStates {
 		e.result.Stats.Truncated = true
 		e.stop = true
 	}

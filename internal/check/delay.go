@@ -2,7 +2,6 @@ package check
 
 import (
 	"encoding/binary"
-	"hash/maphash"
 
 	"pgo/internal/core"
 )
@@ -62,10 +61,11 @@ func (s schedStack) popDisabled(g *core.Global) schedStack {
 }
 
 // Seeds for the hashed scheduler-stack digests, independent of the state
-// fingerprint seeds.
-var (
-	stackSeedHi = maphash.MakeSeed()
-	stackSeedLo = maphash.MakeSeed()
+// fingerprint seeds. Fixed constants: stack digests are part of the visited
+// keys the tiered store persists across processes (checkpoint/resume).
+const (
+	stackSeedHi uint64 = 0x737461636b2d6869 // "stack-hi"
+	stackSeedLo uint64 = 0x737461636b2d6c6f // "stack-lo"
 )
 
 // stackKey is the compact comparable form of a scheduler stack used in the
@@ -90,22 +90,17 @@ func (s schedStack) digest(exact bool) stackKey {
 		return stackKey{exact: string(buf)}
 	}
 	return stackKey{hash: core.Fp{
-		Hi: maphash.Bytes(stackSeedHi, buf),
-		Lo: maphash.Bytes(stackSeedLo, buf),
+		Hi: core.StableHash64(stackSeedHi, buf),
+		Lo: core.StableHash64(stackSeedLo, buf),
 	}}
 }
 
-// visitedKey is the delay-bounded visited-map key: a scheduler-stack-
-// qualified state, further qualified by the chaos faults already used (a
-// node with fewer faults used has more fault budget left, so the partition
-// keeps revisits with spare budget explorable; always 0 with chaos off).
-// The components are compact struct keys, so claiming a node allocates
-// nothing in the default hashed scheme.
-type visitedKey struct {
-	state  StateKey
-	stack  stackKey
-	faults int
-}
+// The delay-bounded visited dictionary (minDelayMap, visited.go) keys a
+// scheduler-stack-qualified state, further qualified by the chaos faults
+// already used (a node with fewer faults used has more fault budget left, so
+// the partition keeps revisits with spare budget explorable; always 0 with
+// chaos off). Claiming a node allocates nothing in the default hashed
+// scheme: the components fold into one 128-bit store key.
 
 // scheduleOption is one way to pick the next machine: apply cost delays,
 // leaving the stack in stack (top = the machine to run).
@@ -154,30 +149,26 @@ func scheduleOptions(g *core.Global, s schedStack, remaining int) []scheduleOpti
 	return opts
 }
 
+// dnode is one delay-bounded search node (serial; the parallel explorer's
+// pnode is the same shape). Checkpoints serialize the frontier as these.
+type dnode struct {
+	g      *core.Global
+	stack  schedStack
+	delays int
+	faults int
+	depth  int
+	trace  []TraceStep
+}
+
 // delayBounded explores the delaying scheduler's schedules within the
 // Options.Bound delay budget.
 func (e *explorer) delayBounded(g0 *core.Global) {
-	budget := e.opts.Bound
-	exactFP := e.opts.ExactFingerprints
-	type node struct {
-		g      *core.Global
-		stack  schedStack
-		delays int
-		faults int
-		depth  int
-		trace  []TraceStep
-	}
-
 	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
 
-	// visited maps (global fingerprint, stack) to the smallest delay count
-	// it was expanded with; a revisit with at least as many delays used can
-	// only explore a subset of schedules.
-	visited := map[visitedKey]int{}
 	// A program whose initial configuration has no live machine (possible
 	// for degenerate inputs) starts with an empty scheduler stack; the node
 	// loop below then reports it quiescent instead of panicking.
@@ -185,10 +176,20 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 	if live := g0.LiveIDs(); len(live) > 0 {
 		initStack = schedStack{live[0]}
 	}
-	visited[visitedKey{fp0, initStack.digest(exactFP), 0}] = 0
+	e.visited.claim(fp0, initStack.digest(e.opts.ExactFingerprints), 0, 0)
+	e.delayLoop([]dnode{{g: g0, stack: initStack}})
+}
 
-	stack := []node{{g: g0, stack: initStack}}
+// delayLoop runs the delay-bounded search from a frontier (the initial node
+// on fresh runs, the restored frontier on resume).
+func (e *explorer) delayLoop(stack []dnode) {
+	budget := e.opts.Bound
+	exactFP := e.opts.ExactFingerprints
+
 	for len(stack) > 0 && !e.stop {
+		if e.ckpt != nil && e.ckptSerial(func() []ckptNode { return ckptDNodes(stack) }) {
+			return
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		e.result.Stats.SearchNodes++
@@ -237,11 +238,9 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 				}
 				next := updateStack(opt.stack, id, s.outcome)
 				delays := n.delays + opt.cost
-				key := visitedKey{s.fp, next.digest(exactFP), n.faults}
-				if prev, ok := visited[key]; ok && prev <= delays {
+				if !e.visited.claim(s.fp, next.digest(exactFP), n.faults, delays) {
 					continue
 				}
-				visited[key] = delays
 				step := TraceStep{
 					Machine: id,
 					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
@@ -256,7 +255,7 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
-				stack = append(stack, node{g: s.global, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
+				stack = append(stack, dnode{g: s.global, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
 				pushed = true
 			}
 			return pushed
@@ -320,15 +319,13 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 					to := e.graph.Node(fb.fp, fb.global)
 					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
 				}
-				key := visitedKey{fb.fp, stackDigest, n.faults + 1}
-				if prev, ok := visited[key]; ok && prev <= n.delays {
+				if !e.visited.claim(fb.fp, stackDigest, n.faults+1, n.delays) {
 					continue
 				}
-				visited[key] = n.delays
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = fb.step
-				stack = append(stack, node{g: fb.global, stack: n.stack, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
+				stack = append(stack, dnode{g: fb.global, stack: n.stack, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
 			}
 		}
 	}

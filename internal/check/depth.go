@@ -131,55 +131,40 @@ func idsSubset(a, b []core.MachineID) bool {
 // ⊆); sleep sets range over the finitely many live machines, so the
 // antichain — and re-expansion per key — stays finite even unbounded.
 func (e *explorer) depthBounded(g0 *core.Global) {
-	bound := e.opts.Bound
-	type node struct {
-		g      *core.Global
-		depth  int
-		faults int
-		trace  []TraceStep
-		sleep  []sleepEntry
-	}
-
-	// dvKey qualifies the visited fingerprint with the chaos faults already
-	// used (always 0 with chaos off): a revisit with fewer faults used still
-	// has fault branches left to explore.
-	type dvKey struct {
-		state  StateKey
-		faults int
-	}
-	type dvVal struct {
-		depth int
-		sleep []core.MachineID
-	}
-	visited := map[dvKey][]dvVal{}
-	covered := func(key dvKey, depth int, sleep []core.MachineID) bool {
-		for _, r := range visited[key] {
-			if r.depth <= depth && idsSubset(r.sleep, sleep) {
-				return true
-			}
-		}
-		return false
-	}
-	record := func(key dvKey, depth int, sleep []core.MachineID) {
-		recs := visited[key]
-		kept := recs[:0]
-		for _, r := range recs {
-			if !(depth <= r.depth && idsSubset(sleep, r.sleep)) {
-				kept = append(kept, r)
-			}
-		}
-		visited[key] = append(kept, dvVal{depth: depth, sleep: sleep})
-	}
+	// The visited dictionary (depthVisited, visited.go) qualifies the state
+	// fingerprint with the chaos faults already used (always 0 with chaos
+	// off): a revisit with fewer faults used still has fault branches left
+	// to explore. Each (state, faults) key holds an antichain of
+	// (depth, sleeping ids) records; claim covers + records in one step.
 
 	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
-	record(dvKey{fp0, 0}, 0, nil)
+	e.dvisited.claim(fp0, 0, 0, nil)
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
+	e.depthLoop([]depnode{{g: g0, depth: 0}})
+}
 
-	stack := []node{{g: g0, depth: 0}}
+// depnode is one depth-bounded search node; checkpoints serialize the
+// frontier as these (the sleep set travels with its footprints).
+type depnode struct {
+	g      *core.Global
+	depth  int
+	faults int
+	trace  []TraceStep
+	sleep  []sleepEntry
+}
+
+// depthLoop runs the depth-bounded search from a frontier (the initial node
+// on fresh runs, the restored frontier on resume).
+func (e *explorer) depthLoop(stack []depnode) {
+	bound := e.opts.Bound
+
 	for len(stack) > 0 && !e.stop {
+		if e.ckpt != nil && e.ckptSerial(func() []ckptNode { return ckptDepNodes(stack) }) {
+			return
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		e.result.Stats.SearchNodes++
@@ -233,12 +218,10 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 					e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
 				}
 				cs := childSleep(base, id, &s.outcome)
-				key := dvKey{s.fp, n.faults}
 				sids := sleepIDs(cs)
-				if covered(key, nd, sids) {
+				if !e.dvisited.claim(s.fp, n.faults, nd, sids) {
 					continue
 				}
-				record(key, nd, sids)
 				step := TraceStep{
 					Machine: id,
 					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
@@ -248,7 +231,7 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
-				stack = append(stack, node{g: s.global, depth: nd, faults: n.faults, trace: trace, sleep: cs})
+				stack = append(stack, depnode{g: s.global, depth: nd, faults: n.faults, trace: trace, sleep: cs})
 				pushed = true
 			}
 			return pushed
@@ -326,15 +309,13 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 					to := e.graph.Node(fb.fp, fb.global)
 					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
 				}
-				key := dvKey{fb.fp, n.faults + 1}
-				if covered(key, nd, nil) {
+				if !e.dvisited.claim(fb.fp, n.faults+1, nd, nil) {
 					continue
 				}
-				record(key, nd, nil)
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = fb.step
-				stack = append(stack, node{g: fb.global, depth: nd, faults: n.faults + 1, trace: trace})
+				stack = append(stack, depnode{g: fb.global, depth: nd, faults: n.faults + 1, trace: trace})
 			}
 		}
 	}

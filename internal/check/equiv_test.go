@@ -32,8 +32,12 @@ func compileWB(t *testing.T, name string) *ir.Program {
 // unguarded).
 func TestNoLiveMachineQuiescent(t *testing.T) {
 	prog := compileWB(t, "pingpong")
-	run := func(t *testing.T, explore func(e *explorer, g *core.Global)) {
-		e := &explorer{prog: prog, opts: Options{Bound: 2}}
+	run := func(t *testing.T, mode Mode, explore func(e *explorer, g *core.Global)) {
+		e, err := newExplorer(prog, Options{Mode: mode, Bound: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.closeStores()
 		g := core.NewGlobal(prog, nil) // no CreateMain: zero machines
 		explore(e, g)
 		st := e.result.Stats
@@ -48,16 +52,16 @@ func TestNoLiveMachineQuiescent(t *testing.T) {
 		}
 	}
 	t.Run("delay", func(t *testing.T) {
-		run(t, func(e *explorer, g *core.Global) { e.delayBounded(g) })
+		run(t, DelayBounded, func(e *explorer, g *core.Global) { e.delayBounded(g) })
 	})
 	t.Run("parallel", func(t *testing.T) {
-		run(t, func(e *explorer, g *core.Global) { e.parallelDelayBounded(g, 4) })
+		run(t, DelayBounded, func(e *explorer, g *core.Global) { e.parallelDelayBounded(g, 4) })
 	})
 	t.Run("rr", func(t *testing.T) {
-		run(t, func(e *explorer, g *core.Global) { e.roundRobinDelay(g) })
+		run(t, RoundRobinDelay, func(e *explorer, g *core.Global) { e.roundRobinDelay(g) })
 	})
 	t.Run("depth", func(t *testing.T) {
-		run(t, func(e *explorer, g *core.Global) { e.depthBounded(g) })
+		run(t, DepthBounded, func(e *explorer, g *core.Global) { e.depthBounded(g) })
 	})
 }
 
@@ -74,14 +78,16 @@ func TestSerialParallelStatsEquivalence(t *testing.T) {
 					t.Run(fmt.Sprintf("%s/faults=%d/por=%v/exact=%v", name, faults, por, exact), func(t *testing.T) {
 						prog := compileWB(t, name)
 						explore := func(workers int) (Stats, int) {
-							e := &explorer{prog: prog, opts: Options{
+							// newExplorer applies Explore's POR gate (inactive
+							// under chaos) and builds the visited dictionaries.
+							e, err := newExplorer(prog, Options{
 								Mode: DelayBounded, Bound: 2, MaxStates: 2_000_000,
 								Faults: faults, POR: por, ExactFingerprints: exact,
-							}}
-							// Mirror Explore's gate: POR is inactive under chaos.
-							if por && faults == 0 {
-								e.por = newReducer(prog)
+							})
+							if err != nil {
+								t.Fatal(err)
 							}
+							defer e.closeStores()
 							g := core.NewGlobal(prog, nil)
 							if _, err := g.CreateMain(); err != nil {
 								t.Fatal(err)
@@ -107,6 +113,14 @@ func TestSerialParallelStatsEquivalence(t *testing.T) {
 							serial.Quiescent != parallel.Quiescent ||
 							serial.MaxDepth != parallel.MaxDepth {
 							t.Errorf("stats diverge:\n  serial   %+v\n  parallel %+v", serial, parallel)
+						}
+						// ClaimRaces is the parallel POR race counter: the
+						// serial explorer never touches it, and with one
+						// worker no claim can be stolen mid-node, so both
+						// sides must report exactly zero.
+						if serial.ClaimRaces != 0 || parallel.ClaimRaces != 0 {
+							t.Errorf("ClaimRaces: serial %d, single-worker parallel %d; want 0, 0",
+								serial.ClaimRaces, parallel.ClaimRaces)
 						}
 						if sv != pv {
 							t.Errorf("violations diverge: serial %d, parallel %d", sv, pv)

@@ -1,7 +1,6 @@
 package check
 
 import (
-	"hash/maphash"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -13,111 +12,29 @@ import (
 // runs "used multicores to scale the state exploration"; this is the same
 // idea. Node expansion (clone + macro-step + fingerprint) runs without any
 // lock; the distinct-state set and the (state, scheduler-stack) visited map
-// are sharded dictionaries so dedup scales; the work queue is a single
-// locked LIFO (its critical section is tiny); statistics are atomics merged
-// into Result at the end.
+// are the shared sharded dictionaries of visited.go (tiered-store-backed in
+// hashed mode) so dedup scales; the work queue is a single locked LIFO (its
+// critical section is tiny); statistics are atomics merged into Result at
+// the end.
 //
-// The set of distinct states discovered is identical to the serial search;
+// The set of distinct states discovered is identical to the serial search
+// (with POR off; reduction makes node-interleaving choices order-dependent);
 // violation order may differ between runs.
 
-const pshards = 64
-
-var pseed = maphash.MakeSeed()
-
-// shard maps a state key to its dictionary shard. Hashed keys are already
-// uniformly distributed; exact keys are hashed here.
-func (k StateKey) shard() int {
-	if k.exact != "" {
-		return int(maphash.String(pseed, k.exact) % pshards)
-	}
-	return int(k.hash.Lo % pshards)
-}
-
-// shardedStates is the distinct-fingerprint set.
-type shardedStates struct {
-	shards [pshards]struct {
-		mu sync.Mutex
-		m  map[StateKey]struct{}
-	}
-	count atomic.Int64
-}
-
-func newShardedStates() *shardedStates {
-	s := &shardedStates{}
-	for i := range s.shards {
-		s.shards[i].m = map[StateKey]struct{}{}
-	}
-	return s
-}
-
-// add inserts fp, reporting whether it was new and — when new — the
-// running distinct-state count just after the insertion. Counts handed to
-// concurrent adders are unique, so each new state observes a distinct
-// value and the MaxStates cap triggers on exactly one insertion.
-func (s *shardedStates) add(fp StateKey) (isNew bool, count int) {
-	sh := &s.shards[fp.shard()]
-	sh.mu.Lock()
-	_, ok := sh.m[fp]
-	if !ok {
-		sh.m[fp] = struct{}{}
-	}
-	sh.mu.Unlock()
-	if ok {
-		return false, 0
-	}
-	return true, int(s.count.Add(1))
-}
-
-// shardedVisited is the (fingerprint, stack) -> min-delays map.
-type shardedVisited struct {
-	shards [pshards]struct {
-		mu sync.Mutex
-		m  map[visitedKey]int
-	}
-}
-
-func newShardedVisited() *shardedVisited {
-	v := &shardedVisited{}
-	for i := range v.shards {
-		v.shards[i].m = map[visitedKey]int{}
-	}
-	return v
-}
-
-// claim records delays for key unless an entry with <= delays exists; it
-// reports whether the caller should expand the node.
-func (v *shardedVisited) claim(key visitedKey, delays int) bool {
-	sh := &v.shards[key.state.shard()]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if prev, ok := sh.m[key]; ok && prev <= delays {
-		return false
-	}
-	sh.m[key] = delays
-	return true
-}
-
-type pnode struct {
-	g      *core.Global
-	stack  schedStack
-	delays int
-	faults int
-	depth  int
-	trace  []TraceStep
-}
+// pnode is a parallel work item — the same shape as a serial delay-bounded
+// node, so checkpoints written by either explorer resume into either.
+type pnode = dnode
 
 type pexplorer struct {
 	e      *explorer
 	budget int
-
-	states  *shardedStates
-	visited *shardedVisited
 
 	transitions   atomic.Int64
 	searchNodes   atomic.Int64
 	faultSteps    atomic.Int64
 	reducedStates atomic.Int64
 	ampleSkips    atomic.Int64
+	claimRaces    atomic.Int64
 	maxDepth      atomic.Int64
 	quiescent     atomic.Int64
 	truncated     atomic.Bool
@@ -134,23 +51,16 @@ type pexplorer struct {
 	qcond       *sync.Cond
 	work        []pnode
 	outstanding int
+	// ckptActive marks a checkpoint in progress (guarded by qmu): the worker
+	// that armed it drains the in-flight nodes and writes the checkpoint
+	// while the others park in take without claiming work.
+	ckptActive bool
 }
 
 // parallelDelayBounded explores like delayBounded with workers goroutines.
 func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	p := &pexplorer{
-		e:       e,
-		budget:  e.opts.Bound,
-		states:  newShardedStates(),
-		visited: newShardedVisited(),
-	}
-	p.qcond = sync.NewCond(&p.qmu)
-
 	fp0 := e.keyOf(g0)
-	p.noteState(fp0)
+	e.noteState(fp0)
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
@@ -160,10 +70,28 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 	if live := g0.LiveIDs(); len(live) > 0 {
 		initStack = schedStack{live[0]}
 	}
-	p.visited.claim(visitedKey{fp0, initStack.digest(e.opts.ExactFingerprints), 0}, 0)
+	e.visited.claim(fp0, initStack.digest(e.opts.ExactFingerprints), 0, 0)
+	e.parallelLoop([]dnode{{g: g0, stack: initStack}}, workers)
+}
 
-	p.work = append(p.work, pnode{g: g0, stack: initStack})
-	p.outstanding = 1
+// parallelLoop runs the worker pool over a frontier (one initial node on
+// fresh runs, the restored frontier on resume).
+func (e *explorer) parallelLoop(frontier []dnode, workers int) {
+	if e.stop {
+		// The initial configuration already tripped the state cap.
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &pexplorer{
+		e:      e,
+		budget: e.opts.Bound,
+	}
+	p.qcond = sync.NewCond(&p.qmu)
+	p.lastProgress = e.result.Stats.DistinctStates
+	p.work = frontier
+	p.outstanding = len(p.work)
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -175,20 +103,29 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 	}
 	wg.Wait()
 
-	// Merge the atomics into the explorer's result.
-	e.result.Stats.DistinctStates = int(p.states.count.Load())
-	e.result.Stats.Transitions += int(p.transitions.Load())
-	e.result.Stats.SearchNodes += int(p.searchNodes.Load())
-	e.result.Stats.FaultSteps += int(p.faultSteps.Load())
-	e.result.Stats.ReducedStates += int(p.reducedStates.Load())
-	e.result.Stats.AmpleSkips += int(p.ampleSkips.Load())
-	e.result.Stats.Quiescent += int(p.quiescent.Load())
-	if d := int(p.maxDepth.Load()); d > e.result.Stats.MaxDepth {
-		e.result.Stats.MaxDepth = d
+	e.result.Stats = p.statsSnapshot()
+}
+
+// statsSnapshot merges the atomics over the result's baseline stats (the
+// checkpoint's on a resumed run, zero otherwise). Used for the final merge
+// and for mid-run checkpoint manifests.
+func (p *pexplorer) statsSnapshot() Stats {
+	st := p.e.result.Stats
+	st.DistinctStates = int(p.e.states.count.Load())
+	st.Transitions += int(p.transitions.Load())
+	st.SearchNodes += int(p.searchNodes.Load())
+	st.FaultSteps += int(p.faultSteps.Load())
+	st.ReducedStates += int(p.reducedStates.Load())
+	st.AmpleSkips += int(p.ampleSkips.Load())
+	st.ClaimRaces += int(p.claimRaces.Load())
+	st.Quiescent += int(p.quiescent.Load())
+	if d := int(p.maxDepth.Load()); d > st.MaxDepth {
+		st.MaxDepth = d
 	}
 	if p.truncated.Load() {
-		e.result.Stats.Truncated = true
+		st.Truncated = true
 	}
+	return st
 }
 
 // noteState registers a fingerprint, handling the MaxStates cap and the
@@ -199,11 +136,14 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 // workers are still advancing. Progress likewise only ever sees a higher
 // count than the previous call.
 func (p *pexplorer) noteState(fp StateKey) {
-	isNew, n := p.states.add(fp)
+	isNew, n := p.e.states.add(fp)
 	if !isNew {
 		return
 	}
-	if p.e.opts.Progress != nil {
+	// The throttle interval divides the unique counts, so each reported
+	// count is produced by exactly one worker; lastProgress keeps the
+	// delivery order monotone when those workers race to report.
+	if p.e.opts.Progress != nil && n%p.e.progEvery == 0 {
 		p.vmu.Lock()
 		if n > p.lastProgress {
 			p.lastProgress = n
@@ -227,13 +167,30 @@ func (p *pexplorer) stop() {
 }
 
 // take pops a node, blocking until work exists or the search is complete.
+// It is also the parallel checkpoint point: a worker that finds a checkpoint
+// due pauses the pool (everyone else parks here without claiming work),
+// waits for the in-flight nodes to finish — the queue is then exactly the
+// frontier — and writes the checkpoint before work resumes.
 func (p *pexplorer) take() (pnode, bool) {
+	e := p.e
 	p.qmu.Lock()
 	defer p.qmu.Unlock()
 	for {
 		if p.stopped.Load() || (len(p.work) == 0 && p.outstanding == 0) {
 			p.qcond.Broadcast()
 			return pnode{}, false
+		}
+		if e.ckpt != nil && !p.ckptActive {
+			if due, stop := e.ckpt.due(int(e.states.count.Load())); due {
+				p.checkpoint(stop)
+				continue
+			}
+		}
+		if p.ckptActive {
+			// Another worker is checkpointing; park without claiming work
+			// (a parked worker holds no node, so the drain terminates).
+			p.qcond.Wait()
+			continue
 		}
 		if len(p.work) > 0 {
 			n := p.work[len(p.work)-1]
@@ -244,11 +201,44 @@ func (p *pexplorer) take() (pnode, bool) {
 	}
 }
 
+// checkpoint drains the in-flight nodes and writes a checkpoint from the
+// queue. Called with qmu held by the worker that found the checkpoint due;
+// stop suspends the search after the write.
+func (p *pexplorer) checkpoint(stop bool) {
+	e := p.e
+	p.ckptActive = true
+	// outstanding counts queued + in-flight nodes, so the pool is drained
+	// exactly when every outstanding node is still queued.
+	for p.outstanding > len(p.work) && !p.stopped.Load() {
+		p.qcond.Wait()
+	}
+	if p.stopped.Load() {
+		p.ckptActive = false
+		return
+	}
+	frontier := ckptDNodes(p.work)
+	st := p.statsSnapshot()
+	p.vmu.Lock()
+	viols := append([]Violation(nil), e.result.Violations...)
+	p.vmu.Unlock()
+	err := e.writeCheckpoint(frontier, st, viols)
+	p.ckptActive = false
+	if err != nil {
+		e.ckpt.err = err
+		p.stopped.Store(true)
+	} else if stop {
+		// Read by the main goroutine after wg.Wait, never by other workers.
+		e.result.Checkpointed = true
+		p.stopped.Store(true)
+	}
+	p.qcond.Broadcast()
+}
+
 // finish marks one taken node fully expanded.
 func (p *pexplorer) finish() {
 	p.qmu.Lock()
 	p.outstanding--
-	if p.outstanding == 0 && len(p.work) == 0 {
+	if p.ckptActive || (p.outstanding == 0 && len(p.work) == 0) {
 		p.qcond.Broadcast()
 	}
 	p.qmu.Unlock()
@@ -259,7 +249,13 @@ func (p *pexplorer) push(n pnode) {
 	p.qmu.Lock()
 	p.work = append(p.work, n)
 	p.outstanding++
-	p.qcond.Signal()
+	if p.ckptActive {
+		// A signal could wake a parked worker instead of the draining
+		// checkpointer; broadcast so the drain loop always re-checks.
+		p.qcond.Broadcast()
+	} else {
+		p.qcond.Signal()
+	}
 	p.qmu.Unlock()
 }
 
@@ -389,7 +385,7 @@ func (p *pexplorer) expandNode(n pnode) {
 			}
 			next := updateStack(opt.stack, id, s.outcome)
 			delays := n.delays + opt.cost
-			if p.visited.claim(visitedKey{s.fp, next.digest(e.opts.ExactFingerprints), n.faults}, delays) && !p.stopped.Load() {
+			if e.visited.claim(s.fp, next.digest(e.opts.ExactFingerprints), n.faults, delays) && !p.stopped.Load() {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
@@ -406,7 +402,13 @@ func (p *pexplorer) expandNode(n pnode) {
 	// racy — a claim lost to a concurrent worker can force a full expansion
 	// a serial search would have reduced — which costs reduction, never
 	// soundness: a lost claim means the successor was (or is being)
-	// expanded elsewhere.
+	// expanded elsewhere. Stats.ClaimRaces counts exactly those losses: a
+	// successor whose visited key was still claimable just before process()
+	// but whose claim failed anyway was stolen mid-node, whereas a key
+	// already covered at the pre-check is the genuine cycle proviso (the
+	// outcome a serial search would also reach). With one worker nothing can
+	// intervene between the pre-check and the claim, so ClaimRaces stays 0
+	// and the serial stats equivalence holds.
 	var cached []successor
 	cachedFor, processed0 := false, false
 	if e.por != nil && len(opts) >= 2 {
@@ -414,10 +416,25 @@ func (p *pexplorer) expandNode(n pnode) {
 		cached = expandSuccs(id, opts[0].cost)
 		cachedFor = true
 		if !p.stopped.Load() && e.por.ample(n.g, id, cached) {
+			delays := n.delays + opts[0].cost
+			claimable := make([]bool, len(cached))
+			for i := range cached {
+				s := &cached[i]
+				aux := updateStack(opts[0].stack, id, s.outcome).digest(e.opts.ExactFingerprints)
+				prev, ok := e.visited.get(s.fp, aux, n.faults)
+				claimable[i] = !ok || prev > delays
+			}
 			if process(opts[0], cached) {
 				p.reducedStates.Add(1)
 				p.ampleSkips.Add(int64(len(opts) - 1))
 				return
+			}
+			if !p.stopped.Load() {
+				for _, c := range claimable {
+					if c {
+						p.claimRaces.Add(1)
+					}
+				}
 			}
 			processed0 = true
 		}
@@ -458,8 +475,7 @@ func (p *pexplorer) expandNode(n pnode) {
 				e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
 				p.vmu.Unlock()
 			}
-			key := visitedKey{fb.fp, stackDigest, n.faults + 1}
-			if p.visited.claim(key, n.delays) && !p.stopped.Load() {
+			if e.visited.claim(fb.fp, stackDigest, n.faults+1, n.delays) && !p.stopped.Load() {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = fb.step

@@ -111,7 +111,8 @@ func TestParallelProgressMonotone(t *testing.T) {
 	var got []int
 	res, err := check.Explore(prog, check.Options{
 		Mode: check.DelayBounded, Bound: 3, Workers: 8, MaxStates: 1500,
-		Progress: func(n int) { got = append(got, n) }, // serialized by the explorer
+		ProgressEvery: -1, // unthrottled: stress the monotonicity guard
+		Progress:      func(n int) { got = append(got, n) }, // serialized by the explorer
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,354 @@
+package check_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"pgo/internal/check"
+)
+
+// The resume equivalence contract: a run checkpointed mid-search and resumed
+// must report exactly the Stats and violations of a run that was never
+// interrupted. Serial explorers are deterministic, so the tests below pin
+// full Stats equality; the parallel explorer's traversal order varies, so
+// its lanes pin the verdict and (with POR off) the distinct-state count.
+
+// normStats strips the fields that legitimately differ between an
+// interrupted-and-resumed run and an uninterrupted one (wall-clock time).
+func normStats(s check.Stats) check.Stats {
+	s.Elapsed = 0
+	return s
+}
+
+// violationKeys summarizes a violation list as a sorted multiset of error
+// descriptions, ignoring discovery order.
+func violationKeys(vs []check.Violation) []string {
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		keys[i] = fmt.Sprintf("%v @ machine %d", v.Err, v.Err.Machine)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// runInterrupted explores with a stop-checkpoint at stopAt states, asserts
+// the run actually suspended, and returns the partial result.
+func runInterrupted(t *testing.T, sample string, opts check.Options, stopAt int) *check.Result {
+	t.Helper()
+	prog := compileSample(t, sample)
+	opts.CheckpointStop = stopAt
+	res, err := check.Explore(prog, opts)
+	if err != nil {
+		t.Fatalf("interrupted explore: %v", err)
+	}
+	if !res.Checkpointed {
+		t.Fatalf("expected the run to suspend at a checkpoint (stop at %d states, saw %d)", stopAt, res.Stats.DistinctStates)
+	}
+	return res
+}
+
+// roundTrip runs sample uninterrupted, then interrupted-at-half plus
+// resumed, and returns both final results for comparison.
+func roundTrip(t *testing.T, sample string, opts check.Options) (baseline, resumed *check.Result) {
+	t.Helper()
+	prog := compileSample(t, sample)
+	baseline, err := check.Explore(prog, opts)
+	if err != nil {
+		t.Fatalf("baseline explore: %v", err)
+	}
+	if baseline.Stats.DistinctStates < 4 {
+		t.Fatalf("sample too small to interrupt meaningfully: %d states", baseline.Stats.DistinctStates)
+	}
+
+	ckptOpts := opts
+	ckptOpts.StoreDir = t.TempDir()
+	partial := runInterrupted(t, sample, ckptOpts, baseline.Stats.DistinctStates/2)
+	if partial.Stats.DistinctStates >= baseline.Stats.DistinctStates {
+		t.Fatalf("checkpoint did not trigger mid-run: %d of %d states already explored",
+			partial.Stats.DistinctStates, baseline.Stats.DistinctStates)
+	}
+
+	resumeOpts := ckptOpts
+	resumeOpts.CheckpointStop = 0
+	resumed, err = check.Resume(prog, resumeOpts)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	return baseline, resumed
+}
+
+func assertEquivalent(t *testing.T, baseline, resumed *check.Result) {
+	t.Helper()
+	if got, want := normStats(resumed.Stats), normStats(baseline.Stats); got != want {
+		t.Errorf("resumed stats diverge from uninterrupted run:\n  resumed:  %+v\n  baseline: %+v", got, want)
+	}
+	got, want := violationKeys(resumed.Violations), violationKeys(baseline.Violations)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("resumed violations diverge:\n  resumed:  %v\n  baseline: %v", got, want)
+	}
+}
+
+// TestResumeRoundTripSerial pins exact equivalence across the serial
+// explorer matrix: german(3) and usb-hsm, all three modes, hashed and exact
+// fingerprints, POR on and off, and a chaos lane exercising fault-step
+// replay.
+func TestResumeRoundTripSerial(t *testing.T) {
+	lanes := []struct {
+		name   string
+		sample string
+		opts   check.Options
+	}{
+		{"german/delay/hashed", "german", check.Options{Mode: check.DelayBounded, Bound: 1}},
+		{"german/delay/hashed/por", "german", check.Options{Mode: check.DelayBounded, Bound: 1, POR: true}},
+		{"german/delay/exact", "german", check.Options{Mode: check.DelayBounded, Bound: 1, ExactFingerprints: true}},
+		{"german/delay/exact/por", "german", check.Options{Mode: check.DelayBounded, Bound: 1, ExactFingerprints: true, POR: true}},
+		{"german/rr/hashed", "german", check.Options{Mode: check.RoundRobinDelay, Bound: 1}},
+		{"german/depth/hashed", "german", check.Options{Mode: check.DepthBounded, Bound: 6}},
+		{"german/depth/hashed/por", "german", check.Options{Mode: check.DepthBounded, Bound: 6, POR: true}},
+		{"german/delay/chaos", "german", check.Options{Mode: check.DelayBounded, Bound: 1, Faults: 1}},
+		{"usb-hsm/delay/hashed", "usb-hsm", check.Options{Mode: check.DelayBounded, Bound: 1}},
+		{"usb-hsm/delay/hashed/por", "usb-hsm", check.Options{Mode: check.DelayBounded, Bound: 2, POR: true}},
+	}
+	for _, lane := range lanes {
+		lane := lane
+		t.Run(lane.name, func(t *testing.T) {
+			t.Parallel()
+			baseline, resumed := roundTrip(t, lane.sample, lane.opts)
+			assertEquivalent(t, baseline, resumed)
+		})
+	}
+}
+
+// TestResumeRoundTripViolations checkpoints a buggy program mid-run so
+// violations recorded before the checkpoint travel through frontier.gob and
+// merge with ones found after resume.
+func TestResumeRoundTripViolations(t *testing.T) {
+	baseline, resumed := roundTrip(t, "german-buggy", check.Options{Mode: check.DelayBounded, Bound: 1})
+	if len(baseline.Violations) == 0 {
+		t.Fatal("expected german-buggy to produce violations")
+	}
+	assertEquivalent(t, baseline, resumed)
+}
+
+// TestResumeRoundTripParallel checkpoints under the worker pool's drain
+// protocol and resumes with the same worker count. Parallel traversal order
+// is nondeterministic, so only order-independent facts are pinned: the
+// verdict always, and the distinct-state count when POR is off (the reduced
+// search's explored subset is order-dependent).
+func TestResumeRoundTripParallel(t *testing.T) {
+	lanes := []struct {
+		name string
+		opts check.Options
+	}{
+		{"german/workers4", check.Options{Mode: check.DelayBounded, Bound: 1, Workers: 4}},
+		{"german/workers4/por", check.Options{Mode: check.DelayBounded, Bound: 1, Workers: 4, POR: true}},
+	}
+	for _, lane := range lanes {
+		lane := lane
+		t.Run(lane.name, func(t *testing.T) {
+			t.Parallel()
+			baseline, resumed := roundTrip(t, "german", lane.opts)
+			if baseline.Errored() != resumed.Errored() {
+				t.Errorf("verdict diverged: baseline errored=%v, resumed errored=%v", baseline.Errored(), resumed.Errored())
+			}
+			if !lane.opts.POR && baseline.Stats.DistinctStates != resumed.Stats.DistinctStates {
+				t.Errorf("distinct states diverged: baseline %d, resumed %d",
+					baseline.Stats.DistinctStates, resumed.Stats.DistinctStates)
+			}
+		})
+	}
+}
+
+// TestResumeAcrossWorkerCounts pins that worker count is a free knob: a
+// serial checkpoint resumes under the parallel explorer and vice versa
+// (pnode and dnode share one shape).
+func TestResumeAcrossWorkerCounts(t *testing.T) {
+	prog := compileSample(t, "german")
+	base := check.Options{Mode: check.DelayBounded, Bound: 1}
+	baseline, err := check.Explore(prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := base
+	opts.StoreDir = t.TempDir()
+	runInterrupted(t, "german", opts, baseline.Stats.DistinctStates/2)
+
+	opts.CheckpointStop = 0
+	opts.Workers = 4
+	resumed, err := check.Resume(compileSample(t, "german"), opts)
+	if err != nil {
+		t.Fatalf("resuming a serial checkpoint with workers: %v", err)
+	}
+	if baseline.Stats.DistinctStates != resumed.Stats.DistinctStates {
+		t.Errorf("distinct states diverged: baseline %d, resumed %d",
+			baseline.Stats.DistinctStates, resumed.Stats.DistinctStates)
+	}
+}
+
+// TestResumeSemanticsMismatch pins that resuming under different semantic
+// options fails with an error naming the differing field, and that knob
+// fields are not semantic.
+func TestResumeSemanticsMismatch(t *testing.T) {
+	prog := compileSample(t, "german")
+	opts := check.Options{Mode: check.DelayBounded, Bound: 1, StoreDir: t.TempDir()}
+	runInterrupted(t, "german", opts, 500)
+
+	bad := opts
+	bad.CheckpointStop = 0
+	bad.Bound = 2
+	if _, err := check.Resume(prog, bad); err == nil || !strings.Contains(err.Error(), "bound") {
+		t.Errorf("resume with a different bound: want an error naming bound, got %v", err)
+	}
+
+	bad = opts
+	bad.CheckpointStop = 0
+	bad.POR = true
+	if _, err := check.Resume(prog, bad); err == nil || !strings.Contains(err.Error(), "partial-order") {
+		t.Errorf("resume with POR flipped: want an error naming partial-order reduction, got %v", err)
+	}
+}
+
+// TestResumeProgramIDMismatch pins the program-identity check.
+func TestResumeProgramIDMismatch(t *testing.T) {
+	prog := compileSample(t, "german")
+	opts := check.Options{Mode: check.DelayBounded, Bound: 1, StoreDir: t.TempDir(), ProgramID: "sha256:aaaa"}
+	runInterrupted(t, "german", opts, 500)
+
+	opts.CheckpointStop = 0
+	opts.ProgramID = "sha256:bbbb"
+	if _, err := check.Resume(prog, opts); err == nil || !strings.Contains(err.Error(), "different program") {
+		t.Errorf("resume with a different program id: want identity error, got %v", err)
+	}
+}
+
+// TestResumeRepeatedCheckpoints drives a run through several
+// checkpoint/resume cycles — each resumed session suspends again — and pins
+// that the final totals still equal the uninterrupted run's.
+func TestResumeRepeatedCheckpoints(t *testing.T) {
+	prog := compileSample(t, "german")
+	base := check.Options{Mode: check.DelayBounded, Bound: 1}
+	baseline, err := check.Explore(prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := baseline.Stats.DistinctStates
+
+	opts := base
+	opts.StoreDir = t.TempDir()
+	res := runInterrupted(t, "german", opts, total/4)
+	for _, frac := range []int{2, 4 * total} { // suspend again at half, then run out
+		opts.CheckpointStop = 0
+		if frac <= 4 {
+			opts.CheckpointStop = total / frac
+		}
+		res, err = check.Resume(prog, opts)
+		if err != nil {
+			t.Fatalf("resume (stop at %d): %v", opts.CheckpointStop, err)
+		}
+	}
+	if res.Checkpointed {
+		t.Fatal("final resume should run to completion, not suspend")
+	}
+	assertEquivalent(t, baseline, res)
+}
+
+// TestDepthSpillEquivalence pins the ISSUE hard constraint: a german(3)
+// depth-mode run with the per-shard memory cap far below the state count
+// must complete by spilling to chunk files, with verdict and distinct-state
+// count identical to the unbounded in-memory run.
+func TestDepthSpillEquivalence(t *testing.T) {
+	prog := compileSample(t, "german")
+	opts := check.Options{Mode: check.DepthBounded, Bound: 9}
+	baseline, err := check.Explore(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.StoreDir = t.TempDir()
+	opts.StoreShards = 4
+	opts.StoreMemPerShard = 64 // 256 resident entries, far below the state count
+	spilled, err := check.Explore(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Stats.DistinctStates <= 4*64 {
+		t.Fatalf("state count %d not above the memory cap; raise the bound", baseline.Stats.DistinctStates)
+	}
+	if spilled.StoreStats == nil || spilled.StoreStats.Chunks == 0 {
+		t.Fatalf("expected spilled chunk files, got store stats %+v", spilled.StoreStats)
+	}
+	if spilled.StoreErr != nil {
+		t.Fatalf("store error during spill run: %v", spilled.StoreErr)
+	}
+	if baseline.Stats.DistinctStates != spilled.Stats.DistinctStates {
+		t.Errorf("spill run diverged: baseline %d states, spilled %d",
+			baseline.Stats.DistinctStates, spilled.Stats.DistinctStates)
+	}
+	if baseline.Errored() != spilled.Errored() {
+		t.Errorf("verdict diverged: baseline errored=%v, spilled errored=%v", baseline.Errored(), spilled.Errored())
+	}
+}
+
+// TestResumeWithSpill combines both halves of the tentpole: the first
+// session spills under a tight memory cap, checkpoints, and the resumed
+// session (same cap) reopens the chunk files and finishes with the
+// uninterrupted totals.
+func TestResumeWithSpill(t *testing.T) {
+	prog := compileSample(t, "german")
+	base := check.Options{Mode: check.DelayBounded, Bound: 1}
+	baseline, err := check.Explore(prog, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := base
+	opts.StoreDir = t.TempDir()
+	opts.StoreShards = 4
+	opts.StoreMemPerShard = 64
+	partial := runInterrupted(t, "german", opts, baseline.Stats.DistinctStates/2)
+	if partial.StoreStats == nil || partial.StoreStats.Chunks == 0 {
+		t.Fatalf("expected the interrupted session to have spilled, got %+v", partial.StoreStats)
+	}
+
+	opts.CheckpointStop = 0
+	resumed, err := check.Resume(prog, opts)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	assertEquivalent(t, baseline, resumed)
+}
+
+// TestProgressThrottle pins the ProgressEvery contract: the default batches
+// callbacks, an explicit interval is honored, and a negative interval
+// reports every state.
+func TestProgressThrottle(t *testing.T) {
+	prog := compileSample(t, "german")
+	run := func(every int) (calls, states int) {
+		res, err := check.Explore(prog, check.Options{
+			Mode:          check.DelayBounded,
+			Bound:         1,
+			ProgressEvery: every,
+			Progress:      func(int) { calls++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return calls, res.Stats.DistinctStates
+	}
+
+	calls, states := run(1000)
+	if want := states / 1000; calls != want {
+		t.Errorf("ProgressEvery=1000: %d calls over %d states, want %d", calls, states, want)
+	}
+	calls, states = run(-1)
+	if calls != states {
+		t.Errorf("ProgressEvery=-1: %d calls over %d states, want one per state", calls, states)
+	}
+	calls, states = run(0)
+	if want := states / 4096; calls != want {
+		t.Errorf("default throttle: %d calls over %d states, want %d", calls, states, want)
+	}
+}

@@ -4,14 +4,9 @@ import (
 	"pgo/internal/core"
 )
 
-// rrKey is the round-robin visited-map key: a cursor-qualified state,
-// further qualified by the chaos faults already used (always 0 with chaos
-// off).
-type rrKey struct {
-	state  StateKey
-	cursor int
-	faults int
-}
+// The round-robin visited dictionary reuses minDelayMap with the cursor as
+// the scheduler-context qualifier (cursorAux), further qualified by the
+// chaos faults already used (always 0 with chaos off).
 
 // roundRobinDelay is the scheduler ablation: the deterministic base
 // scheduler cycles over machines in creation order (round-robin), and a
@@ -20,26 +15,36 @@ type rrKey struct {
 // state counts against the causal-stack scheduler quantifies the value of
 // following the causal order of events (§5).
 func (e *explorer) roundRobinDelay(g0 *core.Global) {
-	budget := e.opts.Bound
-	type node struct {
-		g      *core.Global
-		cursor int // index into the live-id order where the base scheduler resumes
-		delays int
-		faults int
-		depth  int
-		trace  []TraceStep
-	}
-
 	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
-	visited := map[rrKey]int{}
-	visited[rrKey{fp0, 0, 0}] = 0
+	e.visited.claim(fp0, cursorAux(0, e.opts.ExactFingerprints), 0, 0)
+	e.rrLoop([]rrnode{{g: g0}})
+}
 
-	stack := []node{{g: g0}}
+// rrnode is one round-robin search node; checkpoints serialize the frontier
+// as these.
+type rrnode struct {
+	g      *core.Global
+	cursor int // index into the live-id order where the base scheduler resumes
+	delays int
+	faults int
+	depth  int
+	trace  []TraceStep
+}
+
+// rrLoop runs the round-robin search from a frontier (the initial node on
+// fresh runs, the restored frontier on resume).
+func (e *explorer) rrLoop(stack []rrnode) {
+	budget := e.opts.Bound
+	exactFP := e.opts.ExactFingerprints
+
 	for len(stack) > 0 && !e.stop {
+		if e.ckpt != nil && e.ckptSerial(func() []ckptNode { return ckptRRNodes(stack) }) {
+			return
+		}
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		e.result.Stats.SearchNodes++
@@ -113,11 +118,9 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 				if s.outcome.Kind == core.OutSend || s.outcome.Kind == core.OutNew || s.outcome.Kind == core.OutYield {
 					cursor = indexOf(s.global.IDs(), opt.id)
 				}
-				key := rrKey{s.fp, cursor, n.faults}
-				if prev, ok := visited[key]; ok && prev <= delays {
+				if !e.visited.claim(s.fp, cursorAux(cursor, exactFP), n.faults, delays) {
 					continue
 				}
-				visited[key] = delays
 				step := TraceStep{
 					Machine: opt.id,
 					Type:    e.prog.Machines[n.g.Lookup(opt.id).Type].Name,
@@ -128,7 +131,7 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = step
-				stack = append(stack, node{g: s.global, cursor: cursor, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
+				stack = append(stack, rrnode{g: s.global, cursor: cursor, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
 				pushed = true
 			}
 			return pushed
@@ -186,15 +189,13 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 					to := e.graph.Node(fb.fp, fb.global)
 					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
 				}
-				key := rrKey{fb.fp, n.cursor, n.faults + 1}
-				if prev, ok := visited[key]; ok && prev <= n.delays {
+				if !e.visited.claim(fb.fp, cursorAux(n.cursor, exactFP), n.faults+1, n.delays) {
 					continue
 				}
-				visited[key] = n.delays
 				trace := make([]TraceStep, len(n.trace)+1)
 				copy(trace, n.trace)
 				trace[len(n.trace)] = fb.step
-				stack = append(stack, node{g: fb.global, cursor: n.cursor, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
+				stack = append(stack, rrnode{g: fb.global, cursor: n.cursor, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
 			}
 		}
 	}

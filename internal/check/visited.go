@@ -1,0 +1,353 @@
+package check
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"pgo/internal/core"
+	"pgo/internal/store"
+)
+
+// The explorers' visited dictionaries. In the default hashed-fingerprint
+// scheme they are backed by the tiered store (internal/store): per-shard
+// in-memory maps that spill to append-only chunk files once Options.StoreDir
+// is set and a shard outgrows Options.StoreMemPerShard, so exploration
+// memory stays bounded by the cap instead of the state count. Composite keys
+// (state fingerprint, scheduler context, fault budget used) are folded into
+// one 128-bit store key with fixed constants — folded keys persist across
+// processes, which checkpoint/resume relies on.
+//
+// The exact-fingerprint auditing scheme (Options.ExactFingerprints) keys by
+// variable-length canonical encodings the 128-bit store cannot carry; it
+// keeps sharded in-memory maps as an escape hatch and is serialized whole
+// into checkpoints instead of spilling.
+
+const pshards = 64
+
+// pseed hashes exact-mode string keys onto in-memory shards. Per-process
+// seeding is fine here: exact-mode dictionaries never persist by shard.
+var pseed = maphash.MakeSeed()
+
+// shard maps a state key to its in-memory dictionary shard. Hashed keys are
+// already uniformly distributed; exact keys are hashed first.
+func (k StateKey) shard() int {
+	if k.exact != "" {
+		return int(maphash.String(pseed, k.exact) % pshards)
+	}
+	return int(k.hash.Lo % pshards)
+}
+
+// fold64 mixes one key half with its qualifiers: two rounds of xor-multiply
+// chaining (the splitmix64 constants) and a murmur-style tail so every input
+// bit reaches every output bit. Must stay fixed forever — folded keys live
+// in on-disk stores (the scheme is covered by core.FingerprintScheme).
+const (
+	foldM1 = 0x9e3779b97f4a7c15
+	foldM2 = 0xbf58476d1ce4e5b9
+)
+
+func fold64(a, b, c uint64) uint64 {
+	h := (a ^ b*foldM1) * foldM2
+	h = (h ^ c*foldM2) * foldM1
+	h ^= h >> 32
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// foldKey folds (state fingerprint, scheduler-context qualifier, faults
+// used) into a 128-bit store key. The halves stay independent hashes: each
+// folds its own input halves, with distinct fault tags.
+func foldKey(state core.Fp, aux core.Fp, faults int) store.Key {
+	return store.Key{
+		Hi: fold64(state.Hi, aux.Hi, uint64(faults)),
+		Lo: fold64(state.Lo, aux.Lo, uint64(faults)^foldM1),
+	}
+}
+
+// cursorAux encodes the round-robin explorer's cursor as a scheduler-context
+// qualifier, mirroring the delay explorer's stack digests.
+func cursorAux(cursor int, exact bool) stackKey {
+	if exact {
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(b[:], uint64(cursor))
+		return stackKey{exact: string(b[:n])}
+	}
+	u := uint64(cursor)
+	return stackKey{hash: core.Fp{Hi: u, Lo: u}}
+}
+
+// stateSet is the distinct-state set shared by the serial and parallel
+// explorers. add reports whether fp was new and, when new, its unique
+// position in the discovery order — the monotone add-and-count the parallel
+// MaxStates cap and progress reporting rely on.
+type stateSet struct {
+	st     *store.Store // hashed mode
+	count  atomic.Int64
+	exact  bool
+	shards [pshards]struct {
+		mu sync.Mutex
+		m  map[string]struct{}
+	}
+}
+
+func newStateSet(st *store.Store, exact bool) *stateSet {
+	s := &stateSet{st: st, exact: exact}
+	if exact {
+		for i := range s.shards {
+			s.shards[i].m = map[string]struct{}{}
+		}
+	}
+	return s
+}
+
+func (s *stateSet) add(fp StateKey) (isNew bool, count int) {
+	if s.exact {
+		sh := &s.shards[fp.shard()]
+		sh.mu.Lock()
+		_, ok := sh.m[fp.exact]
+		if !ok {
+			sh.m[fp.exact] = struct{}{}
+		}
+		sh.mu.Unlock()
+		if ok {
+			return false, 0
+		}
+	} else if !s.st.Claim(store.Key{Hi: fp.hash.Hi, Lo: fp.hash.Lo}, nil) {
+		return false, 0
+	}
+	return true, int(s.count.Add(1))
+}
+
+// minDelayMap is the delay-bounded and round-robin visited dictionary:
+// (state, scheduler context, faults used) -> the smallest delay count the
+// node was expanded with. A claim succeeds when the key is new or the
+// proposed delay count is strictly smaller — a revisit with at least as many
+// delays used can only explore a subset of schedules.
+type minDelayMap struct {
+	st     *store.Store // hashed mode
+	exact  bool
+	shards [pshards]struct {
+		mu sync.Mutex
+		m  map[exactVisitedKey]int
+	}
+}
+
+type exactVisitedKey struct {
+	state  string
+	aux    string
+	faults int
+}
+
+func newMinDelayMap(st *store.Store, exact bool) *minDelayMap {
+	v := &minDelayMap{st: st, exact: exact}
+	if exact {
+		for i := range v.shards {
+			v.shards[i].m = map[exactVisitedKey]int{}
+		}
+	}
+	return v
+}
+
+// minDelayMerge is the store merge for min-delay claims: values are single
+// uvarints, smaller wins.
+func minDelayMerge(existing, proposed []byte) ([]byte, bool) {
+	e, _ := binary.Uvarint(existing)
+	p, _ := binary.Uvarint(proposed)
+	if p < e {
+		return proposed, true
+	}
+	return existing, false
+}
+
+// uvarintVals pre-encodes small uvarint store values (delay counts, depths)
+// so hot-path claims hand the store pointers into static memory and never
+// allocate; larger values fall back to a heap encode.
+var uvarintVals = func() (t [4096][]byte) {
+	for i := range t {
+		t[i] = binary.AppendUvarint(nil, uint64(i))
+	}
+	return
+}()
+
+func uvarintVal(v int) []byte {
+	if v >= 0 && v < len(uvarintVals) {
+		return uvarintVals[v]
+	}
+	return binary.AppendUvarint(nil, uint64(v))
+}
+
+func (v *minDelayMap) claim(state StateKey, aux stackKey, faults, delays int) bool {
+	if v.exact {
+		sh := &v.shards[state.shard()]
+		key := exactVisitedKey{state.exact, aux.exact, faults}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if prev, ok := sh.m[key]; ok && prev <= delays {
+			return false
+		}
+		sh.m[key] = delays
+		return true
+	}
+	return v.st.Claim(foldKey(state.hash, aux.hash, faults), uvarintVal(delays))
+}
+
+// get returns the recorded minimum delay count for the key, if any.
+func (v *minDelayMap) get(state StateKey, aux stackKey, faults int) (int, bool) {
+	if v.exact {
+		sh := &v.shards[state.shard()]
+		key := exactVisitedKey{state.exact, aux.exact, faults}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		prev, ok := sh.m[key]
+		return prev, ok
+	}
+	b, ok := v.st.Get(foldKey(state.hash, aux.hash, faults))
+	if !ok {
+		return 0, false
+	}
+	u, _ := binary.Uvarint(b)
+	return int(u), true
+}
+
+// depthVisited is the depth-bounded visited dictionary: (state, faults used)
+// -> an antichain of (depth, sleeping ids) records under (depth ≤, sleep ⊆).
+// A claim succeeds when no existing record covers the proposal (smaller-or-
+// equal depth with a subset of sleepers); it then drops the records the
+// proposal dominates. The depth search is serial, so the exact-mode map is
+// unlocked (the store locks per shard regardless).
+type depthVisited struct {
+	st    *store.Store // hashed mode
+	exact bool
+	m     map[exactDVKey][]dvVal
+}
+
+type exactDVKey struct {
+	state  string
+	faults int
+}
+
+// dvVal is one exact-mode antichain record.
+type dvVal struct {
+	depth int
+	sleep []core.MachineID
+}
+
+func newDepthVisited(st *store.Store, exact bool) *depthVisited {
+	v := &depthVisited{st: st, exact: exact}
+	if exact {
+		v.m = map[exactDVKey][]dvVal{}
+	}
+	return v
+}
+
+// Store values are concatenated records: uvarint depth, uvarint id count,
+// then the sorted sleeping ids as uvarints.
+
+func appendDVRecord(buf []byte, depth int, ids []core.MachineID) []byte {
+	buf = binary.AppendUvarint(buf, uint64(depth))
+	buf = binary.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	return buf
+}
+
+// dvDecode reads one record, returning the remainder. ids is nil for the
+// common empty sleep set (POR off), so those claims never allocate here.
+func dvDecode(b []byte) (depth uint64, ids []uint64, rest []byte) {
+	depth, n := binary.Uvarint(b)
+	b = b[n:]
+	cnt, n := binary.Uvarint(b)
+	b = b[n:]
+	if cnt > 0 {
+		ids = make([]uint64, cnt)
+		for i := range ids {
+			ids[i], n = binary.Uvarint(b)
+			b = b[n:]
+		}
+	}
+	return depth, ids, b
+}
+
+// uidsSubset is idsSubset over decoded sorted id lists.
+func uidsSubset(a, b []uint64) bool {
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// dvMerge merges a single proposed record into a stored antichain.
+func dvMerge(existing, proposed []byte) ([]byte, bool) {
+	pd, pids, _ := dvDecode(proposed)
+	for rest := existing; len(rest) > 0; {
+		d, ids, r := dvDecode(rest)
+		if d <= pd && uidsSubset(ids, pids) {
+			return existing, false
+		}
+		rest = r
+	}
+	out := make([]byte, 0, len(existing)+len(proposed))
+	for rest := existing; len(rest) > 0; {
+		d, ids, r := dvDecode(rest)
+		if !(pd <= d && uidsSubset(pids, ids)) {
+			out = append(out, rest[:len(rest)-len(r)]...)
+		}
+		rest = r
+	}
+	out = append(out, proposed...)
+	return out, true
+}
+
+func (v *depthVisited) claim(state StateKey, faults, depth int, sleep []core.MachineID) bool {
+	if v.exact {
+		key := exactDVKey{state.exact, faults}
+		recs := v.m[key]
+		for _, r := range recs {
+			if r.depth <= depth && idsSubset(r.sleep, sleep) {
+				return false
+			}
+		}
+		kept := recs[:0]
+		for _, r := range recs {
+			if !(depth <= r.depth && idsSubset(sleep, r.sleep)) {
+				kept = append(kept, r)
+			}
+		}
+		v.m[key] = append(kept, dvVal{depth: depth, sleep: sleep})
+		return true
+	}
+	var rec []byte
+	if len(sleep) == 0 {
+		// The POR-off common case: a record is just (depth, 0), served from
+		// the static table so the claim never allocates.
+		rec = dvEmptyRecs(depth)
+	} else {
+		rec = appendDVRecord(make([]byte, 0, 2+2*len(sleep)), depth, sleep)
+	}
+	return v.st.Claim(foldKey(state.hash, core.Fp{}, faults), rec)
+}
+
+var dvEmptyRecTab = func() (t [4096][]byte) {
+	for i := range t {
+		t[i] = appendDVRecord(nil, i, nil)
+	}
+	return
+}()
+
+func dvEmptyRecs(depth int) []byte {
+	if depth >= 0 && depth < len(dvEmptyRecTab) {
+		return dvEmptyRecTab[depth]
+	}
+	return appendDVRecord(nil, depth, nil)
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/binary"
-	"hash/maphash"
 	"sync"
 )
 
@@ -16,11 +15,12 @@ type Fp struct {
 }
 
 // The two seeds make the halves of an Fp independent hash functions. They
-// are per-process, so Fp values are not stable across runs — fine for
-// in-memory visited sets, unsuitable for persistence.
-var (
-	fpSeedHi = maphash.MakeSeed()
-	fpSeedLo = maphash.MakeSeed()
+// are fixed constants, so Fp values are stable across runs and processes —
+// the disk-backed visited store and checkpoint/resume persist them (the
+// scheme is versioned as FingerprintScheme).
+const (
+	fpSeedHi uint64 = 0x5150564552494659 // "QPVERIFY"
+	fpSeedLo uint64 = 0x70676f2d66702d6c // "pgo-fp-l"
 )
 
 // fpBufs recycles canonical-encoding scratch buffers across fingerprint
@@ -63,7 +63,7 @@ func (g *Global) configFp(c *Config, scratch []byte) (Fp, []byte) {
 		return c.fp, scratch
 	}
 	scratch = c.appendFingerprint(scratch[:0])
-	fp := Fp{Hi: maphash.Bytes(fpSeedHi, scratch), Lo: maphash.Bytes(fpSeedLo, scratch)}
+	fp := Fp{Hi: StableHash64(fpSeedHi, scratch), Lo: StableHash64(fpSeedLo, scratch)}
 	if c.gid == g.gid {
 		c.fp = fp
 		c.fpOK = true
@@ -213,7 +213,7 @@ func (g *Global) hashFromScratch() Fp {
 			continue
 		}
 		scratch = c.appendFingerprint(scratch[:0])
-		h.add(Fp{Hi: maphash.Bytes(fpSeedHi, scratch), Lo: maphash.Bytes(fpSeedLo, scratch)})
+		h.add(Fp{Hi: StableHash64(fpSeedHi, scratch), Lo: StableHash64(fpSeedLo, scratch)})
 	}
 	return h.sum()
 }

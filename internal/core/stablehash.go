@@ -1,0 +1,91 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Stable hashing for fingerprints. The original fingerprint scheme hashed
+// canonical encodings with hash/maphash, whose seeds are per-process: fine
+// for in-memory visited sets, useless the moment fingerprints are written to
+// disk. The tiered visited store (internal/store) persists fingerprint-keyed
+// chunks and checkpoint/resume reloads them in a different process, so the
+// fingerprint hash must be a pure function of the encoding. StableHash64 is
+// xxHash64 with fixed seeds: well mixed, ~constant-factor of maphash on the
+// short (tens to hundreds of bytes) per-machine encodings this hot path
+// hashes, and identical across processes, runs, and architectures.
+
+// FingerprintScheme names the persistent fingerprint scheme. It is recorded
+// in checkpoint manifests and store directories; a mismatch means fingerprint
+// keys on disk were produced by an incompatible hash and must not be reused.
+const FingerprintScheme = "fp/xxh64/1"
+
+// xxHash64 primes.
+const (
+	xxPrime1 = 0x9E3779B185EBCA87
+	xxPrime2 = 0xC2B2AE3D27D4EB4F
+	xxPrime3 = 0x165667B19E3779F9
+	xxPrime4 = 0x85EBCA77C2B2AE63
+	xxPrime5 = 0x27D4EB2F165667C5
+)
+
+func xxRound(acc, input uint64) uint64 {
+	acc += input * xxPrime2
+	acc = bits.RotateLeft64(acc, 31)
+	acc *= xxPrime1
+	return acc
+}
+
+func xxMergeRound(acc, val uint64) uint64 {
+	acc ^= xxRound(0, val)
+	return acc*xxPrime1 + xxPrime4
+}
+
+// StableHash64 computes xxHash64(seed, b). Distinct seeds give independent
+// hash functions; the 128-bit fingerprint uses two.
+func StableHash64(seed uint64, b []byte) uint64 {
+	n := uint64(len(b))
+	var h uint64
+	if len(b) >= 32 {
+		v1 := seed + xxPrime1 + xxPrime2
+		v2 := seed + xxPrime2
+		v3 := seed
+		v4 := seed - xxPrime1
+		for len(b) >= 32 {
+			v1 = xxRound(v1, binary.LittleEndian.Uint64(b))
+			v2 = xxRound(v2, binary.LittleEndian.Uint64(b[8:]))
+			v3 = xxRound(v3, binary.LittleEndian.Uint64(b[16:]))
+			v4 = xxRound(v4, binary.LittleEndian.Uint64(b[24:]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxMergeRound(h, v1)
+		h = xxMergeRound(h, v2)
+		h = xxMergeRound(h, v3)
+		h = xxMergeRound(h, v4)
+	} else {
+		h = seed + xxPrime5
+	}
+	h += n
+	for len(b) >= 8 {
+		h ^= xxRound(0, binary.LittleEndian.Uint64(b))
+		h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b)) * xxPrime1
+		h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * xxPrime5
+		h = bits.RotateLeft64(h, 11) * xxPrime1
+	}
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}

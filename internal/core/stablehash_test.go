@@ -1,0 +1,37 @@
+package core_test
+
+import (
+	"testing"
+
+	"pgo/internal/core"
+)
+
+// The disk-backed visited store and checkpoint/resume persist fingerprint
+// keys across processes, so StableHash64 must be exactly xxHash64 forever:
+// these are the canonical reference vectors. If this test fails, on-disk
+// stores and checkpoints from earlier builds are unreadable and
+// core.FingerprintScheme must be bumped.
+func TestStableHash64Vectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		seed uint64
+		want uint64
+	}{
+		{"", 0, 0xEF46DB3751D8E999},
+		{"a", 0, 0xD24EC4F1A98C6E5B},
+		{"abc", 0, 0x44BC2CF5AD770999},
+		{"message digest", 0, 0x066ED728FCEEB3BE},
+		{"abcdefghijklmnopqrstuvwxyz", 0, 0xCFE1F278FA89835C},
+		{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789", 0, 0xAAA46907D3047814},
+		{"12345678901234567890123456789012345678901234567890123456789012345678901234567890", 0, 0xE04A477F19EE145D},
+	}
+	for _, c := range cases {
+		if got := core.StableHash64(c.seed, []byte(c.in)); got != c.want {
+			t.Errorf("StableHash64(%d, %q) = %#x, want %#x", c.seed, c.in, got, c.want)
+		}
+	}
+	// Seeded variant: distinct seeds must give distinct functions.
+	if core.StableHash64(1, []byte("abc")) == core.StableHash64(2, []byte("abc")) {
+		t.Error("seeds 1 and 2 collide on \"abc\"")
+	}
+}

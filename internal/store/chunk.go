@@ -1,0 +1,305 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Chunk format (documented in DESIGN.md; all integers little-endian):
+//
+//	header (32 bytes):
+//	  magic    "PVC1"  (4)
+//	  count    uint32  index records
+//	  bloomW   uint32  bloom words (8 bytes each)
+//	  reserved uint32  zero
+//	  valBytes uint64  value-region length
+//	  total    uint64  whole-chunk length including this header
+//	bloom:  bloomW × uint64 — ~10 bits/key, 4 probes double-hashed from the key
+//	index:  count × 20 bytes: Hi uint64 | Lo uint64 | valOff uint32,
+//	        sorted by (Hi, Lo); a record's value length is the offset delta
+//	        to the next record (valBytes for the last)
+//	values: concatenated value bytes
+//
+// A shard file is a sequence of chunks; total makes the file walkable from
+// offset 0, which is how Open rebuilds the chunk directory on resume.
+// Chunks are immutable once written: resume-time truncation to the
+// checkpointed size is the only mutation the format permits.
+
+const (
+	chunkMagic    = "PVC1"
+	chunkHdrLen   = 32
+	indexRecLen   = 20
+	bloomBitsPerK = 10
+	bloomProbes   = 4
+)
+
+type chunk struct {
+	off      int64 // chunk start (header) in the shard file
+	count    int
+	indexOff int64
+	valOff   int64
+	valBytes int64
+	bloom    []uint64 // heap copy; always available without file reads
+}
+
+func bloomWords(count int) int {
+	w := (count*bloomBitsPerK + 63) / 64
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func bloomSet(bloom []uint64, k Key) {
+	m := uint64(len(bloom)) * 64
+	h2 := k.Lo | 1
+	for i := uint64(0); i < bloomProbes; i++ {
+		bit := (k.Hi + i*h2) % m
+		bloom[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (c *chunk) mayContain(k Key) bool {
+	m := uint64(len(c.bloom)) * 64
+	h2 := k.Lo | 1
+	for i := uint64(0); i < bloomProbes; i++ {
+		bit := (k.Hi + i*h2) % m
+		if c.bloom[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildChunk serializes the shard's memory tier into one chunk image and
+// the chunk's directory entry (relative to file offset base).
+func buildChunk(mem map[Key][]byte, base int64) ([]byte, chunk) {
+	keys := make([]Key, 0, len(mem))
+	for k := range mem {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+
+	bw := bloomWords(len(keys))
+	valBytes := 0
+	for _, k := range keys {
+		valBytes += len(mem[k])
+	}
+	total := chunkHdrLen + bw*8 + len(keys)*indexRecLen + valBytes
+	buf := make([]byte, total)
+
+	copy(buf, chunkMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(keys)))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(bw))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(valBytes))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(total))
+
+	bloom := make([]uint64, bw)
+	idxOff := chunkHdrLen + bw*8
+	valOff := idxOff + len(keys)*indexRecLen
+	voff := 0
+	for i, k := range keys {
+		bloomSet(bloom, k)
+		rec := buf[idxOff+i*indexRecLen:]
+		binary.LittleEndian.PutUint64(rec, k.Hi)
+		binary.LittleEndian.PutUint64(rec[8:], k.Lo)
+		binary.LittleEndian.PutUint32(rec[16:], uint32(voff))
+		voff += copy(buf[valOff+voff:], mem[k])
+	}
+	for i, w := range bloom {
+		binary.LittleEndian.PutUint64(buf[chunkHdrLen+i*8:], w)
+	}
+
+	return buf, chunk{
+		off:      base,
+		count:    len(keys),
+		indexOff: base + int64(idxOff),
+		valOff:   base + int64(valOff),
+		valBytes: int64(valBytes),
+		bloom:    bloom,
+	}
+}
+
+// spillLocked writes the memory tier as a new chunk. The shard lock is
+// held. On I/O failure the shard keeps its memory tier and goes memory-only.
+func (s *Store) spillLocked(sh *shard) {
+	if len(sh.mem) == 0 || sh.broken || s.opts.Dir == "" {
+		return
+	}
+	if sh.f == nil {
+		f, err := os.OpenFile(s.shardPath(sh.idx), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			s.latch(err)
+			sh.broken = true
+			return
+		}
+		sh.f = f
+	}
+	img, c := buildChunk(sh.mem, sh.size)
+	if _, err := sh.f.WriteAt(img, sh.size); err != nil {
+		s.latch(err)
+		sh.broken = true
+		// Drop any partial write so the file stays chunk-aligned.
+		_ = sh.f.Truncate(sh.size)
+		return
+	}
+	sh.size += int64(len(img))
+	sh.spilled += c.count
+	sh.chunks = append(sh.chunks, c)
+	sh.mem = make(map[Key][]byte, len(sh.mem))
+	s.remapLocked(sh)
+}
+
+// remapLocked refreshes the shard's memory mapping to cover [0, size).
+// Mapping failure is not an error: lookups fall back to pread.
+func (s *Store) remapLocked(sh *shard) {
+	if sh.data != nil {
+		_ = munmap(sh.data)
+		sh.data = nil
+	}
+	sh.mapped = false
+	if sh.size == 0 || sh.f == nil {
+		return
+	}
+	if b, err := mmapFile(sh.f, sh.size); err == nil {
+		sh.data = b
+		sh.mapped = true
+	}
+}
+
+// readAt returns n bytes at off: a zero-copy slice of the mapping, or a
+// pread when the platform gave us no mapping. A read failure is latched and
+// reported as missing data — sound for a visited store (the worst case is
+// re-exploration), and Err surfaces it.
+func (s *Store) readAt(sh *shard, off int64, n int) []byte {
+	if sh.mapped && off+int64(n) <= int64(len(sh.data)) {
+		return sh.data[off : off+int64(n)]
+	}
+	if sh.f == nil {
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := sh.f.ReadAt(buf, off); err != nil {
+		s.latch(err)
+		return nil
+	}
+	return buf
+}
+
+// lookupChunks searches the spilled chunks newest-first. The newest chunk
+// containing the key holds the most-merged value (later claims merge chunk
+// values back into the memory tier before re-spilling).
+func (s *Store) lookupChunks(sh *shard, k Key) ([]byte, bool) {
+	for i := len(sh.chunks) - 1; i >= 0; i-- {
+		c := &sh.chunks[i]
+		if !c.mayContain(k) {
+			continue
+		}
+		if v, ok := s.chunkGet(sh, c, k); ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Store) chunkGet(sh *shard, c *chunk, k Key) ([]byte, bool) {
+	lo, hi := 0, c.count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		rec := s.readAt(sh, c.indexOff+int64(mid)*indexRecLen, indexRecLen)
+		if rec == nil {
+			return nil, false
+		}
+		rhi := binary.LittleEndian.Uint64(rec)
+		rlo := binary.LittleEndian.Uint64(rec[8:])
+		switch {
+		case k.Hi < rhi || (k.Hi == rhi && k.Lo < rlo):
+			hi = mid
+		case k.Hi > rhi || (k.Hi == rhi && k.Lo > rlo):
+			lo = mid + 1
+		default:
+			voff := int64(binary.LittleEndian.Uint32(rec[16:]))
+			vend := c.valBytes
+			if mid+1 < c.count {
+				next := s.readAt(sh, c.indexOff+int64(mid+1)*indexRecLen+16, 4)
+				if next == nil {
+					return nil, false
+				}
+				vend = int64(binary.LittleEndian.Uint32(next))
+			}
+			if vend == voff {
+				// Present with an empty value (set semantics).
+				return nil, true
+			}
+			v := s.readAt(sh, c.valOff+voff, int(vend-voff))
+			return v, v != nil
+		}
+	}
+	return nil, false
+}
+
+// openShard reopens shard i's chunk file for resume, truncating to size
+// (the checkpointed extent) and walking the chunk headers to rebuild the
+// chunk directory and blooms.
+func (s *Store) openShard(i int, size int64) error {
+	sh := &s.shards[i]
+	path := s.shardPath(i)
+	if size == 0 {
+		// Never spilled before the checkpoint; drop any post-checkpoint file.
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("store: %w", err)
+		}
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: shard %d: %w", i, err)
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return fmt.Errorf("store: shard %d: %w", i, err)
+	}
+	sh.f = f
+	sh.size = size
+	s.remapLocked(sh)
+
+	off := int64(0)
+	for off < size {
+		hdr := s.readAt(sh, off, chunkHdrLen)
+		if hdr == nil || string(hdr[:4]) != chunkMagic {
+			s.Close()
+			return fmt.Errorf("store: shard %d: bad chunk header at %d", i, off)
+		}
+		count := int(binary.LittleEndian.Uint32(hdr[4:]))
+		bw := int(binary.LittleEndian.Uint32(hdr[8:]))
+		valBytes := int64(binary.LittleEndian.Uint64(hdr[16:]))
+		total := int64(binary.LittleEndian.Uint64(hdr[24:]))
+		want := int64(chunkHdrLen + bw*8 + count*indexRecLen + int(valBytes))
+		if total != want || off+total > size {
+			s.Close()
+			return fmt.Errorf("store: shard %d: corrupt chunk at %d", i, off)
+		}
+		braw := s.readAt(sh, off+chunkHdrLen, bw*8)
+		if braw == nil {
+			s.Close()
+			return fmt.Errorf("store: shard %d: unreadable bloom at %d", i, off)
+		}
+		bloom := make([]uint64, bw)
+		for w := range bloom {
+			bloom[w] = binary.LittleEndian.Uint64(braw[w*8:])
+		}
+		sh.chunks = append(sh.chunks, chunk{
+			off:      off,
+			count:    count,
+			indexOff: off + chunkHdrLen + int64(bw*8),
+			valOff:   off + chunkHdrLen + int64(bw*8) + int64(count*indexRecLen),
+			valBytes: valBytes,
+			bloom:    bloom,
+		})
+		sh.spilled += count
+		off += total
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+// No memory mapping on this platform; readAt falls back to pread.
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("store: mmap unsupported")
+}
+
+func munmap(b []byte) error { return nil }

@@ -1,0 +1,370 @@
+// Package store implements the explorers' tiered visited store: a sharded
+// dictionary from 128-bit state fingerprints to small merge-able values
+// whose shards spill from in-memory maps to append-only chunk files once
+// they outgrow a configured cap. The shape follows content-addressed block
+// stores (dolt's noms store is the structural exemplar): spilled chunks are
+// immutable, carry a bloom filter and a sorted index, and are read through a
+// memory mapping, so the explorer's resident set stays bounded by the
+// per-shard cap while the page cache absorbs the cold tier.
+//
+// Keys are the explorers' stable 128-bit fingerprints (core.StableHash64 of
+// canonical state encodings), already uniformly distributed — the shard is a
+// key prefix (the top bits of Key.Hi) and the bloom/index probe bits come
+// straight from the key, no re-hashing anywhere.
+//
+// Claim semantics unify the explorers' visited maps: a set (Merge == nil,
+// a key claims once) or a user-merged map (min-delay claims, depth/sleep
+// antichains). Merging across the tiers is transparent: a claim that finds
+// its key in a spilled chunk merges against the chunk value and re-inserts
+// the merged result into the memory tier, so the newest tier always holds
+// the most-merged value and lookups scan chunks newest-first.
+//
+// Spill I/O failures are latched, never fatal: the shard falls back to
+// memory-only operation (correct, just unbounded) and Err reports the first
+// failure for the CLI to surface.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key is a 128-bit fingerprint key. Both halves are outputs of stable hash
+// functions, so bits may be used directly for sharding and bloom probes.
+type Key struct{ Hi, Lo uint64 }
+
+func (k Key) less(o Key) bool { return k.Hi < o.Hi || (k.Hi == o.Hi && k.Lo < o.Lo) }
+
+// MergeFunc combines an existing stored value with a newly proposed one.
+// It returns the value to store and whether the proposal improved on the
+// existing entry — improved claims are the ones that put new work on the
+// explorer's frontier. merged may alias either argument; the store copies
+// what it retains.
+type MergeFunc func(existing, proposed []byte) (merged []byte, improved bool)
+
+// Options configures a Store.
+type Options struct {
+	// Dir is the spill directory; "" disables the disk tier entirely
+	// (the store is then a sharded in-memory map).
+	Dir string
+	// Shards is the shard count, rounded up to a power of two (default 64).
+	Shards int
+	// MemPerShard caps in-memory entries per shard before a spill
+	// (0 = never spill on size; Flush still spills everything).
+	MemPerShard int
+	// Merge resolves claims on existing keys. nil means set semantics:
+	// a key can be claimed once and values are ignored (stored empty).
+	Merge MergeFunc
+}
+
+// Stats describes a store's occupancy. SpilledEntries counts chunk records,
+// which double-counts keys rewritten by later merges (chunks are immutable).
+type Stats struct {
+	Shards         int   `json:"shards"`
+	MemEntries     int   `json:"mem_entries"`
+	SpilledEntries int   `json:"spilled_entries"`
+	Chunks         int   `json:"chunks"`
+	DiskBytes      int64 `json:"disk_bytes"`
+}
+
+// Add accumulates other into s (for reporting several stores as one block).
+func (s *Stats) Add(other Stats) {
+	if other.Shards > s.Shards {
+		s.Shards = other.Shards
+	}
+	s.MemEntries += other.MemEntries
+	s.SpilledEntries += other.SpilledEntries
+	s.Chunks += other.Chunks
+	s.DiskBytes += other.DiskBytes
+}
+
+type shard struct {
+	mu      sync.Mutex
+	idx     int
+	mem     map[Key][]byte
+	f       *os.File // append-only chunk file; nil until first spill
+	size    int64    // bytes written (chunk-aligned)
+	data    []byte   // memory mapping of [0, size), nil when unmapped
+	mapped  bool     // mapping succeeded; false falls back to pread
+	chunks  []chunk
+	spilled int  // records written to chunks
+	broken  bool // spill I/O failed; shard is memory-only from here on
+}
+
+// Store is the tiered visited store. All methods are safe for concurrent
+// use; the unit of locking is the shard.
+type Store struct {
+	opts      Options
+	shardBits uint
+	shards    []shard
+
+	errMu sync.Mutex
+	err   error
+}
+
+const defaultShards = 64
+
+func normalize(o Options) Options {
+	if o.Shards <= 0 {
+		o.Shards = defaultShards
+	}
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	o.Shards = n
+	return o
+}
+
+func newStore(o Options) *Store {
+	o = normalize(o)
+	bits := uint(0)
+	for 1<<bits < o.Shards {
+		bits++
+	}
+	s := &Store{opts: o, shardBits: bits, shards: make([]shard, o.Shards)}
+	for i := range s.shards {
+		s.shards[i].idx = i
+		s.shards[i].mem = map[Key][]byte{}
+	}
+	return s
+}
+
+// New creates a fresh store. With a non-empty Dir the directory is created
+// and any shard files from a previous run are truncated.
+func New(o Options) (*Store, error) {
+	s := newStore(o)
+	if s.opts.Dir != "" {
+		if err := os.MkdirAll(s.opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for i := range s.shards {
+			// Stale files would otherwise be walked by a later Open.
+			if err := os.Remove(s.shardPath(i)); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("store: %w", err)
+			}
+		}
+	}
+	return s, nil
+}
+
+// Open reopens a spilled store for resume. sizes holds the per-shard byte
+// limits recorded at checkpoint time; each shard file is truncated to its
+// limit (dropping chunks appended after the checkpoint) and its chunk
+// directory is rebuilt by walking the headers.
+func Open(o Options, sizes []int64) (*Store, error) {
+	s := newStore(o)
+	if s.opts.Dir == "" {
+		return nil, fmt.Errorf("store: open requires a directory")
+	}
+	if len(sizes) != len(s.shards) {
+		return nil, fmt.Errorf("store: %d shard sizes for %d shards", len(sizes), len(s.shards))
+	}
+	for i := range s.shards {
+		if err := s.openShard(i, sizes[i]); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *Store) shardPath(i int) string {
+	return filepath.Join(s.opts.Dir, fmt.Sprintf("shard-%04d.pvs", i))
+}
+
+func (s *Store) shardOf(k Key) *shard {
+	return &s.shards[k.Hi>>(64-s.shardBits)]
+}
+
+// latch records the first I/O error for reporting.
+func (s *Store) latch(err error) {
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Err returns the first spill/read error the store swallowed, if any.
+// The store stays correct after an error — affected shards simply stop
+// spilling — so callers report it as a warning, not a failure.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Interned single-byte values: the explorers' min-delay claims are almost
+// always one uvarint byte, and a per-entry heap slice would double the
+// memory tier's footprint.
+var byteVals = func() (t [256][1]byte) {
+	for i := range t {
+		t[i][0] = byte(i)
+	}
+	return
+}()
+
+func internVal(v []byte) []byte {
+	switch len(v) {
+	case 0:
+		return nil
+	case 1:
+		return byteVals[v[0]][:]
+	}
+	return append([]byte(nil), v...)
+}
+
+// Claim proposes val for key k. It returns true when the claim added new
+// information: the key was absent, or Merge judged the proposal an
+// improvement over the stored value. With Merge == nil only the first claim
+// of a key returns true (and values are ignored — stored empty).
+//
+// This is the explorers' hot path: the set-semantics branch costs a single
+// map operation (insert-and-compare-size) until the shard spills, and no
+// branch allocates when val points at static memory (see the callers'
+// interned value tables).
+func (s *Store) Claim(k Key, val []byte) bool {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	if s.opts.Merge == nil {
+		before := len(sh.mem)
+		sh.mem[k] = nil
+		if len(sh.mem) == before {
+			sh.mu.Unlock()
+			return false
+		}
+		if len(sh.chunks) > 0 {
+			if _, ok := s.lookupChunks(sh, k); ok {
+				// Already spilled; undo the tentative insert.
+				delete(sh.mem, k)
+				sh.mu.Unlock()
+				return false
+			}
+		}
+		s.maybeSpill(sh)
+		sh.mu.Unlock()
+		return true
+	}
+	if v, ok := sh.mem[k]; ok {
+		merged, improved := s.opts.Merge(v, val)
+		if improved {
+			sh.mem[k] = internVal(merged)
+		}
+		sh.mu.Unlock()
+		return improved
+	}
+	if len(sh.chunks) > 0 {
+		if v, ok := s.lookupChunks(sh, k); ok {
+			merged, improved := s.opts.Merge(v, val)
+			if !improved {
+				sh.mu.Unlock()
+				return false
+			}
+			sh.mem[k] = internVal(merged)
+			s.maybeSpill(sh)
+			sh.mu.Unlock()
+			return true
+		}
+	}
+	sh.mem[k] = internVal(val)
+	s.maybeSpill(sh)
+	sh.mu.Unlock()
+	return true
+}
+
+// Get returns the stored value for k. The returned slice is valid until the
+// next mutation of the store; callers decode immediately.
+func (s *Store) Get(k Key) ([]byte, bool) {
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if v, ok := sh.mem[k]; ok {
+		return v, true
+	}
+	return s.lookupChunks(sh, k)
+}
+
+func (s *Store) maybeSpill(sh *shard) {
+	if s.opts.MemPerShard > 0 && s.opts.Dir != "" && !sh.broken && len(sh.mem) >= s.opts.MemPerShard {
+		s.spillLocked(sh)
+	}
+}
+
+// Flush spills every shard's memory tier to disk and syncs the files, so
+// the chunk files alone carry the full store — the checkpoint invariant.
+// It fails if the store has no directory.
+func (s *Store) Flush() error {
+	if s.opts.Dir == "" {
+		return fmt.Errorf("store: flush requires a directory")
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		s.spillLocked(sh)
+		if sh.f != nil {
+			if err := sh.f.Sync(); err != nil {
+				s.latch(err)
+			}
+		}
+		broken := sh.broken
+		sh.mu.Unlock()
+		if broken {
+			return fmt.Errorf("store: shard %d spill failed: %w", i, s.Err())
+		}
+	}
+	return nil
+}
+
+// ShardSizes returns the per-shard chunk-file sizes. Meaningful for a
+// checkpoint manifest only immediately after a successful Flush.
+func (s *Store) ShardSizes() []int64 {
+	sizes := make([]int64, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sizes[i] = sh.size
+		sh.mu.Unlock()
+	}
+	return sizes
+}
+
+// Stats reports the store's occupancy across both tiers.
+func (s *Store) Stats() Stats {
+	st := Stats{Shards: len(s.shards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.MemEntries += len(sh.mem)
+		st.SpilledEntries += sh.spilled
+		st.Chunks += len(sh.chunks)
+		st.DiskBytes += sh.size
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Close unmaps and closes the shard files. The store must not be used after.
+func (s *Store) Close() error {
+	var first error
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if sh.data != nil {
+			if err := munmap(sh.data); err != nil && first == nil {
+				first = err
+			}
+			sh.data = nil
+		}
+		if sh.f != nil {
+			if err := sh.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.f = nil
+		}
+		sh.mu.Unlock()
+	}
+	return first
+}

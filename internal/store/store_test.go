@@ -1,0 +1,328 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// keyN derives a well-distributed test key: sharding uses the top bits of
+// Hi, so sequential integers must be mixed first.
+func keyN(i int) Key {
+	x := uint64(i)*0x9e3779b97f4a7c15 + 1
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return Key{Hi: x, Lo: x * 0x94d049bb133111eb}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s, err := New(Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		if !s.Claim(keyN(i), nil) {
+			t.Fatalf("first claim of key %d rejected", i)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if s.Claim(keyN(i), nil) {
+			t.Fatalf("second claim of key %d accepted", i)
+		}
+		if _, ok := s.Get(keyN(i)); !ok {
+			t.Fatalf("key %d missing after claim", i)
+		}
+	}
+	if _, ok := s.Get(keyN(100)); ok {
+		t.Fatal("unclaimed key reported present")
+	}
+	st := s.Stats()
+	if st.MemEntries != 100 || st.SpilledEntries != 0 || st.DiskBytes != 0 {
+		t.Fatalf("stats = %+v, want 100 mem entries and no disk tier", st)
+	}
+}
+
+// minMerge keeps the smaller single-byte value — the min-delay claim shape.
+func minMerge(existing, proposed []byte) ([]byte, bool) {
+	if proposed[0] < existing[0] {
+		return proposed, true
+	}
+	return existing, false
+}
+
+func TestMergeSemantics(t *testing.T) {
+	s, err := New(Options{Shards: 2, Merge: minMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	k := keyN(7)
+	if !s.Claim(k, []byte{5}) {
+		t.Fatal("first claim rejected")
+	}
+	if s.Claim(k, []byte{9}) {
+		t.Fatal("worse claim accepted")
+	}
+	if !s.Claim(k, []byte{3}) {
+		t.Fatal("better claim rejected")
+	}
+	if v, ok := s.Get(k); !ok || len(v) != 1 || v[0] != 3 {
+		t.Fatalf("Get = %v, %v; want [3], true", v, ok)
+	}
+}
+
+func TestSpillAndLookup(t *testing.T) {
+	dir := t.TempDir()
+	const n = 5000
+	s, err := New(Options{Dir: dir, Shards: 8, MemPerShard: 64, Merge: minMerge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		if !s.Claim(keyN(i), []byte{byte(200 + i%50)}) {
+			t.Fatalf("first claim of key %d rejected", i)
+		}
+	}
+	st := s.Stats()
+	if st.SpilledEntries == 0 || st.Chunks == 0 || st.DiskBytes == 0 {
+		t.Fatalf("stats = %+v, want a populated disk tier", st)
+	}
+	// Every key resolvable across tiers; worse claims rejected, better
+	// claims merged back through the chunk tier.
+	for i := 0; i < n; i++ {
+		k := keyN(i)
+		want := byte(200 + i%50)
+		if v, ok := s.Get(k); !ok || v[0] != want {
+			t.Fatalf("key %d: Get = %v, %v; want [%d], true", i, v, ok, want)
+		}
+		if s.Claim(k, []byte{255}) {
+			t.Fatalf("key %d: worse claim accepted after spill", i)
+		}
+		if !s.Claim(k, []byte{byte(i % 50)}) {
+			t.Fatalf("key %d: better claim rejected after spill", i)
+		}
+		if v, ok := s.Get(k); !ok || v[0] != byte(i%50) {
+			t.Fatalf("key %d: Get after merge = %v, %v", i, v, ok)
+		}
+	}
+	if _, ok := s.Get(keyN(n + 1)); ok {
+		t.Fatal("absent key reported present by disk tier")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("latched error: %v", err)
+	}
+}
+
+func TestFlushOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n = 3000
+	opts := Options{Dir: dir, Shards: 4, MemPerShard: 100, Merge: minMerge}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		s.Claim(keyN(i), []byte{byte(i % 200)})
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MemEntries != 0 {
+		t.Fatalf("mem entries after flush = %d, want 0", st.MemEntries)
+	}
+	sizes := s.ShardSizes()
+
+	// Post-checkpoint writes that Open must drop.
+	for i := n; i < n+500; i++ {
+		s.Claim(keyN(i), []byte{1})
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(opts, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < n; i++ {
+		k := keyN(i)
+		if v, ok := r.Get(k); !ok || v[0] != byte(i%200) {
+			t.Fatalf("key %d after reopen: Get = %v, %v", i, v, ok)
+		}
+	}
+	// The post-checkpoint keys were truncated away.
+	for i := n; i < n+500; i++ {
+		if _, ok := r.Get(keyN(i)); ok {
+			t.Fatalf("post-checkpoint key %d survived truncation", i)
+		}
+	}
+	// Claims still merge correctly against reopened chunks.
+	if r.Claim(keyN(0), []byte{255}) {
+		t.Fatal("worse claim accepted after reopen")
+	}
+	if !r.Claim(keyN(1), []byte{0}) && 1%200 != 0 {
+		t.Fatal("better claim rejected after reopen")
+	}
+}
+
+func TestOpenRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 1, MemPerShard: 4}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		s.Claim(keyN(i), nil)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := s.ShardSizes()
+	s.Close()
+
+	path := filepath.Join(dir, fmt.Sprintf("shard-%04d.pvs", 0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(raw, "XXXX")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(opts, sizes); err == nil {
+		t.Fatal("Open accepted a corrupt chunk file")
+	}
+}
+
+func TestOpenFreshShardDropsStaleFile(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Shards: 1, MemPerShard: 4}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		s.Claim(keyN(i), nil)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// A checkpoint taken before the shard ever spilled records size 0;
+	// Open must ignore (and remove) the later file.
+	r, err := Open(opts, []int64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, ok := r.Get(keyN(0)); ok {
+		t.Fatal("stale shard file contents visible after size-0 open")
+	}
+}
+
+func TestVariableLengthValues(t *testing.T) {
+	dir := t.TempDir()
+	// Append-only antichain-style merge: concatenate uvarints, improved
+	// when the proposed id is unseen.
+	merge := func(existing, proposed []byte) ([]byte, bool) {
+		want, _ := binary.Uvarint(proposed)
+		rest := existing
+		for len(rest) > 0 {
+			v, n := binary.Uvarint(rest)
+			if v == want {
+				return existing, false
+			}
+			rest = rest[n:]
+		}
+		return append(append([]byte(nil), existing...), proposed...), true
+	}
+	s, err := New(Options{Dir: dir, Shards: 2, MemPerShard: 8, Merge: merge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(1))
+	want := map[int]map[uint64]bool{}
+	for step := 0; step < 4000; step++ {
+		i := rng.Intn(60)
+		id := uint64(rng.Intn(10))
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], id)
+		improved := s.Claim(keyN(i), buf[:n])
+		if want[i] == nil {
+			want[i] = map[uint64]bool{}
+		}
+		if improved != !want[i][id] {
+			t.Fatalf("step %d: key %d id %d improved=%v, want %v", step, i, id, improved, !want[i][id])
+		}
+		want[i][id] = true
+	}
+	for i, ids := range want {
+		v, ok := s.Get(keyN(i))
+		if !ok {
+			t.Fatalf("key %d missing", i)
+		}
+		got := map[uint64]bool{}
+		for len(v) > 0 {
+			u, n := binary.Uvarint(v)
+			got[u] = true
+			v = v[n:]
+		}
+		if len(got) != len(ids) {
+			t.Fatalf("key %d: got %d ids, want %d", i, len(got), len(ids))
+		}
+		for id := range ids {
+			if !got[id] {
+				t.Fatalf("key %d: id %d lost", i, id)
+			}
+		}
+	}
+}
+
+func TestConcurrentClaims(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Options{Dir: dir, Shards: 4, MemPerShard: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	const workers = 8
+	const perWorker = 2000
+	wins := make(chan int, workers)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			n := 0
+			for i := 0; i < perWorker; i++ {
+				if s.Claim(keyN(i), nil) {
+					n++
+				}
+			}
+			wins <- n
+			done <- struct{}{}
+		}()
+	}
+	total := 0
+	for w := 0; w < workers; w++ {
+		<-done
+		total += <-wins
+	}
+	if total != perWorker {
+		t.Fatalf("total successful claims = %d, want %d (each key claimed exactly once)", total, perWorker)
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("latched error: %v", err)
+	}
+}
