@@ -28,6 +28,8 @@ import (
 	"strings"
 	"time"
 
+	"pgo/internal/abstract"
+	"pgo/internal/analysis"
 	"pgo/internal/check"
 	"pgo/internal/compile"
 	"pgo/internal/core"
@@ -41,11 +43,11 @@ const schemaVersion = "pbench/2"
 // schemaDoc is the embedded header documenting every field of the report;
 // it is emitted first so the committed JSON file is self-describing.
 var schemaDoc = []string{
-	"schema: report layout version (pbench/2: explorer fields always present, zero for micros; adds SPILL entries and their store fields)",
+	"schema: report layout version (pbench/2: explorer fields always present, zero for micros; adds SPILL entries and their store fields; ABS entries reuse the explorer fields for the coverability search)",
 	"go, goos, goarch, cpus: toolchain and host the numbers were taken on",
 	"generated: RFC3339 timestamp of the run",
 	"entries[].name: unique benchmark id, experiment/sample/parameters",
-	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin), SPILL (disk-backed visited store), FP (fingerprint micro), CLONE (global clone micro)",
+	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin), SPILL (disk-backed visited store), ABS (counter-abstraction coverability; states = markings), FP (fingerprint micro), CLONE (global clone micro)",
 	"entries[].sample: embedded P sample the entry compiles",
 	"entries[].mode: exploration mode for explorer entries (delay-bounded)",
 	"entries[].bound: delay budget for explorer entries",
@@ -236,6 +238,38 @@ func spillEntry(benchtime time.Duration, iters int, sample string, prog *ir.Prog
 	}
 	if ns > 0 {
 		e.StatesPerSec = float64(last.Stats.DistinctStates) / (float64(ns) * 1e-9)
+	}
+	return e
+}
+
+// absEntry measures the counter-abstraction coverability pass (internal/
+// abstract) on one sample: full translation plus the Karp–Miller search.
+// The explorer fields are reused — states is the marking count, reduced
+// states the POR-reduced expansions — so the regression gate treats
+// markings/sec like states/sec.
+func absEntry(benchtime time.Duration, iters int, sample string, prog *ir.Program, maxMarkings int) entry {
+	rep := analysis.Analyze(prog)
+	var last *abstract.Result
+	n, ns, allocs, bytes := measure(benchtime, iters, 1, func() {
+		last = abstract.Analyze(prog, abstract.Options{Facts: rep, MaxMarkings: maxMarkings})
+	})
+	e := entry{
+		Name:          fmt.Sprintf("ABS/%s", sample),
+		Experiment:    "ABS",
+		Sample:        sample,
+		Mode:          "abstract",
+		Iterations:    n,
+		NsPerOp:       ns,
+		AllocsPerOp:   allocs,
+		BytesPerOp:    bytes,
+		States:        last.Markings,
+		ReducedStates: last.Reduced,
+	}
+	if last.Truncated {
+		e.MaxStates = maxMarkings
+	}
+	if ns > 0 {
+		e.StatesPerSec = float64(last.Markings) / (float64(ns) * 1e-9)
 	}
 	return e
 }
@@ -442,6 +476,25 @@ func main() {
 			continue
 		}
 		add(spillEntry(*benchtime, *iters, s.sample, compileOrDie(s.sample, s.src), s.bound, s.cap, s.shards, s.memPerShard))
+	}
+
+	// ABS: the parameterized coverability pass on the proof benchmark
+	// (german-2 closes with a safe verdict), a real-bug benchmark
+	// (usb-hsm reaches its counterexamples), and the leader-election ring
+	// (a small abstract space with an indefinite counterexample).
+	absCorpus := []struct {
+		sample, src string
+		cap         int
+	}{
+		{"german-2", psamples.German(2), 400_000},
+		{"usb-hsm", psamples.USBHub, 400_000},
+		{"ring", psamples.Ring(3), 400_000},
+	}
+	for _, s := range absCorpus {
+		if re != nil && !re.MatchString("ABS/"+s.sample) {
+			continue
+		}
+		add(absEntry(*benchtime, *iters, s.sample, compileOrDie(s.sample, s.src), s.cap))
 	}
 
 	if re == nil || re.MatchString("FP/") {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"pgo/internal/abstract"
 	"pgo/internal/analysis"
 	"pgo/internal/cmdutil"
 	"pgo/internal/codegen"
@@ -35,6 +36,7 @@ func main() {
 		checkTo   = flag.Bool("check", false, "type-check and analyze only; emit nothing")
 		dumpIR    = flag.Bool("ir", false, "print the lowered tables (before erasure) instead of Go code")
 		noAnalyze = flag.Bool("no-analyze", false, "with -check, skip the IR-level static analysis")
+		abstr     = flag.Bool("abstract", false, "with -check, also run the parameterized coverability pass (P401/P402/P403)")
 		werror    = flag.Bool("Werror", false, "treat lint and analysis warnings as errors")
 	)
 	flag.Usage = func() {
@@ -71,7 +73,13 @@ func main() {
 		errs, warns := 0, 0
 		if !*noAnalyze {
 			rep := analysis.Analyze(prog)
-			for _, f := range rep.Findings {
+			findings := rep.Findings
+			if *abstr {
+				res := abstract.Analyze(prog, abstract.Options{Facts: rep})
+				findings = append(findings, res.Findings()...)
+				analysis.SortFindings(findings)
+			}
+			for _, f := range findings {
 				fmt.Fprintf(os.Stderr, "%s\n", f)
 				switch f.Severity {
 				case analysis.SevError:

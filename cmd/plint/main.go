@@ -19,14 +19,17 @@ import (
 	"fmt"
 	"os"
 
+	"pgo/internal/abstract"
 	"pgo/internal/analysis"
 	"pgo/internal/cmdutil"
 )
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit a machine-readable JSON report per input")
-		werror  = flag.Bool("Werror", false, "count warnings as errors for the exit status")
+		jsonOut  = flag.Bool("json", false, "emit a machine-readable JSON report per input")
+		werror   = flag.Bool("Werror", false, "count warnings as errors for the exit status")
+		abstr    = flag.Bool("abstract", false, "additionally run the parameterized counter-abstraction coverability pass (P401/P402/P403 findings)")
+		absLimit = flag.Int("abstract-markings", 0, "marking budget for -abstract (0 = default)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: plint [flags] <file.p | sample:NAME | -> ...\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -51,11 +54,16 @@ func main() {
 			worsen(2)
 			continue
 		}
-		findings, _, err := analysis.Run(name, src)
+		findings, rep, prog, err := analysis.RunWithProgram(name, src)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "plint: %v\n", err)
 			worsen(2)
 			continue
+		}
+		if *abstr {
+			res := abstract.Analyze(prog, abstract.Options{Facts: rep, MaxMarkings: *absLimit})
+			findings = append(findings, res.Findings()...)
+			analysis.SortFindings(findings)
 		}
 		if *jsonOut {
 			if err := analysis.WriteJSON(os.Stdout, name, findings); err != nil {

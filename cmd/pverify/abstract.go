@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pgo/internal/abstract"
+	"pgo/internal/analysis"
+	"pgo/internal/check"
+	"pgo/internal/cmdutil"
+	"pgo/internal/ir"
+)
+
+// runAbstract is the -abstract path: instead of exploring a closed instance,
+// it runs the counter-abstraction coverability analysis (internal/abstract),
+// which decides assertion and unhandled-event safety for every instance
+// count. Abstract counterexamples are replayed concretely through the
+// ordinary explorer to confirm them or mark them possibly spurious; the
+// exit status is 1 only for a replay-confirmed counterexample (an abstract
+// one alone is a warning, not a verdict — the abstraction over-approximates).
+func runAbstract(name string, prog *ir.Program, jsonOut, traces bool, maxMarkings int) {
+	rep := analysis.Analyze(prog)
+	res := abstract.Analyze(prog, abstract.Options{Facts: rep, MaxMarkings: maxMarkings})
+
+	statuses := make([]abstract.ReplayStatus, len(res.Errors))
+	var replayRes *check.Result
+	if res.Verdict == abstract.VerdictCounterexample {
+		sigs := make([]check.AbsSignature, len(res.Errors))
+		for i, ae := range res.Errors {
+			sigs[i] = check.AbsSignature{Kind: ae.Kind, Type: ae.Machine, Event: ae.Event}
+		}
+		hits, rres, err := check.ReplaySignatures(prog, sigs, check.DefaultReplayOptions())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pverify: abstract replay: %v\n", err)
+		} else {
+			replayRes = rres
+			for i, hit := range hits {
+				if hit {
+					statuses[i] = abstract.ReplayConfirmed
+				} else {
+					statuses[i] = abstract.ReplaySpurious
+				}
+			}
+		}
+	}
+	findings := res.FindingsWithReplay(statuses)
+
+	confirmed := 0
+	for _, s := range statuses {
+		if s == abstract.ReplayConfirmed {
+			confirmed++
+		}
+	}
+
+	if jsonOut {
+		emitAbstractJSON(name, res, statuses, replayRes, findings, confirmed)
+	} else {
+		printAbstract(name, res, statuses, replayRes, findings, traces)
+	}
+	if confirmed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printAbstract(name string, res *abstract.Result, statuses []abstract.ReplayStatus,
+	replayRes *check.Result, findings []analysis.Finding, traces bool) {
+
+	singles, counted := 0, 0
+	for _, c := range res.Classes {
+		if c.Singleton {
+			singles++
+		} else {
+			counted++
+		}
+	}
+	fmt.Printf("%s: abstract coverability: %s — %d markings (%d POR-reduced), %d places, %d singleton + %d counted classes, %v\n",
+		name, res.Verdict, res.Markings, res.Reduced, res.Places, singles, counted, res.Elapsed.Round(1_000_000))
+	if res.Unsupported != "" {
+		fmt.Printf("  unsupported: %s\n", res.Unsupported)
+	}
+	if res.Truncated {
+		fmt.Println("  (budget exhausted: nothing is proven)")
+	}
+	for _, f := range findings {
+		fmt.Printf("  %s\n", f)
+	}
+	if replayRes != nil {
+		trunc := ""
+		if replayRes.Stats.Truncated {
+			trunc = ", truncated"
+		}
+		fmt.Printf("  replay: %d distinct concrete states, %d violations%s\n",
+			replayRes.Stats.DistinctStates, len(replayRes.Violations), trunc)
+	}
+	if traces {
+		for i, ae := range res.Errors {
+			fmt.Printf("abstract trace (%s, %s):\n", ae.Message, statuses[i])
+			for _, step := range ae.Trace {
+				fmt.Printf("  %s\n", step)
+			}
+		}
+	}
+}
+
+// jsonAbstractReport is the -abstract -json schema: the `abstract` block
+// carries the coverability outcome (verdict, basis size, marking count), and
+// `analysis` renders the same outcome as stable-coded P4xx findings.
+type jsonAbstractReport struct {
+	Program  string                 `json:"program"`
+	Abstract jsonAbstract           `json:"abstract"`
+	Analysis []analysis.JSONFinding `json:"analysis"`
+	OK       bool                   `json:"ok"`
+}
+
+type jsonAbstract struct {
+	Verdict     string         `json:"verdict"`
+	Unsupported string         `json:"unsupported,omitempty"`
+	Truncated   bool           `json:"truncated"`
+	Markings    int            `json:"markings"`
+	Reduced     int            `json:"reduced"`
+	Places      int            `json:"places"`
+	ElapsedMS   int64          `json:"elapsed_ms"`
+	Classes     []jsonAbsClass `json:"classes"`
+	Errors      []jsonAbsError `json:"errors"`
+	Omegas      []jsonAbsOmega `json:"omegas"`
+	Replay      *jsonAbsReplay `json:"replay,omitempty"`
+}
+
+type jsonAbsClass struct {
+	Name      string `json:"name"`
+	Machine   string `json:"machine"`
+	Singleton bool   `json:"singleton"`
+}
+
+type jsonAbsError struct {
+	Kind     string   `json:"kind"`
+	Machine  string   `json:"machine"`
+	State    string   `json:"state,omitempty"`
+	Event    string   `json:"event,omitempty"`
+	Message  string   `json:"message"`
+	Definite bool     `json:"definite"`
+	Replay   string   `json:"replay"`
+	Trace    []string `json:"trace"`
+}
+
+type jsonAbsOmega struct {
+	Class string `json:"class"`
+	Event string `json:"event"`
+}
+
+type jsonAbsReplay struct {
+	DistinctStates int  `json:"distinct_states"`
+	Violations     int  `json:"violations"`
+	Truncated      bool `json:"truncated"`
+}
+
+func emitAbstractJSON(name string, res *abstract.Result, statuses []abstract.ReplayStatus,
+	replayRes *check.Result, findings []analysis.Finding, confirmed int) {
+
+	ab := jsonAbstract{
+		Verdict:     res.Verdict.String(),
+		Unsupported: res.Unsupported,
+		Truncated:   res.Truncated,
+		Markings:    res.Markings,
+		Reduced:     res.Reduced,
+		Places:      res.Places,
+		ElapsedMS:   res.Elapsed.Milliseconds(),
+		Classes:     []jsonAbsClass{},
+		Errors:      []jsonAbsError{},
+		Omegas:      []jsonAbsOmega{},
+	}
+	for _, c := range res.Classes {
+		ab.Classes = append(ab.Classes, jsonAbsClass(c))
+	}
+	for i, ae := range res.Errors {
+		ab.Errors = append(ab.Errors, jsonAbsError{
+			Kind: ae.Kind.String(), Machine: ae.Machine, State: ae.State,
+			Event: ae.Event, Message: ae.Message, Definite: ae.Definite,
+			Replay: statuses[i].String(), Trace: ae.Trace,
+		})
+	}
+	for _, oq := range res.Omegas {
+		ab.Omegas = append(ab.Omegas, jsonAbsOmega(oq))
+	}
+	if replayRes != nil {
+		ab.Replay = &jsonAbsReplay{
+			DistinctStates: replayRes.Stats.DistinctStates,
+			Violations:     len(replayRes.Violations),
+			Truncated:      replayRes.Stats.Truncated,
+		}
+	}
+	rep := jsonAbstractReport{
+		Program:  name,
+		Abstract: ab,
+		Analysis: analysis.FindingsJSON(findings),
+		OK:       confirmed == 0 && res.Verdict != abstract.VerdictUnsupported,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		cmdutil.Fatalf("pverify: %v", err)
+	}
+}

@@ -68,6 +68,9 @@ func main() {
 		ckptStop    = flag.Int("checkpoint-stop", 0, "checkpoint and suspend once N distinct states are reached — exit code 3 (requires -store-dir)")
 		resumeDir   = flag.String("resume", "", "resume a checkpointed run from this run directory (takes no program argument)")
 		progress    = flag.Int("progress", 0, "print a live distinct-state counter to stderr every N states (0 = off)")
+
+		abstractMode = flag.Bool("abstract", false, "run the parameterized counter-abstraction coverability analysis (P401/P402/P403) instead of explicit-state exploration; abstract counterexamples are confirmed by concrete replay")
+		absMarkings  = flag.Int("abstract-markings", 0, "marking budget for -abstract (0 = default)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pverify [flags] <file.p | sample:NAME | ->\n       pverify -resume <dir> [knob flags]\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -79,8 +82,8 @@ func main() {
 		if flag.NArg() != 0 {
 			cmdutil.Fatalf("pverify: -resume takes no program argument (the run directory records the program)")
 		}
-		if *sweep >= 0 || *liveness || *coverage {
-			cmdutil.Fatalf("pverify: -resume is incompatible with -sweep, -liveness, and -coverage")
+		if *sweep >= 0 || *liveness || *coverage || *abstractMode {
+			cmdutil.Fatalf("pverify: -resume is incompatible with -sweep, -liveness, -coverage, and -abstract")
 		}
 		runResume(*resumeDir, resumeKnobs{
 			maxStates: *maxStates, workers: *workers, storeMem: *storeMem,
@@ -106,6 +109,14 @@ func main() {
 	}
 	if err != nil {
 		os.Exit(1)
+	}
+
+	if *abstractMode {
+		if *sweep >= 0 || *liveness || *coverage || *chaos || *faults > 0 || *storeDir != "" {
+			cmdutil.Fatalf("pverify: -abstract is incompatible with -sweep, -liveness, -coverage, -chaos, -faults, and -store-dir")
+		}
+		runAbstract(name, prog, *jsonOut, *traces, *absMarkings)
+		return
 	}
 
 	// Static analysis runs before exploration: its predictions frame what

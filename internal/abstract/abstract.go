@@ -1,0 +1,325 @@
+package abstract
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pgo/internal/analysis"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/source"
+)
+
+// Diagnostic codes of the parameterized-verification pass. Like P1xx–P3xx,
+// these are part of the tool interface and are never renumbered.
+const (
+	// CodeParamSafe: the coverability search proved that no assertion or
+	// unhandled-event violation is reachable for any number of machine
+	// instances and any queue lengths.
+	CodeParamSafe = "P401"
+	// CodeParamCounterexample: the abstraction reaches an error
+	// configuration; the abstract trace is rendered, and callers replay it
+	// concretely at small instance counts to confirm or mark it spurious.
+	CodeParamCounterexample = "P402"
+	// CodeParamUnboundedQueue: ω-acceleration proved a pooled inbox can
+	// grow without bound — the sound upgrade of plint's P302–P304
+	// boundedness heuristics.
+	CodeParamUnboundedQueue = "P403"
+)
+
+// Options configures the coverability analysis. Zero values select the
+// documented defaults.
+type Options struct {
+	// Facts is the static-analysis report of the same program; its
+	// SendTargets points-to facts resolve sends whose target escapes the
+	// value abstraction. Optional: without it such sends are unsupported.
+	Facts *analysis.Report
+	// MaxMarkings bounds the number of expanded coverability-tree nodes.
+	MaxMarkings int
+	// MaxPaths bounds decision paths enumerated per macro-step closure.
+	MaxPaths int
+	// MaxSteps bounds statements executed per decision path.
+	MaxSteps int
+	// QueuePrefix is the exact FIFO inbox prefix kept per singleton
+	// instance before entries spill to the order-abstracted pool.
+	QueuePrefix int
+	// MaxStack bounds the abstract call-stack depth.
+	MaxStack int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxMarkings <= 0 {
+		o.MaxMarkings = 400_000
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 256
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 20_000
+	}
+	if o.QueuePrefix <= 0 {
+		o.QueuePrefix = 16
+	}
+	if o.MaxStack <= 0 {
+		o.MaxStack = 12
+	}
+	return o
+}
+
+// Verdict is the overall outcome of the analysis.
+type Verdict int
+
+const (
+	// VerdictSafe: the search terminated with no reachable abstract error —
+	// the program is safe for every instance count (P401).
+	VerdictSafe Verdict = iota
+	// VerdictCounterexample: at least one abstract error configuration is
+	// coverable (P402 findings carry the traces).
+	VerdictCounterexample
+	// VerdictInconclusive: a budget was exhausted before the search
+	// completed and no error was found; nothing is proven.
+	VerdictInconclusive
+	// VerdictUnsupported: the program uses a construct outside the
+	// abstraction's fragment.
+	VerdictUnsupported
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSafe:
+		return "safe"
+	case VerdictCounterexample:
+		return "counterexample"
+	case VerdictInconclusive:
+		return "inconclusive"
+	default:
+		return "unsupported"
+	}
+}
+
+// AbsError is one abstract error class reached by the search.
+type AbsError struct {
+	Kind    core.ErrKind
+	Machine string // machine type in which the error manifests
+	State   string // control state, when one is identified
+	Event   string // event involved, when one is identified
+	Message string
+	// Definite: the witness path used only decisions a concrete execution
+	// could take (no abstraction-induced branch, no pool reordering), so
+	// the error is real, not a possible artifact of the abstraction.
+	Definite bool
+	// Trace is the abstract counterexample: one label per macro step.
+	Trace []string
+	Span  source.Span
+}
+
+// OmegaQueue is one pooled inbox proven unbounded by ω-acceleration.
+type OmegaQueue struct {
+	Class string // receiver instance class
+	Event string
+}
+
+// ClassSummary describes one instance class of the counter system.
+type ClassSummary struct {
+	Name      string
+	Machine   string
+	Singleton bool
+}
+
+// Result is the outcome of one coverability analysis.
+type Result struct {
+	Verdict     Verdict
+	Unsupported string // reason, when Verdict is VerdictUnsupported
+	// Truncated: MaxMarkings or MaxPaths was exhausted (a safe verdict is
+	// downgraded to inconclusive when set).
+	Truncated bool
+
+	Errors []AbsError
+	Omegas []OmegaQueue
+
+	Classes  []ClassSummary
+	Markings int // coverability-tree nodes expanded
+	Reduced  int // nodes expanded with a POR singleton ample set
+	Places   int // counter dimensions materialized (basis size)
+	Elapsed  time.Duration
+}
+
+// Analyze runs the counter-abstraction coverability analysis over p, which
+// must be an unerased program (ghost machines model the environment, as in
+// the explicit-state explorers).
+func Analyze(p *ir.Program, opts Options) *Result {
+	start := time.Now()
+	t := newTr(p, opts.withDefaults())
+	res := &Result{}
+	for _, ci := range t.classes {
+		res.Classes = append(res.Classes, ClassSummary{
+			Name:      ci.name,
+			Machine:   p.Machines[ci.typ].Name,
+			Singleton: ci.singleton,
+		})
+	}
+
+	eng := newEngine(t)
+	eng.run(initialMarking(t))
+
+	res.Markings = eng.markings
+	res.Reduced = eng.reduced
+	res.Places = len(t.in.places)
+	res.Truncated = eng.truncated || t.truncated
+
+	for _, key := range eng.errOrd {
+		rec := eng.errs[key]
+		res.Errors = append(res.Errors, AbsError{
+			Kind:     rec.info.kind,
+			Machine:  p.Machines[rec.info.mtype].Name,
+			State:    rec.info.state,
+			Event:    eventName(p, rec.info),
+			Message:  rec.info.describe(p),
+			Definite: rec.exact,
+			Trace:    eng.trace(rec),
+			Span:     rec.info.span,
+		})
+	}
+	for _, pk := range eng.omegaOrd {
+		res.Omegas = append(res.Omegas, OmegaQueue{
+			Class: t.className(pk.class),
+			Event: p.Events[pk.ev].Name,
+		})
+	}
+	sort.Slice(res.Omegas, func(i, j int) bool {
+		a, b := res.Omegas[i], res.Omegas[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.Event < b.Event
+	})
+
+	switch {
+	case t.unsupported != "":
+		res.Verdict = VerdictUnsupported
+		res.Unsupported = t.unsupported
+	case len(res.Errors) > 0:
+		res.Verdict = VerdictCounterexample
+	case res.Truncated:
+		res.Verdict = VerdictInconclusive
+	default:
+		res.Verdict = VerdictSafe
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func eventName(p *ir.Program, ei errInfo) string {
+	if !ei.hasEv {
+		return ""
+	}
+	return p.Events[ei.event].Name
+}
+
+// initialMarking builds the root marking: one token for the main machine's
+// initial configuration (the INIT rule).
+func initialMarking(t *tr) marking {
+	mt := t.p.Machines[t.p.Main]
+	vals := make([]Val, len(mt.Vars))
+	for i := range vals {
+		vals[i] = vNull
+	}
+	d := &decider{}
+	c := t.newCfg(0, vals)
+	for _, init := range t.p.MainInits {
+		v, err := t.eval(c, init.Expr, d)
+		if err != nil {
+			// Main initializers are constant expressions; evaluation
+			// cannot fail, but bail to unsupported defensively.
+			t.unsup("main initializer failed to evaluate abstractly")
+			v = Val{Kind: VAny}
+		}
+		c.vars[init.Var] = v
+	}
+	loc := t.in.intern(c)
+	return marking{loc: 1}
+}
+
+// Findings renders the result as stable-coded findings alongside the
+// P1xx–P3xx analysis codes. P402 messages carry the abstract error; callers
+// that replay counterexamples concretely annotate them via the Confirmed
+// parameter of FindingsWithReplay.
+func (r *Result) Findings() []analysis.Finding {
+	return r.findings(nil)
+}
+
+// ReplayStatus classifies the concrete replay of one P402 counterexample.
+type ReplayStatus int
+
+const (
+	// ReplayNotRun: no concrete replay was attempted.
+	ReplayNotRun ReplayStatus = iota
+	// ReplayConfirmed: an explicit-state explorer reproduced an error of
+	// the same class at a small instance count — the defect is real.
+	ReplayConfirmed
+	// ReplaySpurious: bounded exploration found no matching concrete
+	// error; the counterexample may be an artifact of the abstraction.
+	ReplaySpurious
+)
+
+func (s ReplayStatus) String() string {
+	switch s {
+	case ReplayConfirmed:
+		return "confirmed"
+	case ReplaySpurious:
+		return "possibly-spurious"
+	default:
+		return "not-replayed"
+	}
+}
+
+// FindingsWithReplay renders findings with per-error replay annotations;
+// replay[i] classifies Errors[i] (shorter slices leave the rest ReplayNotRun).
+func (r *Result) FindingsWithReplay(replay []ReplayStatus) []analysis.Finding {
+	return r.findings(replay)
+}
+
+func (r *Result) findings(replay []ReplayStatus) []analysis.Finding {
+	var out []analysis.Finding
+	switch r.Verdict {
+	case VerdictSafe:
+		out = append(out, analysis.Finding{
+			Code:     CodeParamSafe,
+			Severity: analysis.SevInfo,
+			Message: fmt.Sprintf(
+				"parameterized-safe: no assertion or unhandled-event violation is reachable for any instance count (%d markings over a basis of %d places)",
+				r.Markings, r.Places),
+		})
+	case VerdictCounterexample:
+		for i, ae := range r.Errors {
+			status := ReplayNotRun
+			if i < len(replay) {
+				status = replay[i]
+			}
+			msg := fmt.Sprintf("abstract counterexample: %s [%s]", ae.Message, status)
+			out = append(out, analysis.Finding{
+				Code:     CodeParamCounterexample,
+				Severity: analysis.SevWarn,
+				Span:     ae.Span,
+				Machine:  ae.Machine,
+				State:    ae.State,
+				Event:    ae.Event,
+				Message:  msg,
+			})
+		}
+	}
+	for _, oq := range r.Omegas {
+		out = append(out, analysis.Finding{
+			Code:     CodeParamUnboundedQueue,
+			Severity: analysis.SevWarn,
+			Machine:  oq.Class,
+			Event:    oq.Event,
+			Message: fmt.Sprintf(
+				"pending %s events for %s instances grow without bound as the instance count increases",
+				oq.Event, oq.Class),
+		})
+	}
+	analysis.SortFindings(out)
+	return out
+}

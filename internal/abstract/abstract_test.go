@@ -1,0 +1,219 @@
+package abstract_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgo/internal/abstract"
+	"pgo/internal/analysis"
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+)
+
+// analyze compiles src and runs the coverability pass with the given
+// marking budget (0 = the package default).
+func analyze(t *testing.T, name, src string, maxMarkings int) (*abstract.Result, *ir.Program) {
+	t.Helper()
+	prog, diags, err := compile.Source(name, src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v\n%v", name, err, diags)
+	}
+	rep := analysis.Analyze(prog)
+	return abstract.Analyze(prog, abstract.Options{Facts: rep, MaxMarkings: maxMarkings}), prog
+}
+
+func readTestdata(t *testing.T, base string) string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func hasCode(fs []analysis.Finding, code string) bool {
+	for _, f := range fs {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// German's directory protocol with two clients is safe; the coverability
+// pass must terminate on its own (no budget truncation) and certify it
+// with a P401. This is the pass's flagship positive result: the search
+// closes only because symmetry reduction and the inbox abstraction tame
+// the interleaving explosion.
+func TestGermanParameterizedSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large abstract state space")
+	}
+	res, _ := analyze(t, "german2", psamples.German(2), 0)
+	if res.Verdict != abstract.VerdictSafe {
+		t.Fatalf("verdict = %v, want safe (unsupported=%q truncated=%v)",
+			res.Verdict, res.Unsupported, res.Truncated)
+	}
+	if res.Truncated {
+		t.Fatal("safe verdict with truncated search")
+	}
+	if fs := res.Findings(); !hasCode(fs, "P401") {
+		t.Fatalf("no P401 finding in %v", fs)
+	}
+}
+
+// The seeded-bug variant must NOT be certified: the abstraction finds the
+// exclusive-grant assertion violation, and because the error path takes
+// only concretely-executable decisions it is flagged definite.
+func TestGermanBuggyCounterexample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large abstract state space")
+	}
+	res, _ := analyze(t, "german2-buggy", psamples.GermanBuggy(2), 0)
+	if res.Verdict != abstract.VerdictCounterexample {
+		t.Fatalf("verdict = %v, want counterexample", res.Verdict)
+	}
+	definite := false
+	for _, ae := range res.Errors {
+		if ae.Kind == core.ErrAssert && ae.Definite {
+			definite = true
+		}
+	}
+	if !definite {
+		t.Fatalf("no definite assertion counterexample in %+v", res.Errors)
+	}
+}
+
+// mutex_param spawns an unbounded client population: the pass must prove
+// the server's holder assertion for every client count (P401) and at the
+// same time prove the Acquire backlog unbounded (P403) — the
+// counter-abstraction upgrade of plint's queue-growth heuristics.
+func TestMutexParamSafeWithOmega(t *testing.T) {
+	res, _ := analyze(t, "mutex_param", readTestdata(t, "mutex_param.p"), 0)
+	if res.Verdict != abstract.VerdictSafe {
+		t.Fatalf("verdict = %v, want safe (unsupported=%q truncated=%v)",
+			res.Verdict, res.Unsupported, res.Truncated)
+	}
+	fs := res.Findings()
+	if !hasCode(fs, "P401") || !hasCode(fs, "P403") {
+		t.Fatalf("want P401 and P403, got %v", fs)
+	}
+	foundAcquire := false
+	for _, oq := range res.Omegas {
+		if oq.Event == "Acquire" {
+			foundAcquire = true
+		}
+	}
+	if !foundAcquire {
+		t.Fatalf("omega set %v does not include the Acquire backlog", res.Omegas)
+	}
+}
+
+// german_unsafe_paramN is safe at every closed size the directory was
+// built for but breaks once a third cache exists; only the parameterized
+// pass can see that. The abstract counterexample must replay concretely:
+// the explicit explorer reproduces the assertion on a real schedule, and
+// the finding is reported as a confirmed P402.
+func TestUnsafeParamReplayConfirmed(t *testing.T) {
+	res, prog := analyze(t, "german_unsafe_paramN", readTestdata(t, "german_unsafe_paramN.p"), 0)
+	if res.Verdict != abstract.VerdictCounterexample {
+		t.Fatalf("verdict = %v, want counterexample", res.Verdict)
+	}
+
+	sigs := make([]check.AbsSignature, len(res.Errors))
+	for i, ae := range res.Errors {
+		sigs[i] = check.AbsSignature{Kind: ae.Kind, Type: ae.Machine, Event: ae.Event}
+	}
+	hits, _, err := check.ReplaySignatures(prog, sigs, check.DefaultReplayOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	statuses := make([]abstract.ReplayStatus, len(res.Errors))
+	confirmedAssert := false
+	for i, hit := range hits {
+		if hit {
+			statuses[i] = abstract.ReplayConfirmed
+			if res.Errors[i].Machine == "Host" {
+				confirmedAssert = true
+			}
+		} else {
+			statuses[i] = abstract.ReplaySpurious
+		}
+	}
+	if !confirmedAssert {
+		t.Fatalf("Host assertion not confirmed by replay; errors=%+v hits=%v", res.Errors, hits)
+	}
+	found := false
+	for _, f := range res.FindingsWithReplay(statuses) {
+		if f.Code == "P402" && strings.Contains(f.Message, "[confirmed]") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no confirmed P402 finding")
+	}
+}
+
+// The engine's exploration order is pinned (sorted fire order), so the
+// marking count — which goes into findings, reports, and benchmarks — must
+// not wobble between runs.
+func TestDeterministicMarkings(t *testing.T) {
+	src := readTestdata(t, "mutex_param.p")
+	a, _ := analyze(t, "mutex_param", src, 0)
+	b, _ := analyze(t, "mutex_param", src, 0)
+	if a.Markings != b.Markings || a.Reduced != b.Reduced {
+		t.Fatalf("nondeterministic search: %d/%d vs %d/%d markings/reduced",
+			a.Markings, a.Reduced, b.Markings, b.Reduced)
+	}
+}
+
+// Soundness crosscheck over the whole sample corpus: whenever the explicit
+// explorer finds a real violation within a bounded search, the abstraction
+// must not certify the program (P401 / VerdictSafe). The converse is not
+// checked — the abstraction may report counterexamples the bounded
+// concrete search cannot reach (over-approximation, larger N).
+func TestAbstractSoundnessCrossCheck(t *testing.T) {
+	// Marking budgets for samples whose abstract search is slow; the
+	// property is budget-proof (a truncated run never reports safe), so a
+	// small budget only trades completeness for time.
+	budgets := map[string]int{
+		"german":       4_000,
+		"german-buggy": 4_000,
+		"usb-dsm":      8_000,
+		"usb-psm2":     20_000,
+		"switchled":    20_000,
+	}
+	for _, s := range psamples.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if testing.Short() && budgets[s.Name] > 0 {
+				t.Skip("large state space")
+			}
+			prog, diags, err := compile.Source(s.Name, s.Source)
+			if err != nil {
+				t.Fatalf("compile: %v\n%v", err, diags)
+			}
+			conc, err := check.Explore(prog, check.Options{
+				Mode: check.DepthBounded, Bound: 14, MaxStates: 20_000, POR: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			budget := budgets[s.Name]
+			if budget == 0 {
+				budget = 50_000
+			}
+			rep := analysis.Analyze(prog)
+			res := abstract.Analyze(prog, abstract.Options{Facts: rep, MaxMarkings: budget})
+			if len(conc.Violations) > 0 && res.Verdict == abstract.VerdictSafe {
+				t.Fatalf("UNSOUND: %d concrete violations (first: %v) but abstract verdict is safe",
+					len(conc.Violations), conc.Violations[0].Err)
+			}
+		})
+	}
+}

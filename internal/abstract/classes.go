@@ -1,0 +1,166 @@
+package abstract
+
+import (
+	"fmt"
+
+	"pgo/internal/ir"
+)
+
+// classID indexes translation.classes. Instances are grouped by creation
+// site: one class per SNew statement plus one for the main machine. The
+// grouping is the abstraction's notion of identity — references to a
+// singleton class denote a unique machine, references to a many class
+// denote "some instance created here".
+type classID int32
+
+type classInfo struct {
+	id   classID
+	typ  ir.MachineTypeID
+	site *ir.Stmt // nil for the main-machine class
+	// singleton reports that the creation site provably executes at most
+	// once across the whole program, so at most one instance of this class
+	// ever exists.
+	singleton bool
+	name      string
+}
+
+// buildClasses enumerates creation-site classes and computes the
+// singleton/many classification as a greatest fixpoint: every class starts
+// singleton and is demoted when its site sits in a loop, in a body that can
+// rerun (state exits, action handlers, re-enterable state entries), or in a
+// machine type that may itself have more than one instance.
+func buildClasses(p *ir.Program) []*classInfo {
+	var classes []*classInfo
+	// The main machine is created exactly once by the runtime.
+	classes = append(classes, &classInfo{typ: p.Main, site: nil, singleton: true})
+
+	// siteCtx records where each SNew statement sits.
+	type siteCtx struct {
+		class     *classInfo
+		container ir.MachineTypeID
+		rerun     bool // the enclosing body can execute more than once per instance
+		inLoop    bool
+	}
+	var sites []*siteCtx
+
+	collect := func(container ir.MachineTypeID, body []*ir.Stmt, rerun bool) {
+		var walk func(ss []*ir.Stmt, inLoop bool)
+		walk = func(ss []*ir.Stmt, inLoop bool) {
+			for _, s := range ss {
+				if s.Op == ir.SNew {
+					ci := &classInfo{typ: s.Machine, site: s, singleton: true}
+					classes = append(classes, ci)
+					sites = append(sites, &siteCtx{class: ci, container: container, rerun: rerun, inLoop: inLoop})
+				}
+				walk(s.Body, inLoop || s.Op == ir.SWhile)
+				walk(s.Else, inLoop)
+			}
+		}
+		walk(body, false)
+	}
+
+	for _, m := range p.Machines {
+		// A state's entry body reruns iff the state can be entered again
+		// after its first activation: any transition or call statement
+		// targets it. (Popping back to a frame resumes it without rerunning
+		// the entry.)
+		reenter := make([]bool, len(m.States))
+		for _, st := range m.States {
+			for e := range p.Events {
+				if tr := st.Trans[e]; tr.Kind != ir.TransNone {
+					reenter[tr.Target] = true
+				}
+			}
+			ir.WalkStmts(st.Entry, func(s *ir.Stmt) {
+				if s.Op == ir.SCallState {
+					reenter[s.State] = true
+				}
+			})
+			ir.WalkStmts(st.Exit, func(s *ir.Stmt) {
+				if s.Op == ir.SCallState {
+					reenter[s.State] = true
+				}
+			})
+		}
+		for _, a := range m.Actions {
+			ir.WalkStmts(a.Body, func(s *ir.Stmt) {
+				if s.Op == ir.SCallState {
+					reenter[s.State] = true
+				}
+			})
+		}
+		for si, st := range m.States {
+			collect(m.ID, st.Entry, reenter[si])
+			// Exit bodies run on every state exit; conservatively rerunnable.
+			collect(m.ID, st.Exit, true)
+		}
+		for _, a := range m.Actions {
+			// Action handlers run once per delivered event.
+			collect(m.ID, a.Body, true)
+		}
+	}
+
+	// classesOf[t] lists the classes instantiating machine type t.
+	classesOf := make([][]*classInfo, len(p.Machines))
+	for _, ci := range classes {
+		classesOf[ci.typ] = append(classesOf[ci.typ], ci)
+	}
+
+	// Demote to fixpoint. typeSingleton(t) holds when type t provably has
+	// at most one instance: exactly one class, and that class singleton.
+	typeSingleton := func(t ir.MachineTypeID) bool {
+		cs := classesOf[t]
+		return len(cs) == 1 && cs[0].singleton
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range sites {
+			if !sc.class.singleton {
+				continue
+			}
+			if sc.inLoop || sc.rerun || !typeSingleton(sc.container) {
+				sc.class.singleton = false
+				changed = true
+			}
+		}
+	}
+
+	// Names: the type name, disambiguated by an ordinal when several sites
+	// create the same type.
+	ordinal := make(map[ir.MachineTypeID]int)
+	for i, ci := range classes {
+		ci.id = classID(i)
+		tn := p.Machines[ci.typ].Name
+		if len(classesOf[ci.typ]) > 1 {
+			ordinal[ci.typ]++
+			ci.name = fmt.Sprintf("%s#%d", tn, ordinal[ci.typ])
+		} else {
+			ci.name = tn
+		}
+	}
+	return classes
+}
+
+// typeCanHalt reports, per machine type, whether any reachable code of the
+// type contains a delete statement — used to decide whether a send to a
+// many-class reference must fork an ErrSendDeleted outcome.
+func typeCanHalt(p *ir.Program) []bool {
+	out := make([]bool, len(p.Machines))
+	for ti, m := range p.Machines {
+		found := false
+		see := func(s *ir.Stmt) {
+			if s.Op == ir.SDelete {
+				found = true
+			}
+		}
+		for _, st := range m.States {
+			ir.WalkStmts(st.Entry, see)
+			ir.WalkStmts(st.Exit, see)
+		}
+		for _, a := range m.Actions {
+			ir.WalkStmts(a.Body, see)
+		}
+		out[ti] = found
+	}
+	return out
+}

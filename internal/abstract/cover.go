@@ -1,0 +1,411 @@
+package abstract
+
+import (
+	"fmt"
+	"slices"
+
+	"pgo/internal/analysis"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// kmNode is one node of the Karp–Miller coverability tree. The incoming
+// edge (fired place, optional consumed pool place, effect) is stored
+// compactly so counterexample traces can be rendered lazily by walking the
+// parent chain.
+type kmNode struct {
+	m      marking
+	parent *kmNode
+	// exact: every edge from the root took only decisions a concrete
+	// execution could take (no abstraction-induced branching, no pool
+	// reordering). An error reached exactly is a definite violation.
+	exact bool
+	fired int32 // cfg place that stepped; -1 at the root
+	pool  int32 // pool place consumed by the delivery; -1 if none
+	eff   effect
+	depth int32
+}
+
+// errRecord is one deduplicated abstract error outcome.
+type errRecord struct {
+	info  errInfo
+	node  *kmNode // node at which the error edge fired
+	pool  int32
+	eff   effect
+	exact bool
+}
+
+// errSigKey identifies an error class for deduplication.
+type errSigKey struct {
+	kind  uint8
+	mtype ir.MachineTypeID
+	state string
+	event ir.EventID
+	hasEv bool
+}
+
+// maxErrSigs caps the distinct error signatures collected per run.
+const maxErrSigs = 32
+
+// engine drives the coverability search.
+type engine struct {
+	t  *tr
+	pf *analysis.PORFacts
+
+	visited map[string]struct{}
+	queue   []*kmNode
+
+	errs     map[errSigKey]*errRecord
+	errOrd   []errSigKey
+	omegas   map[poolKey]struct{}
+	omegaOrd []poolKey
+
+	markings  int
+	reduced   int // markings expanded with a singleton ample set
+	truncated bool
+	buf       []byte
+	fireBuf   []int32 // reusable sorted-fire-order scratch for expand
+}
+
+func newEngine(t *tr) *engine {
+	return &engine{
+		t:       t,
+		pf:      t.por,
+		visited: map[string]struct{}{},
+		errs:    map[errSigKey]*errRecord{},
+		omegas:  map[poolKey]struct{}{},
+	}
+}
+
+// run explores the coverability tree from the initial marking.
+func (e *engine) run(init marking) {
+	root := &kmNode{m: init, exact: true, fired: -1, pool: -1}
+	e.enqueue(root)
+	for len(e.queue) > 0 && e.t.unsupported == "" {
+		if e.markings >= e.t.opts.MaxMarkings {
+			e.truncated = true
+			return
+		}
+		n := e.queue[0]
+		e.queue = e.queue[1:]
+		e.markings++
+		e.expand(n)
+	}
+}
+
+// enqueue adds n to the frontier; false if its marking was already visited.
+// With symmetry enabled, the visited set is keyed by the orbit-canonical
+// encoding, so only one representative per symmetry orbit is explored.
+func (e *engine) enqueue(n *kmNode) bool {
+	var key string
+	if e.t.sym != nil {
+		key = e.t.sym.canonKey(n.m)
+	} else {
+		key, e.buf = n.m.key(e.buf)
+	}
+	if _, ok := e.visited[key]; ok {
+		return false
+	}
+	e.visited[key] = struct{}{}
+	e.queue = append(e.queue, n)
+	return true
+}
+
+// expand fires every enabled place of n's marking, unless a POR-reduced
+// expansion commits to a single token.
+func (e *engine) expand(n *kmNode) {
+	if e.expandReduced(n) {
+		return
+	}
+	in := e.t.in
+	// Fire in place-id order: map iteration order would otherwise vary the
+	// worklist order run to run, and with it the marking count and the
+	// shape of counterexample traces. The analysis is order-insensitive in
+	// its verdicts, but reproducible numbers matter for goldens and
+	// benchmarks.
+	fires := e.fireBuf[:0]
+	for p, cnt := range n.m {
+		if cnt > 0 {
+			fires = append(fires, p)
+		}
+	}
+	slices.Sort(fires)
+	e.fireBuf = fires
+	for _, p := range fires {
+		pl := in.places[p]
+		if pl.cfg == nil {
+			continue // pool places never fire on their own
+		}
+		meta := in.metas[p]
+		if meta.enabled {
+			e.apply(n, p, -1, e.t.closureRun(p))
+			continue
+		}
+		// At rest: deliver. The exact prefix is scanned first — a
+		// deliverable prefix entry is strictly ahead of every pooled entry,
+		// so while one exists the FIFO-exact prefix dequeue is the only
+		// transition. Only when the prefix yields nothing may a pooled
+		// (order-abstracted) entry be delivered.
+		if firstDeliverable(pl.cfg, meta) >= 0 {
+			e.apply(n, p, -1, e.t.closureDeliverPrefix(p))
+			continue
+		}
+		for _, poolID := range in.poolsByClass[meta.class] {
+			if n.m.get(poolID) <= 0 {
+				continue
+			}
+			pk := in.places[poolID].pool
+			if !meta.deliv[pk.ev] {
+				continue // suppressed by the effective deferred set
+			}
+			e.apply(n, p, poolID, e.t.closureDeliverPool(p, pk))
+		}
+	}
+}
+
+// apply routes the effects of firing place fired (consuming poolID if ≥ 0)
+// into successor nodes and error records, returning the number of new
+// frontier nodes produced.
+func (e *engine) apply(n *kmNode, fired int32, poolID int32, effs []effect) int {
+	in := e.t.in
+	base := n.m.clone()
+	base.add(fired, -1)
+	if poolID >= 0 {
+		base.add(poolID, -1)
+	}
+	added := 0
+	for _, eff := range effs {
+		switch eff.kind {
+		case oUnsup:
+			return added
+		case oErr:
+			e.recordErr(n, fired, poolID, eff)
+		case oRest:
+			succ := base.clone()
+			succ.add(eff.next, 1)
+			added += e.child(n, fired, poolID, eff, succ, eff.exact)
+		case oHalt:
+			added += e.child(n, fired, poolID, eff, base.clone(), eff.exact)
+		case oNew:
+			if e.t.singleton(eff.childClass) && e.classAlive(base, eff.childClass) {
+				// The singleton classification was refuted dynamically (a
+				// second instance while the first lives) — bail out rather
+				// than risk an unsound identity collapse.
+				e.t.unsup("singleton creation site re-executed while its instance is alive")
+				return added
+			}
+			succ := base.clone()
+			succ.add(eff.next, 1)
+			succ.add(eff.child, 1)
+			added += e.child(n, fired, poolID, eff, succ, eff.exact)
+		case oSend:
+			if eff.folded {
+				succ := base.clone()
+				succ.add(eff.next, 1)
+				if eff.poolAdd != nil {
+					succ.add(in.poolPlace(*eff.poolAdd), 1)
+				}
+				added += e.child(n, fired, poolID, eff, succ, eff.exact)
+				continue
+			}
+			added += e.applyCrossSend(n, fired, poolID, eff, base)
+		}
+	}
+	return added
+}
+
+// applyCrossSend routes a cross-machine send to its receiver class.
+func (e *engine) applyCrossSend(n *kmNode, fired int32, poolID int32, eff effect, base marking) int {
+	in := e.t.in
+	tc := eff.tgtClass
+	added := 0
+	if e.t.singleton(tc) {
+		found := false
+		for p, cnt := range base {
+			if cnt <= 0 {
+				continue
+			}
+			pl := in.places[p]
+			if pl.cfg == nil || pl.cfg.class != tc {
+				continue
+			}
+			found = true
+			for _, alt := range e.t.enqueue(pl.cfg, eff.ev, eff.val) {
+				succ := base.clone()
+				succ.add(p, -1)
+				succ.add(eff.next, 1)
+				succ.add(in.intern(alt.c), 1)
+				if alt.poolAdd != nil {
+					succ.add(in.poolPlace(*alt.poolAdd), 1)
+				}
+				added += e.child(n, fired, poolID, eff, succ, eff.exact && alt.exact)
+			}
+		}
+		if !found {
+			// The singleton's token is gone: it halted (or was never
+			// created, impossible while a reference exists). SEND-FAIL-2.
+			e.recordErr(n, fired, poolID, e.sendDeletedEffect(eff, eff.exact))
+		}
+		return added
+	}
+	// Many class: the pooled inbox is shared by all instances.
+	if !e.classAlive(base, tc) {
+		e.recordErr(n, fired, poolID, e.sendDeletedEffect(eff, eff.exact))
+		return added
+	}
+	succ := base.clone()
+	succ.add(eff.next, 1)
+	succ.add(in.poolPlace(poolKey{class: tc, ev: eff.ev, val: eff.val}), 1)
+	added += e.child(n, fired, poolID, eff, succ, eff.exact)
+	if e.t.canHalt[e.t.classes[tc].typ] {
+		// Some instance is alive, but the referenced one may have halted.
+		e.recordErr(n, fired, poolID, e.sendDeletedEffect(eff, false))
+	}
+	return added
+}
+
+func (e *engine) sendDeletedEffect(send effect, exact bool) effect {
+	return effect{
+		kind:  oErr,
+		exact: exact,
+		err: errInfo{
+			kind:  core.ErrSendDeleted,
+			mtype: e.t.classes[e.t.in.metas[send.next].class].typ,
+			event: send.ev,
+			hasEv: true,
+			detail: fmt.Sprintf("send %s to a deleted %s instance",
+				e.t.p.Events[send.ev].Name, e.t.className(send.tgtClass)),
+		},
+	}
+}
+
+// classAlive reports whether any cfg token of class c exists in m.
+func (e *engine) classAlive(m marking, c classID) bool {
+	for p, cnt := range m {
+		if cnt <= 0 {
+			continue
+		}
+		if pl := e.t.in.places[p]; pl.cfg != nil && pl.cfg.class == c {
+			return true
+		}
+	}
+	return false
+}
+
+// child accelerates succ against n's ancestor chain, then enqueues it,
+// returning 1 if the successor was new to the frontier.
+func (e *engine) child(n *kmNode, fired int32, poolID int32, eff effect, succ marking, edgeExact bool) int {
+	// ω-acceleration: an ancestor marking strictly dominated by succ
+	// witnesses a pumpable transition sequence, so every strictly grown
+	// place can be pumped arbitrarily high. Iterate to a fixpoint: new ωs
+	// can expose further dominated ancestors.
+	for changed := true; changed; {
+		changed = false
+		for anc := n; anc != nil; anc = anc.parent {
+			if !anc.m.leq(succ) || succ.leq(anc.m) {
+				continue
+			}
+			for p, v := range succ {
+				if v != omega && v > anc.m.get(p) {
+					succ[p] = omega
+					changed = true
+					if pl := e.t.in.places[p]; pl.cfg == nil {
+						e.recordOmega(pl.pool)
+					}
+				}
+			}
+		}
+	}
+	if e.enqueue(&kmNode{
+		m: succ, parent: n, exact: n.exact && edgeExact,
+		fired: fired, pool: poolID, eff: eff, depth: n.depth + 1,
+	}) {
+		return 1
+	}
+	return 0
+}
+
+func (e *engine) recordOmega(pk poolKey) {
+	if _, ok := e.omegas[pk]; ok {
+		return
+	}
+	e.omegas[pk] = struct{}{}
+	e.omegaOrd = append(e.omegaOrd, pk)
+}
+
+func (e *engine) recordErr(n *kmNode, fired int32, poolID int32, eff effect) {
+	exact := n.exact && eff.exact
+	key := errSigKey{
+		kind: uint8(eff.err.kind), mtype: eff.err.mtype,
+		state: eff.err.state, event: eff.err.event, hasEv: eff.err.hasEv,
+	}
+	if rec, ok := e.errs[key]; ok {
+		// Keep the first witness, but upgrade to a definite one when found.
+		if exact && !rec.exact {
+			rec.node, rec.pool, rec.eff, rec.exact = n, poolID, eff, true
+		}
+		return
+	}
+	if len(e.errOrd) >= maxErrSigs {
+		return
+	}
+	e.errs[key] = &errRecord{info: eff.err, node: n, pool: poolID, eff: eff, exact: exact}
+	e.errOrd = append(e.errOrd, key)
+}
+
+// --- trace rendering ---
+
+// trace renders the abstract counterexample ending in rec: the edge labels
+// from the root to the error.
+func (e *engine) trace(rec *errRecord) []string {
+	var nodes []*kmNode
+	for n := rec.node; n != nil; n = n.parent {
+		nodes = append(nodes, n)
+	}
+	var out []string
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if n.fired < 0 {
+			continue // root
+		}
+		out = append(out, e.edgeLabel(n.fired, n.pool, n.eff))
+	}
+	out = append(out, e.edgeLabel(rec.node.fired, rec.pool, rec.eff))
+	return out
+}
+
+func (e *engine) edgeLabel(fired int32, poolID int32, eff effect) string {
+	t := e.t
+	cls := "?"
+	if fired >= 0 {
+		cls = t.className(t.in.metas[fired].class)
+	}
+	prefix := cls
+	if poolID >= 0 {
+		pk := t.in.places[poolID].pool
+		prefix = fmt.Sprintf("%s ← %s (pooled)", cls, t.p.Events[pk.ev].Name)
+	} else if fired >= 0 {
+		if pl := t.in.places[fired]; pl.cfg != nil && pl.cfg.atRest() {
+			if idx := firstDeliverable(pl.cfg, t.in.metas[fired]); idx >= 0 {
+				prefix = fmt.Sprintf("%s ← %s", cls, t.p.Events[pl.cfg.queue[idx].ev].Name)
+			}
+		}
+	}
+	switch eff.kind {
+	case oRest:
+		return fmt.Sprintf("%s runs to rest", prefix)
+	case oSend:
+		if eff.folded {
+			return fmt.Sprintf("%s sends %s to itself", prefix, t.p.Events[eff.ev].Name)
+		}
+		return fmt.Sprintf("%s sends %s to %s", prefix, t.p.Events[eff.ev].Name, t.className(eff.tgtClass))
+	case oNew:
+		return fmt.Sprintf("%s creates %s", prefix, t.className(eff.childClass))
+	case oHalt:
+		return fmt.Sprintf("%s deletes itself", prefix)
+	case oErr:
+		return fmt.Sprintf("%s: %s", prefix, eff.err.describe(t.p))
+	default:
+		return prefix
+	}
+}

@@ -1,0 +1,1168 @@
+package abstract
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pgo/internal/analysis"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/source"
+)
+
+// tr is the translation context: the program, its instance classes, the
+// interner, and the closure caches the coverability engine consumes.
+type tr struct {
+	p       *ir.Program
+	classes []*classInfo
+	canHalt []bool
+	in      *interner
+	opts    Options
+	facts   *analysis.Report
+	// sym is the singleton-class symmetry group; nil when the program has
+	// no interchangeable classes.
+	sym *symmetry
+	// por holds the static independence facts shared by the adaptive
+	// prefix heuristic below and the engine's partial-order reduction.
+	por *analysis.PORFacts
+	// clsPrefix is the effective exact-FIFO prefix per class. Singleton
+	// classes reachable by sends from a counted (many) class get prefix 1:
+	// unboundedly many senders overflow any finite prefix, so the exact
+	// entries buy no precision while their orderings multiply markings —
+	// pooling immediately lets ω-acceleration close the inbox off instead.
+	clsPrefix []int
+
+	// siteClass maps an SNew statement's Index to its class.
+	siteClass map[int]classID
+
+	runCache    map[locID][]effect
+	prefixCache map[locID][]effect
+	poolCache   map[poolDelivKey][]effect
+
+	// unsupported latches the first construct outside the abstraction's
+	// fragment; the analysis then reports VerdictUnsupported.
+	unsupported string
+	// truncated latches closure-enumeration overflow (too many decision
+	// paths); a safe verdict is then downgraded to inconclusive.
+	truncated bool
+}
+
+type poolDelivKey struct {
+	loc locID
+	pk  poolKey
+}
+
+func newTr(p *ir.Program, opts Options) *tr {
+	classes := buildClasses(p)
+	t := &tr{
+		p:           p,
+		classes:     classes,
+		canHalt:     typeCanHalt(p),
+		in:          newInterner(p, classes),
+		opts:        opts,
+		facts:       opts.Facts,
+		siteClass:   map[int]classID{},
+		runCache:    map[locID][]effect{},
+		prefixCache: map[locID][]effect{},
+		poolCache:   map[poolDelivKey][]effect{},
+	}
+	for _, ci := range classes {
+		if ci.site != nil {
+			t.siteClass[ci.site.Index] = ci.id
+		}
+	}
+	t.sym = buildSymmetry(t)
+	t.por = analysis.PORIndependence(p)
+
+	manySendsTo := make([]bool, len(p.Machines))
+	for _, ci := range classes {
+		if ci.singleton {
+			continue
+		}
+		for s := range p.Machines[ci.typ].States {
+			for tgt := range p.Machines {
+				if !t.por.SendEventsFrom[ci.typ][s][tgt].IsEmpty() {
+					manySendsTo[tgt] = true
+				}
+			}
+		}
+	}
+	t.clsPrefix = make([]int, len(classes))
+	for _, ci := range classes {
+		t.clsPrefix[ci.id] = opts.QueuePrefix
+		if ci.singleton && manySendsTo[ci.typ] {
+			t.clsPrefix[ci.id] = 1
+		}
+	}
+	return t
+}
+
+func (t *tr) singleton(c classID) bool        { return t.classes[c].singleton }
+func (t *tr) classType(c classID) *ir.Machine { return t.p.Machines[t.classes[c].typ] }
+
+// --- effects: the outcomes of one abstract macro step ---
+
+type oKind uint8
+
+const (
+	// oRest: the closure reached a rest point (continuation drained); the
+	// machine's token moves to eff.next and waits for a delivery.
+	oRest oKind = iota
+	// oSend: a send completed (a scheduling point). If folded, the
+	// delivery was already applied to eff.next (self-sends); otherwise the
+	// engine routes (eff.ev, eff.val) to eff.tgtClass.
+	oSend
+	// oNew: a machine was created; eff.child is its initial location.
+	oNew
+	// oHalt: the machine deleted itself; its token disappears.
+	oHalt
+	// oErr: an error transition fired.
+	oErr
+	// oUnsup: the program left the abstraction's supported fragment.
+	oUnsup
+)
+
+// errInfo captures an abstract error outcome.
+type errInfo struct {
+	kind   core.ErrKind
+	mtype  ir.MachineTypeID
+	state  string
+	event  ir.EventID
+	hasEv  bool
+	span   source.Span
+	detail string
+}
+
+type effect struct {
+	kind  oKind
+	exact bool // the path to this outcome took no abstraction-induced branch
+
+	next locID // oRest, oSend, oNew: the stepping machine's new location
+
+	// oSend
+	ev       ir.EventID
+	val      Val
+	tgtClass classID
+	folded   bool
+	poolAdd  *poolKey
+
+	// oNew
+	child      locID
+	childClass classID
+
+	err errInfo // oErr
+}
+
+// --- the decision odometer ---
+
+// decider enumerates the branch strings of one closure: each nondeterministic
+// point (a `*` choice, or a branch forced open by an abstract value) is a
+// positioned decision with a fixed arity, and advance() steps through the
+// cartesian product depth-first.
+type decider struct {
+	bits    []uint8
+	arity   []uint8
+	inexact []bool
+	pos     int
+	// runInexact reports whether any decision visited by the current run
+	// was abstraction-induced (as opposed to genuine program
+	// nondeterminism, which concrete executions branch on too).
+	runInexact bool
+}
+
+func (d *decider) next(arity int, inexact bool) int {
+	if d.pos == len(d.bits) {
+		d.bits = append(d.bits, 0)
+		d.arity = append(d.arity, uint8(arity))
+		d.inexact = append(d.inexact, inexact)
+	}
+	b := d.bits[d.pos]
+	if d.inexact[d.pos] {
+		d.runInexact = true
+	}
+	d.pos++
+	return int(b)
+}
+
+// advance moves to the next decision string; false when exhausted.
+func (d *decider) advance() bool {
+	d.bits = d.bits[:d.pos]
+	d.arity = d.arity[:d.pos]
+	d.inexact = d.inexact[:d.pos]
+	i := d.pos - 1
+	for i >= 0 && d.bits[i]+1 >= d.arity[i] {
+		i--
+	}
+	if i < 0 {
+		return false
+	}
+	d.bits[i]++
+	d.bits = d.bits[:i+1]
+	d.arity = d.arity[:i+1]
+	d.inexact = d.inexact[:i+1]
+	d.pos = 0
+	d.runInexact = false
+	return true
+}
+
+// --- closure entry points (cached) ---
+
+// closureRun returns the macro-step outcomes of an enabled location.
+func (t *tr) closureRun(loc locID) []effect {
+	if effs, ok := t.runCache[loc]; ok {
+		return effs
+	}
+	base := t.in.places[loc].cfg
+	effs := t.enumerate(func() *cfg { return base.clone() })
+	t.runCache[loc] = effs
+	return effs
+}
+
+// closureDeliverPrefix returns the outcomes of delivering the first
+// deliverable prefix entry at a resting location. Exact: the prefix scan is
+// the true DEQUEUE rule.
+func (t *tr) closureDeliverPrefix(loc locID) []effect {
+	if effs, ok := t.prefixCache[loc]; ok {
+		return effs
+	}
+	base := t.in.places[loc].cfg
+	meta := t.in.metas[loc]
+	idx := firstDeliverable(base, meta)
+	effs := t.enumerate(func() *cfg {
+		c := base.clone()
+		q := c.queue[idx]
+		c.queue = append(append([]entry(nil), c.queue[:idx]...), c.queue[idx+1:]...)
+		t.beginDelivery(c, q.ev, q.val)
+		return c
+	})
+	t.prefixCache[loc] = effs
+	return effs
+}
+
+// closureDeliverPool returns the outcomes of delivering a pooled entry at a
+// resting location. Inexact: the pool has lost FIFO order, so this delivery
+// is an over-approximating choice.
+func (t *tr) closureDeliverPool(loc locID, pk poolKey) []effect {
+	key := poolDelivKey{loc: loc, pk: pk}
+	if effs, ok := t.poolCache[key]; ok {
+		return effs
+	}
+	base := t.in.places[loc].cfg
+	effs := t.enumerate(func() *cfg {
+		c := base.clone()
+		t.beginDelivery(c, pk.ev, pk.val)
+		return c
+	})
+	// Pool order is abstract: no outcome of a pool delivery is definite.
+	for i := range effs {
+		effs[i].exact = false
+	}
+	t.poolCache[key] = effs
+	return effs
+}
+
+func (t *tr) beginDelivery(c *cfg, ev ir.EventID, val Val) {
+	c.msg = vEvent(ev)
+	c.arg = val
+	c.raised = ev
+	c.raisedVal = val
+	c.mode = modeRaise
+	c.exitRun = false
+}
+
+// enumerate runs every decision string of the closure and returns the
+// deduplicated outcome set.
+func (t *tr) enumerate(mk func() *cfg) []effect {
+	d := &decider{}
+	var out []effect
+	for paths := 0; ; paths++ {
+		if paths >= t.opts.MaxPaths {
+			t.truncated = true
+			break
+		}
+		out = append(out, t.runOne(mk(), d)...)
+		if !d.advance() {
+			break
+		}
+	}
+	return dedupeEffects(out)
+}
+
+func dedupeEffects(effs []effect) []effect {
+	seen := map[string]int{}
+	var buf []byte
+	out := effs[:0]
+	for _, e := range effs {
+		buf = buf[:0]
+		buf = append(buf, byte(e.kind), b2b(e.folded))
+		buf = binary.AppendVarint(buf, int64(e.next))
+		buf = binary.AppendVarint(buf, int64(e.ev))
+		buf = append(buf, byte(e.val.Kind))
+		buf = binary.AppendVarint(buf, e.val.N)
+		buf = binary.AppendVarint(buf, int64(e.tgtClass))
+		buf = binary.AppendVarint(buf, int64(e.child))
+		if e.poolAdd != nil {
+			buf = binary.AppendVarint(buf, int64(e.poolAdd.class))
+			buf = binary.AppendVarint(buf, int64(e.poolAdd.ev))
+			buf = append(buf, byte(e.poolAdd.val.Kind))
+		}
+		if e.kind == oErr {
+			buf = append(buf, byte(e.err.kind), b2b(e.err.hasEv))
+			buf = binary.AppendVarint(buf, int64(e.err.mtype))
+			buf = binary.AppendVarint(buf, int64(e.err.event))
+			buf = append(buf, e.err.state...)
+		}
+		k := string(buf)
+		if i, ok := seen[k]; ok {
+			// Keep the definite variant when both an exact and an inexact
+			// path reach the same outcome.
+			if e.exact {
+				out[i].exact = true
+			}
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// --- the abstract executor ---
+
+// runOne executes one decision string to the next scheduling point.
+// It returns one effect in the common case; sends with several possible
+// targets (and forked ⊕-dedup outcomes) return one effect per alternative,
+// since a send always ends the macro step.
+func (t *tr) runOne(c *cfg, d *decider) []effect {
+	steps := 0
+	for {
+		steps++
+		if steps > t.opts.MaxSteps {
+			return []effect{t.errEffect(c, core.ErrDivergence, source.Span{}, "abstract closure exceeded step budget", false)}
+		}
+		switch c.mode {
+		case modeRun:
+			if c.cont == nil {
+				// Rest point: every dequeue is a scheduling point under
+				// the abstraction (a sound refinement of §5's bursts).
+				return []effect{{kind: oRest, exact: !d.runInexact, next: t.in.intern(c)}}
+			}
+			if effs, done := t.execStmt(c, d); done {
+				return effs
+			}
+		case modeRaise:
+			if c.cont != nil {
+				if effs, done := t.execStmt(c, d); done {
+					return effs
+				}
+				continue
+			}
+			if err := t.resolveRaise(c, d); err != nil {
+				return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}
+			}
+		case modeReturn:
+			if c.cont != nil {
+				if effs, done := t.execStmt(c, d); done {
+					return effs
+				}
+				continue
+			}
+			if err := t.pop2(c); err != nil {
+				return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}
+			}
+		}
+	}
+}
+
+// execStmt executes the next continuation statement. done=true means the
+// macro step ended (send, new, delete, error, or unsupported construct).
+func (t *tr) execStmt(c *cfg, d *decider) ([]effect, bool) {
+	s := c.cont.s
+	c.cont = c.cont.next
+	mt := t.classType(c.class)
+	switch s.Op {
+	case ir.SSkip:
+		return nil, false
+	case ir.SAssign:
+		v, err := t.eval(c, s.Expr, d)
+		if err != nil {
+			return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}, true
+		}
+		c.vars[s.Var] = v
+		return nil, false
+	case ir.SNew:
+		childClass, ok := t.siteClass[s.Index]
+		if !ok {
+			return []effect{t.unsupEffect("untracked creation site")}, true
+		}
+		vals := make([]Val, len(t.p.Machines[s.Machine].Vars))
+		for i := range vals {
+			vals[i] = vNull
+		}
+		for _, init := range s.Inits {
+			v, err := t.eval(c, init.Expr, d)
+			if err != nil {
+				return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}, true
+			}
+			vals[init.Var] = t.escape(v, c.class)
+		}
+		if t.p.Machines[s.Machine].ErasedStub {
+			return []effect{t.errEffect(c, core.ErrStub, s.Span, "ghost machines are erased from compiled programs", !d.runInexact)}, true
+		}
+		childLoc := t.in.intern(t.newCfg(childClass, vals))
+		c.vars[s.Var] = vMach(childClass)
+		return []effect{{
+			kind: oNew, exact: !d.runInexact,
+			next: t.in.intern(c), child: childLoc, childClass: childClass,
+		}}, true
+	case ir.SDelete:
+		return []effect{{kind: oHalt, exact: !d.runInexact}}, true
+	case ir.SSend:
+		return t.execSend(c, s, d), true
+	case ir.SRaise:
+		payload := vNull
+		if s.Expr != nil {
+			v, err := t.eval(c, s.Expr, d)
+			if err != nil {
+				return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}, true
+			}
+			payload = v
+		}
+		c.cont = nil
+		c.msg = vEvent(s.Event)
+		c.arg = payload
+		c.raised = s.Event
+		c.raisedVal = payload
+		c.mode = modeRaise
+		c.exitRun = false
+		return nil, false
+	case ir.SLeave:
+		c.cont = nil
+		return nil, false
+	case ir.SReturn:
+		st := mt.States[c.top().state]
+		c.cont = t.in.pushBody(st.Exit, nil)
+		c.mode = modeReturn
+		return nil, false
+	case ir.SAssert:
+		verdict, err := t.evalCond(c, s.Expr, d, "assert condition is null", s.Span)
+		if err != nil {
+			return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}, true
+		}
+		if !verdict {
+			return []effect{t.errEffect(c, core.ErrAssert, s.Span, "", !d.runInexact)}, true
+		}
+		return nil, false
+	case ir.SIf:
+		verdict, err := t.evalCond(c, s.Expr, d, "if condition is null", s.Span)
+		if err != nil {
+			return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}, true
+		}
+		if verdict {
+			c.cont = t.in.pushBody(s.Body, c.cont)
+		} else {
+			c.cont = t.in.pushBody(s.Else, c.cont)
+		}
+		return nil, false
+	case ir.SWhile:
+		verdict, err := t.evalCond(c, s.Expr, d, "while condition is null", s.Span)
+		if err != nil {
+			return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}, true
+		}
+		if verdict {
+			c.cont = t.in.pushBody(s.Body, t.in.cons(s, c.cont))
+		}
+		return nil, false
+	case ir.SCallState:
+		if len(c.stack) >= t.opts.MaxStack {
+			return []effect{t.unsupEffect("call-stack depth exceeds the abstraction bound")}, true
+		}
+		c.stack = append(c.stack, aframe{state: s.State, ret: c.cont})
+		c.cont = t.in.pushBody(mt.States[s.State].Entry, nil)
+		return nil, false
+	case ir.SForeign:
+		call := &ir.Expr{Op: ir.ECall, ForeignFn: s.Foreign, Args: s.Args, Span: s.Span}
+		if _, err := t.eval(c, call, d); err != nil {
+			return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}, true
+		}
+		return nil, false
+	default:
+		return []effect{t.unsupEffect("unknown statement operator")}, true
+	}
+}
+
+// execSend resolves a send statement's target and payload into effects.
+func (t *tr) execSend(c *cfg, s *ir.Stmt, d *decider) []effect {
+	tv, err := t.eval(c, s.Target, d)
+	if err != nil {
+		return []effect{{kind: oErr, exact: !d.runInexact, err: *err}}
+	}
+	evalPayload := func() (Val, *errInfo) {
+		if s.Expr == nil {
+			return vNull, nil
+		}
+		v, err := t.eval(c, s.Expr, d)
+		if err != nil {
+			return vNull, err
+		}
+		return t.escape(v, c.class), nil
+	}
+
+	switch tv.Kind {
+	case VNull:
+		return []effect{t.errEffect(c, core.ErrSendNull, s.Span, "", !d.runInexact)}
+	case VMach, VSelf:
+		payload, perr := evalPayload()
+		if perr != nil {
+			return []effect{{kind: oErr, exact: !d.runInexact, err: *perr}}
+		}
+		if tv.Kind == VSelf {
+			// `this` in a many class: definitely alive; its merged inbox is
+			// the class pool.
+			pk := poolKey{class: c.class, ev: s.Event, val: payload}
+			return []effect{{
+				kind: oSend, exact: !d.runInexact, folded: true,
+				next: t.in.intern(c), ev: s.Event, val: payload, poolAdd: &pk,
+			}}
+		}
+		tc := tv.class()
+		if t.singleton(tc) && tc == c.class {
+			// Singleton self-send: fold the enqueue into the own prefix.
+			var out []effect
+			for _, alt := range t.enqueue(c, s.Event, payload) {
+				eff := effect{
+					kind: oSend, exact: alt.exact && !d.runInexact, folded: true,
+					next: t.in.intern(alt.c), ev: s.Event, val: payload,
+				}
+				if alt.poolAdd != nil {
+					pk := *alt.poolAdd
+					eff.poolAdd = &pk
+				}
+				out = append(out, eff)
+			}
+			return out
+		}
+		return []effect{{
+			kind: oSend, exact: !d.runInexact,
+			next: t.in.intern(c), ev: s.Event, val: payload, tgtClass: tc,
+		}}
+	case VAny:
+		// The target escaped the value abstraction; fall back to the
+		// static points-to fact for this send site.
+		if t.facts == nil || t.facts.SendTargets == nil {
+			return []effect{t.unsupEffect("send target is abstract and no points-to facts are available")}
+		}
+		fact, ok := t.facts.SendTargets[s.Index]
+		if !ok || fact.Unknown {
+			return []effect{t.unsupEffect("send target escapes the points-to abstraction")}
+		}
+		payload, perr := evalPayload()
+		if perr != nil {
+			return []effect{{kind: oErr, exact: !d.runInexact, err: *perr}}
+		}
+		next := t.in.intern(c.clone())
+		out := []effect{t.errEffect(c, core.ErrSendNull, s.Span, "", false)}
+		for _, ty := range fact.Types {
+			for _, ci := range t.classes {
+				if ci.typ != ty {
+					continue
+				}
+				out = append(out, effect{
+					kind: oSend, exact: false,
+					next: next, ev: s.Event, val: payload, tgtClass: ci.id,
+				})
+			}
+		}
+		return out
+	default:
+		return []effect{t.errEffect(c, core.ErrSendNull, s.Span, "send target is not a machine identifier", !d.runInexact)}
+	}
+}
+
+// enqAlt is one possible result of an abstract ⊕ enqueue into a singleton
+// machine's exact prefix.
+type enqAlt struct {
+	c       *cfg
+	poolAdd *poolKey
+	exact   bool
+}
+
+// enqueue applies the ⊕ enqueue of (ev, val) to c's inbox. While the exact
+// prefix has room (and has never spilled), the concrete dedup-append is
+// mirrored precisely, forking when payload equality is undecidable — an
+// extra prefix entry is NOT harmless, because the FIFO scan tests entry
+// positions. Once the prefix is full (or has spilled), entries go to the
+// orderless class pool, where extra tokens only add behaviors
+// (monotonicity), so no dedup fork is needed.
+func (t *tr) enqueue(c *cfg, ev ir.EventID, val Val) []enqAlt {
+	if c.spilled || len(c.queue) >= t.clsPrefix[c.class] {
+		n := c.clone()
+		n.spilled = true
+		pk := poolKey{class: c.class, ev: ev, val: val}
+		return []enqAlt{{c: n, poolAdd: &pk, exact: true}}
+	}
+	dup := triFalse
+	for _, q := range c.queue {
+		if q.ev != ev {
+			continue
+		}
+		switch t.eqVals(q.val, val, c.class) {
+		case triTrue:
+			dup = triTrue
+		case triBoth:
+			if dup != triTrue {
+				dup = triBoth
+			}
+		}
+		if dup == triTrue {
+			break
+		}
+	}
+	appended := func() *cfg {
+		n := c.clone()
+		n.queue = append(n.queue, entry{ev: ev, val: val})
+		return n
+	}
+	switch dup {
+	case triTrue:
+		return []enqAlt{{c: c.clone(), exact: true}}
+	case triBoth:
+		return []enqAlt{{c: c.clone(), exact: false}, {c: appended(), exact: false}}
+	default:
+		return []enqAlt{{c: appended(), exact: true}}
+	}
+}
+
+// resolveRaise ports the STEP / CALL / ACTION / POP1 resolution.
+func (t *tr) resolveRaise(c *cfg, d *decider) *errInfo {
+	if len(c.stack) == 0 {
+		return &errInfo{
+			kind: core.ErrUnhandled, mtype: t.classes[c.class].typ,
+			event: c.raised, hasEv: true, detail: t.p.Events[c.raised].Name,
+		}
+	}
+	mt := t.classType(c.class)
+	fr := c.top()
+	st := mt.States[fr.state]
+	e := c.raised
+
+	switch trn := st.Trans[e]; trn.Kind {
+	case ir.TransStep:
+		if !c.exitRun {
+			c.cont = t.in.pushBody(st.Exit, nil)
+			c.exitRun = true
+			return nil
+		}
+		fr.state = trn.Target
+		c.mode = modeRun
+		c.exitRun = false
+		c.cont = t.in.pushBody(mt.States[trn.Target].Entry, nil)
+		return nil
+	case ir.TransCall:
+		if len(c.stack) >= t.opts.MaxStack {
+			t.unsup("call-stack depth exceeds the abstraction bound")
+			return &errInfo{kind: core.ErrDivergence, mtype: t.classes[c.class].typ, state: st.Name, detail: "abstraction stack bound"}
+		}
+		c.stack = append(c.stack, aframe{state: trn.Target})
+		c.mode = modeRun
+		c.exitRun = false
+		c.cont = t.in.pushBody(mt.States[trn.Target].Entry, nil)
+		return nil
+	}
+
+	act := st.Action[e]
+	if act == ir.NoAction {
+		if inh := t.inheritedFor(c); inh[e] >= 0 {
+			act = ir.ActionID(inh[e])
+		}
+	}
+	if act != ir.NoAction {
+		c.mode = modeRun
+		c.exitRun = false
+		c.cont = t.in.pushBody(mt.Actions[act].Body, nil)
+		return nil
+	}
+
+	// POP1: exit preamble, then pop and re-raise.
+	if !c.exitRun {
+		c.cont = t.in.pushBody(st.Exit, nil)
+		c.exitRun = true
+		return nil
+	}
+	c.stack = c.stack[:len(c.stack)-1]
+	c.exitRun = false
+	if len(c.stack) == 0 {
+		return &errInfo{
+			kind: core.ErrUnhandled, mtype: mt.ID, state: st.Name,
+			event: e, hasEv: true, detail: t.p.Events[e].Name,
+		}
+	}
+	return nil
+}
+
+// pop2 ports the POP2 rule.
+func (t *tr) pop2(c *cfg) *errInfo {
+	fr := c.stack[len(c.stack)-1]
+	c.stack = c.stack[:len(c.stack)-1]
+	if len(c.stack) == 0 {
+		return &errInfo{kind: core.ErrUnhandled, mtype: t.classes[c.class].typ, detail: "return from bottom state"}
+	}
+	c.mode = modeRun
+	c.cont = fr.ret
+	return nil
+}
+
+// inheritedFor recomputes the top frame's inherited handler map from the
+// state chain (see interner.buildMeta for the derivation argument).
+func (t *tr) inheritedFor(c *cfg) []int16 {
+	mt := t.classType(c.class)
+	inh := make([]int16, len(t.p.Events))
+	for i := range inh {
+		inh[i] = inhNone
+	}
+	for i := 1; i < len(c.stack); i++ {
+		inh = computeInherited(t.p, mt.States[c.stack[i-1].state], inh)
+	}
+	return inh
+}
+
+// newCfg builds the initial configuration of a class instance (the NEW
+// rule): vars at ⊥ overwritten by vals, initial state, entry pending.
+func (t *tr) newCfg(class classID, vals []Val) *cfg {
+	mt := t.classType(class)
+	c := &cfg{
+		class: class,
+		vars:  vals,
+		stack: []aframe{{state: mt.Init}},
+		cont:  t.in.pushBody(mt.States[mt.Init].Entry, nil),
+		mode:  modeRun,
+	}
+	return c
+}
+
+// escape translates machine-local values for export: `this` of a many
+// class becomes a class reference (losing the exact-identity guarantee).
+func (t *tr) escape(v Val, own classID) Val {
+	if v.Kind == VSelf {
+		return vMach(own)
+	}
+	return v
+}
+
+func (t *tr) errEffect(c *cfg, kind core.ErrKind, span source.Span, detail string, exact bool) effect {
+	ei := errInfo{kind: kind, mtype: t.classes[c.class].typ, span: span, detail: detail}
+	if len(c.stack) > 0 {
+		ei.state = t.classType(c.class).States[c.top().state].Name
+	}
+	return effect{kind: oErr, exact: exact, err: ei}
+}
+
+func (t *tr) unsup(reason string) {
+	if t.unsupported == "" {
+		t.unsupported = reason
+	}
+}
+
+func (t *tr) unsupEffect(reason string) effect {
+	t.unsup(reason)
+	return effect{kind: oUnsup}
+}
+
+// --- abstract expression evaluation ---
+
+// evalCond evaluates a boolean condition, branching via the decider when
+// the abstract value admits several outcomes. The returned error is the
+// ⊥-condition error of the concrete semantics.
+func (t *tr) evalCond(c *cfg, e *ir.Expr, d *decider, nullMsg string, span source.Span) (bool, *errInfo) {
+	v, err := t.eval(c, e, d)
+	if err != nil {
+		return false, err
+	}
+	canT, canF, canOther := boolPoss(v)
+	undef := func() *errInfo {
+		ei := t.errEffect(c, core.ErrUndefCond, span, nullMsg, false).err
+		return &ei
+	}
+	n := 0
+	if canT {
+		n++
+	}
+	if canF {
+		n++
+	}
+	if canOther {
+		n++
+	}
+	if n == 1 {
+		if canOther {
+			return false, undef()
+		}
+		return canT, nil
+	}
+	var outcomes []int // 0=true 1=false 2=undef
+	if canT {
+		outcomes = append(outcomes, 0)
+	}
+	if canF {
+		outcomes = append(outcomes, 1)
+	}
+	if canOther {
+		outcomes = append(outcomes, 2)
+	}
+	switch outcomes[d.next(len(outcomes), true)] {
+	case 0:
+		return true, nil
+	case 1:
+		return false, nil
+	default:
+		return false, undef()
+	}
+}
+
+func (t *tr) eval(c *cfg, e *ir.Expr, d *decider) (Val, *errInfo) {
+	switch e.Op {
+	case ir.EInt:
+		return vInt(e.Int), nil
+	case ir.EBool:
+		return vBool(e.Int != 0), nil
+	case ir.ENull:
+		return vNull, nil
+	case ir.EThis:
+		if t.singleton(c.class) {
+			return vMach(c.class), nil
+		}
+		return Val{Kind: VSelf}, nil
+	case ir.EMsg:
+		return c.msg, nil
+	case ir.EArg:
+		return c.arg, nil
+	case ir.EChoose:
+		// Genuine program nondeterminism: concrete executions branch here
+		// too, so the decision keeps the path definite.
+		return vBool(d.next(2, false) == 1), nil
+	case ir.EVar:
+		return c.vars[e.Var], nil
+	case ir.EEvent:
+		return vEvent(e.Event), nil
+	case ir.ENot:
+		v, err := t.eval(c, e.X, d)
+		if err != nil {
+			return vNull, err
+		}
+		switch v.Kind {
+		case VBool:
+			return vBool(v.N == 0), nil
+		case VAnyBool:
+			return v, nil
+		case VAny:
+			return v, nil
+		default:
+			return vNull, nil
+		}
+	case ir.ENeg:
+		v, err := t.eval(c, e.X, d)
+		if err != nil {
+			return vNull, err
+		}
+		switch v.Kind {
+		case VInt:
+			return vInt(-v.N), nil
+		case VAnyInt, VAny:
+			return v, nil
+		default:
+			return vNull, nil
+		}
+	case ir.EBinary:
+		return t.evalBinary(c, e, d)
+	case ir.ECall:
+		return t.evalCall(c, e, d)
+	default:
+		ei := t.errEffect(c, core.ErrUndefCond, e.Span, "unknown expression operator", false).err
+		return vNull, &ei
+	}
+}
+
+func (t *tr) evalBinary(c *cfg, e *ir.Expr, d *decider) (Val, *errInfo) {
+	xv, err := t.eval(c, e.X, d)
+	if err != nil {
+		return vNull, err
+	}
+	// Short-circuit exactly when the concrete evaluator does: only an
+	// exact boolean left operand skips the right side.
+	switch e.Bin {
+	case ir.And:
+		if xv.isExactBool() && xv.N == 0 {
+			return vBool(false), nil
+		}
+	case ir.Or:
+		if xv.isExactBool() && xv.N != 0 {
+			return vBool(true), nil
+		}
+	}
+	yv, err := t.eval(c, e.Y, d)
+	if err != nil {
+		return vNull, err
+	}
+
+	switch e.Bin {
+	case ir.Eq, ir.Neq:
+		res := t.eqVals(xv, yv, c.class)
+		if e.Bin == ir.Neq {
+			switch res {
+			case triTrue:
+				res = triFalse
+			case triFalse:
+				res = triTrue
+			}
+		}
+		switch res {
+		case triTrue:
+			return vBool(true), nil
+		case triFalse:
+			return vBool(false), nil
+		default:
+			return Val{Kind: VAnyBool}, nil
+		}
+	case ir.And, ir.Or:
+		at, af, ao := boolPoss(xv)
+		bt, bf, bo := boolPoss(yv)
+		var canT, canF, canN bool
+		if e.Bin == ir.And {
+			canF = af || (at && bf)
+			canT = at && bt
+			canN = ao || (at && bo)
+		} else {
+			canT = at || (af && bt)
+			canF = af && bf
+			canN = ao || (af && bo)
+		}
+		return joinBoolSet(canT, canF, canN), nil
+	}
+
+	aInt, aOther, aEx, an := intPoss(xv)
+	bInt, bOther, bEx, bn := intPoss(yv)
+	if !aInt || !bInt {
+		return vNull, nil // definitely ⊥-propagating
+	}
+	mixed := aOther || bOther // an operand may also be a non-int (VAny)
+	switch e.Bin {
+	case ir.Add, ir.Sub, ir.Mul:
+		if aEx && bEx {
+			switch e.Bin {
+			case ir.Add:
+				return vInt(an + bn), nil
+			case ir.Sub:
+				return vInt(an - bn), nil
+			default:
+				return vInt(an * bn), nil
+			}
+		}
+		if mixed {
+			return Val{Kind: VAny}, nil
+		}
+		return Val{Kind: VAnyInt}, nil
+	case ir.Div, ir.Mod:
+		if bEx && bn == 0 {
+			return vNull, nil
+		}
+		if aEx && bEx {
+			if e.Bin == ir.Div {
+				return vInt(an / bn), nil
+			}
+			return vInt(an % bn), nil
+		}
+		if !bEx {
+			// The divisor may be zero (⊥ result) or not.
+			return Val{Kind: VAny}, nil
+		}
+		if mixed {
+			return Val{Kind: VAny}, nil
+		}
+		return Val{Kind: VAnyInt}, nil
+	case ir.Lt, ir.Le, ir.Gt, ir.Ge:
+		if aEx && bEx {
+			switch e.Bin {
+			case ir.Lt:
+				return vBool(an < bn), nil
+			case ir.Le:
+				return vBool(an <= bn), nil
+			case ir.Gt:
+				return vBool(an > bn), nil
+			default:
+				return vBool(an >= bn), nil
+			}
+		}
+		if mixed {
+			return Val{Kind: VAny}, nil
+		}
+		return Val{Kind: VAnyBool}, nil
+	}
+	ei := t.errEffect(c, core.ErrUndefCond, e.Span, "unknown binary operator", false).err
+	return vNull, &ei
+}
+
+func joinBoolSet(canT, canF, canN bool) Val {
+	switch {
+	case canN && (canT || canF):
+		return Val{Kind: VAny}
+	case canN:
+		return vNull
+	case canT && canF:
+		return Val{Kind: VAnyBool}
+	case canT:
+		return vBool(true)
+	default:
+		return vBool(false)
+	}
+}
+
+// eqVals is the abstract total-equality test (the ⊕/== semantics: values of
+// different kinds are unequal; ⊥ equals only ⊥).
+func (t *tr) eqVals(a, b Val, own classID) tri {
+	if a == b {
+		switch a.Kind {
+		case VNull, VBool, VInt, VEvent, VSelf:
+			return triTrue
+		case VMach:
+			if t.singleton(a.class()) {
+				return triTrue
+			}
+			return triBoth
+		default: // VAnyBool, VAnyInt, VAny
+			return triBoth
+		}
+	}
+	if a.Kind == VAny || b.Kind == VAny {
+		return triBoth
+	}
+	// Order-normalize so each mixed pair is handled once.
+	if a.Kind > b.Kind {
+		a, b = b, a
+	}
+	switch {
+	case a.Kind == VBool && b.Kind == VAnyBool:
+		return triBoth
+	case a.Kind == VInt && b.Kind == VAnyInt:
+		return triBoth
+	case a.Kind == VMach && b.Kind == VMach:
+		// Different classes come from different creation sites: disjoint
+		// instance sets. The same class compares equal only if singleton
+		// (handled above as struct equality).
+		return triFalse
+	case a.Kind == VMach && b.Kind == VSelf:
+		if a.class() == own && !t.singleton(own) {
+			return triBoth
+		}
+		return triFalse
+	default:
+		return triFalse
+	}
+}
+
+// evalCall evaluates a foreign call: the model body (if any) executes
+// abstractly and the call yields ⊥; a modelless call is the explorer's
+// ErrForeignMissing error (verification runs without host bindings).
+func (t *tr) evalCall(c *cfg, e *ir.Expr, d *decider) (Val, *errInfo) {
+	mt := t.classType(c.class)
+	f := &mt.Foreigns[e.ForeignFn]
+	for _, a := range e.Args {
+		if _, err := t.eval(c, a, d); err != nil {
+			return vNull, err
+		}
+	}
+	if f.Model != nil {
+		budget := t.opts.MaxSteps
+		if err := t.execModel(c, f.Model, d, &budget); err != nil {
+			return vNull, err
+		}
+		return vNull, nil
+	}
+	ei := t.errEffect(c, core.ErrForeignMissing, e.Span, f.Name, !d.runInexact).err
+	return vNull, &ei
+}
+
+// execModel executes a foreign model body abstractly.
+func (t *tr) execModel(c *cfg, body []*ir.Stmt, d *decider, budget *int) *errInfo {
+	for _, s := range body {
+		if *budget <= 0 {
+			ei := t.errEffect(c, core.ErrDivergence, s.Span, "foreign model body exceeded step budget", false).err
+			return &ei
+		}
+		*budget--
+		switch s.Op {
+		case ir.SSkip:
+		case ir.SAssign:
+			v, err := t.eval(c, s.Expr, d)
+			if err != nil {
+				return err
+			}
+			c.vars[s.Var] = v
+		case ir.SAssert:
+			verdict, err := t.evalCond(c, s.Expr, d, "assert condition is null", s.Span)
+			if err != nil {
+				return err
+			}
+			if !verdict {
+				ei := t.errEffect(c, core.ErrAssert, s.Span, "in foreign model", !d.runInexact).err
+				return &ei
+			}
+		case ir.SIf:
+			verdict, err := t.evalCond(c, s.Expr, d, "if condition is null", s.Span)
+			if err != nil {
+				return err
+			}
+			branch := s.Body
+			if !verdict {
+				branch = s.Else
+			}
+			if err := t.execModel(c, branch, d, budget); err != nil {
+				return err
+			}
+		case ir.SWhile:
+			for {
+				if *budget <= 0 {
+					ei := t.errEffect(c, core.ErrDivergence, s.Span, "foreign model body exceeded step budget", false).err
+					return &ei
+				}
+				verdict, err := t.evalCond(c, s.Expr, d, "while condition is null", s.Span)
+				if err != nil {
+					return err
+				}
+				if !verdict {
+					break
+				}
+				if err := t.execModel(c, s.Body, d, budget); err != nil {
+					return err
+				}
+			}
+		case ir.SForeign:
+			call := &ir.Expr{Op: ir.ECall, ForeignFn: s.Foreign, Args: s.Args, Span: s.Span}
+			if _, err := t.eval(c, call, d); err != nil {
+				return err
+			}
+		default:
+			ei := t.errEffect(c, core.ErrUndefCond, s.Span, "statement not permitted in foreign model body", false).err
+			return &ei
+		}
+	}
+	return nil
+}
+
+// className renders a class for trace labels.
+func (t *tr) className(c classID) string { return t.classes[c].name }
+
+// describe renders an error signature for findings and traces.
+func (ei *errInfo) describe(p *ir.Program) string {
+	mt := p.Machines[ei.mtype]
+	msg := fmt.Sprintf("%s in machine %s", ei.kind, mt.Name)
+	if ei.state != "" {
+		msg += fmt.Sprintf(" (state %s)", ei.state)
+	}
+	if ei.hasEv {
+		msg += fmt.Sprintf(", event %s", p.Events[ei.event].Name)
+	}
+	if ei.detail != "" {
+		msg += ": " + ei.detail
+	}
+	return msg
+}

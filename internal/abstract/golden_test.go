@@ -1,0 +1,61 @@
+package abstract_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgo/internal/abstract"
+	"pgo/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden plint -abstract reports for the seeded parameterized programs:
+// the combined finding list (flow analyses + P4xx coverability findings)
+// rendered exactly as `plint -abstract -json` renders it. The engine's
+// exploration order is deterministic, so the P401 marking counts in the
+// messages are stable.
+// Regenerate with: go test ./internal/abstract -run TestGoldenAbstractReports -update
+func TestGoldenAbstractReports(t *testing.T) {
+	for _, name := range []string{"mutex_param", "german_unsafe_paramN"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name+".p"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings, rep, prog, err := analysis.RunWithProgram(name, string(src))
+			if err != nil {
+				t.Fatalf("analysis failed: %v", err)
+			}
+			res := abstract.Analyze(prog, abstract.Options{Facts: rep})
+			findings = append(findings, res.Findings()...)
+			analysis.SortFindings(findings)
+
+			var buf bytes.Buffer
+			if err := analysis.WriteJSON(&buf, name, findings); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (run with -update): %v", path, err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Fatalf("golden mismatch for %s:\n--- want ---\n%s\n--- got ---\n%s", path, want, buf.Bytes())
+			}
+		})
+	}
+}

@@ -1,0 +1,386 @@
+package abstract
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"pgo/internal/ir"
+)
+
+// entry is one exact inbox-prefix entry: an event with its abstract payload.
+type entry struct {
+	ev  ir.EventID
+	val Val
+}
+
+// cnode is an interned continuation cons cell. Structural sharing plus
+// hash-consing gives every distinct continuation a stable id, which the
+// configuration encoder uses.
+type cnode struct {
+	s    *ir.Stmt
+	next *cnode
+	id   int32
+}
+
+// aframe is one abstract call-stack frame. The inherited handler map of the
+// concrete semantics is not stored: it is a pure function of the state
+// chain below the frame and is recomputed (and cached per location) on
+// demand.
+type aframe struct {
+	state ir.StateID
+	ret   *cnode // continuation to resume on return; nil unless pushed by `call`
+}
+
+// Abstract machine modes (core.Mode minus the halted tombstone: halted
+// machines simply lose their location token).
+const (
+	modeRun uint8 = iota
+	modeRaise
+	modeReturn
+)
+
+// cfg is the local abstract configuration of one machine instance: the
+// counterpart of core.Config over abstract values, extended with the
+// class identity and the inbox-prefix spill flag.
+type cfg struct {
+	class   classID
+	mode    uint8
+	exitRun bool
+	// spilled marks that the exact FIFO prefix overflowed at least once:
+	// later entries live in this class's counter pool, so once set, every
+	// new enqueue goes to the pool (entries must stay behind the spilled
+	// ones) and pool dequeues become possible when the prefix yields
+	// nothing.
+	spilled bool
+
+	raised    ir.EventID
+	raisedVal Val
+	msg, arg  Val
+
+	stack []aframe
+	vars  []Val
+	cont  *cnode
+	queue []entry
+}
+
+func (c *cfg) clone() *cfg {
+	n := *c
+	n.stack = append([]aframe(nil), c.stack...)
+	n.vars = append([]Val(nil), c.vars...)
+	n.queue = append([]entry(nil), c.queue...)
+	return &n
+}
+
+func (c *cfg) top() *aframe { return &c.stack[len(c.stack)-1] }
+
+// atRest reports that the machine has no pending work: the next step is a
+// dequeue (or it blocks).
+func (c *cfg) atRest() bool { return c.mode == modeRun && c.cont == nil }
+
+// locID identifies an interned configuration; it doubles as the place id of
+// the configuration's counter in markings.
+type locID = int32
+
+// poolKey identifies a pooled-inbox counter place: pending (event, payload)
+// entries addressed to instances of a class.
+type poolKey struct {
+	class classID
+	ev    ir.EventID
+	val   Val
+}
+
+// place is one counter dimension of the vector addition system: either a
+// machine-configuration count or a pooled-inbox count.
+type place struct {
+	cfg  *cfg // nil for pool places
+	pool poolKey
+}
+
+// locMeta caches per-location facts the coverability engine consults on
+// every expansion.
+type locMeta struct {
+	class classID
+	// enabled: the machine has pending work (continuation or an unresolved
+	// raise/return); expansion runs the closure directly. Otherwise the
+	// location is at rest and expansion delivers an event.
+	enabled bool
+	// deliv[e] reports whether a queued event e would be delivered (not
+	// suppressed by the effective deferred set) at the location's top
+	// frame. Valid for locations with a nonempty stack.
+	deliv []bool
+	// inh is the top frame's inherited handler map (see computeInherited).
+	inh []int16
+}
+
+const (
+	inhNone  int16 = -1
+	inhDefer int16 = -2
+)
+
+// interner hash-conses continuations, configurations, and pool places.
+type interner struct {
+	p       *ir.Program
+	classes []*classInfo
+	lv      *liveness
+
+	cnodes map[[2]int32]*cnode
+	nextCN int32
+
+	locs   map[string]locID
+	places []place // indexed by place id; cfg places and pool places share the space
+	metas  []*locMeta
+
+	pools        map[poolKey]int32
+	poolsByClass map[classID][]int32
+
+	buf []byte
+}
+
+func newInterner(p *ir.Program, classes []*classInfo) *interner {
+	return &interner{
+		p:            p,
+		classes:      classes,
+		lv:           computeLiveness(p),
+		cnodes:       map[[2]int32]*cnode{},
+		locs:         map[string]locID{},
+		pools:        map[poolKey]int32{},
+		poolsByClass: map[classID][]int32{},
+	}
+}
+
+// cons interns the cons cell (s, next).
+func (in *interner) cons(s *ir.Stmt, next *cnode) *cnode {
+	nid := int32(-1)
+	if next != nil {
+		nid = next.id
+	}
+	k := [2]int32{int32(s.Index), nid}
+	if n, ok := in.cnodes[k]; ok {
+		return n
+	}
+	n := &cnode{s: s, next: next, id: in.nextCN}
+	in.nextCN++
+	in.cnodes[k] = n
+	return n
+}
+
+// pushBody prepends body to k, interning every cell.
+func (in *interner) pushBody(body []*ir.Stmt, k *cnode) *cnode {
+	for i := len(body) - 1; i >= 0; i-- {
+		k = in.cons(body[i], k)
+	}
+	return k
+}
+
+// poolPlace interns the pool place for pk.
+func (in *interner) poolPlace(pk poolKey) int32 {
+	if id, ok := in.pools[pk]; ok {
+		return id
+	}
+	id := int32(len(in.places))
+	in.places = append(in.places, place{pool: pk})
+	in.metas = append(in.metas, nil)
+	in.pools[pk] = id
+	in.poolsByClass[pk.class] = append(in.poolsByClass[pk.class], id)
+	return id
+}
+
+func (in *interner) putVal(v Val) {
+	in.buf = append(in.buf, byte(v.Kind))
+	in.buf = binary.AppendVarint(in.buf, v.N)
+}
+
+// intern canonicalizes c (scrubbing dead fields), encodes it, and returns
+// its stable location id. The caller must not mutate c afterwards; intern
+// takes ownership.
+func (in *interner) intern(c *cfg) locID {
+	// Scrub fields that are semantically dead in the current mode so
+	// equivalent configurations collapse: outside a raise, the raised
+	// event and exit flag are meaningless; at rest, msg/arg are always
+	// overwritten by the next dequeue before any statement reads them.
+	if c.mode != modeRaise {
+		c.raised = 0
+		c.raisedVal = Val{}
+		c.exitRun = false
+	}
+	if c.atRest() {
+		c.msg = Val{}
+		c.arg = Val{}
+		if in.lv != nil {
+			// Variables dead at this rest point (written before any read on
+			// every continuation) carry no information; nulling them merges
+			// configurations that differ only in stale values.
+			in.lv.scrubDead(in.classes[c.class].typ, c)
+		}
+	}
+
+	in.buf = in.buf[:0]
+	in.buf = binary.AppendVarint(in.buf, int64(c.class))
+	in.buf = append(in.buf, c.mode, b2b(c.exitRun), b2b(c.spilled))
+	in.buf = binary.AppendVarint(in.buf, int64(c.raised))
+	in.putVal(c.raisedVal)
+	in.putVal(c.msg)
+	in.putVal(c.arg)
+	in.buf = binary.AppendVarint(in.buf, int64(len(c.stack)))
+	for _, fr := range c.stack {
+		in.buf = binary.AppendVarint(in.buf, int64(fr.state))
+		rid := int32(-1)
+		if fr.ret != nil {
+			rid = fr.ret.id
+		}
+		in.buf = binary.AppendVarint(in.buf, int64(rid))
+	}
+	for _, v := range c.vars {
+		in.putVal(v)
+	}
+	cid := int32(-1)
+	if c.cont != nil {
+		cid = c.cont.id
+	}
+	in.buf = binary.AppendVarint(in.buf, int64(cid))
+	in.buf = binary.AppendVarint(in.buf, int64(len(c.queue)))
+	for _, q := range c.queue {
+		in.buf = binary.AppendVarint(in.buf, int64(q.ev))
+		in.putVal(q.val)
+	}
+
+	key := string(in.buf)
+	if id, ok := in.locs[key]; ok {
+		return id
+	}
+	id := int32(len(in.places))
+	in.places = append(in.places, place{cfg: c})
+	in.metas = append(in.metas, in.buildMeta(c))
+	in.locs[key] = id
+	return id
+}
+
+func b2b(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// buildMeta computes the cached per-location facts.
+func (in *interner) buildMeta(c *cfg) *locMeta {
+	m := &locMeta{class: c.class, enabled: c.cont != nil || c.mode != modeRun}
+	if len(c.stack) == 0 {
+		return m
+	}
+	mt := in.p.Machines[in.classes[c.class].typ]
+	// Reconstruct the top frame's inherited handler map from the state
+	// chain: frame 0 inherits nothing; frame i inherits from the state of
+	// frame i-1 (which cannot have changed while frame i exists).
+	inh := make([]int16, len(in.p.Events))
+	for i := range inh {
+		inh[i] = inhNone
+	}
+	for i := 1; i < len(c.stack); i++ {
+		inh = computeInherited(in.p, mt.States[c.stack[i-1].state], inh)
+	}
+	m.inh = inh
+	st := mt.States[c.top().state]
+	m.deliv = make([]bool, len(in.p.Events))
+	for e := range in.p.Events {
+		handled := st.Trans[e].Kind != ir.TransNone || st.Action[e] != ir.NoAction
+		deferred := inh[e] == inhDefer || st.Deferred.Contains(ir.EventID(e))
+		m.deliv[e] = handled || !deferred
+	}
+	return m
+}
+
+// computeInherited ports core's CALL-rule handler-map computation: the
+// callee masks events the caller state transitions on, binds the caller's
+// actions, marks the caller's deferrals, and inherits the rest.
+func computeInherited(p *ir.Program, st *ir.State, parent []int16) []int16 {
+	out := make([]int16, len(p.Events))
+	for e := range out {
+		switch {
+		case st.Trans[e].Kind != ir.TransNone:
+			out[e] = inhNone
+		case st.Action[e] != ir.NoAction:
+			out[e] = int16(st.Action[e])
+		case st.Deferred.Contains(ir.EventID(e)):
+			out[e] = inhDefer
+		default:
+			out[e] = parent[e]
+		}
+	}
+	return out
+}
+
+// firstDeliverable returns the index of the first prefix entry the DEQUEUE
+// rule would deliver, or -1. Exact: prefix order is the true FIFO order.
+func firstDeliverable(c *cfg, meta *locMeta) int {
+	for i, q := range c.queue {
+		if meta.deliv[q.ev] {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- markings ---
+
+// omega is the ω sentinel of the Karp–Miller construction: "arbitrarily
+// many" tokens in a place.
+const omega = int32(math.MaxInt32)
+
+// marking counts tokens per place. Places absent from the map hold zero.
+type marking map[int32]int32
+
+func (m marking) clone() marking {
+	n := make(marking, len(m)+2)
+	for k, v := range m {
+		n[k] = v
+	}
+	return n
+}
+
+// add increments place p by d (saturating at ω), removing zero entries.
+func (m marking) add(p int32, d int32) {
+	v := m[p]
+	if v == omega {
+		return
+	}
+	v += d
+	if v <= 0 {
+		delete(m, p)
+		return
+	}
+	m[p] = v
+}
+
+func (m marking) get(p int32) int32 { return m[p] }
+
+// leq reports m ≤ o pointwise (ω dominates everything).
+func (m marking) leq(o marking) bool {
+	for p, v := range m {
+		ov := o[p]
+		if ov != omega && (v == omega || v > ov) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m marking) equal(o marking) bool {
+	return len(m) == len(o) && m.leq(o) && o.leq(m)
+}
+
+// key returns a canonical string encoding for the visited set.
+func (m marking) key(buf []byte) (string, []byte) {
+	ids := make([]int32, 0, len(m))
+	for p := range m {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	buf = buf[:0]
+	for _, p := range ids {
+		buf = binary.AppendVarint(buf, int64(p))
+		buf = binary.AppendVarint(buf, int64(m[p]))
+	}
+	return string(buf), buf
+}

@@ -1,0 +1,280 @@
+package abstract
+
+import "pgo/internal/ir"
+
+// Live-variable analysis powering dead-value scrubbing of resting
+// configurations. A machine variable that is written before it is read on
+// every path out of a rest point carries no information there, yet its
+// stale value splits otherwise-identical markings — the directory machine
+// of german, for instance, parks the id of the last requester in a
+// variable that every handler overwrites first, multiplying its Idle
+// configurations by the client count. Scrubbing dead variables to ⊥ at
+// intern time collapses those states soundly: by definition of liveness no
+// abstract run can observe the difference.
+//
+// The analysis is a standard backward may-read-before-write fixpoint over
+// each machine's state graph, made conservative wherever control flow gets
+// exotic: a raise flows into the union of every state's binding for the
+// event (plus all exit bodies, for the unhandled pop path), loops keep
+// their kills, and statements that thread the call stack (leave, return,
+// call) or foreign functions fall back to "every variable the machine
+// mentions anywhere". Frames below the top are covered at scrub time by
+// unioning live sets over the whole stack, and configurations with a
+// pushed return continuation are not scrubbed at all — the continuation's
+// reads are not modeled.
+
+// varset is a bitset over a machine's variable ids.
+type varset []uint64
+
+func newVarset(n int) varset { return make(varset, (n+63)/64) }
+
+func (v varset) has(i ir.VarID) bool { return v[i/64]&(1<<(uint(i)%64)) != 0 }
+func (v varset) set(i ir.VarID)      { v[i/64] |= 1 << (uint(i) % 64) }
+func (v varset) clear(i ir.VarID)    { v[i/64] &^= 1 << (uint(i) % 64) }
+
+func (v varset) clone() varset {
+	n := make(varset, len(v))
+	copy(n, v)
+	return n
+}
+
+// or unions o into v, reporting whether v changed.
+func (v varset) or(o varset) bool {
+	changed := false
+	for i := range v {
+		if n := v[i] | o[i]; n != v[i] {
+			v[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// liveness holds, per machine and state, the variables that may be read
+// before being written once the machine rests in that state.
+type liveness struct {
+	atRest [][]varset
+}
+
+// machLive is the per-machine fixpoint workspace.
+type machLive struct {
+	p  *ir.Program
+	m  *ir.Machine
+	nv int
+	la []varset // live at rest in state s
+	le []varset // live on entering state s (before its entry body)
+	h  []varset // live at a `raise e`, over all possible handler states
+	// all is the catch-all: every variable the machine reads anywhere.
+	all varset
+	// exits is the union of every exit body's live-in against an empty
+	// live-out — the unhandled-event pop path, folded into every h[e].
+	exits varset
+}
+
+func computeLiveness(p *ir.Program) *liveness {
+	lv := &liveness{atRest: make([][]varset, len(p.Machines))}
+	for mi, m := range p.Machines {
+		ml := &machLive{p: p, m: m, nv: len(m.Vars)}
+		ml.la = make([]varset, len(m.States))
+		ml.le = make([]varset, len(m.States))
+		ml.h = make([]varset, len(p.Events))
+		for s := range m.States {
+			ml.la[s] = newVarset(ml.nv)
+			ml.le[s] = newVarset(ml.nv)
+		}
+		for e := range p.Events {
+			ml.h[e] = newVarset(ml.nv)
+		}
+		ml.all = newVarset(ml.nv)
+		for _, st := range m.States {
+			ml.collectUses(st.Entry)
+			ml.collectUses(st.Exit)
+		}
+		for _, a := range m.Actions {
+			ml.collectUses(a.Body)
+		}
+		ml.exits = newVarset(ml.nv)
+
+		for changed := true; changed; {
+			changed = false
+			ex := newVarset(ml.nv)
+			for _, st := range m.States {
+				ex.or(ml.liveBody(st.Exit, newVarset(ml.nv)))
+			}
+			changed = ml.exits.or(ex) || changed
+			for e := range p.Events {
+				changed = ml.h[e].or(ml.handlerLive(ir.EventID(e))) || changed
+			}
+			for si, st := range m.States {
+				changed = ml.le[si].or(ml.liveBody(st.Entry, ml.la[si].clone())) || changed
+				changed = ml.la[si].or(ml.restLive(st)) || changed
+			}
+		}
+		lv.atRest[mi] = ml.la
+	}
+	return lv
+}
+
+// restLive computes the contribution of state st's own bindings to its
+// live-at-rest set: each deliverable event's handler path.
+func (ml *machLive) restLive(st *ir.State) varset {
+	out := newVarset(ml.nv)
+	for e := range ml.p.Events {
+		out.or(ml.bindingLive(st, ir.EventID(e)))
+	}
+	return out
+}
+
+// bindingLive is the live-in of delivering event e while st is the current
+// state, considering only st's own bindings (inherited actions belong to
+// the caller's state and are covered by the stack union at scrub time).
+func (ml *machLive) bindingLive(st *ir.State, e ir.EventID) varset {
+	out := newVarset(ml.nv)
+	switch tr := st.Trans[e]; tr.Kind {
+	case ir.TransStep:
+		out.or(ml.liveBody(st.Exit, ml.le[tr.Target].clone()))
+	case ir.TransCall:
+		// The callee runs, then a return resumes rest in st.
+		out.or(ml.le[tr.Target])
+		out.or(ml.la[st.ID])
+	}
+	if a := st.Action[e]; a != ir.NoAction {
+		// The action body runs and the machine rests in st again.
+		out.or(ml.liveBody(ml.m.Actions[a].Body, ml.la[st.ID].clone()))
+	}
+	return out
+}
+
+// handlerLive is the live set at a `raise e`: the event resolves against
+// the current state, which the analysis does not track, so every state's
+// binding counts, plus every exit body for the unhandled pop path.
+func (ml *machLive) handlerLive(e ir.EventID) varset {
+	out := ml.exits.clone()
+	for _, st := range ml.m.States {
+		out.or(ml.bindingLive(st, e))
+	}
+	return out
+}
+
+// liveBody is the backward transfer of a statement list: out is consumed
+// (mutated) and returned.
+func (ml *machLive) liveBody(body []*ir.Stmt, out varset) varset {
+	for i := len(body) - 1; i >= 0; i-- {
+		s := body[i]
+		switch s.Op {
+		case ir.SSkip:
+		case ir.SAssign:
+			out.clear(s.Var)
+			ml.exprUses(s.Expr, out)
+		case ir.SAssert:
+			ml.exprUses(s.Expr, out)
+		case ir.SIf:
+			t := ml.liveBody(s.Body, out.clone())
+			t.or(ml.liveBody(s.Else, out))
+			out = t
+			ml.exprUses(s.Expr, out)
+		case ir.SWhile:
+			// One conservative unrolling: the body may or may not run, and
+			// kills inside it do not count (it can iterate).
+			var gen varset
+			ml.collectInto(s.Body, &gen)
+			if gen != nil {
+				out.or(gen)
+			}
+			ml.exprUses(s.Expr, out)
+		case ir.SSend:
+			ml.exprUses(s.Target, out)
+			ml.exprUses(s.Expr, out)
+		case ir.SNew:
+			out.clear(s.Var)
+			for _, init := range s.Inits {
+				ml.exprUses(init.Expr, out)
+			}
+		case ir.SRaise:
+			out = ml.h[s.Event].clone()
+			ml.exprUses(s.Expr, out)
+		case ir.SDelete:
+			out = newVarset(ml.nv)
+		default:
+			// SLeave, SReturn, SCallState, SForeign: stack- or host-
+			// dependent continuations — assume everything stays readable.
+			out = ml.all.clone()
+		}
+	}
+	return out
+}
+
+// exprUses adds e's variable reads to out.
+func (ml *machLive) exprUses(e *ir.Expr, out varset) {
+	if e == nil {
+		return
+	}
+	if e.Op == ir.EVar {
+		out.set(e.Var)
+	}
+	if e.Op == ir.ECall {
+		// A foreign model body may read any variable.
+		out.or(ml.all)
+	}
+	ml.exprUses(e.X, out)
+	ml.exprUses(e.Y, out)
+	for _, a := range e.Args {
+		ml.exprUses(a, out)
+	}
+}
+
+// collectUses folds every variable read in body into ml.all.
+func (ml *machLive) collectUses(body []*ir.Stmt) {
+	ir.WalkStmts(body, func(s *ir.Stmt) {
+		ml.exprUses(s.Expr, ml.all)
+		ml.exprUses(s.Target, ml.all)
+		for _, init := range s.Inits {
+			ml.exprUses(init.Expr, ml.all)
+		}
+		for _, a := range s.Args {
+			ml.exprUses(a, ml.all)
+		}
+	})
+}
+
+// collectInto lazily builds the read set of body (no kills).
+func (ml *machLive) collectInto(body []*ir.Stmt, gen *varset) {
+	if *gen == nil {
+		*gen = newVarset(ml.nv)
+	}
+	g := *gen
+	ir.WalkStmts(body, func(s *ir.Stmt) {
+		ml.exprUses(s.Expr, g)
+		ml.exprUses(s.Target, g)
+		for _, init := range s.Inits {
+			ml.exprUses(init.Expr, g)
+		}
+		for _, a := range s.Args {
+			ml.exprUses(a, g)
+		}
+	})
+}
+
+// scrubDead nulls c's dead variables when c rests with a plain stack (no
+// pushed return continuations): a variable survives only if it is live at
+// rest in some frame's state.
+func (lv *liveness) scrubDead(typ ir.MachineTypeID, c *cfg) {
+	for _, fr := range c.stack {
+		if fr.ret != nil {
+			return
+		}
+	}
+	la := lv.atRest[typ]
+	for v := range c.vars {
+		live := false
+		for _, fr := range c.stack {
+			if la[fr.state].has(ir.VarID(v)) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			c.vars[v] = vNull
+		}
+	}
+}

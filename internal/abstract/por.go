@@ -1,0 +1,256 @@
+package abstract
+
+import (
+	"sort"
+
+	"pgo/internal/ir"
+)
+
+// Partial-order reduction for the coverability engine, mirroring the
+// singleton-ample-set reduction of internal/check/por.go. At a marking,
+// instead of firing every live token, the engine may commit to a single
+// token x when every macro step of x commutes with anything the rest of the
+// system can do before x moves.
+//
+// The abstract engine's commutation argument is simpler than the concrete
+// explorer's in two ways, both consequences of the always-cut-at-rest
+// closure design:
+//
+//   - Closures never dequeue mid-run, so a macro step reads its own inbox
+//     exactly once (the initial delivery) and never observes emptiness.
+//     The concrete reduction's block-outcome condition disappears: an
+//     x-step that ends at rest commutes with coalition appends to x
+//     regardless of whether anything is deliverable afterwards.
+//   - There is no global id counter: machine creation just adds a class
+//     token, and counter increments commute, so creations need no mutual
+//     exclusion against coalition creations.
+//
+// What remains is exactly the ⊕-inbox discipline: the event x dequeues must
+// not be appendable by the coalition (a removal could otherwise flip a
+// later dedup decision), appends to one inbox never commute with each other
+// (so x's sends must target frozen tokens, and self-appends or halts demand
+// that nobody can send to x at all).
+//
+// The reduction is gated to markings whose live tokens are all singletons
+// with unspilled prefixes and whose pools are empty. This keeps tokens in
+// bijection with machine instances — the regime where the interleaving
+// explosion actually bites (german, the usb machines); counted markings are
+// already collapsed by symmetry and stay small.
+//
+// Soundness also needs the cycle proviso (the ignoring problem): a reduced
+// node must not postpone the rest of the system forever around a cycle. The
+// engine uses the visited-set variant, as in the concrete explorers: if no
+// ample successor is new to the search frontier, the node is expanded fully
+// after all.
+
+// porMaxSeeds bounds the ample-seed candidates tried per marking.
+const porMaxSeeds = 4
+
+// porEligible reports whether the reduction's token/instance bijection
+// holds at m: every place with tokens is a singleton-class configuration
+// with an unspilled prefix.
+func (e *engine) porEligible(m marking) bool {
+	for p, cnt := range m {
+		if cnt <= 0 {
+			continue
+		}
+		pl := e.t.in.places[p]
+		if pl.cfg == nil {
+			return false // pending pool tokens: order-abstracted inboxes
+		}
+		if !e.t.singleton(pl.cfg.class) || pl.cfg.spilled || cnt != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// seedMoves returns token p's full transition set at m: the run closure
+// when enabled, the prefix-delivery closure when something is deliverable.
+// delivEv is the dequeued event (or -1); ok is false when p cannot move.
+func (e *engine) seedMoves(p int32) (effs []effect, delivEv ir.EventID, ok bool) {
+	pl := e.t.in.places[p]
+	meta := e.t.in.metas[p]
+	if meta.enabled {
+		return e.t.closureRun(p), -1, true
+	}
+	idx := firstDeliverable(pl.cfg, meta)
+	if idx < 0 {
+		return nil, -1, false
+	}
+	return e.t.closureDeliverPrefix(p), pl.cfg.queue[idx].ev, true
+}
+
+// coalition accumulates what the tokens that can act before x moves are
+// able to do, by class for actors and by machine type for capabilities.
+type coalition struct {
+	e       *engine
+	act     map[classID]bool
+	carried map[classID]bool
+	canSend []ir.EventSet
+	spawned []bool
+}
+
+func (co *coalition) addStateCaps(t ir.MachineTypeID, s ir.StateID) {
+	pf := co.e.pf
+	for ti := range co.canSend {
+		co.canSend[ti] = co.canSend[ti].Union(pf.SendEventsFrom[t][s][ti])
+	}
+	for _, sp := range pf.SpawnsFrom[t][s] {
+		co.addSpawn(sp)
+	}
+}
+
+func (co *coalition) addSpawn(t ir.MachineTypeID) {
+	if co.spawned[t] {
+		return
+	}
+	co.spawned[t] = true
+	co.addStateCaps(t, co.e.pf.InitState[t])
+}
+
+// join adds the token of class c (at configuration cfg) to the coalition:
+// the classes it holds references to become nameable, and the capabilities
+// of every stack frame's state count (a pop resumes a lower frame).
+func (co *coalition) join(c *cfg) {
+	co.act[c.class] = true
+	carry := func(v Val) {
+		if v.Kind == VMach {
+			co.carried[v.class()] = true
+		}
+	}
+	for _, v := range c.vars {
+		carry(v)
+	}
+	for _, q := range c.queue {
+		carry(q.val)
+	}
+	carry(c.msg)
+	carry(c.arg)
+	carry(c.raisedVal)
+	t := co.e.t.classes[c.class].typ
+	for i := range c.stack {
+		co.addStateCaps(t, c.stack[i].state)
+	}
+}
+
+// ample reports whether {x} is a valid singleton ample set at m, given x's
+// transition effects and dequeued event. Error effects are excluded: they
+// are recorded as violations at expansion and stay reachable under any
+// reordering of steps the remaining conditions accept.
+func (e *engine) ample(m marking, x int32, effs []effect, delivEv ir.EventID) bool {
+	t := e.t
+	xClass := t.in.places[x].cfg.class
+	xType := t.classes[xClass].typ
+
+	co := &coalition{
+		e:       e,
+		act:     map[classID]bool{},
+		carried: map[classID]bool{},
+		canSend: make([]ir.EventSet, len(t.p.Machines)),
+		spawned: make([]bool, len(t.p.Machines)),
+	}
+	type tok struct {
+		place int32
+		cfg   *cfg
+	}
+	var live []tok
+	for p, cnt := range m {
+		if cnt <= 0 || p == x {
+			continue
+		}
+		pl := t.in.places[p]
+		live = append(live, tok{p, pl.cfg})
+		meta := t.in.metas[p]
+		if meta.enabled || firstDeliverable(pl.cfg, meta) >= 0 {
+			co.join(pl.cfg)
+		}
+	}
+	// Wake closure: a frozen token joins if the coalition holds its class
+	// reference and can send to its type — the send could un-block it.
+	for changed := true; changed; {
+		changed = false
+		for _, tk := range live {
+			c := tk.cfg.class
+			if co.act[c] || !co.carried[c] {
+				continue
+			}
+			if !co.canSend[t.classes[c].typ].IsEmpty() {
+				co.join(tk.cfg)
+				changed = true
+			}
+		}
+	}
+	var eOut ir.EventSet
+	if co.carried[xClass] {
+		eOut = co.canSend[xType]
+	}
+
+	if delivEv >= 0 && eOut.Contains(delivEv) {
+		return false // x's removal could flip a coalition append's ⊕ dedup
+	}
+	nonErr := 0
+	for i := range effs {
+		eff := &effs[i]
+		switch eff.kind {
+		case oErr:
+			continue
+		case oUnsup:
+			return false
+		case oHalt:
+			if !eOut.IsEmpty() {
+				return false // send-to-halted errors in one order only
+			}
+		case oSend:
+			if eff.folded {
+				if !eOut.IsEmpty() {
+					return false // two appenders to one ⊕ inbox
+				}
+			} else if co.act[eff.tgtClass] {
+				return false // the receiver must stay frozen under x's append
+			}
+		}
+		nonErr++
+	}
+	return nonErr > 0
+}
+
+// expandReduced attempts a POR-reduced expansion of n. It returns true when
+// a valid ample seed was found AND its successors produced new frontier
+// work (the visited-set cycle proviso); the caller falls back to full
+// expansion otherwise.
+func (e *engine) expandReduced(n *kmNode) bool {
+	if e.pf == nil || !e.porEligible(n.m) {
+		return false
+	}
+	var places []int32
+	for p, cnt := range n.m {
+		if cnt > 0 {
+			places = append(places, p)
+		}
+	}
+	sort.Slice(places, func(i, j int) bool { return places[i] < places[j] })
+	tried := 0
+	for _, p := range places {
+		if tried >= porMaxSeeds {
+			break
+		}
+		effs, delivEv, ok := e.seedMoves(p)
+		if !ok {
+			continue
+		}
+		tried++
+		if !e.ample(n.m, p, effs, delivEv) {
+			continue
+		}
+		if e.apply(n, p, -1, effs) > 0 {
+			e.reduced++
+			return true
+		}
+		// No new work from the ample set: the proviso fails (a cycle could
+		// starve the rest of the system); expand fully. The already-applied
+		// successors are deduplicated by the visited set.
+		return false
+	}
+	return false
+}

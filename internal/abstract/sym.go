@@ -1,0 +1,234 @@
+package abstract
+
+import (
+	"sort"
+
+	"pgo/internal/ir"
+)
+
+// Symmetry reduction over interchangeable singleton classes. A program like
+// german creates one client (and one driver) per index from textually
+// repeated creation sites; the resulting singleton classes are isomorphic —
+// the abstract transition system is invariant under any permutation π of
+// same-type singleton classes applied to class ids and to every VMach
+// reference. The search therefore only needs one representative per orbit:
+// the visited set deduplicates markings by the lexicographically least
+// encoding over all π. This collapses both the product of symmetric local
+// states and, crucially, the orderings of symmetric entries inside other
+// machines' inbox prefixes (the directory machine's deferred requests from
+// k clients contribute k! orderings per orbit).
+//
+// Soundness: π must be an automorphism. Same-type singleton classes differ
+// only in their creation site, and a singleton classification already
+// guarantees the site fires at most once on any path (buildClasses demotes
+// re-runnable sites to counted classes), so site identity never re-enters
+// the semantics after creation; everything else the engine consults —
+// machine type, liveness, handler tables, halting capability — is keyed by
+// type, which π preserves. Exploring only orbit representatives preserves
+// coverability of every error class: if an error is reachable from a
+// dropped marking m, it is reachable (with classes renamed) from the
+// visited π(m). Note the interplay with ω-acceleration is one-sided:
+// acceleration still runs on each node's own ancestor chain, and symmetry
+// can only remove frontier work, so P401/P402 verdicts are unaffected; at
+// worst a symmetric domination goes undetected and an ω (P403) is found
+// later or not at all — a loss of completeness, never of soundness.
+//
+// The main machine's class is excluded: it is created by the INIT rule, not
+// a site, and is unique per program anyway.
+
+// maxSymPerms bounds the permutation group size; beyond it the reduction is
+// disabled (the per-enqueue canonicalization cost would exceed its savings).
+const maxSymPerms = 1024
+
+// symmetry holds the enumerated permutation group and per-permutation place
+// translation caches.
+type symmetry struct {
+	t *tr
+	// perms[k] maps each class id to its image; the identity is omitted.
+	perms [][]classID
+	// moved[k][c] reports perms[k] displaces class c (fast path filter).
+	moved [][]bool
+	// cache[k] memoizes place translation under perms[k].
+	cache []map[int32]int32
+	buf   []byte
+}
+
+// buildSymmetry enumerates the symmetry group, or returns nil when the
+// program has no interchangeable classes (or too many to enumerate).
+func buildSymmetry(t *tr) *symmetry {
+	byType := map[ir.MachineTypeID][]classID{}
+	for _, ci := range t.classes {
+		if ci.singleton && ci.site != nil {
+			byType[ci.typ] = append(byType[ci.typ], ci.id)
+		}
+	}
+	var types []ir.MachineTypeID
+	for mt, g := range byType {
+		if len(g) >= 2 {
+			types = append(types, mt)
+		}
+	}
+	if len(types) == 0 {
+		return nil
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	total := 1
+	var groups [][]classID
+	for _, mt := range types {
+		g := byType[mt]
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		groups = append(groups, g)
+		for f := 2; f <= len(g); f++ {
+			total *= f
+		}
+		if total > maxSymPerms {
+			return nil
+		}
+	}
+
+	identity := make([]classID, len(t.classes))
+	for i := range identity {
+		identity[i] = classID(i)
+	}
+	vecs := [][]classID{identity}
+	for _, g := range groups {
+		var next [][]classID
+		permutations(len(g), func(idx []int) {
+			for _, base := range vecs {
+				v := append([]classID(nil), base...)
+				for i, j := range idx {
+					v[g[i]] = g[j]
+				}
+				next = append(next, v)
+			}
+		})
+		vecs = next
+	}
+
+	s := &symmetry{t: t}
+	for _, v := range vecs {
+		id := true
+		mv := make([]bool, len(v))
+		for c, img := range v {
+			if classID(c) != img {
+				id = false
+				mv[c] = true
+			}
+		}
+		if id {
+			continue
+		}
+		s.perms = append(s.perms, v)
+		s.moved = append(s.moved, mv)
+		s.cache = append(s.cache, map[int32]int32{})
+	}
+	if len(s.perms) == 0 {
+		return nil
+	}
+	return s
+}
+
+// permutations invokes fn with every permutation of [0..n) (as an index
+// slice reused across calls).
+func permutations(n int, fn func([]int)) {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			fn(idx)
+			return
+		}
+		for i := k; i < n; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	rec(0)
+}
+
+func (s *symmetry) permVal(k int, v Val) Val {
+	if v.Kind == VMach && s.moved[k][v.class()] {
+		return vMach(s.perms[k][v.class()])
+	}
+	return v
+}
+
+// touches reports whether perms[k] affects c at all.
+func (s *symmetry) touches(k int, c *cfg) bool {
+	mv := s.moved[k]
+	if mv[c.class] {
+		return true
+	}
+	hit := func(v Val) bool { return v.Kind == VMach && mv[v.class()] }
+	for _, v := range c.vars {
+		if hit(v) {
+			return true
+		}
+	}
+	for _, q := range c.queue {
+		if hit(q.val) {
+			return true
+		}
+	}
+	return hit(c.msg) || hit(c.arg) || hit(c.raisedVal)
+}
+
+// permPlace translates place p under perms[k], interning the permuted
+// configuration or pool place on first use.
+func (s *symmetry) permPlace(k int, p int32) int32 {
+	if out, ok := s.cache[k][p]; ok {
+		return out
+	}
+	in := s.t.in
+	pl := in.places[p]
+	var out int32
+	if pl.cfg == nil {
+		pk := pl.pool
+		pk.class = s.perms[k][pk.class]
+		pk.val = s.permVal(k, pk.val)
+		out = in.poolPlace(pk)
+	} else if !s.touches(k, pl.cfg) {
+		out = p
+	} else {
+		c := pl.cfg.clone()
+		c.class = s.perms[k][c.class]
+		for i := range c.vars {
+			c.vars[i] = s.permVal(k, c.vars[i])
+		}
+		for i := range c.queue {
+			c.queue[i].val = s.permVal(k, c.queue[i].val)
+		}
+		c.msg = s.permVal(k, c.msg)
+		c.arg = s.permVal(k, c.arg)
+		c.raisedVal = s.permVal(k, c.raisedVal)
+		out = in.intern(c)
+	}
+	s.cache[k][p] = out
+	return out
+}
+
+// canonKey returns the lexicographically least encoding of m over the
+// symmetry group (including the identity): the orbit-canonical visited key.
+func (s *symmetry) canonKey(m marking) string {
+	var best string
+	best, s.buf = m.key(s.buf)
+	pm := make(marking, len(m))
+	for k := range s.perms {
+		for p := range pm {
+			delete(pm, p)
+		}
+		for p, cnt := range m {
+			pm[s.permPlace(k, p)] = cnt
+		}
+		var key string
+		key, s.buf = pm.key(s.buf)
+		if key < best {
+			best = key
+		}
+	}
+	return best
+}

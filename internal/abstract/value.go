@@ -1,0 +1,151 @@
+// Package abstract implements parameterized verification of P programs by
+// counter abstraction and coverability (the ROADMAP's "parameterized /
+// unbounded verification via abstraction" item, following Ganty & Majumdar's
+// Petri-net view of asynchronous programs and Liu/Wahl/Lal's partial
+// abstract transformers).
+//
+// Machine instances are grouped into creation-site classes. A class whose
+// site provably executes at most once keeps an exact local configuration,
+// including a bounded FIFO prefix of its inbox; classes that may be
+// instantiated unboundedly are counted per abstract configuration, and
+// their inboxes become occurrence counters (multisets) of pending events —
+// FIFO order and instance identity are lost soundly: the abstraction
+// over-approximates, so it can flag spurious errors but never miss real
+// assertion or unhandled-event violations reachable at any instance count.
+// A Karp–Miller coverability search with ω-acceleration then decides
+// whether an error configuration is coverable for any N.
+package abstract
+
+import (
+	"fmt"
+
+	"pgo/internal/ir"
+)
+
+// intCap bounds the magnitude of exactly-tracked integers. Larger values
+// widen to VAnyInt so the abstract value domain stays finite (a requirement
+// for termination of the coverability search).
+const intCap = 64
+
+// VKind enumerates abstract value kinds. The exact kinds mirror
+// core.ValueKind; the Any kinds are the widened points of the domain.
+type VKind uint8
+
+const (
+	// VNull is exactly the ⊥/null value.
+	VNull VKind = iota
+	// VBool is an exact boolean (N is 0 or 1).
+	VBool
+	// VInt is an exact integer with |N| <= intCap.
+	VInt
+	// VEvent is an exact event constant (N is the EventID).
+	VEvent
+	// VMach is a reference to some instance of class N. It denotes a unique
+	// machine exactly when the class is a singleton.
+	VMach
+	// VSelf is `this` inside a machine of a non-singleton class: definitely
+	// the executing instance, translated to VMach(own class) whenever the
+	// value escapes the machine (send payload or init value).
+	VSelf
+	// VAnyBool is an unknown boolean.
+	VAnyBool
+	// VAnyInt is an unknown integer.
+	VAnyInt
+	// VAny is a completely unknown value (any kind, including null).
+	VAny
+)
+
+// Val is an abstract P value. Vals are small comparable structs so they can
+// key queue entries, pool places, and interned configurations.
+type Val struct {
+	Kind VKind
+	N    int64
+}
+
+var vNull = Val{Kind: VNull}
+
+func vBool(b bool) Val {
+	if b {
+		return Val{Kind: VBool, N: 1}
+	}
+	return Val{Kind: VBool, N: 0}
+}
+
+func vInt(n int64) Val {
+	if n > intCap || n < -intCap {
+		return Val{Kind: VAnyInt}
+	}
+	return Val{Kind: VInt, N: n}
+}
+
+func vEvent(e ir.EventID) Val   { return Val{Kind: VEvent, N: int64(e)} }
+func vMach(c classID) Val       { return Val{Kind: VMach, N: int64(c)} }
+func (v Val) class() classID    { return classID(v.N) }
+func (v Val) isExactBool() bool { return v.Kind == VBool }
+
+// tri is a three-valued truth value.
+type tri uint8
+
+const (
+	triFalse tri = iota
+	triTrue
+	triBoth
+)
+
+// boolPoss returns which outcomes are possible when v is used where a
+// boolean is demanded: true, false, or "other" (null or a non-bool value,
+// which the concrete semantics treats as ⊥).
+func boolPoss(v Val) (canTrue, canFalse, canOther bool) {
+	switch v.Kind {
+	case VBool:
+		return v.N != 0, v.N == 0, false
+	case VAnyBool:
+		return true, true, false
+	case VAny:
+		return true, true, true
+	default:
+		return false, false, true
+	}
+}
+
+// intPoss returns whether v can be an integer and whether it can be a
+// non-integer (⊥ for arithmetic purposes). exact is valid when v is VInt.
+func intPoss(v Val) (canInt, canOther bool, exact bool, n int64) {
+	switch v.Kind {
+	case VInt:
+		return true, false, true, v.N
+	case VAnyInt:
+		return true, false, false, 0
+	case VAny:
+		return true, true, false, 0
+	default:
+		return false, true, false, 0
+	}
+}
+
+// String renders v for trace labels.
+func (v Val) String() string {
+	switch v.Kind {
+	case VNull:
+		return "null"
+	case VBool:
+		if v.N != 0 {
+			return "true"
+		}
+		return "false"
+	case VInt:
+		return fmt.Sprintf("%d", v.N)
+	case VEvent:
+		return fmt.Sprintf("event(%d)", v.N)
+	case VMach:
+		return fmt.Sprintf("mach(c%d)", v.N)
+	case VSelf:
+		return "this"
+	case VAnyBool:
+		return "bool(*)"
+	case VAnyInt:
+		return "int(*)"
+	default:
+		return "*"
+	}
+}

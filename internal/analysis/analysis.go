@@ -105,6 +105,18 @@ type Report struct {
 	// type-m machine's queue when it enters state s. Entries are the zero
 	// set for unreachable machines and states.
 	Pending [][]ir.EventSet
+	// SendTargets maps an SSend statement's Index to the machine types its
+	// target expression may reference (type-level points-to). Consumed by
+	// internal/abstract to resolve sends whose target is not tracked
+	// exactly. Only reachable send sites have entries.
+	SendTargets map[int]SendTargetFact
+}
+
+// SendTargetFact is the points-to abstraction of one send statement's
+// target expression.
+type SendTargetFact struct {
+	Types   []ir.MachineTypeID
+	Unknown bool // target may escape the abstraction (foreign result)
 }
 
 // Count returns the number of findings at exactly severity sev.
@@ -127,6 +139,16 @@ func (r *Report) HasErrors() bool { return r.Count(SevError) > 0 }
 func Analyze(p *ir.Program) *Report {
 	f := newFacts(p)
 	rep := &Report{Comm: f.commGraph(), Pending: f.pend}
+	rep.SendTargets = make(map[int]SendTargetFact, len(f.sites))
+	for _, site := range f.sites {
+		fact := SendTargetFact{Unknown: site.tgt.unknown}
+		for ti, ok := range site.tgt.types {
+			if ok {
+				fact.Types = append(fact.Types, ir.MachineTypeID(ti))
+			}
+		}
+		rep.SendTargets[site.st.Index] = fact
+	}
 	rep.Findings = append(rep.Findings, f.eventFlowFindings()...)
 	rep.Findings = append(rep.Findings, f.deadTransitionFindings()...)
 	rep.Findings = append(rep.Findings, f.boundednessFindings(rep.Comm)...)

@@ -326,11 +326,7 @@ func containsState(list []ir.StateID, s ir.StateID) bool {
 // walkStmts applies fn to every statement in body, recursing into if/while
 // bodies (but not into foreign models — callers handle those explicitly).
 func walkStmts(body []*ir.Stmt, fn func(*ir.Stmt)) {
-	for _, s := range body {
-		fn(s)
-		walkStmts(s.Body, fn)
-		walkStmts(s.Else, fn)
-	}
+	ir.WalkStmts(body, fn)
 }
 
 // foreignCalls returns the foreign functions invoked directly by s, either

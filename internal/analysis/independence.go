@@ -94,6 +94,27 @@ func PORIndependence(p *ir.Program) *PORFacts {
 			}
 		}
 
+		// Precompute each state's call-edge targets once. The per-state
+		// reachability sweeps below would otherwise rescan every
+		// container's owner list and re-walk its body for every start
+		// state — quadratic in control states, and the dominant cost of
+		// this pass on machines with many states (the USB device model).
+		callEdges := make([][]ir.StateID, ns)
+		for _, c := range mf.conts {
+			var tgts []ir.StateID
+			walkStmts(c.body, func(stm *ir.Stmt) {
+				if stm.Op == ir.SCallState {
+					tgts = append(tgts, stm.State)
+				}
+			})
+			if len(tgts) == 0 {
+				continue
+			}
+			for _, o := range c.owners {
+				callEdges[o] = append(callEdges[o], tgts...)
+			}
+		}
+
 		// Per-state forward reachability over goto and call edges. Pops
 		// need no edges: at runtime a pop returns to a lower frame, and
 		// the reducer unions facts over every frame state.
@@ -115,12 +136,8 @@ func PORIndependence(p *ir.Program) *PORFacts {
 						visit(tr.Target)
 					}
 				}
-				for _, c := range f.stateContainers(mf, cur) {
-					walkStmts(c.body, func(stm *ir.Stmt) {
-						if stm.Op == ir.SCallState {
-							visit(stm.State)
-						}
-					})
+				for _, t := range callEdges[cur] {
+					visit(t)
 				}
 			}
 			spawned := make([]bool, nm)

@@ -15,24 +15,32 @@ import (
 // tests; compilation errors are returned as an error with the diagnostics
 // rendered in its message.
 func Run(name, src string) ([]Finding, *Report, error) {
+	findings, rep, _, err := RunWithProgram(name, src)
+	return findings, rep, err
+}
+
+// RunWithProgram is Run, additionally returning the lowered (unerased)
+// program so callers can chain IR-level passes — notably the counter
+// abstraction of internal/abstract — onto the same compilation.
+func RunWithProgram(name, src string) ([]Finding, *Report, *ir.Program, error) {
 	var diags source.DiagList
 	ast := parser.Parse(src, &diags)
 	if diags.HasErrors() {
-		return nil, nil, fmt.Errorf("%s: parse failed:\n%s", name, diags.String())
+		return nil, nil, nil, fmt.Errorf("%s: parse failed:\n%s", name, diags.String())
 	}
 	chk := types.Check(ast, &diags)
 	if diags.HasErrors() {
-		return nil, nil, fmt.Errorf("%s: type check failed:\n%s", name, diags.String())
+		return nil, nil, nil, fmt.Errorf("%s: type check failed:\n%s", name, diags.String())
 	}
 	types.Lint(chk, &diags)
 	prog, err := ir.Lower(name, chk)
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: lowering failed: %w", name, err)
+		return nil, nil, nil, fmt.Errorf("%s: lowering failed: %w", name, err)
 	}
 	rep := Analyze(prog)
 	findings := append(FromDiagnostics(diags.All()), rep.Findings...)
 	SortFindings(findings)
-	return findings, rep, nil
+	return findings, rep, prog, nil
 }
 
 // FromDiagnostics adopts frontend diagnostics (the coded hygiene warnings

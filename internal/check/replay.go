@@ -1,0 +1,128 @@
+package check
+
+import (
+	"pgo/internal/core"
+	"pgo/internal/ir"
+)
+
+// Concrete replay of abstract counterexamples. The counter abstraction
+// (internal/abstract) over-approximates: a P402 abstract counterexample may
+// be an artifact of pooled inbox reordering or widened values. Replay runs
+// the ordinary explicit-state explorer over the same program — a concrete
+// instantiation at whatever instance count the program's ghost environment
+// builds — and checks whether a violation of the same class shows up. A hit
+// confirms the abstract finding on a real schedule; a miss within the
+// bounded search marks it possibly spurious (the abstract error may still
+// be real at larger N or deeper schedules).
+//
+// The signature type deliberately mirrors abstract.AbsError without
+// importing it (the dependency points the other way: callers that hold both
+// packages, like cmd/pverify, convert), and matching is by error class —
+// kind, machine type, and event — not by state or schedule: the abstract
+// trace's interleavings need not be concretely executable even when the
+// defect is real.
+
+// AbsSignature identifies an abstract error class for concrete replay.
+type AbsSignature struct {
+	Kind core.ErrKind
+	Type string // machine type name
+	// Event is the involved event's name; "" matches violations regardless
+	// of event.
+	Event string
+}
+
+// DefaultReplayOptions is the bounded exploration replay uses unless the
+// caller overrides it: a depth-bounded search truncated at a state cap, so
+// replay stays a quick confirmation pass rather than a second full
+// verification. Depth bounding (rather than the delay bounding pverify
+// defaults to) matters here because parameterized programs drive machine
+// creation from an unbounded ghost loop: a delaying scheduler happily runs
+// the spawner forever, and every spawn grows the global state, so the
+// search gets slower with each level. A depth bound caps the trace length
+// and with it the instance count, keeping replay terminating on exactly
+// the programs the abstraction is for. Bound is the deepest rung of the
+// iterative-deepening ladder ReplaySignatures climbs; MaxStates is the
+// per-rung budget.
+func DefaultReplayOptions() Options {
+	return Options{
+		Mode:      DepthBounded,
+		Bound:     32,
+		MaxStates: 200_000,
+		POR:       true,
+	}
+}
+
+// replayLadder is the iterative-deepening schedule: the first rung and the
+// increment between rungs. Parameterized state spaces grow by a large
+// constant factor per depth level, so each rung costs a fraction of the
+// next and the ladder's total work is dominated by the deepest rung run.
+const (
+	replayFirstDepth = 8
+	replayDepthStep  = 4
+)
+
+// ReplaySignatures explores prog concretely and reports, per signature,
+// whether a violation of the same class was found. The returned Result
+// carries the deepest underlying exploration (its Stats.Truncated tells
+// callers whether a miss is exhaustive up to the bound or merely
+// budget-limited).
+//
+// In depth-bounded mode the search iteratively deepens from a small bound
+// up to opts.Bound, stopping early when every signature has been matched —
+// so a shallow real bug is confirmed in milliseconds — or when a rung
+// exhausts opts.MaxStates, since any deeper rung explores a superset of
+// the flooded one and would only drown the same way. Hits accumulate
+// across rungs. Other modes run a single exploration with opts as given.
+func ReplaySignatures(prog *ir.Program, sigs []AbsSignature, opts Options) ([]bool, *Result, error) {
+	hits := make([]bool, len(sigs))
+	mark := func(res *Result) bool {
+		all := true
+		for _, v := range res.Violations {
+			for i, sig := range sigs {
+				if !hits[i] && sig.matches(prog, v.Err) {
+					hits[i] = true
+				}
+			}
+		}
+		for _, h := range hits {
+			all = all && h
+		}
+		return all
+	}
+
+	if opts.Mode != DepthBounded {
+		res, err := Explore(prog, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		mark(res)
+		return hits, res, nil
+	}
+
+	var res *Result
+	for depth := replayFirstDepth; ; depth += replayDepthStep {
+		if depth > opts.Bound {
+			depth = opts.Bound
+		}
+		ropts := opts
+		ropts.Bound = depth
+		var err error
+		res, err = Explore(prog, ropts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if mark(res) || res.Stats.Truncated || depth >= opts.Bound {
+			return hits, res, nil
+		}
+	}
+}
+
+func (sig AbsSignature) matches(prog *ir.Program, e *core.Err) bool {
+	if e == nil || e.Kind != sig.Kind || e.Type != sig.Type {
+		return false
+	}
+	if sig.Event == "" {
+		return true
+	}
+	return e.HasEv && prog.Events[e.Event].Name == sig.Event
+}

@@ -1,0 +1,11 @@
+package ir
+
+// WalkStmts calls fn for every statement in body, recursing into the
+// Body and Else blocks of compound statements (pre-order).
+func WalkStmts(body []*Stmt, fn func(*Stmt)) {
+	for _, s := range body {
+		fn(s)
+		WalkStmts(s.Body, fn)
+		WalkStmts(s.Else, fn)
+	}
+}

@@ -1,0 +1,106 @@
+// german_unsafe_paramN: a german-style directory sized for two caches,
+// driven by an unbounded cache population — unsafe precisely because the
+// instance count is a parameter.
+//
+// The Host grants shared access and records each grantee in one of two
+// sharer slots, asserting that a free slot exists. That invariant holds
+// for every closed system with at most two caches, but a ghost Driver
+// creates caches in a loop: with three or more requesters the insert runs
+// out of slots and the assertion fails.
+//
+// `pverify -abstract testdata/german_unsafe_paramN.p` finds the abstract
+// counterexample (P402) and confirms it by concrete replay: the explicit
+// explorer reproduces the assertion failure on a real schedule once the
+// driver has spawned a third cache.
+
+event ReqShared(id);   // cache -> host (payload: requesting cache)
+event GrantShared;     // host -> cache
+event unit;
+
+machine Host {
+  var shr1: id;
+  var shr2: id;
+
+  state Idle {
+    entry { skip; }
+    on ReqShared goto ProcShared;
+  }
+
+  state ProcShared {
+    defer ReqShared;
+    entry {
+      if shr1 == null {
+        shr1 = arg;
+      } else {
+        if shr2 == null {
+          shr2 = arg;
+        } else {
+          assert false;   // no free sharer slot: the directory is oversubscribed
+        }
+      }
+      send arg, GrantShared;
+      raise unit;
+    }
+    on unit goto Idle;
+  }
+}
+
+machine Cache {
+  var host: id;
+
+  state Invalid {
+    entry {
+      send host, ReqShared, this;
+      raise unit;
+    }
+    on unit goto WaitShared;
+  }
+
+  state WaitShared {
+    entry { skip; }
+    on GrantShared goto Sharer;
+  }
+
+  state Sharer {
+    entry { skip; }
+    // A sharer tolerates a redundant grant: without this, the abstraction's
+    // identity collapse (any pooled grant may reach any cache) would add a
+    // spurious unhandled-event counterexample next to the real one.
+    on GrantShared ignore;
+  }
+}
+
+// The driver spawns a nondeterministic number of caches: one per loop
+// iteration until the else-branch blocks it forever. The loop yields
+// through the driver's own inbox (send-to-self, not raise) so each spawn
+// is one scheduled step — a raise-driven loop would run every iteration
+// inside a single atomic handler and the concrete explorer would have to
+// enumerate the whole unbounded choice string at once.
+ghost machine Driver {
+  var host: id;
+  var c: id;
+
+  state Spawn {
+    entry {
+      if * {
+        c = new Cache(host = host);
+        send this, unit;
+      }
+    }
+    on unit goto Spawn;
+  }
+}
+
+ghost machine Env {
+  var host: id;
+  var d: id;
+
+  state Boot {
+    entry {
+      host = new Host();
+      d = new Driver(host = host);
+    }
+  }
+}
+
+main Env();

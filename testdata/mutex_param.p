@@ -1,0 +1,114 @@
+// mutex_param: a parameterized mutual-exclusion service, safe for every
+// client count.
+//
+// A ghost Driver spawns an unbounded number of Clients (the creation site
+// sits in a re-entered state, so the abstraction counts Client instances
+// rather than tracking them individually). Each client loops: acquire the
+// lock, enter its critical section, release, repeat. The Server grants one
+// request at a time and asserts on every grant that the lock is free.
+//
+// `pverify -abstract testdata/mutex_param.p` proves the assertion safe for
+// any number of clients (P401) and, because arbitrarily many clients keep
+// requesting while the server serializes grants, proves the server's
+// pending Acquire backlog unbounded (P403) — the sound upgrade of plint's
+// P302–P304 queue-growth heuristics.
+
+event Acquire(id);   // client -> server (payload: requesting client)
+event Release(id);   // client -> server (payload: releasing client)
+event Grant;         // server -> client
+event unit;
+
+machine Server {
+  var holder: id;
+
+  state Free {
+    entry { skip; }
+    on Acquire goto Granting;
+  }
+
+  state Granting {
+    defer Acquire;
+    entry {
+      assert holder == null;
+      holder = arg;
+      send holder, Grant;
+      raise unit;
+    }
+    on unit goto Busy;
+  }
+
+  state Busy {
+    defer Acquire;
+    entry { skip; }
+    on Release goto Releasing;
+  }
+
+  state Releasing {
+    defer Acquire;
+    entry {
+      holder = null;
+      raise unit;
+    }
+    on unit goto Free;
+  }
+}
+
+machine Client {
+  var server: id;
+
+  state Start {
+    entry {
+      send server, Acquire, this;
+      raise unit;
+    }
+    on unit goto Waiting;
+  }
+
+  state Waiting {
+    entry { skip; }
+    on Grant goto Critical;
+  }
+
+  state Critical {
+    entry {
+      send server, Release, this;
+      raise unit;
+    }
+    on unit goto Start;
+  }
+}
+
+// The driver spawns a nondeterministic number of clients: one per loop
+// iteration until the else-branch blocks it forever (the raise-driven
+// re-entry keeps each spawn inside one abstract step, which keeps the
+// coverability search small; contrast testdata/german_unsafe_paramN.p,
+// whose driver yields through its inbox so concrete replay can schedule
+// spawns one at a time).
+ghost machine Driver {
+  var server: id;
+  var w: id;
+
+  state Spawn {
+    entry {
+      if * {
+        w = new Client(server = server);
+        raise unit;
+      }
+    }
+    on unit goto Spawn;
+  }
+}
+
+ghost machine Env {
+  var server: id;
+  var d: id;
+
+  state Boot {
+    entry {
+      server = new Server();
+      d = new Driver(server = server);
+    }
+  }
+}
+
+main Env();
