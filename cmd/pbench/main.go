@@ -38,19 +38,21 @@ import (
 )
 
 // schemaVersion identifies the report layout. Bump on incompatible change.
-const schemaVersion = "pbench/2"
+const schemaVersion = "pbench/3"
 
 // schemaDoc is the embedded header documenting every field of the report;
 // it is emitted first so the committed JSON file is self-describing.
 var schemaDoc = []string{
-	"schema: report layout version (pbench/2: explorer fields always present, zero for micros; adds SPILL entries and their store fields; ABS entries reuse the explorer fields for the coverability search)",
+	"schema: report layout version (pbench/3: adds per-entry cpus/workers and the depth-mode POR twins POR/chaos-*, POR/live-*; pbench/2: explorer fields always present, zero for micros; adds SPILL entries and their store fields; ABS entries reuse the explorer fields for the coverability search)",
 	"go, goos, goarch, cpus: toolchain and host the numbers were taken on",
 	"generated: RFC3339 timestamp of the run",
 	"entries[].name: unique benchmark id, experiment/sample/parameters",
-	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin), SPILL (disk-backed visited store), ABS (counter-abstraction coverability; states = markings), FP (fingerprint micro), CLONE (global clone micro)",
+	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin; chaos-*/live-* samples run depth-bounded with faults / a liveness graph), SPILL (disk-backed visited store), ABS (counter-abstraction coverability; states = markings), FP (fingerprint micro), CLONE (global clone micro)",
 	"entries[].sample: embedded P sample the entry compiles",
-	"entries[].mode: exploration mode for explorer entries (delay-bounded)",
-	"entries[].bound: delay budget for explorer entries",
+	"entries[].mode: exploration mode for explorer entries",
+	"entries[].bound: delay or depth budget for explorer entries",
+	"entries[].cpus: runtime.NumCPU() on the measuring host (explorer entries)",
+	"entries[].workers: goroutines the search actually ran with, 1 for serial explorers (explorer entries)",
 	"entries[].max_states: distinct-state cap for explorer entries (0 = none hit)",
 	"entries[].iterations: measured iterations (ops for micros are batched; ns_per_op is per single op)",
 	"entries[].ns_per_op: wall nanoseconds per operation",
@@ -87,6 +89,8 @@ type entry struct {
 	Sample         string  `json:"sample"`
 	Mode           string  `json:"mode"`
 	Bound          int     `json:"bound"`
+	CPUs           int     `json:"cpus"`
+	Workers        int     `json:"workers"`
 	MaxStates      int     `json:"max_states"`
 	Iterations     int     `json:"iterations"`
 	NsPerOp        int64   `json:"ns_per_op"`
@@ -139,47 +143,42 @@ func compileOrDie(name, src string) *ir.Program {
 	return prog
 }
 
-// exploreEntry measures one delay-bounded exploration configuration.
-func exploreEntry(benchtime time.Duration, iters int, experiment, sample string, prog *ir.Program, bound, maxStates int, por bool) entry {
+// exploreEntry measures one exploration configuration. name is the full
+// entry id; opts carries the exact search configuration (mode, budget,
+// faults, graph collection, reduction) so one helper serves the delay
+// sweeps and the depth-mode chaos/liveness twins alike.
+func exploreEntry(benchtime time.Duration, iters int, name, experiment, sample string, prog *ir.Program, opts check.Options) entry {
+	// Pinned so a future change to the default Progress throttle cannot
+	// shift the committed numbers.
+	opts.ProgressEvery = 4096
 	var last *check.Result
 	n, ns, allocs, bytes := measure(benchtime, iters, 1, func() {
-		res, err := check.Explore(prog, check.Options{
-			Mode: check.DelayBounded, Bound: bound, MaxStates: maxStates, POR: por,
-			// Pinned so a future change to the default Progress throttle
-			// cannot shift the committed numbers.
-			ProgressEvery: 4096,
-		})
+		res, err := check.Explore(prog, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
 			os.Exit(1)
 		}
 		last = res
 	})
-	name := fmt.Sprintf("%s/%s/d=%d", experiment, sample, bound)
-	if experiment == "POR" {
-		state := "off"
-		if por {
-			state = "on"
-		}
-		name += "/por=" + state
-	}
 	e := entry{
 		Name:          name,
 		Experiment:    experiment,
 		Sample:        sample,
-		Mode:          check.DelayBounded.String(),
-		Bound:         bound,
+		Mode:          opts.Mode.String(),
+		Bound:         opts.Bound,
+		CPUs:          runtime.NumCPU(),
+		Workers:       last.Stats.Workers,
 		Iterations:    n,
 		NsPerOp:       ns,
 		AllocsPerOp:   allocs,
 		BytesPerOp:    bytes,
 		States:        last.Stats.DistinctStates,
 		Transitions:   last.Stats.Transitions,
-		POR:           por,
+		POR:           opts.POR,
 		ReducedStates: last.Stats.ReducedStates,
 	}
 	if last.Stats.Truncated {
-		e.MaxStates = maxStates
+		e.MaxStates = opts.MaxStates
 	}
 	if ns > 0 {
 		e.StatesPerSec = float64(last.Stats.DistinctStates) / (float64(ns) * 1e-9)
@@ -221,6 +220,8 @@ func spillEntry(benchtime time.Duration, iters int, sample string, prog *ir.Prog
 		Sample:      sample,
 		Mode:        check.DelayBounded.String(),
 		Bound:       bound,
+		CPUs:        runtime.NumCPU(),
+		Workers:     last.Stats.Workers,
 		Iterations:  n,
 		NsPerOp:     ns,
 		AllocsPerOp: allocs,
@@ -258,6 +259,8 @@ func absEntry(benchtime time.Duration, iters int, sample string, prog *ir.Progra
 		Experiment:    "ABS",
 		Sample:        sample,
 		Mode:          "abstract",
+		CPUs:          runtime.NumCPU(),
+		Workers:       1,
 		Iterations:    n,
 		NsPerOp:       ns,
 		AllocsPerOp:   allocs,
@@ -420,28 +423,38 @@ func main() {
 		for _, s := range sweeps {
 			var prog *ir.Program
 			for _, d := range s.bounds {
-				if re != nil && !re.MatchString(fmt.Sprintf("%s/%s/d=%d", experiment, s.sample, d)) {
+				name := fmt.Sprintf("%s/%s/d=%d", experiment, s.sample, d)
+				if re != nil && !re.MatchString(name) {
 					continue
 				}
 				if prog == nil {
 					prog = compileOrDie(s.sample, s.src)
 				}
-				add(exploreEntry(*benchtime, *iters, experiment, s.sample, prog, d, s.cap, false))
+				add(exploreEntry(*benchtime, *iters, name, experiment, s.sample, prog,
+					check.Options{Mode: check.DelayBounded, Bound: d, MaxStates: s.cap}))
 			}
 		}
 	}
 	runSweeps("E2", e2)
 	runSweeps("E4", e4)
 
-	// POR: the partial-order-reduced search next to its unreduced twin on
-	// the two acceptance benchmarks, pinning both the reduction and the cost
-	// of the ample-set checks.
+	// POR: each reduced search next to its unreduced twin, pinning both the
+	// reduction and the cost of the ample-set checks. The delay-bounded pair
+	// covers the safety reduction; the chaos-* twin runs depth-bounded under
+	// a drop-fault budget (the environment-machine composition) and the
+	// live-* twin collects the liveness graph (the strict C3 proviso).
 	porCorpus := []struct {
 		sample, src string
-		bound, cap  int
+		opts        check.Options
 	}{
-		{"german-3", psamples.German(3), 2, 2_000_000},
-		{"usb-hsm", psamples.USBHub, 2, 2_000_000},
+		{"german-3", psamples.German(3),
+			check.Options{Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000}},
+		{"usb-hsm", psamples.USBHub,
+			check.Options{Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000}},
+		{"chaos-german-4", psamples.German(4),
+			check.Options{Mode: check.DepthBounded, Bound: 14, MaxStates: 2_000_000, Faults: 1, FaultKinds: check.DropFaults}},
+		{"live-german-4", psamples.German(4),
+			check.Options{Mode: check.DepthBounded, Bound: 14, MaxStates: 2_000_000, CollectGraph: true}},
 	}
 	for _, s := range porCorpus {
 		var prog *ir.Program
@@ -450,13 +463,16 @@ func main() {
 			if por {
 				state = "on"
 			}
-			if re != nil && !re.MatchString(fmt.Sprintf("POR/%s/d=%d/por=%s", s.sample, s.bound, state)) {
+			name := fmt.Sprintf("POR/%s/d=%d/por=%s", s.sample, s.opts.Bound, state)
+			if re != nil && !re.MatchString(name) {
 				continue
 			}
 			if prog == nil {
 				prog = compileOrDie(s.sample, s.src)
 			}
-			add(exploreEntry(*benchtime, *iters, "POR", s.sample, prog, s.bound, s.cap, por))
+			opts := s.opts
+			opts.POR = por
+			add(exploreEntry(*benchtime, *iters, name, "POR", s.sample, prog, opts))
 		}
 	}
 

@@ -51,7 +51,7 @@ func main() {
 		traces    = flag.Bool("trace", false, "print the reproducing schedule of each violation")
 		workers   = flag.Int("workers", 1, "parallel search workers (delay mode; -1 = all cores)")
 		exactFP   = flag.Bool("exact-fp", false, "key visited sets by exact canonical state encodings instead of 128-bit hashes (collision-free auditing mode; slower, more memory)")
-		por       = flag.Bool("por", true, "prune commuting interleavings with partial-order reduction (safety verdicts preserved; forced off by -chaos, -liveness, and -coverage, which need the unreduced graph)")
+		por       = flag.Bool("por", true, "prune commuting interleavings with partial-order reduction (verdict-preserving; composes with -chaos via an environment-machine fault model and with -liveness/-coverage via the C3 cycle proviso)")
 		sweep     = flag.Int("sweep", -1, "sweep bounds 0..N and print the states-vs-bound series (Figure 7)")
 		jsonOut   = flag.Bool("json", false, "emit a machine-readable JSON report instead of text")
 		coverage  = flag.Bool("coverage", false, "report per-machine control states the exploration never visited (implies graph collection)")
@@ -156,11 +156,7 @@ func main() {
 		CheckpointStop:    *ckptStop,
 		ProgramID:         sourceID(src),
 	}
-	// The reduction preserves safety verdicts, not the full state graph: the
-	// liveness checks and coverage reports consume the graph, so they need
-	// the unreduced search. (Explore itself additionally gates POR off under
-	// chaos fault injection.)
-	opts.POR = *por && !opts.CollectGraph && budget == 0
+	opts.POR = *por
 	opts.Workers = *workers
 	opts.Mode, err = parseMode(*mode)
 	if err != nil {
@@ -205,7 +201,23 @@ func main() {
 		findings: findings, analysisBad: analysisBad,
 		jsonOut: *jsonOut, traces: *traces, allViol: *allViol,
 		liveness: *liveness, ghostLive: *ghostLive, coverage: *coverage,
+		porReason: porNotice(opts),
 	})
+}
+
+// porNotice surfaces a POR request the explorer force-disabled: a one-line
+// stderr notice so the reduced run the user asked for is visibly unreduced,
+// and the reason string for the JSON report's por_disabled_reason field
+// ("" when reduction is off by choice or actually running).
+func porNotice(opts check.Options) string {
+	if !opts.POR {
+		return ""
+	}
+	reason := opts.PORDisabledReason()
+	if reason != "" {
+		fmt.Fprintf(os.Stderr, "pverify: note: -por requested but partial-order reduction is disabled: %s\n", reason)
+	}
+	return reason
 }
 
 func parseMode(s string) (check.Mode, error) {
@@ -419,6 +431,7 @@ func runResume(dir string, knobs resumeKnobs) {
 		name: ri.ProgramName, prog: prog, opts: opts, res: res,
 		findings: findings, analysisBad: analysisBad,
 		jsonOut: knobs.jsonOut, traces: knobs.traces, allViol: knobs.allViol,
+		porReason: porNotice(opts),
 	})
 }
 
@@ -460,6 +473,9 @@ type reportInput struct {
 	liveness    bool
 	ghostLive   bool
 	coverage    bool
+	// porReason is the non-empty PORDisabledReason when -por was requested
+	// but the explorer force-disabled the reduction.
+	porReason string
 }
 
 // report prints the run in text or JSON form and exits: 0 clean, 1 on
@@ -585,6 +601,10 @@ type jsonOptions struct {
 	Workers           int    `json:"workers"`
 	ExactFingerprints bool   `json:"exact_fp"`
 	POR               bool   `json:"por"`
+	// PORDisabledReason is non-empty when POR was requested but the explorer
+	// force-disabled the reduction (the run explored unreduced); "" means
+	// the POR field tells the whole story.
+	PORDisabledReason string `json:"por_disabled_reason"`
 	Faults            int    `json:"faults"`
 	FaultKinds        string `json:"fault_kinds"`
 	StoreDir          string `json:"store_dir"`
@@ -640,6 +660,7 @@ func emitJSON(in reportInput) {
 			Workers:           opts.Workers,
 			ExactFingerprints: opts.ExactFingerprints,
 			POR:               opts.POR,
+			PORDisabledReason: in.porReason,
 			Faults:            opts.Faults,
 			FaultKinds:        faultKinds,
 			StoreDir:          opts.StoreDir,

@@ -120,12 +120,15 @@ type Options struct {
 	ExactFingerprints bool
 	// POR enables partial-order reduction (por.go): nodes whose next
 	// machine's macro steps provably commute with the rest of the system
-	// expand only that machine. Verdict-preserving for the safety checks;
-	// silently inactive under chaos (Faults > 0: fault branching breaks
-	// independence), host foreign functions (outside the static analysis),
-	// and the fine-grained ablation (sub-macro-step scheduling points).
-	// Runs that consume the full state graph (liveness, coverage) should
-	// leave it off: reduction prunes edges the graph analyses expect.
+	// expand only that machine. Verdict-preserving for the safety checks.
+	// Composes with chaos (Faults > 0): faults are modeled as actions of an
+	// implicit environment machine with their own independence conditions.
+	// Composes with CollectGraph runs (liveness, coverage): the reducer then
+	// additionally enforces the C3 cycle proviso, so every cycle in the
+	// reduced graph retains a fully expanded node and lasso/coverage
+	// analyses stay sound. Silently inactive under host foreign functions
+	// (outside the static analysis) and the fine-grained ablation
+	// (sub-macro-step scheduling points); see PORDisabledReason.
 	POR bool
 	// Faults is the chaos-mode fault budget: the maximum number of injected
 	// environment faults (spontaneous crash, message drop, duplicate
@@ -204,6 +207,7 @@ type Stats struct {
 	ReducedStates  int // search nodes expanded with a singleton ample set (POR)
 	AmpleSkips     int // enabled machines / schedule options pruned at reduced nodes (POR)
 	ClaimRaces     int // parallel POR ample claims lost to a concurrent worker (always 0 serially)
+	Workers        int // goroutines the search actually ran with (1 for the serial explorers)
 	MaxDepth       int
 	Quiescent      int // terminal states with no enabled machine
 	Truncated      bool
@@ -271,7 +275,7 @@ func newExplorer(prog *ir.Program, opts Options) (*explorer, error) {
 	if opts.CollectGraph {
 		e.graph = NewGraph()
 	}
-	if opts.POR && opts.Faults == 0 && opts.Foreign == nil && !opts.FineGrained {
+	if opts.POR && opts.PORDisabledReason() == "" {
 		e.por = newReducer(prog)
 	}
 	if err := e.initCheckpointer(); err != nil {
@@ -283,8 +287,24 @@ func newExplorer(prog *ir.Program, opts Options) (*explorer, error) {
 	return e, nil
 }
 
+// PORDisabledReason explains why a POR request would be (or was) forced
+// off: a non-empty string names the incompatible option, "" means reduction
+// runs. Callers surface it to users (pverify prints a notice and records it
+// in the JSON report) so a -por run that silently explores unreduced is
+// visible.
+func (o *Options) PORDisabledReason() string {
+	switch {
+	case o.Foreign != nil:
+		return "host foreign functions are outside the static independence analysis"
+	case o.FineGrained:
+		return "fine-grained mode adds sub-macro-step scheduling points the reducer does not model"
+	}
+	return ""
+}
+
 // run dispatches to the configured search from the initial configuration.
 func (e *explorer) run(g *core.Global) error {
+	e.result.Stats.Workers = 1 // parallelLoop overwrites with the resolved count
 	switch e.opts.Mode {
 	case DepthBounded:
 		e.depthBounded(g)
@@ -386,7 +406,7 @@ type explorer struct {
 	result Result
 	graph  *Graph
 	// por is the partial-order reducer, nil when reduction is off or gated
-	// off (chaos, foreign env, fine-grained mode).
+	// off (foreign env, fine-grained mode — see Options.PORDisabledReason).
 	por *reducer
 
 	// states is the distinct-state set; visited (delay-bounded, round-robin)
@@ -440,6 +460,11 @@ func (o *Options) progressEvery() int {
 //     are generated after a node's ordinary successors, in the
 //     deterministic faultBranches order, and only for nodes with at least
 //     one enabled machine; a stopped search processes no further faults.
+//     At a node reduced to machine x's ample set, only x's own fault
+//     branches are emitted (the environment machine's other faults commute
+//     with x and regenerate at the descendants with the budget intact);
+//     each such branch is counted exactly once even when the strict cycle
+//     proviso examines it before accepting the reduction.
 //
 // The order per successor (ordinary and fault alike) is: note state ->
 // intern graph node -> claim visited -> push.
@@ -494,55 +519,3 @@ type successor struct {
 // number of choices; the cap is a defense against ghost code that loops on
 // choices without ever sending (the overflow marks the search truncated).
 const maxChoiceStrings = 4096
-
-// expand runs machine id from g under every `*` choice string and returns
-// the successors. Errors are recorded as violations immediately (using
-// trace + the failing step).
-func (e *explorer) expand(g *core.Global, id core.MachineID, trace []TraceStep, delays int) []successor {
-	var succs []successor
-	cs := &core.FixedChoices{}
-	for tries := 0; ; tries++ {
-		if tries >= maxChoiceStrings {
-			e.result.Stats.Truncated = true
-			return succs
-		}
-		// Stop executing transitions once the search is over (state cap or
-		// first error), matching the parallel explorer's per-successor stop
-		// check so Stats.Transitions means the same thing in both.
-		if e.stop {
-			return succs
-		}
-		clone := g.Clone()
-		cs.Reset()
-		out := clone.RunToSchedPoint(id, cs, e.opts.MaxLocalSteps)
-		e.result.Stats.Transitions++
-		bits := append([]bool(nil), cs.Bits...)
-		step := TraceStep{
-			Machine: id,
-			Type:    e.prog.Machines[g.Lookup(id).Type].Name,
-			Delays:  delays,
-			Choices: bits,
-			Outcome: out.Kind,
-		}
-		if out.Kind == core.OutSend {
-			step.Event = out.SentEvent
-			step.HasEv = true
-		}
-		if out.Kind == core.OutError {
-			e.addViolation(out.Err, append(trace, step))
-			if e.stop {
-				return succs
-			}
-		} else {
-			succs = append(succs, successor{
-				global:  clone,
-				outcome: out,
-				choices: bits,
-				fp:      e.keyOf(clone),
-			})
-		}
-		if !cs.NextString() {
-			return succs
-		}
-	}
-}

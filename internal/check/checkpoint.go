@@ -416,7 +416,7 @@ func Resume(prog *ir.Program, opts Options) (*Result, error) {
 	}
 
 	e := &explorer{prog: prog, opts: opts, progEvery: opts.progressEvery(), start: time.Now()}
-	if opts.POR && opts.Faults == 0 && !opts.FineGrained {
+	if opts.POR && opts.PORDisabledReason() == "" {
 		e.por = newReducer(prog)
 	}
 	if err := e.initCheckpointer(); err != nil {
@@ -550,40 +550,41 @@ func (e *explorer) replayNode(cn *ckptNode) (*core.Global, error) {
 }
 
 // runFrom dispatches the restored frontier to the configured mode's loop.
+// The shared search node carries every mode's scheduler context, so the
+// restore is uniform; fields a mode never set are zero in the checkpoint
+// and stay zero here.
 func (e *explorer) runFrom(nodes []ckptNode, globals []*core.Global) error {
-	switch e.opts.Mode {
-	case DepthBounded:
-		frontier := make([]depnode, len(nodes))
-		for i := range nodes {
-			cn := &nodes[i]
-			sleep := make([]sleepEntry, len(cn.Sleep))
+	e.result.Stats.Workers = 1 // parallelLoop overwrites with the resolved count
+	frontier := make([]node, len(nodes))
+	for i := range nodes {
+		cn := &nodes[i]
+		var sleep []sleepEntry
+		if len(cn.Sleep) > 0 {
+			sleep = make([]sleepEntry, len(cn.Sleep))
 			for j, s := range cn.Sleep {
 				sleep[j] = sleepEntry{id: s.ID, sentTo: s.SentTo, creates: s.Creates}
 			}
-			if len(sleep) == 0 {
-				sleep = nil
-			}
-			frontier[i] = depnode{g: globals[i], depth: cn.Depth, faults: cn.Faults, trace: cn.Trace, sleep: sleep}
 		}
-		e.depthLoop(frontier)
+		frontier[i] = node{
+			g:      globals[i],
+			stack:  schedStack(cn.Stack),
+			cursor: cn.Cursor,
+			sleep:  sleep,
+			delays: cn.Delays,
+			faults: cn.Faults,
+			depth:  cn.Depth,
+			trace:  cn.Trace,
+		}
+	}
+	switch e.opts.Mode {
+	case DepthBounded, RoundRobinDelay:
+		e.serialLoop(frontier)
 	case DelayBounded:
-		frontier := make([]dnode, len(nodes))
-		for i := range nodes {
-			cn := &nodes[i]
-			frontier[i] = dnode{g: globals[i], stack: schedStack(cn.Stack), delays: cn.Delays, faults: cn.Faults, depth: cn.Depth, trace: cn.Trace}
-		}
 		if e.opts.Workers > 1 || e.opts.Workers < 0 {
 			e.parallelLoop(frontier, e.opts.Workers)
 		} else {
-			e.delayLoop(frontier)
+			e.serialLoop(frontier)
 		}
-	case RoundRobinDelay:
-		frontier := make([]rrnode, len(nodes))
-		for i := range nodes {
-			cn := &nodes[i]
-			frontier[i] = rrnode{g: globals[i], cursor: cn.Cursor, delays: cn.Delays, faults: cn.Faults, depth: cn.Depth, trace: cn.Trace}
-		}
-		e.rrLoop(frontier)
 	default:
 		return fmt.Errorf("check: unknown mode %d", e.opts.Mode)
 	}
@@ -593,55 +594,27 @@ func (e *explorer) runFrom(nodes []ckptNode, globals []*core.Global) error {
 	return nil
 }
 
-// Snapshot helpers: convert a mode's live frontier into serialized nodes.
-
-func ckptDNodes(stack []dnode) []ckptNode {
+// ckptNodes converts a live frontier into serialized nodes. All scheduler
+// context travels unconditionally — gob encodes zero values compactly, and
+// a mode ignores fields it never set.
+func ckptNodes(stack []node) []ckptNode {
 	out := make([]ckptNode, len(stack))
 	for i := range stack {
 		n := &stack[i]
+		var sleep []ckptSleep
+		if len(n.sleep) > 0 {
+			sleep = make([]ckptSleep, len(n.sleep))
+			for j := range n.sleep {
+				en := &n.sleep[j]
+				sleep[j] = ckptSleep{ID: en.id, SentTo: en.sentTo, Creates: en.creates}
+			}
+		}
 		out[i] = ckptNode{
 			Trace:  n.trace,
 			Stack:  append([]core.MachineID(nil), n.stack...),
-			Delays: n.delays,
-			Faults: n.faults,
-			Depth:  n.depth,
-			Hash:   n.g.Hash(),
-		}
-	}
-	return out
-}
-
-func ckptRRNodes(stack []rrnode) []ckptNode {
-	out := make([]ckptNode, len(stack))
-	for i := range stack {
-		n := &stack[i]
-		out[i] = ckptNode{
-			Trace:  n.trace,
 			Cursor: n.cursor,
-			Delays: n.delays,
-			Faults: n.faults,
-			Depth:  n.depth,
-			Hash:   n.g.Hash(),
-		}
-	}
-	return out
-}
-
-func ckptDepNodes(stack []depnode) []ckptNode {
-	out := make([]ckptNode, len(stack))
-	for i := range stack {
-		n := &stack[i]
-		sleep := make([]ckptSleep, len(n.sleep))
-		for j := range n.sleep {
-			en := &n.sleep[j]
-			sleep[j] = ckptSleep{ID: en.id, SentTo: en.sentTo, Creates: en.creates}
-		}
-		if len(sleep) == 0 {
-			sleep = nil
-		}
-		out[i] = ckptNode{
-			Trace:  n.trace,
 			Sleep:  sleep,
+			Delays: n.delays,
 			Faults: n.faults,
 			Depth:  n.depth,
 			Hash:   n.g.Hash(),

@@ -149,19 +149,10 @@ func scheduleOptions(g *core.Global, s schedStack, remaining int) []scheduleOpti
 	return opts
 }
 
-// dnode is one delay-bounded search node (serial; the parallel explorer's
-// pnode is the same shape). Checkpoints serialize the frontier as these.
-type dnode struct {
-	g      *core.Global
-	stack  schedStack
-	delays int
-	faults int
-	depth  int
-	trace  []TraceStep
-}
-
 // delayBounded explores the delaying scheduler's schedules within the
-// Options.Bound delay budget.
+// Options.Bound delay budget. The per-node work — schedule options as moves,
+// POR, fault branching — lives in the shared core (engine.go); this driver
+// only seeds the scheduler stack and runs the serial LIFO loop.
 func (e *explorer) delayBounded(g0 *core.Global) {
 	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
@@ -171,164 +162,13 @@ func (e *explorer) delayBounded(g0 *core.Global) {
 
 	// A program whose initial configuration has no live machine (possible
 	// for degenerate inputs) starts with an empty scheduler stack; the node
-	// loop below then reports it quiescent instead of panicking.
+	// loop then reports it quiescent instead of panicking.
 	var initStack schedStack
 	if live := g0.LiveIDs(); len(live) > 0 {
 		initStack = schedStack{live[0]}
 	}
 	e.visited.claim(fp0, initStack.digest(e.opts.ExactFingerprints), 0, 0)
-	e.delayLoop([]dnode{{g: g0, stack: initStack}})
-}
-
-// delayLoop runs the delay-bounded search from a frontier (the initial node
-// on fresh runs, the restored frontier on resume).
-func (e *explorer) delayLoop(stack []dnode) {
-	budget := e.opts.Bound
-	exactFP := e.opts.ExactFingerprints
-
-	for len(stack) > 0 && !e.stop {
-		if e.ckpt != nil && e.ckptSerial(func() []ckptNode { return ckptDNodes(stack) }) {
-			return
-		}
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		e.result.Stats.SearchNodes++
-		if n.depth > e.result.Stats.MaxDepth {
-			e.result.Stats.MaxDepth = n.depth
-		}
-
-		sched := n.stack.popDisabled(n.g)
-		if len(sched) == 0 {
-			// Defensive: the invariant is that every enabled machine is on
-			// the stack; re-seed if an enabled machine exists anyway.
-			var enabled []core.MachineID
-			for _, id := range n.g.LiveIDs() {
-				if n.g.Enabled(id) {
-					enabled = append(enabled, id)
-				}
-			}
-			if len(enabled) == 0 {
-				e.result.Stats.Quiescent++
-				continue
-			}
-			sched = schedStack{enabled[0]}
-		}
-
-		var fromNode NodeID
-		if e.graph != nil {
-			// keyOf hits n.g's fingerprint cache (computed when n.g was a
-			// successor), so graph interning costs one map lookup.
-			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
-		}
-
-		// process runs the per-successor body for one schedule option,
-		// reporting whether any successor entered the frontier as new work.
-		process := func(opt scheduleOption, succs []successor) bool {
-			id := opt.stack.top()
-			pushed := false
-			for i := range succs {
-				s := &succs[i]
-				if e.stop {
-					return pushed
-				}
-				e.noteState(s.fp)
-				if e.graph != nil {
-					to := e.graph.Node(s.fp, s.global)
-					e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
-				}
-				next := updateStack(opt.stack, id, s.outcome)
-				delays := n.delays + opt.cost
-				if !e.visited.claim(s.fp, next.digest(exactFP), n.faults, delays) {
-					continue
-				}
-				step := TraceStep{
-					Machine: id,
-					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
-					Delays:  opt.cost,
-					Choices: s.choices,
-					Outcome: s.outcome.Kind,
-				}
-				if s.outcome.Kind == core.OutSend {
-					step.Event = s.outcome.SentEvent
-					step.HasEv = true
-				}
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = step
-				stack = append(stack, dnode{g: s.global, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
-				pushed = true
-			}
-			return pushed
-		}
-
-		opts := scheduleOptions(n.g, sched, budget-n.delays)
-		// POR: the scheduler's own choice (the zero-delay top of stack) is
-		// the only ample-seed candidate — committing to it when its steps
-		// commute with the coalition prunes every delay branch at this node.
-		var cached []successor
-		cachedFor, processed0 := false, false
-		if e.por != nil && len(opts) >= 2 {
-			id := opts[0].stack.top()
-			cached = e.expand(n.g, id, n.trace, opts[0].cost)
-			cachedFor = true
-			if !e.stop && e.por.ample(n.g, id, cached) {
-				if process(opts[0], cached) {
-					// POR is gated off under chaos, so a reduced node never
-					// has fault branches to generate.
-					e.result.Stats.ReducedStates++
-					e.result.Stats.AmpleSkips += len(opts) - 1
-					continue
-				}
-				// Cycle proviso: nothing new entered the frontier through
-				// the ample seed — expand every option after all.
-				processed0 = true
-			}
-		}
-		for i, opt := range opts {
-			if e.stop {
-				return
-			}
-			var succs []successor
-			switch {
-			case i == 0 && cachedFor:
-				if processed0 {
-					continue
-				}
-				succs = cached
-			default:
-				succs = e.expand(n.g, opt.stack.top(), n.trace, opt.cost)
-			}
-			process(opt, succs)
-		}
-		if e.stop {
-			return
-		}
-
-		// Chaos mode: the environment's fault moves, after the scheduler's.
-		// Fault steps keep the scheduler stack (a crashed machine is popped
-		// lazily by popDisabled) and consume fault budget instead of delays.
-		if n.faults < e.opts.Faults {
-			stackDigest := n.stack.digest(exactFP)
-			for _, fb := range e.faultBranches(n.g) {
-				if e.stop {
-					return
-				}
-				e.result.Stats.FaultSteps++
-				e.noteState(fb.fp)
-				if e.graph != nil {
-					to := e.graph.Node(fb.fp, fb.global)
-					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
-				}
-				if !e.visited.claim(fb.fp, stackDigest, n.faults+1, n.delays) {
-					continue
-				}
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = fb.step
-				stack = append(stack, dnode{g: fb.global, stack: n.stack, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
-			}
-		}
-	}
+	e.serialLoop([]node{{g: g0, stack: initStack}})
 }
 
 // updateStack applies the scheduler's stack rules after machine id ran one

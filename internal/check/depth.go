@@ -143,180 +143,5 @@ func (e *explorer) depthBounded(g0 *core.Global) {
 	if e.graph != nil {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
-	e.depthLoop([]depnode{{g: g0, depth: 0}})
-}
-
-// depnode is one depth-bounded search node; checkpoints serialize the
-// frontier as these (the sleep set travels with its footprints).
-type depnode struct {
-	g      *core.Global
-	depth  int
-	faults int
-	trace  []TraceStep
-	sleep  []sleepEntry
-}
-
-// depthLoop runs the depth-bounded search from a frontier (the initial node
-// on fresh runs, the restored frontier on resume).
-func (e *explorer) depthLoop(stack []depnode) {
-	bound := e.opts.Bound
-
-	for len(stack) > 0 && !e.stop {
-		if e.ckpt != nil && e.ckptSerial(func() []ckptNode { return ckptDepNodes(stack) }) {
-			return
-		}
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		e.result.Stats.SearchNodes++
-		if n.depth > e.result.Stats.MaxDepth {
-			e.result.Stats.MaxDepth = n.depth
-		}
-		if bound > 0 && n.depth >= bound {
-			continue
-		}
-		var fromNode NodeID
-		if e.graph != nil {
-			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
-		}
-
-		// Candidates: enabled machines not asleep. Sleepers' transitions
-		// were explored at the ancestor that put them to sleep.
-		var cands []core.MachineID
-		anyEnabled := false
-		asleep := 0
-		for _, id := range n.g.LiveIDs() {
-			if !n.g.Enabled(id) {
-				continue
-			}
-			anyEnabled = true
-			if sleepingIn(n.sleep, id) {
-				asleep++
-				continue
-			}
-			cands = append(cands, id)
-		}
-		if !anyEnabled {
-			e.result.Stats.Quiescent++
-			continue
-		}
-		e.result.Stats.AmpleSkips += asleep
-
-		nd := n.depth + 1
-		// process runs the per-successor body for machine id's branches,
-		// with base as the child sleep set before conflict filtering. It
-		// reports whether any successor entered the frontier as new work.
-		process := func(id core.MachineID, succs []successor, base []sleepEntry) bool {
-			pushed := false
-			for i := range succs {
-				s := &succs[i]
-				if e.stop {
-					return pushed
-				}
-				e.noteState(s.fp)
-				if e.graph != nil {
-					to := e.graph.Node(s.fp, s.global)
-					e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
-				}
-				cs := childSleep(base, id, &s.outcome)
-				sids := sleepIDs(cs)
-				if !e.dvisited.claim(s.fp, n.faults, nd, sids) {
-					continue
-				}
-				step := TraceStep{
-					Machine: id,
-					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
-					Choices: s.choices,
-					Outcome: s.outcome.Kind,
-				}
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = step
-				stack = append(stack, depnode{g: s.global, depth: nd, faults: n.faults, trace: trace, sleep: cs})
-				pushed = true
-			}
-			return pushed
-		}
-
-		// POR: try the first few candidates as singleton ample seeds. A
-		// candidate is expanded before the decision; rejected candidates'
-		// branches are reused below, never re-executed.
-		var cache [][]successor
-		ampleIdx := -1
-		if e.por != nil && len(cands) >= 2 {
-			for i, id := range cands {
-				if i >= porMaxSeeds || e.stop {
-					break
-				}
-				succs := e.expand(n.g, id, n.trace, 0)
-				cache = append(cache, succs)
-				if e.por.ample(n.g, id, succs) {
-					ampleIdx = i
-					break
-				}
-			}
-		}
-		ampleDone := false
-		if ampleIdx >= 0 {
-			if process(cands[ampleIdx], cache[ampleIdx], n.sleep) {
-				// POR is gated off under chaos, so a reduced node never has
-				// fault branches to generate.
-				e.result.Stats.ReducedStates++
-				e.result.Stats.AmpleSkips += len(cands) - 1
-				continue
-			}
-			// Cycle proviso: every ample successor was already covered, so
-			// committing to the seed could postpone the rest of the system
-			// forever around a cycle. Expand the node fully instead.
-			ampleDone = true
-		}
-
-		// Full expansion. With POR on, each processed machine goes to sleep
-		// in the subtrees of its later siblings.
-		base := n.sleep
-		for i, id := range cands {
-			if e.stop {
-				return
-			}
-			var succs []successor
-			if i < len(cache) {
-				succs = cache[i]
-			} else {
-				succs = e.expand(n.g, id, n.trace, 0)
-			}
-			if i != ampleIdx || !ampleDone {
-				process(id, succs, base)
-			}
-			if e.por != nil {
-				next := make([]sleepEntry, len(base), len(base)+1)
-				copy(next, base)
-				base = append(next, sleepFootprint(id, succs))
-			}
-		}
-		if e.stop {
-			return
-		}
-
-		// Chaos mode: fault successors after the ordinary ones. A fault step
-		// counts one macro step of depth.
-		if n.faults < e.opts.Faults {
-			for _, fb := range e.faultBranches(n.g) {
-				if e.stop {
-					return
-				}
-				e.result.Stats.FaultSteps++
-				e.noteState(fb.fp)
-				if e.graph != nil {
-					to := e.graph.Node(fb.fp, fb.global)
-					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
-				}
-				if !e.dvisited.claim(fb.fp, n.faults+1, nd, nil) {
-					continue
-				}
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = fb.step
-				stack = append(stack, depnode{g: fb.global, depth: nd, faults: n.faults + 1, trace: trace})
-			}
-		}
-	}
+	e.serialLoop([]node{{g: g0}})
 }

@@ -148,42 +148,56 @@ func (e *explorer) faultBranches(g *core.Global) []faultBranch {
 	kinds := e.opts.faultKinds()
 	var out []faultBranch
 	for _, id := range g.LiveIDs() {
-		typ := e.prog.Machines[g.Lookup(id).Type].Name
-		if kinds.Has(FaultCrash) {
-			clone := g.Clone()
-			if clone.InjectCrash(id) {
-				out = append(out, faultBranch{
-					global: clone,
-					fp:     e.keyOf(clone),
-					step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutHalted, Fault: FaultCrash},
-				})
-			}
+		out = e.appendFaultBranches(out, g, id, kinds)
+	}
+	return out
+}
+
+// machineFaultBranches enumerates only machine id's fault branches, in the
+// same per-machine order as faultBranches. The shared core uses it at
+// POR-reduced nodes: the ample machine's faults belong to the ample set,
+// while the coalition's faults commute and regenerate at the descendants.
+func (e *explorer) machineFaultBranches(g *core.Global, id core.MachineID) []faultBranch {
+	return e.appendFaultBranches(nil, g, id, e.opts.faultKinds())
+}
+
+// appendFaultBranches appends machine id's fault branches under kinds.
+func (e *explorer) appendFaultBranches(out []faultBranch, g *core.Global, id core.MachineID, kinds FaultSet) []faultBranch {
+	typ := e.prog.Machines[g.Lookup(id).Type].Name
+	if kinds.Has(FaultCrash) {
+		clone := g.Clone()
+		if clone.InjectCrash(id) {
+			out = append(out, faultBranch{
+				global: clone,
+				fp:     e.keyOf(clone),
+				step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutHalted, Fault: FaultCrash},
+			})
 		}
-		if !kinds.Has(FaultDrop) && !kinds.Has(FaultDup) {
-			continue
+	}
+	if !kinds.Has(FaultDrop) && !kinds.Has(FaultDup) {
+		return out
+	}
+	if _, ok := g.DeliverableEvent(id); !ok {
+		return out
+	}
+	if kinds.Has(FaultDrop) {
+		clone := g.Clone()
+		if q, ok := clone.InjectDrop(id); ok {
+			out = append(out, faultBranch{
+				global: clone,
+				fp:     e.keyOf(clone),
+				step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutBlocked, Fault: FaultDrop, Event: q.Event, HasEv: true},
+			})
 		}
-		if _, ok := g.DeliverableEvent(id); !ok {
-			continue
-		}
-		if kinds.Has(FaultDrop) {
-			clone := g.Clone()
-			if q, ok := clone.InjectDrop(id); ok {
-				out = append(out, faultBranch{
-					global: clone,
-					fp:     e.keyOf(clone),
-					step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutBlocked, Fault: FaultDrop, Event: q.Event, HasEv: true},
-				})
-			}
-		}
-		if kinds.Has(FaultDup) {
-			clone := g.Clone()
-			if q, ok := clone.InjectDup(id); ok {
-				out = append(out, faultBranch{
-					global: clone,
-					fp:     e.keyOf(clone),
-					step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutBlocked, Fault: FaultDup, Event: q.Event, HasEv: true},
-				})
-			}
+	}
+	if kinds.Has(FaultDup) {
+		clone := g.Clone()
+		if q, ok := clone.InjectDup(id); ok {
+			out = append(out, faultBranch{
+				global: clone,
+				fp:     e.keyOf(clone),
+				step:   TraceStep{Machine: id, Type: typ, Outcome: core.OutBlocked, Fault: FaultDup, Event: q.Event, HasEv: true},
+			})
 		}
 	}
 	return out

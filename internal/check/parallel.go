@@ -15,15 +15,13 @@ import (
 // are the shared sharded dictionaries of visited.go (tiered-store-backed in
 // hashed mode) so dedup scales; the work queue is a single locked LIFO (its
 // critical section is tiny); statistics are atomics merged into Result at
-// the end.
+// the end. The per-node work itself is the shared core of engine.go —
+// pexplorer is just its emitter, swapping the serial explorer's direct
+// bookkeeping for atomics and the vmu-guarded graph/violations.
 //
 // The set of distinct states discovered is identical to the serial search
 // (with POR off; reduction makes node-interleaving choices order-dependent);
 // violation order may differ between runs.
-
-// pnode is a parallel work item — the same shape as a serial delay-bounded
-// node, so checkpoints written by either explorer resume into either.
-type pnode = dnode
 
 type pexplorer struct {
 	e      *explorer
@@ -38,7 +36,7 @@ type pexplorer struct {
 	maxDepth      atomic.Int64
 	quiescent     atomic.Int64
 	truncated     atomic.Bool
-	stopped       atomic.Bool
+	halted        atomic.Bool
 
 	vmu sync.Mutex // guards violations + graph + lastProgress
 
@@ -49,7 +47,7 @@ type pexplorer struct {
 
 	qmu         sync.Mutex
 	qcond       *sync.Cond
-	work        []pnode
+	work        []node
 	outstanding int
 	// ckptActive marks a checkpoint in progress (guarded by qmu): the worker
 	// that armed it drains the in-flight nodes and writes the checkpoint
@@ -71,12 +69,12 @@ func (e *explorer) parallelDelayBounded(g0 *core.Global, workers int) {
 		initStack = schedStack{live[0]}
 	}
 	e.visited.claim(fp0, initStack.digest(e.opts.ExactFingerprints), 0, 0)
-	e.parallelLoop([]dnode{{g: g0, stack: initStack}}, workers)
+	e.parallelLoop([]node{{g: g0, stack: initStack}}, workers)
 }
 
 // parallelLoop runs the worker pool over a frontier (one initial node on
 // fresh runs, the restored frontier on resume).
-func (e *explorer) parallelLoop(frontier []dnode, workers int) {
+func (e *explorer) parallelLoop(frontier []node, workers int) {
 	if e.stop {
 		// The initial configuration already tripped the state cap.
 		return
@@ -84,6 +82,7 @@ func (e *explorer) parallelLoop(frontier []dnode, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	e.result.Stats.Workers = workers
 	p := &pexplorer{
 		e:      e,
 		budget: e.opts.Bound,
@@ -128,17 +127,17 @@ func (p *pexplorer) statsSnapshot() Stats {
 	return st
 }
 
-// noteState registers a fingerprint, handling the MaxStates cap and the
-// progress callback. The count returned by the combined add-and-count is
-// this insertion's own position in the discovery order, so the cap check is
-// monotone — the worker that inserts the MaxStates-th state (and only that
-// worker) trips the cap, rather than every worker re-reading a count other
-// workers are still advancing. Progress likewise only ever sees a higher
-// count than the previous call.
-func (p *pexplorer) noteState(fp StateKey) {
+// note registers a fingerprint, handling the MaxStates cap and the progress
+// callback, and reports whether this call inserted it. The count returned by
+// the combined add-and-count is this insertion's own position in the
+// discovery order, so the cap check is monotone — the worker that inserts
+// the MaxStates-th state (and only that worker) trips the cap, rather than
+// every worker re-reading a count other workers are still advancing.
+// Progress likewise only ever sees a higher count than the previous call.
+func (p *pexplorer) note(fp StateKey) bool {
 	isNew, n := p.e.states.add(fp)
 	if !isNew {
-		return
+		return false
 	}
 	// The throttle interval divides the unique counts, so each reported
 	// count is produced by exactly one worker; lastProgress keeps the
@@ -153,12 +152,13 @@ func (p *pexplorer) noteState(fp StateKey) {
 	}
 	if p.e.opts.MaxStates > 0 && n >= p.e.opts.MaxStates {
 		p.truncated.Store(true)
-		p.stop()
+		p.halt()
 	}
+	return true
 }
 
-func (p *pexplorer) stop() {
-	if p.stopped.Swap(true) {
+func (p *pexplorer) halt() {
+	if p.halted.Swap(true) {
 		return
 	}
 	p.qmu.Lock()
@@ -171,14 +171,14 @@ func (p *pexplorer) stop() {
 // due pauses the pool (everyone else parks here without claiming work),
 // waits for the in-flight nodes to finish — the queue is then exactly the
 // frontier — and writes the checkpoint before work resumes.
-func (p *pexplorer) take() (pnode, bool) {
+func (p *pexplorer) take() (node, bool) {
 	e := p.e
 	p.qmu.Lock()
 	defer p.qmu.Unlock()
 	for {
-		if p.stopped.Load() || (len(p.work) == 0 && p.outstanding == 0) {
+		if p.halted.Load() || (len(p.work) == 0 && p.outstanding == 0) {
 			p.qcond.Broadcast()
-			return pnode{}, false
+			return node{}, false
 		}
 		if e.ckpt != nil && !p.ckptActive {
 			if due, stop := e.ckpt.due(int(e.states.count.Load())); due {
@@ -209,14 +209,14 @@ func (p *pexplorer) checkpoint(stop bool) {
 	p.ckptActive = true
 	// outstanding counts queued + in-flight nodes, so the pool is drained
 	// exactly when every outstanding node is still queued.
-	for p.outstanding > len(p.work) && !p.stopped.Load() {
+	for p.outstanding > len(p.work) && !p.halted.Load() {
 		p.qcond.Wait()
 	}
-	if p.stopped.Load() {
+	if p.halted.Load() {
 		p.ckptActive = false
 		return
 	}
-	frontier := ckptDNodes(p.work)
+	frontier := ckptNodes(p.work)
 	st := p.statsSnapshot()
 	p.vmu.Lock()
 	viols := append([]Violation(nil), e.result.Violations...)
@@ -225,11 +225,11 @@ func (p *pexplorer) checkpoint(stop bool) {
 	p.ckptActive = false
 	if err != nil {
 		e.ckpt.err = err
-		p.stopped.Store(true)
+		p.halted.Store(true)
 	} else if stop {
 		// Read by the main goroutine after wg.Wait, never by other workers.
 		e.result.Checkpointed = true
-		p.stopped.Store(true)
+		p.halted.Store(true)
 	}
 	p.qcond.Broadcast()
 }
@@ -245,7 +245,7 @@ func (p *pexplorer) finish() {
 }
 
 // push enqueues a successor node.
-func (p *pexplorer) push(n pnode) {
+func (p *pexplorer) push(n node) {
 	p.qmu.Lock()
 	p.work = append(p.work, n)
 	p.outstanding++
@@ -265,222 +265,62 @@ func (p *pexplorer) worker() {
 		if !ok {
 			return
 		}
-		p.expandNode(n)
+		p.e.expandNode(p, &n)
 		p.finish()
 	}
 }
 
-func (p *pexplorer) addViolation(err *core.Err, trace []TraceStep) {
+// The remaining emitter methods (engine.go): the atomic mirrors of the
+// serial explorer's stats fields, and the vmu-guarded graph and violation
+// sinks.
+
+func (p *pexplorer) stopped() bool { return p.halted.Load() }
+
+func (p *pexplorer) violation(err *core.Err, trace []TraceStep) {
 	p.vmu.Lock()
 	p.e.result.Violations = append(p.e.result.Violations, Violation{Err: err, Trace: trace})
 	p.vmu.Unlock()
 	if p.e.opts.StopAtFirstError {
-		p.stop()
+		p.halt()
 	}
 }
 
-// expandNode performs the per-node work of delayBounded without any global
-// lock: schedule options, choice-string expansion, sharded dedup.
-func (p *pexplorer) expandNode(n pnode) {
-	e := p.e
+func (p *pexplorer) countTransition() { p.transitions.Add(1) }
+func (p *pexplorer) markTruncated()   { p.truncated.Store(true) }
+
+func (p *pexplorer) searchNode(depth int) {
 	p.searchNodes.Add(1)
 	for {
 		d := p.maxDepth.Load()
-		if int64(n.depth) <= d || p.maxDepth.CompareAndSwap(d, int64(n.depth)) {
-			break
-		}
-	}
-
-	sched := n.stack.popDisabled(n.g)
-	if len(sched) == 0 {
-		var enabled []core.MachineID
-		for _, id := range n.g.LiveIDs() {
-			if n.g.Enabled(id) {
-				enabled = append(enabled, id)
-			}
-		}
-		if len(enabled) == 0 {
-			p.quiescent.Add(1)
+		if int64(depth) <= d || p.maxDepth.CompareAndSwap(d, int64(depth)) {
 			return
 		}
-		sched = schedStack{enabled[0]}
 	}
+}
 
-	var fromNode NodeID
-	if e.graph != nil {
-		// keyOf is computed outside vmu (it touches only n.g, owned by this
-		// worker); the graph itself is interned under the lock.
-		key := e.keyOf(n.g)
-		p.vmu.Lock()
-		fromNode = e.graph.Node(key, n.g)
-		p.vmu.Unlock()
-	}
+func (p *pexplorer) quiescentNode()  { p.quiescent.Add(1) }
+func (p *pexplorer) countFaultStep() { p.faultSteps.Add(1) }
 
-	// expandSuccs runs machine id under every `*` choice string (the
-	// lock-free mirror of explorer.expand): transitions counted, error
-	// branches recorded as violations, non-error successors returned.
-	expandSuccs := func(id core.MachineID, cost int) []successor {
-		var succs []successor
-		cs := &core.FixedChoices{}
-		for tries := 0; ; tries++ {
-			if tries >= maxChoiceStrings {
-				p.truncated.Store(true)
-				return succs
-			}
-			if p.stopped.Load() {
-				return succs
-			}
-			clone := n.g.Clone()
-			cs.Reset()
-			out := clone.RunToSchedPoint(id, cs, e.opts.MaxLocalSteps)
-			p.transitions.Add(1)
-			bits := append([]bool(nil), cs.Bits...)
-			if out.Kind == core.OutError {
-				step := TraceStep{
-					Machine: id,
-					Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
-					Delays:  cost,
-					Choices: bits,
-					Outcome: out.Kind,
-				}
-				p.addViolation(out.Err, append(append([]TraceStep(nil), n.trace...), step))
-				if p.stopped.Load() {
-					return succs
-				}
-			} else {
-				succs = append(succs, successor{global: clone, outcome: out, choices: bits, fp: e.keyOf(clone)})
-			}
-			if !cs.NextString() {
-				return succs
-			}
-		}
-	}
-	// process runs the per-successor body for one schedule option,
-	// reporting whether any successor entered the frontier as new work.
-	process := func(opt scheduleOption, succs []successor) bool {
-		id := opt.stack.top()
-		pushed := false
-		for i := range succs {
-			s := &succs[i]
-			if p.stopped.Load() {
-				return pushed
-			}
-			p.noteState(s.fp)
-			if e.graph != nil {
-				p.vmu.Lock()
-				to := e.graph.Node(s.fp, s.global)
-				e.graph.AddEdge(fromNode, to, id, s.outcome.Dequeued)
-				p.vmu.Unlock()
-			}
-			step := TraceStep{
-				Machine: id,
-				Type:    e.prog.Machines[n.g.Lookup(id).Type].Name,
-				Delays:  opt.cost,
-				Choices: s.choices,
-				Outcome: s.outcome.Kind,
-			}
-			if s.outcome.Kind == core.OutSend {
-				step.Event = s.outcome.SentEvent
-				step.HasEv = true
-			}
-			next := updateStack(opt.stack, id, s.outcome)
-			delays := n.delays + opt.cost
-			if e.visited.claim(s.fp, next.digest(e.opts.ExactFingerprints), n.faults, delays) && !p.stopped.Load() {
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = step
-				p.push(pnode{g: s.global, stack: next, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
-				pushed = true
-			}
-		}
-		return pushed
-	}
+func (p *pexplorer) reduced(skips int) {
+	p.reducedStates.Add(1)
+	p.ampleSkips.Add(int64(skips))
+}
 
-	opts := scheduleOptions(n.g, sched, p.budget-n.delays)
-	// POR, mirroring delayBounded: the zero-delay top-of-stack machine is
-	// the only ample-seed candidate. The cycle proviso is per-worker and
-	// racy — a claim lost to a concurrent worker can force a full expansion
-	// a serial search would have reduced — which costs reduction, never
-	// soundness: a lost claim means the successor was (or is being)
-	// expanded elsewhere. Stats.ClaimRaces counts exactly those losses: a
-	// successor whose visited key was still claimable just before process()
-	// but whose claim failed anyway was stolen mid-node, whereas a key
-	// already covered at the pre-check is the genuine cycle proviso (the
-	// outcome a serial search would also reach). With one worker nothing can
-	// intervene between the pre-check and the claim, so ClaimRaces stays 0
-	// and the serial stats equivalence holds.
-	var cached []successor
-	cachedFor, processed0 := false, false
-	if e.por != nil && len(opts) >= 2 {
-		id := opts[0].stack.top()
-		cached = expandSuccs(id, opts[0].cost)
-		cachedFor = true
-		if !p.stopped.Load() && e.por.ample(n.g, id, cached) {
-			delays := n.delays + opts[0].cost
-			claimable := make([]bool, len(cached))
-			for i := range cached {
-				s := &cached[i]
-				aux := updateStack(opts[0].stack, id, s.outcome).digest(e.opts.ExactFingerprints)
-				prev, ok := e.visited.get(s.fp, aux, n.faults)
-				claimable[i] = !ok || prev > delays
-			}
-			if process(opts[0], cached) {
-				p.reducedStates.Add(1)
-				p.ampleSkips.Add(int64(len(opts) - 1))
-				return
-			}
-			if !p.stopped.Load() {
-				for _, c := range claimable {
-					if c {
-						p.claimRaces.Add(1)
-					}
-				}
-			}
-			processed0 = true
-		}
-	}
-	for i, opt := range opts {
-		if p.stopped.Load() {
-			return
-		}
-		var succs []successor
-		switch {
-		case i == 0 && cachedFor:
-			if processed0 {
-				continue
-			}
-			succs = cached
-		default:
-			succs = expandSuccs(opt.stack.top(), opt.cost)
-		}
-		process(opt, succs)
-	}
-	if p.stopped.Load() {
-		return
-	}
+func (p *pexplorer) sleepSkips(n int) { p.ampleSkips.Add(int64(n)) }
+func (p *pexplorer) claimRace()       { p.claimRaces.Add(1) }
+func (p *pexplorer) tracksRaces() bool { return true }
 
-	// Chaos mode: fault successors after the ordinary ones, in the serial
-	// explorer's deterministic order so the stats equivalence holds.
-	if n.faults < e.opts.Faults {
-		stackDigest := n.stack.digest(e.opts.ExactFingerprints)
-		for _, fb := range e.faultBranches(n.g) {
-			if p.stopped.Load() {
-				return
-			}
-			p.faultSteps.Add(1)
-			p.noteState(fb.fp)
-			if e.graph != nil {
-				p.vmu.Lock()
-				to := e.graph.Node(fb.fp, fb.global)
-				e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
-				p.vmu.Unlock()
-			}
-			if e.visited.claim(fb.fp, stackDigest, n.faults+1, n.delays) && !p.stopped.Load() {
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = fb.step
-				p.push(pnode{g: fb.global, stack: n.stack, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
-			}
-		}
-	}
+// graphNode interns under vmu; the caller computes the key outside the lock
+// (it touches only the node's Global, owned by one worker).
+func (p *pexplorer) graphNode(fp StateKey, g *core.Global) NodeID {
+	p.vmu.Lock()
+	defer p.vmu.Unlock()
+	return p.e.graph.Node(fp, g)
+}
+
+func (p *pexplorer) graphEdge(from NodeID, fp StateKey, g *core.Global, m core.MachineID, deq []core.QEntry) {
+	p.vmu.Lock()
+	to := p.e.graph.Node(fp, g)
+	p.e.graph.AddEdge(from, to, m, deq)
+	p.vmu.Unlock()
 }

@@ -161,3 +161,55 @@ func TestSimulateQuiescesOrErrors(t *testing.T) {
 		t.Log("random walks did not hit the seeded bug in 50 seeds (acceptable: simulation is best-effort)")
 	}
 }
+
+// TestParallelPORChaosCheckpointRace drives the shared successor core
+// through the parallel explorer with everything on at once — partial-order
+// reduction, a chaos fault budget, and periodic checkpointing — the
+// combination where the ample pre-claim check, the fault branches, and the
+// checkpoint drain protocol all interleave. Run under -race in CI, it
+// asserts the search never panics, that the ClaimRaces counter is wired
+// (zero in the serial twin, merely recorded in the parallel one — races are
+// scheduling-dependent), and that the verdict and distinct-state count
+// match the serial explorer's.
+func TestParallelPORChaosCheckpointRace(t *testing.T) {
+	for _, name := range []string{"elevator-buggy", "boundedbuffer", "ring"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			prog := compileSample(t, name)
+			base := check.Options{
+				Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000,
+				POR: true, Faults: 1, FaultKinds: check.DropFaults,
+			}
+			serial, err := check.Explore(prog, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Stats.ClaimRaces != 0 {
+				t.Fatalf("serial search counted %d claim races, want 0", serial.Stats.ClaimRaces)
+			}
+			popts := base
+			popts.Workers = 4
+			popts.StoreDir = t.TempDir()
+			popts.CheckpointEvery = 64
+			par, err := check.Explore(prog, popts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Stats.ClaimRaces < 0 {
+				t.Fatalf("negative claim-race count: %d", par.Stats.ClaimRaces)
+			}
+			t.Logf("states=%d reduced=%d claimRaces=%d workers=%d",
+				par.Stats.DistinctStates, par.Stats.ReducedStates, par.Stats.ClaimRaces, par.Stats.Workers)
+			if par.Stats.Workers != 4 {
+				t.Errorf("recorded %d workers, want 4", par.Stats.Workers)
+			}
+			if serial.Errored() != par.Errored() {
+				t.Fatalf("verdicts differ: serial %v, parallel %v", serial.Errored(), par.Errored())
+			}
+			if serial.Stats.DistinctStates != par.Stats.DistinctStates {
+				t.Fatalf("states differ: serial %d, parallel %d",
+					serial.Stats.DistinctStates, par.Stats.DistinctStates)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package check
 
 import (
+	"sync"
+
 	"pgo/internal/analysis"
 	"pgo/internal/core"
 	"pgo/internal/ir"
@@ -39,10 +41,30 @@ import (
 //
 // Soundness of the selective search additionally needs the standard cycle
 // proviso (the "ignoring problem"): a reduced node must not postpone the
-// rest of the system forever around a cycle. The explorers implement the
-// visited-set variant — if no ample successor enters the search frontier as
-// new work, the node is expanded fully after all. See DESIGN.md for the
-// argument, including why it survives the parallel explorer's racy claims.
+// rest of the system forever around a cycle. The explorers implement two
+// variants. Safety-only runs use the weak visited-set form — if no ample
+// successor enters the search frontier as new work, the node is expanded
+// fully after all. Graph-collecting runs (liveness, coverage) use the
+// strict C3 form — the reduction is accepted only if every ample successor
+// (including the ample machine's fault branches) is a globally new state,
+// so no cycle in the reduced graph can consist solely of reduced nodes.
+// See DESIGN.md for both arguments, including why they survive the
+// parallel explorer's racy claims.
+//
+// Chaos mode (Options.Faults > 0) composes with the reduction by modeling
+// the fault injector as an implicit environment machine: a crash, drop, or
+// duplication at machine m is an action that touches only m (its liveness
+// or its inbox). While fault budget remains, ample additionally requires
+// (see the chaos conditions in ample) that the coalition cannot append to
+// x's inbox at all — a coalition append both changes which drop/dup faults
+// at x exist and interferes with x's dequeues — and that x sends to no
+// machine that currently has a deliverable event (a drop of that event
+// flips the ⊕ dedup decision of x's append) nor, under crash faults, to
+// any other machine at all (crash(t) before x's send yields SEND-FAIL-2 in
+// one order only). Faults targeting machines other than x commute with x's
+// accepted steps and are regenerated at the descendants with the budget
+// intact (machine steps consume no fault budget), so a reduced node emits
+// only x's own fault branches.
 
 // porMaxSeeds bounds how many enabled machines the depth explorer tries as
 // ample-seed candidates per node before giving up and expanding fully.
@@ -50,10 +72,15 @@ import (
 // this only bounds wasted ample() checks.
 const porMaxSeeds = 4
 
-// reducer holds the static half of the independence relation.
+// reducer holds the static half of the independence relation. The scratch
+// pool recycles coalition workspaces across ample calls — the depth
+// explorer tries up to porMaxSeeds seeds per node, and the parallel
+// explorer calls ample from every worker, so per-call map allocation was a
+// measurable share of reduced runs.
 type reducer struct {
-	prog *ir.Program
-	pf   *analysis.PORFacts
+	prog    *ir.Program
+	pf      *analysis.PORFacts
+	scratch sync.Pool
 }
 
 func newReducer(p *ir.Program) *reducer {
@@ -64,20 +91,55 @@ func newReducer(p *ir.Program) *reducer {
 // able to do: canSend[t] is the events they may append to an inbox of type
 // t, creates whether any of them can reach a `new`. Spawned types
 // contribute their initial-state capabilities — a fresh instance acts on
-// the coalition's behalf.
+// the coalition's behalf. act and carried are indexed by core.MachineID,
+// which NextID allocates densely from 1.
 type coalition struct {
 	r       *reducer
-	act     map[core.MachineID]bool
-	carried map[core.MachineID]bool
+	act     []bool
+	carried []bool
 	canSend []ir.EventSet
 	spawned []bool
 	creates bool
 }
 
+// grab fetches a reset coalition workspace sized for g from the pool.
+func (r *reducer) grab(g *core.Global) *coalition {
+	co, _ := r.scratch.Get().(*coalition)
+	if co == nil {
+		co = &coalition{r: r}
+	}
+	ids := int(g.NextID)
+	co.act = resetBools(co.act, ids)
+	co.carried = resetBools(co.carried, ids)
+	co.spawned = resetBools(co.spawned, len(r.prog.Machines))
+	if cap(co.canSend) < len(r.prog.Machines) {
+		co.canSend = make([]ir.EventSet, len(r.prog.Machines))
+	} else {
+		co.canSend = co.canSend[:len(r.prog.Machines)]
+		for i := range co.canSend {
+			co.canSend[i].Clear()
+		}
+	}
+	co.creates = false
+	return co
+}
+
+// resetBools returns b resized to n with every element false.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
 func (co *coalition) addStateCaps(t ir.MachineTypeID, s ir.StateID) {
 	pf := co.r.pf
 	for ti := range co.canSend {
-		co.canSend[ti] = co.canSend[ti].Union(pf.SendEventsFrom[t][s][ti])
+		co.canSend[ti].UnionWith(pf.SendEventsFrom[t][s][ti])
 	}
 	if pf.CreatesFrom[t][s] {
 		co.creates = true
@@ -102,7 +164,9 @@ func (co *coalition) join(g *core.Global, id core.MachineID) {
 	co.act[id] = true
 	c := g.Lookup(id)
 	for _, h := range g.HeldIDs(c) {
-		co.carried[h] = true
+		if int(h) < len(co.carried) {
+			co.carried[h] = true
+		}
 	}
 	for i := range c.Stack {
 		co.addStateCaps(c.Type, c.Stack[i].State)
@@ -141,19 +205,36 @@ func (co *coalition) join(g *core.Global, id core.MachineID) {
 //  4. If u creates a machine, the coalition must be unable to — creation
 //     order determines NextID allocation, so creations never commute.
 //
+// When chaos faults are pending (chaos != 0: fault budget remains, with
+// the given kinds enabled), two further conditions make x's steps commute
+// with the environment machine's postponed faults:
+//
+//  5. eOut must be empty outright. Under crash kinds, a coalition member
+//     that can send to x could be crashed first, erasing the send (x sees
+//     different inboxes depending on order). Under drop/dup kinds, a
+//     coalition append to x materializes new fault branches at x and its
+//     removal/duplication interacts with x's dequeue scan.
+//  6. If u sends to a machine t ≠ x: under crash kinds the send is
+//     rejected (crash(t) before the send turns it into SEND-FAIL-2; after,
+//     it doesn't); under drop/dup kinds it is rejected when t currently
+//     has a deliverable event — dropping or duplicating that entry changes
+//     the queue contents x's append ⊕-dedups against. An empty-inbox t is
+//     fine: there is nothing to drop, and x's append commutes with faults
+//     that don't exist yet (condition 3 already froze t, so no coalition
+//     append can create one first).
+//
+// Faults aimed at x itself are members of the ample set, not postponed
+// actions, so they need no condition here; processFaults emits them at the
+// reduced node.
+//
 // Over-approximating Act, Carried, or eOut only rejects more seeds.
-func (r *reducer) ample(g *core.Global, x core.MachineID, succs []successor) bool {
+func (r *reducer) ample(g *core.Global, x core.MachineID, succs []successor, chaos FaultSet) bool {
 	if len(succs) == 0 {
 		return false
 	}
 	live := g.LiveIDs()
-	co := &coalition{
-		r:       r,
-		act:     make(map[core.MachineID]bool, len(live)),
-		carried: make(map[core.MachineID]bool, len(live)),
-		canSend: make([]ir.EventSet, len(r.prog.Machines)),
-		spawned: make([]bool, len(r.prog.Machines)),
-	}
+	co := r.grab(g)
+	defer r.scratch.Put(co)
 	for _, id := range live {
 		if id != x && g.Enabled(id) {
 			co.join(g, id)
@@ -175,6 +256,10 @@ func (r *reducer) ample(g *core.Global, x core.MachineID, succs []successor) boo
 	if co.carried[x] {
 		eOut = co.canSend[g.Lookup(x).Type]
 	}
+	if chaos != 0 && !eOut.IsEmpty() {
+		// Condition 5: pending faults forbid any coalition append to x.
+		return false
+	}
 
 	for i := range succs {
 		out := &succs[i].outcome
@@ -195,6 +280,15 @@ func (r *reducer) ample(g *core.Global, x core.MachineID, succs []successor) boo
 				}
 			} else if co.act[out.SentTo] {
 				return false
+			} else if chaos.Has(FaultCrash) {
+				// Condition 6: a pending crash(t) inverts SEND-FAIL-2.
+				return false
+			} else if chaos.Has(FaultDrop) || chaos.Has(FaultDup) {
+				if _, ok := g.DeliverableEvent(out.SentTo); ok {
+					// Condition 6: a drop/dup at t changes what x's append
+					// ⊕-dedups against.
+					return false
+				}
 			}
 		case core.OutNew:
 			if co.creates {

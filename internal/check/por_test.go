@@ -9,7 +9,9 @@ import (
 
 	"pgo/internal/check"
 	"pgo/internal/compile"
+	"pgo/internal/core"
 	"pgo/internal/ir"
+	"pgo/internal/live"
 	"pgo/internal/psamples"
 	"pgo/internal/trace"
 )
@@ -65,6 +67,21 @@ func equalStrings(a, b []string) bool {
 	return true
 }
 
+// liveSet projects liveness violations onto a canonical set, dropping the
+// witnessing SCC (the reduced graph has fewer nodes, so witnesses differ).
+func liveSet(prog *ir.Program, res *check.Result) []string {
+	set := map[string]bool{}
+	for _, v := range live.Check(prog, res.Graph, live.Options{}) {
+		set[fmt.Sprintf("%v/#%d/%s/%s", v.Kind, v.Machine, v.Type, v.EvName)] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TestPORCrossCheck runs every shipped sample (plus relay.p) with partial-
 // order reduction off and on and asserts the verdicts agree exactly: same
 // ok/violation outcome and the same set of distinct error states. Every
@@ -72,13 +89,18 @@ func equalStrings(a, b []string) bool {
 //
 // DelayBounded bound 2 is pverify's default configuration, so every program
 // is cross-checked there; the cheaper programs are additionally cross-checked
-// under the depth-bounded and round-robin explorers.
+// under the depth-bounded and round-robin explorers, and — pinning the
+// reduction's two lifted gates — under chaos (a drop-fault budget, the
+// environment-machine composition) and with graph collection (the strict C3
+// proviso), where the liveness verdicts (live.Check) and the control-state
+// coverage (CoverageOf) must also agree.
 func TestPORCrossCheck(t *testing.T) {
 	progs := crossCheckPrograms(t)
 
-	// Samples small enough to sweep across every mode. The german family
-	// and the full usbhub device model are restricted to the delay-bounded
-	// default to keep runtimes reasonable.
+	// Samples small enough to sweep across every mode and dimension. The
+	// german family and the full usbhub device model are restricted to
+	// cheaper configurations to keep runtimes reasonable (german under a
+	// delay-2 fault budget alone overflows a 2M-state cap).
 	small := map[string]bool{
 		"pingpong": true, "elevator": true, "elevator-buggy": true,
 		"switchled": true, "switchled-buggy": true, "ring": true,
@@ -89,22 +111,56 @@ func TestPORCrossCheck(t *testing.T) {
 	type cfg struct {
 		mode  check.Mode
 		bound int
+		chaos bool // one drop fault: the chaos x POR dimension
+		graph bool // collect the graph: the liveness/coverage x POR dimension
 	}
 	for name, prog := range progs {
-		cfgs := []cfg{{check.DelayBounded, 2}}
+		cfgs := []cfg{
+			{mode: check.DelayBounded, bound: 2},
+			{mode: check.DelayBounded, bound: 2, graph: true},
+		}
 		if small[name] {
-			cfgs = append(cfgs, cfg{check.DepthBounded, 12}, cfg{check.RoundRobinDelay, 2})
+			cfgs = append(cfgs,
+				cfg{mode: check.DepthBounded, bound: 12},
+				cfg{mode: check.RoundRobinDelay, bound: 2},
+				cfg{mode: check.DelayBounded, bound: 2, chaos: true},
+				cfg{mode: check.DepthBounded, bound: 12, chaos: true},
+				cfg{mode: check.DepthBounded, bound: 12, graph: true},
+			)
+		} else {
+			// The german family still gets a chaos dimension at the delay
+			// budget its fault-extended space fits under.
+			cfgs = append(cfgs, cfg{mode: check.DelayBounded, bound: 1, chaos: true})
 		}
 		for _, c := range cfgs {
 			c := c
-			t.Run(fmt.Sprintf("%s/%v-%d", name, c.mode, c.bound), func(t *testing.T) {
+			label := fmt.Sprintf("%s/%v-%d", name, c.mode, c.bound)
+			if c.chaos {
+				label += "-chaos"
+			}
+			if c.graph {
+				label += "-graph"
+			}
+			t.Run(label, func(t *testing.T) {
 				if testing.Short() && (name == "german" || name == "german-buggy") {
 					t.Skip("large state space")
 				}
+				// The depth-12 spaces dwarf the delay-2 ones; under -short
+				// (the CI race leg) the delay-2 legs alone carry the chaos
+				// and graph dimensions.
+				if testing.Short() && c.mode == check.DepthBounded {
+					t.Skip("large state space under -race")
+				}
 				run := func(por bool) *check.Result {
-					res, err := check.Explore(prog, check.Options{
+					opts := check.Options{
 						Mode: c.mode, Bound: c.bound, MaxStates: 2_000_000, POR: por,
-					})
+						CollectGraph: c.graph,
+					}
+					if c.chaos {
+						opts.Faults = 1
+						opts.FaultKinds = check.DropFaults
+					}
+					res, err := check.Explore(prog, opts)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -126,6 +182,22 @@ func TestPORCrossCheck(t *testing.T) {
 					t.Errorf("POR explored more states than the full search: %d > %d",
 						on.Stats.DistinctStates, off.Stats.DistinctStates)
 				}
+				if c.graph {
+					lOff, lOn := liveSet(prog, off), liveSet(prog, on)
+					if !equalStrings(lOff, lOn) {
+						t.Errorf("liveness verdicts differ:\n  off: %v\n  on:  %v", lOff, lOn)
+					}
+					covOff := check.CoverageOf(prog, off.Graph)
+					covOn := check.CoverageOf(prog, on.Graph)
+					for _, m := range prog.Machines {
+						offUnv := covOff.Unvisited(prog, m.ID)
+						onUnv := covOn.Unvisited(prog, m.ID)
+						if fmt.Sprint(offUnv) != fmt.Sprint(onUnv) {
+							t.Errorf("%s coverage differs: off unvisited %v, on unvisited %v",
+								m.Name, offUnv, onUnv)
+						}
+					}
+				}
 				for i := range on.Violations {
 					if err := trace.Render(prog, &on.Violations[i], io.Discard); err != nil {
 						t.Errorf("POR trace %d does not replay: %v", i, err)
@@ -137,11 +209,12 @@ func TestPORCrossCheck(t *testing.T) {
 }
 
 // TestPORMatrixVerdicts is the property-style matrix over the public API:
-// POR on/off × hashed/exact fingerprints × serial/parallel workers must all
-// agree on the verdict and the set of distinct error states, and every
-// counterexample trace must replay. (Exact per-statistic equality between
-// the serial and one-worker parallel explorers is pinned separately by the
-// white-box TestSerialParallelStatsEquivalence.)
+// POR on/off × hashed/exact fingerprints × serial/parallel workers × fault
+// budget 0/1 must all agree per fault budget on the verdict and the set of
+// distinct error states, and every counterexample trace must replay. (Exact
+// per-statistic equality between the serial and one-worker parallel
+// explorers is pinned separately by the white-box
+// TestSerialParallelStatsEquivalence.)
 func TestPORMatrixVerdicts(t *testing.T) {
 	for _, name := range []string{"pingpong", "elevator-buggy", "switchled-buggy", "ring-buggy", "boundedbuffer"} {
 		name := name
@@ -152,35 +225,47 @@ func TestPORMatrixVerdicts(t *testing.T) {
 				errd bool
 				set  []string
 			}
-			var verdicts []verdict
-			for _, por := range []bool{false, true} {
-				for _, exact := range []bool{false, true} {
-					for _, workers := range []int{1, 4} {
-						res, err := check.Explore(prog, check.Options{
-							Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000,
-							POR: por, ExactFingerprints: exact, Workers: workers,
-						})
-						if err != nil {
-							t.Fatal(err)
-						}
-						cfg := fmt.Sprintf("por=%v exact=%v workers=%d", por, exact, workers)
-						if res.Stats.Truncated {
-							t.Fatalf("%s: truncated", cfg)
-						}
-						for i := range res.Violations {
-							if err := trace.Render(prog, &res.Violations[i], io.Discard); err != nil {
-								t.Errorf("%s: trace %d does not replay: %v", cfg, i, err)
+			// Chaos enlarges the reachable error set, so verdicts are
+			// compared within each fault budget, not across.
+			// Exact fingerprints are orthogonal to the concurrency the race
+			// leg is after (TestHashedExactSameDistinctStates keeps them
+			// raced); -short halves the matrix by dropping them.
+			exacts := []bool{false, true}
+			if testing.Short() {
+				exacts = exacts[:1]
+			}
+			for _, faults := range []int{0, 1} {
+				var verdicts []verdict
+				for _, por := range []bool{false, true} {
+					for _, exact := range exacts {
+						for _, workers := range []int{1, 4} {
+							res, err := check.Explore(prog, check.Options{
+								Mode: check.DelayBounded, Bound: 2, MaxStates: 2_000_000,
+								POR: por, ExactFingerprints: exact, Workers: workers,
+								Faults: faults,
+							})
+							if err != nil {
+								t.Fatal(err)
 							}
+							cfg := fmt.Sprintf("por=%v exact=%v workers=%d faults=%d", por, exact, workers, faults)
+							if res.Stats.Truncated {
+								t.Fatalf("%s: truncated", cfg)
+							}
+							for i := range res.Violations {
+								if err := trace.Render(prog, &res.Violations[i], io.Discard); err != nil {
+									t.Errorf("%s: trace %d does not replay: %v", cfg, i, err)
+								}
+							}
+							verdicts = append(verdicts, verdict{cfg, res.Errored(), violationSet(res)})
 						}
-						verdicts = append(verdicts, verdict{cfg, res.Errored(), violationSet(res)})
 					}
 				}
-			}
-			base := verdicts[0]
-			for _, v := range verdicts[1:] {
-				if v.errd != base.errd || !equalStrings(v.set, base.set) {
-					t.Errorf("verdict diverges:\n  %s: errored=%v %v\n  %s: errored=%v %v",
-						base.cfg, base.errd, base.set, v.cfg, v.errd, v.set)
+				base := verdicts[0]
+				for _, v := range verdicts[1:] {
+					if v.errd != base.errd || !equalStrings(v.set, base.set) {
+						t.Errorf("verdict diverges:\n  %s: errored=%v %v\n  %s: errored=%v %v",
+							base.cfg, base.errd, base.set, v.cfg, v.errd, v.set)
+					}
 				}
 			}
 		})
@@ -243,5 +328,31 @@ func TestPORReductionPinned(t *testing.T) {
 				t.Errorf("reducer accepted no ample sets")
 			}
 		})
+	}
+}
+
+// TestPORDisabledReason pins the conditions under which a requested
+// reduction is forced off — after the chaos and graph gates were lifted,
+// only host foreign functions and fine-grained scheduling remain — and
+// that each carries a human-readable reason (surfaced by pverify's notice
+// and its JSON por_disabled_reason field).
+func TestPORDisabledReason(t *testing.T) {
+	if r := (&check.Options{}).PORDisabledReason(); r != "" {
+		t.Errorf("default options: unexpected reason %q", r)
+	}
+	for _, o := range []check.Options{
+		{CollectGraph: true},
+		{Faults: 2},
+		{CollectGraph: true, Faults: 1},
+	} {
+		if r := (&o).PORDisabledReason(); r != "" {
+			t.Errorf("%+v: POR should stay active, got reason %q", o, r)
+		}
+	}
+	if r := (&check.Options{FineGrained: true}).PORDisabledReason(); r == "" {
+		t.Error("fine-grained mode should disable POR with a reason")
+	}
+	if r := (&check.Options{Foreign: core.ForeignMap{}}).PORDisabledReason(); r == "" {
+		t.Error("a foreign environment should disable POR with a reason")
 	}
 }

@@ -14,6 +14,9 @@ import (
 // "obvious" delaying scheduler; comparing its bug-finding delay budgets and
 // state counts against the causal-stack scheduler quantifies the value of
 // following the causal order of events (§5).
+// The moves it feeds the shared core (engine.go) walk the live-id order
+// from the node's cursor, skipping disabled machines for free; the cursor
+// handoff per outcome lives in processSuccs.
 func (e *explorer) roundRobinDelay(g0 *core.Global) {
 	fp0 := e.keyOf(g0)
 	e.noteState(fp0)
@@ -21,184 +24,7 @@ func (e *explorer) roundRobinDelay(g0 *core.Global) {
 		e.graph.Init = e.graph.Node(fp0, g0)
 	}
 	e.visited.claim(fp0, cursorAux(0, e.opts.ExactFingerprints), 0, 0)
-	e.rrLoop([]rrnode{{g: g0}})
-}
-
-// rrnode is one round-robin search node; checkpoints serialize the frontier
-// as these.
-type rrnode struct {
-	g      *core.Global
-	cursor int // index into the live-id order where the base scheduler resumes
-	delays int
-	faults int
-	depth  int
-	trace  []TraceStep
-}
-
-// rrLoop runs the round-robin search from a frontier (the initial node on
-// fresh runs, the restored frontier on resume).
-func (e *explorer) rrLoop(stack []rrnode) {
-	budget := e.opts.Bound
-	exactFP := e.opts.ExactFingerprints
-
-	for len(stack) > 0 && !e.stop {
-		if e.ckpt != nil && e.ckptSerial(func() []ckptNode { return ckptRRNodes(stack) }) {
-			return
-		}
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		e.result.Stats.SearchNodes++
-		if n.depth > e.result.Stats.MaxDepth {
-			e.result.Stats.MaxDepth = n.depth
-		}
-
-		// Enabled machines in round-robin order starting at the cursor.
-		ids := n.g.IDs()
-		if len(ids) == 0 {
-			e.result.Stats.Quiescent++
-			continue
-		}
-		type option struct {
-			cost   int
-			id     core.MachineID
-			resume int // cursor after this machine runs
-		}
-		var opts []option
-		cost := 0
-		for off := 0; off < len(ids); off++ {
-			idx := (n.cursor + off) % len(ids)
-			id := ids[idx]
-			if !n.g.Enabled(id) {
-				continue // skipping a disabled machine is free
-			}
-			if cost > budget-n.delays {
-				break
-			}
-			opts = append(opts, option{cost: cost, id: id, resume: (idx + 1) % len(ids)})
-			cost++ // delaying past an enabled machine costs one delay
-		}
-		if len(opts) == 0 {
-			enabled := false
-			for _, id := range ids {
-				if n.g.Enabled(id) {
-					enabled = true
-					break
-				}
-			}
-			if !enabled {
-				e.result.Stats.Quiescent++
-			}
-			continue
-		}
-
-		var fromNode NodeID
-		if e.graph != nil {
-			fromNode = e.graph.Node(e.keyOf(n.g), n.g)
-		}
-
-		// process runs the per-successor body for one option, reporting
-		// whether any successor entered the frontier as new work.
-		process := func(opt option, succs []successor) bool {
-			pushed := false
-			for i := range succs {
-				s := &succs[i]
-				if e.stop {
-					return pushed
-				}
-				e.noteState(s.fp)
-				if e.graph != nil {
-					to := e.graph.Node(s.fp, s.global)
-					e.graph.AddEdge(fromNode, to, opt.id, s.outcome.Dequeued)
-				}
-				delays := n.delays + opt.cost
-				// The round-robin cursor resumes after the scheduled
-				// machine unless it is still runnable mid-burst (a send or
-				// creation keeps it scheduled, matching run-to-completion).
-				cursor := opt.resume
-				if s.outcome.Kind == core.OutSend || s.outcome.Kind == core.OutNew || s.outcome.Kind == core.OutYield {
-					cursor = indexOf(s.global.IDs(), opt.id)
-				}
-				if !e.visited.claim(s.fp, cursorAux(cursor, exactFP), n.faults, delays) {
-					continue
-				}
-				step := TraceStep{
-					Machine: opt.id,
-					Type:    e.prog.Machines[n.g.Lookup(opt.id).Type].Name,
-					Delays:  opt.cost,
-					Choices: s.choices,
-					Outcome: s.outcome.Kind,
-				}
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = step
-				stack = append(stack, rrnode{g: s.global, cursor: cursor, delays: delays, faults: n.faults, depth: n.depth + 1, trace: trace})
-				pushed = true
-			}
-			return pushed
-		}
-
-		// POR: the base scheduler's own choice (the zero-delay cursor
-		// machine) is the only ample-seed candidate, as in the delay-bounded
-		// explorer.
-		var cached []successor
-		cachedFor, processed0 := false, false
-		if e.por != nil && len(opts) >= 2 {
-			cached = e.expand(n.g, opts[0].id, n.trace, opts[0].cost)
-			cachedFor = true
-			if !e.stop && e.por.ample(n.g, opts[0].id, cached) {
-				if process(opts[0], cached) {
-					e.result.Stats.ReducedStates++
-					e.result.Stats.AmpleSkips += len(opts) - 1
-					continue
-				}
-				// Cycle proviso: nothing new entered the frontier — expand
-				// every option after all.
-				processed0 = true
-			}
-		}
-		for i, opt := range opts {
-			if e.stop {
-				return
-			}
-			var succs []successor
-			switch {
-			case i == 0 && cachedFor:
-				if processed0 {
-					continue
-				}
-				succs = cached
-			default:
-				succs = e.expand(n.g, opt.id, n.trace, opt.cost)
-			}
-			process(opt, succs)
-		}
-		if e.stop {
-			return
-		}
-
-		// Chaos mode: fault successors after the ordinary ones. The cursor is
-		// unchanged — a fault is the environment's move, not the scheduler's.
-		if n.faults < e.opts.Faults {
-			for _, fb := range e.faultBranches(n.g) {
-				if e.stop {
-					return
-				}
-				e.result.Stats.FaultSteps++
-				e.noteState(fb.fp)
-				if e.graph != nil {
-					to := e.graph.Node(fb.fp, fb.global)
-					e.graph.AddEdge(fromNode, to, fb.step.Machine, nil)
-				}
-				if !e.visited.claim(fb.fp, cursorAux(n.cursor, exactFP), n.faults+1, n.delays) {
-					continue
-				}
-				trace := make([]TraceStep, len(n.trace)+1)
-				copy(trace, n.trace)
-				trace[len(n.trace)] = fb.step
-				stack = append(stack, rrnode{g: fb.global, cursor: n.cursor, delays: n.delays, faults: n.faults + 1, depth: n.depth + 1, trace: trace})
-			}
-		}
-	}
+	e.serialLoop([]node{{g: g0}})
 }
 
 func indexOf(ids []core.MachineID, id core.MachineID) int {

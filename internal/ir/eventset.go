@@ -69,6 +69,23 @@ func (s EventSet) Clone() EventSet {
 	return EventSet{words: w}
 }
 
+// UnionWith adds every element of t to s in place.
+func (s *EventSet) UnionWith(t EventSet) {
+	for i, w := range t.words {
+		for len(s.words) <= i {
+			s.words = append(s.words, 0)
+		}
+		s.words[i] |= w
+	}
+}
+
+// Clear removes every element, keeping the allocated capacity.
+func (s *EventSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
 // Union returns s ∪ t as a new set.
 func (s EventSet) Union(t EventSet) EventSet {
 	out := s.Clone()
