@@ -19,92 +19,32 @@
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"pgo/internal/abstract"
 	"pgo/internal/analysis"
+	"pgo/internal/benchfmt"
 	"pgo/internal/check"
 	"pgo/internal/compile"
 	"pgo/internal/core"
 	"pgo/internal/ir"
 	"pgo/internal/psamples"
+	"pgo/internal/server"
 )
 
-// schemaVersion identifies the report layout. Bump on incompatible change.
-const schemaVersion = "pbench/3"
-
-// schemaDoc is the embedded header documenting every field of the report;
-// it is emitted first so the committed JSON file is self-describing.
-var schemaDoc = []string{
-	"schema: report layout version (pbench/3: adds per-entry cpus/workers and the depth-mode POR twins POR/chaos-*, POR/live-*; pbench/2: explorer fields always present, zero for micros; adds SPILL entries and their store fields; ABS entries reuse the explorer fields for the coverability search)",
-	"go, goos, goarch, cpus: toolchain and host the numbers were taken on",
-	"generated: RFC3339 timestamp of the run",
-	"entries[].name: unique benchmark id, experiment/sample/parameters",
-	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin; chaos-*/live-* samples run depth-bounded with faults / a liveness graph), SPILL (disk-backed visited store), ABS (counter-abstraction coverability; states = markings), FP (fingerprint micro), CLONE (global clone micro)",
-	"entries[].sample: embedded P sample the entry compiles",
-	"entries[].mode: exploration mode for explorer entries",
-	"entries[].bound: delay or depth budget for explorer entries",
-	"entries[].cpus: runtime.NumCPU() on the measuring host (explorer entries)",
-	"entries[].workers: goroutines the search actually ran with, 1 for serial explorers (explorer entries)",
-	"entries[].max_states: distinct-state cap for explorer entries (0 = none hit)",
-	"entries[].iterations: measured iterations (ops for micros are batched; ns_per_op is per single op)",
-	"entries[].ns_per_op: wall nanoseconds per operation",
-	"entries[].allocs_per_op: heap allocations per operation",
-	"entries[].bytes_per_op: heap bytes per operation",
-	"entries[].states: distinct global states discovered (explorer entries)",
-	"entries[].transitions: macro steps executed (explorer entries)",
-	"entries[].states_per_sec: states / (ns_per_op * 1e-9) (explorer entries)",
-	"entries[].por: partial-order reduction was enabled (POR experiment entries)",
-	"entries[].reduced_states: search nodes expanded with a singleton ample set (POR entries)",
-	"entries[].spilled_entries: visited-store entries spilled to chunk files (SPILL entries)",
-	"entries[].chunks: chunk files written by the tiered visited store (SPILL entries)",
-	"entries[].disk_bytes: total chunk-file bytes on disk (SPILL entries)",
-}
-
-type report struct {
-	Schema    string   `json:"schema"`
-	SchemaDoc []string `json:"schema_doc"`
-	Go        string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Generated string   `json:"generated"`
-	Entries   []entry  `json:"entries"`
-}
-
-// entry is one benchmark row. Every field is always emitted — no omitempty —
-// so consumers (and the regression gate) can tell "measured as zero" from
-// "absent" and diff rows across reports without guessing at defaults; micro
-// entries carry zeros in the explorer fields.
-type entry struct {
-	Name           string  `json:"name"`
-	Experiment     string  `json:"experiment"`
-	Sample         string  `json:"sample"`
-	Mode           string  `json:"mode"`
-	Bound          int     `json:"bound"`
-	CPUs           int     `json:"cpus"`
-	Workers        int     `json:"workers"`
-	MaxStates      int     `json:"max_states"`
-	Iterations     int     `json:"iterations"`
-	NsPerOp        int64   `json:"ns_per_op"`
-	AllocsPerOp    int64   `json:"allocs_per_op"`
-	BytesPerOp     int64   `json:"bytes_per_op"`
-	States         int     `json:"states"`
-	Transitions    int     `json:"transitions"`
-	StatesPerSec   float64 `json:"states_per_sec"`
-	POR            bool    `json:"por"`
-	ReducedStates  int     `json:"reduced_states"`
-	SpilledEntries int     `json:"spilled_entries"`
-	Chunks         int     `json:"chunks"`
-	DiskBytes      int64   `json:"disk_bytes"`
-}
+// The report layout (schema, field docs, entry struct) lives in
+// internal/benchfmt, shared with cmd/pload so serving-path load reports and
+// explorer reports diff and gate uniformly.
+type entry = benchfmt.Entry
 
 // measure runs f (which performs ops operations per call) until iters calls
 // (when iters > 0) or benchtime has elapsed, and reports per-op wall time
@@ -277,6 +217,96 @@ func absEntry(benchtime time.Duration, iters int, sample string, prog *ir.Progra
 	return e
 }
 
+func erasedOrDie(name, src string) *ir.Program {
+	prog, diags, err := compile.Erased(name, src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbench: compile %s: %v\n%s", name, err, diags.String())
+		os.Exit(1)
+	}
+	return prog
+}
+
+// serveEntry measures the serving path in-process: a fresh sharded actor
+// server per iteration, sessions concurrent workers each running rounds of
+// the workload, then quiescence. ns_per_op is per ingress request; states
+// is the events the shard loops processed per iteration, so states/sec is
+// serving throughput in the same column the explorer entries use.
+// reqPerRound must match the requests the round closure issues.
+func serveEntry(benchtime time.Duration, iters int, scen, sample string, prog *ir.Program,
+	sessions, rounds, reqPerRound int, round func(srv *server.Server, add func(time.Duration, error))) entry {
+	var mu sync.Mutex
+	var lats []int64
+	var shedTotal, processedTotal int64
+	add := func(d time.Duration, err error) {
+		var se *server.ShedError
+		mu.Lock()
+		lats = append(lats, d.Nanoseconds())
+		if errors.As(err, &se) {
+			shedTotal++
+		}
+		mu.Unlock()
+	}
+	reqPerIter := sessions * rounds * reqPerRound
+	n, ns, allocs, bytes := measure(benchtime, iters, reqPerIter, func() {
+		srv, err := server.New(prog, server.Options{Shards: 4, Seed: 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbench: %s: %v\n", sample, err)
+			os.Exit(1)
+		}
+		h := server.NewHandler(srv)
+		var wg sync.WaitGroup
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					round(srv, add)
+				}
+			}()
+		}
+		wg.Wait()
+		if !srv.Quiesce(time.Minute) {
+			fmt.Fprintf(os.Stderr, "pbench: %s: serving workload never quiesced\n", sample)
+			os.Exit(1)
+		}
+		processedTotal += h.Varz().Totals.EventsProcessed
+		srv.Stop()
+	})
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(p int) int64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := (len(lats)*p+99)/100 - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	e := entry{
+		Name:        fmt.Sprintf("SERVE/%s/s%d", scen, sessions),
+		Experiment:  "SERVE",
+		Sample:      sample,
+		Mode:        server.ShedRejectIngress.String(),
+		Bound:       rounds,
+		CPUs:        runtime.NumCPU(),
+		Workers:     4,
+		Iterations:  n * reqPerIter,
+		NsPerOp:     ns,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		States:      int(processedTotal) / n,
+		Requests:    len(lats) / n,
+		Shed:        int(shedTotal) / n,
+		P50Ns:       pick(50),
+		P99Ns:       pick(99),
+	}
+	if wallPerIter := ns * int64(reqPerIter); wallPerIter > 0 {
+		e.StatesPerSec = float64(e.States) / (float64(wallPerIter) * 1e-9)
+	}
+	return e
+}
+
 // advance drives g a few macro steps so its configuration is nontrivial.
 func advance(g *core.Global, steps int) {
 	for i := 0; i < steps; i++ {
@@ -403,15 +433,7 @@ func main() {
 		{"usb-dsm", psamples.USBDevice, []int{1}, 200_000},
 	}
 
-	rep := report{
-		Schema:    schemaVersion,
-		SchemaDoc: schemaDoc,
-		Go:        runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Generated: time.Now().UTC().Format(time.RFC3339),
-	}
+	rep := benchfmt.NewReport()
 	add := func(e entry) {
 		if re != nil && !re.MatchString(e.Name) {
 			return
@@ -513,6 +535,45 @@ func main() {
 		add(absEntry(*benchtime, *iters, s.sample, compileOrDie(s.sample, s.src), s.cap))
 	}
 
+	// SERVE: the sharded actor-server under concurrent sessions, the same
+	// workloads cmd/pload drives over HTTP but in-process, so the entries
+	// isolate shard-loop throughput from network and JSON costs.
+	if re == nil || re.MatchString("SERVE/elevator/s8") {
+		prog := erasedOrDie("elevator", psamples.Elevator)
+		script := []string{"OpenDoor", "DoorOpened", "TimerFired"}
+		add(serveEntry(*benchtime, *iters, "elevator", "elevator", prog, 8, 25, 1+len(script),
+			func(srv *server.Server, addReq func(time.Duration, error)) {
+				t0 := time.Now()
+				id, err := srv.CreateMachine("Elevator", nil)
+				addReq(time.Since(t0), err)
+				if err != nil {
+					return
+				}
+				for _, ev := range script {
+					t0 := time.Now()
+					err := srv.Send(id, ev, core.Null)
+					addReq(time.Since(t0), err)
+				}
+			}))
+	}
+	if re == nil || re.MatchString("SERVE/ring/s4") {
+		prog := erasedOrDie("ring", psamples.Ring(3))
+		add(serveEntry(*benchtime, *iters, "ring", "ring", prog, 4, 25, 2,
+			func(srv *server.Server, addReq func(time.Duration, error)) {
+				t0 := time.Now()
+				id, err := srv.CreateMachine("Node", map[string]core.Value{
+					"myid": core.IntVal(1), "total": core.IntVal(3),
+				})
+				addReq(time.Since(t0), err)
+				if err != nil {
+					return
+				}
+				t0 = time.Now()
+				err = srv.Send(id, "Token", core.IntVal(0))
+				addReq(time.Since(t0), err)
+			}))
+	}
+
 	if re == nil || re.MatchString("FP/") {
 		for _, e := range fingerprintEntries(*benchtime, *iters, "german-3", compileOrDie("german", psamples.German(3)), 30) {
 			add(e)
@@ -526,19 +587,7 @@ func main() {
 		add(cloneEntry(*benchtime, *iters, "german-3", compileOrDie("german", psamples.German(3)), 30))
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pbench: %v\n", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := rep.WriteFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "pbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -562,15 +611,10 @@ const gateFloorNs = 10_000_000
 // explorer entry's states/sec may drop more than regressPct percent below
 // its baseline. Micro-benchmark entries (no states/sec) and entries faster
 // than gateFloorNs are informational.
-func compareAgainst(path string, cur *report, regressPct float64) bool {
-	raw, err := os.ReadFile(path)
+func compareAgainst(path string, cur *benchfmt.Report, regressPct float64) bool {
+	base, err := benchfmt.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pbench: -compare: %v\n", err)
-		return false
-	}
-	var base report
-	if err := json.Unmarshal(raw, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "pbench: -compare: parsing %s: %v\n", path, err)
 		return false
 	}
 	baseByName := make(map[string]entry, len(base.Entries))

@@ -1,0 +1,313 @@
+// pload drives concurrent sessions against a running pserve instance and
+// reports throughput, request latency percentiles, and shed rate in the
+// pbench JSON format, so serving-path numbers diff and gate exactly like
+// the explorer benchmarks.
+//
+// Usage:
+//
+//	pload [flags]
+//
+// Examples:
+//
+//	pload -addr http://127.0.0.1:8080 -scenario elevator -sessions 8 -rounds 50
+//	pload -addr http://127.0.0.1:8080 -scenario ring -smoke
+//
+// A session round creates one machine and feeds it the scenario's event
+// script; every request's latency and status is recorded. 429 responses
+// are counted as shed and the session briefly honors the server's
+// Retry-After hint instead of hammering. -smoke runs a single round of one
+// session and fails loudly on any unexpected status — the CI liveness
+// probe for the serving path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"pgo/internal/benchfmt"
+	"pgo/internal/cmdutil"
+)
+
+// scenario is one serving workload: which sample pserve must be hosting,
+// the create request of a round, and the event script fed to the created
+// machine.
+type scenario struct {
+	sample string
+	create map[string]any
+	sends  []map[string]any
+}
+
+func scenarios(ringSize int) map[string]scenario {
+	return map[string]scenario{
+		// The paper's §2 elevator, one door cycle per round.
+		"elevator": {
+			sample: "elevator",
+			create: map[string]any{"type": "Elevator"},
+			sends: []map[string]any{
+				{"event": "OpenDoor"},
+				{"event": "DoorOpened"},
+				{"event": "TimerFired"},
+			},
+		},
+		// Chang–Roberts leader election: one create grows the whole ring
+		// via internal machine creation and runs the election internally;
+		// the extra losing token exercises the send path.
+		"ring": {
+			sample: "leaderelection",
+			create: map[string]any{"type": "Node", "inits": map[string]any{"myid": 1, "total": ringSize}},
+			sends: []map[string]any{
+				{"event": "Token", "payload": 0},
+			},
+		},
+	}
+}
+
+// varz mirrors the /varz fields pload consumes.
+type varz struct {
+	Program    string `json:"program"`
+	ShedPolicy string `json:"shed_policy"`
+	Shards     []struct {
+		Shard int `json:"shard"`
+	} `json:"shards"`
+	Totals struct {
+		EventsProcessed int64 `json:"events_processed"`
+		EventsShed      int64 `json:"events_shed"`
+	} `json:"totals"`
+}
+
+type result struct {
+	requests  int
+	shed      int
+	errors    int
+	latencies []time.Duration
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the pserve instance")
+		scen     = flag.String("scenario", "elevator", "workload: elevator or ring")
+		sessions = flag.Int("sessions", 8, "concurrent sessions")
+		rounds   = flag.Int("rounds", 50, "rounds per session (one create + the event script each)")
+		ringSize = flag.Int("ring", 3, "ring size for the ring scenario")
+		smoke    = flag.Bool("smoke", false, "single session, single round, fail on any unexpected status")
+		out      = flag.String("out", "", "write the pbench JSON report here (default stdout)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+	sc, ok := scenarios(*ringSize)[*scen]
+	if !ok {
+		cmdutil.Fatalf("pload: unknown scenario %q (want elevator or ring)", *scen)
+	}
+	client := &http.Client{Timeout: *timeout}
+	if *smoke {
+		runSmoke(client, *addr, sc)
+		return
+	}
+
+	before, err := fetchVarz(client, *addr)
+	if err != nil {
+		cmdutil.Fatalf("pload: %s/varz: %v", *addr, err)
+	}
+
+	results := make([]result, *sessions)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(res *result) {
+			defer wg.Done()
+			for r := 0; r < *rounds; r++ {
+				runRound(client, *addr, sc, res)
+			}
+		}(&results[i])
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+
+	after, err := fetchVarz(client, *addr)
+	if err != nil {
+		cmdutil.Fatalf("pload: %s/varz: %v", *addr, err)
+	}
+
+	var total result
+	for _, r := range results {
+		total.requests += r.requests
+		total.shed += r.shed
+		total.errors += r.errors
+		total.latencies = append(total.latencies, r.latencies...)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+	processed := after.Totals.EventsProcessed - before.Totals.EventsProcessed
+
+	rep := benchfmt.NewReport()
+	e := benchfmt.Entry{
+		Name:       fmt.Sprintf("SERVE/%s/s%d", *scen, *sessions),
+		Experiment: "SERVE",
+		Sample:     sc.sample,
+		Mode:       after.ShedPolicy,
+		Bound:      *rounds,
+		CPUs:       rep.CPUs,
+		Workers:    len(after.Shards),
+		Iterations: total.requests,
+		Requests:   total.requests,
+		Shed:       total.shed,
+		States:     int(processed),
+		P50Ns:      percentile(total.latencies, 50).Nanoseconds(),
+		P99Ns:      percentile(total.latencies, 99).Nanoseconds(),
+	}
+	if total.requests > 0 {
+		e.NsPerOp = wall.Nanoseconds() / int64(total.requests)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		e.StatesPerSec = float64(processed) / secs
+	}
+	rep.Entries = append(rep.Entries, e)
+	if err := rep.WriteFile(*out); err != nil {
+		cmdutil.Fatalf("pload: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "pload: %d requests (%d shed, %d errors) in %s against %s; %d events processed server-side\n",
+		total.requests, total.shed, total.errors, wall.Round(time.Millisecond), after.Program, processed)
+	if total.errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// runRound performs one session round: create a machine, then feed it the
+// script. A shed or unavailable create abandons the round; a shed send
+// honors the Retry-After hint (capped) and moves on without retrying.
+func runRound(client *http.Client, addr string, sc scenario, res *result) {
+	code, body := request(client, addr, "/machines", sc.create, res)
+	switch code {
+	case http.StatusCreated:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return
+	default:
+		res.errors++
+		return
+	}
+	var created struct {
+		ID int64 `json:"id"`
+	}
+	if json.Unmarshal(body, &created) != nil || created.ID <= 0 {
+		res.errors++
+		return
+	}
+	path := fmt.Sprintf("/machines/%d/send", created.ID)
+	for _, send := range sc.sends {
+		code, _ := request(client, addr, path, send, res)
+		switch code {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Shed: skip this event, keep the session alive.
+		default:
+			res.errors++
+		}
+	}
+}
+
+// request POSTs one JSON body, recording latency and shed accounting. On a
+// 429 it sleeps the server's retry_after_ms hint, capped so an overloaded
+// run still finishes.
+func request(client *http.Client, addr, path string, payload map[string]any, res *result) (int, []byte) {
+	raw, _ := json.Marshal(payload)
+	t0 := time.Now()
+	resp, err := client.Post(addr+path, "application/json", bytes.NewReader(raw))
+	lat := time.Since(t0)
+	res.requests++
+	res.latencies = append(res.latencies, lat)
+	if err != nil {
+		res.errors++
+		return 0, nil
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		res.shed++
+		var hint struct {
+			RetryAfterMs int64 `json:"retry_after_ms"`
+		}
+		if json.Unmarshal(body, &hint) == nil && hint.RetryAfterMs > 0 {
+			d := time.Duration(hint.RetryAfterMs) * time.Millisecond
+			if d > 250*time.Millisecond {
+				d = 250 * time.Millisecond
+			}
+			time.Sleep(d)
+		}
+	}
+	return resp.StatusCode, body
+}
+
+// runSmoke is the CI probe: healthz, one create, one send, one inspect —
+// any unexpected status is fatal.
+func runSmoke(client *http.Client, addr string, sc scenario) {
+	resp, err := client.Get(addr + "/healthz")
+	if err != nil {
+		cmdutil.Fatalf("pload: smoke: /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cmdutil.Fatalf("pload: smoke: /healthz = %d, want 200", resp.StatusCode)
+	}
+	var res result
+	code, body := request(client, addr, "/machines", sc.create, &res)
+	if code != http.StatusCreated {
+		cmdutil.Fatalf("pload: smoke: create = %d (%s), want 201", code, bytes.TrimSpace(body))
+	}
+	var created struct {
+		ID int64 `json:"id"`
+	}
+	if json.Unmarshal(body, &created) != nil || created.ID <= 0 {
+		cmdutil.Fatalf("pload: smoke: create response %s has no id", body)
+	}
+	if len(sc.sends) > 0 {
+		code, body = request(client, addr, fmt.Sprintf("/machines/%d/send", created.ID), sc.sends[0], &res)
+		if code != http.StatusAccepted {
+			cmdutil.Fatalf("pload: smoke: send = %d (%s), want 202", code, bytes.TrimSpace(body))
+		}
+	}
+	resp, err = client.Get(fmt.Sprintf("%s/machines/%d", addr, created.ID))
+	if err != nil {
+		cmdutil.Fatalf("pload: smoke: inspect: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cmdutil.Fatalf("pload: smoke: inspect = %d, want 200", resp.StatusCode)
+	}
+	fmt.Fprintln(os.Stderr, "pload: smoke ok")
+}
+
+func fetchVarz(client *http.Client, addr string) (*varz, error) {
+	resp, err := client.Get(addr + "/varz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var v varz
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// percentile picks the p-th latency from an ascending-sorted slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i > 0 {
+		i--
+	}
+	return sorted[i]
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,9 +37,10 @@ func main() {
 		drop     = flag.Float64("chaos-drop", 0, "probability a sent event is lost in transit")
 		dup      = flag.Float64("chaos-dup", 0, "probability a sent event is delivered twice")
 		delay    = flag.Float64("chaos-delay", 0, "probability a sent event's delivery is postponed")
-		maxInbox = flag.Int("max-inbox", 0, "bound each machine's inbox to this many pending events (0 = unbounded)")
-		overflow = flag.String("overflow", "drop-newest", "bounded-inbox overflow policy: drop-newest or error")
-		metrics  = flag.Bool("metrics", false, "print runtime metrics on exit")
+		maxInbox    = flag.Int("max-inbox", 0, "bound each machine's inbox to this many pending events (0 = unbounded)")
+		overflow    = flag.String("overflow", "drop-newest", "bounded-inbox overflow policy: drop-newest, drop-oldest, block, or error")
+		metrics     = flag.Bool("metrics", false, "print runtime metrics on exit")
+		metricsJSON = flag.Bool("metrics-json", false, "print the runtime metrics snapshot as JSON on exit (for scripting)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: prun [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -75,14 +77,11 @@ func main() {
 		MaxInbox: *maxInbox,
 	}
 	if *maxInbox > 0 {
-		switch *overflow {
-		case "drop-newest":
-			opts.Overflow = prt.OverflowDropNewest
-		case "error":
-			opts.Overflow = prt.OverflowError
-		default:
-			cmdutil.Fatalf("prun: unknown -overflow policy %q (want drop-newest or error)", *overflow)
+		pol, err := prt.ParseOverflowPolicy(*overflow)
+		if err != nil {
+			cmdutil.Fatalf("prun: -overflow: %v", err)
 		}
+		opts.Overflow = pol
 	}
 	if *drop > 0 || *dup > 0 || *delay > 0 {
 		opts.Inject = &prt.Inject{Seed: *seed, Drop: *drop, Dup: *dup, Delay: *delay}
@@ -95,9 +94,18 @@ func main() {
 	if *metrics {
 		defer func() {
 			m := rt.Metrics()
-			fmt.Printf("metrics: created %d, delivered %d, deduped %d, processed %d, overflowed %d, injected drop/dup/delay %d/%d/%d, panics %d, restarts %d\n",
-				m.MachinesCreated, m.EventsDelivered, m.EventsDeduped, m.EventsProcessed, m.EventsOverflowed,
+			fmt.Printf("metrics: created %d, delivered %d, deduped %d, processed %d, overflowed %d, blocked %d, injected drop/dup/delay %d/%d/%d, panics %d, restarts %d\n",
+				m.MachinesCreated, m.EventsDelivered, m.EventsDeduped, m.EventsProcessed, m.EventsOverflowed, m.EventsBlocked,
 				m.InjectedDrops, m.InjectedDups, m.InjectedDelays, m.Panics, m.Restarts)
+		}()
+	}
+	if *metricsJSON {
+		defer func() {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rt.Metrics()); err != nil {
+				fmt.Fprintf(os.Stderr, "prun: %v\n", err)
+			}
 		}()
 	}
 

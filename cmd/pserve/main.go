@@ -1,0 +1,162 @@
+// pserve hosts a compiled P program as a long-lived sharded actor server:
+// HTTP/JSON ingress mapped onto machine creation and sends, virtual-actor
+// addressing over a fixed shard pool, admission control with load shedding,
+// panic supervision with restart budgets and a per-shard circuit breaker,
+// and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	pserve [flags] <file.p | sample:NAME | ->
+//
+// Example:
+//
+//	pserve -addr 127.0.0.1:8080 sample:elevator
+//
+// Endpoints:
+//
+//	POST /machines            {"type":"Elevator","inits":{"myid":1}} -> 201 {"id","shard"}
+//	POST /machines/{id}/send  {"event":"OpenDoor","payload":3}       -> 202
+//	GET  /machines/{id}       machine status + current P state
+//	GET  /healthz, /readyz, /varz
+//
+// On SIGTERM/SIGINT: ingress starts rejecting with 503, in-flight machine
+// work drains under -drain-timeout, the final metrics snapshot is flushed
+// to stdout as JSON, and the process exits 0 — or 3 if the drain deadline
+// expired with work still in flight (mirroring pverify's "suspended" code).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pgo/internal/cmdutil"
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	prt "pgo/internal/runtime"
+	"pgo/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 to pick a free port; the bound address is logged)")
+		shards       = flag.Int("shards", 0, "event-loop shards hosting the machines (0 = one per CPU, max 8)")
+		highWater    = flag.Int("high-water", 1024, "per-shard pending-event watermark for load shedding (-1 = off)")
+		shed         = flag.String("shed", "reject-ingress", "shed policy over the watermark: reject-ingress or reject-newest")
+		maxInbox     = flag.Int("max-inbox", 256, "per-machine inbox bound (-1 = unbounded)")
+		overflow     = flag.String("overflow", "drop-newest", "bounded-inbox overflow policy: drop-newest, drop-oldest, or error")
+		maxRestarts  = flag.Int("max-restarts", 3, "restart budget per panicking machine before quarantine (-1 = quarantine on first panic)")
+		backoff      = flag.Duration("restart-backoff", time.Millisecond, "initial restart backoff (doubles per restart)")
+		maxBackoff   = flag.Duration("restart-max-backoff", 100*time.Millisecond, "restart backoff cap")
+		breakerTrips = flag.Int("breaker-trips", 3, "quarantines within -breaker-window that open a shard's circuit breaker (-1 = breaker off)")
+		breakerWin   = flag.Duration("breaker-window", 10*time.Second, "circuit breaker trip-counting window")
+		breakerCool  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker sheds the shard's ingress")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request handler timeout (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "SIGTERM drain deadline; expiry exits 3")
+		maxSteps     = flag.Int("max-steps", 0, "small-step bound per handler burst (0 = default)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pserve [flags] <file.p | sample:NAME | ->\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name, src, err := cmdutil.LoadSource(flag.Arg(0))
+	if err != nil {
+		cmdutil.Fatalf("pserve: %v", err)
+	}
+	prog, diags, err := compile.Erased(name, src)
+	for _, d := range diags.All() {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if err != nil {
+		os.Exit(1)
+	}
+
+	pol, err := prt.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		cmdutil.Fatalf("pserve: -overflow: %v", err)
+	}
+	shedPol, err := server.ParseShedPolicy(*shed)
+	if err != nil {
+		cmdutil.Fatalf("pserve: -shed: %v", err)
+	}
+	srv, err := server.New(prog, server.Options{
+		Shards:         *shards,
+		QueueHighWater: *highWater,
+		Shed:           shedPol,
+		MaxInbox:       *maxInbox,
+		Overflow:       pol,
+		Restart: prt.RestartPolicy{
+			MaxRestarts: *maxRestarts,
+			Backoff:     *backoff,
+			MaxBackoff:  *maxBackoff,
+		},
+		BreakerTrips:    *breakerTrips,
+		BreakerWindow:   *breakerWin,
+		BreakerCooldown: *breakerCool,
+		MaxHandlerSteps: *maxSteps,
+		OnError: func(e *core.Err) {
+			fmt.Fprintf(os.Stderr, "pserve: machine error: %v\n", e)
+		},
+	})
+	if err != nil {
+		cmdutil.Fatalf("pserve: %v", err)
+	}
+
+	h := server.NewHandler(srv)
+	var handler http.Handler = h
+	if *reqTimeout > 0 {
+		handler = http.TimeoutHandler(handler, *reqTimeout, `{"error":"request timed out"}`)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cmdutil.Fatalf("pserve: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "pserve: serving %s on http://%s (%d shards, high-water %d, shed %s)\n",
+		prog.Name, ln.Addr(), len(h.Varz().Shards), *highWater, shedPol)
+	httpSrv := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "pserve: %v: stopping ingress, draining (deadline %s)\n", sig, *drainTimeout)
+	case err := <-serveErr:
+		cmdutil.Fatalf("pserve: %v", err)
+	}
+
+	// Drain flips ingress to 503 immediately, then waits for machine
+	// quiescence; the listener shutdown afterwards only has fast rejections
+	// left to flush.
+	drained := srv.Drain(*drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "pserve: shutdown: %v\n", err)
+	}
+	cancel()
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h.Varz()); err != nil {
+		fmt.Fprintf(os.Stderr, "pserve: %v\n", err)
+	}
+	if !drained {
+		fmt.Fprintf(os.Stderr, "pserve: drain deadline expired with work in flight\n")
+		os.Exit(3)
+	}
+	fmt.Fprintln(os.Stderr, "pserve: drained")
+}

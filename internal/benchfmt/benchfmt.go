@@ -1,0 +1,145 @@
+// Package benchfmt defines the pbench JSON report format shared by the
+// benchmark harness (cmd/pbench), the serving-path load harness (cmd/pload),
+// and the CI regression gate. The committed BENCH_explore.json baseline is a
+// Report; every producer emits the same self-describing layout so reports
+// from different tools diff and gate uniformly.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SchemaVersion identifies the report layout. Bump on incompatible change.
+const SchemaVersion = "pbench/4"
+
+// SchemaDoc is the embedded header documenting every field of the report;
+// it is emitted first so a committed JSON file is self-describing.
+var SchemaDoc = []string{
+	"schema: report layout version (pbench/4: adds the SERVE serving-path entries and their requests/shed/p50_ns/p99_ns fields; pbench/3: adds per-entry cpus/workers and the depth-mode POR twins POR/chaos-*, POR/live-*; pbench/2: explorer fields always present, zero for micros; adds SPILL entries and their store fields; ABS entries reuse the explorer fields for the coverability search)",
+	"go, goos, goarch, cpus: toolchain and host the numbers were taken on",
+	"generated: RFC3339 timestamp of the run",
+	"entries[].name: unique benchmark id, experiment/sample/parameters",
+	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin; chaos-*/live-* samples run depth-bounded with faults / a liveness graph), SPILL (disk-backed visited store), ABS (counter-abstraction coverability; states = markings), SERVE (sharded actor-server under load; states = events processed by the shard loops), FP (fingerprint micro), CLONE (global clone micro)",
+	"entries[].sample: embedded P sample the entry compiles",
+	"entries[].mode: exploration mode for explorer entries; shed policy for SERVE entries",
+	"entries[].bound: delay or depth budget for explorer entries",
+	"entries[].cpus: runtime.NumCPU() on the measuring host (explorer entries)",
+	"entries[].workers: goroutines the search actually ran with, 1 for serial explorers; shard count for SERVE entries",
+	"entries[].max_states: distinct-state cap for explorer entries (0 = none hit)",
+	"entries[].iterations: measured iterations (ops for micros are batched; ns_per_op is per single op)",
+	"entries[].ns_per_op: wall nanoseconds per operation (per request for SERVE entries)",
+	"entries[].allocs_per_op: heap allocations per operation",
+	"entries[].bytes_per_op: heap bytes per operation",
+	"entries[].states: distinct global states discovered (explorer entries); events processed (SERVE entries)",
+	"entries[].transitions: macro steps executed (explorer entries)",
+	"entries[].states_per_sec: states / (ns_per_op * 1e-9) (explorer entries); events processed per second (SERVE entries)",
+	"entries[].por: partial-order reduction was enabled (POR experiment entries)",
+	"entries[].reduced_states: search nodes expanded with a singleton ample set (POR entries)",
+	"entries[].spilled_entries: visited-store entries spilled to chunk files (SPILL entries)",
+	"entries[].chunks: chunk files written by the tiered visited store (SPILL entries)",
+	"entries[].disk_bytes: total chunk-file bytes on disk (SPILL entries)",
+	"entries[].requests: ingress requests issued (SERVE entries)",
+	"entries[].shed: ingress requests rejected by admission control with 429 (SERVE entries)",
+	"entries[].p50_ns / entries[].p99_ns: request latency percentiles (SERVE entries)",
+}
+
+// Report is one benchmark run: host provenance plus the measured entries.
+type Report struct {
+	Schema    string   `json:"schema"`
+	SchemaDoc []string `json:"schema_doc"`
+	Go        string   `json:"go"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Generated string   `json:"generated"`
+	Entries   []Entry  `json:"entries"`
+}
+
+// Entry is one benchmark row. Every field is always emitted — no omitempty —
+// so consumers (and the regression gate) can tell "measured as zero" from
+// "absent" and diff rows across reports without guessing at defaults; micro
+// entries carry zeros in the explorer fields, explorer entries carry zeros
+// in the serving fields.
+type Entry struct {
+	Name           string  `json:"name"`
+	Experiment     string  `json:"experiment"`
+	Sample         string  `json:"sample"`
+	Mode           string  `json:"mode"`
+	Bound          int     `json:"bound"`
+	CPUs           int     `json:"cpus"`
+	Workers        int     `json:"workers"`
+	MaxStates      int     `json:"max_states"`
+	Iterations     int     `json:"iterations"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	States         int     `json:"states"`
+	Transitions    int     `json:"transitions"`
+	StatesPerSec   float64 `json:"states_per_sec"`
+	POR            bool    `json:"por"`
+	ReducedStates  int     `json:"reduced_states"`
+	SpilledEntries int     `json:"spilled_entries"`
+	Chunks         int     `json:"chunks"`
+	DiskBytes      int64   `json:"disk_bytes"`
+	Requests       int     `json:"requests"`
+	Shed           int     `json:"shed"`
+	P50Ns          int64   `json:"p50_ns"`
+	P99Ns          int64   `json:"p99_ns"`
+}
+
+// NewReport returns a report shell stamped with the current schema, host,
+// and time.
+func NewReport() Report {
+	return Report{
+		Schema:    SchemaVersion,
+		SchemaDoc: SchemaDoc,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Generated: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Write encodes the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path, or to stdout when path is empty.
+func (r *Report) WriteFile(path string) error {
+	if path == "" {
+		return r.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile parses a report from path. Older schema versions parse fine —
+// unknown fields are zero — so the regression gate can diff a new run
+// against an older committed baseline.
+func ReadFile(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}

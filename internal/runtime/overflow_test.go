@@ -1,0 +1,353 @@
+package runtime_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pgo/internal/core"
+	prt "pgo/internal/runtime"
+)
+
+// Tests for the drop-oldest and block overflow policies and for the
+// coherence of the Metrics snapshot, pinning each policy's
+// EventsOverflowed / EventsBlocked accounting.
+
+// With drop-oldest, a full inbox evicts its head to admit the newest event:
+// each eviction counts in EventsOverflowed, the arriving event still counts
+// in EventsDelivered, and only the surviving tail is processed.
+func TestBoundedInboxDropOldest(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	rt, err := prt.New(prog, prt.Options{
+		Foreign:  gate(entered, release),
+		MaxInbox: 2,
+		Overflow: prt.OverflowDropOldest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the machine is stuck in the handler; its inbox backs up
+
+	for i := 0; i < 5; i++ {
+		if err := rt.Send(id, "Inc", core.IntVal(int64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	close(release)
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	m := rt.Metrics()
+	// 5 sends into a bound of 2: Inc0..Inc2 evicted in arrival order,
+	// Inc3/Inc4 survive. Every arriving event was admitted (delivered),
+	// every eviction counted.
+	if m.EventsOverflowed != 3 {
+		t.Fatalf("overflowed = %d, want 3 (5 sends, inbox bound 2, oldest evicted)", m.EventsOverflowed)
+	}
+	if m.EventsDelivered != 6 {
+		t.Fatalf("delivered = %d, want 6 (Go + 5 admitted Incs)", m.EventsDelivered)
+	}
+	if m.EventsProcessed != 3 {
+		t.Fatalf("processed = %d, want 3 (Go + the 2 surviving Incs)", m.EventsProcessed)
+	}
+	if m.EventsBlocked != 0 {
+		t.Fatalf("blocked = %d, want 0 under drop-oldest", m.EventsBlocked)
+	}
+	if errs := rt.Errors(); len(errs) != 0 {
+		t.Fatalf("drop-oldest recorded errors: %v", errs)
+	}
+}
+
+// With block, a sender hitting a full inbox parks until the machine drains:
+// the wait counts once in EventsBlocked, nothing is overflowed, and the
+// event is eventually delivered and processed.
+func TestBoundedInboxBlockDeliversAfterDrain(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	rt, err := prt.New(prog, prt.Options{
+		Foreign:  gate(entered, release),
+		MaxInbox: 1,
+		Overflow: prt.OverflowBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := rt.Send(id, "Inc", core.IntVal(0)); err != nil { // fills the inbox
+		t.Fatal(err)
+	}
+
+	sent := make(chan error, 1)
+	go func() { sent <- rt.Send(id, "Inc", core.IntVal(1)) }()
+
+	// The second send must block, not return: wait until the accounting
+	// shows the parked sender, then confirm Send has not completed.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Metrics().EventsBlocked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never blocked on the full inbox")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case err := <-sent:
+		t.Fatalf("blocked send returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release) // the machine drains; the blocked sender gets its slot
+	if err := <-sent; err != nil {
+		t.Fatalf("blocked send failed after drain: %v", err)
+	}
+	if !rt.Quiesce(5 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	m := rt.Metrics()
+	if m.EventsBlocked != 1 {
+		t.Fatalf("blocked = %d, want 1", m.EventsBlocked)
+	}
+	if m.EventsOverflowed != 0 {
+		t.Fatalf("overflowed = %d, want 0 (block never drops)", m.EventsOverflowed)
+	}
+	if m.EventsDelivered != 3 || m.EventsProcessed != 3 {
+		t.Fatalf("delivered/processed = %d/%d, want 3/3 (Go, Inc0, Inc1)", m.EventsDelivered, m.EventsProcessed)
+	}
+}
+
+// Stop abandons a blocked sender: the send returns (the event is dropped
+// and counted in EventsOverflowed) instead of deadlocking shutdown.
+func TestBoundedInboxBlockAbandonedByStop(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	rt, err := prt.New(prog, prt.Options{
+		Foreign:  gate(entered, release),
+		MaxInbox: 1,
+		Overflow: prt.OverflowBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := rt.Send(id, "Inc", core.IntVal(0)); err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan error, 1)
+	go func() { sent <- rt.Send(id, "Inc", core.IntVal(1)) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Metrics().EventsBlocked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never blocked on the full inbox")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	stopped := make(chan struct{})
+	go func() { rt.Stop(); close(stopped) }()
+	// The blocked sender must be released by Stop even while the machine
+	// is still wedged in its handler.
+	select {
+	case <-sent:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not release the blocked sender")
+	}
+	close(release) // let the machine goroutine exit so Stop can finish
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not terminate")
+	}
+	m := rt.Metrics()
+	if m.EventsBlocked != 1 {
+		t.Fatalf("blocked = %d, want 1", m.EventsBlocked)
+	}
+	if m.EventsOverflowed != 1 {
+		t.Fatalf("overflowed = %d, want 1 (the abandoned event)", m.EventsOverflowed)
+	}
+}
+
+// Metrics must be a coherent snapshot, not a field-by-field torn read: in
+// any observed snapshot every processed event was delivered first, so
+// EventsProcessed can never exceed EventsDelivered even while senders and
+// the machine race the reader.
+func TestMetricsSnapshotCoherence(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	rt, err := prt.New(prog, prt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rt.Send(id, "Inc", core.IntVal(int64(w*1_000_000+i)))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		m := rt.Metrics()
+		if m.EventsProcessed > m.EventsDelivered {
+			t.Fatalf("torn snapshot: processed %d > delivered %d", m.EventsProcessed, m.EventsDelivered)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Drain racing a storm of concurrent sends on a full bounded inbox (block
+// policy — the hardest case) must terminate, and every send issued after
+// the drain began reports ErrClosed.
+func TestDrainRacingSendsOnFullBoundedInbox(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	rt, err := prt.New(prog, prt.Options{
+		Foreign:  gate(entered, release),
+		MaxInbox: 2,
+		Overflow: prt.OverflowBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // wedge the machine so the inbox fills and senders block
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				err := rt.Send(id, "Inc", core.IntVal(int64(w*1_000_000+i)))
+				if errors.Is(err, prt.ErrClosed) {
+					return
+				}
+			}
+		}(w)
+	}
+
+	time.Sleep(20 * time.Millisecond) // let the inbox fill and senders park
+	drained := make(chan bool, 1)
+	go func() { drained <- rt.Drain(10 * time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	close(release) // un-wedge the machine so in-flight work can finish
+
+	select {
+	case ok := <-drained:
+		if !ok {
+			t.Fatal("Drain timed out instead of reaching quiescence")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Drain deadlocked on the full bounded inbox")
+	}
+	wg.Wait() // every sender saw ErrClosed
+
+	if err := rt.Send(id, "Inc", core.Null); !errors.Is(err, prt.ErrClosed) {
+		t.Fatalf("post-drain Send = %v, want ErrClosed", err)
+	}
+}
+
+// A drain whose deadline expires while the machine is wedged and senders
+// are blocked must still return (false) — Stop breaks the blocked waits —
+// rather than deadlock.
+func TestDrainTimeoutNeverDeadlocks(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	rt, err := prt.New(prog, prt.Options{
+		Foreign:  gate(entered, release),
+		MaxInbox: 1,
+		Overflow: prt.OverflowBlock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.CreateMachine("G", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if err := rt.Send(id, "Inc", core.IntVal(0)); err != nil {
+		t.Fatal(err)
+	}
+	sent := make(chan error, 1)
+	go func() { sent <- rt.Send(id, "Inc", core.IntVal(1)) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Metrics().EventsBlocked == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sender never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan bool, 1)
+	go func() { drained <- rt.Drain(50 * time.Millisecond) }()
+	// Drain's deadline fires with the machine still wedged; its Stop must
+	// release the blocked sender. The machine itself is stuck in foreign
+	// code until we release the gate, so unblock it right after.
+	select {
+	case <-sent:
+	case <-time.After(5 * time.Second):
+		t.Fatal("expired Drain did not release the blocked sender")
+	}
+	close(release)
+	select {
+	case ok := <-drained:
+		if ok {
+			t.Fatal("Drain reported quiescence despite the wedged machine")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain deadlocked after its deadline expired")
+	}
+}

@@ -54,6 +54,18 @@ const (
 	// OverflowError drops the arriving event and records a
 	// core.ErrInboxOverflow through the error path (Errors, OnError).
 	OverflowError
+	// OverflowDropOldest evicts the oldest pending inbox entry to make room
+	// for the arriving event. The evicted event counts in
+	// Metrics.EventsOverflowed; the arriving one is delivered.
+	OverflowDropOldest
+	// OverflowBlock parks the sender until the inbox has room. Each send
+	// that had to wait counts once in Metrics.EventsBlocked; a wait
+	// abandoned because the machine halted or the runtime stopped drops the
+	// event and counts it in Metrics.EventsOverflowed. Blocking applies to
+	// every sender, including machine goroutines mid-burst, so programs
+	// with send cycles can deadlock against full inboxes exactly like any
+	// bounded blocking queue; Stop always breaks the wait.
+	OverflowBlock
 )
 
 func (p OverflowPolicy) String() string {
@@ -64,8 +76,31 @@ func (p OverflowPolicy) String() string {
 		return "drop-newest"
 	case OverflowError:
 		return "error"
+	case OverflowDropOldest:
+		return "drop-oldest"
+	case OverflowBlock:
+		return "block"
 	default:
 		return fmt.Sprintf("overflow(%d)", int(p))
+	}
+}
+
+// ParseOverflowPolicy maps the flag spellings used by prun and pserve to a
+// policy. Unbounded is spelled "unbounded".
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "unbounded":
+		return OverflowUnbounded, nil
+	case "drop-newest":
+		return OverflowDropNewest, nil
+	case "error":
+		return OverflowError, nil
+	case "drop-oldest":
+		return OverflowDropOldest, nil
+	case "block":
+		return OverflowBlock, nil
+	default:
+		return 0, fmt.Errorf("unknown overflow policy %q (want unbounded, drop-newest, drop-oldest, block, or error)", s)
 	}
 }
 
@@ -157,47 +192,50 @@ type Runtime struct {
 	injmu sync.Mutex
 	rng   *rand.Rand
 
-	// metrics
-	created    atomic.Int64
-	delivered  atomic.Int64
-	dropped    atomic.Int64 // dedup-dropped enqueue attempts
-	processed  atomic.Int64 // events dequeued by machines
-	overflowed atomic.Int64 // events rejected by a bounded inbox
-	injDrops   atomic.Int64
-	injDups    atomic.Int64
-	injDelays  atomic.Int64
-	panics     atomic.Int64
-	restarts   atomic.Int64
+	// closedFlag mirrors closed for lock-free checks from wait loops that
+	// already hold an instance lock (OverflowBlock) and cannot take rt.mu.
+	closedFlag atomic.Bool
+
+	// cmu guards counts: every counter increment and the Metrics snapshot
+	// happen under this one lock, so a snapshot is coherent — it can never
+	// observe, say, a delivery without the dedup/overflow accounting that
+	// preceded it on the same goroutine. cmu is a leaf lock: it may be
+	// taken while rt.mu or an instance lock is held, never the reverse.
+	cmu    sync.Mutex
+	counts Metrics
 }
 
-// Metrics is a snapshot of the runtime's counters.
+// Metrics is a snapshot of the runtime's counters. The JSON field names are
+// the stable scripting interface of `prun -metrics-json` and pserve /varz.
 type Metrics struct {
-	MachinesCreated  int64
-	EventsDelivered  int64
-	EventsDeduped    int64
-	EventsProcessed  int64
-	EventsOverflowed int64 // rejected by a bounded inbox
-	InjectedDrops    int64
-	InjectedDups     int64
-	InjectedDelays   int64
-	Panics           int64 // panics recovered by supervision
-	Restarts         int64 // machines restarted after a panic
+	MachinesCreated  int64 `json:"machines_created"`
+	EventsDelivered  int64 `json:"events_delivered"`
+	EventsDeduped    int64 `json:"events_deduped"`
+	EventsProcessed  int64 `json:"events_processed"`
+	EventsOverflowed int64 `json:"events_overflowed"` // rejected or evicted by a bounded inbox
+	EventsBlocked    int64 `json:"events_blocked"`    // sends that waited under OverflowBlock
+	InjectedDrops    int64 `json:"injected_drops"`
+	InjectedDups     int64 `json:"injected_dups"`
+	InjectedDelays   int64 `json:"injected_delays"`
+	Panics           int64 `json:"panics"`   // panics recovered by supervision
+	Restarts         int64 `json:"restarts"` // machines restarted after a panic
 }
 
-// Metrics returns the current counter values.
+// Metrics returns a coherent snapshot of the counters: the increments are
+// serialized with the read under one lock, so the returned struct is a
+// point-in-time cut of the accounting rather than a field-by-field torn
+// read.
 func (rt *Runtime) Metrics() Metrics {
-	return Metrics{
-		MachinesCreated:  rt.created.Load(),
-		EventsDelivered:  rt.delivered.Load(),
-		EventsDeduped:    rt.dropped.Load(),
-		EventsProcessed:  rt.processed.Load(),
-		EventsOverflowed: rt.overflowed.Load(),
-		InjectedDrops:    rt.injDrops.Load(),
-		InjectedDups:     rt.injDups.Load(),
-		InjectedDelays:   rt.injDelays.Load(),
-		Panics:           rt.panics.Load(),
-		Restarts:         rt.restarts.Load(),
-	}
+	rt.cmu.Lock()
+	defer rt.cmu.Unlock()
+	return rt.counts
+}
+
+// count applies one accounting update under the metrics lock.
+func (rt *Runtime) count(f func(*Metrics)) {
+	rt.cmu.Lock()
+	f(&rt.counts)
+	rt.cmu.Unlock()
 }
 
 // MachineInfo describes one live machine instance.
@@ -244,6 +282,7 @@ type instance struct {
 
 	mu     sync.Mutex
 	cond   *sync.Cond
+	space  *sync.Cond // waited on by OverflowBlock senders; signaled when the inbox shrinks
 	inbox  []core.QEntry
 	idle   bool // machine parked, cfg readable under mu
 	halted bool
@@ -328,11 +367,12 @@ func (rt *Runtime) spawn(t ir.MachineTypeID, vals []core.InitVal, ctx any) (core
 	cfg.Ctx = ctx
 	in := &instance{rt: rt, id: id, cfg: cfg, vals: vals}
 	in.cond = sync.NewCond(&in.mu)
+	in.space = sync.NewCond(&in.mu)
 	rt.instances[id] = in
 	rt.wg.Add(1)
 	rt.mu.Unlock()
 	rt.addActive(1) // the new machine starts busy (entry of the start state)
-	rt.created.Add(1)
+	rt.count(func(m *Metrics) { m.MachinesCreated++ })
 	go in.loop()
 	return id, nil
 }
@@ -390,16 +430,16 @@ func (rt *Runtime) dispatch(in *instance, e ir.EventID, v core.Value) (delivered
 		case drop:
 			// Lost in transit: the sender cannot tell, exactly like the
 			// checker's drop fault.
-			rt.injDrops.Add(1)
+			rt.count(func(m *Metrics) { m.InjectedDrops++ })
 			return true, true
 		case delay:
-			rt.injDelays.Add(1)
+			rt.count(func(m *Metrics) { m.InjectedDelays++ })
 			rt.deliverLater(in, e, v, rt.randDelay(inj))
 			return true, true
 		case dup:
 			// Deliver now and once more later; the asynchronous second copy
 			// is what defeats inbox dedup, like the checker's dup fault.
-			rt.injDups.Add(1)
+			rt.count(func(m *Metrics) { m.InjectedDups++ })
 			rt.deliverLater(in, e, v, rt.randDelay(inj))
 		}
 	}
@@ -582,6 +622,7 @@ func (rt *Runtime) Stop() {
 	rt.stopOnce.Do(func() {
 		rt.mu.Lock()
 		rt.closed = true
+		rt.closedFlag.Store(true)
 		close(rt.done)
 		ins := make([]*instance, 0, len(rt.instances))
 		for _, in := range rt.instances {
@@ -591,6 +632,7 @@ func (rt *Runtime) Stop() {
 		for _, in := range ins {
 			in.mu.Lock()
 			in.cond.Broadcast()
+			in.space.Broadcast() // abandon OverflowBlock waits
 			in.mu.Unlock()
 		}
 	})
@@ -606,45 +648,81 @@ func (rt *Runtime) Stop() {
 // whole queue; the concurrent runtime dedups against the not-yet-drained
 // inbox only, matching the lock granularity of the paper's C runtime (the
 // drain also drops entries already present in the machine's queue).
+//
+// Accounting per overflow policy at a full inbox:
+//   - DropNewest: the arriving event is rejected, EventsOverflowed++.
+//   - Error: as DropNewest, plus an ErrInboxOverflow through the error path.
+//   - DropOldest: the head entry is evicted (EventsOverflowed++ for it) and
+//     the arriving event is delivered (EventsDelivered++).
+//   - Block: the sender waits for room; the first wait of a send counts
+//     EventsBlocked++. A wait abandoned by Stop drops the event with
+//     EventsOverflowed++; one abandoned by halt reports found=false like
+//     any send to a deleted machine.
 func (in *instance) enqueue(e ir.EventID, v core.Value) (delivered, found bool) {
-	in.mu.Lock()
-	if in.halted {
-		in.mu.Unlock()
-		return false, false
-	}
-	for _, q := range in.inbox {
-		if q.Event == e && q.Val == v {
-			in.mu.Unlock()
-			in.rt.dropped.Add(1)
-			return false, true
-		}
-	}
 	opts := &in.rt.opts
-	if opts.Overflow != OverflowUnbounded && opts.MaxInbox > 0 && len(in.inbox) >= opts.MaxInbox {
-		var err *core.Err
-		if opts.Overflow == OverflowError {
-			err = &core.Err{
-				Kind:    core.ErrInboxOverflow,
-				Machine: in.id,
-				Type:    in.rt.prog.Machines[in.cfg.Type].Name,
-				Event:   e,
-				HasEv:   true,
-				Detail:  fmt.Sprintf("inbox at its bound of %d", opts.MaxInbox),
+	bounded := opts.Overflow != OverflowUnbounded && opts.MaxInbox > 0
+	blocked := false
+	in.mu.Lock()
+	for {
+		if in.halted {
+			in.mu.Unlock()
+			return false, false
+		}
+		for _, q := range in.inbox {
+			if q.Event == e && q.Val == v {
+				in.mu.Unlock()
+				in.rt.count(func(m *Metrics) { m.EventsDeduped++ })
+				return false, true
 			}
 		}
-		in.mu.Unlock()
-		in.rt.overflowed.Add(1)
-		// recordError outside in.mu: OnError is user code.
-		if err != nil {
-			in.rt.recordError(err)
+		if !bounded || len(in.inbox) < opts.MaxInbox {
+			break
 		}
-		return false, true
+		switch opts.Overflow {
+		case OverflowDropOldest:
+			copy(in.inbox, in.inbox[1:])
+			in.inbox = in.inbox[:len(in.inbox)-1]
+			in.rt.count(func(m *Metrics) { m.EventsOverflowed++ })
+			// Loop: the freed slot admits (e, v) via the append below (the
+			// dedup re-check is vacuous — the entry was absent above and the
+			// inbox only shrank).
+		case OverflowBlock:
+			if in.rt.closedFlag.Load() {
+				in.mu.Unlock()
+				in.rt.count(func(m *Metrics) { m.EventsOverflowed++ })
+				return false, true
+			}
+			if !blocked {
+				blocked = true
+				in.rt.count(func(m *Metrics) { m.EventsBlocked++ })
+			}
+			in.space.Wait()
+		default: // DropNewest, Error: reject the arriving event.
+			var err *core.Err
+			if opts.Overflow == OverflowError {
+				err = &core.Err{
+					Kind:    core.ErrInboxOverflow,
+					Machine: in.id,
+					Type:    in.rt.prog.Machines[in.cfg.Type].Name,
+					Event:   e,
+					HasEv:   true,
+					Detail:  fmt.Sprintf("inbox at its bound of %d", opts.MaxInbox),
+				}
+			}
+			in.mu.Unlock()
+			in.rt.count(func(m *Metrics) { m.EventsOverflowed++ })
+			// recordError outside in.mu: OnError is user code.
+			if err != nil {
+				in.rt.recordError(err)
+			}
+			return false, true
+		}
 	}
 	in.inbox = append(in.inbox, core.QEntry{Event: e, Val: v})
 	in.setQuiet(false)
 	in.cond.Signal()
 	in.mu.Unlock()
-	in.rt.delivered.Add(1)
+	in.rt.count(func(m *Metrics) { m.EventsDelivered++ })
 	return true, true
 }
 
@@ -663,7 +741,10 @@ func (in *instance) drain() {
 			in.cfg.Queue = append(in.cfg.Queue, q)
 		}
 	}
-	in.inbox = in.inbox[:0]
+	if len(in.inbox) > 0 {
+		in.inbox = in.inbox[:0]
+		in.space.Broadcast() // room for OverflowBlock senders
+	}
 }
 
 // runBurst executes one run-to-completion burst under a recover: a panic
@@ -672,7 +753,7 @@ func (in *instance) drain() {
 func (in *instance) runBurst(x *core.Exec) (out core.Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
-			in.rt.panics.Add(1)
+			in.rt.count(func(m *Metrics) { m.Panics++ })
 			st := ""
 			if s := in.cfg.CurrentState(); s >= 0 {
 				st = in.rt.prog.Machines[in.cfg.Type].States[s].Name
@@ -702,7 +783,7 @@ func (in *instance) restartAfterPanic() bool {
 		return false
 	}
 	in.restarts++
-	in.rt.restarts.Add(1)
+	in.rt.count(func(m *Metrics) { m.Restarts++ })
 	if d := pol.Backoff; d > 0 {
 		shift := in.restarts - 1
 		if shift > 16 {
@@ -736,6 +817,7 @@ func (in *instance) halt() {
 	in.mu.Lock()
 	in.halted = true
 	in.inbox = nil
+	in.space.Broadcast() // blocked senders observe the halt
 	in.mu.Unlock()
 	in.rt.removeInstance(in.id)
 }
@@ -758,7 +840,9 @@ func (in *instance) loop() {
 		}
 
 		out := in.runBurst(x)
-		in.rt.processed.Add(int64(len(out.Dequeued)))
+		if n := len(out.Dequeued); n > 0 {
+			in.rt.count(func(m *Metrics) { m.EventsProcessed += int64(n) })
+		}
 		switch out.Kind {
 		case core.OutBlocked:
 			in.mu.Lock()

@@ -1,0 +1,313 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"pgo/internal/core"
+)
+
+// Handler is the HTTP/JSON ingress for a Server. Requests map onto the
+// host-facing API — create a machine, send it an event, inspect it — and
+// admission-control rejections map onto retryable status codes (429 with a
+// jittered Retry-After for shed load, 503 for an open breaker or a drain).
+type Handler struct {
+	s   *Server
+	mux *http.ServeMux
+
+	// Edge counters for /varz and the final drain flush.
+	requests atomic.Int64 // ingress requests (create + send)
+	shed     atomic.Int64 // rejected 429 by admission control
+}
+
+// NewHandler builds the ingress routes for s.
+func NewHandler(s *Server) *Handler {
+	h := &Handler{s: s, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /machines", h.create)
+	h.mux.HandleFunc("POST /machines/{id}/send", h.send)
+	h.mux.HandleFunc("GET /machines/{id}", h.inspect)
+	h.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	})
+	h.mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() || s.closed.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	})
+	h.mux.HandleFunc("GET /varz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.Varz())
+	})
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// Varz is the /varz introspection snapshot: host process identity, then
+// per-shard coherent counter snapshots and their sum.
+type Varz struct {
+	Program    string  `json:"program"`
+	UptimeS    float64 `json:"uptime_s"`
+	Draining   bool    `json:"draining"`
+	ShedPolicy string  `json:"shed_policy"`
+	Overflow   string  `json:"overflow_policy"`
+	Watermark  int     `json:"queue_high_water"`
+	MaxInbox   int     `json:"max_inbox"`
+	// HTTPRequests / HTTPShed count at the edge: every create/send request,
+	// and the subset rejected 429. Breaker/drain 503s are not "shed".
+	HTTPRequests int64          `json:"http_requests"`
+	HTTPShed     int64          `json:"http_shed"`
+	Errors       int            `json:"machine_errors"`
+	Shards       []ShardMetrics `json:"shards"`
+	Totals       ShardMetrics   `json:"totals"`
+}
+
+// Varz assembles the snapshot. Per-shard numbers are each coherent; the
+// totals row sums them (coherent per shard, not across shards).
+func (h *Handler) Varz() Varz {
+	s := h.s
+	v := Varz{
+		Program:      s.prog.Name,
+		UptimeS:      time.Since(s.start).Seconds(),
+		Draining:     s.draining.Load(),
+		ShedPolicy:   s.opts.Shed.String(),
+		Overflow:     s.opts.Overflow.String(),
+		Watermark:    s.opts.QueueHighWater,
+		MaxInbox:     s.opts.MaxInbox,
+		HTTPRequests: h.requests.Load(),
+		HTTPShed:     h.shed.Load(),
+		Errors:       len(s.Errors()),
+	}
+	v.Totals.Shard = -1
+	for _, sh := range s.shards {
+		st := sh.metrics()
+		v.Shards = append(v.Shards, st)
+		v.Totals.Machines += st.Machines
+		v.Totals.QueueDepth += st.QueueDepth
+		v.Totals.EventsDelivered += st.EventsDelivered
+		v.Totals.EventsDeduped += st.EventsDeduped
+		v.Totals.EventsProcessed += st.EventsProcessed
+		v.Totals.EventsOverflowed += st.EventsOverflowed
+		v.Totals.EventsShed += st.EventsShed
+		v.Totals.Bursts += st.Bursts
+		v.Totals.Panics += st.Panics
+		v.Totals.Restarts += st.Restarts
+		v.Totals.Quarantines += st.Quarantines
+		v.Totals.BreakerOpens += st.BreakerOpens
+		v.Totals.BreakerOpen = v.Totals.BreakerOpen || st.BreakerOpen
+	}
+	return v
+}
+
+// MachineInfo is the GET /machines/{id} view of one virtual actor.
+type MachineInfo struct {
+	ID    core.MachineID `json:"id"`
+	Type  string         `json:"type"`
+	Shard int            `json:"shard"`
+	// Status: "idle" (parked), "queued" (scheduled on its shard),
+	// "running" (a burst is executing now), or "quarantined".
+	Status   string `json:"status"`
+	State    string `json:"state"` // current P state; "" while running
+	Inbox    int    `json:"inbox"`
+	Restarts int    `json:"restarts"`
+}
+
+// MachineInfo inspects a live machine. The P state is readable only while
+// the machine is not mid-burst (the shard loop owns the configuration
+// during a burst); a running machine reports its status without a state.
+func (s *Server) MachineInfo(id core.MachineID) (MachineInfo, error) {
+	m := s.lookup(id)
+	if m == nil {
+		return MachineInfo{}, &NotFoundError{ID: id}
+	}
+	info := MachineInfo{ID: id, Type: s.prog.Machines[m.typ].Name, Shard: m.sh.idx}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info.Inbox = len(m.inbox)
+	info.Restarts = m.restarts
+	switch {
+	case m.quarantined:
+		info.Status = "quarantined"
+	case m.running:
+		info.Status = "running"
+	case m.scheduled:
+		info.Status = "queued"
+	default:
+		info.Status = "idle"
+	}
+	if !m.running {
+		if st := m.cfg.CurrentState(); st >= 0 {
+			info.State = s.prog.Machines[m.typ].States[st].Name
+		}
+	}
+	return info, nil
+}
+
+func (h *Handler) create(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
+	var req struct {
+		Type  string         `json:"type"`
+		Inits map[string]any `json:"inits"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad request body: "+err.Error(), 0))
+		return
+	}
+	if req.Type == "" {
+		writeJSON(w, http.StatusBadRequest, errBody(`missing "type"`, 0))
+		return
+	}
+	inits := map[string]core.Value{}
+	for name, raw := range req.Inits {
+		v, err := jsonValue(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errBody(fmt.Sprintf("init %s: %v", name, err), 0))
+			return
+		}
+		inits[name] = v
+	}
+	id, err := h.s.CreateMachine(req.Type, inits)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "shard": h.s.shardOf(id).idx})
+}
+
+func (h *Handler) send(w http.ResponseWriter, r *http.Request) {
+	h.requests.Add(1)
+	id, err := pathID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error(), 0))
+		return
+	}
+	var req struct {
+		Event   string `json:"event"`
+		Payload any    `json:"payload"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("bad request body: "+err.Error(), 0))
+		return
+	}
+	if req.Event == "" {
+		writeJSON(w, http.StatusBadRequest, errBody(`missing "event"`, 0))
+		return
+	}
+	payload, err := jsonValue(req.Payload)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody("payload: "+err.Error(), 0))
+		return
+	}
+	if err := h.s.Send(id, req.Event, payload); err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "event": req.Event})
+}
+
+func (h *Handler) inspect(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error(), 0))
+		return
+	}
+	info, err := h.s.MachineInfo(id)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func pathID(r *http.Request) (core.MachineID, error) {
+	n, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad machine id %q", r.PathValue("id"))
+	}
+	return core.MachineID(n), nil
+}
+
+// jsonValue maps a decoded JSON payload onto a P value: null→null,
+// bool→bool, integral number→int. P event payloads are ints, bools, ids —
+// anything else is a 400.
+func jsonValue(raw any) (core.Value, error) {
+	switch x := raw.(type) {
+	case nil:
+		return core.Null, nil
+	case bool:
+		return core.BoolVal(x), nil
+	case float64:
+		if x != math.Trunc(x) || math.Abs(x) > 1<<53 {
+			return core.Null, fmt.Errorf("payload %v is not an integer", x)
+		}
+		return core.IntVal(int64(x)), nil
+	default:
+		return core.Null, fmt.Errorf("unsupported payload type %T (want null, bool, or integer)", raw)
+	}
+}
+
+// writeErr maps server errors onto HTTP semantics:
+//
+//	ShedError          429 + Retry-After (counted as edge shed)
+//	BreakerError       503 + Retry-After
+//	ErrDraining/Closed 503
+//	ErrQuarantined     410 (the id is permanently out of service)
+//	NotFoundError      404
+//	anything else      400
+func (h *Handler) writeErr(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	var brk *BreakerError
+	var nf *NotFoundError
+	switch {
+	case errors.As(err, &shed):
+		h.shed.Add(1)
+		setRetryAfter(w, shed.RetryAfter)
+		writeJSON(w, http.StatusTooManyRequests, errBody(err.Error(), shed.RetryAfter))
+	case errors.As(err, &brk):
+		setRetryAfter(w, brk.RetryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, errBody(err.Error(), brk.RetryAfter))
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errBody(err.Error(), 0))
+	case errors.Is(err, ErrQuarantined):
+		writeJSON(w, http.StatusGone, errBody(err.Error(), 0))
+	case errors.As(err, &nf):
+		writeJSON(w, http.StatusNotFound, errBody(err.Error(), 0))
+	default:
+		writeJSON(w, http.StatusBadRequest, errBody(err.Error(), 0))
+	}
+}
+
+// setRetryAfter writes the standard integer-seconds Retry-After header,
+// rounded up so a sub-second hint is never truncated to "retry now".
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// errBody carries the precise retry hint in the body (the header is
+// coarse, integer seconds).
+func errBody(msg string, retry time.Duration) map[string]any {
+	b := map[string]any{"error": msg}
+	if retry > 0 {
+		b["retry_after_ms"] = retry.Milliseconds()
+	}
+	return b
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,620 @@
+// Package server hosts a compiled, erased P program as a long-lived sharded
+// actor service — the production serving path the paper's §4 runtime points
+// at (the USB driver shipping in Windows 8 is the same artifact class: a
+// compiled P program embedded in a long-running host).
+//
+// Machine instances are virtual actors: there is no goroutine per machine.
+// Instead a fixed pool of shards (one event-loop goroutine each) multiplexes
+// every instance; a machine id hashes to its home shard and every burst of
+// that machine runs on that shard's loop, which preserves run-to-completion
+// atomicity and per-machine FIFO delivery without per-machine threads. This
+// is what lets one process host orders of magnitude more machine instances
+// than goroutine-per-machine (the internal/runtime architecture) allows.
+//
+// The robustness surface:
+//
+//   - Admission control: per-shard pending-event depth is watermarked.
+//     Over the watermark, ingress is shed with a retryable ShedError (HTTP
+//     429 + jittered Retry-After); the RejectNewest policy additionally
+//     drops over-watermark machine-to-machine sends so internal
+//     amplification cannot grow memory either. Bounded per-machine inboxes
+//     (internal/runtime's overflow policies) cap each actor.
+//   - Supervision: a panic escaping a handler is recovered on the shard
+//     loop, and the machine restarts under a restart budget with
+//     exponential backoff (the backoff wait is a timer, not a shard stall).
+//     A machine that exhausts its budget is quarantined: it stops running
+//     and blackholes further events instead of wedging its shard or
+//     cascading ErrSendDeleted into its peers.
+//   - Circuit breaker: a burst of quarantines on one shard opens that
+//     shard's breaker, shedding its ingress for a cooldown so a poisoned
+//     workload cannot grind the shard through restart cycles.
+//   - Graceful drain: Drain stops ingress, lets in-flight work run to
+//     quiescence under a deadline, then stops the shard pool.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/runtime"
+)
+
+// ErrClosed is returned once the server has stopped.
+var ErrClosed = errors.New("server: stopped")
+
+// ErrDraining is returned to ingress while the server drains; in-flight
+// machine work continues.
+var ErrDraining = errors.New("server: draining")
+
+// ErrQuarantined is returned to ingress targeting a machine that exhausted
+// its restart budget.
+var ErrQuarantined = errors.New("server: machine quarantined")
+
+// NotFoundError reports an ingress target machine that does not exist (never
+// created, or halted and removed).
+type NotFoundError struct{ ID core.MachineID }
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("server: machine #%d does not exist", e.ID) }
+
+// ShedError is admission control rejecting ingress: the target shard's
+// pending-event depth is at or over the watermark. RetryAfter is a jittered
+// backoff hint, scaled by how far over the watermark the shard is.
+type ShedError struct {
+	Shard      int
+	Depth      int64
+	Watermark  int
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: shard %d shedding load (depth %d >= watermark %d), retry after %s",
+		e.Shard, e.Depth, e.Watermark, e.RetryAfter)
+}
+
+// BreakerError is a shard circuit breaker rejecting ingress after a burst of
+// quarantines; RetryAfter is the remaining cooldown.
+type BreakerError struct {
+	Shard      int
+	RetryAfter time.Duration
+}
+
+func (e *BreakerError) Error() string {
+	return fmt.Sprintf("server: shard %d circuit breaker open, retry after %s", e.Shard, e.RetryAfter)
+}
+
+// ShedPolicy selects what load shedding applies to when a shard is over its
+// watermark.
+type ShedPolicy int
+
+const (
+	// ShedRejectIngress sheds only at the edge: over-watermark ingress gets
+	// a ShedError, machine-to-machine sends are never shed (per-machine
+	// inbox bounds still apply). In-flight work is favored over new work.
+	ShedRejectIngress ShedPolicy = iota
+	// ShedRejectNewest sheds the newest event wherever it comes from:
+	// ingress gets a ShedError, and an over-watermark machine-to-machine
+	// send is dropped in transit (the sender cannot tell, like a transport
+	// loss), so internal amplification is bounded too.
+	ShedRejectNewest
+)
+
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedRejectIngress:
+		return "reject-ingress"
+	case ShedRejectNewest:
+		return "reject-newest"
+	default:
+		return fmt.Sprintf("shed(%d)", int(p))
+	}
+}
+
+// ParseShedPolicy maps the pserve flag spellings to a policy.
+func ParseShedPolicy(s string) (ShedPolicy, error) {
+	switch s {
+	case "reject-ingress":
+		return ShedRejectIngress, nil
+	case "reject-newest":
+		return ShedRejectNewest, nil
+	default:
+		return 0, fmt.Errorf("unknown shed policy %q (want reject-ingress or reject-newest)", s)
+	}
+}
+
+// Options configures a Server. The zero value gets production-leaning
+// defaults from New (bounded queues, a restart budget, breaker on).
+type Options struct {
+	// Shards is the size of the fixed event-loop pool (default
+	// min(8, GOMAXPROCS)). Machine ids hash onto shards.
+	Shards int
+	// QueueHighWater is the per-shard pending-event watermark at which
+	// admission control starts shedding (default 1024; < 0 disables).
+	QueueHighWater int
+	// Shed selects what the watermark sheds (default reject-ingress).
+	Shed ShedPolicy
+	// MaxInbox bounds each machine's not-yet-drained inbox (default 256;
+	// < 0 unbounded). Overflow picks the at-bound behavior.
+	MaxInbox int
+	// Overflow is the full-inbox policy (default drop-newest).
+	// OverflowBlock is rejected: a blocking send would stall a shard loop.
+	Overflow runtime.OverflowPolicy
+	// Restart supervises panicked machines (default: 3 restarts, 1ms
+	// backoff doubling to 100ms). MaxRestarts < 0 disables restarts.
+	Restart runtime.RestartPolicy
+	// BreakerTrips quarantines within BreakerWindow open a shard's circuit
+	// breaker for BreakerCooldown (defaults 3 / 10s / 5s; BreakerTrips < 0
+	// disables the breaker).
+	BreakerTrips    int
+	BreakerWindow   time.Duration
+	BreakerCooldown time.Duration
+	// Foreign supplies host implementations of foreign functions.
+	Foreign core.ForeignEnv
+	// MaxHandlerSteps bounds one run-to-completion burst (0 = default).
+	MaxHandlerSteps int
+	// OnError is invoked (on the shard goroutine) for machine errors.
+	OnError func(*core.Err)
+	// Seed seeds the jittered Retry-After hints (0 = time-based).
+	Seed int64
+}
+
+// Server hosts one erased P program across a shard pool.
+type Server struct {
+	prog   *ir.Program
+	opts   Options
+	shards []*shard
+	start  time.Time
+
+	mu       sync.RWMutex
+	machines map[core.MachineID]*machine
+	nextID   core.MachineID
+
+	draining atomic.Bool
+	closed   atomic.Bool
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// busy counts scheduled machines (queued, running, or waiting out a
+	// restart backoff); qcond is broadcast when it reaches zero.
+	qmu   sync.Mutex
+	qcond *sync.Cond
+	busy  int
+
+	emu  sync.Mutex
+	errs []*core.Err
+
+	jmu sync.Mutex
+	rng *rand.Rand
+}
+
+// machine is one virtual actor. Its configuration is owned by the shard
+// loop while running; mu guards the inbox and lifecycle flags, and orders
+// external reads of the configuration while the machine is parked.
+type machine struct {
+	id  core.MachineID
+	typ ir.MachineTypeID
+	sh  *shard
+
+	mu          sync.Mutex
+	cfg         *core.Config
+	inbox       []core.QEntry
+	vals        []core.InitVal
+	scheduled   bool // on the runq, running, or parked for a restart backoff
+	running     bool // a shard loop is executing a burst right now
+	halted      bool
+	quarantined bool
+	restarts    int
+}
+
+// New creates a server for prog, which must be erased (ir.Erase) like any
+// runtime-executed program.
+func New(prog *ir.Program, opts Options) (*Server, error) {
+	for _, m := range prog.Machines {
+		if m.Ghost && !m.ErasedStub {
+			return nil, fmt.Errorf("server: program %s has live ghost machine %s; apply ir.Erase before serving", prog.Name, m.Name)
+		}
+	}
+	if opts.Overflow == runtime.OverflowBlock {
+		return nil, errors.New("server: OverflowBlock would stall a shard event loop; use drop-newest, drop-oldest, or error")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = defaultShards()
+	}
+	if opts.QueueHighWater == 0 {
+		opts.QueueHighWater = 1024
+	}
+	if opts.MaxInbox == 0 {
+		opts.MaxInbox = 256
+	}
+	if opts.MaxInbox > 0 && opts.Overflow == runtime.OverflowUnbounded {
+		opts.Overflow = runtime.OverflowDropNewest
+	}
+	if opts.Restart == (runtime.RestartPolicy{}) {
+		opts.Restart = runtime.RestartPolicy{MaxRestarts: 3, Backoff: time.Millisecond, MaxBackoff: 100 * time.Millisecond}
+	}
+	if opts.BreakerTrips == 0 {
+		opts.BreakerTrips = 3
+	}
+	if opts.BreakerWindow <= 0 {
+		opts.BreakerWindow = 10 * time.Second
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 5 * time.Second
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	s := &Server{
+		prog:     prog,
+		opts:     opts,
+		start:    time.Now(),
+		machines: map[core.MachineID]*machine{},
+		nextID:   1,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	s.qcond = sync.NewCond(&s.qmu)
+	for i := 0; i < opts.Shards; i++ {
+		s.shards = append(s.shards, newShard(s, i))
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go sh.loop()
+	}
+	return s, nil
+}
+
+// Program returns the hosted program.
+func (s *Server) Program() *ir.Program { return s.prog }
+
+// shardOf maps a machine id to its home shard: a consistent hash over the
+// fixed pool, so sequential session ids spread instead of striping.
+func (s *Server) shardOf(id core.MachineID) *shard {
+	x := uint64(id)
+	// splitmix64 finalizer.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return s.shards[x%uint64(len(s.shards))]
+}
+
+// CreateMachine instantiates machine type name as a new virtual actor and
+// schedules its entry burst, subject to admission control on its home
+// shard. It is the ingress analog of runtime.CreateMachine.
+func (s *Server) CreateMachine(name string, inits map[string]core.Value) (core.MachineID, error) {
+	mt, ok := s.prog.MachineByName(name)
+	if !ok {
+		return 0, fmt.Errorf("server: unknown machine type %s", name)
+	}
+	if mt.ErasedStub {
+		return 0, fmt.Errorf("server: machine type %s is ghost (erased); only real machines can be served", name)
+	}
+	var vals []core.InitVal
+	for varName, v := range inits {
+		vid, ok := mt.VarByName(varName)
+		if !ok {
+			return 0, fmt.Errorf("server: machine %s has no variable %s", name, varName)
+		}
+		vals = append(vals, core.InitVal{Var: vid, Val: v})
+	}
+	return s.spawn(mt.ID, vals, false)
+}
+
+// spawn allocates an id, registers the machine on its home shard, and
+// schedules the entry burst. Ingress (internal=false) is admission
+// controlled; machine-created machines (internal=true) are not — they are
+// in-flight work, bounded by their creators' own admission.
+func (s *Server) spawn(t ir.MachineTypeID, vals []core.InitVal, internal bool) (core.MachineID, error) {
+	if s.closed.Load() {
+		return 0, ErrClosed
+	}
+	if !internal && s.draining.Load() {
+		return 0, ErrDraining
+	}
+	mt := s.prog.Machines[t]
+	if mt.ErasedStub {
+		return 0, fmt.Errorf("server: cannot create erased ghost machine %s", mt.Name)
+	}
+	s.mu.Lock()
+	id := s.nextID
+	sh := s.shardOf(id)
+	if !internal {
+		if err := sh.admit(); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+	}
+	s.nextID++
+	m := &machine{id: id, typ: t, sh: sh, vals: vals}
+	m.cfg = core.NewConfig(s.prog, id, t, vals)
+	m.scheduled = true // the entry burst is pending
+	s.machines[id] = m
+	s.mu.Unlock()
+	sh.count(func(st *ShardMetrics) { st.Machines++ })
+	s.addBusy(1)
+	sh.push(m)
+	return id, nil
+}
+
+// Send maps one ingress request to a send: admission control on the target
+// machine's home shard, then a bounded-inbox enqueue and a wakeup. The
+// enqueue never blocks (OverflowBlock is rejected at New), so ingress
+// latency is bounded by lock hold times, not machine execution.
+func (s *Server) Send(id core.MachineID, event string, payload core.Value) error {
+	e, ok := s.prog.EventByName(event)
+	if !ok {
+		return fmt.Errorf("server: unknown event %s", event)
+	}
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if s.draining.Load() {
+		return ErrDraining
+	}
+	m := s.lookup(id)
+	if m == nil {
+		return &NotFoundError{ID: id}
+	}
+	if err := m.sh.admit(); err != nil {
+		return err
+	}
+	delivered, found := s.deliver(m, e, payload)
+	if !found {
+		if s.lookup(id) == nil {
+			return &NotFoundError{ID: id}
+		}
+		return ErrQuarantined
+	}
+	_ = delivered // dedup or overflow drops are not ingress errors
+	return nil
+}
+
+// lookup returns the live machine for id, or nil.
+func (s *Server) lookup(id core.MachineID) *machine {
+	s.mu.RLock()
+	m := s.machines[id]
+	s.mu.RUnlock()
+	return m
+}
+
+// deliver enqueues (e, v) into m's inbox under the bounded-inbox policy and
+// schedules m on its shard. found=false means the machine is halted or
+// quarantined.
+func (s *Server) deliver(m *machine, e ir.EventID, v core.Value) (delivered, found bool) {
+	opts := &s.opts
+	sh := m.sh
+	m.mu.Lock()
+	if m.halted || m.quarantined {
+		m.mu.Unlock()
+		return false, false
+	}
+	for _, q := range m.inbox {
+		if q.Event == e && q.Val == v {
+			m.mu.Unlock()
+			sh.count(func(st *ShardMetrics) { st.EventsDeduped++ })
+			return false, true
+		}
+	}
+	if opts.MaxInbox > 0 && len(m.inbox) >= opts.MaxInbox {
+		switch opts.Overflow {
+		case runtime.OverflowDropOldest:
+			copy(m.inbox, m.inbox[1:])
+			m.inbox = m.inbox[:len(m.inbox)-1]
+			m.inbox = append(m.inbox, core.QEntry{Event: e, Val: v})
+			wake := !m.scheduled
+			m.scheduled = true
+			m.mu.Unlock()
+			// Depth is unchanged: one in, one out.
+			sh.count(func(st *ShardMetrics) { st.EventsOverflowed++; st.EventsDelivered++ })
+			if wake {
+				s.addBusy(1)
+				sh.push(m)
+			}
+			return true, true
+		default: // DropNewest, Error
+			var err *core.Err
+			if opts.Overflow == runtime.OverflowError {
+				err = &core.Err{
+					Kind:    core.ErrInboxOverflow,
+					Machine: m.id,
+					Type:    s.prog.Machines[m.typ].Name,
+					Event:   e,
+					HasEv:   true,
+					Detail:  fmt.Sprintf("inbox at its bound of %d", opts.MaxInbox),
+				}
+			}
+			m.mu.Unlock()
+			sh.count(func(st *ShardMetrics) { st.EventsOverflowed++ })
+			if err != nil {
+				s.recordError(err)
+			}
+			return false, true
+		}
+	}
+	m.inbox = append(m.inbox, core.QEntry{Event: e, Val: v})
+	wake := !m.scheduled
+	m.scheduled = true
+	m.mu.Unlock()
+	sh.count(func(st *ShardMetrics) { st.EventsDelivered++; st.QueueDepth++ })
+	if wake {
+		s.addBusy(1)
+		sh.push(m)
+	}
+	return true, true
+}
+
+// srvWorld adapts Server to core.World for bursts running on shard loops.
+type srvWorld Server
+
+// CreateMachine implements core.World: dynamic creation from inside a
+// handler (`new M(...)`). Internal creations bypass admission control.
+func (w *srvWorld) CreateMachine(t ir.MachineTypeID, vals []core.InitVal) (core.MachineID, *core.Err) {
+	s := (*Server)(w)
+	id, err := s.spawn(t, vals, true)
+	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			return 0, &core.Err{Kind: core.ErrClosed, Type: s.prog.Machines[t].Name}
+		}
+		return 0, &core.Err{Kind: core.ErrStub, Type: s.prog.Machines[t].Name, Detail: err.Error()}
+	}
+	return id, nil
+}
+
+// SendEvent implements core.World: machine-to-machine delivery. A
+// quarantined target blackholes the event (delivered, no error) — the
+// alternative, reporting it deleted, would cascade ErrSendDeleted errors
+// through every peer of a quarantined machine. Under ShedRejectNewest an
+// over-watermark send is dropped in transit and counted as shed.
+func (w *srvWorld) SendEvent(target core.MachineID, e ir.EventID, v core.Value) (delivered, found bool) {
+	s := (*Server)(w)
+	m := s.lookup(target)
+	if m == nil {
+		return false, false
+	}
+	m.mu.Lock()
+	quarantined := m.quarantined
+	m.mu.Unlock()
+	if quarantined {
+		m.sh.count(func(st *ShardMetrics) { st.EventsShed++ })
+		return true, true
+	}
+	if s.opts.Shed == ShedRejectNewest && s.opts.QueueHighWater > 0 && m.sh.depth() >= int64(s.opts.QueueHighWater) {
+		m.sh.count(func(st *ShardMetrics) { st.EventsShed++ })
+		return true, true
+	}
+	return s.deliver(m, e, v)
+}
+
+// recordError logs err and invokes OnError.
+func (s *Server) recordError(err *core.Err) {
+	s.emu.Lock()
+	s.errs = append(s.errs, err)
+	s.emu.Unlock()
+	if s.opts.OnError != nil {
+		s.opts.OnError(err)
+	}
+}
+
+// Errors returns the machine errors collected so far.
+func (s *Server) Errors() []*core.Err {
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	return append([]*core.Err(nil), s.errs...)
+}
+
+// halt tombstones m: it is removed from addressing, pending events are
+// discarded from the depth accounting, and the busy count drops.
+func (s *Server) halt(m *machine) {
+	m.mu.Lock()
+	m.running = false
+	m.scheduled = false
+	m.halted = true
+	lost := int64(len(m.inbox) + len(m.cfg.Queue))
+	m.inbox = nil
+	m.mu.Unlock()
+	s.mu.Lock()
+	delete(s.machines, m.id)
+	s.mu.Unlock()
+	m.sh.count(func(st *ShardMetrics) { st.Machines--; st.QueueDepth -= lost })
+	s.addBusy(-1)
+}
+
+// quarantine parks m for good: it stays addressable (blackholing events)
+// but never runs again, so a poisoned machine cannot wedge its shard.
+func (s *Server) quarantine(m *machine) {
+	m.mu.Lock()
+	m.running = false
+	m.scheduled = false
+	m.quarantined = true
+	lost := int64(len(m.inbox) + len(m.cfg.Queue))
+	m.inbox = nil
+	m.cfg.Queue = nil
+	m.mu.Unlock()
+	m.sh.count(func(st *ShardMetrics) { st.Quarantines++; st.QueueDepth -= lost })
+	m.sh.recordQuarantine()
+	s.addBusy(-1)
+}
+
+// ---------------------------------------------------------- quiescence
+
+func (s *Server) addBusy(delta int) {
+	s.qmu.Lock()
+	s.busy += delta
+	if s.busy == 0 {
+		s.qcond.Broadcast()
+	}
+	s.qmu.Unlock()
+}
+
+// Quiesce blocks until no machine is queued, running, or waiting out a
+// restart backoff, or until the timeout expires. Quiescence is stable only
+// if ingress is stopped (Drain stops it first).
+func (s *Server) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	expired := time.AfterFunc(timeout, func() {
+		s.qmu.Lock()
+		s.qcond.Broadcast()
+		s.qmu.Unlock()
+	})
+	defer expired.Stop()
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for s.busy > 0 {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		s.qcond.Wait()
+	}
+	return true
+}
+
+// Drain gracefully shuts the server down: ingress starts returning
+// ErrDraining immediately, in-flight machine work (including internal sends
+// and creations) runs to quiescence or the deadline, then the shard pool
+// stops. It reports whether quiescence was reached in time — the partial-
+// drain signal pserve turns into exit code 3.
+func (s *Server) Drain(timeout time.Duration) bool {
+	s.draining.Store(true)
+	ok := s.Quiesce(timeout)
+	s.Stop()
+	return ok
+}
+
+// Stop shuts the shard pool down; pending events are discarded. Idempotent,
+// safe to call concurrently; every caller blocks until the loops exit.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		s.closed.Store(true)
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+		}
+	})
+	s.wg.Wait()
+}
+
+// retryAfter builds a jittered backoff hint scaled by overload: the farther
+// past the watermark the shard is, the longer the hint, with ±50% jitter so
+// a thundering herd of shed clients does not resynchronize.
+func (s *Server) retryAfter(depth int64, watermark int) time.Duration {
+	base := 25 * time.Millisecond
+	if watermark > 0 && depth > int64(watermark) {
+		over := time.Duration(depth-int64(watermark)) * base / time.Duration(watermark)
+		if over > 2*time.Second {
+			over = 2 * time.Second
+		}
+		base += over
+	}
+	s.jmu.Lock()
+	j := time.Duration(s.rng.Int63n(int64(base)))
+	s.jmu.Unlock()
+	return base/2 + j
+}

@@ -1,0 +1,502 @@
+package server_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/psamples"
+	prt "pgo/internal/runtime"
+	"pgo/internal/server"
+)
+
+// Tests for the sharded actor server: virtual-actor FIFO over the shard
+// pool, admission control and 429 shedding, quarantine after a spent
+// restart budget (without wedging the shard), the per-shard circuit
+// breaker, and drain semantics.
+
+func erased(t testing.TB, name, src string) *ir.Program {
+	t.Helper()
+	prog, diags, err := compile.Erased(name, src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	return prog
+}
+
+// gateProgram wedges its shard on demand: Go parks the machine inside a
+// foreign call until the test releases it, so pending-event depth builds.
+const gateProgram = `
+event Go; event Inc(int); event unit;
+machine G {
+  foreign wait(): void;
+  state S {
+    entry { skip; }
+    on Go do DoWait;
+    on Inc do Nop;
+  }
+  action DoWait { wait(); }
+  action Nop { skip; }
+}
+main G();
+`
+
+func gate(entered chan<- struct{}, release <-chan struct{}) core.ForeignMap {
+	return core.ForeignMap{
+		"G.wait": func(ctx any, args []core.Value) (core.Value, error) {
+			entered <- struct{}{}
+			<-release
+			return core.Null, nil
+		},
+	}
+}
+
+const panicProgram = `
+event Boom; event Poke; event unit;
+machine M {
+  var count: int;
+  foreign explode(): void;
+  state S {
+    entry { count = 0; }
+    on Boom do DoBoom;
+    on Poke do Bump;
+  }
+  action DoBoom { explode(); }
+  action Bump { count = count + 1; }
+}
+main M();
+`
+
+func explodingForeign() core.ForeignMap {
+	return core.ForeignMap{
+		"M.explode": func(ctx any, args []core.Value) (core.Value, error) {
+			panic("kaboom")
+		},
+	}
+}
+
+// obsProgram reports every received payload to the host, in handling order.
+const obsProgram = `
+event Ev(int); event unit;
+machine O {
+  foreign obs(int): void;
+  state S {
+    entry { skip; }
+    on Ev do Obs;
+  }
+  action Obs { obs(arg); }
+}
+main O();
+`
+
+// Events sent to one machine are handled in send order even though the
+// machine has no goroutine of its own: bursts interleave with deliveries
+// (park, drain, rerun) and FIFO must survive the inbox→queue handoffs.
+func TestPerMachineFIFO(t *testing.T) {
+	prog := erased(t, "obs", obsProgram)
+	var mu sync.Mutex
+	var got []int64
+	srv, err := server.New(prog, server.Options{
+		Shards: 4,
+		Foreign: core.ForeignMap{
+			"O.obs": func(ctx any, args []core.Value) (core.Value, error) {
+				n, _ := args[0].AsInt()
+				mu.Lock()
+				got = append(got, n)
+				mu.Unlock()
+				return core.Null, nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	id, err := srv.CreateMachine("O", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if err := srv.Send(id, "Ev", core.IntVal(int64(i))); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("observed %d events, want %d: %v", len(got), n, got)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("event %d handled out of order: got payload %d (full order %v)", i, v, got)
+		}
+	}
+}
+
+// Elevator sessions across the whole pool: many machines, the §2 door
+// cycle each, no machine errors, and coherent totals (depth returns to
+// zero, delivered == processed once quiescent).
+func TestServeElevatorSessions(t *testing.T) {
+	prog := erased(t, "elevator", psamples.Elevator)
+	srv, err := server.New(prog, server.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	h := server.NewHandler(srv)
+	const sessions = 32
+	script := []string{"OpenDoor", "DoorOpened", "TimerFired"}
+	for i := 0; i < sessions; i++ {
+		id, err := srv.CreateMachine("Elevator", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range script {
+			if err := srv.Send(id, ev, core.Null); err != nil {
+				t.Fatalf("session %d send %s: %v", i, ev, err)
+			}
+		}
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence")
+	}
+	if errs := srv.Errors(); len(errs) != 0 {
+		t.Fatalf("machine errors: %v", errs)
+	}
+	v := h.Varz()
+	if v.Totals.Machines != sessions {
+		t.Fatalf("machines = %d, want %d", v.Totals.Machines, sessions)
+	}
+	if v.Totals.QueueDepth != 0 {
+		t.Fatalf("queue_depth = %d after quiescence, want 0", v.Totals.QueueDepth)
+	}
+	want := int64(sessions * len(script))
+	if v.Totals.EventsDelivered != want || v.Totals.EventsProcessed != want {
+		t.Fatalf("delivered/processed = %d/%d, want %d/%d",
+			v.Totals.EventsDelivered, v.Totals.EventsProcessed, want, want)
+	}
+}
+
+// Over the watermark, ingress is shed with HTTP 429 plus a Retry-After
+// header and a precise retry_after_ms hint in the body; /varz counts the
+// rejections at the edge.
+func TestIngressShed429RetryAfter(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := server.New(prog, server.Options{
+		Shards:         1,
+		QueueHighWater: 4,
+		Foreign:        gate(entered, release),
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := server.NewHandler(srv)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	defer srv.Stop()
+	defer close(release)
+
+	id, err := srv.CreateMachine("G", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // shard 0 is wedged in the handler; depth accumulates
+
+	var resp *http.Response
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"event":"Inc","payload":%d}`, i)
+		r, err := http.Post(fmt.Sprintf("%s/machines/%d/send", ts.URL, id), "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == http.StatusTooManyRequests {
+			resp = r
+			break
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusAccepted {
+			t.Fatalf("send %d: status %d, want 202 or 429", i, r.StatusCode)
+		}
+	}
+	if resp == nil {
+		t.Fatal("no 429 despite a wedged shard and watermark 4")
+	}
+	defer resp.Body.Close()
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	var body struct {
+		Error        string `json:"error"`
+		RetryAfterMs int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RetryAfterMs <= 0 {
+		t.Fatalf("retry_after_ms = %d, want > 0 (body error: %s)", body.RetryAfterMs, body.Error)
+	}
+	if v := h.Varz(); v.HTTPShed == 0 {
+		t.Fatalf("varz http_shed = 0 after a 429 (varz: %+v)", v)
+	}
+
+	// The plain API surfaces the same rejection as a typed ShedError.
+	var shed *server.ShedError
+	if err := srv.Send(id, "Inc", core.IntVal(999)); !errors.As(err, &shed) {
+		t.Fatalf("over-watermark Send = %v, want ShedError", err)
+	}
+}
+
+// A machine that exhausts its restart budget is quarantined: it stops
+// running and blackholes ingress (410 over HTTP), while shardmates keep
+// processing — the poisoned machine must not wedge its shard.
+func TestQuarantineAfterRestartBudget(t *testing.T) {
+	prog := erased(t, "panic", panicProgram)
+	srv, err := server.New(prog, server.Options{
+		Shards:       1, // victim and bystander share the one shard
+		Foreign:      explodingForeign(),
+		Restart:      prt.RestartPolicy{MaxRestarts: 1},
+		BreakerTrips: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	h := server.NewHandler(srv)
+	victim, err := srv.CreateMachine("M", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := srv.CreateMachine("M", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First panic: restarted within budget, usable again.
+	if err := srv.Send(victim, "Boom", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence after first panic")
+	}
+	if err := srv.Send(victim, "Poke", core.Null); err != nil {
+		t.Fatalf("restarted machine rejected a send: %v", err)
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence after poking the restarted machine")
+	}
+
+	// Second panic: budget spent, quarantined.
+	if err := srv.Send(victim, "Boom", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence after second panic — the shard is wedged")
+	}
+	info, err := srv.MachineInfo(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != "quarantined" {
+		t.Fatalf("victim status = %q, want quarantined", info.Status)
+	}
+	if err := srv.Send(victim, "Poke", core.Null); !errors.Is(err, server.ErrQuarantined) {
+		t.Fatalf("send to quarantined machine = %v, want ErrQuarantined", err)
+	}
+
+	// Over HTTP the quarantined id is Gone, not retryable.
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	r, err := http.Post(fmt.Sprintf("%s/machines/%d/send", ts.URL, victim), "application/json",
+		strings.NewReader(`{"event":"Poke"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusGone {
+		t.Fatalf("send to quarantined machine = HTTP %d, want 410", r.StatusCode)
+	}
+
+	// The shard still serves its other machines.
+	if err := srv.Send(bystander, "Poke", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence after poking the bystander — shard wedged by quarantined machine")
+	}
+	if info, err := srv.MachineInfo(bystander); err != nil || info.Status != "idle" {
+		t.Fatalf("bystander info = %+v, %v; want idle", info, err)
+	}
+
+	v := h.Varz()
+	if v.Totals.Panics != 2 || v.Totals.Restarts != 1 || v.Totals.Quarantines != 1 {
+		t.Fatalf("panics/restarts/quarantines = %d/%d/%d, want 2/1/1",
+			v.Totals.Panics, v.Totals.Restarts, v.Totals.Quarantines)
+	}
+}
+
+// A burst of quarantines opens the shard's circuit breaker: ingress on
+// that shard sheds with a retryable BreakerError until the cooldown ends.
+func TestCircuitBreakerOpensAndCools(t *testing.T) {
+	prog := erased(t, "panic", panicProgram)
+	srv, err := server.New(prog, server.Options{
+		Shards:          1,
+		Foreign:         explodingForeign(),
+		Restart:         prt.RestartPolicy{MaxRestarts: -1}, // quarantine on first panic
+		BreakerTrips:    1,
+		BreakerCooldown: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	id, err := srv.CreateMachine("M", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Send(id, "Boom", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence after the panic")
+	}
+
+	var brk *server.BreakerError
+	if _, err := srv.CreateMachine("M", nil); !errors.As(err, &brk) {
+		t.Fatalf("ingress with open breaker = %v, want BreakerError", err)
+	}
+	if brk.RetryAfter <= 0 {
+		t.Fatalf("BreakerError.RetryAfter = %v, want > 0", brk.RetryAfter)
+	}
+
+	// After the cooldown the shard admits again.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := srv.CreateMachine("M", nil); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never closed after its cooldown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Drain on a quiescent server reaches quiescence, then ingress reports
+// closed.
+func TestDrainThenIngressClosed(t *testing.T) {
+	prog := erased(t, "obs", obsProgram)
+	srv, err := server.New(prog, server.Options{
+		Foreign: core.ForeignMap{
+			"O.obs": func(ctx any, args []core.Value) (core.Value, error) { return core.Null, nil },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv.CreateMachine("O", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := srv.Send(id, "Ev", core.IntVal(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !srv.Drain(10 * time.Second) {
+		t.Fatal("drain of a healthy server missed its deadline")
+	}
+	if err := srv.Send(id, "Ev", core.IntVal(99)); !errors.Is(err, server.ErrClosed) {
+		t.Fatalf("post-drain Send = %v, want ErrClosed", err)
+	}
+	if _, err := srv.CreateMachine("O", nil); !errors.Is(err, server.ErrClosed) {
+		t.Fatalf("post-drain CreateMachine = %v, want ErrClosed", err)
+	}
+}
+
+// A drain whose deadline expires while a machine is wedged in a handler
+// returns false instead of deadlocking (the partial-drain exit 3 path).
+func TestDrainTimeoutOnWedgedMachine(t *testing.T) {
+	prog := erased(t, "gate", gateProgram)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv, err := server.New(prog, server.Options{
+		Shards:  1,
+		Foreign: gate(entered, release),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := srv.CreateMachine("G", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Send(id, "Go", core.Null); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	drained := make(chan bool, 1)
+	go func() { drained <- srv.Drain(100 * time.Millisecond) }()
+	// Give the deadline time to expire while the machine is still wedged,
+	// then unwedge so Drain's Stop can join the shard loop.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	select {
+	case ok := <-drained:
+		if ok {
+			t.Fatal("Drain reported quiescence despite the wedged machine")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain deadlocked after its deadline expired")
+	}
+}
+
+// Machine-created machines spread over the pool and run the whole election
+// internally: one ingress create grows the ring and elects a leader.
+func TestRingElectionAcrossShards(t *testing.T) {
+	prog := erased(t, "ring", psamples.Ring(5))
+	srv, err := server.New(prog, server.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	h := server.NewHandler(srv)
+	if _, err := srv.CreateMachine("Node", map[string]core.Value{
+		"myid":  core.IntVal(1),
+		"total": core.IntVal(5),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Quiesce(10 * time.Second) {
+		t.Fatal("no quiescence — the election never settled")
+	}
+	if errs := srv.Errors(); len(errs) != 0 {
+		t.Fatalf("machine errors: %v", errs)
+	}
+	v := h.Varz()
+	if v.Totals.Machines != 5 {
+		t.Fatalf("machines = %d, want 5 ring nodes", v.Totals.Machines)
+	}
+	if v.Totals.QueueDepth != 0 {
+		t.Fatalf("queue_depth = %d after quiescence, want 0", v.Totals.QueueDepth)
+	}
+}

@@ -1,0 +1,368 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pgo/internal/core"
+)
+
+// defaultShards sizes the event-loop pool: one loop per CPU up to 8. More
+// shards than CPUs buys nothing (the loops are CPU-bound between waits) and
+// dilutes per-shard batching.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ShardMetrics is one shard's coherent counter snapshot — every field is
+// read under the same mutex that the loop increments under, so invariants
+// like EventsProcessed <= EventsDelivered hold within one snapshot.
+type ShardMetrics struct {
+	Shard    int   `json:"shard"`
+	Machines int64 `json:"machines"`
+	// QueueDepth is the pending-event count (undrained inboxes plus
+	// machine-local queues) admission control watermarks.
+	QueueDepth       int64 `json:"queue_depth"`
+	EventsDelivered  int64 `json:"events_delivered"`
+	EventsDeduped    int64 `json:"events_deduped"`
+	EventsProcessed  int64 `json:"events_processed"`
+	EventsOverflowed int64 `json:"events_overflowed"`
+	// EventsShed counts events dropped by load shedding after admission:
+	// sends blackholed at a quarantined machine, and internal sends dropped
+	// by ShedRejectNewest. Edge-level 429s are counted by the HTTP layer.
+	EventsShed   int64 `json:"events_shed"`
+	Bursts       int64 `json:"bursts"`
+	Panics       int64 `json:"panics"`
+	Restarts     int64 `json:"restarts"`
+	Quarantines  int64 `json:"quarantines"`
+	BreakerOpens int64 `json:"breaker_opens"`
+	BreakerOpen  bool  `json:"breaker_open"`
+}
+
+// shard is one event loop of the pool. Every machine hashing here has all
+// its bursts executed by this loop, one at a time — that serialization is
+// what preserves run-to-completion atomicity without per-machine goroutines.
+type shard struct {
+	srv *Server
+	idx int
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	runq []*machine
+
+	// Breaker state, under mu: quarantine timestamps inside the window,
+	// and the instant until which the breaker sheds ingress.
+	quarTimes    []time.Time
+	breakerUntil time.Time
+
+	// Counters under their own leaf mutex so hot increments never contend
+	// with runq scheduling.
+	smu sync.Mutex
+	st  ShardMetrics
+}
+
+func newShard(s *Server, idx int) *shard {
+	sh := &shard{srv: s, idx: idx}
+	sh.cond = sync.NewCond(&sh.mu)
+	sh.st.Shard = idx
+	return sh
+}
+
+// count runs f over the shard counters under the counter lock (leaf lock:
+// never acquire another lock inside f).
+func (sh *shard) count(f func(*ShardMetrics)) {
+	sh.smu.Lock()
+	f(&sh.st)
+	sh.smu.Unlock()
+}
+
+// metrics returns a coherent snapshot.
+func (sh *shard) metrics() ShardMetrics {
+	sh.mu.Lock()
+	open := time.Now().Before(sh.breakerUntil)
+	sh.mu.Unlock()
+	sh.smu.Lock()
+	st := sh.st
+	sh.smu.Unlock()
+	st.BreakerOpen = open
+	return st
+}
+
+// depth reads the watermarked pending-event count.
+func (sh *shard) depth() int64 {
+	sh.smu.Lock()
+	d := sh.st.QueueDepth
+	sh.smu.Unlock()
+	return d
+}
+
+// admit is admission control for ingress landing on this shard: the circuit
+// breaker first, then the queue-depth watermark. Machine-to-machine traffic
+// does not pass through here (see srvWorld.SendEvent for RejectNewest).
+func (sh *shard) admit() error {
+	sh.mu.Lock()
+	wait := time.Until(sh.breakerUntil)
+	sh.mu.Unlock()
+	if wait > 0 {
+		return &BreakerError{Shard: sh.idx, RetryAfter: wait}
+	}
+	hw := sh.srv.opts.QueueHighWater
+	if hw > 0 {
+		if d := sh.depth(); d >= int64(hw) {
+			return &ShedError{Shard: sh.idx, Depth: d, Watermark: hw, RetryAfter: sh.srv.retryAfter(d, hw)}
+		}
+	}
+	return nil
+}
+
+// recordQuarantine feeds the circuit breaker: BreakerTrips quarantines
+// inside BreakerWindow open the breaker for BreakerCooldown.
+func (sh *shard) recordQuarantine() {
+	trips := sh.srv.opts.BreakerTrips
+	if trips < 0 {
+		return
+	}
+	now := time.Now()
+	cut := now.Add(-sh.srv.opts.BreakerWindow)
+	sh.mu.Lock()
+	keep := sh.quarTimes[:0]
+	for _, t := range sh.quarTimes {
+		if t.After(cut) {
+			keep = append(keep, t)
+		}
+	}
+	sh.quarTimes = append(keep, now)
+	if len(sh.quarTimes) >= trips {
+		sh.breakerUntil = now.Add(sh.srv.opts.BreakerCooldown)
+		sh.quarTimes = sh.quarTimes[:0]
+		sh.mu.Unlock()
+		sh.count(func(st *ShardMetrics) { st.BreakerOpens++ })
+		return
+	}
+	sh.mu.Unlock()
+}
+
+// push appends m to the run queue and wakes the loop. The caller has
+// already marked m scheduled and bumped the busy count.
+func (sh *shard) push(m *machine) {
+	sh.mu.Lock()
+	sh.runq = append(sh.runq, m)
+	sh.cond.Signal()
+	sh.mu.Unlock()
+}
+
+// loop is the shard's event loop: pop a runnable machine, run one
+// run-to-completion burst, repeat. One goroutine per shard for the life of
+// the server.
+func (sh *shard) loop() {
+	defer sh.srv.wg.Done()
+	x := &core.Exec{
+		Prog:    sh.srv.prog,
+		World:   (*srvWorld)(sh.srv),
+		Foreign: sh.srv.opts.Foreign,
+	}
+	for {
+		sh.mu.Lock()
+		for len(sh.runq) == 0 && !sh.srv.closed.Load() {
+			sh.cond.Wait()
+		}
+		if sh.srv.closed.Load() {
+			// Park remaining queued machines so the busy count settles.
+			q := sh.runq
+			sh.runq = nil
+			sh.mu.Unlock()
+			for _, m := range q {
+				m.mu.Lock()
+				m.scheduled = false
+				m.mu.Unlock()
+				sh.srv.addBusy(-1)
+			}
+			return
+		}
+		m := sh.runq[0]
+		copy(sh.runq, sh.runq[1:])
+		sh.runq = sh.runq[:len(sh.runq)-1]
+		sh.mu.Unlock()
+		sh.run(x, m)
+	}
+}
+
+// run executes one burst of m on this shard's loop: drain the inbox into
+// the machine's queue (with ⊕ dedup against it), run to completion, then
+// dispatch on the outcome. Because the loop runs m's bursts one at a time
+// and the inbox append order is preserved by the drain, per-machine FIFO
+// delivery holds with no machine-owned goroutine.
+func (sh *shard) run(x *core.Exec, m *machine) {
+	m.mu.Lock()
+	if m.halted || m.quarantined {
+		m.scheduled = false
+		m.mu.Unlock()
+		sh.srv.addBusy(-1)
+		return
+	}
+	dropped := m.drainLocked()
+	qBefore := len(m.cfg.Queue)
+	m.running = true
+	cfg := m.cfg
+	m.mu.Unlock()
+	if dropped > 0 {
+		sh.count(func(st *ShardMetrics) { st.EventsDeduped += int64(dropped); st.QueueDepth -= int64(dropped) })
+	}
+
+	out := runBurst(x, cfg, sh)
+
+	// cfg.Queue only shrinks during a burst (self-sends land in the inbox),
+	// so the shrink is exactly the events consumed — accurate even when a
+	// panic loses the outcome's Dequeued list.
+	consumed := qBefore - len(cfg.Queue)
+	sh.count(func(st *ShardMetrics) {
+		st.Bursts++
+		st.EventsProcessed += int64(consumed)
+		st.QueueDepth -= int64(consumed)
+	})
+
+	switch out.Kind {
+	case core.OutBlocked:
+		m.mu.Lock()
+		m.running = false
+		if len(m.inbox) > 0 {
+			// Raced with a delivery: stay scheduled, go around again.
+			m.mu.Unlock()
+			sh.push(m)
+			return
+		}
+		m.scheduled = false
+		m.mu.Unlock()
+		sh.srv.addBusy(-1)
+	case core.OutHalted:
+		sh.srv.halt(m)
+	case core.OutError:
+		sh.srv.recordError(out.Err)
+		if out.Err.Kind == core.ErrPanic {
+			sh.superviseAfterPanic(m)
+			return
+		}
+		// A P-level error (unhandled event, foreign type error, ...) is a
+		// program bug, not a transient fault: halt, do not restart.
+		sh.srv.halt(m)
+	default:
+		sh.srv.recordError(&core.Err{
+			Kind:    core.ErrDivergence,
+			Machine: m.id,
+			Detail:  fmt.Sprintf("unexpected outcome %v from run-to-completion", out.Kind),
+		})
+		sh.srv.halt(m)
+	}
+}
+
+// runBurst wraps one run-to-completion burst in a recover so a panicking
+// handler becomes an ErrPanic outcome on this machine instead of killing
+// the shard loop (and every other machine homed on it).
+func runBurst(x *core.Exec, cfg *core.Config, sh *shard) (out core.Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.count(func(st *ShardMetrics) { st.Panics++ })
+			st := ""
+			if s := cfg.CurrentState(); s >= 0 {
+				st = x.Prog.Machines[cfg.Type].States[s].Name
+			}
+			out = core.Outcome{Kind: core.OutError, Err: &core.Err{
+				Kind:    core.ErrPanic,
+				Machine: cfg.ID,
+				Type:    x.Prog.Machines[cfg.Type].Name,
+				State:   st,
+				Detail:  fmt.Sprintf("recovered: %v", r),
+			}}
+		}
+	}()
+	return x.Run(cfg, nil, sh.srv.opts.MaxHandlerSteps, false)
+}
+
+// superviseAfterPanic applies the restart budget to a panicked machine.
+// Within budget, the machine gets a fresh configuration (same id, same
+// initializers — the crashed incarnation's local queue is lost, inbox
+// events delivered while it was down are kept) and is rescheduled after a
+// capped exponential backoff. The backoff is a timer, never a sleep on the
+// shard loop: the loop moves on to other machines immediately, so one
+// crash-looping machine cannot stall its shardmates. Over budget, the
+// machine is quarantined and the shard breaker is fed.
+func (sh *shard) superviseAfterPanic(m *machine) {
+	pol := sh.srv.opts.Restart
+	m.mu.Lock()
+	if m.restarts >= pol.MaxRestarts || pol.MaxRestarts < 0 {
+		m.mu.Unlock()
+		sh.srv.quarantine(m)
+		return
+	}
+	m.restarts++
+	restarts := m.restarts
+	// The crashed incarnation's machine-local queue dies with it.
+	lost := int64(len(m.cfg.Queue))
+	m.cfg = core.NewConfig(sh.srv.prog, m.id, m.typ, m.vals)
+	m.running = false
+	// m stays scheduled (and the server stays busy) across the backoff so
+	// drain waits for the restart burst.
+	m.mu.Unlock()
+	sh.count(func(st *ShardMetrics) {
+		st.Restarts++
+		st.QueueDepth -= lost
+	})
+
+	d := pol.Backoff
+	if d > 0 {
+		shift := restarts - 1
+		if shift > 16 {
+			shift = 16
+		}
+		d <<= shift
+		if pol.MaxBackoff > 0 && d > pol.MaxBackoff {
+			d = pol.MaxBackoff
+		}
+	}
+	reschedule := func() {
+		if sh.srv.closed.Load() {
+			m.mu.Lock()
+			m.scheduled = false
+			m.mu.Unlock()
+			sh.srv.addBusy(-1)
+			return
+		}
+		sh.push(m)
+	}
+	if d <= 0 {
+		reschedule()
+		return
+	}
+	time.AfterFunc(d, reschedule)
+}
+
+// drainLocked moves inbox entries into the machine-local queue with ⊕
+// dedup, preserving arrival order; it returns how many entries the dedup
+// dropped. Caller holds m.mu.
+func (m *machine) drainLocked() (dropped int) {
+	for _, q := range m.inbox {
+		dup := false
+		for _, p := range m.cfg.Queue {
+			if p == q {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			dropped++
+			continue
+		}
+		m.cfg.Queue = append(m.cfg.Queue, q)
+	}
+	m.inbox = m.inbox[:0]
+	return dropped
+}
