@@ -1,0 +1,83 @@
+package main
+
+import (
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"pgo/internal/benchfmt"
+)
+
+func writeBaseline(t *testing.T, entries []benchfmt.Entry) string {
+	t.Helper()
+	rep := benchfmt.NewReport()
+	rep.Entries = entries
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The compare gate must fail when a baseline entry is absent from the fresh
+// run (vanished or renamed), naming the entry — previously such entries
+// passed silently because only current entries were iterated.
+func TestCompareGateMissingEntry(t *testing.T) {
+	t.Setenv("GITHUB_STEP_SUMMARY", "") // keep test output off any real summary
+	gated := benchfmt.Entry{Name: "CORPUS/raft/d=3", Experiment: "CORPUS",
+		NsPerOp: 2 * gateFloorNs, States: 4000, StatesPerSec: 100_000}
+	extra := benchfmt.Entry{Name: "CORPUS/ghost/d=3", Experiment: "CORPUS",
+		NsPerOp: 2 * gateFloorNs, States: 4000, StatesPerSec: 100_000}
+	path := writeBaseline(t, []benchfmt.Entry{gated, extra})
+
+	cur := benchfmt.NewReport()
+	cur.Entries = []benchfmt.Entry{gated}
+	if compareAgainst(path, &cur, 25, nil) {
+		t.Fatal("gate passed with a baseline entry missing from the run")
+	}
+
+	// The same partial run is fine when -filter explains the absence...
+	if !compareAgainst(path, &cur, 25, regexp.MustCompile(`raft`)) {
+		t.Fatal("gate failed on a baseline entry the -filter excludes")
+	}
+	// ...but not when the filter selects the missing entry.
+	if compareAgainst(path, &cur, 25, regexp.MustCompile(`CORPUS/`)) {
+		t.Fatal("gate passed with a filter-selected baseline entry missing")
+	}
+}
+
+// Regressions beyond the budget still fail, and matching runs still pass —
+// the missing-entry check must not disturb the existing gate semantics.
+func TestCompareGateRegression(t *testing.T) {
+	t.Setenv("GITHUB_STEP_SUMMARY", "")
+	base := benchfmt.Entry{Name: "E2/german/d=2", Experiment: "E2",
+		NsPerOp: 2 * gateFloorNs, States: 100_000, StatesPerSec: 100_000}
+	path := writeBaseline(t, []benchfmt.Entry{base})
+
+	same := benchfmt.NewReport()
+	same.Entries = []benchfmt.Entry{base}
+	if !compareAgainst(path, &same, 25, nil) {
+		t.Fatal("gate failed on an identical run")
+	}
+
+	slow := base
+	slow.StatesPerSec = base.StatesPerSec * 0.5
+	slowRep := benchfmt.NewReport()
+	slowRep.Entries = []benchfmt.Entry{slow}
+	if compareAgainst(path, &slowRep, 25, nil) {
+		t.Fatal("gate passed a 50% states/sec regression")
+	}
+
+	// Below the floor the entry is informational: no gate failure.
+	floorBase := base
+	floorBase.Name = "E2/tiny/d=0"
+	floorBase.NsPerOp = gateFloorNs / 2
+	path2 := writeBaseline(t, []benchfmt.Entry{floorBase})
+	floorSlow := floorBase
+	floorSlow.StatesPerSec = floorBase.StatesPerSec * 0.5
+	floorRep := benchfmt.NewReport()
+	floorRep.Entries = []benchfmt.Entry{floorSlow}
+	if !compareAgainst(path2, &floorRep, 25, nil) {
+		t.Fatal("gate failed on a sub-floor informational entry")
+	}
+}

@@ -457,8 +457,22 @@ func main() {
 			}
 		}
 	}
+	// CORPUS: the distributed-protocols corpus, one sweep per state-space
+	// shape — star (2PC's coordinator hub), deep (raft's serialized election
+	// rounds), serving (the sharded KV's request/migration pipeline), and
+	// symmetric (the identical work-stealing workers). The d=3 legs sit
+	// above the gate floor, so the >25% states/sec compare gate covers all
+	// three shapes; d=2 is informational context.
+	corpus := []sweep{
+		{"twophase", psamples.TwoPhase(2), []int{2, 3}, 2_000_000},
+		{"raft", psamples.Raft(), []int{2, 3}, 2_000_000},
+		{"shardkv", psamples.ShardKV(), []int{2, 3}, 2_000_000},
+		{"worksteal", psamples.WorkSteal(), []int{2, 3}, 2_000_000},
+	}
+
 	runSweeps("E2", e2)
 	runSweeps("E4", e4)
+	runSweeps("CORPUS", corpus)
 
 	// POR: each reduced search next to its unreduced twin, pinning both the
 	// reduction and the cost of the ample-set checks. The delay-bounded pair
@@ -593,7 +607,7 @@ func main() {
 	}
 
 	if *compare != "" {
-		if !compareAgainst(*compare, &rep, *regress) {
+		if !compareAgainst(*compare, &rep, *regress, re) {
 			os.Exit(1)
 		}
 	}
@@ -610,8 +624,11 @@ const gateFloorNs = 10_000_000
 // stderr), and reports whether the run is within the regression budget: no
 // explorer entry's states/sec may drop more than regressPct percent below
 // its baseline. Micro-benchmark entries (no states/sec) and entries faster
-// than gateFloorNs are informational.
-func compareAgainst(path string, cur *benchfmt.Report, regressPct float64) bool {
+// than gateFloorNs are informational. Baseline entries that the current run
+// did not produce fail the gate by name — a silently vanished (or renamed)
+// entry would otherwise read as "no regression"; under -filter only the
+// baseline entries the filter selects are required.
+func compareAgainst(path string, cur *benchfmt.Report, regressPct float64, filter *regexp.Regexp) bool {
 	base, err := benchfmt.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pbench: -compare: %v\n", err)
@@ -620,6 +637,10 @@ func compareAgainst(path string, cur *benchfmt.Report, regressPct float64) bool 
 	baseByName := make(map[string]entry, len(base.Entries))
 	for _, e := range base.Entries {
 		baseByName[e.Name] = e
+	}
+	curNames := make(map[string]bool, len(cur.Entries))
+	for _, e := range cur.Entries {
+		curNames[e.Name] = true
 	}
 
 	var b strings.Builder
@@ -652,8 +673,28 @@ func compareAgainst(path string, cur *benchfmt.Report, regressPct float64) bool 
 			e.Name, e.NsPerOp, pct(float64(e.NsPerOp), float64(be.NsPerOp)),
 			e.StatesPerSec, pct(e.StatesPerSec, be.StatesPerSec), status)
 	}
+	var missing []string
+	for _, e := range base.Entries {
+		if curNames[e.Name] {
+			continue
+		}
+		if filter != nil && !filter.MatchString(e.Name) {
+			continue
+		}
+		missing = append(missing, e.Name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(&b, "| %s | — | — | — | — | **missing from this run** |\n", name)
+		ok = false
+	}
+
 	if !ok {
-		fmt.Fprintf(&b, "\nsome explorer benchmark fell more than %g%% below the baseline states/sec\n", regressPct)
+		fmt.Fprintf(&b, "\nsome explorer benchmark fell more than %g%% below the baseline states/sec", regressPct)
+		if len(missing) > 0 {
+			fmt.Fprintf(&b, ", or a baseline entry is missing: %s", strings.Join(missing, ", "))
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 
 	table := b.String()

@@ -57,6 +57,22 @@ func scenarios(ringSize int) map[string]scenario {
 				{"event": "TimerFired"},
 			},
 		},
+		// Sharded KV with rebalancing — the corpus serving scenario. One
+		// router create grows both shards internally; a round writes both
+		// keys, migrates key 1 while its traffic is in flight, and reads
+		// both back. Replies to the ghost session are erased server-side,
+		// so every request is a plain 202.
+		"shardkv": {
+			sample: "shardkv",
+			create: map[string]any{"type": "Router"},
+			sends: []map[string]any{
+				{"event": "PutReq", "payload": 9}, // key 1 := 1
+				{"event": "Rebalance", "payload": 1},
+				{"event": "GetReq", "payload": 1},
+				{"event": "PutReq", "payload": 18}, // key 2 := 2
+				{"event": "GetReq", "payload": 2},
+			},
+		},
 		// Chang–Roberts leader election: one create grows the whole ring
 		// via internal machine creation and runs the election internally;
 		// the extra losing token exercises the send path.
@@ -93,7 +109,7 @@ type result struct {
 func main() {
 	var (
 		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the pserve instance")
-		scen     = flag.String("scenario", "elevator", "workload: elevator or ring")
+		scen     = flag.String("scenario", "elevator", "workload: elevator, ring, or shardkv")
 		sessions = flag.Int("sessions", 8, "concurrent sessions")
 		rounds   = flag.Int("rounds", 50, "rounds per session (one create + the event script each)")
 		ringSize = flag.Int("ring", 3, "ring size for the ring scenario")
@@ -104,7 +120,7 @@ func main() {
 	flag.Parse()
 	sc, ok := scenarios(*ringSize)[*scen]
 	if !ok {
-		cmdutil.Fatalf("pload: unknown scenario %q (want elevator or ring)", *scen)
+		cmdutil.Fatalf("pload: unknown scenario %q (want elevator, ring, or shardkv)", *scen)
 	}
 	client := &http.Client{Timeout: *timeout}
 	if *smoke {

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pgo/internal/cmdutil"
+	"pgo/internal/psamples"
+	"pgo/internal/verdict"
+)
+
+// runExpect is the -expect path: instead of verifying one program under one
+// configuration, it evaluates the pinned corpus verdict matrix
+// (psamples.Matrix()) — every listed sample under every verification mode —
+// and diffs the outcomes. Arguments select matrix samples by name; with no
+// arguments the whole matrix runs. The exit status is 1 when any cell
+// disagrees with its pinned verdict, so CI can gate on verdict drift.
+//
+// -json switches the report to machine-readable rows; -expect-summary FILE
+// appends a GitHub-flavored markdown table to FILE (pass
+// "$GITHUB_STEP_SUMMARY" in CI).
+func runExpect(args []string, jsonOut bool, summaryPath string) {
+	exps := psamples.Matrix()
+	if len(args) > 0 {
+		var picked []psamples.Expectation
+		for _, name := range args {
+			e, ok := psamples.ExpectationFor(name)
+			if !ok {
+				cmdutil.Fatalf("pverify: -expect: no matrix row for %q", name)
+			}
+			picked = append(picked, e)
+		}
+		exps = picked
+	}
+
+	var rows []verdict.Row
+	bad := false
+	for _, e := range exps {
+		row, err := verdict.Evaluate(e)
+		if err != nil {
+			cmdutil.Fatalf("pverify: -expect: %v", err)
+		}
+		rows = append(rows, row)
+		if !row.OK() {
+			bad = true
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Rows []verdict.Row `json:"rows"`
+			OK   bool          `json:"ok"`
+		}{rows, !bad}); err != nil {
+			cmdutil.Fatalf("pverify: %v", err)
+		}
+	} else {
+		fmt.Print(verdict.Text(rows))
+		for _, r := range rows {
+			for _, m := range r.Mismatches() {
+				fmt.Printf("MISMATCH: %s\n", m)
+			}
+		}
+		if !bad {
+			fmt.Printf("verdict matrix: %d sample(s), all cells match\n", len(rows))
+		}
+	}
+
+	if summaryPath != "" {
+		f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			cmdutil.Fatalf("pverify: -expect-summary: %v", err)
+		}
+		header := "## Corpus verdict matrix\n\n"
+		status := fmt.Sprintf("\n%d sample(s), all cells match ✅\n", len(rows))
+		if bad {
+			status = "\n⚠️ verdict drift detected — see MISMATCH lines in the job log\n"
+		}
+		if _, err := fmt.Fprintf(f, "%s%s%s", header, verdict.Markdown(rows), status); err != nil {
+			cmdutil.Fatalf("pverify: -expect-summary: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			cmdutil.Fatalf("pverify: -expect-summary: %v", err)
+		}
+	}
+
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -71,6 +71,9 @@ func main() {
 
 		abstractMode = flag.Bool("abstract", false, "run the parameterized counter-abstraction coverability analysis (P401/P402/P403) instead of explicit-state exploration; abstract counterexamples are confirmed by concrete replay")
 		absMarkings  = flag.Int("abstract-markings", 0, "marking budget for -abstract (0 = default)")
+
+		expectMode    = flag.Bool("expect", false, "evaluate the corpus verdict matrix (optionally restricted to the named samples) and diff every cell against internal/psamples/expectations.go; exit 1 on drift")
+		expectSummary = flag.String("expect-summary", "", "with -expect, append a markdown verdict matrix to this file (pass $GITHUB_STEP_SUMMARY in CI)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pverify [flags] <file.p | sample:NAME | ->\n       pverify -resume <dir> [knob flags]\n\nsamples: %s\n\nflags:\n", cmdutil.SampleNames())
@@ -78,6 +81,10 @@ func main() {
 	}
 	flag.Parse()
 
+	if *expectMode {
+		runExpect(flag.Args(), *jsonOut, *expectSummary)
+		return
+	}
 	if *resumeDir != "" {
 		if flag.NArg() != 0 {
 			cmdutil.Fatalf("pverify: -resume takes no program argument (the run directory records the program)")

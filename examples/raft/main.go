@@ -1,0 +1,66 @@
+// Raft-style leader election: three servers time out, stand as candidates
+// with a fresh term, request votes, and claim leadership on a majority; a
+// ghost monitor asserts at most one leader per term. The example verifies
+// the correct election across overlapping candidacies, then shows the
+// seeded double-vote bug — a server granting two votes in one term — being
+// caught with a replayable two-leaders counterexample.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/psamples"
+)
+
+func main() {
+	fmt.Println("Raft-style leader election: 3 servers, 2 terms, at-most-one-leader-per-term monitor")
+	fmt.Println()
+	prog, diags, err := compile.Source("raft", psamples.Raft())
+	if err != nil {
+		log.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	for d := 1; d <= 3; d++ {
+		res, err := check.Explore(prog, check.Options{
+			Mode: check.DelayBounded, Bound: d, MaxStates: 2_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "at most one leader per term on every schedule"
+		if res.Errored() {
+			verdict = "VIOLATION: " + res.FirstViolation().Err.Error()
+		}
+		fmt.Printf("  bound %d  %7d states  %s\n", d, res.Stats.DistinctStates, verdict)
+		if res.Errored() {
+			log.Fatal("the correct protocol must verify")
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("seeded bug (a server grants two votes in the same term):")
+	prog, diags, err = compile.Source("raft-buggy", psamples.RaftBuggy())
+	if err != nil {
+		log.Fatalf("compile: %v\n%s", err, diags.String())
+	}
+	for d := 0; d <= 3; d++ {
+		res, err := check.Explore(prog, check.Options{
+			Mode: check.DelayBounded, Bound: d, StopAtFirstError: true, MaxStates: 2_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Errored() {
+			v := res.FirstViolation()
+			fmt.Printf("  found at delay bound %d: %v (schedule length %d)\n",
+				d, v.Err.Kind, len(v.Trace))
+			fmt.Println()
+			fmt.Println("replay the two-leaders schedule with:")
+			fmt.Println("  go run ./cmd/pverify -trace sample:raft-buggy")
+			return
+		}
+	}
+	log.Fatal("seeded bug not found within delay bound 3")
+}

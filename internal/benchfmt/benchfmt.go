@@ -24,7 +24,7 @@ var SchemaDoc = []string{
 	"go, goos, goarch, cpus: toolchain and host the numbers were taken on",
 	"generated: RFC3339 timestamp of the run",
 	"entries[].name: unique benchmark id, experiment/sample/parameters",
-	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), POR (reduction on/off twin; chaos-*/live-* samples run depth-bounded with faults / a liveness graph), SPILL (disk-backed visited store), ABS (counter-abstraction coverability; states = markings), SERVE (sharded actor-server under load; states = events processed by the shard loops), FP (fingerprint micro), CLONE (global clone micro)",
+	"entries[].experiment: E2 (Fig 7 delay sweep), E4 (Fig 8 USB), CORPUS (distributed-protocols corpus delay sweep: star/deep/serving/symmetric state-space shapes), POR (reduction on/off twin; chaos-*/live-* samples run depth-bounded with faults / a liveness graph), SPILL (disk-backed visited store), ABS (counter-abstraction coverability; states = markings), SERVE (sharded actor-server under load; states = events processed by the shard loops), FP (fingerprint micro), CLONE (global clone micro)",
 	"entries[].sample: embedded P sample the entry compiles",
 	"entries[].mode: exploration mode for explorer entries; shed policy for SERVE entries",
 	"entries[].bound: delay or depth budget for explorer entries",

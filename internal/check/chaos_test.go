@@ -138,6 +138,13 @@ func TestChaosSampleExpectations(t *testing.T) {
 		{"boundedbuffer", check.DropFaults, true},
 		{"german", check.DropFaults, false},
 		{"usb-hsm", check.DropFaults, false},
+		// The protocols corpus: 2PC blocks (never splits) under loss, an
+		// election without messages elects nobody, and a lost steal request
+		// just idles a worker — but a dropped shard write is a stale read.
+		{"twophase", check.DropFaults, true},
+		{"raft", check.DropFaults, true},
+		{"worksteal", check.DropFaults, true},
+		{"shardkv", check.DropFaults, false},
 		// Documented residuals: no sample survives a machine crash or a
 		// forced duplicate.
 		{"pingpong", check.CrashFaults, false},

@@ -1,0 +1,164 @@
+package check_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/core"
+	"pgo/internal/ir"
+	"pgo/internal/trace"
+)
+
+// Golden chaos counterexamples for the corpus fault-sensitivity samples in
+// testdata/ — the protocol-flavored siblings of relay.p. Each sample is
+// safe under every fault-free schedule, broken by a single dropped message,
+// and its drop counterexample replays deterministically: the rendered trace
+// is pinned so schedule regressions (or replay divergence) surface as a
+// diff.
+
+func compileTestdata(t *testing.T, name string) *ir.Program {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/" + name + ".p")
+	if err != nil {
+		t.Fatalf("reading %s sample: %v", name, err)
+	}
+	prog, diags, err := compile.Source(name, string(src))
+	if err != nil {
+		t.Fatalf("compile %s: %v\n%s", name, err, diags.String())
+	}
+	return prog
+}
+
+func TestCorpusChaosGoldenTraces(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+	}{
+		{
+			name: "twophase_quorum",
+			golden: `counterexample: assertion failed in machine Coordinator#2 (state Decide) at 51:7
+schedule (8 steps):
+   1. Voter#1  @Casting       creates Coordinator#2
+   2. [1 delays]
+   2. Voter#1  @Casting       sends Ballot to Coordinator#2
+   3. Coordinator#2  ⚡fault         loses Ballot in transit
+   4. [1 delays]
+   4. Coordinator#2  @Collecting    blocks
+   5. Voter#1  @Casting       sends Ballot to Coordinator#2
+   6. Coordinator#2  @Collecting    blocks
+      └ consumed Ballot
+   7. Voter#1  @Casting       sends Finalize to Coordinator#2
+   8. Coordinator#2  Collecting→Decide ERROR: assertion failed in machine Coordinator#2 (state Decide) at 51:7
+`,
+		},
+		{
+			name: "raft_heartbeat",
+			golden: `counterexample: assertion failed in machine Follower#2 (state Audit) at 50:7
+schedule (8 steps):
+   1. Leader#1  @Term          creates Follower#2
+   2. [1 delays]
+   2. Leader#1  @Term          sends Heartbeat to Follower#2
+   3. Follower#2  ⚡fault         loses Heartbeat in transit
+   4. [1 delays]
+   4. Follower#2  @Following     blocks
+   5. Leader#1  @Term          sends Heartbeat to Follower#2
+   6. Follower#2  @Following     blocks
+      └ consumed Heartbeat
+   7. Leader#1  @Term          sends LeaseCheck to Follower#2
+   8. Follower#2  Following→Audit ERROR: assertion failed in machine Follower#2 (state Audit) at 50:7
+`,
+		},
+		{
+			name: "shardkv_handoff",
+			golden: `counterexample: assertion failed in machine Dest#2 (state Serve) at 58:7
+schedule (8 steps):
+   1. Source#1  @Draining      creates Dest#2
+   2. [1 delays]
+   2. Source#1  @Draining      sends Install to Dest#2
+   3. Dest#2  ⚡fault         loses Install in transit
+   4. [1 delays]
+   4. Dest#2  @Installing    blocks
+   5. Source#1  @Draining      sends Install to Dest#2
+   6. Dest#2  @Installing    blocks
+      └ consumed Install
+   7. Source#1  @Draining      sends Activate to Dest#2
+   8. Dest#2  Installing→Serve ERROR: assertion failed in machine Dest#2 (state Serve) at 58:7
+`,
+		},
+		{
+			name: "worksteal_grant",
+			golden: `counterexample: assertion failed in machine Thief#2 (state Reconcile) at 52:7
+schedule (8 steps):
+   1. Victim#1  @Granting      creates Thief#2
+   2. [1 delays]
+   2. Victim#1  @Granting      sends Task to Thief#2
+   3. Thief#2  ⚡fault         loses Task in transit
+   4. [1 delays]
+   4. Thief#2  @Receiving     blocks
+   5. Victim#1  @Granting      sends Task to Thief#2
+   6. Thief#2  @Receiving     blocks
+      └ consumed Task
+   7. Victim#1  @Granting      sends Bye to Thief#2
+   8. Thief#2  Receiving→Reconcile ERROR: assertion failed in machine Thief#2 (state Reconcile) at 52:7
+`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			prog := compileTestdata(t, tc.name)
+
+			// Fault-free: the sample must be clean.
+			clean, err := check.Explore(prog, check.Options{Mode: check.DelayBounded, Bound: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clean.Errored() {
+				t.Fatalf("fault-free exploration found a violation: %v", clean.FirstViolation())
+			}
+
+			// One drop fault: the conservation assert must fail, with
+			// exactly one fault step on the reproducing schedule.
+			res, err := check.Explore(prog, check.Options{
+				Mode:             check.DelayBounded,
+				Bound:            2,
+				Faults:           1,
+				FaultKinds:       check.DropFaults,
+				StopAtFirstError: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := res.FirstViolation()
+			if v == nil {
+				t.Fatal("chaos exploration with one drop fault found no violation")
+			}
+			if v.Err.Kind != core.ErrAssert {
+				t.Fatalf("violation kind = %v, want ErrAssert", v.Err.Kind)
+			}
+			drops := 0
+			for _, s := range v.Trace {
+				if s.Fault == check.FaultDrop {
+					drops++
+				}
+			}
+			if drops != 1 {
+				t.Fatalf("trace has %d drop fault steps, want exactly 1:\n%v", drops, v.Trace)
+			}
+
+			// The counterexample replays deterministically into the pinned
+			// rendering.
+			var b strings.Builder
+			if err := trace.Render(prog, v, &b); err != nil {
+				t.Fatalf("replay diverged: %v", err)
+			}
+			if got := b.String(); got != tc.golden {
+				t.Errorf("rendered trace diverges from golden:\n--- got ---\n%s--- want ---\n%s", got, tc.golden)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package parser_test
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"pgo/internal/parser"
@@ -13,14 +15,26 @@ import (
 // never panic or hang) and, when the input parses cleanly, checks the
 // pretty-printer round trip: the printed form must itself parse without
 // errors, and printing the re-parse must reproduce it byte for byte. The
-// shipped samples seed the corpus, so the fuzzer starts from every syntactic
-// construct the language has.
+// shipped samples and the testdata corpus (the fault-sensitivity and
+// parameterized sources that only exist as .p files) seed the fuzzer, so it
+// starts from every syntactic construct the language has.
 //
 // CI runs this as a short smoke (go test -fuzz=FuzzParse -fuzztime=15s);
 // without -fuzz it only replays the seed corpus as a regular test.
 func FuzzParse(f *testing.F) {
 	for _, s := range psamples.All() {
 		f.Add(s.Source)
+	}
+	paths, err := filepath.Glob("../../testdata/*.p")
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("globbing testdata seeds: %v (%d files)", err, len(paths))
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		var diags source.DiagList

@@ -1,0 +1,161 @@
+package psamples
+
+// This file is the machine-readable verdict matrix for the
+// distributed-protocols corpus: for every corpus sample it pins the outcome
+// each verification mode must produce. The matrix is enforced twice — by
+// the TestVerdictMatrix test in internal/verdict, and by the CI
+// verdict-matrix job driving `pverify -expect` — so a regression in any
+// subsystem (the searches, POR, chaos injection, the liveness checker, the
+// counter-abstraction) surfaces as a named cell flip, not a silent drift.
+
+// ModeVerdict is the expected outcome of one verification mode on one
+// sample: "safe" means the run completes with no findings, "unsafe" means
+// it must report at least one violation.
+type ModeVerdict string
+
+const (
+	// VerdictSafe: no safety violations (and, for the liveness column, no
+	// liveness violations; for the abstract column, no replay-confirmed
+	// counterexample).
+	VerdictSafe ModeVerdict = "safe"
+	// VerdictUnsafe: at least one violation must be reported.
+	VerdictUnsafe ModeVerdict = "unsafe"
+)
+
+// Shape classifies the state-space geometry a corpus protocol stresses.
+type Shape string
+
+const (
+	// ShapeStar: every message flows through one hub machine (2PC's
+	// coordinator), so the frontier fans out around a single queue.
+	ShapeStar Shape = "star"
+	// ShapeDeep: rounds serialize (raft's intro handshake then election
+	// terms), so the space grows in depth rather than width.
+	ShapeDeep Shape = "deep"
+	// ShapeServing: request/reply pipelines with migration epochs (the
+	// sharded KV), the geometry the pserve/pload stack sees.
+	ShapeServing Shape = "serving"
+	// ShapeSymmetric: identical replicated machines (the work-stealing
+	// workers), the geometry POR and the counter abstraction exploit.
+	ShapeSymmetric Shape = "symmetric"
+)
+
+// Expectation pins one row of the verdict matrix. The explicit-state
+// columns run delay-bounded search at Bound; Chaos adds a one-fault drop
+// budget; Liveness runs the §3.2 liveness checks over the explored graph;
+// Abstract runs the counter-abstraction coverability analysis with
+// concrete replay. NoPOR re-runs the Plain column with reduction disabled
+// and must agree with Plain — partial-order reduction is verdict-preserving
+// by construction, and this is the cross-check that keeps it that way.
+type Expectation struct {
+	Sample string
+	Shape  Shape
+	// Bound is the delay budget for the explicit-state columns.
+	Bound int
+
+	Plain    ModeVerdict
+	NoPOR    ModeVerdict
+	Chaos    ModeVerdict // drop faults only; crash/dup are documented residuals
+	Liveness ModeVerdict
+	Abstract ModeVerdict
+
+	// ViolationKind is the error-kind string (core.ErrKind.String()) every
+	// explicit-state violation must carry, for rows with an unsafe
+	// explicit-state cell; empty when only liveness finds the defect.
+	ViolationKind string
+	// LivenessOnly marks defects invisible to every safety mode: the
+	// liveness column must be unsafe with zero safety violations.
+	LivenessOnly bool
+	// AbstractMarkings overrides the coverability marking budget
+	// (0 = the analysis default).
+	AbstractMarkings int
+	// PlintCodes pins the exact set of static-analysis finding codes
+	// (sorted, unique) the sample must produce — none of them of error
+	// severity for non-buggy samples.
+	PlintCodes []string
+}
+
+// Matrix returns the pinned verdict matrix for the corpus. Every sample
+// registered here must exist in All(); the verdict evaluator and the CI job
+// iterate this slice in order.
+func Matrix() []Expectation {
+	return []Expectation{
+		{
+			Sample: "twophase", Shape: ShapeStar, Bound: 2,
+			Plain: VerdictSafe, NoPOR: VerdictSafe, Chaos: VerdictSafe,
+			Liveness: VerdictSafe, Abstract: VerdictSafe,
+			// 2PC blocks under message loss but never splits the decision:
+			// the chaos cell is safe because a dropped vote leaves the
+			// coordinator waiting, which no safety property distinguishes
+			// from success.
+			PlintCodes: []string{"P301"},
+		},
+		{
+			Sample: "twophase-buggy", Shape: ShapeStar, Bound: 2,
+			Plain: VerdictUnsafe, NoPOR: VerdictUnsafe, Chaos: VerdictUnsafe,
+			Liveness: VerdictUnsafe, Abstract: VerdictUnsafe,
+			ViolationKind: "assertion failed",
+			PlintCodes:    []string{"P301"},
+		},
+		{
+			Sample: "raft", Shape: ShapeDeep, Bound: 2,
+			Plain: VerdictSafe, NoPOR: VerdictSafe, Chaos: VerdictSafe,
+			Liveness: VerdictSafe, Abstract: VerdictSafe,
+			// Dropping election traffic can only prevent a leader, never
+			// elect two: drop-chaos stays safe.
+			PlintCodes: []string{"P301"},
+		},
+		{
+			Sample: "raft-buggy", Shape: ShapeDeep, Bound: 2,
+			Plain: VerdictUnsafe, NoPOR: VerdictUnsafe, Chaos: VerdictUnsafe,
+			Liveness: VerdictUnsafe, Abstract: VerdictUnsafe,
+			ViolationKind: "assertion failed",
+			PlintCodes:    []string{"P301"},
+		},
+		{
+			Sample: "shardkv", Shape: ShapeServing, Bound: 2,
+			Plain: VerdictSafe, NoPOR: VerdictSafe, Chaos: VerdictUnsafe,
+			Liveness: VerdictSafe, Abstract: VerdictSafe,
+			// The fault-sensitive row: correct under every fault-free mode,
+			// but one dropped Put (or Install) leaves a stale value for the
+			// session's read-your-writes assertion to find.
+			ViolationKind: "assertion failed",
+			PlintCodes:    []string{"P102", "P301"},
+		},
+		{
+			Sample: "shardkv-buggy", Shape: ShapeServing, Bound: 2,
+			Plain: VerdictUnsafe, NoPOR: VerdictUnsafe, Chaos: VerdictUnsafe,
+			Liveness: VerdictUnsafe, Abstract: VerdictUnsafe,
+			ViolationKind: "assertion failed",
+			PlintCodes:    []string{"P102", "P301"},
+		},
+		{
+			Sample: "worksteal", Shape: ShapeSymmetric, Bound: 2,
+			Plain: VerdictSafe, NoPOR: VerdictSafe, Chaos: VerdictSafe,
+			Liveness: VerdictSafe, Abstract: VerdictSafe,
+			PlintCodes: []string{"P301"},
+		},
+		{
+			Sample: "worksteal-buggy", Shape: ShapeSymmetric, Bound: 2,
+			// The liveness-only row: the hot-polling idle loop preserves
+			// every safety property (all safety cells safe, including the
+			// abstraction), and only the liveness checker's forever-enabled
+			// cycle detection — under the C3 proviso when POR is on — flags
+			// the livelock.
+			Plain: VerdictSafe, NoPOR: VerdictSafe, Chaos: VerdictSafe,
+			Liveness: VerdictUnsafe, Abstract: VerdictSafe,
+			LivenessOnly: true,
+			PlintCodes:   []string{"P301"},
+		},
+	}
+}
+
+// ExpectationFor returns the matrix row for a sample, or false.
+func ExpectationFor(sample string) (Expectation, bool) {
+	for _, e := range Matrix() {
+		if e.Sample == sample {
+			return e, true
+		}
+	}
+	return Expectation{}, false
+}

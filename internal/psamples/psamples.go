@@ -33,6 +33,14 @@ func All() []Sample {
 		{Name: "usb-psm3", Source: USBPort30, Description: "synthetic USB 3.0 port state machine (PSM 3.0)"},
 		{Name: "usb-psm2", Source: USBPort20, Description: "synthetic USB 2.0 port state machine (PSM 2.0)"},
 		{Name: "usb-dsm", Source: USBDevice, Description: "synthetic USB device state machine (DSM)"},
+		{Name: "twophase", Source: TwoPhase(2), Description: "two-phase commit (coordinator + 2 participants, ghost client, atomicity monitor)"},
+		{Name: "twophase-buggy", Source: TwoPhaseBuggy(2), Buggy: true, Description: "two-phase commit with an off-by-one commit quorum (mixed commit/abort outcome)"},
+		{Name: "raft", Source: Raft(), Description: "raft-style leader election (3 servers, 2 terms, at-most-one-leader-per-term monitor)"},
+		{Name: "raft-buggy", Source: RaftBuggy(), Buggy: true, Description: "raft-style election granting two votes in one term (two leaders per term)"},
+		{Name: "shardkv", Source: ShardKV(), Description: "sharded KV store with key rebalancing and a read-your-writes client session"},
+		{Name: "shardkv-buggy", Source: ShardKVBuggy(), Buggy: true, Description: "sharded KV flipping ownership before the handoff lands (stale read)"},
+		{Name: "worksteal", Source: WorkSteal(), Description: "work-stealing scheduler (3 symmetric workers, task-conservation monitor)"},
+		{Name: "worksteal-buggy", Source: WorkStealBuggy(), Buggy: true, Description: "work-stealing scheduler with a hot-polling idle loop (liveness violation)"},
 	}
 }
 

@@ -70,6 +70,10 @@ func TestBuggyVariantsDiffer(t *testing.T) {
 		{"switchled", "switchled-buggy"},
 		{"german", "german-buggy"},
 		{"ring", "ring-buggy"},
+		{"twophase", "twophase-buggy"},
+		{"raft", "raft-buggy"},
+		{"shardkv", "shardkv-buggy"},
+		{"worksteal", "worksteal-buggy"},
 	}
 	for _, p := range pairs {
 		good, _ := psamples.ByName(p[0])

@@ -1,0 +1,240 @@
+package psamples
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Raft returns a P implementation of raft-style leader election over three
+// servers and (at most) two terms — the deep-and-narrow corpus protocol:
+// the intro handshake and the election rounds serialize, so the state space
+// grows in depth rather than width. Each server votes at most once per term
+// (for itself when it stands, or for the first candidate whose request it
+// sees), a candidate needs a majority (2 of 3), and a ghost Nature machine
+// both drives the election timeouts nondeterministically and monitors the
+// announcements, asserting at most one leader per term.
+//
+// Integer payload encoding (events carry one value): term*4 + serverIndex,
+// with indexes 1..3 and terms 1..2.
+func Raft() string { return raftSource(false) }
+
+// RaftBuggy seeds the classic double-vote defect: the voting guard uses >=
+// instead of >, so a server that has already voted in a term grants a
+// second request for the same term — two candidates can both reach a
+// majority and Nature's one-leader-per-term assertion fails.
+func RaftBuggy() string { return raftSource(true) }
+
+func raftSource(buggy bool) string {
+	guard := "arg / 4 > voted"
+	comment := "// grant at most one vote per term"
+	if buggy {
+		guard = "arg / 4 >= voted"
+		comment = "// BUG: >= lets a second same-term request through"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Raft-style leader election: 3 servers, bounded terms, ghost Nature.
+
+// environment -> server: peer introductions (ring order: PeerA is the next
+// server, PeerB the one after)
+event PeerA(id);
+event PeerB(id);
+// environment -> server: election timeout
+event Timeout;
+// candidate -> voter: vote request (payload: term*4 + candidate index)
+event AskVote(int);
+// voter -> candidate: vote granted (payload: term*4 + voter index, so the
+// queue dedup operator cannot merge grants from different voters)
+event Grant(int);
+// server -> nature: leadership announcement (payload: term*4 + leader index)
+event IsLeader(int);
+// local
+event unit;
+event won;
+
+machine Server {
+  var myidx: int;
+  var term: int;
+  var voted: int;
+  var votes: int;
+  var paidx: int;
+  var pbidx: int;
+  var pa: id;
+  var pb: id;
+  ghost var mon: id;
+
+  action HandleAsk {
+    if %s { %s
+      voted = arg / 4;
+      if arg %% 4 == paidx {
+        send pa, Grant, (arg / 4) * 4 + myidx;
+      } else {
+        if arg %% 4 == pbidx {
+          send pb, Grant, (arg / 4) * 4 + myidx;
+        }
+      }
+    }
+  }
+
+  state Start {
+    defer AskVote, Timeout;
+    entry {
+      term = 0;
+      voted = 0;
+      votes = 0;
+      paidx = myidx %% 3 + 1;
+      pbidx = paidx %% 3 + 1;
+      raise unit;
+    }
+    on unit goto AwaitPeerA;
+  }
+
+  state AwaitPeerA {
+    defer AskVote, Timeout, PeerB;
+    entry { skip; }
+    on PeerA goto SetPeerA;
+  }
+
+  state SetPeerA {
+    entry {
+      pa = arg;
+      raise unit;
+    }
+    on unit goto AwaitPeerB;
+  }
+
+  state AwaitPeerB {
+    defer AskVote, Timeout;
+    entry { skip; }
+    on PeerB goto SetPeerB;
+  }
+
+  state SetPeerB {
+    entry {
+      pb = arg;
+      raise unit;
+    }
+    on unit goto Follower;
+  }
+
+  state Follower {
+    entry { skip; }
+    on Timeout goto StartElection;
+    on AskVote do HandleAsk;
+  }
+
+  state StartElection {
+    entry {
+      term = voted + 1; // stand past anything already voted for
+      voted = term;     // standing is voting for yourself
+      votes = 1;
+      send pa, AskVote, term * 4 + myidx;
+      send pb, AskVote, term * 4 + myidx;
+      raise unit;
+    }
+    on unit goto Candidate;
+  }
+
+  state Candidate {
+    entry { skip; }
+    on Grant goto CountVote;
+    on AskVote do HandleAsk;
+    on Timeout goto StartElection;
+  }
+
+  state CountVote {
+    entry {
+      if arg / 4 == term { // grants for stale terms are void
+        votes = votes + 1;
+        if votes >= 2 {
+          raise won;
+        }
+      }
+      raise unit;
+    }
+    on unit goto Candidate;
+    on won goto Announce;
+  }
+
+  state Announce {
+    entry {
+      send mon, IsLeader, term * 4 + myidx;
+      raise unit;
+    }
+    on unit goto Leader;
+  }
+
+  state Leader {
+    entry { skip; }
+    on Timeout ignore;
+    on Grant ignore;
+    on AskVote do HandleAsk;
+  }
+}
+
+// Nature builds the cluster, fires a bounded number of election timeouts
+// (one guaranteed, up to two more chosen nondeterministically — enough for
+// a split vote and a second term), and asserts at most one leader per term.
+ghost machine Nature {
+  var s1: id;
+  var s2: id;
+  var s3: id;
+  var l1: int;
+  var l2: int;
+  var l3: int;
+
+  state Boot {
+    entry {
+      l1 = 0;
+      l2 = 0;
+      l3 = 0;
+      s1 = new Server(myidx = 1, mon = this);
+      s2 = new Server(myidx = 2, mon = this);
+      s3 = new Server(myidx = 3, mon = this);
+      send s1, PeerA, s2;
+      send s1, PeerB, s3;
+      send s2, PeerA, s3;
+      send s2, PeerB, s1;
+      send s3, PeerA, s1;
+      send s3, PeerB, s2;
+      send s1, Timeout;
+      if * {
+        send s2, Timeout; // concurrent candidacy: the split-vote race
+      }
+      if * {
+        send s1, Timeout; // re-election bumps s1 into term 2
+      }
+      raise unit;
+    }
+    on unit goto Watch;
+  }
+
+  state Watch {
+    entry { skip; }
+    on IsLeader goto CheckLeader;
+  }
+
+  state CheckLeader {
+    entry {
+      if arg / 4 == 1 {
+        assert l1 == 0; // at most one leader in term 1
+        l1 = arg %% 4;
+      } else {
+        if arg / 4 == 2 {
+          assert l2 == 0; // at most one leader in term 2
+          l2 = arg %% 4;
+        } else {
+          assert l3 == 0; // at most one leader in term 3
+          l3 = arg %% 4;
+        }
+      }
+      raise unit;
+    }
+    on unit goto Watch;
+  }
+}
+
+main Nature();
+`, guard, comment)
+	return b.String()
+}

@@ -1,0 +1,422 @@
+package psamples
+
+// ShardKV returns a P implementation of a sharded key-value store with key
+// rebalancing and a read-your-writes client session — the serving-shaped
+// corpus protocol (it also backs the pserve/pload `shardkv` scenario). A
+// router owns the key→shard map and forwards client operations; a
+// Rebalance request migrates a key's value from its current owner to the
+// other shard. The ghost Session writes a key, optionally rebalances it
+// mid-session, then reads it back and asserts it sees its own write.
+//
+// Payload encoding (events carry one value): key*8 + value, with keys 1..2
+// and values 1..2; bare keys ride alone in Rebalance/Migrate.
+//
+// The correct router defers client traffic while a migration is in flight,
+// so the session is safe under plain exploration but drop-SENSITIVE under
+// chaos: dropping the Put (or the Handoff's Install) leaves a stale value
+// for the read to find.
+func ShardKV() string { return shardKVSource(false) }
+
+// ShardKVBuggy seeds the classic ownership-flip defect: the router updates
+// the key→shard map as soon as it *requests* the migration, before the
+// handoff lands. A Get racing the in-flight Handoff reads the new owner's
+// stale (zero-initialized) copy and the session's read-your-writes
+// assertion fails.
+func ShardKVBuggy() string { return shardKVSource(true) }
+
+func shardKVSource(buggy bool) string {
+	if buggy {
+		return shardKVPrelude + shardKVRouterBuggy + shardKVShard + shardKVSession
+	}
+	return shardKVPrelude + shardKVRouter + shardKVShard + shardKVSession
+}
+
+const shardKVPrelude = `
+// Sharded KV store: router + 2 shards, ghost client session.
+
+// session -> router: client operations (payload: key*8 + value, or key)
+event PutReq(int);
+event GetReq(int);
+event Rebalance(int);
+// router -> shard: forwarded operations
+event Put(int);
+event Get(int);
+// router -> shard: migration protocol (payload: key, then key*8 + value)
+event Migrate(int);
+event Install(int);
+// shard -> router: replies (payload: key*8 + value)
+event Reply(int);
+event Handoff(int);
+// router -> session: the read result (payload: key*8 + value)
+event GotVal(int);
+// local
+event unit;
+`
+
+const shardKVRouter = `
+machine Router {
+  var sa: id;
+  var sb: id;
+  var o1: int; // owner of key 1: 1 = sa, 2 = sb
+  var o2: int; // owner of key 2
+  var dst: id; // migration destination
+  ghost var client: id;
+
+  state Start {
+    entry {
+      sa = new Shard(rtr = this);
+      sb = new Shard(rtr = this);
+      o1 = 1;
+      o2 = 2;
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state Serving {
+    entry { skip; }
+    on PutReq goto DoPut;
+    on GetReq goto DoGet;
+    on Rebalance goto StartMig;
+    on Reply goto Fwd;
+  }
+
+  state DoPut {
+    entry {
+      if arg / 8 == 1 {
+        if o1 == 1 {
+          send sa, Put, arg;
+        } else {
+          send sb, Put, arg;
+        }
+      } else {
+        if o2 == 1 {
+          send sa, Put, arg;
+        } else {
+          send sb, Put, arg;
+        }
+      }
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state DoGet {
+    entry {
+      if arg == 1 {
+        if o1 == 1 {
+          send sa, Get, arg;
+        } else {
+          send sb, Get, arg;
+        }
+      } else {
+        if o2 == 1 {
+          send sa, Get, arg;
+        } else {
+          send sb, Get, arg;
+        }
+      }
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state Fwd {
+    entry {
+      send client, GotVal, arg;
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state StartMig {
+    entry {
+      if arg == 1 {
+        if o1 == 1 {
+          send sa, Migrate, arg;
+          dst = sb;
+        } else {
+          send sb, Migrate, arg;
+          dst = sa;
+        }
+      } else {
+        if o2 == 1 {
+          send sa, Migrate, arg;
+          dst = sb;
+        } else {
+          send sb, Migrate, arg;
+          dst = sa;
+        }
+      }
+      raise unit;
+    }
+    on unit goto Migrating;
+  }
+
+  state Migrating {
+    // block client traffic until the value has landed at its new home
+    defer PutReq, GetReq, Rebalance;
+    entry { skip; }
+    on Handoff goto FinishMig;
+    on Reply goto FwdMig;
+  }
+
+  state FwdMig {
+    // a read that was already in flight at the old owner
+    entry {
+      send client, GotVal, arg;
+      raise unit;
+    }
+    on unit goto Migrating;
+  }
+
+  state FinishMig {
+    entry {
+      send dst, Install, arg;
+      if arg / 8 == 1 {
+        o1 = 3 - o1; // flip ownership only once the value moved
+      } else {
+        o2 = 3 - o2;
+      }
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+}
+`
+
+const shardKVRouterBuggy = `
+machine Router {
+  var sa: id;
+  var sb: id;
+  var o1: int; // owner of key 1: 1 = sa, 2 = sb
+  var o2: int; // owner of key 2
+  var dst: id; // migration destination
+  ghost var client: id;
+
+  state Start {
+    entry {
+      sa = new Shard(rtr = this);
+      sb = new Shard(rtr = this);
+      o1 = 1;
+      o2 = 2;
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state Serving {
+    entry { skip; }
+    on PutReq goto DoPut;
+    on GetReq goto DoGet;
+    on Rebalance goto StartMig;
+    on Reply goto Fwd;
+    on Handoff goto FinishMig;
+  }
+
+  state DoPut {
+    entry {
+      if arg / 8 == 1 {
+        if o1 == 1 {
+          send sa, Put, arg;
+        } else {
+          send sb, Put, arg;
+        }
+      } else {
+        if o2 == 1 {
+          send sa, Put, arg;
+        } else {
+          send sb, Put, arg;
+        }
+      }
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state DoGet {
+    entry {
+      if arg == 1 {
+        if o1 == 1 {
+          send sa, Get, arg;
+        } else {
+          send sb, Get, arg;
+        }
+      } else {
+        if o2 == 1 {
+          send sa, Get, arg;
+        } else {
+          send sb, Get, arg;
+        }
+      }
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state Fwd {
+    entry {
+      send client, GotVal, arg;
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+
+  state StartMig {
+    entry {
+      if arg == 1 {
+        if o1 == 1 {
+          send sa, Migrate, arg;
+          dst = sb;
+        } else {
+          send sb, Migrate, arg;
+          dst = sa;
+        }
+        o1 = 3 - o1; // BUG: flips ownership before the handoff lands
+      } else {
+        if o2 == 1 {
+          send sa, Migrate, arg;
+          dst = sb;
+        } else {
+          send sb, Migrate, arg;
+          dst = sa;
+        }
+        o2 = 3 - o2; // BUG: flips ownership before the handoff lands
+      }
+      raise unit;
+    }
+    on unit goto Serving; // BUG: keeps serving while the value is in flight
+  }
+
+  state FinishMig {
+    entry {
+      send dst, Install, arg;
+      raise unit;
+    }
+    on unit goto Serving;
+  }
+}
+`
+
+const shardKVShard = `
+machine Shard {
+  var rtr: id;
+  var v1: int; // value stored under key 1 (0 = absent)
+  var v2: int; // value stored under key 2
+
+  action StoreVal {
+    if arg / 8 == 1 {
+      v1 = arg % 8;
+    } else {
+      v2 = arg % 8;
+    }
+  }
+
+  state Init {
+    entry {
+      v1 = 0;
+      v2 = 0;
+      raise unit;
+    }
+    on unit goto Main;
+  }
+
+  state Main {
+    entry { skip; }
+    on Put do StoreVal;
+    on Install do StoreVal;
+    on Get goto ServeGet;
+    on Migrate goto ServeMig;
+  }
+
+  state ServeGet {
+    entry {
+      if arg == 1 {
+        send rtr, Reply, 8 + v1;
+      } else {
+        send rtr, Reply, 16 + v2;
+      }
+      raise unit;
+    }
+    on unit goto Main;
+  }
+
+  state ServeMig {
+    entry {
+      if arg == 1 {
+        send rtr, Handoff, 8 + v1;
+        v1 = 0;
+      } else {
+        send rtr, Handoff, 16 + v2;
+        v2 = 0;
+      }
+      raise unit;
+    }
+    on unit goto Main;
+  }
+}
+`
+
+const shardKVSession = `
+// The session writes a key, maybe rebalances it while its own traffic is
+// in flight, then reads it back: read-your-writes is the safety spec.
+ghost machine Session {
+  var rtr: id;
+  var r: int; // rounds completed
+  var k: int; // key under test this round
+  var w: int; // value written this round
+
+  state Boot {
+    entry {
+      r = 0;
+      rtr = new Router(client = this);
+      raise unit;
+    }
+    on unit goto Loop;
+  }
+
+  state Loop {
+    entry {
+      if r < 2 {
+        raise unit;
+      }
+      skip;
+    }
+    on unit goto DoRound;
+  }
+
+  state DoRound {
+    entry {
+      r = r + 1;
+      k = (r + 1) % 2 + 1; // round 1 tests key 1, round 2 key 2
+      if * {
+        w = 1;
+      } else {
+        w = 2;
+      }
+      send rtr, PutReq, k * 8 + w;
+      if * {
+        send rtr, Rebalance, k; // migration races the session's own ops
+      }
+      send rtr, GetReq, k;
+      raise unit;
+    }
+    on unit goto Await;
+  }
+
+  state Await {
+    entry { skip; }
+    on GotVal goto Verify;
+  }
+
+  state Verify {
+    entry {
+      assert arg == k * 8 + w; // read-your-writes
+      raise unit;
+    }
+    on unit goto Loop;
+  }
+}
+
+main Session();
+`

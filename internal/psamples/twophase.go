@@ -1,0 +1,297 @@
+package psamples
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TwoPhase returns a P implementation of two-phase commit with one
+// coordinator and n participants — the star-shaped corpus protocol: every
+// message flows through the coordinator hub. A ghost Client closes the
+// system: it creates the machines, introduces the participants to the
+// coordinator, nondeterministically decides each participant's vote (the
+// environment's "whim"), and then monitors the outcome, asserting
+// atomicity — no participant may commit while another aborts.
+//
+// The protocol is drop-tolerant for safety (the textbook observation that
+// 2PC *blocks* under message loss but never splits the decision): dropping
+// any single message leaves some machine waiting forever, which a safety
+// search cannot distinguish from success.
+func TwoPhase(n int) string { return twoPhaseSource(n, false) }
+
+// TwoPhaseBuggy seeds the classic premature-commit defect: the coordinator
+// commits after n-1 yes votes instead of n, so one yes vote plus one
+// unilateral abort (a no voter) yields a mixed outcome and the Client's
+// atomicity assertion fails.
+func TwoPhaseBuggy(n int) string { return twoPhaseSource(n, true) }
+
+func twoPhaseSource(n int, buggy bool) string {
+	if n < 2 {
+		n = 2
+	}
+	quorum := "n"
+	comment := "// all yes votes in: commit"
+	if buggy {
+		quorum = "n - 1"
+		comment = "// BUG: quorum off by one — commits with a vote outstanding"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `
+// Two-phase commit: coordinator + %d participants, ghost client environment.
+
+// client -> coordinator: participant enrollment (payload: participant)
+event Join(id);
+// coordinator -> participant: phase one (payload: coordinator, so the
+// participant learns its reply target from the request itself)
+event Prepare(id);
+// participant -> coordinator (payload: voter, so the queue dedup operator
+// cannot merge votes from different participants)
+event VoteYes(id);
+event VoteNo(id);
+// coordinator -> participant: phase two
+event DoCommit;
+event DoAbort;
+// client -> participant: the environment decides the vote
+event WhimYes;
+event WhimNo;
+// participant -> client: observed outcome (payload: participant)
+event TxCommitted(id);
+event TxAborted(id);
+// local
+event unit;
+event go;
+event decided;
+`, n)
+
+	// ---- Coordinator ----
+	b.WriteString("\nmachine Coordinator {\n  var n: int;\n  var joined: int;\n  var yes: int;\n")
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "  var p%d: id;\n", i)
+	}
+	b.WriteString(`
+  state Start {
+    entry {
+      joined = 0;
+      yes = 0;
+      raise unit;
+    }
+    on unit goto Gather;
+  }
+
+  state Gather {
+    entry { skip; }
+    on Join goto AddParticipant;
+  }
+
+  state AddParticipant {
+    entry {
+`)
+	// Store arg into the first free participant slot.
+	for i := 1; i <= n; i++ {
+		indent := strings.Repeat("  ", i+2)
+		fmt.Fprintf(&b, "%sif p%d == null {\n%s  p%d = arg;\n%s} else {\n", indent, i, indent, i, indent)
+	}
+	fmt.Fprintf(&b, "%sassert false;\n", strings.Repeat("  ", n+3))
+	for i := n; i >= 1; i-- {
+		fmt.Fprintf(&b, "%s}\n", strings.Repeat("  ", i+2))
+	}
+	b.WriteString(`      joined = joined + 1;
+      if joined == n {
+        raise go;
+      }
+      raise unit;
+    }
+    on unit goto Gather;
+    on go goto SendPrepare;
+  }
+
+  state SendPrepare {
+    entry {
+`)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "      send p%d, Prepare, this;\n", i)
+	}
+	b.WriteString(`      raise unit;
+    }
+    on unit goto Collect;
+  }
+
+  state Collect {
+    entry { skip; }
+    on VoteYes goto Tally;
+    on VoteNo goto Abort;
+  }
+
+  state Tally {
+    entry {
+      yes = yes + 1;
+`)
+	fmt.Fprintf(&b, "      if yes == %s { %s\n", quorum, comment)
+	b.WriteString(`        raise decided;
+      }
+      raise unit;
+    }
+    on unit goto Collect;
+    on decided goto Commit;
+  }
+
+  state Commit {
+    entry {
+`)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "      send p%d, DoCommit;\n", i)
+	}
+	b.WriteString(`    }
+    on VoteYes ignore;
+    on VoteNo ignore;
+  }
+
+  state Abort {
+    entry {
+`)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "      send p%d, DoAbort;\n", i)
+	}
+	b.WriteString(`    }
+    on VoteYes ignore;
+    on VoteNo ignore;
+  }
+}
+`)
+
+	// ---- Participant ----
+	b.WriteString(`
+machine Participant {
+  var coord: id;
+  ghost var mon: id;
+
+  state Undecided {
+    defer Prepare, DoCommit;
+    entry { skip; }
+    on WhimYes goto WillVoteYes;
+    on WhimNo goto WillVoteNo;
+    on DoAbort goto Aborted;
+  }
+
+  state WillVoteYes {
+    defer DoCommit;
+    entry { skip; }
+    on Prepare goto SendYes;
+    on DoAbort goto Aborted;
+  }
+
+  state WillVoteNo {
+    defer DoCommit;
+    entry { skip; }
+    on Prepare goto SendNo;
+    on DoAbort goto Aborted;
+  }
+
+  state SendYes {
+    entry {
+      coord = arg;
+      send coord, VoteYes, this;
+      raise unit;
+    }
+    on unit goto Uncertain;
+  }
+
+  state SendNo {
+    entry {
+      coord = arg;
+      send coord, VoteNo, this;
+      raise unit;
+    }
+    on unit goto Aborted;
+  }
+
+  state Uncertain {
+    entry { skip; }
+    on Prepare ignore;
+    on DoCommit goto Committed;
+    on DoAbort goto Aborted;
+  }
+
+  state Committed {
+    entry { send mon, TxCommitted, this; }
+    on Prepare ignore;
+    on DoCommit ignore;
+  }
+
+  state Aborted {
+    entry { send mon, TxAborted, this; }
+    on Prepare ignore;
+    on DoAbort ignore;
+    on DoCommit ignore;
+    on WhimYes ignore;
+    on WhimNo ignore;
+  }
+}
+`)
+
+	// ---- ghost client environment + atomicity monitor ----
+	b.WriteString(`
+// The client builds the system, decides every vote nondeterministically,
+// and then watches the outcome: a commit and an abort in the same
+// transaction is the 2PC atomicity violation.
+ghost machine Client {
+  var coord: id;
+  var committed: int;
+  var aborted: int;
+`)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "  var q%d: id;\n", i)
+	}
+	fmt.Fprintf(&b, `
+  state Boot {
+    entry {
+      committed = 0;
+      aborted = 0;
+      coord = new Coordinator(n = %d);
+`, n)
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "      q%d = new Participant(mon = this);\n", i)
+		fmt.Fprintf(&b, "      send coord, Join, q%d;\n", i)
+	}
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, `      if * {
+        send q%d, WhimYes;
+      } else {
+        send q%d, WhimNo;
+      }
+`, i, i)
+	}
+	b.WriteString(`      raise unit;
+    }
+    on unit goto Watch;
+  }
+
+  state Watch {
+    entry { skip; }
+    on TxCommitted goto SawCommit;
+    on TxAborted goto SawAbort;
+  }
+
+  state SawCommit {
+    entry {
+      committed = committed + 1;
+      assert aborted == 0;
+      raise unit;
+    }
+    on unit goto Watch;
+  }
+
+  state SawAbort {
+    entry {
+      aborted = aborted + 1;
+      assert committed == 0;
+      raise unit;
+    }
+    on unit goto Watch;
+  }
+}
+
+main Client();
+`)
+	return b.String()
+}

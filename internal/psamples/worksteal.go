@@ -1,0 +1,222 @@
+package psamples
+
+// WorkSteal returns a P implementation of a work-stealing scheduler over
+// three symmetric workers — the symmetric corpus protocol (all workers run
+// the same machine, so symmetry-aware abstractions and POR both bite).
+// Workers burn down a local task count, notifying a ghost Boss per task;
+// an idle worker tries to steal from each peer in turn and rests only
+// after both report empty. The Boss asserts task conservation (no task is
+// completed twice) and, under the liveness checker, the built-in property
+// 1 (no machine left forever-enabled) doubles as a starvation spec: a
+// worker must not spin without making progress.
+//
+// Payload encoding: TaskDone carries workerIndex*8 + perWorkerCounter so
+// the queue dedup operator cannot merge completions.
+func WorkSteal() string { return workStealSource(false) }
+
+// WorkStealBuggy seeds a hot-polling idle loop: instead of quiescing, a
+// rested worker posts Poll to itself forever. Safety is untouched (the
+// task-conservation assertion still holds on every run) but the scheduler
+// livelocks — the liveness checker flags the eternally self-enabled
+// worker, the plain safety search reports the program clean.
+func WorkStealBuggy() string { return workStealSource(true) }
+
+func workStealSource(buggy bool) string {
+	polldecl := ""
+	pollwait := ""
+	rest := `  state Rest {
+    entry { skip; }
+    on Tick ignore;
+    on Steal do HandleSteal;
+  }`
+	if buggy {
+		polldecl = "// worker -> worker (self): the buggy variant's idle poll\nevent Poll;\n"
+		pollwait = "\n    on Poll ignore;"
+		rest = `  state Rest {
+    entry {
+      send this, Poll; // BUG: hot-polls instead of quiescing
+    }
+    on Tick ignore;
+    on Poll goto Rest;
+    on Steal do HandleSteal;
+  }`
+	}
+	return `
+// Work-stealing scheduler: 3 symmetric workers, ghost Boss auditor.
+
+// environment -> worker: peer introductions
+event PeerA(id);
+event PeerB(id);
+// thief -> victim: steal request (payload: thief)
+event Steal(id);
+// victim -> thief: one task transferred (payload: victim)
+event Task(id);
+// victim -> thief: nothing to steal (payload: victim)
+event NoWork(id);
+// worker -> boss: one task completed (payload: workerIndex*8 + counter,
+// unique per completion so the queue dedup operator cannot merge them)
+event TaskDone(int);
+// worker -> worker (self): budget one task per dequeue so steal requests
+// interleave with local work
+event Tick;
+` + polldecl + `// local
+event unit;
+event empty;
+
+machine Worker {
+  var myidx: int;
+  var t: int; // local task count
+  var e: int; // completions, for unique TaskDone stamps
+  var pa: id;
+  var pb: id;
+  ghost var aud: id;
+
+  action HandleSteal {
+    if t > 0 {
+      t = t - 1;
+      send arg, Task, this;
+    } else {
+      send arg, NoWork, this;
+    }
+  }
+
+  state Start {
+    defer Steal;
+    entry {
+      e = 0;
+      raise unit;
+    }
+    on unit goto AwaitPeerA;
+  }
+
+  state AwaitPeerA {
+    defer Steal, PeerB, Tick;` + pollwait + `
+    entry { skip; }
+    on PeerA goto SetPeerA;
+  }
+
+  state SetPeerA {
+    entry {
+      pa = arg;
+      raise unit;
+    }
+    on unit goto AwaitPeerB;
+  }
+
+  state AwaitPeerB {
+    defer Steal, Tick;` + pollwait + `
+    entry { skip; }
+    on PeerB goto SetPeerB;
+  }
+
+  state SetPeerB {
+    entry {
+      pb = arg;
+      raise unit;
+    }
+    on unit goto Busy;
+  }
+
+  state Busy {
+    entry {
+      if t == 0 {
+        raise empty;
+      }
+      t = t - 1;
+      e = e + 1;
+      send aud, TaskDone, myidx * 8 + e;
+      send this, Tick; // dequeue between tasks so thieves get served
+    }
+    on Tick goto Busy;` + pollwait + `
+    on Steal do HandleSteal;
+    on empty goto Hunt;
+  }
+
+  state Hunt {
+    entry {
+      send pa, Steal, this;
+      raise unit;
+    }
+    on unit goto AwaitA;
+  }
+
+  state AwaitA {
+    entry { skip; }
+    on Tick ignore;` + pollwait + `
+    on Task goto Recv;
+    on NoWork goto HuntB;
+    on Steal do HandleSteal;
+  }
+
+  state HuntB {
+    entry {
+      send pb, Steal, this;
+      raise unit;
+    }
+    on unit goto AwaitB;
+  }
+
+  state AwaitB {
+    entry { skip; }
+    on Tick ignore;` + pollwait + `
+    on Task goto Recv;
+    on NoWork goto Rest;
+    on Steal do HandleSteal;
+  }
+
+  state Recv {
+    entry {
+      t = t + 1;
+      raise unit;
+    }
+    on unit goto Busy;
+  }
+
+` + rest + `
+}
+
+// The Boss seeds an uneven task distribution and audits completions:
+// more completions than tasks means a task was duplicated or invented.
+ghost machine Boss {
+  var w1: id;
+  var w2: id;
+  var w3: id;
+  var total: int;
+  var done: int;
+
+  state Boot {
+    entry {
+      total = 4;
+      done = 0;
+      w1 = new Worker(myidx = 1, t = 2, aud = this);
+      w2 = new Worker(myidx = 2, t = 2, aud = this);
+      w3 = new Worker(myidx = 3, t = 0, aud = this);
+      send w1, PeerA, w2;
+      send w1, PeerB, w3;
+      send w2, PeerA, w3;
+      send w2, PeerB, w1;
+      send w3, PeerA, w1;
+      send w3, PeerB, w2;
+      raise unit;
+    }
+    on unit goto Watch;
+  }
+
+  state Watch {
+    entry { skip; }
+    on TaskDone goto Count;
+  }
+
+  state Count {
+    entry {
+      done = done + 1;
+      assert done <= total; // task conservation
+      raise unit;
+    }
+    on unit goto Watch;
+  }
+}
+
+main Boss();
+`
+}

@@ -1,0 +1,349 @@
+// Package verdict evaluates the corpus verdict matrix: it runs every
+// verification mode pinned in psamples.Matrix() against the corresponding
+// sample and diffs the outcomes cell by cell. It is the engine behind both
+// `pverify -expect` (the CI verdict-matrix job) and the TestVerdictMatrix
+// regression test, so the two enforcement paths cannot drift apart.
+package verdict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pgo/internal/abstract"
+	"pgo/internal/analysis"
+	"pgo/internal/check"
+	"pgo/internal/compile"
+	"pgo/internal/ir"
+	"pgo/internal/live"
+	"pgo/internal/psamples"
+)
+
+// Columns names the matrix columns in display order. "plint" is the static
+// analysis pass; the rest are dynamic verification modes.
+var Columns = []string{"plain", "no-por", "chaos", "liveness", "abstract", "plint"}
+
+// Cell is one evaluated matrix cell.
+type Cell struct {
+	Column string
+	Want   psamples.ModeVerdict
+	Got    psamples.ModeVerdict
+	// Detail explains the got verdict: the first violation, the liveness
+	// message, the abstract verdict, or the plint code set.
+	Detail string
+	OK     bool
+}
+
+// Row is the evaluated matrix row for one sample.
+type Row struct {
+	Sample string
+	Shape  psamples.Shape
+	Cells  []Cell
+}
+
+// OK reports whether every cell matched its expectation.
+func (r Row) OK() bool {
+	for _, c := range r.Cells {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Mismatches returns the cells that failed, formatted one per line.
+func (r Row) Mismatches() []string {
+	var out []string
+	for _, c := range r.Cells {
+		if !c.OK {
+			out = append(out, fmt.Sprintf("%s/%s: want %s, got %s (%s)", r.Sample, c.Column, c.Want, c.Got, c.Detail))
+		}
+	}
+	return out
+}
+
+// maxStates bounds every explicit-state column run: the corpus samples all
+// finish well below this, so hitting the cap is itself a regression (the
+// cell reports unsafe-by-truncation in Detail).
+const maxStates = 2_000_000
+
+// Evaluate runs every matrix column for one expectation row.
+func Evaluate(e psamples.Expectation) (Row, error) {
+	s, ok := psamples.ByName(e.Sample)
+	if !ok {
+		return Row{}, fmt.Errorf("no sample %q", e.Sample)
+	}
+	prog, diags, err := compile.Source(e.Sample, s.Source)
+	if err != nil {
+		return Row{}, fmt.Errorf("compile %s: %v\n%s", e.Sample, err, diags.String())
+	}
+	rep := analysis.Analyze(prog)
+	row := Row{Sample: e.Sample, Shape: e.Shape}
+
+	base := check.Options{
+		Mode:             check.DelayBounded,
+		Bound:            e.Bound,
+		MaxStates:        maxStates,
+		StopAtFirstError: true,
+		POR:              true,
+	}
+
+	// plain: the default delay-bounded safety search, POR on.
+	plain := base
+	res, err := check.Explore(prog, plain)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s plain: %v", e.Sample, err)
+	}
+	row.Cells = append(row.Cells, safetyCell("plain", e.Plain, e, res))
+
+	// no-por: the same search unreduced; POR must preserve the verdict.
+	noPOR := base
+	noPOR.POR = false
+	res, err = check.Explore(prog, noPOR)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s no-por: %v", e.Sample, err)
+	}
+	row.Cells = append(row.Cells, safetyCell("no-por", e.NoPOR, e, res))
+
+	// chaos: one drop fault along any schedule.
+	chaos := base
+	chaos.Faults = 1
+	chaos.FaultKinds = check.DropFaults
+	res, err = check.Explore(prog, chaos)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s chaos: %v", e.Sample, err)
+	}
+	row.Cells = append(row.Cells, safetyCell("chaos", e.Chaos, e, res))
+
+	// liveness: §3.2 checks over the fully explored graph (no early stop,
+	// so the graph covers the whole bounded space).
+	lv := base
+	lv.CollectGraph = true
+	lv.StopAtFirstError = false
+	res, err = check.Explore(prog, lv)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s liveness: %v", e.Sample, err)
+	}
+	vs := live.Check(prog, res.Graph, live.Options{})
+	row.Cells = append(row.Cells, livenessCell(e, res, vs))
+
+	// abstract: counter-abstraction coverability with concrete replay.
+	ares := abstract.Analyze(prog, abstract.Options{Facts: rep, MaxMarkings: e.AbstractMarkings})
+	acell, err := abstractCell(prog, e, ares)
+	if err != nil {
+		return Row{}, fmt.Errorf("%s abstract: %v", e.Sample, err)
+	}
+	row.Cells = append(row.Cells, acell)
+
+	// plint: the static-analysis finding codes, as a pinned set.
+	row.Cells = append(row.Cells, plintCell(e, rep.Findings))
+	return row, nil
+}
+
+// EvaluateAll evaluates the whole matrix.
+func EvaluateAll() ([]Row, error) {
+	var rows []Row
+	for _, e := range psamples.Matrix() {
+		row, err := Evaluate(e)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func safetyCell(col string, want psamples.ModeVerdict, e psamples.Expectation, res *check.Result) Cell {
+	c := Cell{Column: col, Want: want}
+	switch {
+	case res.Stats.Truncated:
+		c.Got = psamples.VerdictUnsafe
+		c.Detail = fmt.Sprintf("truncated at %d states", res.Stats.DistinctStates)
+		c.OK = false
+		return c
+	case res.Errored():
+		c.Got = psamples.VerdictUnsafe
+		v := res.FirstViolation()
+		c.Detail = v.Err.Error()
+		c.OK = want == psamples.VerdictUnsafe &&
+			(e.ViolationKind == "" || v.Err.Kind.String() == e.ViolationKind)
+		if !c.OK && want == psamples.VerdictUnsafe {
+			c.Detail = fmt.Sprintf("wrong kind: %s (want %s)", v.Err.Kind, e.ViolationKind)
+		}
+	default:
+		c.Got = psamples.VerdictSafe
+		c.Detail = fmt.Sprintf("%d states", res.Stats.DistinctStates)
+		c.OK = want == psamples.VerdictSafe
+	}
+	return c
+}
+
+func livenessCell(e psamples.Expectation, res *check.Result, vs []live.Violation) Cell {
+	c := Cell{Column: "liveness", Want: e.Liveness}
+	switch {
+	case e.LivenessOnly && res.Errored():
+		// A liveness-only defect must stay invisible to the safety search
+		// even on the graph-collecting run.
+		c.Got = psamples.VerdictUnsafe
+		c.Detail = fmt.Sprintf("unexpected safety violation: %v", res.FirstViolation().Err)
+		c.OK = false
+	case res.Errored() || len(vs) > 0:
+		c.Got = psamples.VerdictUnsafe
+		if len(vs) > 0 {
+			c.Detail = vs[0].String()
+		} else {
+			c.Detail = res.FirstViolation().Err.Error()
+		}
+		c.OK = e.Liveness == psamples.VerdictUnsafe
+	default:
+		c.Got = psamples.VerdictSafe
+		c.Detail = "no liveness violations"
+		c.OK = e.Liveness == psamples.VerdictSafe
+	}
+	return c
+}
+
+// abstractCell mirrors pverify -abstract: an abstract counterexample only
+// counts as unsafe once the concrete replay confirms it — the abstraction
+// over-approximates, so an unconfirmed one is a warning, not a verdict.
+func abstractCell(prog *ir.Program, e psamples.Expectation, ares *abstract.Result) (Cell, error) {
+	c := Cell{Column: "abstract", Want: e.Abstract}
+	switch ares.Verdict {
+	case abstract.VerdictSafe:
+		c.Got = psamples.VerdictSafe
+		c.Detail = fmt.Sprintf("safe, %d markings", ares.Markings)
+		c.OK = e.Abstract == psamples.VerdictSafe
+	case abstract.VerdictCounterexample:
+		sigs := make([]check.AbsSignature, len(ares.Errors))
+		for i, ae := range ares.Errors {
+			sigs[i] = check.AbsSignature{Kind: ae.Kind, Type: ae.Machine, Event: ae.Event}
+		}
+		hits, _, err := check.ReplaySignatures(prog, sigs, check.DefaultReplayOptions())
+		if err != nil {
+			return c, err
+		}
+		confirmed := 0
+		for _, hit := range hits {
+			if hit {
+				confirmed++
+			}
+		}
+		if confirmed > 0 {
+			c.Got = psamples.VerdictUnsafe
+			c.Detail = fmt.Sprintf("%d replay-confirmed counterexample(s)", confirmed)
+			c.OK = e.Abstract == psamples.VerdictUnsafe
+		} else {
+			// Spurious-only counterexamples resolve to safe, but pin them
+			// in the detail so a sample that starts tripping the
+			// abstraction shows up in the diff.
+			c.Got = psamples.VerdictSafe
+			c.Detail = fmt.Sprintf("%d spurious counterexample(s)", len(ares.Errors))
+			c.OK = e.Abstract == psamples.VerdictSafe
+		}
+	default:
+		c.Got = psamples.VerdictUnsafe
+		c.Detail = fmt.Sprintf("abstract verdict %s (%s)", ares.Verdict, ares.Unsupported)
+		c.OK = false
+	}
+	return c, nil
+}
+
+// plintCell diffs the static-analysis finding codes against the pinned set
+// and, for non-buggy samples, requires no error-severity findings.
+func plintCell(e psamples.Expectation, findings []analysis.Finding) Cell {
+	want := psamples.VerdictSafe // the plint column pins a code set, not a verdict
+	c := Cell{Column: "plint", Want: want}
+	codes := map[string]bool{}
+	errors := 0
+	for _, f := range findings {
+		codes[f.Code] = true
+		if f.Severity == analysis.SevError {
+			errors++
+		}
+	}
+	var got []string
+	for code := range codes {
+		got = append(got, code)
+	}
+	sort.Strings(got)
+	wantCodes := append([]string(nil), e.PlintCodes...)
+	sort.Strings(wantCodes)
+	c.Detail = "codes " + strings.Join(got, ",")
+	if len(got) == 0 {
+		c.Detail = "no findings"
+	}
+	switch {
+	case errors > 0:
+		c.Got = psamples.VerdictUnsafe
+		c.Detail = fmt.Sprintf("%d error-severity finding(s), %s", errors, c.Detail)
+		c.OK = false
+	case strings.Join(got, ",") != strings.Join(wantCodes, ","):
+		c.Got = want
+		c.Detail = fmt.Sprintf("codes %s, want %s", strings.Join(got, ","), strings.Join(wantCodes, ","))
+		c.OK = false
+	default:
+		c.Got = want
+		c.OK = true
+	}
+	return c
+}
+
+// Markdown renders evaluated rows as a GitHub-flavored table (the CI job
+// appends this to $GITHUB_STEP_SUMMARY). Matching cells show the verdict;
+// mismatches show want→got in bold.
+func Markdown(rows []Row) string {
+	var b strings.Builder
+	b.WriteString("| sample | shape |")
+	for _, col := range Columns {
+		fmt.Fprintf(&b, " %s |", col)
+	}
+	b.WriteString("\n|---|---|")
+	for range Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "| `%s` | %s |", r.Sample, r.Shape)
+		for _, c := range r.Cells {
+			if c.OK {
+				fmt.Fprintf(&b, " %s |", verdictIcon(c))
+			} else {
+				fmt.Fprintf(&b, " **want %s, got %s** |", c.Want, c.Got)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func verdictIcon(c Cell) string {
+	if c.Column == "plint" {
+		return "✅ " + c.Detail
+	}
+	if c.Got == psamples.VerdictSafe {
+		return "✅ safe"
+	}
+	return "💥 unsafe"
+}
+
+// Text renders evaluated rows as an aligned plain-text table for terminals.
+func Text(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-10s", "sample", "shape")
+	for _, col := range Columns {
+		fmt.Fprintf(&b, " %-10s", col)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-10s", r.Sample, r.Shape)
+		for _, c := range r.Cells {
+			mark := string(c.Got)
+			if !c.OK {
+				mark = fmt.Sprintf("%s!=%s", c.Got, c.Want)
+			}
+			fmt.Fprintf(&b, " %-10s", mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

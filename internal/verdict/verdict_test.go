@@ -1,0 +1,89 @@
+package verdict
+
+import (
+	"strings"
+	"testing"
+
+	"pgo/internal/psamples"
+)
+
+// TestVerdictMatrix is the in-repo enforcement of the corpus verdict
+// matrix: every cell pinned in psamples.Matrix() must evaluate to its
+// expected verdict. The CI verdict-matrix job runs the same evaluation
+// through `pverify -expect`.
+func TestVerdictMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix evaluation in -short mode")
+	}
+	exps := psamples.Matrix()
+	t.Parallel()
+	for _, e := range exps {
+		e := e
+		t.Run(e.Sample, func(t *testing.T) {
+			t.Parallel()
+			row, err := Evaluate(e)
+			if err != nil {
+				t.Fatalf("evaluate: %v", err)
+			}
+			for _, m := range row.Mismatches() {
+				t.Errorf("%s", m)
+			}
+		})
+	}
+}
+
+// TestMatrixCoversAllShapes pins the corpus breadth claims: at least four
+// distinct protocols, all declared state-space shapes present, and every
+// matrix sample (a) registered and (b) paired with a buggy variant row.
+func TestMatrixCoversAllShapes(t *testing.T) {
+	exps := psamples.Matrix()
+	shapes := map[psamples.Shape]bool{}
+	protos := map[string]bool{}
+	for _, e := range exps {
+		s, ok := psamples.ByName(e.Sample)
+		if !ok {
+			t.Fatalf("matrix sample %s is not registered", e.Sample)
+		}
+		shapes[e.Shape] = true
+		protos[strings.TrimSuffix(e.Sample, "-buggy")] = true
+		if s.Buggy != strings.HasSuffix(e.Sample, "-buggy") {
+			t.Errorf("%s: Buggy flag disagrees with -buggy naming", e.Sample)
+		}
+	}
+	for _, shape := range []psamples.Shape{psamples.ShapeStar, psamples.ShapeDeep, psamples.ShapeServing, psamples.ShapeSymmetric} {
+		if !shapes[shape] {
+			t.Errorf("no matrix row with shape %s", shape)
+		}
+	}
+	if len(protos) < 4 {
+		t.Errorf("matrix covers %d protocols, want >= 4", len(protos))
+	}
+	for p := range protos {
+		if _, ok := psamples.ExpectationFor(p); !ok {
+			t.Errorf("protocol %s has no correct-variant row", p)
+		}
+		if _, ok := psamples.ExpectationFor(p + "-buggy"); !ok {
+			t.Errorf("protocol %s has no buggy-variant row", p)
+		}
+	}
+}
+
+// TestRenderers sanity-checks the two table renderings on a synthetic row
+// so CI summary output keeps its shape without re-running the matrix.
+func TestRenderers(t *testing.T) {
+	rows := []Row{{
+		Sample: "demo", Shape: psamples.ShapeStar,
+		Cells: []Cell{
+			{Column: "plain", Want: psamples.VerdictSafe, Got: psamples.VerdictSafe, OK: true},
+			{Column: "chaos", Want: psamples.VerdictSafe, Got: psamples.VerdictUnsafe, Detail: "boom"},
+		},
+	}}
+	md := Markdown(rows)
+	if !strings.Contains(md, "| `demo` | star |") || !strings.Contains(md, "**want safe, got unsafe**") {
+		t.Errorf("markdown rendering lost content:\n%s", md)
+	}
+	txt := Text(rows)
+	if !strings.Contains(txt, "unsafe!=safe") {
+		t.Errorf("text rendering lost the mismatch marker:\n%s", txt)
+	}
+}

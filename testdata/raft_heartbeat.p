@@ -1,0 +1,56 @@
+// raft_heartbeat: a fault-sensitivity sample for chaos mode, raft-flavored
+// (see examples/raft for the full election protocol).
+//
+// The Leader streams two heartbeats and then checks its lease; the
+// Follower counts the heartbeats it saw and asserts the lease is fully
+// renewed when LeaseCheck arrives. Safe under every fault-free schedule,
+// but the lease accounting silently assumes a reliable transport:
+//
+//   - drop one Heartbeat -> the renewal count comes up short, assert fails;
+//   - dup one Heartbeat  -> the count overshoots and the assert fails;
+//   - crash Follower     -> the Leader's next send hits a deleted machine.
+//
+// `pverify -chaos -faults=1 testdata/raft_heartbeat.p` finds the defect;
+// `pverify testdata/raft_heartbeat.p` does not.
+
+event Heartbeat(int);   // payload: heartbeat sequence number
+event LeaseCheck;
+
+machine Leader {
+  var follower: id;
+
+  state Term {
+    entry {
+      follower = new Follower();
+      send follower, Heartbeat, 1;
+      send follower, Heartbeat, 2;
+      send follower, LeaseCheck;
+      delete;
+    }
+  }
+}
+
+machine Follower {
+  var renewals: int;
+
+  action Renew {
+    renewals = renewals + 1;
+  }
+
+  state Following {
+    entry {
+      renewals = 0;
+    }
+    on Heartbeat do Renew;
+    on LeaseCheck goto Audit;
+  }
+
+  state Audit {
+    entry {
+      assert renewals == 2; // the lease outlives the term only if every beat landed
+      delete;
+    }
+  }
+}
+
+main Leader();

@@ -1,0 +1,65 @@
+// shardkv_handoff: a fault-sensitivity sample for chaos mode, shard-
+// migration-flavored (see examples/shardkv for the full protocol).
+//
+// The Source shard hands its two keys to the Dest shard and then activates
+// it; the Dest asserts both slots are populated when Activate arrives —
+// serving with a hole would return stale data. Payloads encode key*8+value.
+// Safe under every fault-free schedule, but the handoff silently assumes a
+// reliable transport:
+//
+//   - drop one Install -> a slot stays empty and the activation assert fails;
+//   - dup one Install  -> harmless here (same slot re-written), but
+//     dropping Activate strands the handoff (blocked, not broken);
+//   - crash Dest       -> the Source's next send hits a deleted machine.
+//
+// `pverify -chaos -faults=1 testdata/shardkv_handoff.p` finds the defect;
+// `pverify testdata/shardkv_handoff.p` does not.
+
+event Install(int);   // payload: key*8 + value
+event Activate;
+
+machine Source {
+  var dst: id;
+
+  state Draining {
+    entry {
+      dst = new Dest();
+      send dst, Install, 9;    // key 1, value 1
+      send dst, Install, 18;   // key 2, value 2
+      send dst, Activate;
+      delete;
+    }
+  }
+}
+
+machine Dest {
+  var v1: int;
+  var v2: int;
+
+  action Store {
+    if arg / 8 == 1 {
+      v1 = arg % 8;
+    } else {
+      v2 = arg % 8;
+    }
+  }
+
+  state Installing {
+    entry {
+      v1 = 0;
+      v2 = 0;
+    }
+    on Install do Store;
+    on Activate goto Serve;
+  }
+
+  state Serve {
+    entry {
+      assert v1 == 1; // serving with a hole returns stale reads
+      assert v2 == 2;
+      delete;
+    }
+  }
+}
+
+main Source();

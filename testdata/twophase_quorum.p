@@ -1,0 +1,57 @@
+// twophase_quorum: a fault-sensitivity sample for chaos mode, 2PC-flavored
+// (see examples/twophase for the full protocol).
+//
+// The Voter casts yes ballots for two transactions and then asks the
+// Coordinator to finalize; the Coordinator counts the ballots and asserts
+// it holds the full quorum when Finalize arrives. Safe under every
+// fault-free schedule, but the quorum check silently assumes a reliable
+// transport:
+//
+//   - drop one Ballot  -> the quorum comes up short and the assert fails;
+//   - dup one Ballot   -> the count overshoots and the assert fails;
+//   - crash Coordinator -> the Voter's next send hits a deleted machine.
+//
+// `pverify -chaos -faults=1 testdata/twophase_quorum.p` finds the defect;
+// `pverify testdata/twophase_quorum.p` does not.
+
+event Ballot(int);   // payload: transaction number
+event Finalize;
+
+machine Voter {
+  var coord: id;
+
+  state Casting {
+    entry {
+      coord = new Coordinator();
+      send coord, Ballot, 1;
+      send coord, Ballot, 2;
+      send coord, Finalize;
+      delete;
+    }
+  }
+}
+
+machine Coordinator {
+  var quorum: int;
+
+  action Tally {
+    quorum = quorum + 1;
+  }
+
+  state Collecting {
+    entry {
+      quorum = 0;
+    }
+    on Ballot do Tally;
+    on Finalize goto Decide;
+  }
+
+  state Decide {
+    entry {
+      assert quorum == 2; // commit needs every ballot
+      delete;
+    }
+  }
+}
+
+main Voter();

@@ -1,0 +1,58 @@
+// worksteal_grant: a fault-sensitivity sample for chaos mode, work-
+// stealing-flavored (see examples/worksteal for the full scheduler).
+//
+// The Victim grants two stolen tasks to the Thief and then says goodbye;
+// the Thief counts the tasks it received and asserts none went missing
+// when Bye arrives — a task lost in transit is gone from the system, the
+// exact conservation property the full sample's Boss audits. Safe under
+// every fault-free schedule, but the transfer silently assumes a reliable
+// transport:
+//
+//   - drop one Task  -> the task vanishes and the conservation assert fails;
+//   - dup one Task   -> a task is executed twice and the assert fails;
+//   - crash Thief    -> the Victim's next send hits a deleted machine.
+//
+// `pverify -chaos -faults=1 testdata/worksteal_grant.p` finds the defect;
+// `pverify testdata/worksteal_grant.p` does not.
+
+event Task(int);   // payload: task number
+event Bye;
+
+machine Victim {
+  var thief: id;
+
+  state Granting {
+    entry {
+      thief = new Thief();
+      send thief, Task, 1;
+      send thief, Task, 2;
+      send thief, Bye;
+      delete;
+    }
+  }
+}
+
+machine Thief {
+  var received: int;
+
+  action Accept {
+    received = received + 1;
+  }
+
+  state Receiving {
+    entry {
+      received = 0;
+    }
+    on Task do Accept;
+    on Bye goto Reconcile;
+  }
+
+  state Reconcile {
+    entry {
+      assert received == 2; // task conservation: nothing lost, nothing doubled
+      delete;
+    }
+  }
+}
+
+main Victim();
